@@ -1,0 +1,66 @@
+//! Ablation 3: the graph-runtime algorithm choices on the SNB-like graph —
+//! CSR construction cost (the paper's dominant cost), BFS vs radix-queue
+//! Dijkstra vs binary-heap Dijkstra, and the batch driver.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsql_bench::load_dataset;
+use gsql_core::build_graph;
+use gsql_graph::{bfs, dijkstra_float, dijkstra_int, BatchComputer, WeightSpec};
+use std::sync::Arc;
+
+fn algorithms(c: &mut Criterion) {
+    let d = load_dataset(0.1, 2017);
+    let edges = d.db.catalog().get("friends").unwrap();
+    let graph = Arc::new(build_graph(Arc::clone(&edges), 0, 1).unwrap());
+    let n_edges = graph.num_edges();
+
+    // Integer weights (Q14-variant shape) and float weights, in CSR order.
+    let raw_int: Vec<i64> = (0..n_edges).map(|i| 1 + (i as i64 % 7)).collect();
+    let raw_float: Vec<f64> = raw_int.iter().map(|&w| w as f64 / 2.0).collect();
+    let w_int = graph.csr.permute_weights_int(&raw_int).unwrap();
+    let w_float = graph.csr.permute_weights_float(&raw_float).unwrap();
+
+    let mut group = c.benchmark_group("algorithms");
+    group.sample_size(10);
+
+    group.bench_function("csr_construction", |b| {
+        b.iter(|| build_graph(Arc::clone(&edges), 0, 1).unwrap())
+    });
+    group.bench_function("bfs_full", |b| b.iter(|| bfs(&graph.csr, 0, &[])));
+    group.bench_function("dijkstra_radix_int_full", |b| {
+        b.iter(|| dijkstra_int(&graph.csr, 0, &[], &w_int))
+    });
+    group.bench_function("dijkstra_binary_float_full", |b| {
+        b.iter(|| dijkstra_float(&graph.csr, 0, &[], &w_float))
+    });
+
+    // Early-exit single-pair runs (what Q13 actually executes).
+    let target = graph.num_vertices() / 2;
+    group.bench_function("bfs_single_target", |b| b.iter(|| bfs(&graph.csr, 0, &[target])));
+    group.bench_function("dijkstra_radix_single_target", |b| {
+        b.iter(|| dijkstra_int(&graph.csr, 0, &[target], &w_int))
+    });
+
+    // Bidirectional BFS (our §4 "improve the BFS" extension): needs the
+    // reverse CSR, which a graph index would cache.
+    let rev = gsql_graph::reverse_csr(&graph.csr);
+    group.bench_function("bidirectional_bfs_single_target", |b| {
+        b.iter(|| gsql_graph::bidirectional_bfs(&graph.csr, &rev, 0, target))
+    });
+    group.bench_function("reverse_csr_construction", |b| {
+        b.iter(|| gsql_graph::reverse_csr(&graph.csr))
+    });
+
+    // The batch driver: 64 pairs sharing 8 sources -> 8 traversals.
+    let pairs: Vec<(u32, u32)> = (0..64u32)
+        .map(|i| (i % 8, (i * 37) % graph.num_vertices()))
+        .collect();
+    group.bench_function("batch_64pairs_8sources", |b| {
+        let computer = BatchComputer::new(&graph.csr);
+        b.iter(|| computer.compute(&pairs, &WeightSpec::Unweighted, true).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, algorithms);
+criterion_main!(benches);

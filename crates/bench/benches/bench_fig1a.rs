@@ -1,0 +1,40 @@
+//! Criterion version of Figure 1a: Q13 vs the weighted Q14 variant.
+//!
+//! Uses a small scale factor so the statistical run stays fast; the paper's
+//! full sweep is produced by the `fig1a` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_bench::{load_dataset, sample_pairs};
+use gsql_bench::queries::{Q13, Q14_VARIANT};
+use gsql_storage::Value;
+
+fn fig1a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1a");
+    group.sample_size(10);
+    for sf in [0.02, 0.1] {
+        let d = load_dataset(sf, 2017);
+        let pairs = sample_pairs(64, d.num_persons, 7);
+        let q13 = d.db.prepare(Q13).unwrap();
+        let q14 = d.db.prepare(Q14_VARIANT).unwrap();
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("q13_unweighted", sf), |b| {
+            b.iter(|| {
+                let (s, t) = pairs[cursor % pairs.len()];
+                cursor += 1;
+                q13.execute(&d.db, &[Value::Int(s), Value::Int(t)]).unwrap()
+            })
+        });
+        let mut cursor = 0usize;
+        group.bench_function(BenchmarkId::new("q14_weighted", sf), |b| {
+            b.iter(|| {
+                let (s, t) = pairs[cursor % pairs.len()];
+                cursor += 1;
+                q14.execute(&d.db, &[Value::Int(s), Value::Int(t)]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1a);
+criterion_main!(benches);

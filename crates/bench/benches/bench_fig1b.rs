@@ -1,0 +1,25 @@
+//! Criterion version of Figure 1b: batched Q13, reported per statement at
+//! each batch size (divide by the batch size for the paper's per-pair
+//! metric; the `fig1b` binary prints it that way).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsql_bench::queries::batched_q13;
+use gsql_bench::{load_dataset, sample_pairs};
+
+fn fig1b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1b");
+    group.sample_size(10);
+    let d = load_dataset(0.1, 2017);
+    for batch in [1usize, 4, 16, 64] {
+        let pairs = sample_pairs(batch, d.num_persons, batch as u64);
+        let sql = batched_q13(&pairs);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_function(BenchmarkId::new("q13_batched", batch), |b| {
+            b.iter(|| d.db.query(&sql).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig1b);
+criterion_main!(benches);

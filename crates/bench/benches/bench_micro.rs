@@ -1,0 +1,65 @@
+//! Engine micro-benchmarks: parsing, binding+planning, filters, hash join,
+//! aggregation, sorting — the relational substrate around the graph
+//! operator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsql_core::Database;
+use gsql_parser::parse_statement;
+
+fn setup_db(rows: usize) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (id INTEGER NOT NULL, grp INTEGER NOT NULL, v DOUBLE NOT NULL)")
+        .unwrap();
+    let mut sql = String::from("INSERT INTO t VALUES ");
+    for i in 0..rows {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str(&format!("({i}, {}, {}.5)", i % 100, i % 1000));
+    }
+    db.execute(&sql).unwrap();
+    db
+}
+
+fn micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+
+    let paper_query = "WITH friends1 AS (SELECT * FROM friends WHERE creationDate < '2011-01-01') \
+         SELECT firstName || ' ' || lastName AS person, \
+                CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path) \
+         FROM persons \
+         WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)";
+    group.bench_function("parse_paper_query", |b| {
+        b.iter(|| parse_statement(paper_query).unwrap())
+    });
+
+    let db = setup_db(20_000);
+    group.bench_function("plan_filter_query", |b| {
+        b.iter(|| db.plan("SELECT id FROM t WHERE grp = 5 AND v > 100.0").unwrap())
+    });
+    group.bench_function("filter_scan_20k", |b| {
+        b.iter(|| db.query("SELECT id FROM t WHERE grp = 5").unwrap())
+    });
+    group.bench_function("aggregate_20k_100groups", |b| {
+        b.iter(|| {
+            db.query("SELECT grp, COUNT(*), SUM(v), MIN(v), MAX(v) FROM t GROUP BY grp").unwrap()
+        })
+    });
+    group.bench_function("sort_20k", |b| {
+        b.iter(|| db.query("SELECT id FROM t ORDER BY v DESC, id LIMIT 100").unwrap())
+    });
+
+    let small = setup_db(2_000);
+    group.bench_function("hash_join_2k_x_2k", |b| {
+        b.iter(|| {
+            small
+                .query("SELECT a.id FROM t a JOIN t b ON a.id = b.id WHERE b.grp < 50")
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, micro);
+criterion_main!(benches);

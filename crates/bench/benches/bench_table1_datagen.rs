@@ -1,0 +1,21 @@
+//! Criterion benchmark for Table 1 dataset generation (the LDBC DATAGEN
+//! substitute): persons + friendship edges at small scale factors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gsql_datagen::{SnbDataset, SnbParams};
+
+fn table1_datagen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_datagen");
+    group.sample_size(10);
+    for sf in [0.01, 0.05, 0.2] {
+        let params = SnbParams { scale_factor: sf, seed: 42 };
+        group.throughput(Throughput::Elements(params.edge_count()));
+        group.bench_function(BenchmarkId::new("generate", sf), |b| {
+            b.iter(|| SnbDataset::generate(params))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_datagen);
+criterion_main!(benches);

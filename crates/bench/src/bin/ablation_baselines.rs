@@ -1,0 +1,15 @@
+//! Ablation 1: the native graph operator vs the paper-§1 "customary" SQL
+//! strategies (semi-naive recursion, chain of self-joins) on Q13.
+//!
+//! `cargo run -p gsql-bench --release --bin ablation_baselines -- --sf 0.1,0.3`
+
+use gsql_bench::{print_ablation_baselines, run_ablation_baselines, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("(scale factors: {:?}, seed {})\n", cfg.sfs, cfg.seed);
+    let rows = run_ablation_baselines(&cfg);
+    print_ablation_baselines(&rows);
+    println!("\nExpectation: the native operator wins by growing factors; the join chain");
+    println!("blows up combinatorially on the skewed social graph.");
+}

@@ -1,0 +1,14 @@
+//! Ablation 2: per-query graph construction vs the paper-§6 graph index.
+//!
+//! `cargo run -p gsql-bench --release --bin ablation_graph_index -- --sf 0.1,1`
+
+use gsql_bench::{print_ablation_graph_index, run_ablation_graph_index, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("(scale factors: {:?}, {} reps, seed {})\n", cfg.sfs, cfg.reps, cfg.seed);
+    let rows = run_ablation_graph_index(&cfg);
+    print_ablation_graph_index(&rows);
+    println!("\nExpectation: the index removes the dominant construction cost, confirming");
+    println!("the paper's §4 observation and motivating its §6 future work.");
+}

@@ -1,0 +1,15 @@
+//! Regenerate the paper's Figure 1b: Q13 latency per pair at batch sizes
+//! 1..128 — batching amortizes graph construction almost linearly.
+//!
+//! `cargo run -p gsql-bench --release --bin fig1b -- --sf 0.1,1 --reps 64`
+
+use gsql_bench::{print_fig1b, run_fig1b, BenchConfig, FIG1B_BATCH_SIZES};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("(scale factors: {:?}, seed {})\n", cfg.sfs, cfg.seed);
+    let points = run_fig1b(&cfg, FIG1B_BATCH_SIZES);
+    print_fig1b(&points, FIG1B_BATCH_SIZES);
+    println!("\nPaper's shape: per-pair time decreases almost linearly with batch size,");
+    println!("amortizing the graph-construction cost.");
+}

@@ -1,0 +1,14 @@
+//! Regenerate the paper's Table 1: graph sizes per scale factor.
+//!
+//! `cargo run -p gsql-bench --release --bin table1 -- --sf 1,3,10`
+
+use gsql_bench::{print_table1, run_table1, BenchConfig};
+
+fn main() {
+    let cfg = BenchConfig::from_args();
+    println!("(scale factors: {:?}, seed {})\n", cfg.sfs, cfg.seed);
+    let rows = run_table1(&cfg);
+    print_table1(&rows);
+    println!("\nPaper's published values: SF1 9.892k/362k, SF3 ~24k/~1132k, SF10 ~65k/~3894k,");
+    println!("SF30 ~165k/~12115k, SF100 ~448k/~39998k, SF300 ~1128k/~119225k.");
+}

@@ -1,0 +1,449 @@
+//! Measurement harness for the paper's experiments.
+//!
+//! Latency is measured end to end, in process: parse → bind → optimize →
+//! execute → materialize the full result (the substitution for the paper's
+//! JDBC client; see DESIGN.md §4). Query parameters are uniform random
+//! person ids, as in §4 of the paper.
+
+use crate::queries;
+use crate::report::{fmt_duration, render_table};
+use gsql_core::Database;
+use gsql_datagen::{SnbDataset, SnbParams};
+use gsql_storage::Value;
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+use std::time::{Duration, Instant};
+
+/// Shared benchmark configuration.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Scale factors to sweep. The paper uses 1, 3, 10, 30, 100, 300;
+    /// defaults here are sized for a small machine.
+    pub sfs: Vec<f64>,
+    /// Repetitions per measurement (the paper uses 1000 for SF ≤ 30 and
+    /// 100 beyond).
+    pub reps: usize,
+    /// RNG seed for datasets and parameter sampling.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> BenchConfig {
+        BenchConfig { sfs: vec![0.1, 0.3, 1.0], reps: 25, seed: 2017 }
+    }
+}
+
+impl BenchConfig {
+    /// Build a config from command-line arguments (`--sf`, `--reps`,
+    /// `--seed`).
+    pub fn from_args() -> BenchConfig {
+        let args: Vec<String> = std::env::args().collect();
+        let mut cfg = BenchConfig::default();
+        if let Some(s) = crate::report::arg_value(&args, "--sf") {
+            let sfs = crate::report::parse_sf_list(&s);
+            if !sfs.is_empty() {
+                cfg.sfs = sfs;
+            }
+        }
+        if let Some(r) = crate::report::arg_value(&args, "--reps") {
+            if let Ok(r) = r.parse() {
+                cfg.reps = r;
+            }
+        }
+        if let Some(s) = crate::report::arg_value(&args, "--seed") {
+            if let Ok(s) = s.parse() {
+                cfg.seed = s;
+            }
+        }
+        cfg
+    }
+}
+
+/// A generated dataset loaded into an engine instance.
+pub struct LoadedDataset {
+    /// The database with `persons` and `friends` tables.
+    pub db: Database,
+    /// Scale factor.
+    pub sf: f64,
+    /// |V| (person count).
+    pub num_persons: u64,
+    /// |E| (directed edge count).
+    pub num_edges: u64,
+    /// Wall-clock time spent generating + loading.
+    pub load_time: Duration,
+}
+
+/// Generate and load the SNB-like dataset for one scale factor.
+pub fn load_dataset(sf: f64, seed: u64) -> LoadedDataset {
+    let t0 = Instant::now();
+    let data = SnbDataset::generate(SnbParams { scale_factor: sf, seed });
+    let db = data.into_database().expect("fresh database");
+    LoadedDataset {
+        db,
+        sf,
+        num_persons: data.num_persons,
+        num_edges: data.num_edges,
+        load_time: t0.elapsed(),
+    }
+}
+
+/// Sample `n` uniform random person-id pairs (the paper's parameter
+/// generation: "randomly generated out of the set of the generated persons
+/// and according to a uniform distribution").
+pub fn sample_pairs(n: usize, num_persons: u64, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            (
+                rng.gen_range(1..=num_persons as i64),
+                rng.gen_range(1..=num_persons as i64),
+            )
+        })
+        .collect()
+}
+
+/// Average end-to-end latency of `sql` over the given parameter pairs.
+pub fn measure_query(db: &Database, sql: &str, pairs: &[(i64, i64)]) -> Duration {
+    let stmt = db.prepare(sql).expect("benchmark query must parse");
+    let t0 = Instant::now();
+    for &(s, d) in pairs {
+        stmt.execute(db, &[Value::Int(s), Value::Int(d)])
+            .expect("benchmark query must execute");
+    }
+    t0.elapsed() / pairs.len().max(1) as u32
+}
+
+// ------------------------------------------------------------------ Table 1
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Scale factor.
+    pub sf: f64,
+    /// Generated vertex count.
+    pub vertices: u64,
+    /// Generated directed edge count.
+    pub edges: u64,
+    /// Generation + load time.
+    pub load_time: Duration,
+}
+
+/// Regenerate Table 1: the graph size per scale factor.
+pub fn run_table1(cfg: &BenchConfig) -> Vec<Table1Row> {
+    let mut rows = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        rows.push(Table1Row {
+            sf,
+            vertices: d.num_persons,
+            edges: d.num_edges,
+            load_time: d.load_time,
+        });
+    }
+    rows
+}
+
+/// Print Table 1 in the paper's format (×10³ counts).
+pub fn print_table1(rows: &[Table1Row]) {
+    println!("Table 1: Size of the graph at different scale factors");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.sf),
+                format!("{:.3}", r.vertices as f64 / 1e3),
+                format!("{:.0}", r.edges as f64 / 1e3),
+                fmt_duration(r.load_time),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Scale factor", "Vertices x10^3", "Edges x10^3", "datagen time"], &body)
+    );
+}
+
+// ---------------------------------------------------------------- Figure 1a
+
+/// One measurement of Figure 1a.
+#[derive(Debug, Clone)]
+pub struct Fig1aRow {
+    /// Scale factor.
+    pub sf: f64,
+    /// Dataset sizes (for context).
+    pub vertices: u64,
+    /// Directed edges.
+    pub edges: u64,
+    /// Average latency of Q13 (unweighted shortest path).
+    pub q13: Duration,
+    /// Average latency of the weighted Q14 variant.
+    pub q14: Duration,
+}
+
+/// Regenerate Figure 1a: average per-query latency of Q13 and the Q14
+/// variant across scale factors.
+pub fn run_fig1a(cfg: &BenchConfig) -> Vec<Fig1aRow> {
+    let mut rows = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        let pairs = sample_pairs(cfg.reps, d.num_persons, cfg.seed ^ 0xf16a);
+        // One warm-up each, outside the measurement (JIT-free but warms
+        // allocator and page cache).
+        measure_query(&d.db, queries::Q13, &pairs[..1.min(pairs.len())]);
+        let q13 = measure_query(&d.db, queries::Q13, &pairs);
+        let q14 = measure_query(&d.db, queries::Q14_VARIANT, &pairs);
+        rows.push(Fig1aRow { sf, vertices: d.num_persons, edges: d.num_edges, q13, q14 });
+    }
+    rows
+}
+
+/// Print Figure 1a as a table (the paper plots it on a log scale).
+pub fn print_fig1a(rows: &[Fig1aRow]) {
+    println!("Figure 1a: average latency per query (single pair per query)");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let ratio = r.q14.as_secs_f64() / r.q13.as_secs_f64().max(1e-12);
+            vec![
+                format!("{}", r.sf),
+                format!("{}", r.vertices),
+                format!("{}", r.edges),
+                fmt_duration(r.q13),
+                fmt_duration(r.q14),
+                format!("{ratio:.2}x"),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["SF", "|V|", "|E|", "Q13 unweighted", "Q14var weighted", "Q14/Q13"],
+            &body
+        )
+    );
+}
+
+// ---------------------------------------------------------------- Figure 1b
+
+/// One series point of Figure 1b.
+#[derive(Debug, Clone)]
+pub struct Fig1bPoint {
+    /// Scale factor of the series.
+    pub sf: f64,
+    /// Batch size (pairs per statement).
+    pub batch: usize,
+    /// Average latency **per pair**: statement latency / batch size.
+    pub per_pair: Duration,
+}
+
+/// The paper's batch-size sweep.
+pub const FIG1B_BATCH_SIZES: &[usize] = &[1, 2, 4, 8, 16, 32, 64, 128];
+
+/// Regenerate Figure 1b: Q13 executed with `batch` pairs per statement;
+/// reported time is statement latency divided by the batch size.
+pub fn run_fig1b(cfg: &BenchConfig, batch_sizes: &[usize]) -> Vec<Fig1bPoint> {
+    let mut points = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        for &batch in batch_sizes {
+            // Repeat the statement a few times and average; fewer reps for
+            // bigger batches keeps total work bounded.
+            let reps = (cfg.reps / batch).clamp(1, cfg.reps);
+            let mut total = Duration::ZERO;
+            for rep in 0..reps {
+                let pairs = sample_pairs(
+                    batch,
+                    d.num_persons,
+                    cfg.seed ^ (batch as u64) ^ ((rep as u64) << 32),
+                );
+                let sql = queries::batched_q13(&pairs);
+                let t0 = Instant::now();
+                d.db.query(&sql).expect("batched query must run");
+                total += t0.elapsed();
+            }
+            points.push(Fig1bPoint { sf, batch, per_pair: total / (reps * batch) as u32 });
+        }
+    }
+    points
+}
+
+/// Print Figure 1b as one series per scale factor.
+pub fn print_fig1b(points: &[Fig1bPoint], batch_sizes: &[usize]) {
+    println!("Figure 1b: latency per pair (statement latency / batch size)");
+    let mut sfs: Vec<f64> = points.iter().map(|p| p.sf).collect();
+    sfs.dedup();
+    let mut headers: Vec<String> = vec!["SF".to_string()];
+    headers.extend(batch_sizes.iter().map(|b| format!("batch {b}")));
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let body: Vec<Vec<String>> = sfs
+        .iter()
+        .map(|&sf| {
+            let mut row = vec![format!("{sf}")];
+            for &b in batch_sizes {
+                let p = points
+                    .iter()
+                    .find(|p| p.sf == sf && p.batch == b)
+                    .expect("every (sf, batch) point measured");
+                row.push(fmt_duration(p.per_pair));
+            }
+            row
+        })
+        .collect();
+    print!("{}", render_table(&header_refs, &body));
+}
+
+// ---------------------------------------------------------------- Ablations
+
+/// One row of the baseline ablation.
+#[derive(Debug, Clone)]
+pub struct AblationBaselineRow {
+    /// Scale factor.
+    pub sf: f64,
+    /// Native `REACHES`/`CHEAPEST SUM` operator.
+    pub native: Duration,
+    /// Semi-naive frontier-join (recursive CTE cost model).
+    pub seminaive: Duration,
+    /// Bounded self-join chain; `None` when it exceeded its row cap.
+    pub khop: Option<Duration>,
+}
+
+/// Compare the native operator against the §1 baselines on Q13.
+pub fn run_ablation_baselines(cfg: &BenchConfig) -> Vec<AblationBaselineRow> {
+    use gsql_core::baseline::{khop_join_distance, seminaive_distance};
+    let mut rows = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        let pairs = sample_pairs(cfg.reps.min(10), d.num_persons, cfg.seed ^ 0xab1a);
+        let native = measure_query(&d.db, queries::Q13, &pairs);
+
+        let edges = d.db.catalog().get("friends").expect("friends table loaded");
+        let t0 = Instant::now();
+        for &(s, dd) in &pairs {
+            seminaive_distance(&edges, 0, 1, &Value::Int(s), &Value::Int(dd))
+                .expect("baseline runs");
+        }
+        let seminaive = t0.elapsed() / pairs.len() as u32;
+
+        let t0 = Instant::now();
+        let mut khop_ok = true;
+        for &(s, dd) in &pairs {
+            // Depth 6 with a 50M-row cap: beyond that the chain-of-joins
+            // strategy has effectively failed.
+            if khop_join_distance(&edges, 0, 1, &Value::Int(s), &Value::Int(dd), 6, 50_000_000)
+                .is_err()
+            {
+                khop_ok = false;
+                break;
+            }
+        }
+        let khop = khop_ok.then(|| t0.elapsed() / pairs.len() as u32);
+        rows.push(AblationBaselineRow { sf, native, seminaive, khop });
+    }
+    rows
+}
+
+/// Print the baseline ablation.
+pub fn print_ablation_baselines(rows: &[AblationBaselineRow]) {
+    println!("Ablation 1: native graph operator vs customary SQL strategies (Q13)");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.sf),
+                fmt_duration(r.native),
+                fmt_duration(r.seminaive),
+                r.khop.map(fmt_duration).unwrap_or_else(|| "blew row cap".to_string()),
+                format!("{:.1}x", r.seminaive.as_secs_f64() / r.native.as_secs_f64().max(1e-12)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["SF", "native", "semi-naive (rec. CTE)", "6-hop join chain", "CTE/native"],
+            &body
+        )
+    );
+}
+
+/// One row of the graph-index ablation.
+#[derive(Debug, Clone)]
+pub struct AblationIndexRow {
+    /// Scale factor.
+    pub sf: f64,
+    /// Average Q13 latency without an index (CSR built per query).
+    pub without_index: Duration,
+    /// Average Q13 latency with `CREATE GRAPH INDEX` (cached CSR).
+    pub with_index: Duration,
+}
+
+/// Compare per-query graph construction against the §6 graph index.
+pub fn run_ablation_graph_index(cfg: &BenchConfig) -> Vec<AblationIndexRow> {
+    let mut rows = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        let pairs = sample_pairs(cfg.reps, d.num_persons, cfg.seed ^ 0x1dce);
+        let without_index = measure_query(&d.db, queries::Q13, &pairs);
+        d.db.execute("CREATE GRAPH INDEX friends_graph ON friends EDGE (src, dst)")
+            .expect("index creation");
+        // One warm-up query so one-time setup attributable to the index
+        // (e.g. the lazy reverse CSR used by bidirectional BFS) is built
+        // outside the measurement, like the index itself.
+        measure_query(&d.db, queries::Q13, &pairs[..1]);
+        let with_index = measure_query(&d.db, queries::Q13, &pairs);
+        rows.push(AblationIndexRow { sf, without_index, with_index });
+    }
+    rows
+}
+
+/// Print the graph-index ablation.
+pub fn print_ablation_graph_index(rows: &[AblationIndexRow]) {
+    println!("Ablation 2: per-query graph construction vs CREATE GRAPH INDEX (Q13)");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.sf),
+                fmt_duration(r.without_index),
+                fmt_duration(r.with_index),
+                format!(
+                    "{:.1}x",
+                    r.without_index.as_secs_f64() / r.with_index.as_secs_f64().max(1e-12)
+                ),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["SF", "no index", "graph index", "speedup"], &body));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny smoke test keeping the whole harness runnable under
+    /// `cargo test` (full runs happen through the binaries).
+    #[test]
+    fn harness_smoke() {
+        let cfg = BenchConfig { sfs: vec![0.01], reps: 3, seed: 1 };
+        let t1 = run_table1(&cfg);
+        assert_eq!(t1.len(), 1);
+        assert!(t1[0].vertices > 0 && t1[0].edges > 0);
+        let f1a = run_fig1a(&cfg);
+        assert_eq!(f1a.len(), 1);
+        assert!(f1a[0].q13 > Duration::ZERO);
+        let f1b = run_fig1b(&cfg, &[1, 4]);
+        assert_eq!(f1b.len(), 2);
+        let ab = run_ablation_baselines(&cfg);
+        assert!(ab[0].seminaive > Duration::ZERO);
+        let ai = run_ablation_graph_index(&cfg);
+        assert!(ai[0].with_index <= ai[0].without_index * 50);
+    }
+
+    #[test]
+    fn pair_sampling_is_deterministic_and_in_range() {
+        let a = sample_pairs(50, 100, 9);
+        let b = sample_pairs(50, 100, 9);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&(s, d)| (1..=100).contains(&s) && (1..=100).contains(&d)));
+    }
+}

@@ -1,0 +1,25 @@
+//! # gsql-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation (§4), plus the ablations listed in DESIGN.md.
+//!
+//! Binaries (all support `--sf a,b,c` and `--reps n`; defaults are sized
+//! for a small machine — pass the paper's scale factors explicitly to run
+//! the full sweep):
+//!
+//! * `table1` — graph sizes per scale factor (paper Table 1);
+//! * `fig1a` — average latency per query, Q13 vs the weighted Q14 variant
+//!   (paper Figure 1a);
+//! * `fig1b` — latency per pair at batch sizes 1…128 (paper Figure 1b);
+//! * `ablation_baselines` — native operator vs the §1 "customary" SQL
+//!   strategies;
+//! * `ablation_graph_index` — per-query graph construction vs the §6
+//!   graph index.
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+pub mod harness;
+pub mod queries;
+pub mod report;
+
+pub use harness::*;

@@ -1,0 +1,92 @@
+//! Plain-text reporting helpers (aligned tables, duration formatting).
+
+use std::time::Duration;
+
+/// Format a duration in engineering style (µs/ms/s), as the paper's
+/// log-scale plots suggest reading them.
+pub fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} µs", s * 1e6)
+    }
+}
+
+/// Render rows as an aligned text table with a header.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!("| {h:<w$} "));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("| {cell:<w$} "));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Parse `--flag value`-style arguments: returns the value after `flag`.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Parse a comma-separated float list (for `--sf 1,3,10`).
+pub fn parse_sf_list(s: &str) -> Vec<f64> {
+    s.split(',').filter_map(|t| t.trim().parse().ok()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.0 µs");
+    }
+
+    #[test]
+    fn tables_align() {
+        let t = render_table(
+            &["sf", "time"],
+            &[vec!["1".into(), "10 ms".into()], vec!["300".into(), "1 s".into()]],
+        );
+        assert!(t.contains("| sf  | time  |"));
+        assert!(t.contains("| 300 | 1 s   |"));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--sf", "1,3", "--reps", "10"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--sf").as_deref(), Some("1,3"));
+        assert_eq!(arg_value(&args, "--reps").as_deref(), Some("10"));
+        assert_eq!(arg_value(&args, "--nope"), None);
+        assert_eq!(parse_sf_list("1, 3,10"), vec![1.0, 3.0, 10.0]);
+    }
+}

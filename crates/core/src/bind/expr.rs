@@ -1,0 +1,387 @@
+//! Expression binding: AST expressions → [`BoundExpr`]s over a [`Scope`].
+
+use crate::bind::scope::Scope;
+use crate::error::{bind_err, Error};
+use crate::plan::expr::{AggFunc, BinaryOp, BoundExpr, ScalarFunc, UnaryOp};
+use gsql_parser::ast;
+use gsql_storage::{DataType, Date, Value};
+
+/// Result alias local to binding.
+type Result<T> = std::result::Result<T, Error>;
+
+/// A hook consulted before default binding of every AST node. Returning
+/// `Some` short-circuits (used by the aggregate-aware projection binder to
+/// map whole group-by expressions and aggregate calls to output columns).
+pub type BindHook<'h> = dyn FnMut(&ast::Expr) -> Option<Result<BoundExpr>> + 'h;
+
+/// Binds AST expressions against a scope.
+pub struct ExprBinder<'a> {
+    /// Visible columns.
+    pub scope: &'a Scope,
+}
+
+impl<'a> ExprBinder<'a> {
+    /// Create a binder over `scope`.
+    pub fn new(scope: &'a Scope) -> ExprBinder<'a> {
+        ExprBinder { scope }
+    }
+
+    /// Bind an expression. Aggregate function calls are rejected; the
+    /// SELECT binder routes them through its own hook.
+    pub fn bind(&self, e: &ast::Expr) -> Result<BoundExpr> {
+        self.bind_with(e, &mut |_| None)
+    }
+
+    /// Bind with a pre-binding hook (see [`BindHook`]).
+    pub fn bind_with(&self, e: &ast::Expr, hook: &mut BindHook<'_>) -> Result<BoundExpr> {
+        if let Some(result) = hook(e) {
+            return result;
+        }
+        match e {
+            ast::Expr::Literal(lit) => Ok(BoundExpr::Literal(bind_literal(lit)?)),
+            ast::Expr::Column { table, name } => {
+                let idx = self.scope.resolve(table.as_deref(), name)?;
+                let col = self.scope.column(idx);
+                Ok(BoundExpr::Column { index: idx, ty: col.ty })
+            }
+            ast::Expr::Param(i) => Ok(BoundExpr::Param(*i)),
+            ast::Expr::Unary { op, expr } => {
+                let inner = self.bind_with(expr, hook)?;
+                match op {
+                    ast::UnaryOp::Neg => {
+                        if let Some(t) = inner.data_type() {
+                            if !t.is_numeric() {
+                                return Err(bind_err!("cannot negate a value of type {t}"));
+                            }
+                        }
+                        Ok(BoundExpr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) })
+                    }
+                    ast::UnaryOp::Not => {
+                        check_boolish(&inner, "NOT")?;
+                        Ok(BoundExpr::Unary { op: UnaryOp::Not, expr: Box::new(inner) })
+                    }
+                }
+            }
+            ast::Expr::Binary { left, op, right } => {
+                let l = self.bind_with(left, hook)?;
+                let r = self.bind_with(right, hook)?;
+                self.bind_binary(l, *op, r)
+            }
+            ast::Expr::IsNull { expr, negated } => {
+                let inner = self.bind_with(expr, hook)?;
+                Ok(BoundExpr::IsNull { expr: Box::new(inner), negated: *negated })
+            }
+            ast::Expr::InList { expr, list, negated } => {
+                let inner = self.bind_with(expr, hook)?;
+                let bound: Vec<BoundExpr> = list
+                    .iter()
+                    .map(|item| {
+                        let b = self.bind_with(item, hook)?;
+                        check_comparable(&inner, &b, "IN")?;
+                        Ok(b)
+                    })
+                    .collect::<Result<_>>()?;
+                Ok(BoundExpr::InList { expr: Box::new(inner), list: bound, negated: *negated })
+            }
+            ast::Expr::Between { expr, low, high, negated } => {
+                let inner = self.bind_with(expr, hook)?;
+                let low = self.coerce_compare(self.bind_with(low, hook)?, &inner)?;
+                let high = self.coerce_compare(self.bind_with(high, hook)?, &inner)?;
+                check_comparable(&inner, &low, "BETWEEN")?;
+                check_comparable(&inner, &high, "BETWEEN")?;
+                Ok(BoundExpr::Between {
+                    expr: Box::new(inner),
+                    low: Box::new(low),
+                    high: Box::new(high),
+                    negated: *negated,
+                })
+            }
+            ast::Expr::Like { expr, pattern, negated } => {
+                let inner = self.bind_with(expr, hook)?;
+                let pat = self.bind_with(pattern, hook)?;
+                for (side, what) in [(&inner, "operand"), (&pat, "pattern")] {
+                    if let Some(t) = side.data_type() {
+                        if t != DataType::Varchar {
+                            return Err(bind_err!("LIKE {what} must be VARCHAR, found {t}"));
+                        }
+                    }
+                }
+                Ok(BoundExpr::Like {
+                    expr: Box::new(inner),
+                    pattern: Box::new(pat),
+                    negated: *negated,
+                })
+            }
+            ast::Expr::Case { operand, branches, else_expr } => {
+                let operand =
+                    operand.as_ref().map(|o| self.bind_with(o, hook)).transpose()?.map(Box::new);
+                let mut bound_branches = Vec::with_capacity(branches.len());
+                for (when, then) in branches {
+                    let w = self.bind_with(when, hook)?;
+                    if operand.is_none() {
+                        check_boolish(&w, "CASE WHEN")?;
+                    }
+                    let t = self.bind_with(then, hook)?;
+                    bound_branches.push((w, t));
+                }
+                let else_expr =
+                    else_expr.as_ref().map(|e| self.bind_with(e, hook)).transpose()?.map(Box::new);
+                Ok(BoundExpr::Case { operand, branches: bound_branches, else_expr })
+            }
+            ast::Expr::Cast { expr, ty } => {
+                let inner = self.bind_with(expr, hook)?;
+                Ok(BoundExpr::Cast { expr: Box::new(inner), ty: type_name_to_datatype(*ty) })
+            }
+            ast::Expr::Function { name, args, distinct } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(bind_err!(
+                        "aggregate function {name} is not allowed in this context"
+                    ));
+                }
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| bind_err!("unknown function '{name}'"))?;
+                if *distinct {
+                    return Err(bind_err!("DISTINCT is only valid in aggregate functions"));
+                }
+                let bound: Vec<BoundExpr> =
+                    args.iter().map(|a| self.bind_with(a, hook)).collect::<Result<_>>()?;
+                check_function_arity(func, bound.len())?;
+                Ok(BoundExpr::Func { func, args: bound })
+            }
+            ast::Expr::Reaches(_) => Err(bind_err!(
+                "REACHES is only allowed as a top-level conjunct of the WHERE clause"
+            )),
+        }
+    }
+
+    fn bind_binary(&self, l: BoundExpr, op: ast::BinaryOp, r: BoundExpr) -> Result<BoundExpr> {
+        use ast::BinaryOp as A;
+        let bop = match op {
+            A::Add => BinaryOp::Add,
+            A::Sub => BinaryOp::Sub,
+            A::Mul => BinaryOp::Mul,
+            A::Div => BinaryOp::Div,
+            A::Mod => BinaryOp::Mod,
+            A::Concat => BinaryOp::Concat,
+            A::Eq => BinaryOp::Eq,
+            A::NotEq => BinaryOp::NotEq,
+            A::Lt => BinaryOp::Lt,
+            A::LtEq => BinaryOp::LtEq,
+            A::Gt => BinaryOp::Gt,
+            A::GtEq => BinaryOp::GtEq,
+            A::And => BinaryOp::And,
+            A::Or => BinaryOp::Or,
+        };
+        match bop {
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                for side in [&l, &r] {
+                    if let Some(t) = side.data_type() {
+                        if !t.is_numeric() {
+                            return Err(bind_err!("arithmetic requires numeric operands, found {t}"));
+                        }
+                    }
+                }
+            }
+            BinaryOp::And | BinaryOp::Or => {
+                check_boolish(&l, "AND/OR")?;
+                check_boolish(&r, "AND/OR")?;
+            }
+            BinaryOp::Concat => {
+                for side in [&l, &r] {
+                    if side.data_type() == Some(DataType::Path) {
+                        return Err(bind_err!("cannot concatenate a PATH value"));
+                    }
+                }
+            }
+            BinaryOp::Eq
+            | BinaryOp::NotEq
+            | BinaryOp::Lt
+            | BinaryOp::LtEq
+            | BinaryOp::Gt
+            | BinaryOp::GtEq => {
+                // Comparisons: allow date/string-literal coercion both ways.
+                let l2 = self.coerce_compare(l, &r)?;
+                let r2 = self.coerce_compare(r, &l2)?;
+                check_comparable(&l2, &r2, "comparison")?;
+                return Ok(BoundExpr::Binary {
+                    left: Box::new(l2),
+                    op: bop,
+                    right: Box::new(r2),
+                });
+            }
+        }
+        Ok(BoundExpr::Binary { left: Box::new(l), op: bop, right: Box::new(r) })
+    }
+
+    /// If `expr` is a string literal and `other` has DATE type, parse the
+    /// literal into a date (so `creationDate < '2011-01-01'` works, as in
+    /// the paper's appendix A.3).
+    fn coerce_compare(&self, expr: BoundExpr, other: &BoundExpr) -> Result<BoundExpr> {
+        if other.data_type() == Some(DataType::Date) {
+            if let BoundExpr::Literal(Value::Str(s)) = &expr {
+                let date = Date::parse(s).map_err(Error::Storage)?;
+                return Ok(BoundExpr::Literal(Value::Date(date)));
+            }
+        }
+        Ok(expr)
+    }
+}
+
+/// Convert an AST literal to a [`Value`].
+pub fn bind_literal(lit: &ast::Literal) -> Result<Value> {
+    Ok(match lit {
+        ast::Literal::Null => Value::Null,
+        ast::Literal::Int(v) => Value::Int(*v),
+        ast::Literal::Float(v) => Value::Double(*v),
+        ast::Literal::String(s) => Value::Str(s.clone()),
+        ast::Literal::Bool(b) => Value::Bool(*b),
+        ast::Literal::Date(s) => Value::Date(Date::parse(s).map_err(Error::Storage)?),
+    })
+}
+
+/// Map an AST type name to a storage type.
+pub fn type_name_to_datatype(ty: ast::TypeName) -> DataType {
+    match ty {
+        ast::TypeName::Integer => DataType::Int,
+        ast::TypeName::Double => DataType::Double,
+        ast::TypeName::Varchar => DataType::Varchar,
+        ast::TypeName::Boolean => DataType::Bool,
+        ast::TypeName::Date => DataType::Date,
+    }
+}
+
+fn check_boolish(e: &BoundExpr, ctx: &str) -> Result<()> {
+    if let Some(t) = e.data_type() {
+        if t != DataType::Bool {
+            return Err(bind_err!("{ctx} requires a BOOLEAN operand, found {t}"));
+        }
+    }
+    Ok(())
+}
+
+fn check_comparable(l: &BoundExpr, r: &BoundExpr, ctx: &str) -> Result<()> {
+    match (l.data_type(), r.data_type()) {
+        (Some(a), Some(b)) => {
+            let ok = a == b
+                || (a.is_numeric() && b.is_numeric());
+            if !ok {
+                return Err(bind_err!("{ctx} between incompatible types {a} and {b}"));
+            }
+            if a == DataType::Path {
+                return Err(bind_err!("PATH values cannot be compared"));
+            }
+            Ok(())
+        }
+        _ => Ok(()), // unknown (param/NULL): checked at runtime
+    }
+}
+
+fn check_function_arity(func: ScalarFunc, n: usize) -> Result<()> {
+    let expected: std::ops::RangeInclusive<usize> = match func {
+        ScalarFunc::Upper
+        | ScalarFunc::Lower
+        | ScalarFunc::Length
+        | ScalarFunc::Abs
+        | ScalarFunc::Round
+        | ScalarFunc::Floor
+        | ScalarFunc::Ceil
+        | ScalarFunc::Sqrt => 1..=1,
+        ScalarFunc::Nullif => 2..=2,
+        ScalarFunc::Coalesce => 1..=usize::MAX,
+    };
+    if !expected.contains(&n) {
+        return Err(bind_err!("wrong number of arguments for {func:?}: {n}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PlanColumn, PlanSchema};
+    use gsql_parser::Parser;
+    use gsql_parser::Lexer;
+
+    fn scope() -> Scope {
+        Scope::new(PlanSchema::new(vec![
+            PlanColumn::new("id", DataType::Int).with_qualifier("t"),
+            PlanColumn::new("name", DataType::Varchar).with_qualifier("t"),
+            PlanColumn::new("born", DataType::Date).with_qualifier("t"),
+        ]))
+    }
+
+    fn bind(src: &str) -> Result<BoundExpr> {
+        let tokens = Lexer::new(src).tokenize().unwrap();
+        let mut p = Parser::new(tokens);
+        let e = p.parse_expr().unwrap();
+        let s = scope();
+        ExprBinder::new(&s).bind(&e)
+    }
+
+    #[test]
+    fn binds_column_refs() {
+        let b = bind("t.id + 1").unwrap();
+        assert_eq!(b.data_type(), Some(DataType::Int));
+        assert_eq!(b.referenced_columns(), vec![0]);
+    }
+
+    #[test]
+    fn rejects_unknown_column() {
+        assert!(bind("missing").is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_arithmetic() {
+        let err = bind("name + 1").unwrap_err();
+        assert!(err.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn rejects_incomparable_types() {
+        let err = bind("id = name").unwrap_err();
+        assert!(err.to_string().contains("incompatible"));
+    }
+
+    #[test]
+    fn coerces_date_string_comparison() {
+        let b = bind("born < '2011-01-01'").unwrap();
+        // The string literal became a date literal.
+        let mut saw_date = false;
+        b.visit(&mut |e| {
+            if let BoundExpr::Literal(Value::Date(_)) = e {
+                saw_date = true;
+            }
+        });
+        assert!(saw_date);
+    }
+
+    #[test]
+    fn rejects_bad_date_literal_in_comparison() {
+        assert!(bind("born < 'tomorrow'").is_err());
+    }
+
+    #[test]
+    fn rejects_aggregates_in_scalar_context() {
+        let err = bind("COUNT(id)").unwrap_err();
+        assert!(err.to_string().contains("aggregate"));
+    }
+
+    #[test]
+    fn binds_functions_with_arity_check() {
+        assert!(bind("UPPER(name)").is_ok());
+        assert!(bind("UPPER(name, name)").is_err());
+        assert!(bind("COALESCE(name, 'x')").is_ok());
+        assert!(bind("frobnicate(1)").is_err());
+    }
+
+    #[test]
+    fn division_yields_double() {
+        assert_eq!(bind("id / 2").unwrap().data_type(), Some(DataType::Double));
+    }
+
+    #[test]
+    fn params_bind_with_unknown_type() {
+        let b = bind("id = ?").unwrap();
+        assert_eq!(b.data_type(), Some(DataType::Bool));
+    }
+}

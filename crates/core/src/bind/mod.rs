@@ -1,0 +1,9 @@
+//! Semantic analysis: scopes, expression binding, statement binding.
+
+pub mod binder;
+pub mod expr;
+pub mod scope;
+
+pub use binder::Binder;
+pub use expr::ExprBinder;
+pub use scope::Scope;

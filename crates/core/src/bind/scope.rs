@@ -1,0 +1,136 @@
+//! Name-resolution scopes.
+
+use crate::error::{bind_err, Error};
+use crate::plan::{PlanColumn, PlanSchema};
+
+/// A name-resolution scope: the visible columns at some point during
+/// binding, in plan-output order.
+#[derive(Debug, Clone, Default)]
+pub struct Scope {
+    /// The columns, with their qualifiers.
+    pub schema: PlanSchema,
+}
+
+impl Scope {
+    /// Empty scope (e.g. `SELECT` without `FROM`).
+    pub fn empty() -> Scope {
+        Scope::default()
+    }
+
+    /// Scope over a plan schema.
+    pub fn new(schema: PlanSchema) -> Scope {
+        Scope { schema }
+    }
+
+    /// Number of visible columns.
+    pub fn len(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// True when no columns are visible.
+    pub fn is_empty(&self) -> bool {
+        self.schema.is_empty()
+    }
+
+    /// Resolve `qualifier.name` (or bare `name`) to a column ordinal.
+    ///
+    /// Matching is case-insensitive. Bare names that match columns in more
+    /// than one table are ambiguous — an error, as in standard SQL.
+    pub fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize, Error> {
+        let mut matches = self.schema.columns().iter().enumerate().filter(|(_, c)| {
+            c.name.eq_ignore_ascii_case(name)
+                && match qualifier {
+                    Some(q) => {
+                        c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))
+                    }
+                    None => true,
+                }
+        });
+        let first = matches.next();
+        let second = matches.next();
+        match (first, second) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => match qualifier {
+                Some(q) => Err(bind_err!("column reference '{q}.{name}' is ambiguous")),
+                None => Err(bind_err!("column reference '{name}' is ambiguous")),
+            },
+            (None, _) => match qualifier {
+                Some(q) => Err(bind_err!("no column '{q}.{name}' in scope")),
+                None => Err(bind_err!("no column '{name}' in scope")),
+            },
+        }
+    }
+
+    /// All column ordinals with the given qualifier (for `t.*`).
+    pub fn columns_of(&self, qualifier: &str) -> Vec<usize> {
+        self.schema
+            .columns()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.qualifier.as_deref().is_some_and(|q| q.eq_ignore_ascii_case(qualifier))
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Concatenate with another scope (join result shape).
+    pub fn concat(&self, other: &Scope) -> Scope {
+        Scope { schema: self.schema.concat(&other.schema) }
+    }
+
+    /// Column at ordinal `i`.
+    pub fn column(&self, i: usize) -> &PlanColumn {
+        self.schema.column(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::DataType;
+
+    fn scope() -> Scope {
+        Scope::new(PlanSchema::new(vec![
+            PlanColumn::new("id", DataType::Int).with_qualifier("p1"),
+            PlanColumn::new("name", DataType::Varchar).with_qualifier("p1"),
+            PlanColumn::new("id", DataType::Int).with_qualifier("p2"),
+        ]))
+    }
+
+    #[test]
+    fn qualified_resolution() {
+        let s = scope();
+        assert_eq!(s.resolve(Some("p1"), "id").unwrap(), 0);
+        assert_eq!(s.resolve(Some("p2"), "id").unwrap(), 2);
+        assert_eq!(s.resolve(Some("P1"), "ID").unwrap(), 0); // case-insensitive
+    }
+
+    #[test]
+    fn bare_name_unique_resolves() {
+        let s = scope();
+        assert_eq!(s.resolve(None, "name").unwrap(), 1);
+    }
+
+    #[test]
+    fn bare_name_ambiguous_errors() {
+        let s = scope();
+        let err = s.resolve(None, "id").unwrap_err();
+        assert!(err.to_string().contains("ambiguous"));
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let s = scope();
+        assert!(s.resolve(None, "nope").is_err());
+        assert!(s.resolve(Some("p3"), "id").is_err());
+    }
+
+    #[test]
+    fn qualified_wildcard() {
+        let s = scope();
+        assert_eq!(s.columns_of("p1"), vec![0, 1]);
+        assert_eq!(s.columns_of("p2"), vec![2]);
+        assert!(s.columns_of("zz").is_empty());
+    }
+}

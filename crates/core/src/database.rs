@@ -1,0 +1,408 @@
+//! The public database API.
+
+use crate::bind::binder::Binder;
+use crate::bind::expr::{type_name_to_datatype, ExprBinder};
+use crate::bind::scope::Scope;
+use crate::error::{bind_err, Error};
+use crate::exec::executor::Executor;
+use crate::exec::expression::{cast_value, eval};
+use crate::graph_index::GraphIndexRegistry;
+use crate::optimize::optimize;
+use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
+use gsql_parser::{ast, parse_sql, parse_statement};
+use gsql_storage::{Catalog, ColumnDef, DataType, Schema, Table, Value};
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// The result of executing one statement.
+#[derive(Debug, Clone)]
+pub enum QueryResult {
+    /// A result set (SELECT / EXPLAIN / DESCRIBE).
+    Table(Arc<Table>),
+    /// Rows affected by DML.
+    Affected(usize),
+    /// DDL succeeded.
+    Ok,
+}
+
+impl QueryResult {
+    /// Unwrap the result set; errors for DDL/DML results.
+    pub fn into_table(self) -> Result<Arc<Table>> {
+        match self {
+            QueryResult::Table(t) => Ok(t),
+            other => Err(bind_err!("statement did not produce a result set: {other:?}")),
+        }
+    }
+}
+
+/// A parsed statement ready for repeated execution with different `?`
+/// parameter values. Binding happens per execution (it is cheap relative
+/// to execution and keeps parameter typing flexible).
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    statement: ast::Statement,
+}
+
+impl PreparedStatement {
+    /// Execute against `db` with parameter values for each `?`, in textual
+    /// order.
+    pub fn execute(&self, db: &Database, params: &[Value]) -> Result<QueryResult> {
+        db.run_statement(&self.statement, params)
+    }
+}
+
+/// An in-memory SQL database with the paper's graph extensions.
+///
+/// ```
+/// use gsql_core::Database;
+/// use gsql_storage::Value;
+///
+/// let db = Database::new();
+/// db.execute("CREATE TABLE friends (src INTEGER, dst INTEGER)").unwrap();
+/// db.execute("INSERT INTO friends VALUES (1, 2), (2, 3)").unwrap();
+/// let result = db
+///     .query_with_params(
+///         "SELECT CHEAPEST SUM(1) AS d WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+///         &[Value::Int(1), Value::Int(3)],
+///     )
+///     .unwrap();
+/// assert_eq!(result.row(0)[0], Value::Int(2));
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+    indexes: GraphIndexRegistry,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The graph-index registry.
+    pub fn graph_indexes(&self) -> &GraphIndexRegistry {
+        &self.indexes
+    }
+
+    /// Execute a single statement without parameters.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Execute a single statement with `?` parameter values.
+    pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.run_statement(&statement, params)
+    }
+
+    /// Execute a semicolon-separated script, returning one result per
+    /// statement. Stops at the first error.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
+        let statements = parse_sql(sql)?;
+        let mut results = Vec::with_capacity(statements.len());
+        for s in &statements {
+            results.push(self.run_statement(s, &[])?);
+        }
+        Ok(results)
+    }
+
+    /// Run a query and return its result set.
+    pub fn query(&self, sql: &str) -> Result<Arc<Table>> {
+        self.execute(sql)?.into_table()
+    }
+
+    /// Run a query with parameters and return its result set.
+    pub fn query_with_params(&self, sql: &str, params: &[Value]) -> Result<Arc<Table>> {
+        self.execute_with_params(sql, params)?.into_table()
+    }
+
+    /// Parse a statement for repeated execution.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        Ok(PreparedStatement { statement: parse_statement(sql)? })
+    }
+
+    /// Bulk-load CSV (with a header row matching the table's columns) into
+    /// an existing table. Returns the number of rows inserted.
+    pub fn import_csv<R: std::io::BufRead>(&self, table: &str, input: R) -> Result<usize> {
+        let schema = self.catalog.get(table).map_err(Error::Storage)?.schema().clone();
+        let loaded = gsql_storage::csv::read_csv(schema, input).map_err(Error::Storage)?;
+        let n = loaded.row_count();
+        self.catalog
+            .update(table, |t| {
+                for row in loaded.rows() {
+                    t.append_row(row)?;
+                }
+                Ok(())
+            })
+            .map_err(Error::Storage)?;
+        Ok(n)
+    }
+
+    /// Export a query result as CSV text (header row included).
+    pub fn export_csv(&self, sql: &str) -> Result<String> {
+        let table = self.query(sql)?;
+        gsql_storage::csv::to_csv_string(&table).map_err(Error::Storage)
+    }
+
+    /// Parse, bind and optimize a query, returning its logical plan
+    /// (what `EXPLAIN` renders).
+    pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
+        match parse_statement(sql)? {
+            ast::Statement::Query(q) | ast::Statement::Explain(q) => {
+                let plan = Binder::new(&self.catalog).bind_query(&q)?;
+                Ok(optimize(plan))
+            }
+            _ => Err(bind_err!("plan() expects a query")),
+        }
+    }
+
+    fn run_statement(&self, statement: &ast::Statement, params: &[Value]) -> Result<QueryResult> {
+        match statement {
+            ast::Statement::Query(q) => {
+                let plan = Binder::new(&self.catalog).bind_query(q)?;
+                let plan = optimize(plan);
+                let table =
+                    Executor::new(&self.catalog, params, Some(&self.indexes)).execute(&plan)?;
+                Ok(QueryResult::Table(table))
+            }
+            ast::Statement::Explain(q) => {
+                let plan = Binder::new(&self.catalog).bind_query(q)?;
+                let plan = optimize(plan);
+                let mut t = Table::empty(Schema::new(vec![ColumnDef::not_null(
+                    "plan",
+                    DataType::Varchar,
+                )]));
+                for line in plan.explain().lines() {
+                    t.append_row(vec![Value::from(line)]).map_err(Error::Storage)?;
+                }
+                Ok(QueryResult::Table(Arc::new(t)))
+            }
+            ast::Statement::Describe { name } => {
+                let table = self.catalog.get(name).map_err(Error::Storage)?;
+                let mut t = Table::empty(Schema::new(vec![
+                    ColumnDef::not_null("column", DataType::Varchar),
+                    ColumnDef::not_null("type", DataType::Varchar),
+                    ColumnDef::not_null("nullable", DataType::Bool),
+                ]));
+                for def in table.schema().columns() {
+                    t.append_row(vec![
+                        Value::from(def.name.clone()),
+                        Value::from(def.ty.sql_name()),
+                        Value::Bool(def.nullable),
+                    ])
+                    .map_err(Error::Storage)?;
+                }
+                Ok(QueryResult::Table(Arc::new(t)))
+            }
+            ast::Statement::CreateTable { name, columns } => {
+                if columns.is_empty() {
+                    return Err(bind_err!("CREATE TABLE requires at least one column"));
+                }
+                let mut defs = Vec::with_capacity(columns.len());
+                for c in columns {
+                    defs.push(ColumnDef {
+                        name: c.name.clone(),
+                        ty: type_name_to_datatype(c.ty),
+                        nullable: !c.not_null,
+                    });
+                }
+                self.catalog.create_table(name, Schema::new(defs)).map_err(Error::Storage)?;
+                Ok(QueryResult::Ok)
+            }
+            ast::Statement::DropTable { name } => {
+                self.catalog.drop_table(name).map_err(Error::Storage)?;
+                self.indexes.drop_indexes_for_table(name);
+                Ok(QueryResult::Ok)
+            }
+            ast::Statement::Insert { table, columns, source } => {
+                self.run_insert(table, columns.as_deref(), source, params)
+            }
+            ast::Statement::Delete { table, filter } => {
+                self.run_delete(table, filter.as_ref(), params)
+            }
+            ast::Statement::Update { table, assignments, filter } => {
+                self.run_update(table, assignments, filter.as_ref(), params)
+            }
+            ast::Statement::CreateGraphIndex { name, table, src_col, dst_col } => {
+                self.indexes.create_index(&self.catalog, name, table, src_col, dst_col)?;
+                Ok(QueryResult::Ok)
+            }
+            ast::Statement::DropGraphIndex { name } => {
+                self.indexes.drop_index(name)?;
+                Ok(QueryResult::Ok)
+            }
+        }
+    }
+
+    fn run_insert(
+        &self,
+        table: &str,
+        columns: Option<&[String]>,
+        source: &ast::Query,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let target = self.catalog.get(table).map_err(Error::Storage)?;
+        let target_schema = target.schema().clone();
+        drop(target);
+
+        // Map source positions to target column ordinals.
+        let positions: Vec<usize> = match columns {
+            None => (0..target_schema.len()).collect(),
+            Some(cols) => {
+                let mut seen = std::collections::HashSet::new();
+                cols.iter()
+                    .map(|c| {
+                        let i = target_schema.index_of_ok(c).map_err(Error::Storage)?;
+                        if !seen.insert(i) {
+                            return Err(bind_err!("duplicate column '{c}' in INSERT"));
+                        }
+                        Ok(i)
+                    })
+                    .collect::<Result<_>>()?
+            }
+        };
+
+        let plan = Binder::new(&self.catalog).bind_query(source)?;
+        if plan.schema().len() != positions.len() {
+            return Err(bind_err!(
+                "INSERT has {} target columns but the source produces {}",
+                positions.len(),
+                plan.schema().len()
+            ));
+        }
+        let plan = optimize(plan);
+        let rows =
+            Executor::new(&self.catalog, params, Some(&self.indexes)).execute(&plan)?;
+
+        let inserted = rows.row_count();
+        self.catalog
+            .update(table, |t| {
+                for r in 0..rows.row_count() {
+                    let mut row = vec![Value::Null; target_schema.len()];
+                    for (src_pos, &tgt_pos) in positions.iter().enumerate() {
+                        let v = rows.column(src_pos).get(r);
+                        let def = target_schema.column(tgt_pos);
+                        row[tgt_pos] = coerce_for_storage(v, def.ty)?;
+                    }
+                    t.append_row(row)?;
+                }
+                Ok(())
+            })
+            .map_err(Error::Storage)?;
+        Ok(QueryResult::Affected(inserted))
+    }
+
+    fn run_delete(
+        &self,
+        table: &str,
+        filter: Option<&ast::Expr>,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let snapshot = self.catalog.get(table).map_err(Error::Storage)?;
+        let keep: Vec<bool> = match filter {
+            None => vec![false; snapshot.row_count()],
+            Some(f) => {
+                let scope = table_scope(table, snapshot.schema());
+                let bound = ExprBinder::new(&scope).bind(f)?;
+                let mut keep = Vec::with_capacity(snapshot.row_count());
+                for row in 0..snapshot.row_count() {
+                    let matched = eval(&bound, &snapshot, row, params)? == Value::Bool(true);
+                    keep.push(!matched);
+                }
+                keep
+            }
+        };
+        let deleted = keep.iter().filter(|&&k| !k).count();
+        if deleted > 0 {
+            self.catalog
+                .update(table, |t| {
+                    t.retain_rows(|i| keep[i]);
+                    Ok(())
+                })
+                .map_err(Error::Storage)?;
+        }
+        Ok(QueryResult::Affected(deleted))
+    }
+
+    fn run_update(
+        &self,
+        table: &str,
+        assignments: &[(String, ast::Expr)],
+        filter: Option<&ast::Expr>,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        let snapshot = self.catalog.get(table).map_err(Error::Storage)?;
+        let schema = snapshot.schema().clone();
+        let scope = table_scope(table, &schema);
+        let binder = ExprBinder::new(&scope);
+
+        let mut bound_assignments = Vec::with_capacity(assignments.len());
+        for (col, e) in assignments {
+            let idx = schema.index_of_ok(col).map_err(Error::Storage)?;
+            bound_assignments.push((idx, binder.bind(e)?));
+        }
+        let bound_filter = filter.map(|f| binder.bind(f)).transpose()?;
+
+        // Compute the new rows against the snapshot, then swap wholesale.
+        let mut updated = 0usize;
+        let mut new_table = Table::empty(schema.clone());
+        for row in 0..snapshot.row_count() {
+            let matched = match &bound_filter {
+                None => true,
+                Some(f) => eval(f, &snapshot, row, params)? == Value::Bool(true),
+            };
+            let mut values = snapshot.row(row);
+            if matched {
+                updated += 1;
+                for (idx, e) in &bound_assignments {
+                    let v = eval(e, &snapshot, row, params)?;
+                    values[*idx] = coerce_for_storage(v, schema.column(*idx).ty)?;
+                }
+            }
+            new_table.append_row(values).map_err(Error::Storage)?;
+        }
+        if updated > 0 {
+            self.catalog
+                .update(table, |t| {
+                    *t = new_table.clone();
+                    Ok(())
+                })
+                .map_err(Error::Storage)?;
+        }
+        Ok(QueryResult::Affected(updated))
+    }
+}
+
+/// Coerce a value for storage into a column of type `ty` (string→date and
+/// int→double conversions that SQL permits implicitly on INSERT/UPDATE).
+fn coerce_for_storage(v: Value, ty: DataType) -> std::result::Result<Value, gsql_storage::StorageError> {
+    match (&v, ty) {
+        (Value::Null, _) => Ok(v),
+        (Value::Str(_), DataType::Date) | (Value::Int(_), DataType::Double) => {
+            cast_value(v, ty).map_err(|e| gsql_storage::StorageError::Internal(e.to_string()))
+        }
+        _ => Ok(v),
+    }
+}
+
+/// The scope of a single base table (used by DML binding).
+fn table_scope(name: &str, schema: &Schema) -> Scope {
+    let mut plan_schema = PlanSchema::default();
+    for def in schema.columns() {
+        plan_schema.push(PlanColumn {
+            qualifier: Some(name.to_string()),
+            name: def.name.clone(),
+            ty: def.ty,
+            nullable: def.nullable,
+            nested: None,
+        });
+    }
+    Scope::new(plan_schema)
+}

@@ -1,0 +1,97 @@
+//! Unified error type for the query engine.
+
+use gsql_graph::GraphError;
+use gsql_parser::ParseError;
+use gsql_storage::StorageError;
+use std::fmt;
+
+/// Any error the engine can produce while processing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexing/parsing failed.
+    Parse(ParseError),
+    /// Storage-layer failure (catalog, types, constraints).
+    Storage(StorageError),
+    /// Graph-runtime failure (e.g. the non-positive-weight runtime
+    /// exception mandated by the paper).
+    Graph(GraphError),
+    /// Semantic analysis failed (unknown column, type mismatch, …).
+    Bind(String),
+    /// Runtime execution failed.
+    Exec(String),
+    /// The statement is syntactically valid but uses an unsupported feature.
+    Unsupported(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+            Error::Graph(e) => write!(f, "{e}"),
+            Error::Bind(msg) => write!(f, "bind error: {msg}"),
+            Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Parse(e) => Some(e),
+            Error::Storage(e) => Some(e),
+            Error::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Error {
+        Error::Parse(e)
+    }
+}
+
+impl From<StorageError> for Error {
+    fn from(e: StorageError) -> Error {
+        Error::Storage(e)
+    }
+}
+
+impl From<GraphError> for Error {
+    fn from(e: GraphError) -> Error {
+        Error::Graph(e)
+    }
+}
+
+/// Build a bind error with `format!` semantics.
+macro_rules! bind_err {
+    ($($arg:tt)*) => {
+        $crate::error::Error::Bind(format!($($arg)*))
+    };
+}
+pub(crate) use bind_err;
+
+/// Build an execution error with `format!` semantics.
+macro_rules! exec_err {
+    ($($arg:tt)*) => {
+        $crate::error::Error::Exec(format!($($arg)*))
+    };
+}
+pub(crate) use exec_err;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_errors() {
+        let e = Error::from(ParseError::new("boom", 1, 2));
+        assert!(e.to_string().contains("boom"));
+        let e = Error::Bind("no column x".into());
+        assert_eq!(e.to_string(), "bind error: no column x");
+        let e = bind_err!("no column {}", "y");
+        assert_eq!(e.to_string(), "bind error: no column y");
+    }
+}

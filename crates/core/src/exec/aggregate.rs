@@ -1,0 +1,317 @@
+//! Hash aggregation.
+
+use crate::error::{exec_err, Error};
+use crate::exec::expression::eval;
+use crate::plan::{AggCall, AggFunc, BoundExpr, PlanSchema};
+use gsql_storage::value::HashableValue;
+use gsql_storage::{Table, Value};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Running state of one aggregate within one group.
+#[derive(Debug)]
+enum AggState {
+    Count(i64),
+    SumInt(Option<i64>),
+    SumDouble(Option<f64>),
+    MinMax { current: Option<Value>, is_min: bool },
+    Avg { sum: f64, count: i64 },
+}
+
+impl AggState {
+    fn new(call: &AggCall) -> AggState {
+        match call.func {
+            AggFunc::CountStar | AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match call.out_ty {
+                gsql_storage::DataType::Double => AggState::SumDouble(None),
+                _ => AggState::SumInt(None),
+            },
+            AggFunc::Min => AggState::MinMax { current: None, is_min: true },
+            AggFunc::Max => AggState::MinMax { current: None, is_min: false },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) -> Result<()> {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) gets None (count every row); COUNT(x) counts
+                // non-NULL values.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::SumInt(acc) => {
+                if let Some(val) = v {
+                    if let Some(x) = val.as_int() {
+                        *acc = Some(acc.unwrap_or(0).checked_add(x).ok_or_else(|| {
+                            exec_err!("integer overflow in SUM")
+                        })?);
+                    } else if !val.is_null() {
+                        return Err(exec_err!("SUM over non-integer value {val}"));
+                    }
+                }
+            }
+            AggState::SumDouble(acc) => {
+                if let Some(val) = v {
+                    if let Some(x) = val.as_double() {
+                        *acc = Some(acc.unwrap_or(0.0) + x);
+                    } else if !val.is_null() {
+                        return Err(exec_err!("SUM over non-numeric value {val}"));
+                    }
+                }
+            }
+            AggState::MinMax { current, is_min } => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        let replace = match current {
+                            None => true,
+                            Some(cur) => {
+                                let cmp = val.total_cmp(cur);
+                                if *is_min {
+                                    cmp == std::cmp::Ordering::Less
+                                } else {
+                                    cmp == std::cmp::Ordering::Greater
+                                }
+                            }
+                        };
+                        if replace {
+                            *current = Some(val.clone());
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(val) = v {
+                    if let Some(x) = val.as_double() {
+                        *sum += x;
+                        *count += 1;
+                    } else if !val.is_null() {
+                        return Err(exec_err!("AVG over non-numeric value {val}"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n),
+            AggState::SumInt(acc) => acc.map(Value::Int).unwrap_or(Value::Null),
+            AggState::SumDouble(acc) => acc.map(Value::Double).unwrap_or(Value::Null),
+            AggState::MinMax { current, .. } => current.unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// One group's accumulators plus DISTINCT bookkeeping.
+struct GroupState {
+    keys: Vec<Value>,
+    states: Vec<AggState>,
+    distinct_seen: Vec<Option<HashSet<HashableValue>>>,
+}
+
+/// Execute hash aggregation.
+pub fn execute_aggregate(
+    input: &Table,
+    group: &[BoundExpr],
+    aggs: &[AggCall],
+    schema: &PlanSchema,
+    params: &[Value],
+) -> Result<Arc<Table>> {
+    let mut groups: HashMap<Vec<HashableValue>, GroupState> = HashMap::new();
+    let mut order: Vec<Vec<HashableValue>> = Vec::new(); // first-seen group order
+
+    for row in 0..input.row_count() {
+        let mut key_vals = Vec::with_capacity(group.len());
+        for g in group {
+            key_vals.push(eval(g, input, row, params)?);
+        }
+        let key: Vec<HashableValue> =
+            key_vals.iter().cloned().map(HashableValue).collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key.clone());
+            GroupState {
+                keys: key_vals,
+                states: aggs.iter().map(AggState::new).collect(),
+                distinct_seen: aggs
+                    .iter()
+                    .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                    .collect(),
+            }
+        });
+        for (i, call) in aggs.iter().enumerate() {
+            let arg = match &call.arg {
+                Some(e) => Some(eval(e, input, row, params)?),
+                None => None,
+            };
+            if let (Some(seen), Some(v)) = (&mut entry.distinct_seen[i], &arg) {
+                if v.is_null() || !seen.insert(HashableValue(v.clone())) {
+                    continue; // duplicate (or NULL) under DISTINCT
+                }
+            }
+            entry.states[i].update(arg.as_ref())?;
+        }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if group.is_empty() && groups.is_empty() {
+        let key: Vec<HashableValue> = Vec::new();
+        order.push(key.clone());
+        groups.insert(
+            key,
+            GroupState {
+                keys: Vec::new(),
+                states: aggs.iter().map(AggState::new).collect(),
+                distinct_seen: vec![None; aggs.len()],
+            },
+        );
+    }
+
+    let mut out = Table::empty(schema.to_storage_schema());
+    for key in order {
+        let state = groups.remove(&key).expect("group recorded");
+        let mut row = state.keys;
+        for s in state.states {
+            row.push(s.finish());
+        }
+        out.append_row(row).map_err(Error::Storage)?;
+    }
+    Ok(Arc::new(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanColumn;
+    use gsql_storage::{ColumnDef, DataType, Schema};
+
+    fn input() -> Table {
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::new("g", DataType::Varchar),
+            ColumnDef::new("x", DataType::Int),
+        ]));
+        for (g, x) in [("a", 1), ("b", 10), ("a", 2), ("b", 20), ("a", 2)] {
+            t.append_row(vec![Value::from(g), Value::Int(x)]).unwrap();
+        }
+        // A row with NULLs in both columns.
+        t.append_row(vec![Value::Null, Value::Null]).unwrap();
+        t
+    }
+
+    fn col(i: usize, ty: DataType) -> BoundExpr {
+        BoundExpr::Column { index: i, ty }
+    }
+
+    fn run(group: &[BoundExpr], aggs: &[AggCall], names: &[(&str, DataType)]) -> Table {
+        let t = input();
+        let mut schema = PlanSchema::default();
+        for (n, ty) in names {
+            schema.push(PlanColumn::new(*n, *ty));
+        }
+        Arc::try_unwrap(execute_aggregate(&t, group, aggs, &schema, &[]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grouped_count_and_sum() {
+        let out = run(
+            &[col(0, DataType::Varchar)],
+            &[
+                AggCall { func: AggFunc::CountStar, arg: None, distinct: false, out_ty: DataType::Int },
+                AggCall {
+                    func: AggFunc::Sum,
+                    arg: Some(col(1, DataType::Int)),
+                    distinct: false,
+                    out_ty: DataType::Int,
+                },
+            ],
+            &[("g", DataType::Varchar), ("n", DataType::Int), ("s", DataType::Int)],
+        );
+        assert_eq!(out.row_count(), 3); // a, b, NULL group
+        // First-seen order: a, b, NULL.
+        assert_eq!(out.row(0), vec![Value::from("a"), Value::Int(3), Value::Int(5)]);
+        assert_eq!(out.row(1), vec![Value::from("b"), Value::Int(2), Value::Int(30)]);
+        assert!(out.row(2)[0].is_null());
+        assert_eq!(out.row(2)[1], Value::Int(1)); // COUNT(*) counts the row
+        assert!(out.row(2)[2].is_null()); // SUM of no non-null values
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let t = Table::empty(Schema::new(vec![ColumnDef::new("x", DataType::Int)]));
+        let mut schema = PlanSchema::default();
+        schema.push(PlanColumn::new("n", DataType::Int));
+        schema.push(PlanColumn::new("m", DataType::Int));
+        let aggs = [
+            AggCall { func: AggFunc::CountStar, arg: None, distinct: false, out_ty: DataType::Int },
+            AggCall {
+                func: AggFunc::Max,
+                arg: Some(col(0, DataType::Int)),
+                distinct: false,
+                out_ty: DataType::Int,
+            },
+        ];
+        let out = execute_aggregate(&t, &[], &aggs, &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert_eq!(out.row(0)[0], Value::Int(0));
+        assert!(out.row(0)[1].is_null());
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let out = run(
+            &[],
+            &[
+                AggCall {
+                    func: AggFunc::Min,
+                    arg: Some(col(1, DataType::Int)),
+                    distinct: false,
+                    out_ty: DataType::Int,
+                },
+                AggCall {
+                    func: AggFunc::Max,
+                    arg: Some(col(1, DataType::Int)),
+                    distinct: false,
+                    out_ty: DataType::Int,
+                },
+                AggCall {
+                    func: AggFunc::Avg,
+                    arg: Some(col(1, DataType::Int)),
+                    distinct: false,
+                    out_ty: DataType::Double,
+                },
+            ],
+            &[("mn", DataType::Int), ("mx", DataType::Int), ("av", DataType::Double)],
+        );
+        assert_eq!(out.row(0)[0], Value::Int(1));
+        assert_eq!(out.row(0)[1], Value::Int(20));
+        assert_eq!(out.row(0)[2], Value::Double(7.0)); // (1+10+2+20+2)/5
+    }
+
+    #[test]
+    fn count_distinct() {
+        let out = run(
+            &[],
+            &[AggCall {
+                func: AggFunc::Count,
+                arg: Some(col(1, DataType::Int)),
+                distinct: true,
+                out_ty: DataType::Int,
+            }],
+            &[("n", DataType::Int)],
+        );
+        assert_eq!(out.row(0)[0], Value::Int(4)); // {1, 2, 10, 20}
+    }
+}

@@ -1,0 +1,191 @@
+//! The plan executor.
+//!
+//! Fully materializing, column-at-a-time — the MonetDB execution model the
+//! paper's prototype lives in. Each operator consumes `Arc<Table>` snapshots
+//! and produces a new materialized table; `Arc` keeps base-table scans and
+//! path row-references zero-copy.
+
+use crate::error::{exec_err, Error};
+use crate::exec::expression::{eval, eval_const, eval_filter_indices, eval_to_column};
+use crate::exec::{aggregate, graph_op, join, unnest};
+use crate::graph_index::GraphIndexRegistry;
+use crate::plan::{BoundExpr, LogicalPlan, SortKey};
+use gsql_storage::{Catalog, Column, Table, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Executes logical plans against a catalog.
+pub struct Executor<'a> {
+    /// The catalog to scan base tables from.
+    pub catalog: &'a Catalog,
+    /// Host parameter values for `?` placeholders.
+    pub params: &'a [Value],
+    /// Graph indices (paper §6 future work); `None` disables index use.
+    pub indexes: Option<&'a GraphIndexRegistry>,
+}
+
+impl<'a> Executor<'a> {
+    /// Create an executor.
+    pub fn new(
+        catalog: &'a Catalog,
+        params: &'a [Value],
+        indexes: Option<&'a GraphIndexRegistry>,
+    ) -> Executor<'a> {
+        Executor { catalog, params, indexes }
+    }
+
+    /// Execute a plan to a materialized table.
+    pub fn execute(&self, plan: &LogicalPlan) -> Result<Arc<Table>> {
+        match plan {
+            LogicalPlan::SingleRow => {
+                let mut t = Table::empty(gsql_storage::Schema::default());
+                t.append_row(Vec::new()).map_err(Error::Storage)?;
+                Ok(Arc::new(t))
+            }
+            LogicalPlan::Scan { table, .. } => {
+                self.catalog.get(table).map_err(Error::Storage)
+            }
+            LogicalPlan::Values { rows, schema } => {
+                let mut t = Table::empty(schema.to_storage_schema());
+                for row in rows {
+                    let values: Vec<Value> = row
+                        .iter()
+                        .map(|e| eval_const(e, self.params))
+                        .collect::<Result<_>>()?;
+                    t.append_row(values).map_err(Error::Storage)?;
+                }
+                Ok(Arc::new(t))
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                let t = self.execute(input)?;
+                let keep = eval_filter_indices(predicate, &t, self.params)?;
+                if keep.len() == t.row_count() {
+                    return Ok(t); // nothing filtered: reuse the snapshot
+                }
+                Ok(Arc::new(t.take(&keep)))
+            }
+            LogicalPlan::Project { input, exprs, schema } => {
+                let t = self.execute(input)?;
+                let storage_schema = schema.to_storage_schema();
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (e, def) in exprs.iter().zip(storage_schema.columns()) {
+                    columns.push(eval_to_column(e, &t, self.params, def.ty)?);
+                }
+                Table::from_columns(storage_schema, columns)
+                    .map(Arc::new)
+                    .map_err(Error::Storage)
+            }
+            LogicalPlan::Join { left, right, kind, on, schema } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                join::execute_join(&l, &r, *kind, on.as_ref(), schema, self.params)
+            }
+            LogicalPlan::GraphSelect { .. } | LogicalPlan::GraphJoin { .. } => {
+                graph_op::execute(self, plan)
+            }
+            LogicalPlan::Aggregate { input, group, aggs, schema } => {
+                let t = self.execute(input)?;
+                aggregate::execute_aggregate(&t, group, aggs, schema, self.params)
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let t = self.execute(input)?;
+                Ok(Arc::new(sort_table(&t, keys, self.params)?))
+            }
+            LogicalPlan::Limit { input, limit, offset } => {
+                let t = self.execute(input)?;
+                let n = t.row_count();
+                let start = (*offset).min(n);
+                let end = match limit {
+                    Some(l) => (start + l).min(n),
+                    None => n,
+                };
+                let indices: Vec<usize> = (start..end).collect();
+                Ok(Arc::new(t.take(&indices)))
+            }
+            LogicalPlan::Distinct { input } => {
+                let t = self.execute(input)?;
+                Ok(Arc::new(distinct_table(&t)?))
+            }
+            LogicalPlan::Union { left, right, all } => {
+                let l = self.execute(left)?;
+                let r = self.execute(right)?;
+                debug_assert!(*all, "binder wraps UNION (distinct) in a Distinct node");
+                union_tables(&l, &r)
+            }
+            LogicalPlan::Unnest { input, path_col, with_ordinality, preserve_empty, schema } => {
+                let t = self.execute(input)?;
+                unnest::execute_unnest(
+                    &t,
+                    *path_col,
+                    *with_ordinality,
+                    *preserve_empty,
+                    schema,
+                )
+            }
+        }
+    }
+}
+
+/// Sort a table by the given keys (stable; NULLs first, as in
+/// [`Value::total_cmp`]).
+pub fn sort_table(table: &Table, keys: &[SortKey], params: &[Value]) -> Result<Table> {
+    // Evaluate all key columns once (column-at-a-time), then argsort.
+    let mut key_cols: Vec<(Column, bool)> = Vec::with_capacity(keys.len());
+    for k in keys {
+        let ty = k.expr.data_type().unwrap_or(gsql_storage::DataType::Varchar);
+        key_cols.push((eval_to_column(&k.expr, table, params, ty)?, k.asc));
+    }
+    let mut order: Vec<usize> = (0..table.row_count()).collect();
+    order.sort_by(|&a, &b| {
+        for (col, asc) in &key_cols {
+            let cmp = col.get(a).total_cmp(&col.get(b));
+            if cmp != std::cmp::Ordering::Equal {
+                return if *asc { cmp } else { cmp.reverse() };
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    Ok(table.take(&order))
+}
+
+/// Remove duplicate rows (first occurrence wins, order preserved).
+pub fn distinct_table(table: &Table) -> Result<Table> {
+    use gsql_storage::value::HashableValue;
+    let mut seen: HashSet<Vec<HashableValue>> = HashSet::new();
+    let mut keep = Vec::new();
+    for i in 0..table.row_count() {
+        let key: Vec<HashableValue> = table.row(i).into_iter().map(HashableValue).collect();
+        if seen.insert(key) {
+            keep.push(i);
+        }
+    }
+    Ok(table.take(&keep))
+}
+
+/// Concatenate two tables (types already unified by the binder, modulo
+/// Int→Double widening handled by `Column::push`).
+pub fn union_tables(l: &Table, r: &Table) -> Result<Arc<Table>> {
+    if l.schema().len() != r.schema().len() {
+        return Err(exec_err!("UNION arity mismatch"));
+    }
+    let mut out = Table::empty(l.schema().clone());
+    for row in l.rows() {
+        out.append_row(row).map_err(Error::Storage)?;
+    }
+    for row in r.rows() {
+        out.append_row(row).map_err(Error::Storage)?;
+    }
+    Ok(Arc::new(out))
+}
+
+/// Evaluate one projected row (used by DML paths).
+pub fn eval_row_exprs(
+    exprs: &[BoundExpr],
+    table: &Table,
+    row: usize,
+    params: &[Value],
+) -> Result<Vec<Value>> {
+    exprs.iter().map(|e| eval(e, table, row, params)).collect()
+}

@@ -1,0 +1,532 @@
+//! Execution of the paper's graph operators.
+//!
+//! This is the engine-side counterpart of §3.1/§3.2:
+//!
+//! 1. the edge table expression is materialized;
+//! 2. the vertex set `V = S ∪ D` is derived and every vertex value is
+//!    translated into the dense domain `H = {0, …, |V|−1}`;
+//! 3. a CSR is built over `H` (counting sort + prefix sum);
+//! 4. the `X`/`Y` values are mapped into `H` — values that are not vertices
+//!    are filtered out ("the values from X and Y are then joined with V,
+//!    performing an initial filtering");
+//! 5. the external library (gsql-graph) computes reachability and the
+//!    requested shortest paths, batching all pairs with the same source
+//!    into one traversal;
+//! 6. the result set is materialized back: surviving input rows, one cost
+//!    column per `CHEAPEST SUM`, and path columns holding row references
+//!    into the edge snapshot (§3.3).
+
+use crate::error::{exec_err, Error};
+use crate::exec::executor::Executor;
+use crate::exec::expression::{eval_const, eval_to_column};
+use crate::plan::{BoundExpr, CheapestSpec, LogicalPlan, PlanSchema};
+use gsql_graph::batch::CostValue;
+use gsql_graph::{BatchComputer, Csr, GraphError, PairResult, WeightSpec};
+use gsql_storage::value::HashableValue;
+use gsql_storage::{Column, ColumnBuilder, DataType, PathValue, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// A graph materialized from an edge table: the snapshot (for path row
+/// references), the CSR, and the value→dense-id dictionary.
+///
+/// This is also what a `CREATE GRAPH INDEX` caches (paper §6 future work):
+/// "these indices will store the full graph, ready to be used when a query
+/// matches the edge table that generated the graph".
+#[derive(Debug)]
+pub struct MaterializedGraph {
+    /// Edge-table snapshot. Rows with NULL endpoints are excluded, so CSR
+    /// edge-row ids index this table directly.
+    pub edges: Arc<Table>,
+    /// The CSR over dense vertex ids.
+    pub csr: Csr,
+    /// Vertex value → dense id.
+    pub dict: HashMap<HashableValue, u32>,
+    /// Ordinal of the source key column in `edges`.
+    pub src_key: usize,
+    /// Ordinal of the destination key column in `edges`.
+    pub dst_key: usize,
+    /// Lazily built reverse CSR, used by the bidirectional-BFS fast path
+    /// for indexed single-pair unweighted queries. Building it costs as
+    /// much as the forward CSR, so it is only materialized for graphs that
+    /// outlive one query (graph indices).
+    reverse: std::sync::OnceLock<Csr>,
+}
+
+impl MaterializedGraph {
+    /// Map a vertex value to its dense id, if it is a vertex of the graph.
+    pub fn lookup(&self, v: &Value) -> Option<u32> {
+        if v.is_null() {
+            return None;
+        }
+        self.dict.get(&HashableValue(v.clone())).copied()
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.csr.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+
+    /// The reverse CSR, built on first use and cached for the graph's
+    /// lifetime.
+    pub fn reverse(&self) -> &Csr {
+        self.reverse.get_or_init(|| gsql_graph::reverse_csr(&self.csr))
+    }
+}
+
+/// Build a [`MaterializedGraph`] from a materialized edge table.
+///
+/// This is the construction cost that the paper's evaluation shows
+/// dominating single-pair query latency (§4) and that batching (Fig. 1b)
+/// and graph indices (§6) amortize.
+pub fn build_graph(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Result<MaterializedGraph> {
+    // Exclude edges with NULL endpoints so the snapshot's row ids equal the
+    // CSR's edge-row ids.
+    let src_col = edges.column(src_key);
+    let dst_col = edges.column(dst_key);
+    let has_nulls = src_col.null_count() > 0 || dst_col.null_count() > 0;
+    let edges = if has_nulls {
+        let keep: Vec<usize> = (0..edges.row_count())
+            .filter(|&i| !src_col.is_null(i) && !dst_col.is_null(i))
+            .collect();
+        Arc::new(edges.take(&keep))
+    } else {
+        edges
+    };
+
+    let src_col = edges.column(src_key);
+    let dst_col = edges.column(dst_key);
+    let n_rows = edges.row_count();
+
+    // Vertex dictionary over S ∪ D, assigning dense ids in first-seen order.
+    let mut dict: HashMap<HashableValue, u32> = HashMap::new();
+    let mut src_ids = Vec::with_capacity(n_rows);
+    let mut dst_ids = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let s = src_col.get(i);
+        let d = dst_col.get(i);
+        let next = dict.len() as u32;
+        let sid = *dict.entry(HashableValue(s)).or_insert(next);
+        let next = dict.len() as u32;
+        let did = *dict.entry(HashableValue(d)).or_insert(next);
+        src_ids.push(sid);
+        dst_ids.push(did);
+    }
+    let csr = Csr::from_edges(dict.len() as u32, &src_ids, &dst_ids).map_err(Error::Graph)?;
+    Ok(MaterializedGraph {
+        edges,
+        csr,
+        dict,
+        src_key,
+        dst_key,
+        reverse: std::sync::OnceLock::new(),
+    })
+}
+
+/// How one `CHEAPEST SUM` spec is actually executed.
+enum SpecRun {
+    /// Constant weight: run BFS and scale the hop count. `CHEAPEST SUM(1)`
+    /// is the paper's unweighted shortest path.
+    Hops {
+        /// The constant weight (validated > 0).
+        scale: Value,
+    },
+    /// Per-edge weights.
+    Weighted(WeightSpec),
+}
+
+/// Build the execution form of a weight spec over the edge snapshot.
+fn prepare_spec(
+    spec: &CheapestSpec,
+    edges: &Table,
+    params: &[Value],
+) -> Result<SpecRun> {
+    if spec.weight.is_constant() {
+        let v = eval_const(&spec.weight, params)?;
+        let positive = match &v {
+            Value::Int(x) => *x > 0,
+            Value::Double(x) => *x > 0.0 && x.is_finite(),
+            _ => false,
+        };
+        if !positive {
+            return Err(Error::Graph(GraphError::NonPositiveWeight {
+                edge_row: 0,
+                weight: v.to_string(),
+            }));
+        }
+        return Ok(SpecRun::Hops { scale: v });
+    }
+    let col = eval_to_column(&spec.weight, edges, params, spec.weight_ty)?;
+    match &col {
+        Column::Int(vals, validity) => {
+            if let Some(row) = (0..vals.len()).find(|&i| !validity.get(i)) {
+                return Err(Error::Graph(GraphError::NullWeight { edge_row: row as u32 }));
+            }
+            Ok(SpecRun::Weighted(WeightSpec::Int(vals.clone())))
+        }
+        Column::Double(vals, validity) => {
+            if let Some(row) = (0..vals.len()).find(|&i| !validity.get(i)) {
+                return Err(Error::Graph(GraphError::NullWeight { edge_row: row as u32 }));
+            }
+            Ok(SpecRun::Weighted(WeightSpec::Float(vals.clone())))
+        }
+        other => Err(exec_err!(
+            "CHEAPEST SUM weight must be numeric, found {}",
+            other.data_type()
+        )),
+    }
+}
+
+/// Per-spec results for a batch of pairs.
+struct SpecResults {
+    results: Vec<PairResult>,
+    scale: Option<Value>,
+    want_path: bool,
+    cost_ty: DataType,
+}
+
+impl SpecResults {
+    fn cost_of(&self, pair_idx: usize) -> Result<Value> {
+        let r = &self.results[pair_idx];
+        let raw = r.cost.ok_or_else(|| exec_err!("cost requested for unreachable pair"))?;
+        let v = match (&self.scale, raw) {
+            (None, CostValue::Int(c)) => Value::Int(c),
+            (None, CostValue::Float(c)) => Value::Double(c),
+            (Some(Value::Int(k)), CostValue::Int(hops)) => Value::Int(
+                hops.checked_mul(*k).ok_or_else(|| exec_err!("cost overflow"))?,
+            ),
+            (Some(Value::Double(k)), CostValue::Int(hops)) => Value::Double(hops as f64 * k),
+            (Some(s), c) => {
+                return Err(exec_err!("inconsistent scale {s} for cost {c:?}"));
+            }
+        };
+        // Respect the declared cost type (e.g. `CHEAPEST SUM(1.5)` is
+        // Double even though hops are integers).
+        match (self.cost_ty, v) {
+            (DataType::Double, Value::Int(x)) => Ok(Value::Double(x as f64)),
+            (_, v) => Ok(v),
+        }
+    }
+
+    fn path_of(&self, pair_idx: usize, edges: &Arc<Table>) -> Result<Value> {
+        let r = &self.results[pair_idx];
+        let rows = r
+            .path
+            .clone()
+            .ok_or_else(|| exec_err!("path requested but not computed"))?;
+        Ok(Value::Path(PathValue { edges: Arc::clone(edges), rows }))
+    }
+}
+
+/// Run all specs (or a plain reachability probe) over a pair batch.
+///
+/// `from_index` marks graphs that outlive the query (graph indices); those
+/// may use the bidirectional-BFS fast path for single-pair unweighted
+/// requests, amortizing the reverse-CSR construction across queries.
+fn run_specs(
+    graph: &MaterializedGraph,
+    pairs: &[(u32, u32)],
+    specs: &[CheapestSpec],
+    params: &[Value],
+    from_index: bool,
+) -> Result<(Vec<bool>, Vec<SpecResults>)> {
+    let computer = BatchComputer::new(&graph.csr);
+    let bidir_eligible = from_index && pairs.len() == 1;
+    if specs.is_empty() {
+        if bidir_eligible {
+            let (s, d) = pairs[0];
+            let hit = gsql_graph::bidirectional_bfs(&graph.csr, graph.reverse(), s, d);
+            return Ok((vec![hit.is_some()], Vec::new()));
+        }
+        // Reachability only: BFS, paths discarded (paper §3.2).
+        let results = computer
+            .compute(pairs, &WeightSpec::Unweighted, false)
+            .map_err(Error::Graph)?;
+        let reachable = results.iter().map(|r| r.reachable).collect();
+        return Ok((reachable, Vec::new()));
+    }
+    let mut all = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let run = prepare_spec(spec, &graph.edges, params)?;
+        let (weight_spec, scale) = match run {
+            SpecRun::Hops { scale } => (WeightSpec::Unweighted, Some(scale)),
+            SpecRun::Weighted(w) => (w, None),
+        };
+        let results = if bidir_eligible && matches!(weight_spec, WeightSpec::Unweighted) {
+            let (s, d) = pairs[0];
+            vec![match gsql_graph::bidirectional_bfs(&graph.csr, graph.reverse(), s, d) {
+                Some(hit) => PairResult {
+                    reachable: true,
+                    cost: Some(CostValue::Int(hit.dist as i64)),
+                    path: spec.want_path.then_some(hit.path),
+                },
+                None => PairResult { reachable: false, cost: None, path: None },
+            }]
+        } else {
+            computer.compute(pairs, &weight_spec, spec.want_path).map_err(Error::Graph)?
+        };
+        all.push(SpecResults {
+            results,
+            scale,
+            want_path: spec.want_path,
+            cost_ty: spec.weight_ty,
+        });
+    }
+    // Reachability is weight-independent (all weights finite and positive),
+    // so the first spec's flags select the surviving rows.
+    let reachable = all[0].results.iter().map(|r| r.reachable).collect();
+    Ok((reachable, all))
+}
+
+/// Execute a `GraphSelect` or `GraphJoin` node.
+pub fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
+    match plan {
+        LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => {
+            execute_graph_select(
+                ex, input, edge, *src_key, *dst_key, source, dest, specs, schema,
+            )
+        }
+        LogicalPlan::GraphJoin {
+            left, right, edge, src_key, dst_key, source, dest, specs, schema,
+        } => execute_graph_join(
+            ex, left, right, edge, *src_key, *dst_key, source, dest, specs, schema,
+        ),
+        other => Err(exec_err!("graph_op::execute on non-graph node {other:?}")),
+    }
+}
+
+/// Obtain the graph for an edge plan — from a matching, fresh graph index
+/// when one exists, otherwise by building it now.
+fn obtain_graph(
+    ex: &Executor<'_>,
+    edge: &LogicalPlan,
+    src_key: usize,
+    dst_key: usize,
+) -> Result<(Arc<MaterializedGraph>, bool)> {
+    if let (LogicalPlan::Scan { table, schema }, Some(registry)) = (edge, ex.indexes) {
+        let src_name = &schema.column(src_key).name;
+        let dst_name = &schema.column(dst_key).name;
+        if let Some(graph) =
+            registry.lookup(ex.catalog, table, src_name, dst_name, src_key, dst_key)?
+        {
+            return Ok((graph, true));
+        }
+    }
+    let edges = ex.execute(edge)?;
+    Ok((Arc::new(build_graph(edges, src_key, dst_key)?), false))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_graph_select(
+    ex: &Executor<'_>,
+    input: &LogicalPlan,
+    edge: &LogicalPlan,
+    src_key: usize,
+    dst_key: usize,
+    source: &BoundExpr,
+    dest: &BoundExpr,
+    specs: &[CheapestSpec],
+    schema: &PlanSchema,
+) -> Result<Arc<Table>> {
+    let input_table = ex.execute(input)?;
+    let (graph, from_index) = obtain_graph(ex, edge, src_key, dst_key)?;
+    let key_ty = graph.edges.schema().column(src_key).ty;
+
+    // Map X/Y into the dense domain; drop rows whose endpoints are not
+    // vertices (the "initial filtering" of §3.1).
+    let x_col = eval_to_column(source, &input_table, ex.params, key_ty)?;
+    let y_col = eval_to_column(dest, &input_table, ex.params, key_ty)?;
+    let mut candidates: Vec<usize> = Vec::new();
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for row in 0..input_table.row_count() {
+        let (Some(sid), Some(did)) =
+            (graph.lookup(&x_col.get(row)), graph.lookup(&y_col.get(row)))
+        else {
+            continue;
+        };
+        candidates.push(row);
+        pairs.push((sid, did));
+    }
+
+    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.params, from_index)?;
+
+    let kept: Vec<usize> = (0..pairs.len()).filter(|&i| reachable[i]).collect();
+    let kept_input_rows: Vec<usize> = kept.iter().map(|&i| candidates[i]).collect();
+
+    let mut columns: Vec<Column> = input_table
+        .columns()
+        .iter()
+        .map(|c| c.take(&kept_input_rows))
+        .collect();
+    append_spec_columns(&mut columns, &spec_results, &kept, &graph.edges)?;
+    Table::from_columns(schema.to_storage_schema(), columns)
+        .map(Arc::new)
+        .map_err(Error::Storage)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_graph_join(
+    ex: &Executor<'_>,
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    edge: &LogicalPlan,
+    src_key: usize,
+    dst_key: usize,
+    source: &BoundExpr,
+    dest: &BoundExpr,
+    specs: &[CheapestSpec],
+    schema: &PlanSchema,
+) -> Result<Arc<Table>> {
+    let left_table = ex.execute(left)?;
+    let right_table = ex.execute(right)?;
+    let (graph, from_index) = obtain_graph(ex, edge, src_key, dst_key)?;
+    let key_ty = graph.edges.schema().column(src_key).ty;
+
+    let x_col = eval_to_column(source, &left_table, ex.params, key_ty)?;
+    let y_col = eval_to_column(dest, &right_table, ex.params, key_ty)?;
+
+    // Distinct vertex ids on each side, with their row lists.
+    let mut left_ids: Vec<(usize, u32)> = Vec::new();
+    for row in 0..left_table.row_count() {
+        if let Some(sid) = graph.lookup(&x_col.get(row)) {
+            left_ids.push((row, sid));
+        }
+    }
+    let mut right_ids: Vec<(usize, u32)> = Vec::new();
+    for row in 0..right_table.row_count() {
+        if let Some(did) = graph.lookup(&y_col.get(row)) {
+            right_ids.push((row, did));
+        }
+    }
+    let mut distinct_src: Vec<u32> = left_ids.iter().map(|&(_, s)| s).collect();
+    distinct_src.sort_unstable();
+    distinct_src.dedup();
+    let mut distinct_dst: Vec<u32> = right_ids.iter().map(|&(_, d)| d).collect();
+    distinct_dst.sort_unstable();
+    distinct_dst.dedup();
+
+    // One traversal per distinct source over all distinct destinations.
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(distinct_src.len() * distinct_dst.len());
+    for &s in &distinct_src {
+        for &d in &distinct_dst {
+            pairs.push((s, d));
+        }
+    }
+    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.params, from_index)?;
+    let pair_index: HashMap<(u32, u32), usize> =
+        pairs.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
+
+    // Emit matching (left row, right row) pairs.
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<usize> = Vec::new();
+    let mut kept_pairs: Vec<usize> = Vec::new();
+    for &(li, sid) in &left_ids {
+        for &(ri, did) in &right_ids {
+            let pi = pair_index[&(sid, did)];
+            if reachable[pi] {
+                left_rows.push(li);
+                right_rows.push(ri);
+                kept_pairs.push(pi);
+            }
+        }
+    }
+
+    let mut columns: Vec<Column> =
+        left_table.columns().iter().map(|c| c.take(&left_rows)).collect();
+    columns.extend(right_table.columns().iter().map(|c| c.take(&right_rows)));
+    append_spec_columns(&mut columns, &spec_results, &kept_pairs, &graph.edges)?;
+    Table::from_columns(schema.to_storage_schema(), columns)
+        .map(Arc::new)
+        .map_err(Error::Storage)
+}
+
+/// Append the cost (and path) columns for every spec.
+fn append_spec_columns(
+    columns: &mut Vec<Column>,
+    spec_results: &[SpecResults],
+    kept_pairs: &[usize],
+    edges: &Arc<Table>,
+) -> Result<()> {
+    for sr in spec_results {
+        let cost_ty = sr.cost_ty;
+        let mut cost_builder = ColumnBuilder::new(cost_ty);
+        for &pi in kept_pairs {
+            cost_builder.push(sr.cost_of(pi)?).map_err(Error::Storage)?;
+        }
+        columns.push(cost_builder.finish());
+        if sr.want_path {
+            let mut path_builder = ColumnBuilder::new(DataType::Path);
+            for &pi in kept_pairs {
+                path_builder.push(sr.path_of(pi, edges)?).map_err(Error::Storage)?;
+            }
+            columns.push(path_builder.finish());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::{ColumnDef, Schema};
+
+    fn edge_table() -> Arc<Table> {
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::new("src", DataType::Int),
+            ColumnDef::new("dst", DataType::Int),
+            ColumnDef::new("w", DataType::Int),
+        ]));
+        // 10 -> 20 -> 30, plus 10 -> 30 expensive direct edge
+        for (s, d, w) in [(10, 20, 1), (20, 30, 1), (10, 30, 5)] {
+            t.append_row(vec![Value::Int(s), Value::Int(d), Value::Int(w)]).unwrap();
+        }
+        t
+            .append_row(vec![Value::Null, Value::Int(99), Value::Int(1)])
+            .unwrap(); // NULL endpoint: must be dropped
+        Arc::new(t)
+    }
+
+    #[test]
+    fn build_graph_maps_values_and_drops_null_edges() {
+        let g = build_graph(edge_table(), 0, 1).unwrap();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_vertices(), 3); // 10, 20, 30 (99 row dropped)
+        assert!(g.lookup(&Value::Int(10)).is_some());
+        assert!(g.lookup(&Value::Int(99)).is_none());
+        assert!(g.lookup(&Value::Null).is_none());
+        // Snapshot excludes the NULL row so row ids line up with the CSR.
+        assert_eq!(g.edges.row_count(), 3);
+    }
+
+    #[test]
+    fn dictionary_round_trips_through_csr() {
+        let g = build_graph(edge_table(), 0, 1).unwrap();
+        let s10 = g.lookup(&Value::Int(10)).unwrap();
+        let s30 = g.lookup(&Value::Int(30)).unwrap();
+        let computer = BatchComputer::new(&g.csr);
+        let r = computer
+            .shortest_path(s10, s30, &WeightSpec::Unweighted)
+            .unwrap();
+        assert!(r.reachable);
+        assert_eq!(r.cost.unwrap().as_f64(), 1.0); // direct hop 10->30
+    }
+
+    #[test]
+    fn weighted_cheapest_avoids_expensive_edge() {
+        let g = build_graph(edge_table(), 0, 1).unwrap();
+        let s10 = g.lookup(&Value::Int(10)).unwrap();
+        let s30 = g.lookup(&Value::Int(30)).unwrap();
+        let weights: Vec<i64> = vec![1, 1, 5];
+        let computer = BatchComputer::new(&g.csr);
+        let r = computer.shortest_path(s10, s30, &WeightSpec::Int(weights)).unwrap();
+        assert_eq!(r.cost.unwrap().as_f64(), 2.0); // via 20
+        assert_eq!(r.path.unwrap(), vec![0, 1]); // snapshot row ids
+    }
+}

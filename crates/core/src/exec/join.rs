@@ -1,0 +1,369 @@
+//! Join execution: hash join for equi-conditions, nested loop otherwise.
+
+use crate::error::{exec_err, Error};
+use crate::exec::expression::{eval, eval_row, PairRow};
+use crate::plan::{BinaryOp, BoundExpr, JoinKind, PlanSchema};
+use gsql_storage::value::HashableValue;
+use gsql_storage::{Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Execute a join between two materialized inputs.
+pub fn execute_join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on: Option<&BoundExpr>,
+    schema: &PlanSchema,
+    params: &[Value],
+) -> Result<Arc<Table>> {
+    let n_left = left.schema().len();
+    let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
+
+    match on {
+        None => {
+            // Cross product.
+            if kind != JoinKind::Cross {
+                return Err(exec_err!("non-cross join without a condition"));
+            }
+            for i in 0..left.row_count() {
+                for j in 0..right.row_count() {
+                    pairs.push((i, Some(j)));
+                }
+            }
+        }
+        Some(cond) => {
+            let (equi, residual) = split_equi_keys(cond, n_left);
+            if equi.is_empty() {
+                nested_loop(left, right, kind, cond, n_left, params, &mut pairs)?;
+            } else {
+                hash_join(left, right, kind, &equi, residual.as_ref(), n_left, params, &mut pairs)?;
+            }
+        }
+    }
+
+    materialize_pairs(left, right, &pairs, schema)
+}
+
+/// Decompose `cond` into equi-key pairs `(left_expr, right_expr)` — where
+/// one side references only left columns and the other only right columns —
+/// plus a residual predicate of the remaining conjuncts.
+fn split_equi_keys(
+    cond: &BoundExpr,
+    n_left: usize,
+) -> (Vec<(BoundExpr, BoundExpr)>, Option<BoundExpr>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(cond, &mut conjuncts);
+    let mut equi = Vec::new();
+    let mut residual: Option<BoundExpr> = None;
+    for c in conjuncts {
+        if let BoundExpr::Binary { left, op: BinaryOp::Eq, right } = &c {
+            let l_side = side_of(left, n_left);
+            let r_side = side_of(right, n_left);
+            match (l_side, r_side) {
+                (Side::Left, Side::Right) => {
+                    // Rebase the right expression onto right-table ordinals.
+                    equi.push(((**left).clone(), rebase(right, n_left)));
+                    continue;
+                }
+                (Side::Right, Side::Left) => {
+                    equi.push(((**right).clone(), rebase(left, n_left)));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        residual = Some(match residual {
+            None => c,
+            Some(r) => BoundExpr::Binary {
+                left: Box::new(r),
+                op: BinaryOp::And,
+                right: Box::new(c),
+            },
+        });
+    }
+    (equi, residual)
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum Side {
+    Left,
+    Right,
+    Both,
+    Neither,
+}
+
+fn side_of(e: &BoundExpr, n_left: usize) -> Side {
+    let cols = e.referenced_columns();
+    let has_left = cols.iter().any(|&c| c < n_left);
+    let has_right = cols.iter().any(|&c| c >= n_left);
+    match (has_left, has_right) {
+        (true, true) => Side::Both,
+        (true, false) => Side::Left,
+        (false, true) => Side::Right,
+        (false, false) => Side::Neither,
+    }
+}
+
+fn rebase(e: &BoundExpr, n_left: usize) -> BoundExpr {
+    e.remap_columns(&|i| i - n_left)
+}
+
+fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
+    if let BoundExpr::Binary { left, op: BinaryOp::And, right } = e {
+        flatten_and(left, out);
+        flatten_and(right, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    equi: &[(BoundExpr, BoundExpr)],
+    residual: Option<&BoundExpr>,
+    n_left: usize,
+    params: &[Value],
+    pairs: &mut Vec<(usize, Option<usize>)>,
+) -> Result<()> {
+    // Build on the right input.
+    let mut ht: HashMap<Vec<HashableValue>, Vec<usize>> = HashMap::new();
+    'rows: for j in 0..right.row_count() {
+        let mut key = Vec::with_capacity(equi.len());
+        for (_, rk) in equi {
+            let v = eval(rk, right, j, params)?;
+            if v.is_null() {
+                continue 'rows; // NULL keys never match
+            }
+            key.push(HashableValue(v));
+        }
+        ht.entry(key).or_default().push(j);
+    }
+    for i in 0..left.row_count() {
+        let mut key = Vec::with_capacity(equi.len());
+        let mut null_key = false;
+        for (lk, _) in equi {
+            let v = eval(lk, left, i, params)?;
+            if v.is_null() {
+                null_key = true;
+                break;
+            }
+            key.push(HashableValue(v));
+        }
+        let mut matched = false;
+        if !null_key {
+            if let Some(candidates) = ht.get(&key) {
+                for &j in candidates {
+                    let ok = match residual {
+                        None => true,
+                        Some(res) => {
+                            let ctx = PairRow {
+                                left,
+                                left_row: i,
+                                right,
+                                right_row: Some(j),
+                                n_left,
+                            };
+                            eval_row(res, &ctx, params)? == Value::Bool(true)
+                        }
+                    };
+                    if ok {
+                        matched = true;
+                        pairs.push((i, Some(j)));
+                    }
+                }
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            pairs.push((i, None));
+        }
+    }
+    Ok(())
+}
+
+fn nested_loop(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    cond: &BoundExpr,
+    n_left: usize,
+    params: &[Value],
+    pairs: &mut Vec<(usize, Option<usize>)>,
+) -> Result<()> {
+    for i in 0..left.row_count() {
+        let mut matched = false;
+        for j in 0..right.row_count() {
+            let ctx = PairRow { left, left_row: i, right, right_row: Some(j), n_left };
+            if eval_row(cond, &ctx, params)? == Value::Bool(true) {
+                matched = true;
+                pairs.push((i, Some(j)));
+            }
+        }
+        if !matched && kind == JoinKind::LeftOuter {
+            pairs.push((i, None));
+        }
+    }
+    Ok(())
+}
+
+/// Materialize the joined pairs into an output table.
+fn materialize_pairs(
+    left: &Table,
+    right: &Table,
+    pairs: &[(usize, Option<usize>)],
+    schema: &PlanSchema,
+) -> Result<Arc<Table>> {
+    let left_idx: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
+    let mut columns = Vec::with_capacity(schema.len());
+    for c in left.columns() {
+        columns.push(c.take(&left_idx));
+    }
+    // The right side may contain NULL extensions; gather cell-wise.
+    let storage = schema.to_storage_schema();
+    for (ci, def) in storage.columns().iter().enumerate().skip(left.schema().len()) {
+        let rci = ci - left.schema().len();
+        let mut b = gsql_storage::ColumnBuilder::new(def.ty);
+        for &(_, j) in pairs {
+            let v = match j {
+                Some(j) => right.column(rci).get(j),
+                None => Value::Null,
+            };
+            b.push(v).map_err(Error::Storage)?;
+        }
+        columns.push(b.finish());
+    }
+    // The plan schema may declare left columns nullable (outer-join shapes);
+    // the storage schema of the output follows the plan.
+    Table::from_columns(storage, columns).map(Arc::new).map_err(Error::Storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanColumn;
+    use gsql_storage::{ColumnDef, DataType, Schema};
+
+    fn table(name_prefix: &str, rows: &[(i64, &str)]) -> Table {
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::not_null(format!("{name_prefix}_id"), DataType::Int),
+            ColumnDef::new(format!("{name_prefix}_v"), DataType::Varchar),
+        ]));
+        for (id, v) in rows {
+            t.append_row(vec![Value::Int(*id), Value::from(*v)]).unwrap();
+        }
+        t
+    }
+
+    fn out_schema(l: &Table, r: &Table) -> PlanSchema {
+        let mut s = PlanSchema::default();
+        for c in l.schema().columns().iter().chain(r.schema().columns()) {
+            s.push(PlanColumn::new(c.name.clone(), c.ty));
+        }
+        s
+    }
+
+    fn eq_cond(li: usize, ri: usize) -> BoundExpr {
+        BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column { index: li, ty: DataType::Int }),
+            op: BinaryOp::Eq,
+            right: Box::new(BoundExpr::Column { index: ri, ty: DataType::Int }),
+        }
+    }
+
+    #[test]
+    fn inner_hash_join_matches() {
+        let l = table("l", &[(1, "a"), (2, "b"), (3, "c")]);
+        let r = table("r", &[(2, "x"), (3, "y"), (3, "z"), (4, "w")]);
+        let schema = out_schema(&l, &r);
+        let out =
+            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 2)), &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 3); // 2-x, 3-y, 3-z
+    }
+
+    #[test]
+    fn left_outer_join_null_extends() {
+        let l = table("l", &[(1, "a"), (2, "b")]);
+        let r = table("r", &[(2, "x")]);
+        let mut schema = PlanSchema::default();
+        for c in l.schema().columns() {
+            schema.push(PlanColumn::new(c.name.clone(), c.ty));
+        }
+        for c in r.schema().columns() {
+            let mut pc = PlanColumn::new(c.name.clone(), c.ty);
+            pc.nullable = true;
+            schema.push(pc);
+        }
+        let out =
+            execute_join(&l, &r, JoinKind::LeftOuter, Some(&eq_cond(0, 2)), &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 2);
+        // Row for id=1 has NULLs on the right.
+        let row = out.row(0);
+        assert_eq!(row[0], Value::Int(1));
+        assert!(row[2].is_null());
+        assert!(row[3].is_null());
+    }
+
+    #[test]
+    fn cross_join_product() {
+        let l = table("l", &[(1, "a"), (2, "b")]);
+        let r = table("r", &[(10, "x"), (20, "y"), (30, "z")]);
+        let schema = out_schema(&l, &r);
+        let out = execute_join(&l, &r, JoinKind::Cross, None, &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 6);
+    }
+
+    #[test]
+    fn nested_loop_for_inequality() {
+        let l = table("l", &[(1, "a"), (5, "b")]);
+        let r = table("r", &[(2, "x"), (4, "y")]);
+        let schema = out_schema(&l, &r);
+        let cond = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column { index: 0, ty: DataType::Int }),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Column { index: 2, ty: DataType::Int }),
+        };
+        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 2); // 1<2, 1<4
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let mut l = Table::empty(Schema::new(vec![ColumnDef::new("a", DataType::Int)]));
+        l.append_row(vec![Value::Null]).unwrap();
+        l.append_row(vec![Value::Int(1)]).unwrap();
+        let mut r = Table::empty(Schema::new(vec![ColumnDef::new("b", DataType::Int)]));
+        r.append_row(vec![Value::Null]).unwrap();
+        r.append_row(vec![Value::Int(1)]).unwrap();
+        let mut schema = PlanSchema::default();
+        schema.push(PlanColumn::new("a", DataType::Int));
+        schema.push(PlanColumn::new("b", DataType::Int));
+        let out =
+            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 1)), &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 1); // only 1 = 1
+    }
+
+    #[test]
+    fn equi_key_with_residual() {
+        let l = table("l", &[(1, "keep"), (1, "drop")]);
+        let r = table("r", &[(1, "x")]);
+        let schema = out_schema(&l, &r);
+        // l_id = r_id AND l_v = 'keep'
+        let cond = BoundExpr::Binary {
+            left: Box::new(eq_cond(0, 2)),
+            op: BinaryOp::And,
+            right: Box::new(BoundExpr::Binary {
+                left: Box::new(BoundExpr::Column { index: 1, ty: DataType::Varchar }),
+                op: BinaryOp::Eq,
+                right: Box::new(BoundExpr::Literal(Value::from("keep"))),
+            }),
+        };
+        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[]).unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert_eq!(out.row(0)[1], Value::from("keep"));
+    }
+}

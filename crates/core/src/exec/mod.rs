@@ -1,0 +1,11 @@
+//! Physical execution: fully materialized, column-at-a-time operators.
+
+pub mod aggregate;
+pub mod executor;
+pub mod expression;
+pub mod graph_op;
+pub mod join;
+pub mod unnest;
+
+pub use executor::Executor;
+pub use graph_op::{build_graph, MaterializedGraph};

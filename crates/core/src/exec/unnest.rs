@@ -1,0 +1,191 @@
+//! `UNNEST`: flattening nested-table path columns into rows.
+//!
+//! The nested table is a list of row references into the edge-table snapshot
+//! (paper §3.3); "the UNNEST operator merely materializes the contained rows
+//! according to these references".
+
+use crate::error::{exec_err, Error};
+use crate::plan::PlanSchema;
+use gsql_storage::{ColumnBuilder, Table, Value};
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Execute an Unnest node: for each input row, expand the path column at
+/// `path_col` into one output row per referenced edge.
+pub fn execute_unnest(
+    input: &Table,
+    path_col: usize,
+    with_ordinality: bool,
+    preserve_empty: bool,
+    schema: &PlanSchema,
+) -> Result<Arc<Table>> {
+    let n_input = input.schema().len();
+    let storage = schema.to_storage_schema();
+    let n_out = storage.len();
+    let n_nested = n_out - n_input - usize::from(with_ordinality);
+
+    // (input_row, Option<(edges table, edge row)>, ordinality)
+    let mut input_indices: Vec<usize> = Vec::new();
+    let mut builders: Vec<ColumnBuilder> = storage
+        .columns()
+        .iter()
+        .skip(n_input)
+        .map(|def| ColumnBuilder::new(def.ty))
+        .collect();
+
+    let path_column = input.column(path_col);
+    for row in 0..input.row_count() {
+        let value = path_column.get(row);
+        let path = match &value {
+            Value::Path(p) => Some(p),
+            Value::Null => None,
+            other => {
+                return Err(exec_err!("UNNEST expects a PATH value, found {other}"));
+            }
+        };
+        let rows: &[u32] = path.map(|p| p.rows.as_slice()).unwrap_or(&[]);
+        if rows.is_empty() {
+            if preserve_empty {
+                // Left-outer lateral join: keep the row, NULL-extend.
+                input_indices.push(row);
+                for b in builders.iter_mut() {
+                    b.push(Value::Null).map_err(Error::Storage)?;
+                }
+            }
+            continue;
+        }
+        let p = path.expect("non-empty path");
+        for (ord, &edge_row) in rows.iter().enumerate() {
+            input_indices.push(row);
+            let edge_row = edge_row as usize;
+            if edge_row >= p.edges.row_count() {
+                return Err(exec_err!(
+                    "path references edge row {edge_row} beyond the snapshot ({} rows)",
+                    p.edges.row_count()
+                ));
+            }
+            if p.edges.schema().len() != n_nested {
+                return Err(exec_err!(
+                    "path snapshot has {} columns, plan expects {n_nested}",
+                    p.edges.schema().len()
+                ));
+            }
+            for (ci, b) in builders.iter_mut().take(n_nested).enumerate() {
+                b.push(p.edges.column(ci).get(edge_row)).map_err(Error::Storage)?;
+            }
+            if with_ordinality {
+                builders[n_nested]
+                    .push(Value::Int(ord as i64 + 1))
+                    .map_err(Error::Storage)?;
+            }
+        }
+    }
+
+    // Assemble: gathered input columns ++ expanded nested columns.
+    let mut columns = Vec::with_capacity(n_out);
+    for c in input.columns() {
+        columns.push(c.take(&input_indices));
+    }
+    for b in builders {
+        columns.push(b.finish());
+    }
+    Table::from_columns(storage, columns).map(Arc::new).map_err(Error::Storage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::PlanColumn;
+    use gsql_storage::{ColumnDef, DataType, PathValue, Schema};
+
+    /// Build an edge snapshot with rows (s, d): (0,1), (1,2), (2,3).
+    fn edges() -> Arc<Table> {
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::not_null("s", DataType::Int),
+            ColumnDef::not_null("d", DataType::Int),
+        ]));
+        for (s, d) in [(0, 1), (1, 2), (2, 3)] {
+            t.append_row(vec![Value::Int(s), Value::Int(d)]).unwrap();
+        }
+        Arc::new(t)
+    }
+
+    /// An input table: (name VARCHAR, path PATH).
+    fn input(paths: Vec<Option<Vec<u32>>>) -> Table {
+        let e = edges();
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::new("name", DataType::Varchar),
+            ColumnDef::new("path", DataType::Path),
+        ]));
+        for (i, p) in paths.into_iter().enumerate() {
+            let pv = match p {
+                Some(rows) => Value::Path(PathValue { edges: Arc::clone(&e), rows }),
+                None => Value::Null,
+            };
+            t.append_row(vec![Value::from(format!("r{i}")), pv]).unwrap();
+        }
+        t
+    }
+
+    fn out_schema(with_ordinality: bool) -> PlanSchema {
+        let mut s = PlanSchema::default();
+        s.push(PlanColumn::new("name", DataType::Varchar));
+        s.push(PlanColumn::new("path", DataType::Path));
+        s.push(PlanColumn::new("s", DataType::Int));
+        s.push(PlanColumn::new("d", DataType::Int));
+        if with_ordinality {
+            s.push(PlanColumn::new("ordinality", DataType::Int));
+        }
+        s
+    }
+
+    #[test]
+    fn expands_each_edge() {
+        let t = input(vec![Some(vec![0, 1]), Some(vec![2])]);
+        let out = execute_unnest(&t, 1, false, false, &out_schema(false)).unwrap();
+        assert_eq!(out.row_count(), 3);
+        assert_eq!(out.row(0)[0], Value::from("r0"));
+        assert_eq!(out.row(0)[2], Value::Int(0)); // s of edge row 0
+        assert_eq!(out.row(1)[3], Value::Int(2)); // d of edge row 1
+        assert_eq!(out.row(2)[2], Value::Int(2)); // s of edge row 2
+    }
+
+    #[test]
+    fn empty_paths_dropped_by_default() {
+        // Matches the paper's appendix: "the first row (Mahinda Perera) is
+        // discarded as its path is empty".
+        let t = input(vec![Some(vec![]), Some(vec![0])]);
+        let out = execute_unnest(&t, 1, false, false, &out_schema(false)).unwrap();
+        assert_eq!(out.row_count(), 1);
+        assert_eq!(out.row(0)[0], Value::from("r1"));
+    }
+
+    #[test]
+    fn empty_paths_preserved_with_left_outer() {
+        let t = input(vec![Some(vec![]), Some(vec![0])]);
+        let out = execute_unnest(&t, 1, false, true, &out_schema(false)).unwrap();
+        assert_eq!(out.row_count(), 2);
+        assert_eq!(out.row(0)[0], Value::from("r0"));
+        assert!(out.row(0)[2].is_null());
+        assert!(out.row(0)[3].is_null());
+    }
+
+    #[test]
+    fn ordinality_numbers_from_one() {
+        let t = input(vec![Some(vec![0, 1, 2])]);
+        let out = execute_unnest(&t, 1, true, false, &out_schema(true)).unwrap();
+        assert_eq!(out.row_count(), 3);
+        assert_eq!(out.row(0)[4], Value::Int(1));
+        assert_eq!(out.row(2)[4], Value::Int(3));
+    }
+
+    #[test]
+    fn null_path_behaves_like_empty() {
+        let t = input(vec![None, Some(vec![0])]);
+        let dropped = execute_unnest(&t, 1, false, false, &out_schema(false)).unwrap();
+        assert_eq!(dropped.row_count(), 1);
+        let kept = execute_unnest(&t, 1, false, true, &out_schema(false)).unwrap();
+        assert_eq!(kept.row_count(), 2);
+    }
+}

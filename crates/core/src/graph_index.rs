@@ -1,0 +1,233 @@
+//! Graph indices — the paper's §6 future work, implemented.
+//!
+//! > "We are investigating how to expand our system with the option of
+//! > creating special 'graph' indices. These indices will store the full
+//! > graph, ready to be used when a query matches the edge table that
+//! > generated the graph. Nevertheless, they also need to be amenable to
+//! > the updates on the underlying tables."
+//!
+//! A graph index is created with
+//! `CREATE GRAPH INDEX name ON table EDGE (src, dst)` and caches the
+//! [`MaterializedGraph`] (snapshot + dictionary + CSR) for that base table.
+//! The cache is keyed on the catalog's per-table **version counter**: any
+//! INSERT/DELETE/UPDATE bumps the version, and the next query that needs
+//! the graph rebuilds it (lazy invalidation).
+
+use crate::error::{bind_err, Error};
+use crate::exec::graph_op::{build_graph, MaterializedGraph};
+use gsql_storage::Catalog;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// One registered graph index.
+#[derive(Debug)]
+struct IndexEntry {
+    table: String,
+    src_col: String,
+    dst_col: String,
+    /// `(table version when built, the graph)`.
+    cached: Option<(u64, Arc<MaterializedGraph>)>,
+}
+
+/// Registry of graph indices, keyed by index name.
+#[derive(Debug, Default)]
+pub struct GraphIndexRegistry {
+    inner: RwLock<HashMap<String, IndexEntry>>,
+}
+
+impl GraphIndexRegistry {
+    /// Empty registry.
+    pub fn new() -> GraphIndexRegistry {
+        GraphIndexRegistry::default()
+    }
+
+    /// Create an index and build its graph eagerly.
+    pub fn create_index(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        table: &str,
+        src_col: &str,
+        dst_col: &str,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let entry = catalog.entry(table).map_err(Error::Storage)?;
+        let schema = entry.table.schema();
+        let src_key = schema
+            .index_of(src_col)
+            .ok_or_else(|| bind_err!("no column '{src_col}' in table '{table}'"))?;
+        let dst_key = schema
+            .index_of(dst_col)
+            .ok_or_else(|| bind_err!("no column '{dst_col}' in table '{table}'"))?;
+        let s_ty = schema.column(src_key).ty;
+        let d_ty = schema.column(dst_key).ty;
+        if s_ty != d_ty {
+            return Err(bind_err!(
+                "EDGE columns must have matching types, found {s_ty} and {d_ty}"
+            ));
+        }
+        if !s_ty.is_vertex_key() {
+            return Err(bind_err!("type {s_ty} cannot be used as a graph vertex key"));
+        }
+        let graph = Arc::new(build_graph(Arc::clone(&entry.table), src_key, dst_key)?);
+
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if inner.contains_key(&key) {
+            return Err(bind_err!("graph index '{name}' already exists"));
+        }
+        inner.insert(
+            key,
+            IndexEntry {
+                table: table.to_ascii_lowercase(),
+                src_col: src_col.to_string(),
+                dst_col: dst_col.to_string(),
+                cached: Some((entry.version, graph)),
+            },
+        );
+        Ok(())
+    }
+
+    /// Drop an index.
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        inner
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| bind_err!("graph index '{name}' does not exist"))
+    }
+
+    /// Remove every index defined over `table` (used by `DROP TABLE`).
+    pub fn drop_indexes_for_table(&self, table: &str) {
+        let key = table.to_ascii_lowercase();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        inner.retain(|_, e| e.table != key);
+    }
+
+    /// Names of all indices, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut names: Vec<String> = inner.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Find a fresh graph for `(table, src, dst)`, rebuilding a stale cache
+    /// entry if there is a matching index. Returns `None` when no index
+    /// covers this edge configuration.
+    pub fn lookup(
+        &self,
+        catalog: &Catalog,
+        table: &str,
+        src_col: &str,
+        dst_col: &str,
+        src_key: usize,
+        dst_key: usize,
+    ) -> Result<Option<Arc<MaterializedGraph>>> {
+        let table_key = table.to_ascii_lowercase();
+        let name = {
+            let inner = self.inner.read().expect("registry lock poisoned");
+            let found = inner.iter().find(|(_, e)| {
+                e.table == table_key
+                    && e.src_col.eq_ignore_ascii_case(src_col)
+                    && e.dst_col.eq_ignore_ascii_case(dst_col)
+            });
+            match found {
+                None => return Ok(None),
+                Some((name, entry)) => {
+                    let current = catalog.entry(table).map_err(Error::Storage)?;
+                    if let Some((version, graph)) = &entry.cached {
+                        if *version == current.version {
+                            return Ok(Some(Arc::clone(graph)));
+                        }
+                    }
+                    name.clone()
+                }
+            }
+        };
+        // Stale: rebuild outside the read lock.
+        let entry = catalog.entry(table).map_err(Error::Storage)?;
+        let graph = Arc::new(build_graph(Arc::clone(&entry.table), src_key, dst_key)?);
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if let Some(e) = inner.get_mut(&name) {
+            e.cached = Some((entry.version, Arc::clone(&graph)));
+        }
+        Ok(Some(graph))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::{ColumnDef, DataType, Schema, Value};
+
+    fn setup() -> (Catalog, GraphIndexRegistry) {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                "friends",
+                Schema::new(vec![
+                    ColumnDef::not_null("src", DataType::Int),
+                    ColumnDef::not_null("dst", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        catalog
+            .update("friends", |t| {
+                t.append_row(vec![Value::Int(1), Value::Int(2)])?;
+                t.append_row(vec![Value::Int(2), Value::Int(3)])
+            })
+            .unwrap();
+        (catalog, GraphIndexRegistry::new())
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        let g = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // Same Arc is returned while the table is unchanged.
+        let g2 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&g, &g2));
+    }
+
+    #[test]
+    fn lookup_misses_for_other_columns() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        // Reversed direction is a different graph: no index hit.
+        assert!(reg.lookup(&catalog, "friends", "dst", "src", 1, 0).unwrap().is_none());
+        assert!(reg.lookup(&catalog, "other", "src", "dst", 0, 1).unwrap().is_none());
+    }
+
+    #[test]
+    fn table_mutation_invalidates() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        let g1 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
+        catalog
+            .update("friends", |t| t.append_row(vec![Value::Int(3), Value::Int(4)]))
+            .unwrap();
+        let g2 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&g1, &g2));
+        assert_eq!(g2.num_edges(), 3);
+        // And the rebuilt graph is cached again.
+        let g3 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&g2, &g3));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (catalog, reg) = setup();
+        assert!(reg.create_index(&catalog, "gi", "nope", "src", "dst").is_err());
+        assert!(reg.create_index(&catalog, "gi", "friends", "zzz", "dst").is_err());
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        assert!(reg.create_index(&catalog, "GI", "friends", "src", "dst").is_err());
+        assert!(reg.drop_index("missing").is_err());
+        reg.drop_index("gi").unwrap();
+        assert!(reg.index_names().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # gsql-core
+//!
+//! The query engine of the reproduction of *Extending SQL for Computing
+//! Shortest Paths* (De Leo & Boncz, GRADES'17): an in-memory, fully
+//! materializing, column-at-a-time SQL engine — the MonetDB stand-in — with
+//! the paper's language extension implemented end to end:
+//!
+//! * the `REACHES … OVER … EDGE (S, D)` reachability predicate, compiled to
+//!   the **graph select** operator (§3.1);
+//! * the rewriter that unfolds cross product + graph select into a
+//!   **graph join** (§3.1);
+//! * `CHEAPEST SUM([e:] expr) [AS (cost, path)]` shortest-path summaries
+//!   backed by BFS / Dijkstra-with-radix-queue in `gsql-graph` (§3.2);
+//! * nested-table path values stored as edge-row references, flattened by
+//!   `UNNEST [WITH ORDINALITY]` (§3.3 — ordinality is listed as
+//!   unimplemented in the paper; we support it);
+//! * `CREATE GRAPH INDEX` — the §6 future-work graph index with
+//!   version-based invalidation;
+//! * the §1 "customary method" baselines used by the ablation benchmarks.
+//!
+//! Entry point: [`Database`].
+//!
+//! ```
+//! use gsql_core::Database;
+//! use gsql_storage::Value;
+//!
+//! let db = Database::new();
+//! db.execute_script(
+//!     "CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL); \
+//!      INSERT INTO friends VALUES (1, 2), (2, 3), (1, 3);",
+//! )
+//! .unwrap();
+//! let out = db
+//!     .query("SELECT CHEAPEST SUM(1) AS hops WHERE 1 REACHES 3 OVER friends EDGE (src, dst)")
+//!     .unwrap();
+//! assert_eq!(out.row(0)[0], Value::Int(1));
+//! ```
+
+pub mod baseline;
+pub mod bind;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod graph_index;
+pub mod optimize;
+pub mod plan;
+
+pub use database::{Database, PreparedStatement, QueryResult};
+pub use error::Error;
+pub use exec::{build_graph, MaterializedGraph};
+pub use graph_index::GraphIndexRegistry;
+pub use plan::LogicalPlan;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,7 @@
+//! Logical plan and bound expressions.
+
+pub mod expr;
+pub mod logical;
+
+pub use expr::{AggCall, AggFunc, BinaryOp, BoundExpr, ScalarFunc, UnaryOp};
+pub use logical::{CheapestSpec, JoinKind, LogicalPlan, PlanColumn, PlanSchema, SortKey};

@@ -1,0 +1,508 @@
+//! End-to-end SQL tests for the core engine, covering general SQL plus the
+//! paper's extension surface.
+
+use gsql_core::{Database, Error, QueryResult};
+use gsql_storage::{Table, Value};
+use std::sync::Arc;
+
+fn db_with_people() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE persons (id INTEGER PRIMARY KEY, firstName VARCHAR, lastName VARCHAR);
+         CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL,
+                               creationDate DATE, weight DOUBLE);
+         INSERT INTO persons VALUES
+            (1, 'Ada', 'Lovelace'), (2, 'Grace', 'Hopper'), (3, 'Alan', 'Turing'),
+            (4, 'Edsger', 'Dijkstra'), (5, 'Barbara', 'Liskov');
+         INSERT INTO friends VALUES
+            (1, 2, '2010-01-01', 0.5), (2, 1, '2010-01-01', 0.5),
+            (2, 3, '2010-06-15', 2.0), (3, 2, '2010-06-15', 2.0),
+            (3, 4, '2011-03-01', 1.0), (4, 3, '2011-03-01', 1.0),
+            (1, 4, '2012-01-01', 9.0), (4, 1, '2012-01-01', 9.0);",
+    )
+    .unwrap();
+    db
+}
+
+fn rows(t: &Arc<Table>) -> Vec<Vec<Value>> {
+    t.rows().collect()
+}
+
+#[test]
+fn scalar_select_without_from() {
+    let db = Database::new();
+    let t = db.query("SELECT 1 + 1 AS two, 'x' || 'y' AS xy").unwrap();
+    assert_eq!(t.row(0), vec![Value::Int(2), Value::from("xy")]);
+}
+
+#[test]
+fn basic_projection_filter_order() {
+    let db = db_with_people();
+    let t = db
+        .query("SELECT firstName FROM persons WHERE id > 2 ORDER BY firstName DESC")
+        .unwrap();
+    assert_eq!(
+        rows(&t),
+        vec![
+            vec![Value::from("Edsger")],
+            vec![Value::from("Barbara")],
+            vec![Value::from("Alan")],
+        ]
+    );
+}
+
+#[test]
+fn unweighted_shortest_path_a1_style() {
+    // Appendix A.1: SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER …
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    // 1 -> 4 directly (1 hop).
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(t.row(0)[0], Value::Int(1));
+}
+
+#[test]
+fn unreachable_pair_yields_empty_result() {
+    let db = db_with_people();
+    // Person 5 has no edges: not even a vertex of the graph.
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(5)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 0);
+}
+
+#[test]
+fn vertex_properties_a2_style() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT p1.firstName || ' ' || p1.lastName AS person1, \
+                    p2.firstName || ' ' || p2.lastName AS person2, \
+                    CHEAPEST SUM(1) AS distance \
+             FROM persons p1, persons p2 \
+             WHERE p1.id = ? AND p2.id = ? \
+               AND p1.id REACHES p2.id OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(
+        t.row(0),
+        vec![Value::from("Ada Lovelace"), Value::from("Alan Turing"), Value::Int(2)]
+    );
+}
+
+#[test]
+fn reachability_with_cte_a3_style() {
+    let db = db_with_people();
+    // Subgraph of friendships created before 2011: 1-2, 2-3 only.
+    let t = db
+        .query_with_params(
+            "WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+             )
+             SELECT firstName || ' ' || lastName AS person
+             FROM persons
+             WHERE ? REACHES id OVER friends1 EDGE (src, dst)
+             ORDER BY person",
+            &[Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(
+        rows(&t),
+        vec![
+            vec![Value::from("Ada Lovelace")], // self: empty path
+            vec![Value::from("Alan Turing")],
+            vec![Value::from("Grace Hopper")],
+        ]
+    );
+}
+
+#[test]
+fn weighted_path_with_unnest_a4_style() {
+    let db = db_with_people();
+    // Weighted path 1 ~> 4: direct edge costs 9*2=18, path via 2,3 costs
+    // (0.5+2+1)*2 = 7. CAST(weight*2 AS INTEGER) gives int weights 1,4,2.
+    let t = db
+        .query_with_params(
+            "SELECT firstName, CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path) \
+             FROM persons \
+             WHERE ? REACHES id OVER friends f EDGE (src, dst) AND id = 4",
+            &[Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(t.row(0)[1], Value::Int(7)); // 1 + 4 + 2
+    // Unnest the path.
+    let t = db
+        .query_with_params(
+            "SELECT T.firstName, T.cost, R.src, R.dst, R.weight \
+             FROM ( \
+                SELECT firstName, CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path) \
+                FROM persons \
+                WHERE ? REACHES id OVER friends f EDGE (src, dst) AND id = 4 \
+             ) T, UNNEST(T.path) AS R",
+            &[Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 3);
+    // Hops in order: 1->2, 2->3, 3->4.
+    assert_eq!(t.row(0)[2], Value::Int(1));
+    assert_eq!(t.row(0)[3], Value::Int(2));
+    assert_eq!(t.row(1)[2], Value::Int(2));
+    assert_eq!(t.row(2)[3], Value::Int(4));
+    // The cost repeats on every expanded row.
+    assert!(t.rows().all(|r| r[1] == Value::Int(7)));
+}
+
+#[test]
+fn unnest_with_ordinality() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT R.ordinality, R.src, R.dst \
+             FROM ( \
+                SELECT CHEAPEST SUM(f: 1) AS (cost, path) \
+                WHERE ? REACHES ? OVER friends f EDGE (src, dst) \
+             ) T, UNNEST(T.path) WITH ORDINALITY AS R",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 2);
+    assert_eq!(t.row(0)[0], Value::Int(1));
+    assert_eq!(t.row(1)[0], Value::Int(2));
+}
+
+#[test]
+fn left_join_unnest_preserves_empty_paths() {
+    let db = db_with_people();
+    // Source reaches itself with an empty path; LEFT JOIN UNNEST keeps it.
+    let inner = "SELECT firstName, CHEAPEST SUM(f: 1) AS (cost, path) \
+                 FROM persons \
+                 WHERE ? REACHES id OVER friends f EDGE (src, dst) AND id = ?";
+    let dropped = db
+        .query_with_params(
+            &format!("SELECT T.firstName, R.src FROM ({inner}) T, UNNEST(T.path) AS R"),
+            &[Value::Int(1), Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(dropped.row_count(), 0);
+    let kept = db
+        .query_with_params(
+            &format!(
+                "SELECT T.firstName, R.src FROM ({inner}) T LEFT JOIN UNNEST(T.path) AS R"
+            ),
+            &[Value::Int(1), Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(kept.row_count(), 1);
+    assert_eq!(kept.row(0)[0], Value::from("Ada"));
+    assert!(kept.row(0)[1].is_null());
+}
+
+#[test]
+fn float_weighted_shortest_path() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(f: weight) AS cost \
+             WHERE ? REACHES ? OVER friends f EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    // 0.5 + 2.0 + 1.0 = 3.5 via 2,3 beats direct 9.0.
+    assert_eq!(t.row(0)[0], Value::Double(3.5));
+}
+
+#[test]
+fn multiple_cheapest_sums_same_predicate() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(f: 1) AS hops, CHEAPEST SUM(f: weight) AS wcost \
+             WHERE ? REACHES ? OVER friends f EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    assert_eq!(t.row(0)[0], Value::Int(1)); // direct hop
+    assert_eq!(t.row(0)[1], Value::Double(3.5)); // cheap detour
+}
+
+#[test]
+fn multiple_reaches_predicates_with_bindings() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(a: 1) AS d1, CHEAPEST SUM(b: 1) AS d2 \
+             WHERE ? REACHES ? OVER friends a EDGE (src, dst) \
+               AND ? REACHES ? OVER friends b EDGE (dst, src)",
+            &[Value::Int(1), Value::Int(3), Value::Int(3), Value::Int(1)],
+        )
+        .unwrap();
+    assert_eq!(t.row(0)[0], Value::Int(2));
+    assert_eq!(t.row(0)[1], Value::Int(2)); // reversed edge direction
+}
+
+#[test]
+fn graph_join_many_to_many() {
+    let db = db_with_people();
+    // All ordered pairs of persons 1..4 connected in the friendship graph.
+    let t = db
+        .query(
+            "SELECT p1.id, p2.id, CHEAPEST SUM(1) AS d \
+             FROM persons p1, persons p2 \
+             WHERE p1.id REACHES p2.id OVER friends EDGE (src, dst) \
+             ORDER BY p1.id, p2.id",
+        )
+        .unwrap();
+    // Persons 1-4 are mutually connected (16 ordered pairs incl. self);
+    // person 5 is isolated.
+    assert_eq!(t.row_count(), 16);
+    assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(1), Value::Int(0)]);
+    // EXPLAIN must show the rewritten GraphJoin.
+    let plan = db
+        .plan(
+            "SELECT p1.id, p2.id, CHEAPEST SUM(1) AS d \
+             FROM persons p1, persons p2 \
+             WHERE p1.id REACHES p2.id OVER friends EDGE (src, dst)",
+        )
+        .unwrap();
+    assert!(plan.explain().contains("GraphJoin"), "plan:\n{}", plan.explain());
+}
+
+#[test]
+fn batch_pairs_via_cte_values() {
+    // The Figure-1b query shape: a batch of pairs in one statement.
+    let db = db_with_people();
+    let t = db
+        .query(
+            "WITH pairs (s, d) AS (VALUES (1, 3), (2, 4), (1, 5)) \
+             SELECT pairs.s, pairs.d, CHEAPEST SUM(1) AS dist \
+             FROM pairs \
+             WHERE pairs.s REACHES pairs.d OVER friends EDGE (src, dst) \
+             ORDER BY pairs.s, pairs.d",
+        )
+        .unwrap();
+    // (1,5) is dropped: 5 is not a vertex.
+    assert_eq!(
+        rows(&t),
+        vec![
+            vec![Value::Int(1), Value::Int(3), Value::Int(2)],
+            vec![Value::Int(2), Value::Int(4), Value::Int(2)],
+        ]
+    );
+}
+
+#[test]
+fn reaches_over_derived_edge_table() {
+    let db = db_with_people();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) AS d \
+             WHERE ? REACHES ? OVER \
+               (SELECT src, dst FROM friends WHERE weight < 5.0) e EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    // Direct 1->4 edge (weight 9) excluded: path via 2,3.
+    assert_eq!(t.row(0)[0], Value::Int(3));
+}
+
+#[test]
+fn non_positive_weight_raises_runtime_error() {
+    let db = db_with_people();
+    db.execute("UPDATE friends SET weight = 0.0 WHERE src = 2 AND dst = 3").unwrap();
+    let err = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(f: weight) WHERE ? REACHES ? OVER friends f EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap_err();
+    match err {
+        Error::Graph(e) => assert!(e.to_string().contains("strictly greater than 0")),
+        other => panic!("expected graph error, got {other}"),
+    }
+}
+
+#[test]
+fn aggregates_group_having() {
+    let db = db_with_people();
+    let t = db
+        .query(
+            "SELECT src, COUNT(*) AS n, SUM(weight) AS total \
+             FROM friends GROUP BY src HAVING COUNT(*) > 1 ORDER BY src",
+        )
+        .unwrap();
+    // Vertices 1..4 each have 2 outgoing edges.
+    assert_eq!(t.row_count(), 4);
+    assert_eq!(t.row(0), vec![Value::Int(1), Value::Int(2), Value::Double(9.5)]);
+}
+
+#[test]
+fn aggregate_over_graph_result_in_outer_query() {
+    let db = db_with_people();
+    // Count reachable persons per source by nesting the graph query.
+    let t = db
+        .query(
+            "SELECT COUNT(*) AS reachable FROM ( \
+                SELECT p2.id \
+                FROM persons p1, persons p2 \
+                WHERE p1.id = 1 AND p1.id REACHES p2.id OVER friends EDGE (src, dst) \
+             ) r",
+        )
+        .unwrap();
+    assert_eq!(t.row(0)[0], Value::Int(4));
+}
+
+#[test]
+fn union_distinct_limit_offset() {
+    let db = db_with_people();
+    let t = db
+        .query("SELECT 1 AS v UNION SELECT 1 UNION ALL SELECT 2 ORDER BY v")
+        .unwrap();
+    // UNION dedups the two 1s... then UNION ALL appends 2; semantics are
+    // left-assoc: ((1 UNION 1) UNION ALL 2) = {1, 2}.
+    assert_eq!(rows(&t), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+    let t = db.query("SELECT id FROM persons ORDER BY id LIMIT 2 OFFSET 1").unwrap();
+    assert_eq!(rows(&t), vec![vec![Value::Int(2)], vec![Value::Int(3)]]);
+}
+
+#[test]
+fn dml_round_trip_and_index_invalidation() {
+    let db = db_with_people();
+    db.execute("CREATE GRAPH INDEX fi ON friends EDGE (src, dst)").unwrap();
+    let d0 = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(d0.row(0)[0], Value::Int(2));
+    // Add a shortcut edge; the graph index must notice the new version.
+    match db.execute("INSERT INTO friends VALUES (1, 3, '2024-01-01', 1.0)").unwrap() {
+        QueryResult::Affected(1) => {}
+        other => panic!("{other:?}"),
+    }
+    let d1 = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(d1.row(0)[0], Value::Int(1));
+    // DELETE breaks the path again.
+    db.execute("DELETE FROM friends WHERE src = 1 AND dst = 3").unwrap();
+    let d2 = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(d2.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn explain_and_describe() {
+    let db = db_with_people();
+    let t = db.query("EXPLAIN SELECT id FROM persons WHERE id = 1").unwrap();
+    let text: Vec<String> =
+        t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    assert!(text.iter().any(|l| l.contains("Scan persons")));
+    let t = db.query("DESCRIBE friends").unwrap();
+    assert_eq!(t.row_count(), 4);
+    assert_eq!(t.row(0)[0], Value::from("src"));
+}
+
+#[test]
+fn prepared_statements_rebind_params() {
+    let db = db_with_people();
+    let stmt = db
+        .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)")
+        .unwrap();
+    let t1 = stmt.execute(&db, &[Value::Int(1), Value::Int(4)]).unwrap().into_table().unwrap();
+    assert_eq!(t1.row(0)[0], Value::Int(1));
+    let t2 = stmt.execute(&db, &[Value::Int(1), Value::Int(3)]).unwrap().into_table().unwrap();
+    assert_eq!(t2.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn bind_errors_are_informative() {
+    let db = db_with_people();
+    for (sql, needle) in [
+        ("SELECT nope FROM persons", "no column"),
+        ("SELECT CHEAPEST SUM(1)", "REACHES"),
+        (
+            "SELECT CHEAPEST SUM(x: 1) WHERE 1 REACHES 2 OVER friends f EDGE (src, dst)",
+            "tuple variable",
+        ),
+        ("SELECT id FROM persons WHERE firstName REACHES id OVER friends EDGE (src, dst)",
+         "type"),
+        ("SELECT * FROM persons WHERE id REACHES id OVER friends EDGE (src, nope)", "nope"),
+        ("SELECT COUNT(*), id FROM persons", "GROUP BY"),
+        ("SELECT id FROM persons GROUP BY id HAVING firstName = 'x'", "GROUP BY"),
+    ] {
+        let err = db.query(sql).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "query {sql:?} gave {err}, expected to contain {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn self_loop_and_duplicate_edges() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE e (s INTEGER, d INTEGER);
+         INSERT INTO e VALUES (1, 1), (1, 2), (1, 2), (2, 3);",
+    )
+    .unwrap();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)",
+            &[Value::Int(1), Value::Int(3)],
+        )
+        .unwrap();
+    assert_eq!(t.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn varchar_vertex_keys() {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE routes (origin VARCHAR, destination VARCHAR);
+         INSERT INTO routes VALUES ('AMS', 'LHR'), ('LHR', 'JFK'), ('AMS', 'CDG');",
+    )
+    .unwrap();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER routes EDGE (origin, destination)",
+            &[Value::from("AMS"), Value::from("JFK")],
+        )
+        .unwrap();
+    assert_eq!(t.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn reachability_only_filter_semantics() {
+    let db = db_with_people();
+    // Pure predicate — no CHEAPEST SUM at all.
+    let t = db
+        .query(
+            "SELECT p.id FROM persons p \
+             WHERE 1 REACHES p.id OVER friends EDGE (src, dst) ORDER BY p.id",
+        )
+        .unwrap();
+    assert_eq!(
+        rows(&t),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)], vec![Value::Int(3)], vec![Value::Int(4)]]
+    );
+}

@@ -1,0 +1,43 @@
+//! Name pools for synthetic persons.
+
+/// First names sampled uniformly by the generator.
+pub const FIRST_NAMES: &[&str] = &[
+    "Mahinda", "Carmen", "Chen", "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "John",
+    "Leslie", "Tony", "Robin", "Frances", "Niklaus", "Ken", "Dennis", "Bjarne", "James", "Guido",
+    "Brian", "Margaret", "Katherine", "Annie", "Jean", "Kurt", "Alonzo", "Haskell", "Rosalind",
+    "Hedy", "Radia", "Shafi", "Silvio", "Adi", "Ron", "Whitfield", "Martin", "Ralph", "Taher",
+    "Ivan", "Andrew", "Butler", "Charles", "David", "Edmund", "Fernando", "Geoffrey", "Herbert",
+    "Ivar", "Juris", "Kristen", "Lotfi", "Manuel", "Noam", "Ole", "Peter", "Quentin", "Raj",
+    "Stephen", "Tim", "Umberto", "Vint", "William", "Xiaoyun", "Yann", "Zohar",
+];
+
+/// Last names sampled uniformly by the generator.
+pub const LAST_NAMES: &[&str] = &[
+    "Perera", "Lepland", "Wang", "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth",
+    "Backus", "Lamport", "Hoare", "Milner", "Allen", "Wirth", "Thompson", "Ritchie",
+    "Stroustrup", "Gosling", "Rossum", "Kernighan", "Hamilton", "Johnson", "Easley", "Bartik",
+    "Goedel", "Church", "Curry", "Franklin", "Lamarr", "Perlman", "Goldwasser", "Micali",
+    "Shamir", "Rivest", "Diffie", "Hellman", "Merkle", "Elgamal", "Sutherland", "Yao",
+    "Lampson", "Bachman", "Patterson", "Clarke", "Corbato", "Hinton", "Simon", "Jacobson",
+    "Hartmanis", "Nygaard", "Zadeh", "Blum", "Chomsky", "Dahl", "Naur", "Tarjan", "Reddy",
+    "Cook", "Berners-Lee", "Eco", "Cerf", "Kahan", "Lai", "LeCun", "Manber",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        assert!(FIRST_NAMES.len() >= 64);
+        assert!(LAST_NAMES.len() >= 64);
+        let mut f: Vec<&str> = FIRST_NAMES.to_vec();
+        f.sort();
+        f.dedup();
+        assert_eq!(f.len(), FIRST_NAMES.len());
+        let mut l: Vec<&str> = LAST_NAMES.to_vec();
+        l.sort();
+        l.dedup();
+        assert_eq!(l.len(), LAST_NAMES.len());
+    }
+}

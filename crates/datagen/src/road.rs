@@ -1,0 +1,96 @@
+//! Weighted grid road networks (for the routing example and benches).
+
+use gsql_storage::{Column, ColumnDef, DataType, Schema, Table};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Generate a `width × height` grid road network.
+///
+/// Intersections are numbered row-major from 1; every pair of adjacent
+/// intersections is connected in both directions with an integer travel
+/// time in `1..=max_cost` minutes (independent per direction, so one-way
+/// congestion is representable). A small fraction of edges is removed to
+/// make routing non-trivial, while rows stay fully connected left-to-right
+/// so reachability holds.
+///
+/// Returns a table `roads(src, dst, minutes)`.
+pub fn grid_network(width: u32, height: u32, max_cost: i64, seed: u64) -> Table {
+    assert!(width >= 2 && height >= 1, "grid must be at least 2x1");
+    assert!(max_cost >= 1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut minutes = Vec::new();
+    let id = |x: u32, y: u32| (y * width + x) as i64 + 1;
+    let mut push = |rng: &mut SmallRng, a: i64, b: i64| {
+        src.push(a);
+        dst.push(b);
+        minutes.push(rng.gen_range(1..=max_cost));
+    };
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width {
+                // Horizontal roads always exist (keeps the grid connected).
+                push(&mut rng, id(x, y), id(x + 1, y));
+                push(&mut rng, id(x + 1, y), id(x, y));
+            }
+            if y + 1 < height {
+                // 10% of vertical road pairs are closed.
+                if rng.gen_bool(0.9) {
+                    push(&mut rng, id(x, y), id(x, y + 1));
+                    push(&mut rng, id(x, y + 1), id(x, y));
+                }
+            }
+        }
+    }
+    let n = src.len();
+    Table::from_columns(
+        Schema::new(vec![
+            ColumnDef::not_null("src", DataType::Int),
+            ColumnDef::not_null("dst", DataType::Int),
+            ColumnDef::not_null("minutes", DataType::Int),
+        ]),
+        vec![
+            Column::from_ints(src),
+            Column::from_ints(dst),
+            Column::Int(minutes, gsql_storage::Bitmap::with_value(n, true)),
+        ],
+    )
+    .expect("schema matches columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_edge_bounds() {
+        let t = grid_network(5, 4, 10, 42);
+        // Horizontal: 4*4*2 = 32 always; vertical: up to 5*3*2 = 30.
+        assert!(t.row_count() >= 32);
+        assert!(t.row_count() <= 62);
+    }
+
+    #[test]
+    fn costs_within_range_and_positive() {
+        let t = grid_network(6, 6, 7, 1);
+        let (m, _) = t.column(2).as_int_slice().unwrap();
+        assert!(m.iter().all(|&x| (1..=7).contains(&x)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = grid_network(4, 4, 5, 9);
+        let b = grid_network(4, 4, 5, 9);
+        assert_eq!(a.row_count(), b.row_count());
+        for i in 0..a.row_count() {
+            assert_eq!(a.row(i), b.row(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be")]
+    fn rejects_degenerate_grid() {
+        grid_network(1, 1, 5, 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! LDBC-SNB-like social network generator (the Table 1 datasets).
+
+use crate::names::{FIRST_NAMES, LAST_NAMES};
+use gsql_core::Database;
+use gsql_storage::{Column, ColumnDef, DataType, Date, Schema, Table};
+use rand::prelude::*;
+use rand::rngs::SmallRng;
+
+/// Published LDBC SNB sizes used by the paper's Table 1:
+/// `(scale factor, persons, directed edges)`.
+///
+/// Vertices are the persons; directed edge counts are twice the undirected
+/// friendship counts, as in the paper.
+pub const TABLE1_SIZES: &[(f64, u64, u64)] = &[
+    (1.0, 9_892, 362_000),
+    (3.0, 24_000, 1_132_000),
+    (10.0, 65_000, 3_894_000),
+    (30.0, 165_000, 12_115_000),
+    (100.0, 448_000, 39_998_000),
+    (300.0, 1_128_000, 119_225_000),
+];
+
+/// Parameters for the social-network generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbParams {
+    /// LDBC scale factor (1, 3, 10, 30, 100, 300 reproduce Table 1;
+    /// fractional values interpolate, useful for quick tests).
+    pub scale_factor: f64,
+    /// RNG seed — equal seeds give byte-identical datasets.
+    pub seed: u64,
+}
+
+impl SnbParams {
+    /// Parameters for a scale factor with the default seed.
+    pub fn new(scale_factor: f64) -> SnbParams {
+        SnbParams { scale_factor, seed: 0x5eed_1db0 }
+    }
+
+    /// Number of persons at this scale factor.
+    pub fn person_count(&self) -> u64 {
+        lookup_or_interpolate(self.scale_factor, 1)
+    }
+
+    /// Number of **directed** friendship edges at this scale factor.
+    pub fn edge_count(&self) -> u64 {
+        lookup_or_interpolate(self.scale_factor, 2)
+    }
+}
+
+/// Exact Table 1 sizes at the canonical scale factors; power-law
+/// interpolation `round(c * sf^alpha)` elsewhere, fitted on the published
+/// end points.
+fn lookup_or_interpolate(sf: f64, what: usize) -> u64 {
+    for &(s, p, e) in TABLE1_SIZES {
+        if (s - sf).abs() < 1e-9 {
+            return if what == 1 { p } else { e };
+        }
+    }
+    let (c, alpha) = if what == 1 {
+        // persons: 9892 at sf 1, 1.128M at sf 300 -> alpha ~ 0.8305
+        (9_892.0, 0.830_5)
+    } else {
+        // directed edges: 362k at sf 1, 119.225M at sf 300 -> alpha ~ 1.0168
+        (362_000.0, 1.016_8)
+    };
+    (c * sf.max(1e-6).powf(alpha)).round() as u64
+}
+
+/// A generated social network.
+#[derive(Debug)]
+pub struct SnbDataset {
+    /// `persons(id, firstName, lastName, gender, creationDate)`.
+    pub persons: Table,
+    /// `friends(src, dst, creationDate, weight)` — directed, both
+    /// directions present for every friendship.
+    pub friends: Table,
+    /// Number of persons (the paper's |V| per Table 1).
+    pub num_persons: u64,
+    /// Number of directed edges (the paper's |E| per Table 1).
+    pub num_edges: u64,
+}
+
+impl SnbDataset {
+    /// Generate a dataset.
+    ///
+    /// Friendships follow a Chung-Lu-style skewed degree model: endpoint
+    /// `i` is sampled with probability ∝ `(i+1)^-0.55`, duplicates and
+    /// self-pairs are rejected. The result is a heavy-tailed degree
+    /// distribution with a giant connected component — the traversal
+    /// profile LDBC's correlated generator also produces.
+    pub fn generate(params: SnbParams) -> SnbDataset {
+        let mut rng = SmallRng::seed_from_u64(params.seed ^ params.scale_factor.to_bits());
+        let n_persons = params.person_count();
+        let n_undirected = params.edge_count() / 2;
+
+        let persons = generate_persons(&mut rng, n_persons);
+        let friends = generate_friends(&mut rng, n_persons, n_undirected);
+        let num_edges = friends.row_count() as u64;
+        SnbDataset { persons, friends, num_persons: n_persons, num_edges }
+    }
+
+    /// Register the dataset's tables (`persons`, `friends`) in a database.
+    pub fn load_into(&self, db: &Database) -> gsql_core::Result<()> {
+        db.catalog()
+            .register_table("persons", self.persons.clone())
+            .map_err(gsql_core::Error::Storage)?;
+        db.catalog()
+            .register_table("friends", self.friends.clone())
+            .map_err(gsql_core::Error::Storage)?;
+        Ok(())
+    }
+
+    /// A database pre-loaded with this dataset.
+    pub fn into_database(&self) -> gsql_core::Result<Database> {
+        let db = Database::new();
+        self.load_into(&db)?;
+        Ok(db)
+    }
+}
+
+fn person_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("id", DataType::Int),
+        ColumnDef::not_null("firstName", DataType::Varchar),
+        ColumnDef::not_null("lastName", DataType::Varchar),
+        ColumnDef::not_null("gender", DataType::Varchar),
+        ColumnDef::not_null("creationDate", DataType::Date),
+    ])
+}
+
+fn friends_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::not_null("src", DataType::Int),
+        ColumnDef::not_null("dst", DataType::Int),
+        ColumnDef::not_null("creationDate", DataType::Date),
+        ColumnDef::not_null("weight", DataType::Double),
+    ])
+}
+
+fn generate_persons(rng: &mut SmallRng, n: u64) -> Table {
+    let mut ids = Vec::with_capacity(n as usize);
+    let mut first = Vec::with_capacity(n as usize);
+    let mut last = Vec::with_capacity(n as usize);
+    let mut gender = Vec::with_capacity(n as usize);
+    let mut created = Vec::with_capacity(n as usize);
+    let epoch_2010 = Date::from_ymd(2010, 1, 1).expect("valid date").days();
+    for i in 0..n {
+        ids.push(i as i64 + 1);
+        first.push(FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())].to_string());
+        last.push(LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())].to_string());
+        gender.push(if rng.gen_bool(0.5) { "male".to_string() } else { "female".to_string() });
+        created.push(epoch_2010 + rng.gen_range(0..4 * 365));
+    }
+    let n_rows = ids.len();
+    Table::from_columns(
+        person_schema(),
+        vec![
+            Column::from_ints(ids),
+            Column::from_strs(first),
+            Column::from_strs(last),
+            Column::from_strs(gender),
+            Column::Date(created, gsql_storage::Bitmap::with_value(n_rows, true)),
+        ],
+    )
+    .expect("schema matches columns")
+}
+
+/// Sample a person index from the skewed endpoint distribution.
+///
+/// Uses inverse-transform sampling of the truncated power law
+/// `P(i) ∝ (i+1)^-a` via the continuous approximation — O(1) per sample.
+fn sample_endpoint(rng: &mut SmallRng, n: u64, a: f64) -> u64 {
+    let one_minus_a = 1.0 - a;
+    let max = (n as f64 + 1.0).powf(one_minus_a);
+    let min = 1.0f64;
+    let u: f64 = rng.gen();
+    let x = (min + u * (max - min)).powf(1.0 / one_minus_a);
+    (x.floor() as u64).clamp(1, n) - 1
+}
+
+fn generate_friends(rng: &mut SmallRng, n_persons: u64, n_undirected: u64) -> Table {
+    let mut src = Vec::with_capacity(2 * n_undirected as usize);
+    let mut dst = Vec::with_capacity(2 * n_undirected as usize);
+    let mut created = Vec::with_capacity(2 * n_undirected as usize);
+    let mut weight = Vec::with_capacity(2 * n_undirected as usize);
+    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::with_capacity(
+        n_undirected as usize * 2,
+    );
+    let epoch_2010 = Date::from_ymd(2010, 1, 1).expect("valid date").days();
+
+    let mut produced = 0u64;
+    let mut attempts = 0u64;
+    let max_attempts = n_undirected.saturating_mul(40).max(1000);
+    while produced < n_undirected && attempts < max_attempts {
+        attempts += 1;
+        let a = sample_endpoint(rng, n_persons, 0.55);
+        let b = sample_endpoint(rng, n_persons, 0.55);
+        if a == b {
+            continue;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let key = lo * n_persons + hi;
+        if !seen.insert(key) {
+            continue;
+        }
+        produced += 1;
+        let date = epoch_2010 + rng.gen_range(0..4 * 365);
+        // LDBC Q14 affinity stand-in: interactions ~ geometric, affinity
+        // 0.5 per interaction plus the base 0.5 — always > 0.
+        let interactions = {
+            let mut k = 0;
+            while k < 20 && rng.gen_bool(0.45) {
+                k += 1;
+            }
+            k
+        };
+        let w = 0.5 * (interactions as f64 + 1.0);
+        // Both directions, as in the paper.
+        let (ai, bi) = (a as i64 + 1, b as i64 + 1);
+        src.push(ai);
+        dst.push(bi);
+        created.push(date);
+        weight.push(w);
+        src.push(bi);
+        dst.push(ai);
+        created.push(date);
+        weight.push(w);
+    }
+
+    let n_rows = src.len();
+    Table::from_columns(
+        friends_schema(),
+        vec![
+            Column::from_ints(src),
+            Column::from_ints(dst),
+            Column::Date(created, gsql_storage::Bitmap::with_value(n_rows, true)),
+            Column::from_doubles(weight),
+        ],
+    )
+    .expect("schema matches columns")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::Value;
+
+    #[test]
+    fn canonical_sizes_match_table1() {
+        let p = SnbParams::new(1.0);
+        assert_eq!(p.person_count(), 9_892);
+        assert_eq!(p.edge_count(), 362_000);
+        let p = SnbParams::new(300.0);
+        assert_eq!(p.person_count(), 1_128_000);
+        assert_eq!(p.edge_count(), 119_225_000);
+    }
+
+    #[test]
+    fn interpolation_is_monotone() {
+        let mut prev_p = 0;
+        let mut prev_e = 0;
+        for sf in [0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0, 50.0, 200.0] {
+            let p = SnbParams::new(sf);
+            assert!(p.person_count() > prev_p, "persons at sf {sf}");
+            assert!(p.edge_count() > prev_e, "edges at sf {sf}");
+            prev_p = p.person_count();
+            prev_e = p.edge_count();
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = SnbParams { scale_factor: 0.01, seed: 7 };
+        let a = SnbDataset::generate(params);
+        let b = SnbDataset::generate(params);
+        assert_eq!(a.persons.row_count(), b.persons.row_count());
+        assert_eq!(a.friends.row_count(), b.friends.row_count());
+        for i in (0..a.friends.row_count()).step_by(37) {
+            assert_eq!(a.friends.row(i), b.friends.row(i));
+        }
+    }
+
+    #[test]
+    fn tiny_dataset_shape() {
+        let d = SnbDataset::generate(SnbParams { scale_factor: 0.01, seed: 1 });
+        assert_eq!(d.persons.row_count() as u64, d.num_persons);
+        assert_eq!(d.friends.row_count() as u64, d.num_edges);
+        // Both directions present: every (s, d) has a (d, s).
+        let mut set = std::collections::HashSet::new();
+        for i in 0..d.friends.row_count() {
+            let r = d.friends.row(i);
+            set.insert((r[0].as_int().unwrap(), r[1].as_int().unwrap()));
+        }
+        for &(s, t) in set.iter().take(200) {
+            assert!(set.contains(&(t, s)), "missing reverse of ({s},{t})");
+        }
+        // Weights strictly positive (the CHEAPEST SUM contract).
+        let (w, _) = d.friends.column(3).as_double_slice().unwrap();
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let d = SnbDataset::generate(SnbParams { scale_factor: 0.05, seed: 3 });
+        let (src, _) = d.friends.column(0).as_int_slice().unwrap();
+        let mut deg = std::collections::HashMap::new();
+        for &s in src {
+            *deg.entry(s).or_insert(0u64) += 1;
+        }
+        let max = *deg.values().max().unwrap();
+        let mean = src.len() as f64 / deg.len() as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "expected a heavy tail: max {max} vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn loads_into_database_and_queries() {
+        let d = SnbDataset::generate(SnbParams { scale_factor: 0.01, seed: 1 });
+        let db = d.into_database().unwrap();
+        let count = db.query("SELECT COUNT(*) FROM persons").unwrap();
+        assert_eq!(count.row(0)[0], Value::Int(d.num_persons as i64));
+        // A shortest path between two well-connected persons exists (the
+        // skewed model yields a giant component around low ids).
+        let t = db
+            .query_with_params(
+                "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+                &[Value::Int(1), Value::Int(2)],
+            )
+            .unwrap();
+        assert_eq!(t.row_count(), 1);
+    }
+}

@@ -1,0 +1,343 @@
+//! The many-to-many driver — the library's entry point as described in §3.2.
+//!
+//! The paper's runtime is invoked with "(1) the columns S and D, denoting the
+//! edges of the graph; (2) the source X and destination Y vertices to
+//! filter; (3) in case, the additional columns W for the weights". It returns
+//! the row ids of connected pairs plus the requested shortest paths.
+//!
+//! [`BatchComputer`] implements that contract over a [`Csr`]: given a list
+//! of `(source, dest)` pairs it groups them by source, runs **one traversal
+//! per distinct source** with multi-destination early exit, and returns
+//! per-pair reachability, cost and (optionally) the path as edge row ids.
+//! This grouping is precisely what lets Figure 1b's batched execution
+//! amortize the graph-construction cost.
+
+use crate::bfs::bfs;
+use crate::csr::Csr;
+use crate::dijkstra::{dijkstra_float, dijkstra_int};
+use crate::error::GraphError;
+use crate::path::reconstruct_path;
+use crate::Result;
+
+/// Weight specification for one `CHEAPEST SUM` evaluation.
+///
+/// Weight vectors are indexed by **original edge-table row id** (the order
+/// the edge table was materialized in), not CSR slot order; the computer
+/// permutes and validates them once per batch.
+#[derive(Debug, Clone)]
+pub enum WeightSpec {
+    /// No weights: BFS, cost = hop count. This is what `CHEAPEST SUM(1)`
+    /// compiles to.
+    Unweighted,
+    /// Strictly positive integer weights: Dijkstra + radix queue.
+    Int(Vec<i64>),
+    /// Strictly positive float weights: Dijkstra + binary heap.
+    Float(Vec<f64>),
+}
+
+/// The cost of one shortest path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostValue {
+    /// Hop count or integer-weighted cost.
+    Int(i64),
+    /// Float-weighted cost.
+    Float(f64),
+}
+
+impl CostValue {
+    /// The cost as f64 regardless of representation.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            CostValue::Int(v) => *v as f64,
+            CostValue::Float(v) => *v,
+        }
+    }
+}
+
+/// Result for one `(source, dest)` pair.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Whether a finite path exists (`source == dest` counts: empty path).
+    pub reachable: bool,
+    /// Shortest-path cost; `None` when unreachable.
+    pub cost: Option<CostValue>,
+    /// Edge-table row ids of one shortest path, source-to-dest order;
+    /// `None` when unreachable or when paths were not requested.
+    pub path: Option<Vec<u32>>,
+}
+
+impl PairResult {
+    fn unreachable() -> PairResult {
+        PairResult { reachable: false, cost: None, path: None }
+    }
+}
+
+/// Runs batched reachability / shortest-path queries over one CSR.
+#[derive(Debug)]
+pub struct BatchComputer<'g> {
+    graph: &'g Csr,
+}
+
+impl<'g> BatchComputer<'g> {
+    /// Create a computer over `graph`.
+    pub fn new(graph: &'g Csr) -> BatchComputer<'g> {
+        BatchComputer { graph }
+    }
+
+    /// Compute results for every `(source, dest)` pair.
+    ///
+    /// * `spec` selects the algorithm (BFS / int Dijkstra / float Dijkstra)
+    ///   and carries the per-row weights, which are validated to be strictly
+    ///   positive (a [`GraphError::NonPositiveWeight`] is raised otherwise —
+    ///   the paper's runtime exception).
+    /// * When `compute_paths` is false the traversals still run (that is
+    ///   how the paper's library assesses reachability) but no path vectors
+    ///   are materialized.
+    ///
+    /// Pairs are grouped by source; each distinct source costs one traversal
+    /// with early exit once all its destinations are settled.
+    pub fn compute(
+        &self,
+        pairs: &[(u32, u32)],
+        spec: &WeightSpec,
+        compute_paths: bool,
+    ) -> Result<Vec<PairResult>> {
+        let n = self.graph.num_vertices();
+        for &(s, d) in pairs {
+            if s >= n {
+                return Err(GraphError::VertexOutOfRange { id: s, n });
+            }
+            if d >= n {
+                return Err(GraphError::VertexOutOfRange { id: d, n });
+            }
+        }
+        // Permute + validate weights once for the whole batch.
+        let permuted: PermutedWeights = match spec {
+            WeightSpec::Unweighted => PermutedWeights::None,
+            WeightSpec::Int(w) => PermutedWeights::Int(self.graph.permute_weights_int(w)?),
+            WeightSpec::Float(w) => PermutedWeights::Float(self.graph.permute_weights_float(w)?),
+        };
+
+        // Group pair indices by source vertex.
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_unstable_by_key(|&i| pairs[i].0);
+
+        let mut results = vec![PairResult::unreachable(); pairs.len()];
+        let mut g = 0;
+        while g < order.len() {
+            let source = pairs[order[g]].0;
+            let mut end = g;
+            while end < order.len() && pairs[order[end]].0 == source {
+                end += 1;
+            }
+            let group = &order[g..end];
+            let targets: Vec<u32> = group.iter().map(|&i| pairs[i].1).collect();
+            self.run_group(source, &targets, group, &permuted, compute_paths, &mut results);
+            g = end;
+        }
+        Ok(results)
+    }
+
+    /// Convenience wrapper for a single pair.
+    pub fn shortest_path(
+        &self,
+        source: u32,
+        dest: u32,
+        spec: &WeightSpec,
+    ) -> Result<PairResult> {
+        Ok(self.compute(&[(source, dest)], spec, true)?.pop().expect("one pair in, one out"))
+    }
+
+    fn run_group(
+        &self,
+        source: u32,
+        targets: &[u32],
+        group: &[usize],
+        weights: &PermutedWeights,
+        compute_paths: bool,
+        results: &mut [PairResult],
+    ) {
+        match weights {
+            PermutedWeights::None => {
+                let r = bfs(self.graph, source, targets);
+                for (&idx, &dest) in group.iter().zip(targets) {
+                    let d = r.dist[dest as usize];
+                    if d == u32::MAX {
+                        continue; // stays unreachable
+                    }
+                    results[idx] = PairResult {
+                        reachable: true,
+                        cost: Some(CostValue::Int(d as i64)),
+                        path: compute_paths
+                            .then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
+                                .expect("reachable")
+                            }),
+                    };
+                }
+            }
+            PermutedWeights::Int(w) => {
+                let r = dijkstra_int(self.graph, source, targets, w);
+                for (&idx, &dest) in group.iter().zip(targets) {
+                    let d = r.dist[dest as usize];
+                    if d == u64::MAX {
+                        continue;
+                    }
+                    results[idx] = PairResult {
+                        reachable: true,
+                        cost: Some(CostValue::Int(d as i64)),
+                        path: compute_paths
+                            .then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
+                                .expect("reachable")
+                            }),
+                    };
+                }
+            }
+            PermutedWeights::Float(w) => {
+                let r = dijkstra_float(self.graph, source, targets, w);
+                for (&idx, &dest) in group.iter().zip(targets) {
+                    let d = r.dist[dest as usize];
+                    if d.is_infinite() {
+                        continue;
+                    }
+                    results[idx] = PairResult {
+                        reachable: true,
+                        cost: Some(CostValue::Float(d)),
+                        path: compute_paths
+                            .then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
+                                .expect("reachable")
+                            }),
+                    };
+                }
+            }
+        }
+    }
+}
+
+enum PermutedWeights {
+    None,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Csr {
+        Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn unweighted_batch_mixed_reachability() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let pairs = [(0, 4), (4, 0), (0, 0), (2, 3), (1, 2)];
+        let r = c.compute(&pairs, &WeightSpec::Unweighted, true).unwrap();
+        assert!(r[0].reachable);
+        assert_eq!(r[0].cost, Some(CostValue::Int(3)));
+        assert_eq!(r[0].path.as_ref().unwrap().len(), 3);
+        assert!(!r[1].reachable);
+        assert!(r[1].cost.is_none());
+        assert!(r[2].reachable); // self pair
+        assert_eq!(r[2].cost, Some(CostValue::Int(0)));
+        assert_eq!(r[2].path.as_ref().unwrap().len(), 0);
+        assert!(r[3].reachable);
+        assert_eq!(r[3].cost, Some(CostValue::Int(1)));
+        assert!(!r[4].reachable); // 1 cannot reach 2 in the diamond
+    }
+
+    #[test]
+    fn weighted_batch_int() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        // row weights: 0->1:10, 0->2:1, 1->3:1, 2->3:1, 3->4:1
+        let spec = WeightSpec::Int(vec![10, 1, 1, 1, 1]);
+        let r = c.compute(&[(0, 3), (0, 4)], &spec, true).unwrap();
+        assert_eq!(r[0].cost, Some(CostValue::Int(2)));
+        assert_eq!(r[0].path.as_ref().unwrap(), &vec![1, 3]); // rows via vertex 2
+        assert_eq!(r[1].cost, Some(CostValue::Int(3)));
+    }
+
+    #[test]
+    fn weighted_batch_float() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let spec = WeightSpec::Float(vec![0.5, 2.5, 0.25, 0.25, 1.0]);
+        let r = c.compute(&[(0, 3)], &spec, true).unwrap();
+        assert_eq!(r[0].cost, Some(CostValue::Float(0.75)));
+        assert_eq!(r[0].path.as_ref().unwrap(), &vec![0, 2]); // via vertex 1
+    }
+
+    #[test]
+    fn paths_skipped_when_not_requested() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let r = c.compute(&[(0, 4)], &WeightSpec::Unweighted, false).unwrap();
+        assert!(r[0].reachable);
+        assert!(r[0].path.is_none());
+        assert!(r[0].cost.is_some());
+    }
+
+    #[test]
+    fn invalid_weights_rejected_for_whole_batch() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let err =
+            c.compute(&[(0, 1)], &WeightSpec::Int(vec![1, 1, -3, 1, 1]), true).unwrap_err();
+        assert!(matches!(err, GraphError::NonPositiveWeight { .. }));
+    }
+
+    #[test]
+    fn out_of_range_pair_rejected() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        assert!(matches!(
+            c.compute(&[(0, 99)], &WeightSpec::Unweighted, true),
+            Err(GraphError::VertexOutOfRange { id: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn many_pairs_same_source_one_traversal_semantics() {
+        // All pairs share source 0; results must match individual queries.
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let pairs: Vec<(u32, u32)> = (0..5).map(|d| (0, d)).collect();
+        let batch = c.compute(&pairs, &WeightSpec::Unweighted, true).unwrap();
+        for (i, &(s, d)) in pairs.iter().enumerate() {
+            let single = c.shortest_path(s, d, &WeightSpec::Unweighted).unwrap();
+            assert_eq!(batch[i].reachable, single.reachable, "pair {i}");
+            assert_eq!(batch[i].cost, single.cost, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_pairs_get_identical_results() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        let r = c.compute(&[(0, 3), (0, 3)], &WeightSpec::Unweighted, true).unwrap();
+        assert_eq!(r[0].cost, r[1].cost);
+        assert_eq!(r[0].path, r[1].path);
+    }
+}

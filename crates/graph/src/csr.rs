@@ -1,0 +1,259 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! The paper (§3.2): "Our implementation always builds a Compressed Sparse
+//! Row (CSR) representation of the underlying graph, somewhat resembling an
+//! adjacency list. The columns {S, D} ∪ W are sorted according to S, thus a
+//! prefix sum is computed on S itself."
+//!
+//! We keep, for every CSR slot, the **original edge-table row id** so that a
+//! shortest path can be reported as a list of row references into the edge
+//! table (the §3.3 nested-table representation) and so that per-query weight
+//! columns can be permuted into CSR order.
+
+use crate::error::GraphError;
+use crate::Result;
+
+/// A directed graph in CSR form over dense vertex ids `0..n`.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v+1]` indexes the out-edges of `v` in
+    /// [`Csr::targets`] / [`Csr::edge_rows`]. Length `n + 1`.
+    offsets: Vec<usize>,
+    /// Destination vertex of each CSR slot.
+    targets: Vec<u32>,
+    /// Original edge-table row id of each CSR slot.
+    edge_rows: Vec<u32>,
+}
+
+impl Csr {
+    /// Build a CSR from parallel `src`/`dst` arrays of dense vertex ids.
+    ///
+    /// Edge `i` runs `src[i] -> dst[i]` and keeps row id `i`. Duplicate
+    /// edges and self-loops are preserved (they are legitimate rows of the
+    /// edge table). Construction is the counting-sort + prefix-sum pass the
+    /// paper describes; `O(|V| + |E|)`.
+    pub fn from_edges(num_vertices: u32, src: &[u32], dst: &[u32]) -> Result<Csr> {
+        if src.len() != dst.len() {
+            return Err(GraphError::LengthMismatch(format!(
+                "src has {} entries, dst has {}",
+                src.len(),
+                dst.len()
+            )));
+        }
+        let n = num_vertices as usize;
+        for &v in src.iter().chain(dst.iter()) {
+            if v >= num_vertices {
+                return Err(GraphError::VertexOutOfRange { id: v, n: num_vertices });
+            }
+        }
+        // Counting sort on the source column.
+        let mut counts = vec![0usize; n + 1];
+        for &s in src {
+            counts[s as usize + 1] += 1;
+        }
+        for v in 0..n {
+            counts[v + 1] += counts[v];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0u32; src.len()];
+        let mut edge_rows = vec![0u32; src.len()];
+        let mut cursor = counts;
+        for (row, (&s, &d)) in src.iter().zip(dst).enumerate() {
+            let slot = cursor[s as usize];
+            cursor[s as usize] += 1;
+            targets[slot] = d;
+            edge_rows[slot] = row as u32;
+        }
+        Ok(Csr { offsets, targets, edge_rows })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.offsets.len() - 1) as u32
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of vertex `v`.
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The CSR slot range of vertex `v`'s out-edges.
+    pub fn edge_range(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize]..self.offsets[v as usize + 1]
+    }
+
+    /// Destination vertex stored at CSR slot `slot`.
+    pub fn target(&self, slot: usize) -> u32 {
+        self.targets[slot]
+    }
+
+    /// Original edge-table row id stored at CSR slot `slot`.
+    pub fn edge_row(&self, slot: usize) -> u32 {
+        self.edge_rows[slot]
+    }
+
+    /// Iterate `(csr_slot, target_vertex)` over the out-edges of `v`.
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.edge_range(v).map(move |slot| (slot, self.targets[slot]))
+    }
+
+    /// Replace the per-slot edge-row ids (used by
+    /// [`reverse_csr`](crate::bidir::reverse_csr) to keep original row ids
+    /// through a reversal).
+    ///
+    /// # Panics
+    /// Panics when `rows` does not have one entry per edge.
+    pub fn with_edge_rows(mut self, rows: Vec<u32>) -> Csr {
+        assert_eq!(rows.len(), self.num_edges(), "one row id per CSR slot");
+        self.edge_rows = rows;
+        self
+    }
+
+    /// Permute a per-row weight array into CSR slot order, validating the
+    /// strict positivity contract of `CHEAPEST SUM` on the way.
+    ///
+    /// `weights[row]` is the weight of original edge row `row`; the result
+    /// is aligned with [`Csr::targets`].
+    pub fn permute_weights_int(&self, weights: &[i64]) -> Result<Vec<i64>> {
+        if weights.len() != self.num_edges() {
+            return Err(GraphError::LengthMismatch(format!(
+                "{} weights for {} edges",
+                weights.len(),
+                self.num_edges()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.num_edges());
+        for &row in &self.edge_rows {
+            let w = weights[row as usize];
+            if w <= 0 {
+                return Err(GraphError::NonPositiveWeight { edge_row: row, weight: w.to_string() });
+            }
+            out.push(w);
+        }
+        Ok(out)
+    }
+
+    /// Floating-point variant of [`Csr::permute_weights_int`]. NaN weights
+    /// are rejected alongside non-positive ones.
+    pub fn permute_weights_float(&self, weights: &[f64]) -> Result<Vec<f64>> {
+        if weights.len() != self.num_edges() {
+            return Err(GraphError::LengthMismatch(format!(
+                "{} weights for {} edges",
+                weights.len(),
+                self.num_edges()
+            )));
+        }
+        let mut out = Vec::with_capacity(self.num_edges());
+        for &row in &self.edge_rows {
+            let w = weights[row as usize];
+            if w <= 0.0 || w.is_nan() {
+                return Err(GraphError::NonPositiveWeight { edge_row: row, weight: w.to_string() });
+            }
+            out.push(w);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 5-vertex diamond used across this crate's tests:
+    /// 0->1, 0->2, 1->3, 2->3, 3->4.
+    pub(crate) fn diamond() -> Csr {
+        Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn builds_adjacency_correctly() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(4), 0);
+        let mut n0: Vec<u32> = g.neighbors(0).map(|(_, t)| t).collect();
+        n0.sort();
+        assert_eq!(n0, vec![1, 2]);
+        assert_eq!(g.neighbors(3).map(|(_, t)| t).collect::<Vec<_>>(), vec![4]);
+    }
+
+    #[test]
+    fn edge_rows_map_back_to_input_rows() {
+        let g = diamond();
+        // Each CSR slot's (source via offsets, target) must match the input
+        // edge at edge_rows[slot].
+        let src = [0u32, 0, 1, 2, 3];
+        let dst = [1u32, 2, 3, 3, 4];
+        for v in 0..g.num_vertices() {
+            for (slot, t) in g.neighbors(v) {
+                let row = g.edge_row(slot) as usize;
+                assert_eq!(src[row], v);
+                assert_eq!(dst[row], t);
+            }
+        }
+    }
+
+    #[test]
+    fn preserves_duplicates_and_self_loops() {
+        let g = Csr::from_edges(2, &[0, 0, 1], &[1, 1, 1]).unwrap();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(1), 1); // self loop 1->1
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertices() {
+        let err = Csr::from_edges(2, &[0, 5], &[1, 1]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { id: 5, n: 2 }));
+    }
+
+    #[test]
+    fn rejects_ragged_input() {
+        assert!(matches!(
+            Csr::from_edges(2, &[0], &[1, 0]),
+            Err(GraphError::LengthMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn weight_permutation_aligns_with_slots() {
+        let g = diamond();
+        // weight of row i is (i+1)*10
+        let weights: Vec<i64> = (0..5).map(|i| (i + 1) * 10).collect();
+        let permuted = g.permute_weights_int(&weights).unwrap();
+        for slot in 0..g.num_edges() {
+            assert_eq!(permuted[slot], weights[g.edge_row(slot) as usize]);
+        }
+    }
+
+    #[test]
+    fn weight_positivity_enforced() {
+        let g = diamond();
+        let err = g.permute_weights_int(&[1, 2, 0, 4, 5]).unwrap_err();
+        assert!(matches!(err, GraphError::NonPositiveWeight { edge_row: 2, .. }));
+        let err = g.permute_weights_float(&[1.0, 2.0, 3.0, -0.5, 5.0]).unwrap_err();
+        assert!(matches!(err, GraphError::NonPositiveWeight { edge_row: 3, .. }));
+        let err = g.permute_weights_float(&[1.0, 2.0, 3.0, f64::NAN, 5.0]).unwrap_err();
+        assert!(matches!(err, GraphError::NonPositiveWeight { edge_row: 3, .. }));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[], &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_no_neighbors() {
+        let g = Csr::from_edges(4, &[0], &[1]).unwrap();
+        assert_eq!(g.out_degree(2), 0);
+        assert_eq!(g.out_degree(3), 0);
+    }
+}

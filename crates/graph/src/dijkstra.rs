@@ -1,0 +1,311 @@
+//! Dijkstra's algorithm for weighted shortest paths.
+//!
+//! Two variants, matching the paper's runtime (§3.2):
+//!
+//! * [`dijkstra_int`] — strictly positive **integer** weights, driven by the
+//!   monotone [`RadixHeap`](crate::radix_heap::RadixHeap) (Ahuja et al.);
+//! * [`dijkstra_float`] — strictly positive **floating-point** weights,
+//!   driven by a standard binary heap (a radix queue requires integer keys,
+//!   which is why the paper's example casts `weight * 2` to `int`; we keep
+//!   a float fallback so arbitrary numeric weight expressions work).
+//!
+//! Weights are supplied **in CSR slot order** (see
+//! [`Csr::permute_weights_int`](crate::csr::Csr::permute_weights_int)), which
+//! also guarantees they were validated to be strictly positive.
+
+use crate::csr::Csr;
+use crate::radix_heap::RadixHeap;
+use crate::{NO_EDGE, NO_VERTEX};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an integer-weight Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraIntResult {
+    /// `dist[v]` = cost of the cheapest path, or `u64::MAX` if unreached.
+    pub dist: Vec<u64>,
+    /// `parent_edge[v]` = CSR slot of the final edge of the cheapest path.
+    pub parent_edge: Vec<u32>,
+    /// `parent[v]` = predecessor vertex on the cheapest path.
+    pub parent: Vec<u32>,
+}
+
+/// Result of a float-weight Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct DijkstraFloatResult {
+    /// `dist[v]` = cost of the cheapest path, or `f64::INFINITY`.
+    pub dist: Vec<f64>,
+    /// `parent_edge[v]` = CSR slot of the final edge of the cheapest path.
+    pub parent_edge: Vec<u32>,
+    /// `parent[v]` = predecessor vertex on the cheapest path.
+    pub parent: Vec<u32>,
+}
+
+/// Dijkstra with a radix queue over strictly positive integer weights.
+///
+/// `weights` must be in CSR slot order. When `targets` is non-empty the
+/// search stops once every target is **settled** (popped with its final
+/// distance). Unreached vertices keep `u64::MAX`.
+pub fn dijkstra_int(
+    graph: &Csr,
+    source: u32,
+    targets: &[u32],
+    weights: &[i64],
+) -> DijkstraIntResult {
+    let n = graph.num_vertices() as usize;
+    debug_assert_eq!(weights.len(), graph.num_edges());
+    let mut dist = vec![u64::MAX; n];
+    let mut parent_edge = vec![NO_EDGE; n];
+    let mut parent = vec![NO_VERTEX; n];
+    let mut settled = vec![false; n];
+
+    let (mut is_target, mut remaining) = target_set(n, targets);
+
+    let mut heap: RadixHeap<u32> = RadixHeap::new();
+    dist[source as usize] = 0;
+    heap.push(0, source);
+
+    while let Some((d, u)) = heap.pop() {
+        let ui = u as usize;
+        if settled[ui] {
+            continue; // stale entry
+        }
+        settled[ui] = true;
+        if is_target[ui] {
+            is_target[ui] = false;
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (slot, v) in graph.neighbors(u) {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            let w = weights[slot] as u64;
+            let nd = d + w;
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                parent_edge[vi] = slot as u32;
+                parent[vi] = u;
+                heap.push(nd, v);
+            }
+        }
+    }
+    DijkstraIntResult { dist, parent_edge, parent }
+}
+
+/// An `f64` wrapper with a total order, for use inside the binary heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Dijkstra with a binary heap over strictly positive float weights.
+///
+/// Same contract as [`dijkstra_int`]; unreached vertices keep
+/// `f64::INFINITY`.
+pub fn dijkstra_float(
+    graph: &Csr,
+    source: u32,
+    targets: &[u32],
+    weights: &[f64],
+) -> DijkstraFloatResult {
+    let n = graph.num_vertices() as usize;
+    debug_assert_eq!(weights.len(), graph.num_edges());
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge = vec![NO_EDGE; n];
+    let mut parent = vec![NO_VERTEX; n];
+    let mut settled = vec![false; n];
+
+    let (mut is_target, mut remaining) = target_set(n, targets);
+
+    let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
+    dist[source as usize] = 0.0;
+    heap.push(Reverse((OrdF64(0.0), source)));
+
+    while let Some(Reverse((OrdF64(d), u))) = heap.pop() {
+        let ui = u as usize;
+        if settled[ui] {
+            continue;
+        }
+        settled[ui] = true;
+        if is_target[ui] {
+            is_target[ui] = false;
+            remaining -= 1;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for (slot, v) in graph.neighbors(u) {
+            let vi = v as usize;
+            if settled[vi] {
+                continue;
+            }
+            let nd = d + weights[slot];
+            if nd < dist[vi] {
+                dist[vi] = nd;
+                parent_edge[vi] = slot as u32;
+                parent[vi] = u;
+                heap.push(Reverse((OrdF64(nd), v)));
+            }
+        }
+    }
+    DijkstraFloatResult { dist, parent_edge, parent }
+}
+
+/// Build the dedup'd target membership vector. `remaining == usize::MAX`
+/// encodes "no early exit" (full exploration).
+fn target_set(n: usize, targets: &[u32]) -> (Vec<bool>, usize) {
+    let mut is_target = vec![false; n];
+    if targets.is_empty() {
+        return (is_target, usize::MAX);
+    }
+    let mut remaining = 0;
+    for &t in targets {
+        let slot = &mut is_target[t as usize];
+        if !*slot {
+            *slot = true;
+            remaining += 1;
+        }
+    }
+    (is_target, remaining)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+
+    fn diamond() -> Csr {
+        Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap()
+    }
+
+    fn diamond_weights(raw: [i64; 5]) -> (Csr, Vec<i64>) {
+        let g = diamond();
+        let w = g.permute_weights_int(&raw).unwrap();
+        (g, w)
+    }
+
+    #[test]
+    fn picks_cheaper_branch() {
+        // 0->1 costs 10, 0->2 costs 1, 1->3 costs 1, 2->3 costs 1, 3->4 = 1.
+        // Cheapest 0~>3 goes through 2 with cost 2.
+        let (g, w) = diamond_weights([10, 1, 1, 1, 1]);
+        let r = dijkstra_int(&g, 0, &[], &w);
+        assert_eq!(r.dist[3], 2);
+        assert_eq!(r.parent[3], 2);
+        assert_eq!(r.dist[4], 3);
+    }
+
+    #[test]
+    fn unit_weights_match_bfs() {
+        let (g, w) = diamond_weights([1, 1, 1, 1, 1]);
+        let dj = dijkstra_int(&g, 0, &[], &w);
+        let bf = bfs(&g, 0, &[]);
+        for v in 0..5 {
+            let b = bf.dist[v];
+            let d = dj.dist[v];
+            if b == u32::MAX {
+                assert_eq!(d, u64::MAX);
+            } else {
+                assert_eq!(d, b as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn float_variant_matches_int_on_integral_weights() {
+        let raw = [3i64, 1, 4, 1, 5];
+        let (g, wi) = diamond_weights(raw);
+        let wf = g.permute_weights_float(&raw.map(|x| x as f64)).unwrap();
+        let ri = dijkstra_int(&g, 0, &[], &wi);
+        let rf = dijkstra_float(&g, 0, &[], &wf);
+        for v in 0..5 {
+            if ri.dist[v] == u64::MAX {
+                assert!(rf.dist[v].is_infinite());
+            } else {
+                assert_eq!(ri.dist[v] as f64, rf.dist[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn early_exit_settles_targets_exactly() {
+        // Chain with a shortcut: 0->1 (1), 1->2 (1), 0->2 (5).
+        // Target {2}: must still return the cheap dist 2, not 5 — i.e. the
+        // exit happens at settle time, not discovery time.
+        let g = Csr::from_edges(3, &[0, 1, 0], &[1, 2, 2]).unwrap();
+        let w = g.permute_weights_int(&[1, 1, 5]).unwrap();
+        let r = dijkstra_int(&g, 0, &[2], &w);
+        assert_eq!(r.dist[2], 2);
+    }
+
+    #[test]
+    fn unreachable_keeps_sentinel() {
+        let g = Csr::from_edges(3, &[0], &[1]).unwrap();
+        let w = g.permute_weights_int(&[7]).unwrap();
+        let r = dijkstra_int(&g, 0, &[], &w);
+        assert_eq!(r.dist[2], u64::MAX);
+        let wf = g.permute_weights_float(&[7.0]).unwrap();
+        let rf = dijkstra_float(&g, 0, &[], &wf);
+        assert!(rf.dist[2].is_infinite());
+    }
+
+    #[test]
+    fn parent_edges_reconstruct_costs() {
+        let (g, w) = diamond_weights([2, 3, 4, 1, 6]);
+        let r = dijkstra_int(&g, 0, &[], &w);
+        // Verify dist[v] equals the sum of weights along the parent chain.
+        for v in 1..5u32 {
+            if r.dist[v as usize] == u64::MAX {
+                continue;
+            }
+            let mut acc = 0u64;
+            let mut cur = v;
+            while cur != 0 {
+                let slot = r.parent_edge[cur as usize] as usize;
+                acc += w[slot] as u64;
+                cur = r.parent[cur as usize];
+            }
+            assert_eq!(acc, r.dist[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn random_graphs_radix_matches_binary_heap() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let n: u32 = rng.gen_range(2..40);
+            let m: usize = rng.gen_range(1..200);
+            let src: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+            let dst: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+            let raw: Vec<i64> = (0..m).map(|_| rng.gen_range(1..100)).collect();
+            let g = Csr::from_edges(n, &src, &dst).unwrap();
+            let wi = g.permute_weights_int(&raw).unwrap();
+            let wf = g.permute_weights_float(&raw.iter().map(|&x| x as f64).collect::<Vec<_>>())
+                .unwrap();
+            let s = rng.gen_range(0..n);
+            let ri = dijkstra_int(&g, s, &[], &wi);
+            let rf = dijkstra_float(&g, s, &[], &wf);
+            for v in 0..n as usize {
+                if ri.dist[v] == u64::MAX {
+                    assert!(rf.dist[v].is_infinite());
+                } else {
+                    assert_eq!(ri.dist[v] as f64, rf.dist[v]);
+                }
+            }
+        }
+    }
+}

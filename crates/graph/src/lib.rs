@@ -1,0 +1,51 @@
+//! # gsql-graph
+//!
+//! The graph runtime of the reproduction — the counterpart of the paper's
+//! "external library" (§3.2) that MonetDB's generated MAL code invokes.
+//!
+//! The library operates purely on **dense vertex ids** `0..n`: the query
+//! engine (gsql-core) is responsible for translating arbitrary SQL values
+//! from the edge table's `S`/`D` columns and the filter columns `X`/`Y` into
+//! this domain ("all the values from X, Y, S and D are translated into
+//! integers from the domain H = {0, …, |V|−1}", §3.1).
+//!
+//! Provided here:
+//!
+//! * [`Csr`] — the Compressed Sparse Row representation built by counting
+//!   sort + prefix sum, storing for every CSR slot the **original edge-table
+//!   row id**, which is what paths are made of (§3.3);
+//! * [`bfs`] — breadth-first search for unweighted shortest paths;
+//! * [`dijkstra_int`] — Dijkstra with a **radix heap** (Ahuja et al. [11])
+//!   for strictly positive integer weights;
+//! * [`dijkstra_float`] — Dijkstra with a binary heap for strictly positive
+//!   floating-point weights;
+//! * [`batch`] — the many-to-many driver: pairs are grouped by source and
+//!   one traversal with multi-destination early exit is run per distinct
+//!   source, which is what makes Figure 1b's batching amortization work.
+
+pub mod batch;
+pub mod bfs;
+pub mod bidir;
+pub mod csr;
+pub mod dijkstra;
+pub mod error;
+pub mod path;
+pub mod radix_heap;
+
+pub use batch::{BatchComputer, PairResult, WeightSpec};
+pub use bidir::{bidirectional_bfs, reverse_csr, BidirResult};
+pub use bfs::{bfs, BfsResult};
+pub use csr::Csr;
+pub use dijkstra::{dijkstra_float, dijkstra_int, DijkstraFloatResult, DijkstraIntResult};
+pub use error::GraphError;
+pub use path::reconstruct_path;
+pub use radix_heap::RadixHeap;
+
+/// Sentinel vertex id meaning "no vertex" / "unreachable".
+pub const NO_VERTEX: u32 = u32::MAX;
+
+/// Sentinel CSR slot meaning "no parent edge".
+pub const NO_EDGE: u32 = u32::MAX;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

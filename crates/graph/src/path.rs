@@ -1,0 +1,72 @@
+//! Shortest-path reconstruction from parent-edge arrays.
+
+use crate::csr::Csr;
+use crate::{NO_EDGE, NO_VERTEX};
+
+/// Reconstruct the path `source ~> dest` as a list of **original edge-table
+/// row ids**, ordered from the edge leaving `source` to the edge entering
+/// `dest`.
+///
+/// Returns:
+/// * `Some(vec![])` when `source == dest` (the zero-hop path of the paper's
+///   appendix example A.4, cost 0, empty nested table);
+/// * `Some(rows)` when a parent chain exists;
+/// * `None` when `dest` was not reached by the traversal.
+pub fn reconstruct_path(
+    graph: &Csr,
+    parent: &[u32],
+    parent_edge: &[u32],
+    source: u32,
+    dest: u32,
+) -> Option<Vec<u32>> {
+    if source == dest {
+        return Some(Vec::new());
+    }
+    if parent[dest as usize] == NO_VERTEX {
+        return None;
+    }
+    let mut rows = Vec::new();
+    let mut cur = dest;
+    while cur != source {
+        let slot = parent_edge[cur as usize];
+        debug_assert_ne!(slot, NO_EDGE, "parent chain inconsistent");
+        rows.push(graph.edge_row(slot as usize));
+        cur = parent[cur as usize];
+        debug_assert!(rows.len() <= graph.num_edges(), "cycle in parent chain");
+    }
+    rows.reverse();
+    Some(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+
+    #[test]
+    fn reconstructs_row_ids_in_order() {
+        // rows: 0: 0->1, 1: 0->2, 2: 1->3, 3: 2->3, 4: 3->4
+        let g = Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap();
+        let r = bfs(&g, 0, &[]);
+        let path = reconstruct_path(&g, &r.parent, &r.parent_edge, 0, 4).unwrap();
+        assert_eq!(path.len(), 3);
+        // Path is 0->{1 or 2}->3->4: first row is 0 or 1, then 2 or 3, then 4.
+        assert!(path[0] == 0 || path[0] == 1);
+        assert!(path[1] == 2 || path[1] == 3);
+        assert_eq!(path[2], 4);
+    }
+
+    #[test]
+    fn zero_hop_path_is_empty() {
+        let g = Csr::from_edges(2, &[0], &[1]).unwrap();
+        let r = bfs(&g, 0, &[]);
+        assert_eq!(reconstruct_path(&g, &r.parent, &r.parent_edge, 0, 0), Some(vec![]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let g = Csr::from_edges(3, &[0], &[1]).unwrap();
+        let r = bfs(&g, 0, &[]);
+        assert_eq!(reconstruct_path(&g, &r.parent, &r.parent_edge, 0, 2), None);
+    }
+}

@@ -1,0 +1,41 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error produced by the lexer or parser, carrying a 1-based source
+/// position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// 1-based column of the offending token.
+    pub column: u32,
+}
+
+impl ParseError {
+    /// Construct an error at a position.
+    pub fn new(message: impl Into<String>, line: u32, column: u32) -> ParseError {
+        ParseError { message: message.into(), line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected token", 3, 14);
+        assert_eq!(e.to_string(), "parse error at 3:14: unexpected token");
+    }
+}

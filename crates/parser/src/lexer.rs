@@ -1,0 +1,437 @@
+//! Hand-written SQL lexer.
+
+use crate::error::ParseError;
+use crate::token::{Keyword, SpannedToken, Token};
+use crate::Result;
+
+/// Converts SQL text into a token stream.
+///
+/// Supported lexical syntax: unquoted identifiers (`[A-Za-z_][A-Za-z0-9_]*`,
+/// case-insensitively matched against keywords), `"quoted identifiers"`,
+/// `'string literals'` with `''` escaping, integer and decimal numbers
+/// (including `1e-3` exponents), `--` line comments, `/* */` block comments,
+/// and the operator set of [`Token`].
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    column: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Create a lexer over `src`.
+    pub fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, column: 1 }
+    }
+
+    /// Tokenize the whole input, appending a final [`Token::Eof`].
+    pub fn tokenize(mut self) -> Result<Vec<SpannedToken>> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_whitespace_and_comments()?;
+            let (line, column) = (self.line, self.column);
+            match self.next_token()? {
+                Token::Eof => {
+                    out.push(SpannedToken { token: Token::Eof, line, column });
+                    return Ok(out);
+                }
+                token => out.push(SpannedToken { token, line, column }),
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.line, self.column)
+    }
+
+    fn skip_whitespace_and_comments(&mut self) -> Result<()> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'-') if self.peek2() == Some(b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (line, column) = (self.line, self.column);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    "unterminated block comment",
+                                    line,
+                                    column,
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token> {
+        let c = match self.peek() {
+            None => return Ok(Token::Eof),
+            Some(c) => c,
+        };
+        match c {
+            b'(' => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            b',' => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            b';' => {
+                self.bump();
+                Ok(Token::Semicolon)
+            }
+            b':' => {
+                self.bump();
+                Ok(Token::Colon)
+            }
+            b'?' => {
+                self.bump();
+                Ok(Token::Question)
+            }
+            b'*' => {
+                self.bump();
+                Ok(Token::Star)
+            }
+            b'+' => {
+                self.bump();
+                Ok(Token::Plus)
+            }
+            b'-' => {
+                self.bump();
+                Ok(Token::Minus)
+            }
+            b'/' => {
+                self.bump();
+                Ok(Token::Slash)
+            }
+            b'%' => {
+                self.bump();
+                Ok(Token::Percent)
+            }
+            b'=' => {
+                self.bump();
+                Ok(Token::Eq)
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::NotEq)
+                } else {
+                    Err(self.error("expected '=' after '!'"))
+                }
+            }
+            b'<' => {
+                self.bump();
+                match self.peek() {
+                    Some(b'=') => {
+                        self.bump();
+                        Ok(Token::LtEq)
+                    }
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(Token::NotEq)
+                    }
+                    _ => Ok(Token::Lt),
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Token::GtEq)
+                } else {
+                    Ok(Token::Gt)
+                }
+            }
+            b'|' => {
+                self.bump();
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    Ok(Token::Concat)
+                } else {
+                    Err(self.error("expected '||'"))
+                }
+            }
+            b'.' => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            b'\'' => self.lex_string(),
+            b'"' => self.lex_quoted_ident(),
+            c if c.is_ascii_digit() => self.lex_number(),
+            c if c.is_ascii_alphabetic() || c == b'_' => self.lex_word(),
+            c => Err(self.error(format!("unexpected character '{}'", c as char))),
+        }
+    }
+
+    fn lex_string(&mut self) -> Result<Token> {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(ParseError::new("unterminated string literal", line, column)),
+                Some(b'\'') => {
+                    // '' escapes a single quote
+                    if self.peek() == Some(b'\'') {
+                        self.bump();
+                        s.push('\'');
+                    } else {
+                        return Ok(Token::String(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_quoted_ident(&mut self) -> Result<Token> {
+        let (line, column) = (self.line, self.column);
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ParseError::new("unterminated quoted identifier", line, column))
+                }
+                Some(b'"') => {
+                    if self.peek() == Some(b'"') {
+                        self.bump();
+                        s.push('"');
+                    } else {
+                        return Ok(Token::Ident(s));
+                    }
+                }
+                Some(c) => s.push(c as char),
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<Token> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        // Decimal point followed by a digit (so `1.x` member access never
+        // arises — column refs start with letters).
+        if self.peek() == Some(b'.') && self.peek2().is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut lookahead = self.pos + 1;
+            if matches!(self.src.get(lookahead), Some(b'+') | Some(b'-')) {
+                lookahead += 1;
+            }
+            if self.src.get(lookahead).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.bump(); // e
+                if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                    self.bump();
+                }
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.bump();
+                }
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Token::Float)
+                .map_err(|_| self.error(format!("invalid float literal '{text}'")))
+        } else {
+            text.parse::<i64>()
+                .map(Token::Int)
+                .map_err(|_| self.error(format!("integer literal '{text}' out of range")))
+        }
+    }
+
+    fn lex_word(&mut self) -> Result<Token> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_') {
+            self.bump();
+        }
+        let word = std::str::from_utf8(&self.src[start..self.pos])
+            .map_err(|_| self.error("invalid utf-8 in identifier"))?;
+        Ok(match Keyword::parse(word) {
+            Some(kw) => Token::Keyword(kw),
+            None => Token::Ident(word.to_string()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(src: &str) -> Vec<Token> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn lexes_select_statement() {
+        let tokens = lex("SELECT a, b FROM t WHERE x = 1;");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Ident("b".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("t".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Int(1),
+                Token::Semicolon,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_reaches_clause() {
+        let tokens = lex("? REACHES id OVER friends EDGE (src, dst)");
+        assert!(tokens.contains(&Token::Question));
+        assert!(tokens.contains(&Token::Keyword(Keyword::Reaches)));
+        assert!(tokens.contains(&Token::Keyword(Keyword::Over)));
+        assert!(tokens.contains(&Token::Keyword(Keyword::Edge)));
+    }
+
+    #[test]
+    fn lexes_cheapest_sum_binding() {
+        let tokens = lex("CHEAPEST SUM(e: weight * 2)");
+        assert_eq!(tokens[0], Token::Keyword(Keyword::Cheapest));
+        assert_eq!(tokens[1], Token::Ident("SUM".into()));
+        assert_eq!(tokens[2], Token::LParen);
+        assert_eq!(tokens[3], Token::Ident("e".into()));
+        assert_eq!(tokens[4], Token::Colon);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(lex("'it''s'"), vec![Token::String("it's".into()), Token::Eof]);
+        assert_eq!(lex("''"), vec![Token::String(String::new()), Token::Eof]);
+    }
+
+    #[test]
+    fn quoted_identifiers_bypass_keywords() {
+        assert_eq!(lex("\"select\""), vec![Token::Ident("select".into()), Token::Eof]);
+        assert_eq!(lex("\"a\"\"b\""), vec![Token::Ident("a\"b".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42"), vec![Token::Int(42), Token::Eof]);
+        assert_eq!(lex("3.5"), vec![Token::Float(3.5), Token::Eof]);
+        assert_eq!(lex("1e3"), vec![Token::Float(1000.0), Token::Eof]);
+        assert_eq!(lex("2.5e-1"), vec![Token::Float(0.25), Token::Eof]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = lex("SELECT -- trailing\n 1 /* block\n comment */ + 2");
+        assert_eq!(
+            tokens,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Int(1),
+                Token::Plus,
+                Token::Int(2),
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            lex("<> != <= >= || < > ="),
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Concat,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = Lexer::new("SELECT\n  @").tokenize().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(Lexer::new("'abc").tokenize().is_err());
+        assert!(Lexer::new("/* abc").tokenize().is_err());
+    }
+
+    #[test]
+    fn integer_overflow_is_reported() {
+        assert!(Lexer::new("99999999999999999999999").tokenize().is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Token definitions.
+
+use std::fmt;
+
+/// SQL keywords recognized by the lexer (case-insensitive).
+///
+/// Per the paper §3.1, `CHEAPEST`, `REACHES`, `EDGE` and `UNNEST` are
+/// reserved alongside the standard keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // the variants are the keywords themselves
+pub enum Keyword {
+    All,
+    And,
+    As,
+    Asc,
+    Between,
+    Boolean,
+    By,
+    Case,
+    Cast,
+    Cheapest,
+    Create,
+    Cross,
+    Date,
+    Delete,
+    Desc,
+    Describe,
+    Distinct,
+    Double,
+    Drop,
+    Edge,
+    Else,
+    End,
+    Exists,
+    Explain,
+    False,
+    Float,
+    From,
+    Graph,
+    Group,
+    Having,
+    In,
+    Index,
+    Inner,
+    Insert,
+    Int,
+    Integer,
+    Bigint,
+    Into,
+    Is,
+    Join,
+    Key,
+    Left,
+    Like,
+    Limit,
+    Not,
+    Null,
+    Offset,
+    On,
+    Or,
+    Order,
+    Ordinality,
+    Outer,
+    Over,
+    Primary,
+    Reaches,
+    Right,
+    Select,
+    Set,
+    Table,
+    Text,
+    Then,
+    True,
+    Union,
+    Unnest,
+    Update,
+    Values,
+    Varchar,
+    When,
+    Where,
+    With,
+}
+
+impl Keyword {
+    /// Look up a keyword from an identifier-shaped word (case-insensitive).
+    pub fn parse(word: &str) -> Option<Keyword> {
+        use Keyword::*;
+        let folded = word.to_ascii_uppercase();
+        Some(match folded.as_str() {
+            "ALL" => All,
+            "AND" => And,
+            "AS" => As,
+            "ASC" => Asc,
+            "BETWEEN" => Between,
+            "BIGINT" => Bigint,
+            "BOOLEAN" => Boolean,
+            "BY" => By,
+            "CASE" => Case,
+            "CAST" => Cast,
+            "CHEAPEST" => Cheapest,
+            "CREATE" => Create,
+            "CROSS" => Cross,
+            "DATE" => Date,
+            "DELETE" => Delete,
+            "DESC" => Desc,
+            "DESCRIBE" => Describe,
+            "DISTINCT" => Distinct,
+            "DOUBLE" => Double,
+            "DROP" => Drop,
+            "EDGE" => Edge,
+            "ELSE" => Else,
+            "END" => End,
+            "EXISTS" => Exists,
+            "EXPLAIN" => Explain,
+            "FALSE" => False,
+            "FLOAT" => Float,
+            "FROM" => From,
+            "GRAPH" => Graph,
+            "GROUP" => Group,
+            "HAVING" => Having,
+            "IN" => In,
+            "INDEX" => Index,
+            "INNER" => Inner,
+            "INSERT" => Insert,
+            "INT" => Int,
+            "INTEGER" => Integer,
+            "INTO" => Into,
+            "IS" => Is,
+            "JOIN" => Join,
+            "KEY" => Key,
+            "LEFT" => Left,
+            "LIKE" => Like,
+            "LIMIT" => Limit,
+            "NOT" => Not,
+            "NULL" => Null,
+            "OFFSET" => Offset,
+            "ON" => On,
+            "OR" => Or,
+            "ORDER" => Order,
+            "ORDINALITY" => Ordinality,
+            "OUTER" => Outer,
+            "OVER" => Over,
+            "PRIMARY" => Primary,
+            "REACHES" => Reaches,
+            "RIGHT" => Right,
+            "SELECT" => Select,
+            "SET" => Set,
+            "TABLE" => Table,
+            "TEXT" => Text,
+            "THEN" => Then,
+            "TRUE" => True,
+            "UNION" => Union,
+            "UNNEST" => Unnest,
+            "UPDATE" => Update,
+            "VALUES" => Values,
+            "VARCHAR" => Varchar,
+            "WHEN" => When,
+            "WHERE" => Where,
+            "WITH" => With,
+            _ => return None,
+        })
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier (unquoted word that is not a keyword, or `"quoted"`).
+    Ident(String),
+    /// Reserved word.
+    Keyword(Keyword),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal with quotes and escapes resolved.
+    String(String),
+    /// `?` positional host parameter.
+    Question,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `:` (used by the `CHEAPEST SUM(e: expr)` binding syntax)
+    Colon,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `||` string concatenation
+    Concat,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "identifier '{s}'"),
+            Token::Keyword(k) => write!(f, "keyword {k:?}"),
+            Token::Int(v) => write!(f, "integer {v}"),
+            Token::Float(v) => write!(f, "float {v}"),
+            Token::String(s) => write!(f, "string '{s}'"),
+            Token::Question => write!(f, "'?'"),
+            Token::LParen => write!(f, "'('"),
+            Token::RParen => write!(f, "')'"),
+            Token::Comma => write!(f, "','"),
+            Token::Dot => write!(f, "'.'"),
+            Token::Semicolon => write!(f, "';'"),
+            Token::Colon => write!(f, "':'"),
+            Token::Star => write!(f, "'*'"),
+            Token::Plus => write!(f, "'+'"),
+            Token::Minus => write!(f, "'-'"),
+            Token::Slash => write!(f, "'/'"),
+            Token::Percent => write!(f, "'%'"),
+            Token::Eq => write!(f, "'='"),
+            Token::NotEq => write!(f, "'<>'"),
+            Token::Lt => write!(f, "'<'"),
+            Token::LtEq => write!(f, "'<='"),
+            Token::Gt => write!(f, "'>'"),
+            Token::GtEq => write!(f, "'>='"),
+            Token::Concat => write!(f, "'||'"),
+            Token::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub column: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::parse("select"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("SeLeCt"), Some(Keyword::Select));
+        assert_eq!(Keyword::parse("REACHES"), Some(Keyword::Reaches));
+        assert_eq!(Keyword::parse("cheapest"), Some(Keyword::Cheapest));
+        assert_eq!(Keyword::parse("frobnicate"), None);
+    }
+
+    #[test]
+    fn paper_keywords_are_reserved() {
+        for w in ["CHEAPEST", "REACHES", "EDGE", "UNNEST"] {
+            assert!(Keyword::parse(w).is_some(), "{w} must be a keyword");
+        }
+    }
+}

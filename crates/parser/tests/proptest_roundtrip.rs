@@ -1,0 +1,306 @@
+//! Property-based round-trip tests: generate random ASTs, render them to
+//! SQL, re-parse, and require structural equality. This pins down both the
+//! renderer (canonical parenthesization) and the parser's precedence rules.
+
+use gsql_parser::ast::*;
+use gsql_parser::parse_statement;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Identifiers that are never keywords.
+    "[a-z][a-z0-9_]{0,6}xx".prop_map(|s| s)
+}
+
+fn literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        Just(Literal::Null),
+        any::<i32>().prop_map(|v| Literal::Int(v as i64)),
+        // Finite doubles with a short decimal representation survive
+        // display->parse exactly.
+        (-1000i32..1000, 1u32..100).prop_map(|(a, b)| Literal::Float(a as f64 / b as f64)),
+        "[a-zA-Z0-9 ']{0,12}".prop_map(Literal::String),
+        any::<bool>().prop_map(Literal::Bool),
+        (1980u32..2030, 1u32..13, 1u32..29)
+            .prop_map(|(y, m, d)| Literal::Date(format!("{y:04}-{m:02}-{d:02}"))),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        literal().prop_map(Expr::Literal),
+        ident().prop_map(|name| Expr::Column { table: None, name }),
+        (ident(), ident()).prop_map(|(t, name)| Expr::Column { table: Some(t), name }),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul),
+                Just(BinaryOp::Div), Just(BinaryOp::Mod), Just(BinaryOp::Concat),
+                Just(BinaryOp::Eq), Just(BinaryOp::NotEq), Just(BinaryOp::Lt),
+                Just(BinaryOp::LtEq), Just(BinaryOp::Gt), Just(BinaryOp::GtEq),
+                Just(BinaryOp::And), Just(BinaryOp::Or),
+            ])
+                .prop_map(|(l, r, op)| Expr::Binary {
+                    left: Box::new(l),
+                    op,
+                    right: Box::new(r)
+                }),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated
+            }),
+            (inner.clone(), prop::collection::vec(inner.clone(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated
+                }
+            ),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Neg, expr: Box::new(e) }),
+            (inner.clone(), prop_oneof![
+                Just(TypeName::Integer), Just(TypeName::Double), Just(TypeName::Varchar),
+                Just(TypeName::Boolean), Just(TypeName::Date)
+            ])
+                .prop_map(|(e, ty)| Expr::Cast { expr: Box::new(e), ty }),
+            (ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(name, args)| Expr::Function { name, args, distinct: false }),
+            (
+                prop::option::of(inner.clone().prop_map(Box::new)),
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone().prop_map(Box::new)),
+            )
+                .prop_map(|(operand, branches, else_expr)| Expr::Case {
+                    operand,
+                    branches,
+                    else_expr
+                }),
+        ]
+    })
+}
+
+/// Normalize the one representational ambiguity: the parser folds `-5`
+/// into a negative literal, while a generated AST may hold
+/// `Unary(Neg, Literal(5))`. Everything else must match exactly.
+fn normalize(e: &Expr) -> Expr {
+    match e {
+        Expr::Unary { op: UnaryOp::Neg, expr } => match normalize(expr) {
+            Expr::Literal(Literal::Int(v)) => Expr::Literal(Literal::Int(-v)),
+            Expr::Literal(Literal::Float(v)) => Expr::Literal(Literal::Float(-v)),
+            inner => Expr::Unary { op: UnaryOp::Neg, expr: Box::new(inner) },
+        },
+        Expr::Unary { op, expr } => Expr::Unary { op: *op, expr: Box::new(normalize(expr)) },
+        Expr::Binary { left, op, right } => Expr::Binary {
+            left: Box::new(normalize(left)),
+            op: *op,
+            right: Box::new(normalize(right)),
+        },
+        Expr::IsNull { expr, negated } => {
+            Expr::IsNull { expr: Box::new(normalize(expr)), negated: *negated }
+        }
+        Expr::InList { expr, list, negated } => Expr::InList {
+            expr: Box::new(normalize(expr)),
+            list: list.iter().map(normalize).collect(),
+            negated: *negated,
+        },
+        Expr::Between { expr, low, high, negated } => Expr::Between {
+            expr: Box::new(normalize(expr)),
+            low: Box::new(normalize(low)),
+            high: Box::new(normalize(high)),
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Expr::Like {
+            expr: Box::new(normalize(expr)),
+            pattern: Box::new(normalize(pattern)),
+            negated: *negated,
+        },
+        Expr::Case { operand, branches, else_expr } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(normalize(o))),
+            branches: branches.iter().map(|(w, t)| (normalize(w), normalize(t))).collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(normalize(e))),
+        },
+        Expr::Cast { expr, ty } => Expr::Cast { expr: Box::new(normalize(expr)), ty: *ty },
+        Expr::Function { name, args, distinct } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(normalize).collect(),
+            distinct: *distinct,
+        },
+        Expr::Reaches(r) => Expr::Reaches(Box::new(ReachesPredicate {
+            source: normalize(&r.source),
+            dest: normalize(&r.dest),
+            edge_table: r.edge_table.clone(),
+            alias: r.alias.clone(),
+            src_col: r.src_col.clone(),
+            dst_col: r.dst_col.clone(),
+        })),
+        other => other.clone(),
+    }
+}
+
+fn normalize_stmt(stmt: &Statement) -> Statement {
+    // Only the query shapes used in this test file need normalization.
+    let Statement::Query(q) = stmt else { return stmt.clone() };
+    let body = match &q.body {
+        SetExpr::Select(s) => SetExpr::Select(Box::new(Select {
+            distinct: s.distinct,
+            items: s
+                .items
+                .iter()
+                .map(|it| match it {
+                    SelectItem::Expr { expr, alias } => SelectItem::Expr {
+                        expr: normalize(expr),
+                        alias: alias.clone(),
+                    },
+                    SelectItem::CheapestSum { binding, weight, aliases } => {
+                        SelectItem::CheapestSum {
+                            binding: binding.clone(),
+                            weight: normalize(weight),
+                            aliases: aliases.clone(),
+                        }
+                    }
+                    other => other.clone(),
+                })
+                .collect(),
+            from: s.from.clone(),
+            where_clause: s.where_clause.as_ref().map(normalize),
+            group_by: s.group_by.iter().map(normalize).collect(),
+            having: s.having.as_ref().map(normalize),
+        })),
+        other => other.clone(),
+    };
+    Statement::Query(Query {
+        ctes: q.ctes.clone(),
+        body,
+        order_by: q
+            .order_by
+            .iter()
+            .map(|o| OrderItem { expr: normalize(&o.expr), asc: o.asc })
+            .collect(),
+        limit: q.limit.as_ref().map(normalize),
+        offset: q.offset.as_ref().map(normalize),
+    })
+}
+
+fn assert_round_trip(stmt: &Statement) {
+    let rendered = stmt.to_string();
+    let reparsed = parse_statement(&rendered)
+        .unwrap_or_else(|e| panic!("re-parse failed: {e}\nrendered: {rendered}"));
+    assert_eq!(
+        normalize_stmt(stmt),
+        normalize_stmt(&reparsed),
+        "rendered: {rendered}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn expressions_round_trip(e in arb_expr()) {
+        let stmt = Statement::Query(Query {
+            ctes: vec![],
+            body: SetExpr::Select(Box::new(Select {
+                distinct: false,
+                items: vec![SelectItem::Expr { expr: e, alias: None }],
+                from: vec![],
+                where_clause: None,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        });
+        assert_round_trip(&stmt);
+    }
+
+    #[test]
+    fn where_and_reaches_round_trip(
+        x in ident(), y in ident(), table in ident(),
+        s in ident(), d in ident(), use_alias in any::<bool>(),
+        weight in arb_expr(),
+    ) {
+        let alias = use_alias.then(|| "tv".to_string());
+        let stmt = Statement::Query(Query {
+            ctes: vec![],
+            body: SetExpr::Select(Box::new(Select {
+                distinct: false,
+                items: vec![SelectItem::CheapestSum {
+                    binding: alias.clone(),
+                    weight,
+                    aliases: CheapestAlias::CostAndPath("c".into(), "p".into()),
+                }],
+                from: vec![],
+                where_clause: Some(Expr::Reaches(Box::new(ReachesPredicate {
+                    source: Expr::Column { table: None, name: x },
+                    dest: Expr::Column { table: None, name: y },
+                    edge_table: TableRef::Base { name: table, alias: None },
+                    alias,
+                    src_col: s,
+                    dst_col: d,
+                }))),
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: vec![],
+            limit: None,
+            offset: None,
+        });
+        assert_round_trip(&stmt);
+    }
+
+    #[test]
+    fn order_limit_round_trip(
+        cols in prop::collection::vec((ident(), any::<bool>()), 1..4),
+        limit in prop::option::of(0i64..1000),
+        offset in prop::option::of(0i64..1000),
+    ) {
+        let stmt = Statement::Query(Query {
+            ctes: vec![],
+            body: SetExpr::Select(Box::new(Select {
+                distinct: true,
+                items: vec![SelectItem::Wildcard],
+                from: vec![TableRef::Base { name: "txx".into(), alias: None }],
+                where_clause: None,
+                group_by: vec![],
+                having: None,
+            })),
+            order_by: cols
+                .into_iter()
+                .map(|(name, asc)| OrderItem {
+                    expr: Expr::Column { table: None, name },
+                    asc,
+                })
+                .collect(),
+            limit: limit.map(|v| Expr::Literal(Literal::Int(v))),
+            offset: offset.map(|v| Expr::Literal(Literal::Int(v))),
+        });
+        assert_round_trip(&stmt);
+    }
+
+    /// The lexer never panics on arbitrary input and error positions are
+    /// within the input.
+    #[test]
+    fn lexer_total_on_arbitrary_input(src in "\\PC{0,60}") {
+        match gsql_parser::Lexer::new(&src).tokenize() {
+            Ok(tokens) => prop_assert!(!tokens.is_empty()),
+            Err(e) => {
+                prop_assert!(e.line >= 1);
+                prop_assert!(e.column >= 1);
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary statement-shaped input.
+    #[test]
+    fn parser_total_on_arbitrary_input(src in "(SELECT|INSERT|CREATE)? ?\\PC{0,60}") {
+        let _ = parse_statement(&src);
+    }
+}

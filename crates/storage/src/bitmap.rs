@@ -1,0 +1,169 @@
+//! A packed validity bitmap used to track NULLs in columns.
+
+/// A growable bitset packed into `u64` words.
+///
+/// Bit `i` set means row `i` is **valid** (non-NULL). The bitmap length is
+/// tracked in bits; trailing bits of the last word beyond `len` are always
+/// zero so that popcounts stay exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Bitmap {
+        Bitmap::default()
+    }
+
+    /// A bitmap of `len` bits, all set to `value`.
+    pub fn with_value(len: usize, value: bool) -> Bitmap {
+        let mut words = vec![if value { u64::MAX } else { 0 }; len.div_ceil(64)];
+        if value && !len.is_multiple_of(64) {
+            // Clear the unused high bits of the last word.
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value of bit `i`. Panics if out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`. Panics if out of range.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bitmap index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Append a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if value {
+            let i = self.len;
+            self.words[i / 64] |= 1u64 << (i % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Iterator over all bits in order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Append all bits of `other`.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        for bit in other.iter() {
+            self.push(bit);
+        }
+    }
+
+    /// Build a new bitmap by gathering bits at `indices`.
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        let mut out = Bitmap::new();
+        for &i in indices {
+            out.push(self.get(i));
+        }
+        out
+    }
+}
+
+impl FromIterator<bool> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Bitmap {
+        let mut bm = Bitmap::new();
+        for bit in iter {
+            bm.push(bit);
+        }
+        bm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_round_trip() {
+        let mut bm = Bitmap::new();
+        for i in 0..200 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 200);
+        for i in 0..200 {
+            assert_eq!(bm.get(i), i % 3 == 0, "bit {i}");
+        }
+        bm.set(1, true);
+        assert!(bm.get(1));
+        bm.set(0, false);
+        assert!(!bm.get(0));
+    }
+
+    #[test]
+    fn with_value_sets_uniformly() {
+        let ones = Bitmap::with_value(130, true);
+        assert_eq!(ones.count_ones(), 130);
+        assert!(ones.all_set());
+        let zeros = Bitmap::with_value(130, false);
+        assert_eq!(zeros.count_ones(), 0);
+    }
+
+    #[test]
+    fn with_value_true_clears_tail_bits() {
+        // 65 bits => second word must only have 1 bit set.
+        let bm = Bitmap::with_value(65, true);
+        assert_eq!(bm.count_ones(), 65);
+    }
+
+    #[test]
+    fn take_gathers_bits() {
+        let bm: Bitmap = (0..10).map(|i| i % 2 == 0).collect();
+        let taken = bm.take(&[0, 1, 9, 4]);
+        assert_eq!(taken.iter().collect::<Vec<_>>(), vec![true, false, false, true]);
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a: Bitmap = [true, false].into_iter().collect();
+        let b: Bitmap = [false, true, true].into_iter().collect();
+        a.extend_from(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![true, false, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitmap::new().get(0);
+    }
+}

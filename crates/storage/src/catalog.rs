@@ -1,0 +1,185 @@
+//! The named-table store.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::Result;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A catalog entry: the table snapshot plus a version counter.
+///
+/// Tables are stored behind `Arc` and mutated copy-on-write, so a running
+/// query always sees a consistent snapshot (matching MonetDB's materialized
+/// execution). The version number increments on every mutation and is what
+/// graph indices (paper §6 future work) use for invalidation.
+#[derive(Debug, Clone)]
+pub struct TableEntry {
+    /// Immutable snapshot of the table contents.
+    pub table: Arc<Table>,
+    /// Bumped on every INSERT/DELETE/UPDATE to this table.
+    pub version: u64,
+}
+
+/// A thread-safe catalog of named tables.
+///
+/// Table names are case-insensitive (folded to lowercase internally).
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: RwLock<HashMap<String, TableEntry>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Create a new empty table. Errors when the name is taken.
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        tables.insert(key, TableEntry { table: Arc::new(Table::empty(schema)), version: 0 });
+        Ok(())
+    }
+
+    /// Register a pre-built table (used by the data generator for bulk load).
+    pub fn register_table(&self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        tables.insert(key, TableEntry { table: Arc::new(table), version: 0 });
+        Ok(())
+    }
+
+    /// Drop a table. Errors when absent.
+    pub fn drop_table(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        tables
+            .remove(&key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Snapshot of a table (cheap `Arc` clone). Errors when absent.
+    pub fn get(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(self.entry(name)?.table)
+    }
+
+    /// Snapshot plus version, for index invalidation checks.
+    pub fn entry(&self, name: &str) -> Result<TableEntry> {
+        let key = name.to_ascii_lowercase();
+        let tables = self.tables.read().expect("catalog lock poisoned");
+        tables
+            .get(&key)
+            .cloned()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// True when a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        self.tables.read().expect("catalog lock poisoned").contains_key(&key)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let tables = self.tables.read().expect("catalog lock poisoned");
+        let mut names: Vec<String> = tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Mutate a table through a closure, bumping its version.
+    ///
+    /// The closure gets a mutable `Table` (copy-on-write: running queries
+    /// holding the old `Arc` are unaffected). When the closure errors, the
+    /// table and its version are left unchanged.
+    pub fn update<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut Table) -> Result<R>,
+    ) -> Result<R> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        let entry =
+            tables.get_mut(&key).ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        // Work on a private copy so failures don't leave partial mutations.
+        let mut working = (*entry.table).clone();
+        let out = f(&mut working)?;
+        entry.table = Arc::new(working);
+        entry.version += 1;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+    use crate::types::DataType;
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![ColumnDef::not_null("id", DataType::Int)])
+    }
+
+    #[test]
+    fn create_get_drop() {
+        let cat = Catalog::new();
+        cat.create_table("T", schema()).unwrap();
+        assert!(cat.contains("t"));
+        assert!(cat.get("T").unwrap().is_empty());
+        cat.drop_table("t").unwrap();
+        assert!(!cat.contains("T"));
+        assert!(matches!(cat.get("t"), Err(StorageError::TableNotFound(_))));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        assert!(matches!(cat.create_table("T", schema()), Err(StorageError::TableExists(_))));
+    }
+
+    #[test]
+    fn update_bumps_version_and_is_snapshot_isolated() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        let before = cat.get("t").unwrap();
+        assert_eq!(cat.entry("t").unwrap().version, 0);
+
+        cat.update("t", |t| t.append_row(vec![Value::Int(1)])).unwrap();
+        assert_eq!(cat.entry("t").unwrap().version, 1);
+        // The old snapshot is unchanged (copy-on-write).
+        assert_eq!(before.row_count(), 0);
+        assert_eq!(cat.get("t").unwrap().row_count(), 1);
+    }
+
+    #[test]
+    fn failed_update_rolls_back() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        let res = cat.update("t", |t| {
+            t.append_row(vec![Value::Int(1)])?;
+            Err::<(), _>(StorageError::Internal("boom".into()))
+        });
+        assert!(res.is_err());
+        assert_eq!(cat.entry("t").unwrap().version, 0);
+        assert_eq!(cat.get("t").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn table_names_sorted() {
+        let cat = Catalog::new();
+        cat.create_table("zeta", schema()).unwrap();
+        cat.create_table("Alpha", schema()).unwrap();
+        assert_eq!(cat.table_names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Minimal CSV import/export for tables.
+//!
+//! Supports the RFC-4180 subset needed to move datasets in and out of the
+//! engine: comma separation, double-quote quoting with `""` escapes, a
+//! header row, and an empty field as NULL. Values are parsed according to
+//! the target schema (so a DATE column accepts `2011-01-01`).
+
+use crate::date::Date;
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::types::DataType;
+use crate::value::Value;
+use crate::Result;
+use std::io::{BufRead, Write};
+
+/// Render a table as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<()> {
+    let io_err = |e: std::io::Error| StorageError::Internal(format!("csv write: {e}"));
+    let header: Vec<String> =
+        table.schema().names().map(quote_field).collect();
+    writeln!(out, "{}", header.join(",")).map_err(io_err)?;
+    for row in table.rows() {
+        let fields: Vec<String> = row
+            .iter()
+            .map(|v| match v {
+                Value::Null => String::new(),
+                // A quoted empty field distinguishes '' from NULL.
+                Value::Str(s) if s.is_empty() => "\"\"".to_string(),
+                Value::Str(s) => quote_field(s),
+                other => other.to_string(),
+            })
+            .collect();
+        writeln!(out, "{}", fields.join(",")).map_err(io_err)?;
+    }
+    Ok(())
+}
+
+/// Parse CSV (with a header row) into a table with the given schema.
+///
+/// The header is validated against the schema's column names
+/// (case-insensitive, same order). Empty fields become NULL; fields are
+/// converted to the column type, erroring with row/column context.
+pub fn read_csv<R: BufRead>(schema: Schema, mut input: R) -> Result<Table> {
+    let io_err = |e: std::io::Error| StorageError::Internal(format!("csv read: {e}"));
+    let mut text = String::new();
+    input.read_to_string(&mut text).map_err(io_err)?;
+    let mut records = split_records(&text)?.into_iter();
+    let header_line = records
+        .next()
+        .ok_or_else(|| StorageError::Internal("csv input is empty".to_string()))?;
+    let header = parse_record(&header_line)?;
+    if header.len() != schema.len() {
+        return Err(StorageError::ArityMismatch {
+            expected: schema.len(),
+            found: header.len(),
+        });
+    }
+    for ((h, _), def) in header.iter().zip(schema.columns()) {
+        if !h.eq_ignore_ascii_case(&def.name) {
+            return Err(StorageError::Internal(format!(
+                "csv header '{h}' does not match column '{}'",
+                def.name
+            )));
+        }
+    }
+
+    let mut table = Table::empty(schema.clone());
+    for (line_no, line) in records.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_record(&line)?;
+        if fields.len() != schema.len() {
+            return Err(StorageError::Internal(format!(
+                "csv line {}: expected {} fields, found {}",
+                line_no + 2,
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for ((field, quoted), def) in fields.iter().zip(schema.columns()) {
+            row.push(parse_field(field, *quoted, def.ty).map_err(|e| {
+                StorageError::Internal(format!(
+                    "csv line {}, column '{}': {e}",
+                    line_no + 2,
+                    def.name
+                ))
+            })?);
+        }
+        table.append_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Split input text into records at newlines that are outside quotes
+/// (RFC 4180 allows quoted fields to contain line breaks). A trailing `\r`
+/// from CRLF line endings is stripped.
+fn split_records(text: &str) -> Result<Vec<String>> {
+    let mut records = Vec::new();
+    let mut current = String::new();
+    let mut in_quotes = false;
+    for c in text.chars() {
+        match c {
+            '"' => {
+                in_quotes = !in_quotes;
+                current.push(c);
+            }
+            '\n' if !in_quotes => {
+                if current.ends_with('\r') {
+                    current.pop();
+                }
+                records.push(std::mem::take(&mut current));
+            }
+            other => current.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Internal("unterminated quote in csv input".to_string()));
+    }
+    if !current.is_empty() {
+        records.push(current);
+    }
+    Ok(records)
+}
+
+fn quote_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Split one CSV record, honouring quotes. Each field carries a flag for
+/// whether it was quoted (a quoted empty field means '' rather than NULL).
+fn parse_record(line: &str) -> Result<Vec<(String, bool)>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut was_quoted = false;
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' if chars.peek() == Some(&'"') => {
+                    chars.next();
+                    field.push('"');
+                }
+                '"' => in_quotes = false,
+                other => field.push(other),
+            }
+        } else {
+            match c {
+                '"' => {
+                    in_quotes = true;
+                    was_quoted = true;
+                }
+                ',' => {
+                    fields.push((std::mem::take(&mut field), was_quoted));
+                    was_quoted = false;
+                }
+                other => field.push(other),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(StorageError::Internal("unterminated quote in csv record".to_string()));
+    }
+    fields.push((field, was_quoted));
+    Ok(fields)
+}
+
+fn parse_field(field: &str, was_quoted: bool, ty: DataType) -> Result<Value> {
+    if field.is_empty() && !was_quoted {
+        return Ok(Value::Null);
+    }
+    Ok(match ty {
+        DataType::Int => Value::Int(field.trim().parse::<i64>().map_err(|_| {
+            StorageError::Internal(format!("'{field}' is not an INTEGER"))
+        })?),
+        DataType::Double => Value::Double(field.trim().parse::<f64>().map_err(|_| {
+            StorageError::Internal(format!("'{field}' is not a DOUBLE"))
+        })?),
+        DataType::Varchar => Value::Str(field.to_string()),
+        DataType::Bool => match field.trim().to_ascii_lowercase().as_str() {
+            "true" | "t" | "1" => Value::Bool(true),
+            "false" | "f" | "0" => Value::Bool(false),
+            _ => {
+                return Err(StorageError::Internal(format!("'{field}' is not a BOOLEAN")));
+            }
+        },
+        DataType::Date => Value::Date(Date::parse(field.trim())?),
+        DataType::Path => {
+            return Err(StorageError::Internal(
+                "PATH columns cannot be imported from csv".to_string(),
+            ));
+        }
+    })
+}
+
+/// Round-trip helper used by tests and the shell: export to a string.
+pub fn to_csv_string(table: &Table) -> Result<String> {
+    let mut buf = Vec::new();
+    write_csv(table, &mut buf)?;
+    String::from_utf8(buf).map_err(|e| StorageError::Internal(format!("utf8: {e}")))
+}
+
+/// Keep the signature symmetric with [`to_csv_string`].
+pub fn from_csv_string(schema: Schema, csv: &str) -> Result<Table> {
+    read_csv(schema, csv.as_bytes())
+}
+
+// Re-export under the column module path for discoverability.
+pub use self::read_csv as import;
+pub use self::write_csv as export;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColumnDef;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnDef::not_null("id", DataType::Int),
+            ColumnDef::new("name", DataType::Varchar),
+            ColumnDef::new("score", DataType::Double),
+            ColumnDef::new("born", DataType::Date),
+            ColumnDef::new("ok", DataType::Bool),
+        ])
+    }
+
+    fn sample() -> Table {
+        let mut t = Table::empty(schema());
+        t.append_row(vec![
+            Value::Int(1),
+            Value::from("plain"),
+            Value::Double(1.5),
+            Value::Date(Date::parse("2010-03-24").unwrap()),
+            Value::Bool(true),
+        ])
+        .unwrap();
+        t.append_row(vec![
+            Value::Int(2),
+            Value::from("comma, quote \" and\nnewline? no"),
+            Value::Null,
+            Value::Null,
+            Value::Null,
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let t = sample();
+        let csv = to_csv_string(&t).unwrap();
+        let back = from_csv_string(schema(), &csv).unwrap();
+        assert_eq!(back.row_count(), t.row_count());
+        for i in 0..t.row_count() {
+            assert_eq!(back.row(i), t.row(i), "row {i}");
+        }
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = from_csv_string(schema(), "id,name,score,born,ok\n7,,,,\n").unwrap();
+        let row = t.row(0);
+        assert_eq!(row[0], Value::Int(7));
+        assert!(row[1].is_null() && row[2].is_null() && row[3].is_null() && row[4].is_null());
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let err = from_csv_string(schema(), "wrong,name,score,born,ok\n").unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+        let err = from_csv_string(schema(), "id,name\n").unwrap_err();
+        assert!(matches!(err, StorageError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn type_errors_carry_position() {
+        let err =
+            from_csv_string(schema(), "id,name,score,born,ok\nabc,x,1.0,2010-01-01,true\n")
+                .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2") && msg.contains("'id'"), "{msg}");
+    }
+
+    #[test]
+    fn quoted_fields_parse() {
+        let fields = parse_record("a,\"b,c\",\"d\"\"e\",f").unwrap();
+        let texts: Vec<&str> = fields.iter().map(|(t, _)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b,c", "d\"e", "f"]);
+        assert_eq!(fields.iter().map(|&(_, q)| q).collect::<Vec<_>>(),
+                   vec![false, true, true, false]);
+        assert!(parse_record("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let t = from_csv_string(
+            Schema::new(vec![ColumnDef::new("x", DataType::Int)]),
+            "x\n1\n\n2\n",
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 2);
+    }
+}

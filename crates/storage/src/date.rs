@@ -1,0 +1,157 @@
+//! Calendar dates stored as days since the Unix epoch (1970-01-01).
+//!
+//! Uses the standard civil-from-days / days-from-civil algorithms
+//! (Howard Hinnant, "chrono-compatible low-level date algorithms") so no
+//! external date crate is required.
+
+use crate::error::StorageError;
+use std::fmt;
+
+/// A calendar date, internally the number of days since 1970-01-01
+/// (negative for earlier dates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(pub i32);
+
+impl Date {
+    /// Construct from a `(year, month, day)` civil triple.
+    ///
+    /// Returns an error when the triple is not a real calendar date.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Result<Date, StorageError> {
+        if !(1..=12).contains(&month) {
+            return Err(StorageError::InvalidDate(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        if day < 1 || day > days_in_month(year, month) {
+            return Err(StorageError::InvalidDate(format!("{year:04}-{month:02}-{day:02}")));
+        }
+        Ok(Date(days_from_civil(year, month, day)))
+    }
+
+    /// Parse an ISO `YYYY-MM-DD` literal.
+    pub fn parse(s: &str) -> Result<Date, StorageError> {
+        let err = || StorageError::InvalidDate(s.to_string());
+        let bytes = s.as_bytes();
+        // Accept exactly YYYY-MM-DD (4-2-2 digits).
+        if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+            return Err(err());
+        }
+        let year: i32 = s[0..4].parse().map_err(|_| err())?;
+        let month: u32 = s[5..7].parse().map_err(|_| err())?;
+        let day: u32 = s[8..10].parse().map_err(|_| err())?;
+        Date::from_ymd(year, month, day)
+    }
+
+    /// Decompose into a `(year, month, day)` civil triple.
+    pub fn ymd(&self) -> (i32, u32, u32) {
+        civil_from_days(self.0)
+    }
+
+    /// Days since the epoch (the raw representation).
+    pub fn days(&self) -> i32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => 0,
+    }
+}
+
+/// Hinnant's `days_from_civil`: days since 1970-01-01 for a civil date.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Hinnant's `civil_from_days`: civil date for days since 1970-01-01.
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(Date::from_ymd(1970, 1, 1).unwrap().days(), 0);
+        assert_eq!(Date(0).to_string(), "1970-01-01");
+    }
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["2010-03-24", "2011-01-01", "1969-12-31", "2000-02-29", "2024-02-29"] {
+            let d = Date::parse(s).unwrap();
+            assert_eq!(d.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_literals() {
+        for s in ["2010-3-24", "2010/03/24", "20100324", "2010-13-01", "2010-02-30", "abcd-ef-gh", ""]
+        {
+            assert!(Date::parse(s).is_err(), "should reject {s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_leap_feb_29() {
+        assert!(Date::parse("2023-02-29").is_err());
+        assert!(Date::parse("1900-02-29").is_err()); // century non-leap
+        assert!(Date::parse("2000-02-29").is_ok()); // 400-year leap
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        let a = Date::parse("2010-03-24").unwrap();
+        let b = Date::parse("2010-12-02").unwrap();
+        let c = Date::parse("2011-01-01").unwrap();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn days_round_trip_over_range() {
+        // Every 97 days across ±100 years round-trips through civil form.
+        let mut day = -36524;
+        while day < 36524 {
+            let d = Date(day);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd).unwrap().days(), day);
+            day += 97;
+        }
+    }
+}

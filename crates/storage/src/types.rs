@@ -1,0 +1,139 @@
+//! SQL data types supported by the engine.
+
+use std::fmt;
+
+/// The SQL type system.
+///
+/// This mirrors the subset MonetDB exposes that the paper's prototype relies
+/// on, plus the special [`DataType::Path`] nested-table type of §3.3: a path
+/// is "a special type that groups together multiple rows and columns into a
+/// single component" and can only be produced by `CHEAPEST SUM`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer (`INTEGER` / `BIGINT`).
+    Int,
+    /// 64-bit IEEE-754 floating point (`DOUBLE` / `FLOAT`).
+    Double,
+    /// UTF-8 string (`VARCHAR` / `TEXT`).
+    Varchar,
+    /// Boolean (`BOOLEAN`).
+    Bool,
+    /// Calendar date (`DATE`), stored as days since 1970-01-01.
+    Date,
+    /// Nested table holding the edges of a shortest path (paper §3.3).
+    ///
+    /// Values of this type cannot be created by DDL; they are produced only
+    /// by `CHEAPEST SUM(…) AS (cost, path)` and consumed by `UNNEST`.
+    Path,
+}
+
+impl DataType {
+    /// SQL spelling of the type, as used in error messages and `DESCRIBE`.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Int => "INTEGER",
+            DataType::Double => "DOUBLE",
+            DataType::Varchar => "VARCHAR",
+            DataType::Bool => "BOOLEAN",
+            DataType::Date => "DATE",
+            DataType::Path => "PATH",
+        }
+    }
+
+    /// True for types on which arithmetic is defined.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Double)
+    }
+
+    /// True if a column of this type may be used as a graph vertex key
+    /// (the `S`/`D`/`X`/`Y` attributes of the `REACHES` predicate).
+    ///
+    /// The paper requires the four attributes to have matching types; we
+    /// additionally restrict keys to equality-comparable scalar types.
+    pub fn is_vertex_key(&self) -> bool {
+        matches!(
+            self,
+            DataType::Int | DataType::Varchar | DataType::Date | DataType::Bool
+        )
+    }
+
+    /// Whether values of `self` can be implicitly widened to `other`
+    /// (only `Int -> Double` in this engine, as in SQL numeric promotion).
+    pub fn coerces_to(&self, other: DataType) -> bool {
+        *self == other || (*self == DataType::Int && other == DataType::Double)
+    }
+
+    /// The common supertype of two numeric types, if any.
+    pub fn numeric_supertype(a: DataType, b: DataType) -> Option<DataType> {
+        match (a, b) {
+            (DataType::Int, DataType::Int) => Some(DataType::Int),
+            (DataType::Int, DataType::Double)
+            | (DataType::Double, DataType::Int)
+            | (DataType::Double, DataType::Double) => Some(DataType::Double),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.sql_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_names_round_trip() {
+        for (ty, name) in [
+            (DataType::Int, "INTEGER"),
+            (DataType::Double, "DOUBLE"),
+            (DataType::Varchar, "VARCHAR"),
+            (DataType::Bool, "BOOLEAN"),
+            (DataType::Date, "DATE"),
+            (DataType::Path, "PATH"),
+        ] {
+            assert_eq!(ty.sql_name(), name);
+            assert_eq!(ty.to_string(), name);
+        }
+    }
+
+    #[test]
+    fn numeric_classification() {
+        assert!(DataType::Int.is_numeric());
+        assert!(DataType::Double.is_numeric());
+        assert!(!DataType::Varchar.is_numeric());
+        assert!(!DataType::Path.is_numeric());
+    }
+
+    #[test]
+    fn vertex_key_types() {
+        assert!(DataType::Int.is_vertex_key());
+        assert!(DataType::Varchar.is_vertex_key());
+        assert!(!DataType::Double.is_vertex_key());
+        assert!(!DataType::Path.is_vertex_key());
+    }
+
+    #[test]
+    fn coercion_rules() {
+        assert!(DataType::Int.coerces_to(DataType::Double));
+        assert!(DataType::Int.coerces_to(DataType::Int));
+        assert!(!DataType::Double.coerces_to(DataType::Int));
+        assert!(!DataType::Varchar.coerces_to(DataType::Int));
+    }
+
+    #[test]
+    fn numeric_supertype_rules() {
+        assert_eq!(
+            DataType::numeric_supertype(DataType::Int, DataType::Int),
+            Some(DataType::Int)
+        );
+        assert_eq!(
+            DataType::numeric_supertype(DataType::Int, DataType::Double),
+            Some(DataType::Double)
+        );
+        assert_eq!(DataType::numeric_supertype(DataType::Int, DataType::Varchar), None);
+    }
+}

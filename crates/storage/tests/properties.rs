@@ -1,0 +1,243 @@
+//! Property-based tests for the storage layer: bitmap, column and table
+//! operations are checked against simple `Vec`-based models.
+
+use gsql_storage::{Bitmap, Column, ColumnDef, DataType, Date, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// Arbitrary values for a given column type (with NULLs mixed in).
+fn value_for(ty: DataType) -> BoxedStrategy<Value> {
+    match ty {
+        DataType::Int => prop_oneof![
+            3 => any::<i32>().prop_map(|v| Value::Int(v as i64)),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Double => prop_oneof![
+            3 => (-1000i32..1000, 1u32..50).prop_map(|(a, b)| Value::Double(a as f64 / b as f64)),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Varchar => prop_oneof![
+            3 => "[a-z]{0,8}".prop_map(Value::from),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Bool => prop_oneof![
+            3 => any::<bool>().prop_map(Value::Bool),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Date => prop_oneof![
+            3 => (-20000i32..20000).prop_map(|d| Value::Date(Date(d))),
+            1 => Just(Value::Null)
+        ]
+        .boxed(),
+        DataType::Path => Just(Value::Null).boxed(),
+    }
+}
+
+fn column_type() -> impl Strategy<Value = DataType> {
+    prop_oneof![
+        Just(DataType::Int),
+        Just(DataType::Double),
+        Just(DataType::Varchar),
+        Just(DataType::Bool),
+        Just(DataType::Date),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bitmap behaves exactly like Vec<bool> under push/get/set/count.
+    #[test]
+    fn bitmap_matches_vec_model(ops in prop::collection::vec((0usize..64, any::<bool>()), 0..200)) {
+        let mut bm = Bitmap::new();
+        let mut model: Vec<bool> = Vec::new();
+        for (pos, bit) in ops {
+            if model.is_empty() || pos % 3 == 0 {
+                bm.push(bit);
+                model.push(bit);
+            } else {
+                let i = pos % model.len();
+                bm.set(i, bit);
+                model[i] = bit;
+            }
+        }
+        prop_assert_eq!(bm.len(), model.len());
+        prop_assert_eq!(bm.count_ones(), model.iter().filter(|&&b| b).count());
+        for (i, &b) in model.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        prop_assert_eq!(bm.iter().collect::<Vec<_>>(), model);
+    }
+
+    /// Column push/get round-trips for every type; take() gathers exactly
+    /// like indexing the model.
+    #[test]
+    fn column_matches_vec_model(
+        ty in column_type(),
+        seed in prop::collection::vec(any::<u16>(), 0..100),
+    ) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let values: Vec<Value> = seed
+            .iter()
+            .map(|_| value_for(ty).new_tree(runner).unwrap().current())
+            .collect();
+        let mut col = Column::empty(ty);
+        for v in &values {
+            col.push(v.clone()).unwrap();
+        }
+        prop_assert_eq!(col.len(), values.len());
+        prop_assert_eq!(col.null_count(), values.iter().filter(|v| v.is_null()).count());
+        for (i, v) in values.iter().enumerate() {
+            prop_assert_eq!(&col.get(i), v);
+        }
+        // Gather under a pseudo-random permutation with repeats.
+        if !values.is_empty() {
+            let indices: Vec<usize> =
+                seed.iter().map(|&s| s as usize % values.len()).collect();
+            let taken = col.take(&indices);
+            for (out_i, &src_i) in indices.iter().enumerate() {
+                prop_assert_eq!(&taken.get(out_i), &values[src_i]);
+            }
+        }
+    }
+
+    /// extend_from concatenates: result equals model_a ++ model_b.
+    #[test]
+    fn column_extend_matches_concat(
+        ty in column_type(),
+        len_a in 0usize..40,
+        len_b in 0usize..40,
+    ) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let gen = |n: usize, runner: &mut proptest::test_runner::TestRunner| -> Vec<Value> {
+            (0..n).map(|_| value_for(ty).new_tree(runner).unwrap().current()).collect()
+        };
+        let a_vals = gen(len_a, runner);
+        let b_vals = gen(len_b, runner);
+        let mut a = Column::empty(ty);
+        for v in &a_vals {
+            a.push(v.clone()).unwrap();
+        }
+        let mut b = Column::empty(ty);
+        for v in &b_vals {
+            b.push(v.clone()).unwrap();
+        }
+        a.extend_from(&b).unwrap();
+        let expect: Vec<Value> = a_vals.iter().chain(&b_vals).cloned().collect();
+        prop_assert_eq!(a.len(), expect.len());
+        for (i, v) in expect.iter().enumerate() {
+            prop_assert_eq!(&a.get(i), v);
+        }
+    }
+
+    /// Table append/take/retain keep rows consistent with a Vec<Vec<Value>>
+    /// model.
+    #[test]
+    fn table_matches_row_model(
+        n_rows in 0usize..50,
+        keep_mod in 1usize..5,
+    ) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let schema = Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Varchar),
+        ]);
+        let mut table = Table::empty(schema);
+        let mut model: Vec<Vec<Value>> = Vec::new();
+        for _ in 0..n_rows {
+            let row = vec![
+                value_for(DataType::Int).new_tree(runner).unwrap().current(),
+                value_for(DataType::Varchar).new_tree(runner).unwrap().current(),
+            ];
+            table.append_row(row.clone()).unwrap();
+            model.push(row);
+        }
+        prop_assert_eq!(table.row_count(), model.len());
+        for (i, row) in model.iter().enumerate() {
+            prop_assert_eq!(&table.row(i), row);
+        }
+        // retain every keep_mod-th row.
+        table.retain_rows(|i| i % keep_mod == 0);
+        let expect: Vec<&Vec<Value>> =
+            model.iter().enumerate().filter(|(i, _)| i % keep_mod == 0).map(|(_, r)| r).collect();
+        prop_assert_eq!(table.row_count(), expect.len());
+        for (i, row) in expect.iter().enumerate() {
+            prop_assert_eq!(&&table.row(i), row);
+        }
+    }
+
+    /// Date ymd <-> days round trip over the whole supported range.
+    #[test]
+    fn date_round_trips(days in -100_000i32..100_000) {
+        let d = Date(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd).unwrap().days(), days);
+        // Display -> parse round trip for CE years.
+        if (1..=9999).contains(&y) {
+            let s = d.to_string();
+            prop_assert_eq!(Date::parse(&s).unwrap(), d);
+        }
+    }
+
+    /// Value total ordering is a total order (antisymmetric + transitive on
+    /// sampled triples) and consistent with sql_eq for same-type values.
+    #[test]
+    fn value_ordering_is_consistent(
+        ty in column_type(),
+        n in 3usize..12,
+    ) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let vals: Vec<Value> =
+            (0..n).map(|_| value_for(ty).new_tree(runner).unwrap().current()).collect();
+        for a in &vals {
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                prop_assert_eq!(ab, ba.reverse(), "antisymmetry {} vs {}", a, b);
+                for c in &vals {
+                    if ab != std::cmp::Ordering::Greater
+                        && b.total_cmp(c) != std::cmp::Ordering::Greater
+                    {
+                        prop_assert_ne!(
+                            a.total_cmp(c),
+                            std::cmp::Ordering::Greater,
+                            "transitivity {} {} {}", a, b, c
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// CSV round trip for arbitrary tables (no PATH columns).
+    #[test]
+    fn csv_round_trips_tables(n_rows in 0usize..30) {
+        let runner = &mut proptest::test_runner::TestRunner::deterministic();
+        let schema = Schema::new(vec![
+            ColumnDef::new("i", DataType::Int),
+            ColumnDef::new("s", DataType::Varchar),
+            ColumnDef::new("d", DataType::Date),
+            ColumnDef::new("b", DataType::Bool),
+        ]);
+        let mut table = Table::empty(schema.clone());
+        for _ in 0..n_rows {
+            table
+                .append_row(vec![
+                    value_for(DataType::Int).new_tree(runner).unwrap().current(),
+                    value_for(DataType::Varchar).new_tree(runner).unwrap().current(),
+                    value_for(DataType::Date).new_tree(runner).unwrap().current(),
+                    value_for(DataType::Bool).new_tree(runner).unwrap().current(),
+                ])
+                .unwrap();
+        }
+        let csv = gsql_storage::csv::to_csv_string(&table).unwrap();
+        let back = gsql_storage::csv::from_csv_string(schema, &csv).unwrap();
+        prop_assert_eq!(back.row_count(), table.row_count());
+        for i in 0..table.row_count() {
+            prop_assert_eq!(back.row(i), table.row(i));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Flight routing over VARCHAR vertex keys, with CTE-filtered subgraphs —
+//! the appendix A.3/A.4 query shapes on a different domain.
+//!
+//! Run with: `cargo run --example flight_routes`
+
+use gsql::{Database, Value};
+
+fn main() -> gsql::Result<()> {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE airports (code VARCHAR PRIMARY KEY, city VARCHAR NOT NULL);
+         CREATE TABLE flights (origin VARCHAR NOT NULL, destination VARCHAR NOT NULL,
+                               carrier VARCHAR NOT NULL, hours DOUBLE NOT NULL);
+         INSERT INTO airports VALUES
+            ('AMS', 'Amsterdam'), ('LHR', 'London'), ('JFK', 'New York'),
+            ('SFO', 'San Francisco'), ('NRT', 'Tokyo'), ('SIN', 'Singapore'),
+            ('DXB', 'Dubai');
+         INSERT INTO flights VALUES
+            ('AMS', 'LHR', 'KL', 1.2), ('LHR', 'AMS', 'BA', 1.2),
+            ('AMS', 'JFK', 'KL', 8.1), ('JFK', 'AMS', 'DL', 7.4),
+            ('LHR', 'JFK', 'BA', 8.0), ('JFK', 'SFO', 'UA', 6.5),
+            ('SFO', 'NRT', 'UA', 11.0), ('NRT', 'SIN', 'NH', 7.5),
+            ('AMS', 'DXB', 'KL', 6.8), ('DXB', 'SIN', 'EK', 7.6),
+            ('SIN', 'NRT', 'SQ', 7.2), ('LHR', 'DXB', 'BA', 7.0);",
+    )?;
+
+    // Which cities can be reached from Amsterdam at all?
+    println!("cities reachable from AMS:");
+    let reachable = db.query(
+        "SELECT a.city
+         FROM airports a
+         WHERE 'AMS' REACHES a.code OVER flights EDGE (origin, destination)
+         ORDER BY a.city",
+    )?;
+    print!("{reachable}");
+
+    // Fastest itinerary AMS -> NRT by total flight hours, with the legs.
+    println!("\nfastest itinerary AMS -> NRT:");
+    let itinerary = db.query(
+        "SELECT T.total_hours, L.ordinality AS leg, L.origin, L.destination,
+                L.carrier, L.hours
+         FROM (
+            SELECT CHEAPEST SUM(f: hours) AS (total_hours, legs)
+            WHERE 'AMS' REACHES 'NRT' OVER flights f EDGE (origin, destination)
+         ) T, UNNEST(T.legs) WITH ORDINALITY AS L
+         ORDER BY leg",
+    )?;
+    print!("{itinerary}");
+
+    // Restrict to one alliance via a CTE subgraph (appendix A.3 shape):
+    // only KL/BA/UA flights.
+    println!("\nreachable from AMS using only KL/BA/UA:");
+    let alliance = db.query(
+        "WITH partner_flights AS (
+            SELECT * FROM flights WHERE carrier IN ('KL', 'BA', 'UA')
+         )
+         SELECT a.code, CHEAPEST SUM(p: 1) AS legs
+         FROM airports a
+         WHERE 'AMS' REACHES a.code OVER partner_flights p EDGE (origin, destination)
+           AND a.code <> 'AMS'
+         ORDER BY legs, a.code",
+    )?;
+    print!("{alliance}");
+
+    // Count itineraries per destination distance, composing the graph
+    // result with ordinary aggregation in an outer block.
+    println!("\nhow many airports sit N legs away from AMS (cheapest-hop metric):");
+    let histogram = db.query(
+        "SELECT legs, COUNT(*) AS airports
+         FROM (
+            SELECT a.code, CHEAPEST SUM(f: 1) AS legs
+            FROM airports a
+            WHERE 'AMS' REACHES a.code OVER flights f EDGE (origin, destination)
+         ) d
+         GROUP BY legs ORDER BY legs",
+    )?;
+    print!("{histogram}");
+
+    // One-way reachability: JFK cannot reach DXB in this network?
+    let check = db.query(
+        "SELECT COUNT(*) FROM (
+            SELECT a.code FROM airports a
+            WHERE 'JFK' REACHES a.code OVER flights EDGE (origin, destination)
+              AND a.code = 'DXB'
+         ) x",
+    )?;
+    let connected = check.row(0)[0] == Value::Int(1);
+    println!("\nJFK -> DXB connected: {connected}");
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! Quickstart: create a graph from plain SQL tables and ask for shortest
+//! paths with the paper's `REACHES` / `CHEAPEST SUM` extension.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use gsql::{Database, Value};
+
+fn main() -> gsql::Result<()> {
+    let db = Database::new();
+
+    // A graph is just a table with a source and a destination column
+    // (the "edge table"). Vertices are implied: V = src ∪ dst.
+    db.execute_script(
+        "CREATE TABLE persons (id INTEGER PRIMARY KEY, name VARCHAR NOT NULL);
+         CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL,
+                               weight DOUBLE NOT NULL);
+         INSERT INTO persons VALUES
+            (1, 'Mahinda'), (2, 'Carmen'), (3, 'Chen'), (4, 'Dana'), (5, 'Eve');
+         INSERT INTO friends VALUES
+            (1, 2, 0.5), (2, 1, 0.5),
+            (2, 3, 2.0), (3, 2, 2.0),
+            (3, 4, 1.0), (4, 3, 1.0),
+            (1, 4, 9.0), (4, 1, 9.0);",
+    )?;
+
+    // 1. Reachability as a WHERE-clause predicate.
+    println!("Persons reachable from Mahinda (id 1):");
+    let reachable = db.query_with_params(
+        "SELECT name FROM persons
+         WHERE ? REACHES id OVER friends EDGE (src, dst)
+         ORDER BY name",
+        &[Value::Int(1)],
+    )?;
+    print!("{reachable}");
+
+    // 2. Unweighted shortest path: CHEAPEST SUM(1) counts hops.
+    let hops = db.query_with_params(
+        "SELECT CHEAPEST SUM(1) AS hops
+         WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+        &[Value::Int(1), Value::Int(3)],
+    )?;
+    println!("\nHops from Mahinda to Chen:");
+    print!("{hops}");
+
+    // 3. Weighted shortest path plus the actual path, flattened by UNNEST.
+    println!("\nCheapest weighted route from Mahinda to Dana, hop by hop:");
+    let route = db.query_with_params(
+        "SELECT T.cost, R.ordinality AS hop, R.src, R.dst, R.weight
+         FROM (
+            SELECT CHEAPEST SUM(f: weight) AS (cost, path)
+            WHERE ? REACHES ? OVER friends f EDGE (src, dst)
+         ) T, UNNEST(T.path) WITH ORDINALITY AS R",
+        &[Value::Int(1), Value::Int(4)],
+    )?;
+    print!("{route}");
+
+    // 4. EXPLAIN shows the graph operators of the paper (§3.1).
+    println!("\nEXPLAIN of a graph join:");
+    let plan = db.query(
+        "EXPLAIN SELECT p1.name, p2.name, CHEAPEST SUM(1) AS d
+         FROM persons p1, persons p2
+         WHERE p1.id REACHES p2.id OVER friends EDGE (src, dst)",
+    )?;
+    for row in plan.rows() {
+        println!("  {}", row[0]);
+    }
+    Ok(())
+}

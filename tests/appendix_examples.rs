@@ -1,0 +1,221 @@
+//! The paper's appendix A, reproduced query by query against the sample
+//! data of its Figure 2 (Persons / Friends with Mahinda Perera 933,
+//! Carmen Lepland 1129, Chen Wang 8333).
+//!
+//! Expected result sets are the ones printed in the paper.
+
+use gsql::{Database, Value};
+
+/// Figure 2 sample data, reconstructed from the worked examples:
+/// * 933 — 1129 friendship created 2010-03-24, weight 0.5
+/// * 1129 — 8333 friendship created 2010-12-02, weight 2.0
+/// * later (≥ 2011) friendships connect further persons, so the A.3
+///   subgraph (creationDate < 2011-01-01) contains exactly the three
+///   persons of the published result.
+fn figure2_database() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE persons (id INTEGER PRIMARY KEY,
+                               firstName VARCHAR NOT NULL,
+                               lastName VARCHAR NOT NULL,
+                               gender VARCHAR);
+         CREATE TABLE friends (person1 INTEGER NOT NULL,
+                               person2 INTEGER NOT NULL,
+                               creationDate DATE NOT NULL,
+                               weight DOUBLE NOT NULL);
+         INSERT INTO persons VALUES
+            (933,  'Mahinda', 'Perera',  'male'),
+            (1129, 'Carmen',  'Lepland', 'female'),
+            (8333, 'Chen',    'Wang',    'male'),
+            (4139, 'Hans',    'Johansson', 'male'),
+            (6597, 'Otto',    'Richter', 'male');
+         INSERT INTO friends VALUES
+            (933,  1129, '2010-03-24', 0.5), (1129, 933,  '2010-03-24', 0.5),
+            (1129, 8333, '2010-12-02', 2.0), (8333, 1129, '2010-12-02', 2.0),
+            (8333, 4139, '2011-06-10', 1.0), (4139, 8333, '2011-06-10', 1.0),
+            (4139, 6597, '2012-02-01', 3.0), (6597, 4139, '2012-02-01', 3.0);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn a1_cost_of_a_shortest_path() {
+    // SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst);
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (person1, person2)",
+            &[Value::Int(933), Value::Int(8333)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(t.row(0)[0], Value::Int(2));
+}
+
+#[test]
+fn a2_vertex_properties() {
+    // Binding the parameters to 933 and 8333, the result set is:
+    //   Mahinda Perera | Chen Wang | 2
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "SELECT p1.firstName || ' ' || p1.lastName AS person1,
+                    p2.firstName || ' ' || p2.lastName AS person2,
+                    CHEAPEST SUM(1) AS distance
+             FROM persons p1, persons p2
+             WHERE p1.id = ?
+               AND p2.id = ?
+               AND p1.id REACHES p2.id OVER friends EDGE (person1, person2)",
+            &[Value::Int(933), Value::Int(8333)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(
+        t.row(0),
+        vec![Value::from("Mahinda Perera"), Value::from("Chen Wang"), Value::Int(2)]
+    );
+}
+
+#[test]
+fn a3_reachability_in_dated_subgraph() {
+    // Result set with the parameter bound to 933:
+    //   Mahinda Perera / Carmen Lepland / Chen Wang
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "WITH friends1 AS (
+                SELECT *
+                FROM friends
+                WHERE creationDate < '2011-01-01'
+             )
+             SELECT firstName || ' ' || lastName AS person
+             FROM persons
+             WHERE ? REACHES id OVER friends1 EDGE (person1, person2)",
+            &[Value::Int(933)],
+        )
+        .unwrap();
+    let mut names: Vec<String> =
+        t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    names.sort();
+    assert_eq!(names, vec!["Carmen Lepland", "Chen Wang", "Mahinda Perera"]);
+}
+
+#[test]
+fn a4_multiple_weighted_shortest_paths() {
+    // The derived table of A.4 (paper's printed result):
+    //   Mahinda Perera | 0 | (empty path)
+    //   Carmen Lepland | 1 | one edge   (933 -> 1129, weight 0.5)
+    //   Chen Wang      | 5 | two edges  (933 -> 1129 -> 8333)
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+             )
+             SELECT firstName || ' ' || lastName AS person,
+                    CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path)
+             FROM persons
+             WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+             ORDER BY cost",
+            &[Value::Int(933)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 3);
+    assert_eq!(t.row(0)[0], Value::from("Mahinda Perera"));
+    assert_eq!(t.row(0)[1], Value::Int(0));
+    assert_eq!(t.row(0)[2].as_path().unwrap().len(), 0);
+    assert_eq!(t.row(1)[0], Value::from("Carmen Lepland"));
+    assert_eq!(t.row(1)[1], Value::Int(1));
+    assert_eq!(t.row(1)[2].as_path().unwrap().len(), 1);
+    assert_eq!(t.row(2)[0], Value::from("Chen Wang"));
+    assert_eq!(t.row(2)[1], Value::Int(5));
+    assert_eq!(t.row(2)[2].as_path().unwrap().len(), 2);
+}
+
+#[test]
+fn a4_unnested_result_set() {
+    // Unnesting the path produces the final result set of the appendix:
+    //   Carmen Lepland | 1 | 933  1129 2010-03-24 0.5
+    //   Chen Wang      | 5 | 933  1129 2010-03-24 0.5
+    //   Chen Wang      | 5 | 1129 8333 2010-12-02 2.0
+    // "the first row (Mahinda Perera) is discarded as its path is empty".
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+             )
+             SELECT T.person, T.cost, R.person1, R.person2, R.creationDate, R.weight
+             FROM (
+                SELECT firstName || ' ' || lastName AS person,
+                       CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path)
+                FROM persons
+                WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+             ) T, UNNEST(T.path) AS R
+             ORDER BY T.cost, R.person1",
+            &[Value::Int(933)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 3);
+    let date1 = Value::Date(gsql::Date::parse("2010-03-24").unwrap());
+    let date2 = Value::Date(gsql::Date::parse("2010-12-02").unwrap());
+    assert_eq!(
+        t.row(0),
+        vec![
+            Value::from("Carmen Lepland"),
+            Value::Int(1),
+            Value::Int(933),
+            Value::Int(1129),
+            date1.clone(),
+            Value::Double(0.5),
+        ]
+    );
+    assert_eq!(
+        t.row(1),
+        vec![
+            Value::from("Chen Wang"),
+            Value::Int(5),
+            Value::Int(933),
+            Value::Int(1129),
+            date1,
+            Value::Double(0.5),
+        ]
+    );
+    assert_eq!(
+        t.row(2),
+        vec![
+            Value::from("Chen Wang"),
+            Value::Int(5),
+            Value::Int(1129),
+            Value::Int(8333),
+            date2,
+            Value::Double(2.0),
+        ]
+    );
+}
+
+#[test]
+fn a4_left_outer_variant_retains_empty_path() {
+    // "it can alternatively be retained by using a left outer lateral join".
+    let db = figure2_database();
+    let t = db
+        .query_with_params(
+            "WITH friends1 AS (
+                SELECT * FROM friends WHERE creationDate < '2011-01-01'
+             )
+             SELECT T.person, T.cost, R.person1
+             FROM (
+                SELECT firstName || ' ' || lastName AS person,
+                       CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path)
+                FROM persons
+                WHERE ? REACHES id OVER friends1 f EDGE (person1, person2)
+             ) T LEFT JOIN UNNEST(T.path) AS R
+             ORDER BY T.cost, R.person1",
+            &[Value::Int(933)],
+        )
+        .unwrap();
+    assert_eq!(t.row_count(), 4);
+    assert_eq!(t.row(0)[0], Value::from("Mahinda Perera"));
+    assert!(t.row(0)[2].is_null());
+}

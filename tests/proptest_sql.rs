@@ -1,0 +1,214 @@
+//! Property-based tests at the SQL surface: the whole pipeline
+//! (parse → bind → optimize → graph runtime → materialize) against
+//! executable models, with proptest shrinking pointing at minimal
+//! counterexamples.
+
+use gsql::{Database, Value};
+use proptest::prelude::*;
+
+/// Random directed graph as an edge list over vertices 1..=n.
+fn graph_strategy() -> impl Strategy<Value = (i64, Vec<(i64, i64, i64)>)> {
+    (2i64..14).prop_flat_map(|n| {
+        let edge = (1..=n, 1..=n, 1i64..9).prop_map(|(s, d, w)| (s, d, w));
+        (Just(n), prop::collection::vec(edge, 1..40))
+    })
+}
+
+fn build_db(edges: &[(i64, i64, i64)]) -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER, d INTEGER, w INTEGER)").unwrap();
+    let mut sql = String::from("INSERT INTO e VALUES ");
+    for (i, (s, d, w)) in edges.iter().enumerate() {
+        if i > 0 {
+            sql.push_str(", ");
+        }
+        sql.push_str(&format!("({s}, {d}, {w})"));
+    }
+    db.execute(&sql).unwrap();
+    db
+}
+
+/// Reference weighted distances via Bellman-Ford over the edge list;
+/// respects the vertex-membership rule (endpoints must appear in an edge).
+fn model_distance(
+    n: i64,
+    edges: &[(i64, i64, i64)],
+    src: i64,
+    dst: i64,
+    unit: bool,
+) -> Option<i64> {
+    let is_vertex =
+        |v: i64| edges.iter().any(|&(s, d, _)| s == v || d == v);
+    if !is_vertex(src) || !is_vertex(dst) {
+        return None;
+    }
+    let mut dist = vec![None::<i64>; (n + 1) as usize];
+    dist[src as usize] = Some(0);
+    for _ in 0..=n {
+        for &(s, d, w) in edges {
+            let w = if unit { 1 } else { w };
+            if let Some(ds) = dist[s as usize] {
+                if dist[d as usize].is_none_or(|old| ds + w < old) {
+                    dist[d as usize] = Some(ds + w);
+                }
+            }
+        }
+    }
+    dist[dst as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `CHEAPEST SUM(1)` through SQL equals BFS distances of the model.
+    #[test]
+    fn sql_unweighted_distance_matches_model((n, edges) in graph_strategy()) {
+        let db = build_db(&edges);
+        let stmt = db
+            .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
+            .unwrap();
+        for src in 1..=n.min(5) {
+            for dst in 1..=n.min(5) {
+                let t = stmt
+                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
+                    .unwrap()
+                    .into_table()
+                    .unwrap();
+                let got = if t.is_empty() { None } else { t.row(0)[0].as_int() };
+                let want = model_distance(n, &edges, src, dst, true);
+                prop_assert_eq!(got, want, "pair ({}, {})", src, dst);
+            }
+        }
+    }
+
+    /// Weighted `CHEAPEST SUM(e: w)` equals Bellman-Ford.
+    #[test]
+    fn sql_weighted_distance_matches_model((n, edges) in graph_strategy()) {
+        let db = build_db(&edges);
+        let stmt = db
+            .prepare("SELECT CHEAPEST SUM(x: w) WHERE ? REACHES ? OVER e x EDGE (s, d)")
+            .unwrap();
+        for src in 1..=n.min(4) {
+            for dst in 1..=n.min(4) {
+                let t = stmt
+                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
+                    .unwrap()
+                    .into_table()
+                    .unwrap();
+                let got = if t.is_empty() { None } else { t.row(0)[0].as_int() };
+                let want = model_distance(n, &edges, src, dst, false);
+                prop_assert_eq!(got, want, "pair ({}, {})", src, dst);
+            }
+        }
+    }
+
+    /// Batched pairs through the VALUES-CTE shape agree with single-pair
+    /// queries, and unreachable pairs are absent from the batch result.
+    #[test]
+    fn sql_batched_equals_singles((n, edges) in graph_strategy(),
+                                  pair_seed in prop::collection::vec((1i64..14, 1i64..14), 1..10)) {
+        let db = build_db(&edges);
+        let pairs: Vec<(i64, i64)> = pair_seed
+            .into_iter()
+            .map(|(a, b)| (1 + (a - 1) % n, 1 + (b - 1) % n))
+            .collect();
+        let mut values = String::new();
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            if i > 0 {
+                values.push_str(", ");
+            }
+            values.push_str(&format!("({a}, {b})"));
+        }
+        let batch = db
+            .query(&format!(
+                "WITH p (a, b) AS (VALUES {values})
+                 SELECT p.a, p.b, CHEAPEST SUM(1) AS c FROM p
+                 WHERE p.a REACHES p.b OVER e EDGE (s, d)"
+            ))
+            .unwrap();
+        // Build the batch answer map.
+        let mut got: std::collections::HashMap<(i64, i64), i64> = std::collections::HashMap::new();
+        for row in batch.rows() {
+            got.insert(
+                (row[0].as_int().unwrap(), row[1].as_int().unwrap()),
+                row[2].as_int().unwrap(),
+            );
+        }
+        for &(a, b) in &pairs {
+            let want = model_distance(n, &edges, a, b, true);
+            prop_assert_eq!(got.get(&(a, b)).copied(), want, "pair ({}, {})", a, b);
+        }
+    }
+
+    /// Every path returned through SQL UNNEST chains source→dest and its
+    /// weights sum to the reported cost.
+    #[test]
+    fn sql_unnested_paths_are_valid((n, edges) in graph_strategy()) {
+        let db = build_db(&edges);
+        let stmt = db
+            .prepare(
+                "SELECT T.cost, R.s, R.d, R.w, R.ordinality FROM (
+                   SELECT CHEAPEST SUM(x: w) AS (cost, path)
+                   WHERE ? REACHES ? OVER e x EDGE (s, d)
+                 ) T, UNNEST(T.path) WITH ORDINALITY AS R ORDER BY R.ordinality",
+            )
+            .unwrap();
+        for src in 1..=n.min(4) {
+            for dst in 1..=n.min(4) {
+                if src == dst {
+                    continue;
+                }
+                let t = stmt
+                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
+                    .unwrap()
+                    .into_table()
+                    .unwrap();
+                if t.is_empty() {
+                    continue;
+                }
+                let cost = t.row(0)[0].as_int().unwrap();
+                let mut at = src;
+                let mut acc = 0i64;
+                for (i, row) in t.rows().enumerate() {
+                    prop_assert_eq!(row[4].as_int(), Some(i as i64 + 1), "ordinality");
+                    prop_assert_eq!(row[1].as_int(), Some(at), "chain at hop {}", i);
+                    at = row[2].as_int().unwrap();
+                    acc += row[3].as_int().unwrap();
+                }
+                prop_assert_eq!(at, dst);
+                prop_assert_eq!(acc, cost);
+            }
+        }
+    }
+
+    /// Reachability (no CHEAPEST SUM) selects exactly the model's pairs.
+    #[test]
+    fn sql_reachability_filter_matches_model((n, edges) in graph_strategy()) {
+        let db = build_db(&edges);
+        // All-pairs via graph join between two person lists.
+        let mut values = String::new();
+        for i in 1..=n {
+            if i > 1 {
+                values.push_str(", ");
+            }
+            values.push_str(&format!("({i})"));
+        }
+        let t = db
+            .query(&format!(
+                "WITH v (id) AS (VALUES {values})
+                 SELECT a.id, b.id FROM v a, v b
+                 WHERE a.id REACHES b.id OVER e EDGE (s, d)"
+            ))
+            .unwrap();
+        let mut got: std::collections::HashSet<(i64, i64)> = std::collections::HashSet::new();
+        for row in t.rows() {
+            got.insert((row[0].as_int().unwrap(), row[1].as_int().unwrap()));
+        }
+        for a in 1..=n {
+            for b in 1..=n {
+                let want = model_distance(n, &edges, a, b, true).is_some();
+                prop_assert_eq!(got.contains(&(a, b)), want, "pair ({}, {})", a, b);
+            }
+        }
+    }
+}
