@@ -9,7 +9,8 @@ pub const Q13: &str =
 /// precomputed affinity weights. The weights are doubled and cast to
 /// INTEGER exactly as in appendix A.4, which keeps the radix queue on the
 /// fast integer path.
-pub const Q14_VARIANT: &str = "SELECT CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path) \
+pub const Q14_VARIANT: &str =
+    "SELECT CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path) \
      WHERE ? REACHES ? OVER friends f EDGE (src, dst)";
 
 /// A float-weighted Q14 flavour (binary-heap Dijkstra) used by the

@@ -140,9 +140,7 @@ pub fn khop_join_distance(
             *slot = slot.saturating_add(count);
             total = total.saturating_add(count);
             if total > row_cap {
-                return Err(exec_err!(
-                    "k-hop join expansion exceeded {row_cap} rows at hop {hop}"
-                ));
+                return Err(exec_err!("k-hop join expansion exceeded {row_cap} rows at hop {hop}"));
             }
         }
         if next.keys().any(|v| v.0.sql_eq(dest)) {
@@ -175,18 +173,9 @@ mod tests {
     #[test]
     fn seminaive_finds_shortest_distance() {
         let e = edges(&[(1, 2), (2, 3), (1, 3), (3, 4)]);
-        assert_eq!(
-            seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(4)).unwrap(),
-            Some(2)
-        );
-        assert_eq!(
-            seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(3)).unwrap(),
-            Some(1)
-        );
-        assert_eq!(
-            seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(1)).unwrap(),
-            Some(0)
-        );
+        assert_eq!(seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(4)).unwrap(), Some(2));
+        assert_eq!(seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(3)).unwrap(), Some(1));
+        assert_eq!(seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(1)).unwrap(), Some(0));
     }
 
     #[test]
@@ -199,20 +188,16 @@ mod tests {
     #[test]
     fn seminaive_handles_cycles() {
         let e = edges(&[(1, 2), (2, 1), (2, 3)]);
-        assert_eq!(
-            seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(3)).unwrap(),
-            Some(2)
-        );
+        assert_eq!(seminaive_distance(&e, 0, 1, &Value::Int(1), &Value::Int(3)).unwrap(), Some(2));
     }
 
     #[test]
     fn khop_matches_seminaive_within_bound() {
         let e = edges(&[(1, 2), (2, 3), (3, 4), (1, 3)]);
         for (s, d) in [(1, 2), (1, 3), (1, 4), (2, 4)] {
-            let expect =
-                seminaive_distance(&e, 0, 1, &Value::Int(s), &Value::Int(d)).unwrap();
-            let got = khop_join_distance(&e, 0, 1, &Value::Int(s), &Value::Int(d), 8, 1 << 20)
-                .unwrap();
+            let expect = seminaive_distance(&e, 0, 1, &Value::Int(s), &Value::Int(d)).unwrap();
+            let got =
+                khop_join_distance(&e, 0, 1, &Value::Int(s), &Value::Int(d), 8, 1 << 20).unwrap();
             assert_eq!(expect, got, "pair ({s},{d})");
         }
     }

@@ -8,6 +8,7 @@
 
 use crate::bind::expr::{bind_literal, type_name_to_datatype, ExprBinder};
 use crate::bind::scope::Scope;
+use crate::context::ExecContext;
 use crate::error::{bind_err, Error};
 use crate::plan::{
     AggCall, AggFunc, BoundExpr, CheapestSpec, JoinKind, LogicalPlan, PlanColumn, PlanSchema,
@@ -34,8 +35,13 @@ pub struct Binder<'a> {
 }
 
 impl<'a> Binder<'a> {
-    /// Create a binder over `catalog`.
-    pub fn new(catalog: &'a Catalog) -> Binder<'a> {
+    /// Create a binder for one statement execution context.
+    pub fn new(ctx: &ExecContext<'a>) -> Binder<'a> {
+        Binder::from_catalog(ctx.catalog())
+    }
+
+    /// Create a binder over a bare catalog (no session context).
+    pub fn from_catalog(catalog: &'a Catalog) -> Binder<'a> {
         Binder { catalog, cte_frames: Vec::new() }
     }
 
@@ -119,8 +125,7 @@ impl<'a> Binder<'a> {
                 let r = widen_to(r, &unified);
                 // The plan-level Union is always a bag union; UNION
                 // (distinct) adds a Distinct on top.
-                let plan =
-                    LogicalPlan::Union { left: Box::new(l), right: Box::new(r), all: true };
+                let plan = LogicalPlan::Union { left: Box::new(l), right: Box::new(r), all: true };
                 Ok(if *all { plan } else { LogicalPlan::Distinct { input: Box::new(plan) } })
             }
         }
@@ -158,10 +163,8 @@ impl<'a> Binder<'a> {
                     });
                 }
             }
-            schema.push(PlanColumn::new(
-                format!("column{}", i + 1),
-                ty.unwrap_or(DataType::Varchar),
-            ));
+            schema
+                .push(PlanColumn::new(format!("column{}", i + 1), ty.unwrap_or(DataType::Varchar)));
         }
         Ok(LogicalPlan::Values { rows: bound_rows, schema })
     }
@@ -170,9 +173,7 @@ impl<'a> Binder<'a> {
 
     fn resolve_cte(&self, name: &str) -> Option<(usize, usize)> {
         for (fi, frame) in self.cte_frames.iter().enumerate().rev() {
-            if let Some(ci) =
-                frame.iter().position(|c| c.name.eq_ignore_ascii_case(name))
-            {
+            if let Some(ci) = frame.iter().position(|c| c.name.eq_ignore_ascii_case(name)) {
                 return Some((fi, ci));
             }
         }
@@ -188,15 +189,13 @@ impl<'a> Binder<'a> {
                     // definition point (plus earlier entries of its own
                     // frame), which rules out self-recursion.
                     let saved: Vec<Vec<CteDef>> = self.cte_frames.drain(fi + 1..).collect();
-                    let tail: Vec<CteDef> =
-                        self.cte_frames[fi].drain(ci..).collect();
+                    let tail: Vec<CteDef> = self.cte_frames[fi].drain(ci..).collect();
                     let plan = self.bind_query(&def.query);
                     self.cte_frames[fi].extend(tail);
                     self.cte_frames.extend(saved);
                     let plan = plan?;
                     let qualifier = alias.clone().unwrap_or_else(|| def.name.clone());
-                    let scope =
-                        requalify(plan.schema(), &qualifier, def.columns.as_deref())?;
+                    let scope = requalify(plan.schema(), &qualifier, def.columns.as_deref())?;
                     return Ok((plan, scope));
                 }
                 let entry = self.catalog.entry(name).map_err(Error::Storage)?;
@@ -282,9 +281,9 @@ impl<'a> Binder<'a> {
                 };
                 Ok((plan, combined))
             }
-            ast::TableRef::Unnest { .. } => Err(bind_err!(
-                "UNNEST must follow another FROM item (it is a lateral operator)"
-            )),
+            ast::TableRef::Unnest { .. } => {
+                Err(bind_err!("UNNEST must follow another FROM item (it is a lateral operator)"))
+            }
         }
     }
 
@@ -327,10 +326,8 @@ impl<'a> Binder<'a> {
 
         let mut schema = input_scope.schema.clone();
         for (i, def) in nested.columns().iter().enumerate() {
-            let name = column_aliases
-                .and_then(|a| a.get(i))
-                .cloned()
-                .unwrap_or_else(|| def.name.clone());
+            let name =
+                column_aliases.and_then(|a| a.get(i)).cloned().unwrap_or_else(|| def.name.clone());
             schema.push(PlanColumn {
                 qualifier: alias.map(str::to_string),
                 name,
@@ -459,9 +456,7 @@ impl<'a> Binder<'a> {
             .filter(|(_, it)| matches!(it, ast::SelectItem::CheapestSum { .. }))
             .collect();
         if !cheapest_items.is_empty() && reaches.is_empty() {
-            return Err(bind_err!(
-                "CHEAPEST SUM requires a REACHES predicate in the WHERE clause"
-            ));
+            return Err(bind_err!("CHEAPEST SUM requires a REACHES predicate in the WHERE clause"));
         }
 
         // Map from select-item index to (cost ordinal, Option<path ordinal>).
@@ -525,7 +520,9 @@ impl<'a> Binder<'a> {
                     )
                 })?;
                 if !weight_ty.is_numeric() {
-                    return Err(bind_err!("CHEAPEST SUM weight must be numeric, found {weight_ty}"));
+                    return Err(bind_err!(
+                        "CHEAPEST SUM weight must be numeric, found {weight_ty}"
+                    ));
                 }
                 let (cost_name, path_name, want_path) = match aliases {
                     ast::CheapestAlias::None => ("cheapest_sum".to_string(), String::new(), false),
@@ -654,8 +651,7 @@ impl<'a> Binder<'a> {
                         return Err(bind_err!("SELECT t.* cannot be combined with GROUP BY"));
                     }
                     let cols = scope.columns_of(q);
-                    let cols: Vec<usize> =
-                        cols.into_iter().filter(|&i| i < n_from_cols).collect();
+                    let cols: Vec<usize> = cols.into_iter().filter(|&i| i < n_from_cols).collect();
                     if cols.is_empty() {
                         return Err(bind_err!("no table '{q}' in FROM clause"));
                     }
@@ -677,10 +673,8 @@ impl<'a> Binder<'a> {
                 }
                 ast::SelectItem::CheapestSum { .. } => {
                     let (cost_ord, path_ord) = cheapest_outputs[&item_idx];
-                    exprs.push(BoundExpr::Column {
-                        index: cost_ord,
-                        ty: scope.column(cost_ord).ty,
-                    });
+                    exprs
+                        .push(BoundExpr::Column { index: cost_ord, ty: scope.column(cost_ord).ty });
                     out_schema.push(scope.column(cost_ord).clone());
                     item_asts.push(None);
                     if let Some(p) = path_ord {
@@ -803,9 +797,7 @@ impl<'a> Binder<'a> {
         let mut collect = |e: &ast::Expr| {
             e.visit(&mut |node| {
                 if let ast::Expr::Function { name, .. } = node {
-                    if AggFunc::from_name(name).is_some()
-                        && !agg_asts.iter().any(|a| a == node)
-                    {
+                    if AggFunc::from_name(name).is_some() && !agg_asts.iter().any(|a| a == node) {
                         agg_asts.push(node.clone());
                     }
                 }
@@ -859,10 +851,9 @@ impl<'a> Binder<'a> {
                     nullable: true,
                     nested: None,
                 },
-                other => PlanColumn::new(
-                    other.to_string(),
-                    g.data_type().unwrap_or(DataType::Varchar),
-                ),
+                other => {
+                    PlanColumn::new(other.to_string(), g.data_type().unwrap_or(DataType::Varchar))
+                }
             };
             schema.push(col);
         }
@@ -953,10 +944,8 @@ impl<'a> Binder<'a> {
         }
         // 2. output column name (aliases take priority over input columns)
         if let ast::Expr::Column { table: None, name } = e {
-            if let Some(i) = out_schema
-                .columns()
-                .iter()
-                .position(|c| c.name.eq_ignore_ascii_case(name))
+            if let Some(i) =
+                out_schema.columns().iter().position(|c| c.name.eq_ignore_ascii_case(name))
             {
                 return Ok(OrderTarget::Output(i));
             }
@@ -1054,11 +1043,7 @@ fn widen_to(plan: LogicalPlan, target: &[DataType]) -> LogicalPlan {
     let mut out = PlanSchema::default();
     for (i, (col, &ty)) in schema.columns().iter().zip(target).enumerate() {
         let base = BoundExpr::Column { index: i, ty: col.ty };
-        exprs.push(if col.ty == ty {
-            base
-        } else {
-            BoundExpr::Cast { expr: Box::new(base), ty }
-        });
+        exprs.push(if col.ty == ty { base } else { BoundExpr::Cast { expr: Box::new(base), ty } });
         let mut pc = col.clone();
         pc.ty = ty;
         out.push(pc);
@@ -1067,11 +1052,7 @@ fn widen_to(plan: LogicalPlan, target: &[DataType]) -> LogicalPlan {
 }
 
 /// Re-qualify all columns of a schema under one alias, optionally renaming.
-fn requalify(
-    schema: &PlanSchema,
-    alias: &str,
-    renames: Option<&[String]>,
-) -> Result<Scope> {
+fn requalify(schema: &PlanSchema, alias: &str, renames: Option<&[String]>) -> Result<Scope> {
     if let Some(renames) = renames {
         if renames.len() != schema.len() {
             return Err(bind_err!(
@@ -1087,10 +1068,7 @@ fn requalify(
         .enumerate()
         .map(|(i, c)| PlanColumn {
             qualifier: Some(alias.to_string()),
-            name: renames
-                .and_then(|r| r.get(i))
-                .cloned()
-                .unwrap_or_else(|| c.name.clone()),
+            name: renames.and_then(|r| r.get(i)).cloned().unwrap_or_else(|| c.name.clone()),
             ty: c.ty,
             nullable: c.nullable,
             nested: c.nested.clone(),

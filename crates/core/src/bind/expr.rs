@@ -177,7 +177,9 @@ impl<'a> ExprBinder<'a> {
                 for side in [&l, &r] {
                     if let Some(t) = side.data_type() {
                         if !t.is_numeric() {
-                            return Err(bind_err!("arithmetic requires numeric operands, found {t}"));
+                            return Err(bind_err!(
+                                "arithmetic requires numeric operands, found {t}"
+                            ));
                         }
                     }
                 }
@@ -203,11 +205,7 @@ impl<'a> ExprBinder<'a> {
                 let l2 = self.coerce_compare(l, &r)?;
                 let r2 = self.coerce_compare(r, &l2)?;
                 check_comparable(&l2, &r2, "comparison")?;
-                return Ok(BoundExpr::Binary {
-                    left: Box::new(l2),
-                    op: bop,
-                    right: Box::new(r2),
-                });
+                return Ok(BoundExpr::Binary { left: Box::new(l2), op: bop, right: Box::new(r2) });
             }
         }
         Ok(BoundExpr::Binary { left: Box::new(l), op: bop, right: Box::new(r) })
@@ -262,8 +260,7 @@ fn check_boolish(e: &BoundExpr, ctx: &str) -> Result<()> {
 fn check_comparable(l: &BoundExpr, r: &BoundExpr, ctx: &str) -> Result<()> {
     match (l.data_type(), r.data_type()) {
         (Some(a), Some(b)) => {
-            let ok = a == b
-                || (a.is_numeric() && b.is_numeric());
+            let ok = a == b || (a.is_numeric() && b.is_numeric());
             if !ok {
                 return Err(bind_err!("{ctx} between incompatible types {a} and {b}"));
             }
@@ -299,8 +296,8 @@ fn check_function_arity(func: ScalarFunc, n: usize) -> Result<()> {
 mod tests {
     use super::*;
     use crate::plan::{PlanColumn, PlanSchema};
-    use gsql_parser::Parser;
     use gsql_parser::Lexer;
+    use gsql_parser::Parser;
 
     fn scope() -> Scope {
         Scope::new(PlanSchema::new(vec![

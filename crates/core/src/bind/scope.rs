@@ -40,9 +40,7 @@ impl Scope {
         let mut matches = self.schema.columns().iter().enumerate().filter(|(_, c)| {
             c.name.eq_ignore_ascii_case(name)
                 && match qualifier {
-                    Some(q) => {
-                        c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q))
-                    }
+                    Some(q) => c.qualifier.as_deref().is_some_and(|cq| cq.eq_ignore_ascii_case(q)),
                     None => true,
                 }
         });

@@ -1,0 +1,304 @@
+//! Per-query execution context and session settings.
+//!
+//! [`ExecContext`] bundles everything a single statement execution needs —
+//! catalog, `?` parameter values, graph-index registry, session settings,
+//! and an optional per-operator statistics collector — and is threaded
+//! through binder → optimizer → executor instead of loose arguments. It is
+//! the engine-side counterpart of a [`crate::Session`].
+
+use crate::error::{bind_err, Error};
+use crate::graph_index::GraphIndexRegistry;
+use gsql_storage::{Catalog, Value};
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Session-scoped knobs that influence planning and execution.
+///
+/// Changed with `SET <option> = <value>`, inspected with `SHOW <option>` /
+/// `SHOW ALL`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionSettings {
+    /// Use registered graph indexes during planning (`SET graph_index =
+    /// on|off`). Default on.
+    pub graph_index: bool,
+    /// Guard against runaway intermediate results: error as soon as any
+    /// operator produces more than this many rows (`SET row_limit = n`;
+    /// `0` disables). Default unlimited.
+    pub row_limit: Option<u64>,
+    /// Capacity of the session's plan cache (`SET plan_cache_size = n`;
+    /// `0` disables caching). Default 64.
+    pub plan_cache_size: usize,
+}
+
+impl Default for SessionSettings {
+    fn default() -> SessionSettings {
+        SessionSettings { graph_index: true, row_limit: None, plan_cache_size: 64 }
+    }
+}
+
+impl SessionSettings {
+    /// All option names, in `SHOW ALL` order.
+    pub const NAMES: [&'static str; 3] = ["graph_index", "plan_cache_size", "row_limit"];
+
+    /// Set an option from its SQL textual value. Errors on unknown options
+    /// or unparsable values.
+    pub fn set(&mut self, name: &str, value: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        match key.as_str() {
+            "graph_index" => self.graph_index = parse_bool(name, value)?,
+            "row_limit" => {
+                let n = parse_u64(name, value)?;
+                self.row_limit = if n == 0 { None } else { Some(n) };
+            }
+            "plan_cache_size" => self.plan_cache_size = parse_u64(name, value)? as usize,
+            _ => return Err(bind_err!("unknown setting '{name}'")),
+        }
+        Ok(())
+    }
+
+    /// Read an option's current value as SQL text.
+    pub fn get(&self, name: &str) -> Result<String> {
+        let key = name.to_ascii_lowercase();
+        match key.as_str() {
+            "graph_index" => Ok(render_bool(self.graph_index)),
+            "row_limit" => Ok(self.row_limit.unwrap_or(0).to_string()),
+            "plan_cache_size" => Ok(self.plan_cache_size.to_string()),
+            _ => Err(bind_err!("unknown setting '{name}'")),
+        }
+    }
+
+    /// `(name, value)` pairs for every option (`SHOW ALL`).
+    pub fn entries(&self) -> Vec<(&'static str, String)> {
+        Self::NAMES.iter().map(|&n| (n, self.get(n).expect("known name"))).collect()
+    }
+}
+
+fn parse_bool(name: &str, value: &str) -> Result<bool> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "1" => Ok(true),
+        "off" | "false" | "0" => Ok(false),
+        other => Err(bind_err!("setting '{name}' expects on/off, got '{other}'")),
+    }
+}
+
+fn parse_u64(name: &str, value: &str) -> Result<u64> {
+    value
+        .parse::<u64>()
+        .map_err(|_| bind_err!("setting '{name}' expects a non-negative integer, got '{value}'"))
+}
+
+fn render_bool(v: bool) -> String {
+    if v { "on" } else { "off" }.to_string()
+}
+
+/// Execution statistics of one operator instance, recorded by the executor
+/// when statistics collection is enabled (`EXPLAIN ANALYZE`).
+#[derive(Debug, Clone)]
+pub struct OpStats {
+    /// The operator's one-line plan label (same text as `EXPLAIN`).
+    pub label: String,
+    /// Nesting depth in the executed plan tree.
+    pub depth: usize,
+    /// Output row count.
+    pub rows: usize,
+    /// Inclusive wall time (operator plus its inputs).
+    pub elapsed: Duration,
+}
+
+/// Per-operator statistics of one executed statement, in execution
+/// (pre-)order. Operators that were skipped at runtime — e.g. an edge-table
+/// scan satisfied by a graph index — do not appear.
+#[derive(Debug, Clone, Default)]
+pub struct ExecStats {
+    /// One entry per executed operator.
+    pub ops: Vec<OpStats>,
+}
+
+impl ExecStats {
+    /// Reserve the slot for an operator about to run; returns its index.
+    pub(crate) fn begin(&mut self, label: String, depth: usize) -> usize {
+        self.ops.push(OpStats { label, depth, rows: 0, elapsed: Duration::ZERO });
+        self.ops.len() - 1
+    }
+
+    /// Fill in an operator's results.
+    pub(crate) fn finish(&mut self, idx: usize, rows: usize, elapsed: Duration) {
+        let op = &mut self.ops[idx];
+        op.rows = rows;
+        op.elapsed = elapsed;
+    }
+
+    /// Render the annotated plan tree (`EXPLAIN ANALYZE` output): one line
+    /// per executed operator with output rows and inclusive wall time.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            let _ = writeln!(
+                out,
+                "{}{} (rows={}, time={})",
+                "  ".repeat(op.depth),
+                op.label,
+                op.rows,
+                fmt_duration(op.elapsed),
+            );
+        }
+        out
+    }
+}
+
+/// Compact human duration (micros below 10ms, millis beyond).
+fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 10_000 {
+        format!("{us}us")
+    } else {
+        format!("{:.2}ms", us as f64 / 1000.0)
+    }
+}
+
+/// Everything one statement execution needs, bundled.
+///
+/// A [`crate::Session`] builds one `ExecContext` per statement; the
+/// context is handed to [`crate::bind::Binder`],
+/// [`crate::optimize::optimize_with`] and [`crate::exec::Executor`].
+#[derive(Debug)]
+pub struct ExecContext<'a> {
+    catalog: &'a Catalog,
+    params: &'a [Value],
+    indexes: Option<&'a GraphIndexRegistry>,
+    settings: SessionSettings,
+    stats: Option<RefCell<ExecStats>>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with default settings and no statistics collection.
+    pub fn new(
+        catalog: &'a Catalog,
+        params: &'a [Value],
+        indexes: Option<&'a GraphIndexRegistry>,
+    ) -> ExecContext<'a> {
+        ExecContext { catalog, params, indexes, settings: SessionSettings::default(), stats: None }
+    }
+
+    /// Replace the settings (builder style).
+    pub fn with_settings(mut self, settings: SessionSettings) -> ExecContext<'a> {
+        self.settings = settings;
+        self
+    }
+
+    /// Enable per-operator statistics collection (builder style).
+    pub fn with_stats(mut self) -> ExecContext<'a> {
+        self.stats = Some(RefCell::new(ExecStats::default()));
+        self
+    }
+
+    /// The catalog to bind and scan against.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// Host parameter values for `?` placeholders.
+    pub fn params(&self) -> &'a [Value] {
+        self.params
+    }
+
+    /// The graph-index registry, unless disabled by
+    /// [`SessionSettings::graph_index`].
+    pub fn indexes(&self) -> Option<&'a GraphIndexRegistry> {
+        if self.settings.graph_index {
+            self.indexes
+        } else {
+            None
+        }
+    }
+
+    /// The session settings in effect.
+    pub fn settings(&self) -> &SessionSettings {
+        &self.settings
+    }
+
+    /// The statistics collector, when enabled.
+    pub(crate) fn stats_cell(&self) -> Option<&RefCell<ExecStats>> {
+        self.stats.as_ref()
+    }
+
+    /// Extract the collected statistics (empty if collection was off).
+    pub fn take_stats(&self) -> ExecStats {
+        self.stats.as_ref().map(|s| s.take()).unwrap_or_default()
+    }
+
+    /// Enforce the session row limit on one operator's output. The label is
+    /// built lazily so the happy path never formats a plan node.
+    pub(crate) fn check_row_limit(
+        &self,
+        rows: usize,
+        operator: impl FnOnce() -> String,
+    ) -> Result<()> {
+        if let Some(limit) = self.settings.row_limit {
+            if rows as u64 > limit {
+                return Err(Error::Exec(format!(
+                    "row limit exceeded: operator {} produced {rows} rows \
+                     (SET row_limit = {limit}; 0 disables)",
+                    operator()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settings_set_get_roundtrip() {
+        let mut s = SessionSettings::default();
+        assert!(s.graph_index);
+        s.set("graph_index", "off").unwrap();
+        assert!(!s.graph_index);
+        assert_eq!(s.get("graph_index").unwrap(), "off");
+        s.set("GRAPH_INDEX", "on").unwrap();
+        assert!(s.graph_index);
+
+        s.set("row_limit", "100").unwrap();
+        assert_eq!(s.row_limit, Some(100));
+        s.set("row_limit", "0").unwrap();
+        assert_eq!(s.row_limit, None);
+        assert_eq!(s.get("row_limit").unwrap(), "0");
+
+        s.set("plan_cache_size", "8").unwrap();
+        assert_eq!(s.plan_cache_size, 8);
+
+        assert!(s.set("nope", "1").is_err());
+        assert!(s.get("nope").is_err());
+        assert!(s.set("graph_index", "maybe").is_err());
+        assert!(s.set("row_limit", "-3").is_err());
+        assert_eq!(s.entries().len(), SessionSettings::NAMES.len());
+    }
+
+    #[test]
+    fn row_limit_guard() {
+        let catalog = Catalog::new();
+        let ctx = ExecContext::new(&catalog, &[], None)
+            .with_settings(SessionSettings { row_limit: Some(2), ..SessionSettings::default() });
+        assert!(ctx.check_row_limit(2, || "Scan".to_string()).is_ok());
+        let err = ctx.check_row_limit(3, || "Scan".to_string()).unwrap_err();
+        assert!(err.to_string().contains("row limit exceeded"));
+    }
+
+    #[test]
+    fn stats_render_indents_by_depth() {
+        let mut stats = ExecStats::default();
+        let a = stats.begin("Filter x".into(), 0);
+        let b = stats.begin("Scan t".into(), 1);
+        stats.finish(b, 10, Duration::from_micros(50));
+        stats.finish(a, 3, Duration::from_micros(120));
+        let text = stats.render();
+        assert!(text.contains("Filter x (rows=3"));
+        assert!(text.contains("  Scan t (rows=10"));
+    }
+}

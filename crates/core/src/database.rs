@@ -1,15 +1,23 @@
-//! The public database API.
+//! The shared database and its convenience API.
+//!
+//! A [`Database`] owns the catalog and the graph-index registry and is
+//! safe to share across threads. All statement execution happens through
+//! [`Session`]s (see [`crate::session`]); the `execute`/`query` methods
+//! here are thin wrappers that open a temporary session, so simple callers
+//! keep working without managing one.
 
 use crate::bind::binder::Binder;
 use crate::bind::expr::{type_name_to_datatype, ExprBinder};
 use crate::bind::scope::Scope;
+use crate::context::ExecContext;
 use crate::error::{bind_err, Error};
 use crate::exec::executor::Executor;
 use crate::exec::expression::{cast_value, eval};
 use crate::graph_index::GraphIndexRegistry;
-use crate::optimize::optimize;
+use crate::optimize::optimize_with;
 use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
-use gsql_parser::{ast, parse_sql, parse_statement};
+use crate::session::{PreparedStatement, Session};
+use gsql_parser::ast;
 use gsql_storage::{Catalog, ColumnDef, DataType, Schema, Table, Value};
 use std::sync::Arc;
 
@@ -18,11 +26,11 @@ type Result<T> = std::result::Result<T, Error>;
 /// The result of executing one statement.
 #[derive(Debug, Clone)]
 pub enum QueryResult {
-    /// A result set (SELECT / EXPLAIN / DESCRIBE).
+    /// A result set (SELECT / EXPLAIN / DESCRIBE / SHOW).
     Table(Arc<Table>),
     /// Rows affected by DML.
     Affected(usize),
-    /// DDL succeeded.
+    /// DDL or SET succeeded.
     Ok,
 }
 
@@ -36,23 +44,11 @@ impl QueryResult {
     }
 }
 
-/// A parsed statement ready for repeated execution with different `?`
-/// parameter values. Binding happens per execution (it is cheap relative
-/// to execution and keeps parameter typing flexible).
-#[derive(Debug, Clone)]
-pub struct PreparedStatement {
-    statement: ast::Statement,
-}
-
-impl PreparedStatement {
-    /// Execute against `db` with parameter values for each `?`, in textual
-    /// order.
-    pub fn execute(&self, db: &Database, params: &[Value]) -> Result<QueryResult> {
-        db.run_statement(&self.statement, params)
-    }
-}
-
 /// An in-memory SQL database with the paper's graph extensions.
+///
+/// Thread-safe and shared; open a [`Session`] per connection for prepared
+/// statements with plan caching, `SET`/`SHOW` settings and
+/// `EXPLAIN ANALYZE`. The methods here cover one-shot use:
 ///
 /// ```
 /// use gsql_core::Database;
@@ -81,6 +77,11 @@ impl Database {
         Database::default()
     }
 
+    /// Open a session (connection state: settings + plan cache).
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
     /// The table catalog.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
@@ -91,26 +92,29 @@ impl Database {
         &self.indexes
     }
 
+    /// The structural version of the database: changes whenever a table or
+    /// graph index is created or dropped — through SQL statements or the
+    /// [`Catalog`] / [`GraphIndexRegistry`] APIs directly (e.g. bulk
+    /// loaders). Cached plans bind to one version and are invalidated when
+    /// it moves.
+    pub fn schema_version(&self) -> u64 {
+        self.catalog.ddl_version() + self.indexes.version()
+    }
+
     /// Execute a single statement without parameters.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
-        self.execute_with_params(sql, &[])
+        self.session().execute(sql)
     }
 
     /// Execute a single statement with `?` parameter values.
     pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
-        let statement = parse_statement(sql)?;
-        self.run_statement(&statement, params)
+        self.session().execute_with_params(sql, params)
     }
 
     /// Execute a semicolon-separated script, returning one result per
     /// statement. Stops at the first error.
     pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
-        let statements = parse_sql(sql)?;
-        let mut results = Vec::with_capacity(statements.len());
-        for s in &statements {
-            results.push(self.run_statement(s, &[])?);
-        }
-        Ok(results)
+        self.session().execute_script(sql)
     }
 
     /// Run a query and return its result set.
@@ -123,9 +127,12 @@ impl Database {
         self.execute_with_params(sql, params)?.into_table()
     }
 
-    /// Parse a statement for repeated execution.
+    /// Parse a statement for repeated execution through a [`Session`].
+    ///
+    /// Unlike [`Session::prepare`], no plan is built yet: the first
+    /// execution in a given session binds and caches it there.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
-        Ok(PreparedStatement { statement: parse_statement(sql)? })
+        PreparedStatement::parse(sql)
     }
 
     /// Bulk-load CSV (with a header row matching the table's columns) into
@@ -151,102 +158,64 @@ impl Database {
         gsql_storage::csv::to_csv_string(&table).map_err(Error::Storage)
     }
 
-    /// Parse, bind and optimize a query, returning its logical plan
-    /// (what `EXPLAIN` renders).
+    /// Parse, bind and optimize a query under default session settings,
+    /// returning its logical plan (what `EXPLAIN` renders).
     pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
-        match parse_statement(sql)? {
-            ast::Statement::Query(q) | ast::Statement::Explain(q) => {
-                let plan = Binder::new(&self.catalog).bind_query(&q)?;
-                Ok(optimize(plan))
-            }
-            _ => Err(bind_err!("plan() expects a query")),
-        }
+        self.session().plan(sql)
     }
 
-    fn run_statement(&self, statement: &ast::Statement, params: &[Value]) -> Result<QueryResult> {
-        match statement {
-            ast::Statement::Query(q) => {
-                let plan = Binder::new(&self.catalog).bind_query(q)?;
-                let plan = optimize(plan);
-                let table =
-                    Executor::new(&self.catalog, params, Some(&self.indexes)).execute(&plan)?;
-                Ok(QueryResult::Table(table))
-            }
-            ast::Statement::Explain(q) => {
-                let plan = Binder::new(&self.catalog).bind_query(q)?;
-                let plan = optimize(plan);
-                let mut t = Table::empty(Schema::new(vec![ColumnDef::not_null(
-                    "plan",
-                    DataType::Varchar,
-                )]));
-                for line in plan.explain().lines() {
-                    t.append_row(vec![Value::from(line)]).map_err(Error::Storage)?;
-                }
-                Ok(QueryResult::Table(Arc::new(t)))
-            }
-            ast::Statement::Describe { name } => {
-                let table = self.catalog.get(name).map_err(Error::Storage)?;
-                let mut t = Table::empty(Schema::new(vec![
-                    ColumnDef::not_null("column", DataType::Varchar),
-                    ColumnDef::not_null("type", DataType::Varchar),
-                    ColumnDef::not_null("nullable", DataType::Bool),
-                ]));
-                for def in table.schema().columns() {
-                    t.append_row(vec![
-                        Value::from(def.name.clone()),
-                        Value::from(def.ty.sql_name()),
-                        Value::Bool(def.nullable),
-                    ])
-                    .map_err(Error::Storage)?;
-                }
-                Ok(QueryResult::Table(Arc::new(t)))
-            }
-            ast::Statement::CreateTable { name, columns } => {
-                if columns.is_empty() {
-                    return Err(bind_err!("CREATE TABLE requires at least one column"));
-                }
-                let mut defs = Vec::with_capacity(columns.len());
-                for c in columns {
-                    defs.push(ColumnDef {
-                        name: c.name.clone(),
-                        ty: type_name_to_datatype(c.ty),
-                        nullable: !c.not_null,
-                    });
-                }
-                self.catalog.create_table(name, Schema::new(defs)).map_err(Error::Storage)?;
-                Ok(QueryResult::Ok)
-            }
-            ast::Statement::DropTable { name } => {
-                self.catalog.drop_table(name).map_err(Error::Storage)?;
-                self.indexes.drop_indexes_for_table(name);
-                Ok(QueryResult::Ok)
-            }
-            ast::Statement::Insert { table, columns, source } => {
-                self.run_insert(table, columns.as_deref(), source, params)
-            }
-            ast::Statement::Delete { table, filter } => {
-                self.run_delete(table, filter.as_ref(), params)
-            }
-            ast::Statement::Update { table, assignments, filter } => {
-                self.run_update(table, assignments, filter.as_ref(), params)
-            }
-            ast::Statement::CreateGraphIndex { name, table, src_col, dst_col } => {
-                self.indexes.create_index(&self.catalog, name, table, src_col, dst_col)?;
-                Ok(QueryResult::Ok)
-            }
-            ast::Statement::DropGraphIndex { name } => {
-                self.indexes.drop_index(name)?;
-                Ok(QueryResult::Ok)
-            }
-        }
-    }
+    // ------------------------------------------------------ DDL internals
 
-    fn run_insert(
+    pub(crate) fn create_table_from_ast(
         &self,
+        name: &str,
+        columns: &[ast::ColumnDefAst],
+    ) -> Result<QueryResult> {
+        if columns.is_empty() {
+            return Err(bind_err!("CREATE TABLE requires at least one column"));
+        }
+        let mut defs = Vec::with_capacity(columns.len());
+        for c in columns {
+            defs.push(ColumnDef {
+                name: c.name.clone(),
+                ty: type_name_to_datatype(c.ty),
+                nullable: !c.not_null,
+            });
+        }
+        self.catalog.create_table(name, Schema::new(defs)).map_err(Error::Storage)?;
+        Ok(QueryResult::Ok)
+    }
+
+    pub(crate) fn drop_table_stmt(&self, name: &str) -> Result<QueryResult> {
+        self.catalog.drop_table(name).map_err(Error::Storage)?;
+        self.indexes.drop_indexes_for_table(name);
+        Ok(QueryResult::Ok)
+    }
+
+    pub(crate) fn create_graph_index_stmt(
+        &self,
+        name: &str,
+        table: &str,
+        src_col: &str,
+        dst_col: &str,
+    ) -> Result<QueryResult> {
+        self.indexes.create_index(&self.catalog, name, table, src_col, dst_col)?;
+        Ok(QueryResult::Ok)
+    }
+
+    pub(crate) fn drop_graph_index_stmt(&self, name: &str) -> Result<QueryResult> {
+        self.indexes.drop_index(name)?;
+        Ok(QueryResult::Ok)
+    }
+
+    // ------------------------------------------------------ DML internals
+
+    pub(crate) fn run_insert(
+        &self,
+        ctx: &ExecContext<'_>,
         table: &str,
         columns: Option<&[String]>,
         source: &ast::Query,
-        params: &[Value],
     ) -> Result<QueryResult> {
         let target = self.catalog.get(table).map_err(Error::Storage)?;
         let target_schema = target.schema().clone();
@@ -269,7 +238,7 @@ impl Database {
             }
         };
 
-        let plan = Binder::new(&self.catalog).bind_query(source)?;
+        let plan = Binder::new(ctx).bind_query(source)?;
         if plan.schema().len() != positions.len() {
             return Err(bind_err!(
                 "INSERT has {} target columns but the source produces {}",
@@ -277,9 +246,8 @@ impl Database {
                 plan.schema().len()
             ));
         }
-        let plan = optimize(plan);
-        let rows =
-            Executor::new(&self.catalog, params, Some(&self.indexes)).execute(&plan)?;
+        let plan = optimize_with(plan, ctx);
+        let rows = Executor::new(ctx).execute(&plan)?;
 
         let inserted = rows.row_count();
         self.catalog
@@ -299,12 +267,13 @@ impl Database {
         Ok(QueryResult::Affected(inserted))
     }
 
-    fn run_delete(
+    pub(crate) fn run_delete(
         &self,
+        ctx: &ExecContext<'_>,
         table: &str,
         filter: Option<&ast::Expr>,
-        params: &[Value],
     ) -> Result<QueryResult> {
+        let params = ctx.params();
         let snapshot = self.catalog.get(table).map_err(Error::Storage)?;
         let keep: Vec<bool> = match filter {
             None => vec![false; snapshot.row_count()],
@@ -331,13 +300,14 @@ impl Database {
         Ok(QueryResult::Affected(deleted))
     }
 
-    fn run_update(
+    pub(crate) fn run_update(
         &self,
+        ctx: &ExecContext<'_>,
         table: &str,
         assignments: &[(String, ast::Expr)],
         filter: Option<&ast::Expr>,
-        params: &[Value],
     ) -> Result<QueryResult> {
+        let params = ctx.params();
         let snapshot = self.catalog.get(table).map_err(Error::Storage)?;
         let schema = snapshot.schema().clone();
         let scope = table_scope(table, &schema);
@@ -350,7 +320,8 @@ impl Database {
         }
         let bound_filter = filter.map(|f| binder.bind(f)).transpose()?;
 
-        // Compute the new rows against the snapshot, then swap wholesale.
+        // Compute the new rows against the snapshot, then move the rebuilt
+        // table into the catalog wholesale (no copy-on-write round trip).
         let mut updated = 0usize;
         let mut new_table = Table::empty(schema.clone());
         for row in 0..snapshot.row_count() {
@@ -369,12 +340,7 @@ impl Database {
             new_table.append_row(values).map_err(Error::Storage)?;
         }
         if updated > 0 {
-            self.catalog
-                .update(table, |t| {
-                    *t = new_table.clone();
-                    Ok(())
-                })
-                .map_err(Error::Storage)?;
+            self.catalog.replace(table, new_table).map_err(Error::Storage)?;
         }
         Ok(QueryResult::Affected(updated))
     }
@@ -382,7 +348,10 @@ impl Database {
 
 /// Coerce a value for storage into a column of type `ty` (string→date and
 /// int→double conversions that SQL permits implicitly on INSERT/UPDATE).
-fn coerce_for_storage(v: Value, ty: DataType) -> std::result::Result<Value, gsql_storage::StorageError> {
+fn coerce_for_storage(
+    v: Value,
+    ty: DataType,
+) -> std::result::Result<Value, gsql_storage::StorageError> {
     match (&v, ty) {
         (Value::Null, _) => Ok(v),
         (Value::Str(_), DataType::Date) | (Value::Int(_), DataType::Double) => {

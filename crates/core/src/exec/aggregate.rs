@@ -48,9 +48,11 @@ impl AggState {
             AggState::SumInt(acc) => {
                 if let Some(val) = v {
                     if let Some(x) = val.as_int() {
-                        *acc = Some(acc.unwrap_or(0).checked_add(x).ok_or_else(|| {
-                            exec_err!("integer overflow in SUM")
-                        })?);
+                        *acc = Some(
+                            acc.unwrap_or(0)
+                                .checked_add(x)
+                                .ok_or_else(|| exec_err!("integer overflow in SUM"))?,
+                        );
                     } else if !val.is_null() {
                         return Err(exec_err!("SUM over non-integer value {val}"));
                     }
@@ -139,8 +141,7 @@ pub fn execute_aggregate(
         for g in group {
             key_vals.push(eval(g, input, row, params)?);
         }
-        let key: Vec<HashableValue> =
-            key_vals.iter().cloned().map(HashableValue).collect();
+        let key: Vec<HashableValue> = key_vals.iter().cloned().map(HashableValue).collect();
         let entry = groups.entry(key.clone()).or_insert_with(|| {
             order.push(key.clone());
             GroupState {
@@ -229,7 +230,12 @@ mod tests {
         let out = run(
             &[col(0, DataType::Varchar)],
             &[
-                AggCall { func: AggFunc::CountStar, arg: None, distinct: false, out_ty: DataType::Int },
+                AggCall {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    distinct: false,
+                    out_ty: DataType::Int,
+                },
                 AggCall {
                     func: AggFunc::Sum,
                     arg: Some(col(1, DataType::Int)),
@@ -240,7 +246,7 @@ mod tests {
             &[("g", DataType::Varchar), ("n", DataType::Int), ("s", DataType::Int)],
         );
         assert_eq!(out.row_count(), 3); // a, b, NULL group
-        // First-seen order: a, b, NULL.
+                                        // First-seen order: a, b, NULL.
         assert_eq!(out.row(0), vec![Value::from("a"), Value::Int(3), Value::Int(5)]);
         assert_eq!(out.row(1), vec![Value::from("b"), Value::Int(2), Value::Int(30)]);
         assert!(out.row(2)[0].is_null());

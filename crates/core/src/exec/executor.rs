@@ -4,40 +4,70 @@
 //! paper's prototype lives in. Each operator consumes `Arc<Table>` snapshots
 //! and produces a new materialized table; `Arc` keeps base-table scans and
 //! path row-references zero-copy.
+//!
+//! The executor is driven by an [`ExecContext`]: catalog, `?` parameters,
+//! graph indexes, session settings (row-limit guard, graph-index flag) and
+//! — for `EXPLAIN ANALYZE` — a per-operator statistics collector.
 
+use crate::context::ExecContext;
 use crate::error::{exec_err, Error};
 use crate::exec::expression::{eval, eval_const, eval_filter_indices, eval_to_column};
 use crate::exec::{aggregate, graph_op, join, unnest};
-use crate::graph_index::GraphIndexRegistry;
 use crate::plan::{BoundExpr, LogicalPlan, SortKey};
-use gsql_storage::{Catalog, Column, Table, Value};
+use gsql_storage::{Column, Table, Value};
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 type Result<T> = std::result::Result<T, Error>;
 
-/// Executes logical plans against a catalog.
+/// Executes logical plans against an [`ExecContext`].
 pub struct Executor<'a> {
-    /// The catalog to scan base tables from.
-    pub catalog: &'a Catalog,
-    /// Host parameter values for `?` placeholders.
-    pub params: &'a [Value],
-    /// Graph indices (paper §6 future work); `None` disables index use.
-    pub indexes: Option<&'a GraphIndexRegistry>,
+    ctx: &'a ExecContext<'a>,
+    /// Current plan depth, tracked for statistics indentation.
+    depth: Cell<usize>,
 }
 
 impl<'a> Executor<'a> {
-    /// Create an executor.
-    pub fn new(
-        catalog: &'a Catalog,
-        params: &'a [Value],
-        indexes: Option<&'a GraphIndexRegistry>,
-    ) -> Executor<'a> {
-        Executor { catalog, params, indexes }
+    /// Create an executor over a context.
+    pub fn new(ctx: &'a ExecContext<'a>) -> Executor<'a> {
+        Executor { ctx, depth: Cell::new(0) }
+    }
+
+    /// The execution context.
+    pub fn ctx(&self) -> &'a ExecContext<'a> {
+        self.ctx
     }
 
     /// Execute a plan to a materialized table.
+    ///
+    /// When the context collects statistics, every call records the
+    /// operator's label, depth, output rows and inclusive wall time; when a
+    /// session row limit is set, any operator output exceeding it aborts
+    /// the query.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Arc<Table>> {
+        let out = match self.ctx.stats_cell() {
+            None => self.execute_inner(plan)?,
+            Some(cell) => {
+                let depth = self.depth.get();
+                let idx = cell.borrow_mut().begin(plan.node_label(), depth);
+                self.depth.set(depth + 1);
+                let t0 = Instant::now();
+                let result = self.execute_inner(plan);
+                self.depth.set(depth);
+                if let Ok(t) = &result {
+                    cell.borrow_mut().finish(idx, t.row_count(), t0.elapsed());
+                }
+                result?
+            }
+        };
+        self.ctx.check_row_limit(out.row_count(), || plan.node_label())?;
+        Ok(out)
+    }
+
+    fn execute_inner(&self, plan: &LogicalPlan) -> Result<Arc<Table>> {
+        let params = self.ctx.params();
         match plan {
             LogicalPlan::SingleRow => {
                 let mut t = Table::empty(gsql_storage::Schema::default());
@@ -45,22 +75,25 @@ impl<'a> Executor<'a> {
                 Ok(Arc::new(t))
             }
             LogicalPlan::Scan { table, .. } => {
-                self.catalog.get(table).map_err(Error::Storage)
+                self.ctx.catalog().get(table).map_err(Error::Storage)
+            }
+            LogicalPlan::IndexedGraph { table, .. } => {
+                // Reached only when a graph operator did not consume the
+                // node (or the index was dropped): scan the base table.
+                self.ctx.catalog().get(table).map_err(Error::Storage)
             }
             LogicalPlan::Values { rows, schema } => {
                 let mut t = Table::empty(schema.to_storage_schema());
                 for row in rows {
-                    let values: Vec<Value> = row
-                        .iter()
-                        .map(|e| eval_const(e, self.params))
-                        .collect::<Result<_>>()?;
+                    let values: Vec<Value> =
+                        row.iter().map(|e| eval_const(e, params)).collect::<Result<_>>()?;
                     t.append_row(values).map_err(Error::Storage)?;
                 }
                 Ok(Arc::new(t))
             }
             LogicalPlan::Filter { input, predicate } => {
                 let t = self.execute(input)?;
-                let keep = eval_filter_indices(predicate, &t, self.params)?;
+                let keep = eval_filter_indices(predicate, &t, params)?;
                 if keep.len() == t.row_count() {
                     return Ok(t); // nothing filtered: reuse the snapshot
                 }
@@ -71,27 +104,25 @@ impl<'a> Executor<'a> {
                 let storage_schema = schema.to_storage_schema();
                 let mut columns = Vec::with_capacity(exprs.len());
                 for (e, def) in exprs.iter().zip(storage_schema.columns()) {
-                    columns.push(eval_to_column(e, &t, self.params, def.ty)?);
+                    columns.push(eval_to_column(e, &t, params, def.ty)?);
                 }
-                Table::from_columns(storage_schema, columns)
-                    .map(Arc::new)
-                    .map_err(Error::Storage)
+                Table::from_columns(storage_schema, columns).map(Arc::new).map_err(Error::Storage)
             }
             LogicalPlan::Join { left, right, kind, on, schema } => {
                 let l = self.execute(left)?;
                 let r = self.execute(right)?;
-                join::execute_join(&l, &r, *kind, on.as_ref(), schema, self.params)
+                join::execute_join(&l, &r, *kind, on.as_ref(), schema, params)
             }
             LogicalPlan::GraphSelect { .. } | LogicalPlan::GraphJoin { .. } => {
                 graph_op::execute(self, plan)
             }
             LogicalPlan::Aggregate { input, group, aggs, schema } => {
                 let t = self.execute(input)?;
-                aggregate::execute_aggregate(&t, group, aggs, schema, self.params)
+                aggregate::execute_aggregate(&t, group, aggs, schema, params)
             }
             LogicalPlan::Sort { input, keys } => {
                 let t = self.execute(input)?;
-                Ok(Arc::new(sort_table(&t, keys, self.params)?))
+                Ok(Arc::new(sort_table(&t, keys, params)?))
             }
             LogicalPlan::Limit { input, limit, offset } => {
                 let t = self.execute(input)?;
@@ -116,13 +147,7 @@ impl<'a> Executor<'a> {
             }
             LogicalPlan::Unnest { input, path_col, with_ordinality, preserve_empty, schema } => {
                 let t = self.execute(input)?;
-                unnest::execute_unnest(
-                    &t,
-                    *path_col,
-                    *with_ordinality,
-                    *preserve_empty,
-                    schema,
-                )
+                unnest::execute_unnest(&t, *path_col, *with_ordinality, *preserve_empty, schema)
             }
         }
     }
@@ -164,20 +189,39 @@ pub fn distinct_table(table: &Table) -> Result<Table> {
     Ok(table.take(&keep))
 }
 
-/// Concatenate two tables (types already unified by the binder, modulo
-/// Int→Double widening handled by `Column::push`).
+/// Concatenate two tables **column-at-a-time** (the engine is columnar end
+/// to end). Types are already unified by the binder; should a column pair
+/// still disagree (e.g. Int vs Double from a VALUES source), that column
+/// falls back to per-value pushes, which widen Int→Double.
 pub fn union_tables(l: &Table, r: &Table) -> Result<Arc<Table>> {
     if l.schema().len() != r.schema().len() {
         return Err(exec_err!("UNION arity mismatch"));
     }
-    let mut out = Table::empty(l.schema().clone());
-    for row in l.rows() {
-        out.append_row(row).map_err(Error::Storage)?;
+    let mut columns = Vec::with_capacity(l.schema().len());
+    for (i, (lc, rc)) in l.columns().iter().zip(r.columns()).enumerate() {
+        let def = l.schema().column(i);
+        let col = if lc.data_type() == def.ty && rc.data_type() == def.ty {
+            // Columnar fast path: clone left, splice right onto it.
+            let mut col = lc.clone();
+            col.extend_from(rc).map_err(Error::Storage)?;
+            col
+        } else {
+            // Widening path (e.g. Int values under a Double schema).
+            let mut col = Column::empty(def.ty);
+            for v in lc.iter().chain(rc.iter()) {
+                col.push(v).map_err(Error::Storage)?;
+            }
+            col
+        };
+        // Preserve the NOT NULL enforcement of the row-at-a-time path.
+        if !def.nullable && col.null_count() > 0 {
+            return Err(Error::Storage(gsql_storage::StorageError::NullViolation(
+                def.name.clone(),
+            )));
+        }
+        columns.push(col);
     }
-    for row in r.rows() {
-        out.append_row(row).map_err(Error::Storage)?;
-    }
-    Ok(Arc::new(out))
+    Table::from_columns(l.schema().clone(), columns).map(Arc::new).map_err(Error::Storage)
 }
 
 /// Evaluate one projected row (used by DML paths).

@@ -136,8 +136,8 @@ pub fn eval_row(expr: &BoundExpr, ctx: &impl RowAccess, params: &[Value]) -> Res
             if v.is_null() || lo.is_null() || hi.is_null() {
                 return Ok(Value::Null);
             }
-            let inside = compare(&v, &lo)? != Ordering::Less
-                && compare(&v, &hi)? != Ordering::Greater;
+            let inside =
+                compare(&v, &lo)? != Ordering::Less && compare(&v, &hi)? != Ordering::Greater;
             Ok(Value::Bool(inside != *negated))
         }
         BoundExpr::Like { expr, pattern, negated } => {
@@ -229,10 +229,7 @@ pub fn eval_to_column(
         }
         if col.data_type() == DataType::Int && target_ty == DataType::Double {
             let (vals, validity) = col.as_int_slice().expect("checked Int");
-            return Ok(Column::Double(
-                vals.iter().map(|&v| v as f64).collect(),
-                validity.clone(),
-            ));
+            return Ok(Column::Double(vals.iter().map(|&v| v as f64).collect(), validity.clone()));
         }
         // Unexpected type: fall through to the general row loop below.
     }
@@ -259,16 +256,14 @@ fn vectorize(expr: &BoundExpr, table: &Table, params: &[Value]) -> Result<Option
             };
             match (col, ty) {
                 (col, ty) if col.data_type() == *ty => Ok(Some(col)),
-                (Column::Int(vals, validity), DataType::Double) => Ok(Some(Column::Double(
-                    vals.iter().map(|&v| v as f64).collect(),
-                    validity,
-                ))),
+                (Column::Int(vals, validity), DataType::Double) => {
+                    Ok(Some(Column::Double(vals.iter().map(|&v| v as f64).collect(), validity)))
+                }
                 (Column::Double(vals, validity), DataType::Int) => {
                     let mut out = Vec::with_capacity(vals.len());
                     for (i, &v) in vals.iter().enumerate() {
                         if validity.get(i) {
-                            if !v.is_finite() || !(i64::MIN as f64..=i64::MAX as f64).contains(&v)
-                            {
+                            if !v.is_finite() || !(i64::MIN as f64..=i64::MAX as f64).contains(&v) {
                                 return Err(exec_err!("cannot cast {v} to INTEGER"));
                             }
                             out.push(v.trunc() as i64);
@@ -282,10 +277,7 @@ fn vectorize(expr: &BoundExpr, table: &Table, params: &[Value]) -> Result<Option
             }
         }
         BoundExpr::Binary { left, op, right }
-            if matches!(
-                op,
-                BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div
-            ) =>
+            if matches!(op, BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div) =>
         {
             // Exactly one side must be a constant.
             let (col_expr, const_expr, col_left) = if right.is_constant() {
@@ -313,7 +305,11 @@ fn vectorized_arith(col: Column, op: BinaryOp, k: Value, col_left: bool) -> Resu
     // Integer × integer stays integer except division; everything else
     // widens to double, matching the scalar evaluator.
     match (&col, &k, op) {
-        (Column::Int(vals, validity), Value::Int(kv), BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul) => {
+        (
+            Column::Int(vals, validity),
+            Value::Int(kv),
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul,
+        ) => {
             let kv = *kv;
             let mut out = Vec::with_capacity(vals.len());
             for (i, &v) in vals.iter().enumerate() {
@@ -334,9 +330,8 @@ fn vectorized_arith(col: Column, op: BinaryOp, k: Value, col_left: bool) -> Resu
         }
         _ => {
             // Double arithmetic (covers Int/Double mixes and division).
-            let kv = k
-                .as_double()
-                .ok_or_else(|| exec_err!("non-numeric operand {k} in arithmetic"))?;
+            let kv =
+                k.as_double().ok_or_else(|| exec_err!("non-numeric operand {k} in arithmetic"))?;
             let (vals, validity): (Vec<f64>, _) = match &col {
                 Column::Int(v, b) => (v.iter().map(|&x| x as f64).collect(), b.clone()),
                 Column::Double(v, b) => (v.clone(), b.clone()),
@@ -387,11 +382,7 @@ pub fn eval_filter_indices(
     params: &[Value],
 ) -> Result<Vec<usize>> {
     if let Some(mask) = predicate_mask(predicate, table, params)? {
-        return Ok(mask
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &b)| b.then_some(i))
-            .collect());
+        return Ok(mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect());
     }
     let mut keep = Vec::new();
     for row in 0..table.row_count() {
@@ -413,10 +404,9 @@ fn predicate_mask(
 ) -> Result<Option<Vec<bool>>> {
     match predicate {
         BoundExpr::Binary { left, op: BinaryOp::And, right } => {
-            let (Some(l), Some(r)) = (
-                predicate_mask(left, table, params)?,
-                predicate_mask(right, table, params)?,
-            ) else {
+            let (Some(l), Some(r)) =
+                (predicate_mask(left, table, params)?, predicate_mask(right, table, params)?)
+            else {
                 return Ok(None);
             };
             Ok(Some(l.iter().zip(&r).map(|(&a, &b)| a && b).collect()))
@@ -739,9 +729,7 @@ pub fn cast_value(v: Value, ty: DataType) -> Result<Value> {
             .parse::<f64>()
             .map(Value::Double)
             .map_err(|_| exec_err!("cannot cast '{s}' to DOUBLE")),
-        (Value::Str(s), DataType::Date) => {
-            Date::parse(&s).map(Value::Date).map_err(Error::Storage)
-        }
+        (Value::Str(s), DataType::Date) => Date::parse(&s).map(Value::Date).map_err(Error::Storage),
         (Value::Str(s), DataType::Bool) => match s.trim().to_ascii_lowercase().as_str() {
             "true" | "t" | "1" => Ok(Value::Bool(true)),
             "false" | "f" | "0" => Ok(Value::Bool(false)),
@@ -793,7 +781,10 @@ mod tests {
 
     #[test]
     fn arithmetic() {
-        assert_eq!(run(&binary(lit(Value::Int(2)), BinaryOp::Add, lit(Value::Int(3)))), Value::Int(5));
+        assert_eq!(
+            run(&binary(lit(Value::Int(2)), BinaryOp::Add, lit(Value::Int(3)))),
+            Value::Int(5)
+        );
         assert_eq!(
             run(&binary(lit(Value::Int(7)), BinaryOp::Div, lit(Value::Int(2)))),
             Value::Double(3.5)
@@ -966,11 +957,7 @@ mod tests {
     fn vectorized_arith_matches_scalar() {
         // The appendix A.4 weight shape: CAST(col * 2 AS INTEGER).
         let weight = E::Cast {
-            expr: Box::new(binary(
-                col_ref(1, DataType::Double),
-                BinaryOp::Mul,
-                lit(Value::Int(2)),
-            )),
+            expr: Box::new(binary(col_ref(1, DataType::Double), BinaryOp::Mul, lit(Value::Int(2)))),
             ty: DataType::Int,
         };
         assert_vector_matches_scalar(&weight, DataType::Int);

@@ -143,11 +143,7 @@ enum SpecRun {
 }
 
 /// Build the execution form of a weight spec over the edge snapshot.
-fn prepare_spec(
-    spec: &CheapestSpec,
-    edges: &Table,
-    params: &[Value],
-) -> Result<SpecRun> {
+fn prepare_spec(spec: &CheapestSpec, edges: &Table, params: &[Value]) -> Result<SpecRun> {
     if spec.weight.is_constant() {
         let v = eval_const(&spec.weight, params)?;
         let positive = match &v {
@@ -177,10 +173,7 @@ fn prepare_spec(
             }
             Ok(SpecRun::Weighted(WeightSpec::Float(vals.clone())))
         }
-        other => Err(exec_err!(
-            "CHEAPEST SUM weight must be numeric, found {}",
-            other.data_type()
-        )),
+        other => Err(exec_err!("CHEAPEST SUM weight must be numeric, found {}", other.data_type())),
     }
 }
 
@@ -199,9 +192,9 @@ impl SpecResults {
         let v = match (&self.scale, raw) {
             (None, CostValue::Int(c)) => Value::Int(c),
             (None, CostValue::Float(c)) => Value::Double(c),
-            (Some(Value::Int(k)), CostValue::Int(hops)) => Value::Int(
-                hops.checked_mul(*k).ok_or_else(|| exec_err!("cost overflow"))?,
-            ),
+            (Some(Value::Int(k)), CostValue::Int(hops)) => {
+                Value::Int(hops.checked_mul(*k).ok_or_else(|| exec_err!("cost overflow"))?)
+            }
             (Some(Value::Double(k)), CostValue::Int(hops)) => Value::Double(hops as f64 * k),
             (Some(s), c) => {
                 return Err(exec_err!("inconsistent scale {s} for cost {c:?}"));
@@ -217,10 +210,7 @@ impl SpecResults {
 
     fn path_of(&self, pair_idx: usize, edges: &Arc<Table>) -> Result<Value> {
         let r = &self.results[pair_idx];
-        let rows = r
-            .path
-            .clone()
-            .ok_or_else(|| exec_err!("path requested but not computed"))?;
+        let rows = r.path.clone().ok_or_else(|| exec_err!("path requested but not computed"))?;
         Ok(Value::Path(PathValue { edges: Arc::clone(edges), rows }))
     }
 }
@@ -246,9 +236,8 @@ fn run_specs(
             return Ok((vec![hit.is_some()], Vec::new()));
         }
         // Reachability only: BFS, paths discarded (paper §3.2).
-        let results = computer
-            .compute(pairs, &WeightSpec::Unweighted, false)
-            .map_err(Error::Graph)?;
+        let results =
+            computer.compute(pairs, &WeightSpec::Unweighted, false).map_err(Error::Graph)?;
         let reachable = results.iter().map(|r| r.reachable).collect();
         return Ok((reachable, Vec::new()));
     }
@@ -289,12 +278,18 @@ fn run_specs(
 pub fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
     match plan {
         LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => {
-            execute_graph_select(
-                ex, input, edge, *src_key, *dst_key, source, dest, specs, schema,
-            )
+            execute_graph_select(ex, input, edge, *src_key, *dst_key, source, dest, specs, schema)
         }
         LogicalPlan::GraphJoin {
-            left, right, edge, src_key, dst_key, source, dest, specs, schema,
+            left,
+            right,
+            edge,
+            src_key,
+            dst_key,
+            source,
+            dest,
+            specs,
+            schema,
         } => execute_graph_join(
             ex, left, right, edge, *src_key, *dst_key, source, dest, specs, schema,
         ),
@@ -304,17 +299,32 @@ pub fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
 
 /// Obtain the graph for an edge plan — from a matching, fresh graph index
 /// when one exists, otherwise by building it now.
+///
+/// Index usage comes in two flavours: the optimizer-planned
+/// [`LogicalPlan::IndexedGraph`] hint (session-aware planning, visible in
+/// `EXPLAIN`), and a runtime lookup for plain `Scan` edges (plans produced
+/// without a session context). Both honour the context's graph-index flag,
+/// since [`ExecContext::indexes`][crate::ExecContext::indexes] returns
+/// `None` when the setting is off.
 fn obtain_graph(
     ex: &Executor<'_>,
     edge: &LogicalPlan,
     src_key: usize,
     dst_key: usize,
 ) -> Result<(Arc<MaterializedGraph>, bool)> {
-    if let (LogicalPlan::Scan { table, schema }, Some(registry)) = (edge, ex.indexes) {
+    let ctx = ex.ctx();
+    if let (LogicalPlan::IndexedGraph { index, .. }, Some(registry)) = (edge, ctx.indexes()) {
+        if let Some(graph) = registry.graph_by_name(ctx.catalog(), index)? {
+            return Ok((graph, true));
+        }
+        // Index dropped since planning: fall through to the scan fallback
+        // built into the IndexedGraph executor arm.
+    }
+    if let (LogicalPlan::Scan { table, schema }, Some(registry)) = (edge, ctx.indexes()) {
         let src_name = &schema.column(src_key).name;
         let dst_name = &schema.column(dst_key).name;
         if let Some(graph) =
-            registry.lookup(ex.catalog, table, src_name, dst_name, src_key, dst_key)?
+            registry.lookup(ctx.catalog(), table, src_name, dst_name, src_key, dst_key)?
         {
             return Ok((graph, true));
         }
@@ -341,13 +351,12 @@ fn execute_graph_select(
 
     // Map X/Y into the dense domain; drop rows whose endpoints are not
     // vertices (the "initial filtering" of §3.1).
-    let x_col = eval_to_column(source, &input_table, ex.params, key_ty)?;
-    let y_col = eval_to_column(dest, &input_table, ex.params, key_ty)?;
+    let x_col = eval_to_column(source, &input_table, ex.ctx().params(), key_ty)?;
+    let y_col = eval_to_column(dest, &input_table, ex.ctx().params(), key_ty)?;
     let mut candidates: Vec<usize> = Vec::new();
     let mut pairs: Vec<(u32, u32)> = Vec::new();
     for row in 0..input_table.row_count() {
-        let (Some(sid), Some(did)) =
-            (graph.lookup(&x_col.get(row)), graph.lookup(&y_col.get(row)))
+        let (Some(sid), Some(did)) = (graph.lookup(&x_col.get(row)), graph.lookup(&y_col.get(row)))
         else {
             continue;
         };
@@ -355,20 +364,16 @@ fn execute_graph_select(
         pairs.push((sid, did));
     }
 
-    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.params, from_index)?;
+    let (reachable, spec_results) =
+        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index)?;
 
     let kept: Vec<usize> = (0..pairs.len()).filter(|&i| reachable[i]).collect();
     let kept_input_rows: Vec<usize> = kept.iter().map(|&i| candidates[i]).collect();
 
-    let mut columns: Vec<Column> = input_table
-        .columns()
-        .iter()
-        .map(|c| c.take(&kept_input_rows))
-        .collect();
+    let mut columns: Vec<Column> =
+        input_table.columns().iter().map(|c| c.take(&kept_input_rows)).collect();
     append_spec_columns(&mut columns, &spec_results, &kept, &graph.edges)?;
-    Table::from_columns(schema.to_storage_schema(), columns)
-        .map(Arc::new)
-        .map_err(Error::Storage)
+    Table::from_columns(schema.to_storage_schema(), columns).map(Arc::new).map_err(Error::Storage)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -389,8 +394,8 @@ fn execute_graph_join(
     let (graph, from_index) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
-    let x_col = eval_to_column(source, &left_table, ex.params, key_ty)?;
-    let y_col = eval_to_column(dest, &right_table, ex.params, key_ty)?;
+    let x_col = eval_to_column(source, &left_table, ex.ctx().params(), key_ty)?;
+    let y_col = eval_to_column(dest, &right_table, ex.ctx().params(), key_ty)?;
 
     // Distinct vertex ids on each side, with their row lists.
     let mut left_ids: Vec<(usize, u32)> = Vec::new();
@@ -419,7 +424,8 @@ fn execute_graph_join(
             pairs.push((s, d));
         }
     }
-    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.params, from_index)?;
+    let (reachable, spec_results) =
+        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index)?;
     let pair_index: HashMap<(u32, u32), usize> =
         pairs.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
 
@@ -442,9 +448,7 @@ fn execute_graph_join(
         left_table.columns().iter().map(|c| c.take(&left_rows)).collect();
     columns.extend(right_table.columns().iter().map(|c| c.take(&right_rows)));
     append_spec_columns(&mut columns, &spec_results, &kept_pairs, &graph.edges)?;
-    Table::from_columns(schema.to_storage_schema(), columns)
-        .map(Arc::new)
-        .map_err(Error::Storage)
+    Table::from_columns(schema.to_storage_schema(), columns).map(Arc::new).map_err(Error::Storage)
 }
 
 /// Append the cost (and path) columns for every spec.
@@ -487,9 +491,7 @@ mod tests {
         for (s, d, w) in [(10, 20, 1), (20, 30, 1), (10, 30, 5)] {
             t.append_row(vec![Value::Int(s), Value::Int(d), Value::Int(w)]).unwrap();
         }
-        t
-            .append_row(vec![Value::Null, Value::Int(99), Value::Int(1)])
-            .unwrap(); // NULL endpoint: must be dropped
+        t.append_row(vec![Value::Null, Value::Int(99), Value::Int(1)]).unwrap(); // NULL endpoint: must be dropped
         Arc::new(t)
     }
 
@@ -511,9 +513,7 @@ mod tests {
         let s10 = g.lookup(&Value::Int(10)).unwrap();
         let s30 = g.lookup(&Value::Int(30)).unwrap();
         let computer = BatchComputer::new(&g.csr);
-        let r = computer
-            .shortest_path(s10, s30, &WeightSpec::Unweighted)
-            .unwrap();
+        let r = computer.shortest_path(s10, s30, &WeightSpec::Unweighted).unwrap();
         assert!(r.reachable);
         assert_eq!(r.cost.unwrap().as_f64(), 1.0); // direct hop 10->30
     }

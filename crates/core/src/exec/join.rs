@@ -77,11 +77,9 @@ fn split_equi_keys(
         }
         residual = Some(match residual {
             None => c,
-            Some(r) => BoundExpr::Binary {
-                left: Box::new(r),
-                op: BinaryOp::And,
-                right: Box::new(c),
-            },
+            Some(r) => {
+                BoundExpr::Binary { left: Box::new(r), op: BinaryOp::And, right: Box::new(c) }
+            }
         });
     }
     (equi, residual)
@@ -162,13 +160,8 @@ fn hash_join(
                     let ok = match residual {
                         None => true,
                         Some(res) => {
-                            let ctx = PairRow {
-                                left,
-                                left_row: i,
-                                right,
-                                right_row: Some(j),
-                                n_left,
-                            };
+                            let ctx =
+                                PairRow { left, left_row: i, right, right_row: Some(j), n_left };
                             eval_row(res, &ctx, params)? == Value::Bool(true)
                         }
                     };

@@ -27,12 +27,8 @@ pub fn execute_unnest(
 
     // (input_row, Option<(edges table, edge row)>, ordinality)
     let mut input_indices: Vec<usize> = Vec::new();
-    let mut builders: Vec<ColumnBuilder> = storage
-        .columns()
-        .iter()
-        .skip(n_input)
-        .map(|def| ColumnBuilder::new(def.ty))
-        .collect();
+    let mut builders: Vec<ColumnBuilder> =
+        storage.columns().iter().skip(n_input).map(|def| ColumnBuilder::new(def.ty)).collect();
 
     let path_column = input.column(path_col);
     for row in 0..input.row_count() {
@@ -75,9 +71,7 @@ pub fn execute_unnest(
                 b.push(p.edges.column(ci).get(edge_row)).map_err(Error::Storage)?;
             }
             if with_ordinality {
-                builders[n_nested]
-                    .push(Value::Int(ord as i64 + 1))
-                    .map_err(Error::Storage)?;
+                builders[n_nested].push(Value::Int(ord as i64 + 1)).map_err(Error::Storage)?;
             }
         }
     }

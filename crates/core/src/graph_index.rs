@@ -17,6 +17,7 @@ use crate::error::{bind_err, Error};
 use crate::exec::graph_op::{build_graph, MaterializedGraph};
 use gsql_storage::Catalog;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 type Result<T> = std::result::Result<T, Error>;
@@ -32,15 +33,93 @@ struct IndexEntry {
 }
 
 /// Registry of graph indices, keyed by index name.
+///
+/// The registry carries a monotonically increasing **version counter**,
+/// bumped whenever the set of indices changes (create/drop). Session plan
+/// caches use it — combined with the catalog's DDL version — to invalidate
+/// cached plans whose index decisions went stale.
 #[derive(Debug, Default)]
 pub struct GraphIndexRegistry {
     inner: RwLock<HashMap<String, IndexEntry>>,
+    version: AtomicU64,
 }
 
 impl GraphIndexRegistry {
     /// Empty registry.
     pub fn new() -> GraphIndexRegistry {
         GraphIndexRegistry::default()
+    }
+
+    /// The registry's structural version: bumped on every index create or
+    /// drop. Used for plan-cache invalidation.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The name of the index covering `(table, src_col, dst_col)`, if one
+    /// is registered (planning-time lookup; names are case-insensitive).
+    pub fn find_index(&self, table: &str, src_col: &str, dst_col: &str) -> Option<String> {
+        let table_key = table.to_ascii_lowercase();
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner
+            .iter()
+            .find(|(_, e)| {
+                e.table == table_key
+                    && e.src_col.eq_ignore_ascii_case(src_col)
+                    && e.dst_col.eq_ignore_ascii_case(dst_col)
+            })
+            .map(|(name, _)| name.clone())
+    }
+
+    /// Fetch the (fresh) graph of the index named `name`, rebuilding a
+    /// stale cache entry. Returns `None` when the index no longer exists —
+    /// callers fall back to building the graph from the base table.
+    pub fn graph_by_name(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+    ) -> Result<Option<Arc<MaterializedGraph>>> {
+        let key = name.to_ascii_lowercase();
+        let (table, src_col, dst_col) = {
+            let inner = self.inner.read().expect("registry lock poisoned");
+            let Some(entry) = inner.get(&key) else {
+                return Ok(None);
+            };
+            let current = catalog.entry(&entry.table).map_err(Error::Storage)?;
+            if let Some((version, graph)) = &entry.cached {
+                if *version == current.version {
+                    return Ok(Some(Arc::clone(graph)));
+                }
+            }
+            (entry.table.clone(), entry.src_col.clone(), entry.dst_col.clone())
+        };
+        // Stale: rebuild outside the read lock.
+        let entry = catalog.entry(&table).map_err(Error::Storage)?;
+        let schema = entry.table.schema();
+        let src_key = schema
+            .index_of(&src_col)
+            .ok_or_else(|| bind_err!("no column '{src_col}' in table '{table}'"))?;
+        let dst_key = schema
+            .index_of(&dst_col)
+            .ok_or_else(|| bind_err!("no column '{dst_col}' in table '{table}'"))?;
+        let graph = Arc::new(build_graph(Arc::clone(&entry.table), src_key, dst_key)?);
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if let Some(e) = inner.get_mut(&key) {
+            // The index may have been dropped and recreated with a different
+            // definition while we rebuilt; only stamp the cache if the entry
+            // still describes the configuration this graph was built from.
+            if e.table == table
+                && e.src_col.eq_ignore_ascii_case(&src_col)
+                && e.dst_col.eq_ignore_ascii_case(&dst_col)
+            {
+                e.cached = Some((entry.version, Arc::clone(&graph)));
+            }
+        }
+        Ok(Some(graph))
     }
 
     /// Create an index and build its graph eagerly.
@@ -86,6 +165,8 @@ impl GraphIndexRegistry {
                 cached: Some((entry.version, graph)),
             },
         );
+        drop(inner);
+        self.bump_version();
         Ok(())
     }
 
@@ -93,17 +174,27 @@ impl GraphIndexRegistry {
     pub fn drop_index(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
         let mut inner = self.inner.write().expect("registry lock poisoned");
-        inner
-            .remove(&key)
-            .map(|_| ())
-            .ok_or_else(|| bind_err!("graph index '{name}' does not exist"))
+        let removed = inner.remove(&key);
+        drop(inner);
+        if removed.is_some() {
+            self.bump_version();
+            Ok(())
+        } else {
+            Err(bind_err!("graph index '{name}' does not exist"))
+        }
     }
 
     /// Remove every index defined over `table` (used by `DROP TABLE`).
     pub fn drop_indexes_for_table(&self, table: &str) {
         let key = table.to_ascii_lowercase();
         let mut inner = self.inner.write().expect("registry lock poisoned");
+        let before = inner.len();
         inner.retain(|_, e| e.table != key);
+        let removed = before != inner.len();
+        drop(inner);
+        if removed {
+            self.bump_version();
+        }
     }
 
     /// Names of all indices, sorted.
@@ -152,7 +243,14 @@ impl GraphIndexRegistry {
         let graph = Arc::new(build_graph(Arc::clone(&entry.table), src_key, dst_key)?);
         let mut inner = self.inner.write().expect("registry lock poisoned");
         if let Some(e) = inner.get_mut(&name) {
-            e.cached = Some((entry.version, Arc::clone(&graph)));
+            // Skip the write-back if the index was concurrently dropped and
+            // recreated over a different edge configuration.
+            if e.table == table_key
+                && e.src_col.eq_ignore_ascii_case(src_col)
+                && e.dst_col.eq_ignore_ascii_case(dst_col)
+            {
+                e.cached = Some((entry.version, Arc::clone(&graph)));
+            }
         }
         Ok(Some(graph))
     }
@@ -208,15 +306,48 @@ mod tests {
         let (catalog, reg) = setup();
         reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
         let g1 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
-        catalog
-            .update("friends", |t| t.append_row(vec![Value::Int(3), Value::Int(4)]))
-            .unwrap();
+        catalog.update("friends", |t| t.append_row(vec![Value::Int(3), Value::Int(4)])).unwrap();
         let g2 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
         assert!(!Arc::ptr_eq(&g1, &g2));
         assert_eq!(g2.num_edges(), 3);
         // And the rebuilt graph is cached again.
         let g3 = reg.lookup(&catalog, "friends", "src", "dst", 0, 1).unwrap().unwrap();
         assert!(Arc::ptr_eq(&g2, &g3));
+    }
+
+    #[test]
+    fn version_bumps_on_create_and_drop() {
+        let (catalog, reg) = setup();
+        assert_eq!(reg.version(), 0);
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        assert_eq!(reg.version(), 1);
+        reg.drop_index("gi").unwrap();
+        assert_eq!(reg.version(), 2);
+        // Dropping a missing index does not bump.
+        assert!(reg.drop_index("gi").is_err());
+        assert_eq!(reg.version(), 2);
+        reg.create_index(&catalog, "gi", "friends", "src", "dst").unwrap();
+        reg.drop_indexes_for_table("friends");
+        assert_eq!(reg.version(), 4);
+        reg.drop_indexes_for_table("friends"); // nothing left: no bump
+        assert_eq!(reg.version(), 4);
+    }
+
+    #[test]
+    fn find_index_and_graph_by_name() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "GI", "friends", "src", "dst").unwrap();
+        assert_eq!(reg.find_index("FRIENDS", "SRC", "DST"), Some("gi".to_string()));
+        assert_eq!(reg.find_index("friends", "dst", "src"), None);
+        let g = reg.graph_by_name(&catalog, "gi").unwrap().unwrap();
+        assert_eq!(g.num_edges(), 2);
+        // Mutation invalidates; graph_by_name rebuilds.
+        catalog.update("friends", |t| t.append_row(vec![Value::Int(3), Value::Int(4)])).unwrap();
+        let g2 = reg.graph_by_name(&catalog, "gi").unwrap().unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        // A dropped index yields None (executor falls back to scanning).
+        reg.drop_index("gi").unwrap();
+        assert!(reg.graph_by_name(&catalog, "gi").unwrap().is_none());
     }
 
     #[test]

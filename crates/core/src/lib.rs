@@ -18,38 +18,59 @@
 //!   version-based invalidation;
 //! * the §1 "customary method" baselines used by the ablation benchmarks.
 //!
-//! Entry point: [`Database`].
+//! ## Entry points
+//!
+//! A [`Database`] is the shared, thread-safe store (catalog + graph-index
+//! registry). Work happens through a [`Session`], which owns connection
+//! state: `SET`/`SHOW` settings, a plan cache keyed by SQL text and
+//! invalidated by [`Database::schema_version`], and `EXPLAIN ANALYZE`
+//! statistics. [`Session::prepare`] returns a [`PreparedStatement`] whose
+//! repeated executions skip parse/bind/optimize entirely — the shape the
+//! paper's repeated parameterized shortest-path workload wants.
 //!
 //! ```
 //! use gsql_core::Database;
 //! use gsql_storage::Value;
 //!
 //! let db = Database::new();
-//! db.execute_script(
-//!     "CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL); \
-//!      INSERT INTO friends VALUES (1, 2), (2, 3), (1, 3);",
-//! )
-//! .unwrap();
-//! let out = db
-//!     .query("SELECT CHEAPEST SUM(1) AS hops WHERE 1 REACHES 3 OVER friends EDGE (src, dst)")
+//! let session = db.session();
+//! session
+//!     .execute_script(
+//!         "CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL); \
+//!          INSERT INTO friends VALUES (1, 2), (2, 3), (1, 3); \
+//!          CREATE GRAPH INDEX gi ON friends EDGE (src, dst);",
+//!     )
 //!     .unwrap();
+//! let stmt = session
+//!     .prepare("SELECT CHEAPEST SUM(1) AS hops WHERE ? REACHES ? OVER friends EDGE (src, dst)")
+//!     .unwrap();
+//! let out = stmt.query(&session, &[Value::Int(1), Value::Int(3)]).unwrap();
 //! assert_eq!(out.row(0)[0], Value::Int(1));
+//! // Executed from the cached plan: no re-parse, no re-bind.
+//! assert_eq!(session.cache_stats().hits, 1);
 //! ```
+//!
+//! [`Database::execute`] / [`Database::query`] remain as one-shot
+//! conveniences that open a temporary session internally.
 
 pub mod baseline;
 pub mod bind;
+pub mod context;
 pub mod database;
 pub mod error;
 pub mod exec;
 pub mod graph_index;
 pub mod optimize;
 pub mod plan;
+pub mod session;
 
-pub use database::{Database, PreparedStatement, QueryResult};
+pub use context::{ExecContext, ExecStats, OpStats, SessionSettings};
+pub use database::{Database, QueryResult};
 pub use error::Error;
 pub use exec::{build_graph, MaterializedGraph};
 pub use graph_index::GraphIndexRegistry;
 pub use plan::LogicalPlan;
+pub use session::{PlanCacheStats, PreparedStatement, Session};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -12,6 +12,7 @@
 //!    destination only references the right side, becomes a `GraphJoin`
 //!    that never materializes the product.
 
+use crate::context::ExecContext;
 use crate::plan::{BinaryOp, BoundExpr, JoinKind, LogicalPlan};
 
 /// Optimize a plan (applies all rules bottom-up until a fixpoint).
@@ -25,6 +26,78 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
     plan
 }
 
+/// Context-aware optimization: the structural rules of [`optimize`], plus
+/// graph-index selection — when the session's `graph_index` setting is on,
+/// a graph operator's edge child that is a plain `Scan` covered by a
+/// registered index is replaced by [`LogicalPlan::IndexedGraph`]. The
+/// decision is visible in `EXPLAIN`, so `SET graph_index = off` changes
+/// the rendered plan.
+pub fn optimize_with(plan: LogicalPlan, ctx: &ExecContext<'_>) -> LogicalPlan {
+    let plan = optimize(plan);
+    match ctx.indexes() {
+        Some(registry) => annotate_indexed_edges(plan, registry),
+        None => plan,
+    }
+}
+
+/// Recursively replace indexed edge scans under graph operators.
+fn annotate_indexed_edges(
+    plan: LogicalPlan,
+    registry: &crate::graph_index::GraphIndexRegistry,
+) -> LogicalPlan {
+    let plan = map_children(plan, |p| annotate_indexed_edges(p, registry));
+    let edge_to_index = |edge: Box<LogicalPlan>, src_key: usize, dst_key: usize| {
+        if let LogicalPlan::Scan { table, schema } = edge.as_ref() {
+            let src_name = &schema.column(src_key).name;
+            let dst_name = &schema.column(dst_key).name;
+            if let Some(index) = registry.find_index(table, src_name, dst_name) {
+                return Box::new(LogicalPlan::IndexedGraph {
+                    index,
+                    table: table.clone(),
+                    schema: schema.clone(),
+                });
+            }
+        }
+        edge
+    };
+    match plan {
+        LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => {
+            LogicalPlan::GraphSelect {
+                input,
+                edge: edge_to_index(edge, src_key, dst_key),
+                src_key,
+                dst_key,
+                source,
+                dest,
+                specs,
+                schema,
+            }
+        }
+        LogicalPlan::GraphJoin {
+            left,
+            right,
+            edge,
+            src_key,
+            dst_key,
+            source,
+            dest,
+            specs,
+            schema,
+        } => LogicalPlan::GraphJoin {
+            left,
+            right,
+            edge: edge_to_index(edge, src_key, dst_key),
+            src_key,
+            dst_key,
+            source,
+            dest,
+            specs,
+            schema,
+        },
+        other => other,
+    }
+}
+
 fn rewrite(plan: LogicalPlan) -> LogicalPlan {
     // Recurse into children first (bottom-up).
     let plan = map_children(plan, rewrite);
@@ -36,30 +109,22 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
 fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
     use LogicalPlan::*;
     match plan {
-        SingleRow | Scan { .. } | Values { .. } => plan,
+        SingleRow | Scan { .. } | IndexedGraph { .. } | Values { .. } => plan,
         Filter { input, predicate } => Filter { input: Box::new(f(*input)), predicate },
-        Project { input, exprs, schema } => {
-            Project { input: Box::new(f(*input)), exprs, schema }
+        Project { input, exprs, schema } => Project { input: Box::new(f(*input)), exprs, schema },
+        Join { left, right, kind, on, schema } => {
+            Join { left: Box::new(f(*left)), right: Box::new(f(*right)), kind, on, schema }
         }
-        Join { left, right, kind, on, schema } => Join {
-            left: Box::new(f(*left)),
-            right: Box::new(f(*right)),
-            kind,
-            on,
+        GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => GraphSelect {
+            input: Box::new(f(*input)),
+            edge: Box::new(f(*edge)),
+            src_key,
+            dst_key,
+            source,
+            dest,
+            specs,
             schema,
         },
-        GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => {
-            GraphSelect {
-                input: Box::new(f(*input)),
-                edge: Box::new(f(*edge)),
-                src_key,
-                dst_key,
-                source,
-                dest,
-                specs,
-                schema,
-            }
-        }
         GraphJoin { left, right, edge, src_key, dst_key, source, dest, specs, schema } => {
             GraphJoin {
                 left: Box::new(f(*left)),
@@ -82,13 +147,9 @@ fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy
         Union { left, right, all } => {
             Union { left: Box::new(f(*left)), right: Box::new(f(*right)), all }
         }
-        Unnest { input, path_col, with_ordinality, preserve_empty, schema } => Unnest {
-            input: Box::new(f(*input)),
-            path_col,
-            with_ordinality,
-            preserve_empty,
-            schema,
-        },
+        Unnest { input, path_col, with_ordinality, preserve_empty, schema } => {
+            Unnest { input: Box::new(f(*input)), path_col, with_ordinality, preserve_empty, schema }
+        }
     }
 }
 
@@ -115,8 +176,7 @@ fn push_filter_into_cross(plan: LogicalPlan) -> LogicalPlan {
     let LogicalPlan::Filter { input, predicate } = plan else {
         return plan;
     };
-    let LogicalPlan::Join { left, right, kind: JoinKind::Cross, on: None, schema } = *input
-    else {
+    let LogicalPlan::Join { left, right, kind: JoinKind::Cross, on: None, schema } = *input else {
         return LogicalPlan::Filter { input, predicate };
     };
     let n_left = left.schema().len();
@@ -204,17 +264,7 @@ fn graph_join_unfold(plan: LogicalPlan) -> LogicalPlan {
         };
     }
     let dest = dest.remap_columns(&|i| i - n_left);
-    LogicalPlan::GraphJoin {
-        left,
-        right,
-        edge,
-        src_key,
-        dst_key,
-        source,
-        dest,
-        specs,
-        schema,
-    }
+    LogicalPlan::GraphJoin { left, right, edge, src_key, dst_key, source, dest, specs, schema }
 }
 
 /// Recompute the cross product's schema from the graph select's output

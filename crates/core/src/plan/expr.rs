@@ -364,18 +364,15 @@ impl BoundExpr {
     /// Rewrite every column ordinal through `map` (used when an expression
     /// is transplanted onto a different input schema).
     pub fn remap_columns(&self, map: &impl Fn(usize) -> usize) -> BoundExpr {
-        let remap_box =
-            |e: &BoundExpr| -> Box<BoundExpr> { Box::new(e.remap_columns(map)) };
+        let remap_box = |e: &BoundExpr| -> Box<BoundExpr> { Box::new(e.remap_columns(map)) };
         match self {
             BoundExpr::Literal(v) => BoundExpr::Literal(v.clone()),
             BoundExpr::Column { index, ty } => BoundExpr::Column { index: map(*index), ty: *ty },
             BoundExpr::Param(i) => BoundExpr::Param(*i),
             BoundExpr::Unary { op, expr } => BoundExpr::Unary { op: *op, expr: remap_box(expr) },
-            BoundExpr::Binary { left, op, right } => BoundExpr::Binary {
-                left: remap_box(left),
-                op: *op,
-                right: remap_box(right),
-            },
+            BoundExpr::Binary { left, op, right } => {
+                BoundExpr::Binary { left: remap_box(left), op: *op, right: remap_box(right) }
+            }
             BoundExpr::IsNull { expr, negated } => {
                 BoundExpr::IsNull { expr: remap_box(expr), negated: *negated }
             }
@@ -431,12 +428,10 @@ impl fmt::Display for DisplayExpr<'_> {
                 Value::Str(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
             },
-            BoundExpr::Column { index, .. } => {
-                match self.schema.columns().get(*index) {
-                    Some(c) => write!(f, "{}", c.name),
-                    None => write!(f, "#{index}"),
-                }
-            }
+            BoundExpr::Column { index, .. } => match self.schema.columns().get(*index) {
+                Some(c) => write!(f, "{}", c.name),
+                None => write!(f, "#{index}"),
+            },
             BoundExpr::Param(i) => write!(f, "?{i}"),
             BoundExpr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(-{})", d(expr)),
             BoundExpr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {})", d(expr)),

@@ -149,6 +149,23 @@ pub enum LogicalPlan {
         /// Output schema (columns qualified by table name or alias).
         schema: PlanSchema,
     },
+    /// An edge table served from a registered graph index (paper §6).
+    ///
+    /// Produced by the optimizer: when a graph operator's edge child is a
+    /// plain `Scan` whose `(table, src, dst)` configuration matches a
+    /// registered index — and the session's `graph_index` setting is on —
+    /// the scan is replaced by this node. The executor fetches the cached
+    /// [`crate::exec::MaterializedGraph`] instead of rebuilding it; if the
+    /// index has been dropped since planning it falls back to scanning
+    /// `table`.
+    IndexedGraph {
+        /// The index name.
+        index: String,
+        /// The indexed base table (used as fallback).
+        table: String,
+        /// Output schema (identical to the underlying scan's).
+        schema: PlanSchema,
+    },
     /// Literal rows.
     Values {
         /// Row-major expressions (no column references).
@@ -299,6 +316,7 @@ impl LogicalPlan {
                 EMPTY.get_or_init(PlanSchema::default)
             }
             Scan { schema, .. }
+            | IndexedGraph { schema, .. }
             | Values { schema, .. }
             | Project { schema, .. }
             | Join { schema, .. }
@@ -306,7 +324,9 @@ impl LogicalPlan {
             | GraphJoin { schema, .. }
             | Aggregate { schema, .. }
             | Unnest { schema, .. } => schema,
-            Filter { input, .. } | Sort { input, .. } | Limit { input, .. }
+            Filter { input, .. }
+            | Sort { input, .. }
+            | Limit { input, .. }
             | Distinct { input } => input.schema(),
             Union { left, .. } => left.schema(),
         }
@@ -321,22 +341,45 @@ impl LogicalPlan {
 
     fn explain_into(&self, out: &mut String, depth: usize) {
         use std::fmt::Write;
-        let pad = "  ".repeat(depth);
+        let _ = writeln!(out, "{}{}", "  ".repeat(depth), self.node_label());
+        for child in self.children() {
+            child.explain_into(out, depth + 1);
+        }
+    }
+
+    /// The node's direct children, in `EXPLAIN` (and execution) order.
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        use LogicalPlan::*;
         match self {
-            LogicalPlan::SingleRow => {
-                let _ = writeln!(out, "{pad}SingleRow");
-            }
+            SingleRow | Scan { .. } | IndexedGraph { .. } | Values { .. } => Vec::new(),
+            Filter { input, .. }
+            | Project { input, .. }
+            | Aggregate { input, .. }
+            | Sort { input, .. }
+            | Limit { input, .. }
+            | Distinct { input }
+            | Unnest { input, .. } => vec![input],
+            Join { left, right, .. } | Union { left, right, .. } => vec![left, right],
+            GraphSelect { input, edge, .. } => vec![input, edge],
+            GraphJoin { left, right, edge, .. } => vec![left, right, edge],
+        }
+    }
+
+    /// The node's one-line header, shared by `EXPLAIN` and the per-operator
+    /// statistics of `EXPLAIN ANALYZE`.
+    pub fn node_label(&self) -> String {
+        match self {
+            LogicalPlan::SingleRow => "SingleRow".to_string(),
             LogicalPlan::Scan { table, schema } => {
-                let names: Vec<&str> =
-                    schema.columns().iter().map(|c| c.name.as_str()).collect();
-                let _ = writeln!(out, "{pad}Scan {table} [{}]", names.join(", "));
+                let names: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+                format!("Scan {table} [{}]", names.join(", "))
             }
-            LogicalPlan::Values { rows, .. } => {
-                let _ = writeln!(out, "{pad}Values ({} rows)", rows.len());
+            LogicalPlan::IndexedGraph { index, table, .. } => {
+                format!("GraphIndex {index} ON {table}")
             }
+            LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
             LogicalPlan::Filter { input, predicate } => {
-                let _ = writeln!(out, "{pad}Filter {}", predicate.display(input.schema()));
-                input.explain_into(out, depth + 1);
+                format!("Filter {}", predicate.display(input.schema()))
             }
             LogicalPlan::Project { input, exprs, schema } => {
                 let items: Vec<String> = exprs
@@ -344,54 +387,50 @@ impl LogicalPlan {
                     .zip(schema.columns())
                     .map(|(e, c)| format!("{} AS {}", e.display(input.schema()), c.name))
                     .collect();
-                let _ = writeln!(out, "{pad}Project {}", items.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Project {}", items.join(", "))
             }
-            LogicalPlan::Join { left, right, kind, on, schema } => {
+            LogicalPlan::Join { kind, on, schema, .. } => {
                 let k = match kind {
                     JoinKind::Inner => "InnerJoin",
                     JoinKind::LeftOuter => "LeftOuterJoin",
                     JoinKind::Cross => "CrossProduct",
                 };
                 match on {
-                    Some(on) => {
-                        let _ = writeln!(out, "{pad}{k} on {}", on.display(schema));
-                    }
-                    None => {
-                        let _ = writeln!(out, "{pad}{k}");
-                    }
+                    Some(on) => format!("{k} on {}", on.display(schema)),
+                    None => k.to_string(),
                 }
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
             }
-            LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}GraphSelect {} REACHES {} EDGE ({}, {}){}",
+            LogicalPlan::GraphSelect {
+                input, edge, src_key, dst_key, source, dest, specs, ..
+            } => {
+                format!(
+                    "GraphSelect {} REACHES {} EDGE ({}, {}){}",
                     source.display(input.schema()),
                     dest.display(input.schema()),
                     edge.schema().column(*src_key).name,
                     edge.schema().column(*dst_key).name,
                     explain_specs(specs, edge.schema()),
-                );
-                input.explain_into(out, depth + 1);
-                edge.explain_into(out, depth + 1);
+                )
             }
             LogicalPlan::GraphJoin {
-                left, right, edge, src_key, dst_key, source, dest, specs, ..
+                left,
+                right,
+                edge,
+                src_key,
+                dst_key,
+                source,
+                dest,
+                specs,
+                ..
             } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}GraphJoin {} REACHES {} EDGE ({}, {}){}",
+                format!(
+                    "GraphJoin {} REACHES {} EDGE ({}, {}){}",
                     source.display(left.schema()),
                     dest.display(right.schema()),
                     edge.schema().column(*src_key).name,
                     edge.schema().column(*dst_key).name,
                     explain_specs(specs, edge.schema()),
-                );
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
-                edge.explain_into(out, depth + 1);
+                )
             }
             LogicalPlan::Aggregate { input, group, aggs, .. } => {
                 let g: Vec<String> =
@@ -405,8 +444,7 @@ impl LogicalPlan {
                         None => format!("{:?}", c.func),
                     })
                     .collect();
-                let _ = writeln!(out, "{pad}Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "))
             }
             LogicalPlan::Sort { input, keys } => {
                 let k: Vec<String> = keys
@@ -419,31 +457,22 @@ impl LogicalPlan {
                         )
                     })
                     .collect();
-                let _ = writeln!(out, "{pad}Sort {}", k.join(", "));
-                input.explain_into(out, depth + 1);
+                format!("Sort {}", k.join(", "))
             }
-            LogicalPlan::Limit { input, limit, offset } => {
-                let _ = writeln!(out, "{pad}Limit limit={limit:?} offset={offset}");
-                input.explain_into(out, depth + 1);
+            LogicalPlan::Limit { limit, offset, .. } => {
+                format!("Limit limit={limit:?} offset={offset}")
             }
-            LogicalPlan::Distinct { input } => {
-                let _ = writeln!(out, "{pad}Distinct");
-                input.explain_into(out, depth + 1);
-            }
-            LogicalPlan::Union { left, right, all } => {
-                let _ = writeln!(out, "{pad}Union{}", if *all { " ALL" } else { "" });
-                left.explain_into(out, depth + 1);
-                right.explain_into(out, depth + 1);
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::Union { all, .. } => {
+                format!("Union{}", if *all { " ALL" } else { "" })
             }
             LogicalPlan::Unnest { input, path_col, with_ordinality, preserve_empty, .. } => {
-                let _ = writeln!(
-                    out,
-                    "{pad}Unnest path_col={} ordinality={} preserve_empty={}",
+                format!(
+                    "Unnest path_col={} ordinality={} preserve_empty={}",
                     input.schema().column(*path_col).name,
                     with_ordinality,
                     preserve_empty
-                );
-                input.explain_into(out, depth + 1);
+                )
             }
         }
     }

@@ -1,0 +1,561 @@
+//! Sessions: the unit of connection state on top of a shared [`Database`].
+//!
+//! The paper's workload is *repeated* parameterized shortest-path queries
+//! over a mostly-static graph. A [`Session`] makes that workload cheap:
+//!
+//! * a **plan cache** (LRU, keyed by SQL text) holds fully bound and
+//!   optimized plans, so a [`PreparedStatement`] executed many times
+//!   parses, binds and optimizes exactly once;
+//! * cached plans carry the database's **schema version** (catalog DDL +
+//!   graph-index registry); any `CREATE`/`DROP` of tables or graph indexes
+//!   invalidates them lazily;
+//! * **session settings** (`SET` / `SHOW`) control planning and execution:
+//!   `graph_index` toggles index usage (visible in `EXPLAIN`), `row_limit`
+//!   guards against runaway intermediate results, `plan_cache_size` sizes
+//!   the cache;
+//! * `EXPLAIN ANALYZE` executes a query with per-operator statistics
+//!   collection and renders the plan annotated with row counts and wall
+//!   time.
+//!
+//! Sessions are cheap; open one per connection/thread. The shared
+//! [`Database`] itself is thread-safe.
+//!
+//! ```
+//! use gsql_core::Database;
+//! use gsql_storage::Value;
+//!
+//! let db = Database::new();
+//! let session = db.session();
+//! session.execute("CREATE TABLE friends (src INTEGER, dst INTEGER)").unwrap();
+//! session.execute("INSERT INTO friends VALUES (1, 2), (2, 3)").unwrap();
+//! let stmt = session
+//!     .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)")
+//!     .unwrap();
+//! for dst in [2i64, 3] {
+//!     let t = stmt.query(&session, &[Value::Int(1), Value::Int(dst)]).unwrap();
+//!     assert_eq!(t.row_count(), 1);
+//! }
+//! // One bind (the prepare), two cache hits.
+//! assert_eq!(session.cache_stats().misses, 1);
+//! assert_eq!(session.cache_stats().hits, 2);
+//! ```
+
+use crate::bind::binder::Binder;
+use crate::context::{ExecContext, SessionSettings};
+use crate::database::{Database, QueryResult};
+use crate::error::{bind_err, Error};
+use crate::exec::executor::Executor;
+use crate::optimize::optimize_with;
+use crate::plan::LogicalPlan;
+use gsql_parser::{ast, parse_sql, parse_statement};
+use gsql_storage::{ColumnDef, DataType, Schema, Table, Value};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Counters of a session's plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Executions served from a cached plan (no parse/bind/optimize).
+    pub hits: u64,
+    /// Plans built from scratch (and cached, capacity permitting).
+    pub misses: u64,
+    /// Cached plans discarded because the schema version moved on.
+    pub invalidations: u64,
+    /// Plans currently cached.
+    pub entries: usize,
+}
+
+/// One cached, fully optimized plan.
+#[derive(Debug)]
+struct CacheEntry {
+    plan: Arc<LogicalPlan>,
+    /// [`Database::schema_version`] at bind time.
+    schema_version: u64,
+    /// LRU tick of the last use.
+    last_used: u64,
+}
+
+/// A small LRU of bound+optimized plans, keyed by SQL text.
+#[derive(Debug, Default)]
+struct PlanCache {
+    map: HashMap<String, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl PlanCache {
+    /// A fresh (version-matching) cached plan for `sql`, if any. A stale
+    /// entry is discarded and counted as an invalidation.
+    fn get(&mut self, sql: &str, schema_version: u64) -> Option<Arc<LogicalPlan>> {
+        match self.map.get_mut(sql) {
+            Some(entry) if entry.schema_version == schema_version => {
+                self.tick += 1;
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(Arc::clone(&entry.plan))
+            }
+            Some(_) => {
+                self.map.remove(sql);
+                self.invalidations += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Record a freshly built plan (a miss), evicting the least recently
+    /// used entry when over capacity. `capacity == 0` disables storage but
+    /// still counts the miss.
+    fn insert(
+        &mut self,
+        sql: String,
+        plan: Arc<LogicalPlan>,
+        schema_version: u64,
+        capacity: usize,
+    ) {
+        self.misses += 1;
+        if capacity == 0 {
+            return;
+        }
+        while self.map.len() >= capacity && !self.map.contains_key(&sql) {
+            let Some(victim) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+        }
+        self.tick += 1;
+        self.map.insert(sql, CacheEntry { plan, schema_version, last_used: self.tick });
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Evict least-recently-used entries until at most `capacity` remain
+    /// (used when `plan_cache_size` is lowered mid-session).
+    fn shrink_to(&mut self, capacity: usize) {
+        while self.map.len() > capacity {
+            let Some(victim) =
+                self.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            self.map.remove(&victim);
+        }
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            invalidations: self.invalidations,
+            entries: self.map.len(),
+        }
+    }
+}
+
+/// A parsed statement bound to no particular session, executable many times
+/// with different `?` parameter values.
+///
+/// Produced by [`Session::prepare`] (which also pre-plans queries into the
+/// session's cache) or [`Database::prepare`] (parse only). Executing a
+/// prepared *query* through a session consults that session's plan cache:
+/// repeated executions skip the whole frontend.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: String,
+    statement: Arc<ast::Statement>,
+}
+
+impl PreparedStatement {
+    pub(crate) fn parse(sql: &str) -> Result<PreparedStatement> {
+        Ok(PreparedStatement { sql: sql.to_string(), statement: Arc::new(parse_statement(sql)?) })
+    }
+
+    /// The original SQL text (the plan-cache key).
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// Execute in `session` with parameter values for each `?`, in textual
+    /// order.
+    pub fn execute(&self, session: &Session<'_>, params: &[Value]) -> Result<QueryResult> {
+        session.run_statement(Some(&self.sql), &self.statement, params)
+    }
+
+    /// Execute and unwrap the result set.
+    pub fn query(&self, session: &Session<'_>, params: &[Value]) -> Result<Arc<Table>> {
+        self.execute(session, params)?.into_table()
+    }
+}
+
+/// A session over a shared [`Database`]: settings, plan cache, statement
+/// execution. See the [module docs](self) for the full picture.
+#[derive(Debug)]
+pub struct Session<'db> {
+    db: &'db Database,
+    settings: RefCell<SessionSettings>,
+    cache: RefCell<PlanCache>,
+}
+
+impl<'db> Session<'db> {
+    /// Open a session. Equivalent to [`Database::session`].
+    pub fn new(db: &'db Database) -> Session<'db> {
+        Session {
+            db,
+            settings: RefCell::new(SessionSettings::default()),
+            cache: RefCell::new(PlanCache::default()),
+        }
+    }
+
+    /// The underlying shared database.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// A snapshot of the current session settings.
+    pub fn settings(&self) -> SessionSettings {
+        self.settings.borrow().clone()
+    }
+
+    /// Change a setting programmatically (same as `SET name = value`).
+    pub fn set(&self, name: &str, value: &str) -> Result<()> {
+        self.settings.borrow_mut().set(name, value)?;
+        // Only graph_index influences plan *shape*; dropping the cache for
+        // execution-time knobs (e.g. row_limit) would throw away good
+        // plans. Lowering plan_cache_size evicts down right away so the
+        // memory the caller asked to reclaim is actually released.
+        if name.eq_ignore_ascii_case("graph_index") {
+            self.cache.borrow_mut().clear();
+        } else if name.eq_ignore_ascii_case("plan_cache_size") {
+            let capacity = self.settings.borrow().plan_cache_size;
+            self.cache.borrow_mut().shrink_to(capacity);
+        }
+        Ok(())
+    }
+
+    /// Read a setting's current value (same as `SHOW name`).
+    pub fn setting(&self, name: &str) -> Result<String> {
+        self.settings.borrow().get(name)
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.cache.borrow().stats()
+    }
+
+    /// Execute a single statement without parameters.
+    pub fn execute(&self, sql: &str) -> Result<QueryResult> {
+        self.execute_with_params(sql, &[])
+    }
+
+    /// Execute a single statement with `?` parameter values. The SQL text
+    /// doubles as the plan-cache key, so repeating the same query text
+    /// skips parse/bind/optimize.
+    pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        self.run_statement(Some(sql), &statement, params)
+    }
+
+    /// Execute a semicolon-separated script, returning one result per
+    /// statement. Stops at the first error.
+    pub fn execute_script(&self, sql: &str) -> Result<Vec<QueryResult>> {
+        let statements = parse_sql(sql)?;
+        let mut results = Vec::with_capacity(statements.len());
+        for s in &statements {
+            // Key queries by their canonical rendering so re-running a
+            // script (e.g. from an interactive shell) hits the plan cache.
+            let key = matches!(s, ast::Statement::Query(_)).then(|| s.to_string());
+            results.push(self.run_statement(key.as_deref(), s, &[])?);
+        }
+        Ok(results)
+    }
+
+    /// Run a query and return its result set.
+    pub fn query(&self, sql: &str) -> Result<Arc<Table>> {
+        self.execute(sql)?.into_table()
+    }
+
+    /// Run a query with parameters and return its result set.
+    pub fn query_with_params(&self, sql: &str, params: &[Value]) -> Result<Arc<Table>> {
+        self.execute_with_params(sql, params)?.into_table()
+    }
+
+    /// Prepare a statement: parse it, and — for queries — bind, optimize
+    /// and cache the plan now, so later executions only execute.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
+        let prepared = PreparedStatement::parse(sql)?;
+        if let ast::Statement::Query(q) = prepared.statement.as_ref() {
+            self.cached_plan(Some(sql), q, &[])?;
+        }
+        Ok(prepared)
+    }
+
+    /// Parse, bind and optimize a query under the session's settings,
+    /// returning its logical plan (what `EXPLAIN` renders).
+    pub fn plan(&self, sql: &str) -> Result<LogicalPlan> {
+        match parse_statement(sql)? {
+            ast::Statement::Query(q)
+            | ast::Statement::Explain(q)
+            | ast::Statement::ExplainAnalyze(q) => {
+                let ctx = self.ctx(&[]);
+                let plan = Binder::new(&ctx).bind_query(&q)?;
+                Ok(optimize_with(plan, &ctx))
+            }
+            _ => Err(bind_err!("plan() expects a query")),
+        }
+    }
+
+    /// Build the per-statement execution context.
+    fn ctx<'a>(&self, params: &'a [Value]) -> ExecContext<'a>
+    where
+        'db: 'a,
+    {
+        ExecContext::new(self.db.catalog(), params, Some(self.db.graph_indexes()))
+            .with_settings(self.settings.borrow().clone())
+    }
+
+    /// The bound+optimized plan for a query — from the session cache when
+    /// `sql_key` is given and the entry is fresh, otherwise built (and
+    /// cached) now.
+    fn cached_plan(
+        &self,
+        sql_key: Option<&str>,
+        q: &ast::Query,
+        params: &[Value],
+    ) -> Result<Arc<LogicalPlan>> {
+        let capacity = self.settings.borrow().plan_cache_size;
+        let schema_version = self.db.schema_version();
+        if let (Some(sql), true) = (sql_key, capacity > 0) {
+            if let Some(plan) = self.cache.borrow_mut().get(sql, schema_version) {
+                return Ok(plan);
+            }
+        }
+        let ctx = self.ctx(params);
+        let plan = Binder::new(&ctx).bind_query(q)?;
+        let plan = Arc::new(optimize_with(plan, &ctx));
+        match sql_key {
+            Some(sql) => self.cache.borrow_mut().insert(
+                sql.to_string(),
+                Arc::clone(&plan),
+                schema_version,
+                capacity,
+            ),
+            None => self.cache.borrow_mut().misses += 1,
+        }
+        Ok(plan)
+    }
+
+    /// Execute one statement (the session-side statement dispatcher).
+    pub(crate) fn run_statement(
+        &self,
+        sql_key: Option<&str>,
+        statement: &ast::Statement,
+        params: &[Value],
+    ) -> Result<QueryResult> {
+        match statement {
+            ast::Statement::Query(q) => {
+                let plan = self.cached_plan(sql_key, q, params)?;
+                let ctx = self.ctx(params);
+                let table = Executor::new(&ctx).execute(&plan)?;
+                Ok(QueryResult::Table(table))
+            }
+            ast::Statement::Explain(q) => {
+                let ctx = self.ctx(params);
+                let plan = Binder::new(&ctx).bind_query(q)?;
+                let plan = optimize_with(plan, &ctx);
+                text_table("plan", plan.explain().lines())
+            }
+            ast::Statement::ExplainAnalyze(q) => {
+                let ctx = self.ctx(params).with_stats();
+                let plan = Binder::new(&ctx).bind_query(q)?;
+                let plan = optimize_with(plan, &ctx);
+                let t0 = std::time::Instant::now();
+                let result = Executor::new(&ctx).execute(&plan)?;
+                let total = t0.elapsed();
+                let stats = ctx.take_stats();
+                let mut lines: Vec<String> = stats.render().lines().map(str::to_string).collect();
+                lines.push(format!("Result: {} row(s) in {:?}", result.row_count(), total));
+                text_table("plan", lines.iter().map(String::as_str))
+            }
+            ast::Statement::Set { name, value } => {
+                self.set(name, &set_value_text(value))?;
+                Ok(QueryResult::Ok)
+            }
+            ast::Statement::Show { name } => {
+                let settings = self.settings.borrow();
+                let entries: Vec<(String, String)> = match name {
+                    Some(n) => vec![(n.to_ascii_lowercase(), settings.get(n)?)],
+                    None => {
+                        settings.entries().into_iter().map(|(n, v)| (n.to_string(), v)).collect()
+                    }
+                };
+                drop(settings);
+                let mut t = Table::empty(Schema::new(vec![
+                    ColumnDef::not_null("setting", DataType::Varchar),
+                    ColumnDef::not_null("value", DataType::Varchar),
+                ]));
+                for (n, v) in entries {
+                    t.append_row(vec![Value::from(n), Value::from(v)]).map_err(Error::Storage)?;
+                }
+                Ok(QueryResult::Table(Arc::new(t)))
+            }
+            ast::Statement::Describe { name } => {
+                let table = self.db.catalog().get(name).map_err(Error::Storage)?;
+                let mut t = Table::empty(Schema::new(vec![
+                    ColumnDef::not_null("column", DataType::Varchar),
+                    ColumnDef::not_null("type", DataType::Varchar),
+                    ColumnDef::not_null("nullable", DataType::Bool),
+                ]));
+                for def in table.schema().columns() {
+                    t.append_row(vec![
+                        Value::from(def.name.clone()),
+                        Value::from(def.ty.sql_name()),
+                        Value::Bool(def.nullable),
+                    ])
+                    .map_err(Error::Storage)?;
+                }
+                Ok(QueryResult::Table(Arc::new(t)))
+            }
+            ast::Statement::CreateTable { name, columns } => {
+                self.db.create_table_from_ast(name, columns)
+            }
+            ast::Statement::DropTable { name } => self.db.drop_table_stmt(name),
+            ast::Statement::Insert { table, columns, source } => {
+                let ctx = self.ctx(params);
+                self.db.run_insert(&ctx, table, columns.as_deref(), source)
+            }
+            ast::Statement::Delete { table, filter } => {
+                let ctx = self.ctx(params);
+                self.db.run_delete(&ctx, table, filter.as_ref())
+            }
+            ast::Statement::Update { table, assignments, filter } => {
+                let ctx = self.ctx(params);
+                self.db.run_update(&ctx, table, assignments, filter.as_ref())
+            }
+            ast::Statement::CreateGraphIndex { name, table, src_col, dst_col } => {
+                self.db.create_graph_index_stmt(name, table, src_col, dst_col)
+            }
+            ast::Statement::DropGraphIndex { name } => self.db.drop_graph_index_stmt(name),
+        }
+    }
+}
+
+/// Render a `SET` value as the settings-layer text.
+fn set_value_text(value: &ast::SetValue) -> String {
+    match value {
+        ast::SetValue::Ident(s) => s.clone(),
+        ast::SetValue::Literal(ast::Literal::Int(v)) => v.to_string(),
+        ast::SetValue::Literal(ast::Literal::Float(v)) => v.to_string(),
+        ast::SetValue::Literal(ast::Literal::Bool(v)) => v.to_string(),
+        ast::SetValue::Literal(ast::Literal::String(s)) => s.clone(),
+        ast::SetValue::Literal(ast::Literal::Date(s)) => s.clone(),
+        ast::SetValue::Literal(ast::Literal::Null) => "null".to_string(),
+    }
+}
+
+/// One-column VARCHAR result table from text lines.
+fn text_table<'l>(column: &str, lines: impl Iterator<Item = &'l str>) -> Result<QueryResult> {
+    let mut t = Table::empty(Schema::new(vec![ColumnDef::not_null(column, DataType::Varchar)]));
+    for line in lines {
+        t.append_row(vec![Value::from(line)]).map_err(Error::Storage)?;
+    }
+    Ok(QueryResult::Table(Arc::new(t)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with_edges() -> Database {
+        let db = Database::new();
+        db.execute_script(
+            "CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL); \
+             INSERT INTO e VALUES (1, 2), (2, 3), (3, 4);",
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut cache = PlanCache::default();
+        let plan = Arc::new(LogicalPlan::SingleRow);
+        cache.insert("a".into(), Arc::clone(&plan), 0, 2);
+        cache.insert("b".into(), Arc::clone(&plan), 0, 2);
+        assert!(cache.get("a", 0).is_some()); // refresh a
+        cache.insert("c".into(), Arc::clone(&plan), 0, 2); // evicts b
+        assert!(cache.get("b", 0).is_none());
+        assert!(cache.get("a", 0).is_some());
+        assert!(cache.get("c", 0).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn stale_entries_are_invalidated() {
+        let mut cache = PlanCache::default();
+        let plan = Arc::new(LogicalPlan::SingleRow);
+        cache.insert("q".into(), plan, 7, 4);
+        assert!(cache.get("q", 8).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn session_set_show_roundtrip() {
+        let db = Database::new();
+        let session = db.session();
+        session.execute("SET row_limit = 9").unwrap();
+        let t = session.query("SHOW row_limit").unwrap();
+        assert_eq!(t.row(0)[1], Value::from("9"));
+        let all = session.query("SHOW ALL").unwrap();
+        assert_eq!(all.row_count(), SessionSettings::NAMES.len());
+        assert!(session.execute("SET bogus = 1").is_err());
+    }
+
+    #[test]
+    fn repeated_text_hits_cache_even_without_prepare() {
+        let db = db_with_edges();
+        let session = db.session();
+        let sql = "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)";
+        for i in 0..3 {
+            let t = session.query_with_params(sql, &[Value::Int(1), Value::Int(3)]).unwrap();
+            assert_eq!(t.row(0)[0], Value::Int(2), "iteration {i}");
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn plan_cache_size_zero_disables_caching() {
+        let db = db_with_edges();
+        let session = db.session();
+        session.set("plan_cache_size", "0").unwrap();
+        let sql = "SELECT 1 WHERE 1 REACHES 2 OVER e EDGE (s, d)";
+        session.query(sql).unwrap();
+        session.query(sql).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn row_limit_aborts_oversized_operators() {
+        let db = db_with_edges();
+        let session = db.session();
+        session.execute("SET row_limit = 2").unwrap();
+        let err = session.query("SELECT * FROM e").unwrap_err();
+        assert!(err.to_string().contains("row limit exceeded"), "{err}");
+        session.execute("SET row_limit = 0").unwrap();
+        assert_eq!(session.query("SELECT * FROM e").unwrap().row_count(), 3);
+    }
+}

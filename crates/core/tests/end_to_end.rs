@@ -38,16 +38,10 @@ fn scalar_select_without_from() {
 #[test]
 fn basic_projection_filter_order() {
     let db = db_with_people();
-    let t = db
-        .query("SELECT firstName FROM persons WHERE id > 2 ORDER BY firstName DESC")
-        .unwrap();
+    let t = db.query("SELECT firstName FROM persons WHERE id > 2 ORDER BY firstName DESC").unwrap();
     assert_eq!(
         rows(&t),
-        vec![
-            vec![Value::from("Edsger")],
-            vec![Value::from("Barbara")],
-            vec![Value::from("Alan")],
-        ]
+        vec![vec![Value::from("Edsger")], vec![Value::from("Barbara")], vec![Value::from("Alan")],]
     );
 }
 
@@ -141,6 +135,7 @@ fn weighted_path_with_unnest_a4_style() {
         .unwrap();
     assert_eq!(t.row_count(), 1);
     assert_eq!(t.row(0)[1], Value::Int(7)); // 1 + 4 + 2
+
     // Unnest the path.
     let t = db
         .query_with_params(
@@ -197,9 +192,7 @@ fn left_join_unnest_preserves_empty_paths() {
     assert_eq!(dropped.row_count(), 0);
     let kept = db
         .query_with_params(
-            &format!(
-                "SELECT T.firstName, R.src FROM ({inner}) T LEFT JOIN UNNEST(T.path) AS R"
-            ),
+            &format!("SELECT T.firstName, R.src FROM ({inner}) T LEFT JOIN UNNEST(T.path) AS R"),
             &[Value::Int(1), Value::Int(1)],
         )
         .unwrap();
@@ -365,9 +358,7 @@ fn aggregate_over_graph_result_in_outer_query() {
 #[test]
 fn union_distinct_limit_offset() {
     let db = db_with_people();
-    let t = db
-        .query("SELECT 1 AS v UNION SELECT 1 UNION ALL SELECT 2 ORDER BY v")
-        .unwrap();
+    let t = db.query("SELECT 1 AS v UNION SELECT 1 UNION ALL SELECT 2 ORDER BY v").unwrap();
     // UNION dedups the two 1s... then UNION ALL appends 2; semantics are
     // left-assoc: ((1 UNION 1) UNION ALL 2) = {1, 2}.
     assert_eq!(rows(&t), vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
@@ -413,8 +404,7 @@ fn dml_round_trip_and_index_invalidation() {
 fn explain_and_describe() {
     let db = db_with_people();
     let t = db.query("EXPLAIN SELECT id FROM persons WHERE id = 1").unwrap();
-    let text: Vec<String> =
-        t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let text: Vec<String> = t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
     assert!(text.iter().any(|l| l.contains("Scan persons")));
     let t = db.query("DESCRIBE friends").unwrap();
     assert_eq!(t.row_count(), 4);
@@ -424,13 +414,17 @@ fn explain_and_describe() {
 #[test]
 fn prepared_statements_rebind_params() {
     let db = db_with_people();
-    let stmt = db
+    let session = db.session();
+    let stmt = session
         .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)")
         .unwrap();
-    let t1 = stmt.execute(&db, &[Value::Int(1), Value::Int(4)]).unwrap().into_table().unwrap();
+    let t1 = stmt.query(&session, &[Value::Int(1), Value::Int(4)]).unwrap();
     assert_eq!(t1.row(0)[0], Value::Int(1));
-    let t2 = stmt.execute(&db, &[Value::Int(1), Value::Int(3)]).unwrap().into_table().unwrap();
+    let t2 = stmt.query(&session, &[Value::Int(1), Value::Int(3)]).unwrap();
     assert_eq!(t2.row(0)[0], Value::Int(2));
+    // Bound and optimized once (at prepare), then served from the cache.
+    assert_eq!(session.cache_stats().misses, 1);
+    assert_eq!(session.cache_stats().hits, 2);
 }
 
 #[test]
@@ -443,8 +437,7 @@ fn bind_errors_are_informative() {
             "SELECT CHEAPEST SUM(x: 1) WHERE 1 REACHES 2 OVER friends f EDGE (src, dst)",
             "tuple variable",
         ),
-        ("SELECT id FROM persons WHERE firstName REACHES id OVER friends EDGE (src, dst)",
-         "type"),
+        ("SELECT id FROM persons WHERE firstName REACHES id OVER friends EDGE (src, dst)", "type"),
         ("SELECT * FROM persons WHERE id REACHES id OVER friends EDGE (src, nope)", "nope"),
         ("SELECT COUNT(*), id FROM persons", "GROUP BY"),
         ("SELECT id FROM persons GROUP BY id HAVING firstName = 'x'", "GROUP BY"),

@@ -30,8 +30,8 @@ fn main() {
     std::fs::create_dir_all(&dir).unwrap_or_else(|e| fail(&format!("mkdir {dir}: {e}")));
     for (name, table) in [("persons", &data.persons), ("friends", &data.friends)] {
         let path = format!("{dir}/{name}.csv");
-        let file = std::fs::File::create(&path)
-            .unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
+        let file =
+            std::fs::File::create(&path).unwrap_or_else(|e| fail(&format!("create {path}: {e}")));
         let mut out = BufWriter::new(file);
         write_csv(table, &mut out).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
         eprintln!("wrote {path} ({} rows)", table.row_count());

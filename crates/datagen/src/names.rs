@@ -1,6 +1,7 @@
 //! Name pools for synthetic persons.
 
 /// First names sampled uniformly by the generator.
+#[rustfmt::skip]
 pub const FIRST_NAMES: &[&str] = &[
     "Mahinda", "Carmen", "Chen", "Ada", "Grace", "Alan", "Edsger", "Barbara", "Donald", "John",
     "Leslie", "Tony", "Robin", "Frances", "Niklaus", "Ken", "Dennis", "Bjarne", "James", "Guido",
@@ -12,6 +13,7 @@ pub const FIRST_NAMES: &[&str] = &[
 ];
 
 /// Last names sampled uniformly by the generator.
+#[rustfmt::skip]
 pub const LAST_NAMES: &[&str] = &[
     "Perera", "Lepland", "Wang", "Lovelace", "Hopper", "Turing", "Dijkstra", "Liskov", "Knuth",
     "Backus", "Lamport", "Hoare", "Milner", "Allen", "Wirth", "Thompson", "Ritchie",

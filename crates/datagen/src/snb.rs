@@ -183,9 +183,8 @@ fn generate_friends(rng: &mut SmallRng, n_persons: u64, n_undirected: u64) -> Ta
     let mut dst = Vec::with_capacity(2 * n_undirected as usize);
     let mut created = Vec::with_capacity(2 * n_undirected as usize);
     let mut weight = Vec::with_capacity(2 * n_undirected as usize);
-    let mut seen: std::collections::HashSet<u64> = std::collections::HashSet::with_capacity(
-        n_undirected as usize * 2,
-    );
+    let mut seen: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(n_undirected as usize * 2);
     let epoch_2010 = Date::from_ymd(2010, 1, 1).expect("valid date").days();
 
     let mut produced = 0u64;
@@ -309,10 +308,7 @@ mod tests {
         }
         let max = *deg.values().max().unwrap();
         let mean = src.len() as f64 / deg.len() as f64;
-        assert!(
-            max as f64 > 4.0 * mean,
-            "expected a heavy tail: max {max} vs mean {mean:.1}"
-        );
+        assert!(max as f64 > 4.0 * mean, "expected a heavy tail: max {max} vs mean {mean:.1}");
     }
 
     #[test]

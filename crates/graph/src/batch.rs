@@ -139,12 +139,7 @@ impl<'g> BatchComputer<'g> {
     }
 
     /// Convenience wrapper for a single pair.
-    pub fn shortest_path(
-        &self,
-        source: u32,
-        dest: u32,
-        spec: &WeightSpec,
-    ) -> Result<PairResult> {
+    pub fn shortest_path(&self, source: u32, dest: u32, spec: &WeightSpec) -> Result<PairResult> {
         Ok(self.compute(&[(source, dest)], spec, true)?.pop().expect("one pair in, one out"))
     }
 
@@ -168,17 +163,10 @@ impl<'g> BatchComputer<'g> {
                     results[idx] = PairResult {
                         reachable: true,
                         cost: Some(CostValue::Int(d as i64)),
-                        path: compute_paths
-                            .then(|| {
-                                reconstruct_path(
-                                    self.graph,
-                                    &r.parent,
-                                    &r.parent_edge,
-                                    source,
-                                    dest,
-                                )
+                        path: compute_paths.then(|| {
+                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
                                 .expect("reachable")
-                            }),
+                        }),
                     };
                 }
             }
@@ -192,17 +180,10 @@ impl<'g> BatchComputer<'g> {
                     results[idx] = PairResult {
                         reachable: true,
                         cost: Some(CostValue::Int(d as i64)),
-                        path: compute_paths
-                            .then(|| {
-                                reconstruct_path(
-                                    self.graph,
-                                    &r.parent,
-                                    &r.parent_edge,
-                                    source,
-                                    dest,
-                                )
+                        path: compute_paths.then(|| {
+                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
                                 .expect("reachable")
-                            }),
+                        }),
                     };
                 }
             }
@@ -216,17 +197,10 @@ impl<'g> BatchComputer<'g> {
                     results[idx] = PairResult {
                         reachable: true,
                         cost: Some(CostValue::Float(d)),
-                        path: compute_paths
-                            .then(|| {
-                                reconstruct_path(
-                                    self.graph,
-                                    &r.parent,
-                                    &r.parent_edge,
-                                    source,
-                                    dest,
-                                )
+                        path: compute_paths.then(|| {
+                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
                                 .expect("reachable")
-                            }),
+                        }),
                     };
                 }
             }
@@ -303,8 +277,7 @@ mod tests {
     fn invalid_weights_rejected_for_whole_batch() {
         let g = diamond();
         let c = BatchComputer::new(&g);
-        let err =
-            c.compute(&[(0, 1)], &WeightSpec::Int(vec![1, 1, -3, 1, 1]), true).unwrap_err();
+        let err = c.compute(&[(0, 1)], &WeightSpec::Int(vec![1, 1, -3, 1, 1]), true).unwrap_err();
         assert!(matches!(err, GraphError::NonPositiveWeight { .. }));
     }
 

@@ -215,10 +215,7 @@ mod tests {
 
     #[test]
     fn rejects_ragged_input() {
-        assert!(matches!(
-            Csr::from_edges(2, &[0], &[1, 0]),
-            Err(GraphError::LengthMismatch(_))
-        ));
+        assert!(matches!(Csr::from_edges(2, &[0], &[1, 0]), Err(GraphError::LengthMismatch(_))));
     }
 
     #[test]

@@ -294,7 +294,8 @@ mod tests {
             let raw: Vec<i64> = (0..m).map(|_| rng.gen_range(1..100)).collect();
             let g = Csr::from_edges(n, &src, &dst).unwrap();
             let wi = g.permute_weights_int(&raw).unwrap();
-            let wf = g.permute_weights_float(&raw.iter().map(|&x| x as f64).collect::<Vec<_>>())
+            let wf = g
+                .permute_weights_float(&raw.iter().map(|&x| x as f64).collect::<Vec<_>>())
                 .unwrap();
             let s = rng.gen_range(0..n);
             let ri = dijkstra_int(&g, s, &[], &wi);

@@ -33,8 +33,8 @@ pub mod path;
 pub mod radix_heap;
 
 pub use batch::{BatchComputer, PairResult, WeightSpec};
-pub use bidir::{bidirectional_bfs, reverse_csr, BidirResult};
 pub use bfs::{bfs, BfsResult};
+pub use bidir::{bidirectional_bfs, reverse_csr, BidirResult};
 pub use csr::Csr;
 pub use dijkstra::{dijkstra_float, dijkstra_int, DijkstraFloatResult, DijkstraIntResult};
 pub use error::GraphError;

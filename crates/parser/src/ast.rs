@@ -367,6 +367,15 @@ pub struct ColumnDefAst {
     pub primary_key: bool,
 }
 
+/// The value of a `SET <option> = <value>` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetValue {
+    /// A literal (`SET row_limit = 1000`).
+    Literal(Literal),
+    /// A bare word (`SET graph_index = off`).
+    Ident(String),
+}
+
 /// A top-level SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -428,10 +437,25 @@ pub enum Statement {
     Query(Query),
     /// `EXPLAIN query` — renders the optimized logical plan.
     Explain(Query),
+    /// `EXPLAIN ANALYZE query` — executes the query and renders the plan
+    /// annotated with per-operator row counts and wall time.
+    ExplainAnalyze(Query),
     /// `DESCRIBE table`
     Describe {
         /// Table name.
         name: String,
+    },
+    /// `SET <option> = <value>` — change a session setting.
+    Set {
+        /// Option name (e.g. `graph_index`, `row_limit`).
+        name: String,
+        /// New value.
+        value: SetValue,
+    },
+    /// `SHOW <option>` / `SHOW ALL` — read session settings.
+    Show {
+        /// Option name; `None` for `SHOW ALL`.
+        name: Option<String>,
     },
 }
 

@@ -62,80 +62,78 @@ impl fmt::Display for BinaryOp {
 /// precedence never changes on re-parse.
 impl fmt::Display for Expr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            match self {
-                Expr::Literal(l) => write!(f, "{l}"),
-                Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
-                Expr::Column { table: None, name } => write!(f, "{name}"),
-                Expr::Param(_) => write!(f, "?"),
-                // The space prevents `--` (a comment) when the operand
-                // renders with a leading minus.
-                Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(- {expr})"),
-                Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
-                Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
-                Expr::IsNull { expr, negated } => {
-                    write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
-                }
-                Expr::InList { expr, list, negated } => {
-                    write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
-                    for (i, e) in list.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{e}")?;
-                    }
-                    write!(f, "))")
-                }
-                Expr::Between { expr, low, high, negated } => write!(
-                    f,
-                    "({expr} {}BETWEEN {low} AND {high})",
-                    if *negated { "NOT " } else { "" }
-                ),
-                Expr::Like { expr, pattern, negated } => {
-                    write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
-                }
-                Expr::Case { operand, branches, else_expr } => {
-                    write!(f, "CASE")?;
-                    if let Some(op) = operand {
-                        write!(f, " {op}")?;
-                    }
-                    for (w, t) in branches {
-                        write!(f, " WHEN {w} THEN {t}")?;
-                    }
-                    if let Some(e) = else_expr {
-                        write!(f, " ELSE {e}")?;
-                    }
-                    write!(f, " END")
-                }
-                Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
-                Expr::Function { name, args, distinct } => {
-                    if args.is_empty() && name.eq_ignore_ascii_case("count") {
-                        return write!(f, "COUNT(*)");
-                    }
-                    write!(f, "{name}(")?;
-                    if *distinct {
-                        write!(f, "DISTINCT ")?;
-                    }
-                    for (i, a) in args.iter().enumerate() {
-                        if i > 0 {
-                            write!(f, ", ")?;
-                        }
-                        write!(f, "{a}")?;
-                    }
-                    write!(f, ")")
-                }
-                Expr::Reaches(r) => {
-                    write!(f, "({} REACHES {} OVER ", r.source, r.dest)?;
-                    match &r.edge_table {
-                        TableRef::Base { name, .. } => write!(f, "{name}")?,
-                        TableRef::Derived { query, .. } => write!(f, "({query})")?,
-                        other => write!(f, "{other}")?,
-                    }
-                    if let Some(a) = &r.alias {
-                        write!(f, " {a}")?;
-                    }
-                    write!(f, " EDGE ({}, {}))", r.src_col, r.dst_col)
-                }
+        match self {
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Column { table: Some(t), name } => write!(f, "{t}.{name}"),
+            Expr::Column { table: None, name } => write!(f, "{name}"),
+            Expr::Param(_) => write!(f, "?"),
+            // The space prevents `--` (a comment) when the operand
+            // renders with a leading minus.
+            Expr::Unary { op: UnaryOp::Neg, expr } => write!(f, "(- {expr})"),
+            Expr::Unary { op: UnaryOp::Not, expr } => write!(f, "(NOT {expr})"),
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
             }
+            Expr::InList { expr, list, negated } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "({expr} {}BETWEEN {low} AND {high})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Like { expr, pattern, negated } => {
+                write!(f, "({expr} {}LIKE {pattern})", if *negated { "NOT " } else { "" })
+            }
+            Expr::Case { operand, branches, else_expr } => {
+                write!(f, "CASE")?;
+                if let Some(op) = operand {
+                    write!(f, " {op}")?;
+                }
+                for (w, t) in branches {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Cast { expr, ty } => write!(f, "CAST({expr} AS {ty})"),
+            Expr::Function { name, args, distinct } => {
+                if args.is_empty() && name.eq_ignore_ascii_case("count") {
+                    return write!(f, "COUNT(*)");
+                }
+                write!(f, "{name}(")?;
+                if *distinct {
+                    write!(f, "DISTINCT ")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Reaches(r) => {
+                write!(f, "({} REACHES {} OVER ", r.source, r.dest)?;
+                match &r.edge_table {
+                    TableRef::Base { name, .. } => write!(f, "{name}")?,
+                    TableRef::Derived { query, .. } => write!(f, "({query})")?,
+                    other => write!(f, "{other}")?,
+                }
+                if let Some(a) = &r.alias {
+                    write!(f, " {a}")?;
+                }
+                write!(f, " EDGE ({}, {}))", r.src_col, r.dst_col)
+            }
+        }
     }
 }
 
@@ -353,7 +351,20 @@ impl fmt::Display for Statement {
             Statement::DropGraphIndex { name } => write!(f, "DROP GRAPH INDEX {name}"),
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
+            Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
             Statement::Describe { name } => write!(f, "DESCRIBE {name}"),
+            Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
+            Statement::Show { name: Some(n) } => write!(f, "SHOW {n}"),
+            Statement::Show { name: None } => write!(f, "SHOW ALL"),
+        }
+    }
+}
+
+impl fmt::Display for SetValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetValue::Literal(l) => write!(f, "{l}"),
+            SetValue::Ident(s) => write!(f, "{s}"),
         }
     }
 }
@@ -406,5 +417,21 @@ mod tests {
         round_trip("DELETE FROM t WHERE a IS NOT NULL");
         round_trip("CREATE GRAPH INDEX gi ON friends EDGE (p1, p2)");
         round_trip("SELECT DISTINCT a FROM t");
+    }
+
+    #[test]
+    fn round_trips_session_statements() {
+        round_trip("SET graph_index = off");
+        round_trip("SET graph_index = on");
+        round_trip("SET row_limit = 1000");
+        round_trip("SET plan_cache_size = 0");
+        round_trip("SET tag = 'hello'");
+        round_trip("SHOW graph_index");
+        round_trip("SHOW ALL");
+        round_trip("EXPLAIN ANALYZE SELECT 1");
+        round_trip(
+            "EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) WHERE ? REACHES ? \
+             OVER friends EDGE (src, dst)",
+        );
     }
 }

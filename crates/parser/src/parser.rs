@@ -126,7 +126,9 @@ impl Parser {
             // Soft keywords: reserved only in structural positions that are
             // always introduced by another keyword, so they can double as
             // column names (`R.ordinality` after WITH ORDINALITY, etc.).
-            Token::Keyword(kw @ (Keyword::Ordinality | Keyword::Key | Keyword::Index | Keyword::Graph)) => {
+            Token::Keyword(
+                kw @ (Keyword::Ordinality | Keyword::Key | Keyword::Index | Keyword::Graph),
+            ) => {
                 self.advance();
                 Ok(format!("{kw:?}").to_ascii_lowercase())
             }
@@ -151,12 +153,24 @@ impl Parser {
             Token::Keyword(Keyword::Update) => self.parse_update(),
             Token::Keyword(Keyword::Explain) => {
                 self.advance();
-                Ok(Statement::Explain(self.parse_query()?))
+                // ANALYZE is contextual (not reserved): it only has meaning
+                // directly after EXPLAIN, so `analyze` stays usable as an
+                // ordinary identifier elsewhere.
+                if matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case("analyze")) {
+                    self.advance();
+                    Ok(Statement::ExplainAnalyze(self.parse_query()?))
+                } else {
+                    Ok(Statement::Explain(self.parse_query()?))
+                }
             }
             Token::Keyword(Keyword::Describe) => {
                 self.advance();
                 Ok(Statement::Describe { name: self.expect_ident()? })
             }
+            Token::Keyword(Keyword::Set) => self.parse_set(),
+            // SHOW is contextual: a bare identifier can only start a
+            // statement here, so this never shadows other uses of `show`.
+            Token::Ident(s) if s.eq_ignore_ascii_case("show") => self.parse_show(),
             Token::Keyword(Keyword::Select)
             | Token::Keyword(Keyword::With)
             | Token::Keyword(Keyword::Values)
@@ -274,6 +288,53 @@ impl Parser {
         }
         let filter = if self.eat_kw(Keyword::Where) { Some(self.parse_expr()?) } else { None };
         Ok(Statement::Update { table, assignments, filter })
+    }
+
+    /// `SET <option> = <value>` where the value is a literal or a bare word
+    /// (`on` / `off`).
+    fn parse_set(&mut self) -> Result<Statement> {
+        self.expect_kw(Keyword::Set)?;
+        let name = self.expect_ident()?;
+        self.expect_token(&Token::Eq)?;
+        let value = match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                SetValue::Literal(Literal::Int(v))
+            }
+            Token::Float(v) => {
+                self.advance();
+                SetValue::Literal(Literal::Float(v))
+            }
+            Token::String(s) => {
+                self.advance();
+                SetValue::Literal(Literal::String(s))
+            }
+            Token::Keyword(Keyword::True) => {
+                self.advance();
+                SetValue::Literal(Literal::Bool(true))
+            }
+            Token::Keyword(Keyword::False) => {
+                self.advance();
+                SetValue::Literal(Literal::Bool(false))
+            }
+            Token::Keyword(Keyword::On) => {
+                // ON is reserved (joins), but natural as a setting value.
+                self.advance();
+                SetValue::Ident("on".to_string())
+            }
+            Token::Ident(_) => SetValue::Ident(self.expect_ident()?),
+            _ => return Err(self.unexpected("a literal or identifier after '='")),
+        };
+        Ok(Statement::Set { name, value })
+    }
+
+    /// `SHOW <option>` or `SHOW ALL` (the SHOW word is already peeked).
+    fn parse_show(&mut self) -> Result<Statement> {
+        self.advance(); // the SHOW identifier
+        if self.eat_kw(Keyword::All) {
+            return Ok(Statement::Show { name: None });
+        }
+        Ok(Statement::Show { name: Some(self.expect_ident()?) })
     }
 
     // ------------------------------------------------------------ queries
@@ -514,12 +575,7 @@ impl Parser {
             } else {
                 return Err(self.unexpected("ON after JOIN"));
             };
-            left = TableRef::Join {
-                left: Box::new(left),
-                right: Box::new(right),
-                kind,
-                on,
-            };
+            left = TableRef::Join { left: Box::new(left), right: Box::new(right), kind, on };
         }
     }
 
@@ -591,8 +647,7 @@ impl Parser {
         let mut left = self.parse_not()?;
         while self.eat_kw(Keyword::And) {
             let right = self.parse_not()?;
-            left =
-                Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
+            left = Expr::Binary { left: Box::new(left), op: BinaryOp::And, right: Box::new(right) };
         }
         Ok(left)
     }
@@ -660,8 +715,10 @@ impl Parser {
         }
         if self.check_kw(Keyword::Reaches) {
             if negated {
-                return Err(self.unexpected("REACHES cannot be negated with NOT directly; \
-                                            wrap it: NOT (x REACHES y OVER …)"));
+                return Err(self.unexpected(
+                    "REACHES cannot be negated with NOT directly; \
+                                            wrap it: NOT (x REACHES y OVER …)",
+                ));
             }
             self.advance();
             return self.parse_reaches_tail(left);
@@ -689,16 +746,13 @@ impl Parser {
         };
         // Optional tuple variable, e.g. `OVER friends1 f EDGE (…)`. EDGE is
         // a keyword, so an identifier here is unambiguous.
-        let alias = if matches!(self.peek(), Token::Ident(_)) {
-            Some(self.expect_ident()?)
-        } else {
-            None
-        };
+        let alias =
+            if matches!(self.peek(), Token::Ident(_)) { Some(self.expect_ident()?) } else { None };
         let edge_table = match edge_table {
             TableRef::Derived { query, .. } => {
-                let name = alias.clone().ok_or_else(|| {
-                    self.unexpected("an alias for the derived edge table")
-                })?;
+                let name = alias
+                    .clone()
+                    .ok_or_else(|| self.unexpected("an alias for the derived edge table"))?;
                 TableRef::Derived { query, alias: name }
             }
             other => other,
@@ -863,11 +917,8 @@ impl Parser {
 
     fn parse_case(&mut self) -> Result<Expr> {
         self.expect_kw(Keyword::Case)?;
-        let operand = if self.check_kw(Keyword::When) {
-            None
-        } else {
-            Some(Box::new(self.parse_expr()?))
-        };
+        let operand =
+            if self.check_kw(Keyword::When) { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut branches = Vec::new();
         while self.eat_kw(Keyword::When) {
             let when = self.parse_expr()?;
@@ -886,7 +937,8 @@ impl Parser {
 
     fn parse_type_name(&mut self) -> Result<TypeName> {
         let ty = match self.peek() {
-            Token::Keyword(Keyword::Integer) | Token::Keyword(Keyword::Int)
+            Token::Keyword(Keyword::Integer)
+            | Token::Keyword(Keyword::Int)
             | Token::Keyword(Keyword::Bigint) => TypeName::Integer,
             Token::Keyword(Keyword::Double) | Token::Keyword(Keyword::Float) => TypeName::Double,
             Token::Keyword(Keyword::Varchar) | Token::Keyword(Keyword::Text) => TypeName::Varchar,
@@ -983,7 +1035,8 @@ mod tests {
 
     #[test]
     fn parses_paper_query_a4_with_cte_binding_and_two_aliases() {
-        let query = q("WITH friends1 AS (SELECT * FROM friends WHERE creationDate < '2011-01-01') \
+        let query =
+            q("WITH friends1 AS (SELECT * FROM friends WHERE creationDate < '2011-01-01') \
              SELECT firstName || ' ' || lastName AS person, \
                     CHEAPEST SUM(f: CAST(weight * 2 AS int)) AS (cost, path) \
              FROM persons \
@@ -1031,9 +1084,7 @@ mod tests {
 
     #[test]
     fn parses_unnest_with_ordinality_and_left_join() {
-        let s = select(
-            "SELECT * FROM t LEFT JOIN UNNEST(t.path) WITH ORDINALITY AS r (s, d, pos)",
-        );
+        let s = select("SELECT * FROM t LEFT JOIN UNNEST(t.path) WITH ORDINALITY AS r (s, d, pos)");
         match &s.from[0] {
             TableRef::Join { kind: JoinKind::LeftOuter, right, on: None, .. } => {
                 match right.as_ref() {
@@ -1074,8 +1125,7 @@ mod tests {
 
     #[test]
     fn parses_insert_values_and_select() {
-        let stmt =
-            parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
+        let stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')").unwrap();
         match stmt {
             Statement::Insert { table, columns, source } => {
                 assert_eq!(table, "t");
@@ -1244,9 +1294,62 @@ mod tests {
     fn explain_and_describe() {
         assert!(matches!(parse_statement("EXPLAIN SELECT 1").unwrap(), Statement::Explain(_)));
         assert!(matches!(
+            parse_statement("EXPLAIN ANALYZE SELECT 1").unwrap(),
+            Statement::ExplainAnalyze(_)
+        ));
+        assert!(matches!(
             parse_statement("DESCRIBE persons").unwrap(),
             Statement::Describe { name } if name == "persons"
         ));
+    }
+
+    #[test]
+    fn parses_set_and_show() {
+        match parse_statement("SET graph_index = off").unwrap() {
+            Statement::Set { name, value } => {
+                assert_eq!(name, "graph_index");
+                assert_eq!(value, SetValue::Ident("off".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("SET graph_index = on").unwrap() {
+            Statement::Set { value, .. } => {
+                assert_eq!(value, SetValue::Ident("on".to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("SET row_limit = 100").unwrap() {
+            Statement::Set { name, value } => {
+                assert_eq!(name, "row_limit");
+                assert_eq!(value, SetValue::Literal(Literal::Int(100)));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_statement("SET stats = TRUE").unwrap() {
+            Statement::Set { value, .. } => {
+                assert_eq!(value, SetValue::Literal(Literal::Bool(true)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("SHOW row_limit").unwrap(),
+            Statement::Show { name: Some(n) } if n == "row_limit"
+        ));
+        assert!(matches!(parse_statement("SHOW ALL").unwrap(), Statement::Show { name: None }));
+        assert!(parse_statement("SET graph_index").is_err());
+        assert!(parse_statement("SET = 1").is_err());
+        assert!(parse_statement("SHOW").is_err());
+    }
+
+    #[test]
+    fn show_and_analyze_stay_usable_as_identifiers() {
+        // SHOW and ANALYZE are contextual, not reserved: pre-existing
+        // schemas and queries using them as names keep parsing.
+        assert!(parse_statement("SELECT analyze FROM t").is_ok());
+        assert!(parse_statement("SELECT a AS analyze FROM t").is_ok());
+        assert!(parse_statement("CREATE TABLE t (show INTEGER, analyze INTEGER)").is_ok());
+        assert!(parse_statement("SELECT show FROM analyze").is_ok());
+        assert!(parse_statement("UPDATE show SET analyze = 1").is_ok());
     }
 
     #[test]

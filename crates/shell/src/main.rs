@@ -10,7 +10,7 @@
 //! Meta commands: `\help`, `\tables`, `\load-snb <sf>`, `\quit`.
 //! Statements may span lines; they run once a line ends with `;`.
 
-use gsql_core::{Database, QueryResult};
+use gsql_core::{Database, QueryResult, Session};
 use gsql_datagen::{SnbDataset, SnbParams};
 use std::io::{BufRead, Write};
 
@@ -25,10 +25,18 @@ The paper's extension is available:
   SELECT CHEAPEST SUM([e:] expr) [AS (cost, path)] ...
   WHERE x REACHES y OVER edge_table [e] EDGE (src, dst)
   ... FROM t, UNNEST(t.path) [WITH ORDINALITY] AS r
+Session statements (state persists for the whole shell session):
+  SET <option> = <value>   e.g. SET graph_index = off, SET row_limit = 10000
+  SHOW <option> | SHOW ALL
+  EXPLAIN <query>          optimized logical plan
+  EXPLAIN ANALYZE <query>  executed plan with per-operator rows and timing
 ";
 
 fn main() {
     let db = Database::new();
+    // One session for the whole interactive run: SET/SHOW state and the
+    // plan cache survive across statements.
+    let session = db.session();
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout();
     let mut buffer = String::new();
@@ -63,7 +71,7 @@ fn main() {
             continue;
         }
         let sql = std::mem::take(&mut buffer);
-        run_sql(&db, &sql);
+        run_sql(&session, &sql);
     }
 }
 
@@ -140,9 +148,9 @@ fn run_meta(db: &Database, command: &str) -> bool {
     true
 }
 
-fn run_sql(db: &Database, sql: &str) {
+fn run_sql(session: &Session<'_>, sql: &str) {
     let t0 = std::time::Instant::now();
-    match db.execute_script(sql) {
+    match session.execute_script(sql) {
         Ok(results) => {
             for r in results {
                 match r {

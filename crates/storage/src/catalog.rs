@@ -5,6 +5,7 @@ use crate::schema::Schema;
 use crate::table::Table;
 use crate::Result;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A catalog entry: the table snapshot plus a version counter.
@@ -24,15 +25,31 @@ pub struct TableEntry {
 /// A thread-safe catalog of named tables.
 ///
 /// Table names are case-insensitive (folded to lowercase internally).
+///
+/// Besides the per-table data versions, the catalog keeps a **structural
+/// (DDL) version** — bumped whenever a table is created, registered or
+/// dropped, through *any* API path. Plan caches use it to invalidate plans
+/// that embedded schema information.
 #[derive(Debug, Default)]
 pub struct Catalog {
     tables: RwLock<HashMap<String, TableEntry>>,
+    ddl_version: AtomicU64,
 }
 
 impl Catalog {
     /// An empty catalog.
     pub fn new() -> Catalog {
         Catalog::default()
+    }
+
+    /// The structural (DDL) version: increments on every table create,
+    /// register, or drop.
+    pub fn ddl_version(&self) -> u64 {
+        self.ddl_version.load(Ordering::Acquire)
+    }
+
+    fn bump_ddl_version(&self) {
+        self.ddl_version.fetch_add(1, Ordering::AcqRel);
     }
 
     /// Create a new empty table. Errors when the name is taken.
@@ -43,6 +60,8 @@ impl Catalog {
             return Err(StorageError::TableExists(name.to_string()));
         }
         tables.insert(key, TableEntry { table: Arc::new(Table::empty(schema)), version: 0 });
+        drop(tables);
+        self.bump_ddl_version();
         Ok(())
     }
 
@@ -54,6 +73,8 @@ impl Catalog {
             return Err(StorageError::TableExists(name.to_string()));
         }
         tables.insert(key, TableEntry { table: Arc::new(table), version: 0 });
+        drop(tables);
+        self.bump_ddl_version();
         Ok(())
     }
 
@@ -61,10 +82,14 @@ impl Catalog {
     pub fn drop_table(&self, name: &str) -> Result<()> {
         let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write().expect("catalog lock poisoned");
-        tables
-            .remove(&key)
-            .map(|_| ())
-            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        let removed = tables.remove(&key);
+        drop(tables);
+        if removed.is_some() {
+            self.bump_ddl_version();
+            Ok(())
+        } else {
+            Err(StorageError::TableNotFound(name.to_string()))
+        }
     }
 
     /// Snapshot of a table (cheap `Arc` clone). Errors when absent.
@@ -76,10 +101,7 @@ impl Catalog {
     pub fn entry(&self, name: &str) -> Result<TableEntry> {
         let key = name.to_ascii_lowercase();
         let tables = self.tables.read().expect("catalog lock poisoned");
-        tables
-            .get(&key)
-            .cloned()
-            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+        tables.get(&key).cloned().ok_or_else(|| StorageError::TableNotFound(name.to_string()))
     }
 
     /// True when a table with this name exists.
@@ -96,16 +118,27 @@ impl Catalog {
         names
     }
 
+    /// Replace a table's contents wholesale, bumping its version.
+    ///
+    /// Unlike [`Catalog::update`], no copy of the current contents is made:
+    /// the new table is moved in directly. This is the fast path for
+    /// operations that rebuild the whole table anyway (e.g. `UPDATE`).
+    pub fn replace(&self, name: &str, table: Table) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        let entry =
+            tables.get_mut(&key).ok_or_else(|| StorageError::TableNotFound(name.to_string()))?;
+        entry.table = Arc::new(table);
+        entry.version += 1;
+        Ok(())
+    }
+
     /// Mutate a table through a closure, bumping its version.
     ///
     /// The closure gets a mutable `Table` (copy-on-write: running queries
     /// holding the old `Arc` are unaffected). When the closure errors, the
     /// table and its version are left unchanged.
-    pub fn update<R>(
-        &self,
-        name: &str,
-        f: impl FnOnce(&mut Table) -> Result<R>,
-    ) -> Result<R> {
+    pub fn update<R>(&self, name: &str, f: impl FnOnce(&mut Table) -> Result<R>) -> Result<R> {
         let key = name.to_ascii_lowercase();
         let mut tables = self.tables.write().expect("catalog lock poisoned");
         let entry =
@@ -173,6 +206,44 @@ mod tests {
         assert!(res.is_err());
         assert_eq!(cat.entry("t").unwrap().version, 0);
         assert_eq!(cat.get("t").unwrap().row_count(), 0);
+    }
+
+    #[test]
+    fn ddl_version_counts_structural_changes_only() {
+        let cat = Catalog::new();
+        assert_eq!(cat.ddl_version(), 0);
+        cat.create_table("a", schema()).unwrap();
+        assert_eq!(cat.ddl_version(), 1);
+        cat.register_table("b", Table::empty(schema())).unwrap();
+        assert_eq!(cat.ddl_version(), 2);
+        // Data mutation does not bump the structural version.
+        cat.update("a", |t| t.append_row(vec![Value::Int(1)])).unwrap();
+        cat.replace("a", Table::empty(schema())).unwrap();
+        assert_eq!(cat.ddl_version(), 2);
+        cat.drop_table("b").unwrap();
+        assert_eq!(cat.ddl_version(), 3);
+        // Failed operations do not bump.
+        assert!(cat.drop_table("b").is_err());
+        assert!(cat.create_table("a", schema()).is_err());
+        assert_eq!(cat.ddl_version(), 3);
+    }
+
+    #[test]
+    fn replace_swaps_contents_and_bumps_version() {
+        let cat = Catalog::new();
+        cat.create_table("t", schema()).unwrap();
+        let old = cat.get("t").unwrap();
+        let mut fresh = Table::empty(schema());
+        fresh.append_row(vec![Value::Int(42)]).unwrap();
+        cat.replace("t", fresh).unwrap();
+        assert_eq!(cat.entry("t").unwrap().version, 1);
+        assert_eq!(cat.get("t").unwrap().row_count(), 1);
+        // Old snapshot untouched.
+        assert_eq!(old.row_count(), 0);
+        assert!(matches!(
+            cat.replace("missing", Table::empty(schema())),
+            Err(StorageError::TableNotFound(_))
+        ));
     }
 
     #[test]

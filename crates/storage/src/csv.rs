@@ -17,8 +17,7 @@ use std::io::{BufRead, Write};
 /// Render a table as CSV with a header row.
 pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<()> {
     let io_err = |e: std::io::Error| StorageError::Internal(format!("csv write: {e}"));
-    let header: Vec<String> =
-        table.schema().names().map(quote_field).collect();
+    let header: Vec<String> = table.schema().names().map(quote_field).collect();
     writeln!(out, "{}", header.join(",")).map_err(io_err)?;
     for row in table.rows() {
         let fields: Vec<String> = row
@@ -46,15 +45,11 @@ pub fn read_csv<R: BufRead>(schema: Schema, mut input: R) -> Result<Table> {
     let mut text = String::new();
     input.read_to_string(&mut text).map_err(io_err)?;
     let mut records = split_records(&text)?.into_iter();
-    let header_line = records
-        .next()
-        .ok_or_else(|| StorageError::Internal("csv input is empty".to_string()))?;
+    let header_line =
+        records.next().ok_or_else(|| StorageError::Internal("csv input is empty".to_string()))?;
     let header = parse_record(&header_line)?;
     if header.len() != schema.len() {
-        return Err(StorageError::ArityMismatch {
-            expected: schema.len(),
-            found: header.len(),
-        });
+        return Err(StorageError::ArityMismatch { expected: schema.len(), found: header.len() });
     }
     for ((h, _), def) in header.iter().zip(schema.columns()) {
         if !h.eq_ignore_ascii_case(&def.name) {
@@ -177,12 +172,18 @@ fn parse_field(field: &str, was_quoted: bool, ty: DataType) -> Result<Value> {
         return Ok(Value::Null);
     }
     Ok(match ty {
-        DataType::Int => Value::Int(field.trim().parse::<i64>().map_err(|_| {
-            StorageError::Internal(format!("'{field}' is not an INTEGER"))
-        })?),
-        DataType::Double => Value::Double(field.trim().parse::<f64>().map_err(|_| {
-            StorageError::Internal(format!("'{field}' is not a DOUBLE"))
-        })?),
+        DataType::Int => Value::Int(
+            field
+                .trim()
+                .parse::<i64>()
+                .map_err(|_| StorageError::Internal(format!("'{field}' is not an INTEGER")))?,
+        ),
+        DataType::Double => Value::Double(
+            field
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| StorageError::Internal(format!("'{field}' is not a DOUBLE")))?,
+        ),
         DataType::Varchar => Value::Str(field.to_string()),
         DataType::Bool => match field.trim().to_ascii_lowercase().as_str() {
             "true" | "t" | "1" => Value::Bool(true),
@@ -281,9 +282,8 @@ mod tests {
 
     #[test]
     fn type_errors_carry_position() {
-        let err =
-            from_csv_string(schema(), "id,name,score,born,ok\nabc,x,1.0,2010-01-01,true\n")
-                .unwrap_err();
+        let err = from_csv_string(schema(), "id,name,score,born,ok\nabc,x,1.0,2010-01-01,true\n")
+            .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 2") && msg.contains("'id'"), "{msg}");
     }
@@ -293,18 +293,18 @@ mod tests {
         let fields = parse_record("a,\"b,c\",\"d\"\"e\",f").unwrap();
         let texts: Vec<&str> = fields.iter().map(|(t, _)| t.as_str()).collect();
         assert_eq!(texts, vec!["a", "b,c", "d\"e", "f"]);
-        assert_eq!(fields.iter().map(|&(_, q)| q).collect::<Vec<_>>(),
-                   vec![false, true, true, false]);
+        assert_eq!(
+            fields.iter().map(|&(_, q)| q).collect::<Vec<_>>(),
+            vec![false, true, true, false]
+        );
         assert!(parse_record("\"unterminated").is_err());
     }
 
     #[test]
     fn blank_lines_skipped() {
-        let t = from_csv_string(
-            Schema::new(vec![ColumnDef::new("x", DataType::Int)]),
-            "x\n1\n\n2\n",
-        )
-        .unwrap();
+        let t =
+            from_csv_string(Schema::new(vec![ColumnDef::new("x", DataType::Int)]), "x\n1\n\n2\n")
+                .unwrap();
         assert_eq!(t.row_count(), 2);
     }
 }

@@ -122,7 +122,8 @@ mod tests {
 
     #[test]
     fn rejects_malformed_literals() {
-        for s in ["2010-3-24", "2010/03/24", "20100324", "2010-13-01", "2010-02-30", "abcd-ef-gh", ""]
+        for s in
+            ["2010-3-24", "2010/03/24", "20100324", "2010-13-01", "2010-02-30", "abcd-ef-gh", ""]
         {
             assert!(Date::parse(s).is_err(), "should reject {s:?}");
         }

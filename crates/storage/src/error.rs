@@ -62,10 +62,7 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(
-            StorageError::TableExists("t".into()).to_string(),
-            "table 't' already exists"
-        );
+        assert_eq!(StorageError::TableExists("t".into()).to_string(), "table 't' already exists");
         assert_eq!(
             StorageError::TypeMismatch { expected: "INTEGER".into(), found: "VARCHAR".into() }
                 .to_string(),

@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn display_includes_not_null() {
         let s = sample();
-        assert_eq!(
-            s.to_string(),
-            "(id INTEGER NOT NULL, firstName VARCHAR, weight DOUBLE)"
-        );
+        assert_eq!(s.to_string(), "(id INTEGER NOT NULL, firstName VARCHAR, weight DOUBLE)");
     }
 
     #[test]

@@ -179,10 +179,8 @@ impl Table {
     pub fn to_pretty_string(&self) -> String {
         let headers: Vec<String> = self.schema.names().map(str::to_string).collect();
         let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
-        let rendered: Vec<Vec<String>> = self
-            .rows()
-            .map(|row| row.iter().map(Value::to_string).collect::<Vec<_>>())
-            .collect();
+        let rendered: Vec<Vec<String>> =
+            self.rows().map(|row| row.iter().map(Value::to_string).collect::<Vec<_>>()).collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {
                 widths[i] = widths[i].max(cell.len());

@@ -51,10 +51,7 @@ impl DataType {
     /// The paper requires the four attributes to have matching types; we
     /// additionally restrict keys to equality-comparable scalar types.
     pub fn is_vertex_key(&self) -> bool {
-        matches!(
-            self,
-            DataType::Int | DataType::Varchar | DataType::Date | DataType::Bool
-        )
+        matches!(self, DataType::Int | DataType::Varchar | DataType::Date | DataType::Bool)
     }
 
     /// Whether values of `self` can be implicitly widened to `other`
@@ -126,10 +123,7 @@ mod tests {
 
     #[test]
     fn numeric_supertype_rules() {
-        assert_eq!(
-            DataType::numeric_supertype(DataType::Int, DataType::Int),
-            Some(DataType::Int)
-        );
+        assert_eq!(DataType::numeric_supertype(DataType::Int, DataType::Int), Some(DataType::Int));
         assert_eq!(
             DataType::numeric_supertype(DataType::Int, DataType::Double),
             Some(DataType::Double)

@@ -44,12 +44,7 @@ impl PartialEq for PathValue {
 
 impl fmt::Display for PathValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "[path: {} edge{}]",
-            self.rows.len(),
-            if self.rows.len() == 1 { "" } else { "s" }
-        )
+        write!(f, "[path: {} edge{}]", self.rows.len(), if self.rows.len() == 1 { "" } else { "s" })
     }
 }
 

@@ -64,5 +64,35 @@ fn main() -> gsql::Result<()> {
     for row in plan.rows() {
         println!("  {}", row[0]);
     }
+
+    // 5. Sessions: prepared statements plan once and reuse the cached
+    //    plan; a graph index makes repeated lookups skip CSR construction.
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)")?;
+    let session = db.session();
+    let stmt = session.prepare(
+        "SELECT CHEAPEST SUM(1) AS hops
+         WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+    )?;
+    for (s, d) in [(1, 3), (2, 4), (5, 1)] {
+        let t = stmt.query(&session, &[Value::Int(s), Value::Int(d)])?;
+        let hops = if t.is_empty() { "unreachable".to_string() } else { t.row(0)[0].to_string() };
+        println!("\nperson {s} -> person {d}: {hops} hop(s)");
+    }
+    let stats = session.cache_stats();
+    println!(
+        "plan cache: {} miss (the prepare), {} hits (every execution)",
+        stats.misses, stats.hits
+    );
+
+    // 6. EXPLAIN ANALYZE: the executed plan with per-operator rows/timing.
+    println!("\nEXPLAIN ANALYZE of the same query:");
+    let analyzed = session.query_with_params(
+        "EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) AS hops
+         WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+        &[Value::Int(1), Value::Int(4)],
+    )?;
+    for row in analyzed.rows() {
+        println!("  {}", row[0]);
+    }
     Ok(())
 }

@@ -58,7 +58,8 @@ fn main() -> gsql::Result<()> {
     // A graph index caches the CSR; repeated routing queries skip
     // construction entirely (the cost the paper found dominant, §4).
     db.execute("CREATE GRAPH INDEX road_graph ON roads EDGE (src, dst)")?;
-    let stmt = db.prepare(
+    let session = db.session();
+    let stmt = session.prepare(
         "SELECT CHEAPEST SUM(r: minutes) AS m
          WHERE ? REACHES ? OVER roads r EDGE (src, dst)",
     )?;
@@ -67,7 +68,7 @@ fn main() -> gsql::Result<()> {
     for i in 0..reps {
         let from = Value::Int(1 + (i * 37) % (width * height) as i64);
         let to = Value::Int(1 + (i * 91) % (width * height) as i64);
-        stmt.execute(&db, &[from, to])?;
+        stmt.execute(&session, &[from, to])?;
     }
     let with_index = t0.elapsed() / reps as u32;
     println!(

@@ -29,8 +29,12 @@ fn main() -> gsql::Result<()> {
     let n = data.num_persons as i64;
     let mut random_person = || Value::Int(rng.gen_range(1..=n));
 
+    // One session for the whole workload: each prepared query is parsed,
+    // bound and optimized once, then served from the session's plan cache.
+    let session = db.session();
+
     // LDBC SNB Interactive Q13: distance between two given persons.
-    let q13 = db.prepare(
+    let q13 = session.prepare(
         "SELECT CHEAPEST SUM(1) AS distance
          WHERE ? REACHES ? OVER friends EDGE (src, dst)",
     )?;
@@ -38,7 +42,7 @@ fn main() -> gsql::Result<()> {
     for _ in 0..5 {
         let (a, b) = (random_person(), random_person());
         let t0 = Instant::now();
-        let result = q13.execute(&db, &[a.clone(), b.clone()])?.into_table()?;
+        let result = q13.query(&session, &[a.clone(), b.clone()])?;
         let dist = if result.is_empty() {
             "unreachable".to_string()
         } else {
@@ -50,7 +54,7 @@ fn main() -> gsql::Result<()> {
     // The paper's Q14 variant: one weighted shortest path using the
     // precomputed affinity weights (cast to int for the radix queue, as in
     // appendix A.4).
-    let q14 = db.prepare(
+    let q14 = session.prepare(
         "SELECT CHEAPEST SUM(f: CAST(weight * 2 AS INTEGER)) AS (cost, path)
          WHERE ? REACHES ? OVER friends f EDGE (src, dst)",
     )?;
@@ -58,7 +62,7 @@ fn main() -> gsql::Result<()> {
     for _ in 0..3 {
         let (a, b) = (random_person(), random_person());
         let t0 = Instant::now();
-        let result = q14.execute(&db, &[a.clone(), b.clone()])?.into_table()?;
+        let result = q14.query(&session, &[a.clone(), b.clone()])?;
         if result.is_empty() {
             println!("  {a} -> {b}: unreachable  ({:?})", t0.elapsed());
         } else {

@@ -14,7 +14,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
-//! * [`Database`] — the engine entry point (from `gsql-core`);
+//! * [`Database`] — the shared engine entry point (from `gsql-core`);
+//! * [`Session`] — per-connection state: `SET`/`SHOW` settings, prepared
+//!   statements with a version-invalidated plan cache, `EXPLAIN ANALYZE`;
 //! * [`storage`] — columnar tables, values, the catalog;
 //! * [`parser`] — the SQL front-end with the paper's grammar extensions;
 //! * [`graph`] — CSR, BFS, Dijkstra + radix queue;
@@ -42,7 +44,8 @@
 //! ```
 
 pub use gsql_core::{
-    Database, Error, GraphIndexRegistry, LogicalPlan, PreparedStatement, QueryResult, Result,
+    Database, Error, ExecContext, ExecStats, GraphIndexRegistry, LogicalPlan, PlanCacheStats,
+    PreparedStatement, QueryResult, Result, Session, SessionSettings,
 };
 pub use gsql_storage::{Column, DataType, Date, PathValue, Schema, Table, Value};
 

@@ -95,8 +95,7 @@ fn a3_reachability_in_dated_subgraph() {
             &[Value::Int(933)],
         )
         .unwrap();
-    let mut names: Vec<String> =
-        t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let mut names: Vec<String> = t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
     names.sort();
     assert_eq!(names, vec!["Carmen Lepland", "Chen Wang", "Mahinda Perera"]);
 }

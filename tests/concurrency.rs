@@ -19,13 +19,16 @@ fn readers_see_consistent_snapshots_during_writes() {
     for t in 0..3 {
         let db = Arc::clone(&db);
         readers.push(std::thread::spawn(move || {
-            let stmt = db
+            // One session per reader thread: prepared once, cached plan
+            // reused across all 100 executions.
+            let session = db.session();
+            let stmt = session
                 .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
                 .unwrap();
             for _ in 0..100 {
                 // 1 always reaches 3 (the chain is never deleted).
                 let result = stmt
-                    .execute(&db, &[Value::Int(1), Value::Int(3)])
+                    .execute(&session, &[Value::Int(1), Value::Int(3)])
                     .unwrap()
                     .into_table()
                     .unwrap();

@@ -117,16 +117,11 @@ fn zero_and_negative_weights_rejected_at_runtime() {
     for bad in ["0", "-1", "w - 1"] {
         let err = db
             .query_with_params(
-                &format!(
-                    "SELECT CHEAPEST SUM(x: {bad}) WHERE ? REACHES ? OVER e x EDGE (s, d)"
-                ),
+                &format!("SELECT CHEAPEST SUM(x: {bad}) WHERE ? REACHES ? OVER e x EDGE (s, d)"),
                 &[Value::Int(1), Value::Int(2)],
             )
             .unwrap_err();
-        assert!(
-            err.to_string().contains("strictly greater than 0"),
-            "weight {bad}: {err}"
-        );
+        assert!(err.to_string().contains("strictly greater than 0"), "weight {bad}: {err}");
     }
 }
 

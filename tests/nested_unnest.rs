@@ -125,9 +125,7 @@ fn csv_export_rejects_path_columns_gracefully() {
     // PATH cannot round-trip through CSV; exporting the cost alone works.
     let db = db();
     let csv = db
-        .export_csv(
-            "SELECT CHEAPEST SUM(x: 1) AS cost WHERE 1 REACHES 3 OVER e x EDGE (s, d)",
-        )
+        .export_csv("SELECT CHEAPEST SUM(x: 1) AS cost WHERE 1 REACHES 3 OVER e x EDGE (s, d)")
         .unwrap();
     assert_eq!(csv, "cost\n2\n");
 }
@@ -136,9 +134,7 @@ fn csv_export_rejects_path_columns_gracefully() {
 fn csv_import_round_trip_feeds_graph_queries() {
     let db = Database::new();
     db.execute("CREATE TABLE g (src INTEGER, dst INTEGER, w DOUBLE)").unwrap();
-    let n = db
-        .import_csv("g", "src,dst,w\n1,2,0.5\n2,3,1.5\n1,3,9.0\n".as_bytes())
-        .unwrap();
+    let n = db.import_csv("g", "src,dst,w\n1,2,0.5\n2,3,1.5\n1,3,9.0\n".as_bytes()).unwrap();
     assert_eq!(n, 3);
     let t = db
         .query("SELECT CHEAPEST SUM(x: w) AS c WHERE 1 REACHES 3 OVER g x EDGE (src, dst)")

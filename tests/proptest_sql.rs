@@ -64,15 +64,14 @@ proptest! {
     #[test]
     fn sql_unweighted_distance_matches_model((n, edges) in graph_strategy()) {
         let db = build_db(&edges);
-        let stmt = db
+        let session = db.session();
+        let stmt = session
             .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
             .unwrap();
         for src in 1..=n.min(5) {
             for dst in 1..=n.min(5) {
                 let t = stmt
-                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
-                    .unwrap()
-                    .into_table()
+                    .query(&session, &[Value::Int(src), Value::Int(dst)])
                     .unwrap();
                 let got = if t.is_empty() { None } else { t.row(0)[0].as_int() };
                 let want = model_distance(n, &edges, src, dst, true);
@@ -85,15 +84,14 @@ proptest! {
     #[test]
     fn sql_weighted_distance_matches_model((n, edges) in graph_strategy()) {
         let db = build_db(&edges);
-        let stmt = db
+        let session = db.session();
+        let stmt = session
             .prepare("SELECT CHEAPEST SUM(x: w) WHERE ? REACHES ? OVER e x EDGE (s, d)")
             .unwrap();
         for src in 1..=n.min(4) {
             for dst in 1..=n.min(4) {
                 let t = stmt
-                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
-                    .unwrap()
-                    .into_table()
+                    .query(&session, &[Value::Int(src), Value::Int(dst)])
                     .unwrap();
                 let got = if t.is_empty() { None } else { t.row(0)[0].as_int() };
                 let want = model_distance(n, &edges, src, dst, false);
@@ -145,7 +143,8 @@ proptest! {
     #[test]
     fn sql_unnested_paths_are_valid((n, edges) in graph_strategy()) {
         let db = build_db(&edges);
-        let stmt = db
+        let session = db.session();
+        let stmt = session
             .prepare(
                 "SELECT T.cost, R.s, R.d, R.w, R.ordinality FROM (
                    SELECT CHEAPEST SUM(x: w) AS (cost, path)
@@ -159,9 +158,7 @@ proptest! {
                     continue;
                 }
                 let t = stmt
-                    .execute(&db, &[Value::Int(src), Value::Int(dst)])
-                    .unwrap()
-                    .into_table()
+                    .query(&session, &[Value::Int(src), Value::Int(dst)])
                     .unwrap();
                 if t.is_empty() {
                     continue;

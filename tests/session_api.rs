@@ -1,0 +1,375 @@
+//! The session-based execution API, end to end: prepared statements with
+//! plan caching, schema-version invalidation, `SET`/`SHOW` settings,
+//! `EXPLAIN` under index toggling, and `EXPLAIN ANALYZE` statistics.
+
+use gsql::{Database, QueryResult, Value};
+
+fn social_db() -> Database {
+    let db = Database::new();
+    db.execute_script(
+        "CREATE TABLE persons (id INTEGER NOT NULL, name VARCHAR NOT NULL);
+         INSERT INTO persons VALUES (1, 'ada'), (2, 'bob'), (3, 'cyd'), (4, 'dee');
+         CREATE TABLE friends (src INTEGER NOT NULL, dst INTEGER NOT NULL, weight INTEGER);
+         INSERT INTO friends VALUES (1, 2, 4), (2, 3, 4), (3, 4, 4), (1, 4, 20);",
+    )
+    .unwrap();
+    db
+}
+
+/// Acceptance: a parameterized `CHEAPEST SUM` query executed 100 times
+/// through a prepared session statement parses/binds/optimizes exactly
+/// once — every execution after the prepare is a plan-cache hit.
+#[test]
+fn prepared_cheapest_sum_plans_once_across_100_executions() {
+    let db = social_db();
+    let session = db.session();
+    let stmt = session
+        .prepare(
+            "SELECT CHEAPEST SUM(f: weight) AS cost \
+             WHERE ? REACHES ? OVER friends f EDGE (src, dst)",
+        )
+        .unwrap();
+    assert_eq!(session.cache_stats().misses, 1, "prepare binds exactly once");
+
+    for i in 0..100 {
+        // Alternate parameter values: same plan, different bindings.
+        let (s, d) = if i % 2 == 0 { (1, 4) } else { (2, 4) };
+        let t = stmt.query(&session, &[Value::Int(s), Value::Int(d)]).unwrap();
+        let want = if i % 2 == 0 { 12 } else { 8 };
+        assert_eq!(t.row(0)[0], Value::Int(want), "iteration {i}");
+    }
+
+    let stats = session.cache_stats();
+    assert_eq!(stats.misses, 1, "no re-bind happened");
+    assert_eq!(stats.hits, 100, "all 100 executions served from the cached plan");
+    assert_eq!(stats.invalidations, 0);
+}
+
+/// Acceptance: `SET graph_index = off` measurably changes the `EXPLAIN`
+/// plan — the edge child flips between `GraphIndex` and a plain `Scan`.
+#[test]
+fn set_graph_index_off_changes_explain_plan() {
+    let db = social_db();
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)").unwrap();
+    let session = db.session();
+    let sql = "EXPLAIN SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)";
+
+    let explain = |session: &gsql::Session<'_>| -> String {
+        let t = session.query(sql).unwrap();
+        t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect::<Vec<_>>().join("\n")
+    };
+
+    let with_index = explain(&session);
+    assert!(with_index.contains("GraphIndex gi ON friends"), "plan was:\n{with_index}");
+    assert!(!with_index.contains("Scan friends"), "plan was:\n{with_index}");
+
+    session.execute("SET graph_index = off").unwrap();
+    let without_index = explain(&session);
+    assert!(!without_index.contains("GraphIndex"), "plan was:\n{without_index}");
+    assert!(without_index.contains("Scan friends"), "plan was:\n{without_index}");
+    assert_ne!(with_index, without_index);
+
+    // Both plans execute to the same answer.
+    for setting in ["on", "off"] {
+        session.execute(&format!("SET graph_index = {setting}")).unwrap();
+        let t = session
+            .query_with_params(
+                "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+                &[Value::Int(1), Value::Int(3)],
+            )
+            .unwrap();
+        assert_eq!(t.row(0)[0], Value::Int(2), "graph_index = {setting}");
+    }
+}
+
+/// Acceptance: `EXPLAIN ANALYZE` prints per-operator row counts and wall
+/// time for a graph join query.
+#[test]
+fn explain_analyze_reports_rows_and_time_for_graph_join() {
+    let db = social_db();
+    let session = db.session();
+    let t = session
+        .query_with_params(
+            "EXPLAIN ANALYZE \
+             SELECT p1.name, p2.name, CHEAPEST SUM(1) AS d \
+             FROM persons p1, persons p2 \
+             WHERE p1.id = ? AND p2.id = ? \
+               AND p1.id REACHES p2.id OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    let text: Vec<String> = t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let full = text.join("\n");
+
+    // The rewriter must have produced a graph join, and its stats line
+    // carries both rows and timing.
+    let graph_join = text
+        .iter()
+        .find(|l| l.trim_start().starts_with("GraphJoin"))
+        .unwrap_or_else(|| panic!("no GraphJoin operator in:\n{full}"));
+    assert!(graph_join.contains("rows=1"), "line was: {graph_join}");
+    assert!(graph_join.contains("time="), "line was: {graph_join}");
+
+    // Every operator line is annotated, children indented under parents.
+    let op_lines: Vec<&String> = text.iter().filter(|l| !l.starts_with("Result:")).collect();
+    assert!(op_lines.len() >= 4, "expected a tree of operators, got:\n{full}");
+    for l in &op_lines {
+        assert!(l.contains("rows=") && l.contains("time="), "unannotated line: {l}");
+    }
+    assert!(text.iter().any(|l| l.starts_with("Result: 1 row(s)")), "{full}");
+
+    // The scans feeding the join report their true cardinalities.
+    assert!(full.contains("Scan persons"), "{full}");
+    assert!(full.contains("rows=4"), "{full}");
+}
+
+/// `EXPLAIN ANALYZE` over an indexed edge table: the edge scan is absent
+/// from the executed-operator stats because the graph came from the index.
+#[test]
+fn explain_analyze_shows_index_skipping_edge_scan() {
+    let db = social_db();
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)").unwrap();
+    let session = db.session();
+    let t = session
+        .query_with_params(
+            "EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) \
+             WHERE ? REACHES ? OVER friends EDGE (src, dst)",
+            &[Value::Int(1), Value::Int(4)],
+        )
+        .unwrap();
+    let full: Vec<String> = t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let full = full.join("\n");
+    // The planned GraphIndex node never executes as a table operator — the
+    // graph operator consumes it directly from the registry cache.
+    assert!(!full.contains("GraphIndex gi"), "{full}");
+    assert!(!full.contains("Scan friends"), "{full}");
+    assert!(full.contains("GraphSelect"), "{full}");
+}
+
+/// Plan-cache invalidation: `CREATE/DROP GRAPH INDEX` and table DDL bump
+/// the database's schema version, so cached plans are rebuilt — and the
+/// rebuilt plan reflects the new physical design.
+#[test]
+fn plan_cache_invalidates_on_graph_index_and_table_ddl() {
+    let db = social_db();
+    let session = db.session();
+    let sql = "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)";
+    let stmt = session.prepare(sql).unwrap();
+    let params = [Value::Int(1), Value::Int(4)];
+
+    stmt.query(&session, &params).unwrap();
+    assert_eq!(
+        session.cache_stats(),
+        gsql::PlanCacheStats { hits: 1, misses: 1, invalidations: 0, entries: 1 }
+    );
+
+    // CREATE GRAPH INDEX invalidates; the re-planned query now uses it.
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)").unwrap();
+    stmt.query(&session, &params).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(stats.invalidations, 1, "index creation must invalidate");
+    assert_eq!(stats.misses, 2);
+    let plan = session.plan(sql).unwrap().explain();
+    assert!(plan.contains("GraphIndex gi"), "re-planned query uses the new index:\n{plan}");
+
+    // DROP GRAPH INDEX invalidates again; plan falls back to the scan.
+    db.execute("DROP GRAPH INDEX gi").unwrap();
+    stmt.query(&session, &params).unwrap();
+    assert_eq!(session.cache_stats().invalidations, 2, "index drop must invalidate");
+    let plan = session.plan(sql).unwrap().explain();
+    assert!(!plan.contains("GraphIndex"), "{plan}");
+
+    // Unrelated DML does NOT invalidate (data freshness is handled at
+    // scan/index level, not the plan level).
+    let before = session.cache_stats();
+    db.execute("INSERT INTO friends VALUES (4, 1, 1)").unwrap();
+    stmt.query(&session, &params).unwrap();
+    let after = session.cache_stats();
+    assert_eq!(after.invalidations, before.invalidations, "DML must not invalidate plans");
+    assert_eq!(after.hits, before.hits + 1);
+
+    // Table DDL (CREATE/DROP TABLE) invalidates.
+    db.execute("CREATE TABLE scratch (x INTEGER)").unwrap();
+    stmt.query(&session, &params).unwrap();
+    assert_eq!(session.cache_stats().invalidations, 3, "CREATE TABLE must invalidate");
+    db.execute("DROP TABLE scratch").unwrap();
+    stmt.query(&session, &params).unwrap();
+    assert_eq!(session.cache_stats().invalidations, 4, "DROP TABLE must invalidate");
+}
+
+/// DDL through the raw `Catalog` API (the bulk-load path used by the data
+/// generators) must invalidate cached plans too, not only SQL statements.
+#[test]
+fn plan_cache_invalidates_on_direct_catalog_ddl() {
+    use gsql::storage::{ColumnDef, DataType, Schema, Table};
+
+    let db = social_db();
+    let session = db.session();
+    let stmt = session.prepare("SELECT id FROM persons").unwrap();
+    assert_eq!(stmt.query(&session, &[]).unwrap().row_count(), 4);
+
+    // Swap `persons` for a differently-shaped table via the Catalog API.
+    db.catalog().drop_table("persons").unwrap();
+    let mut fresh = Table::empty(Schema::new(vec![
+        ColumnDef::not_null("id", DataType::Int),
+        ColumnDef::not_null("nick", DataType::Varchar),
+    ]));
+    fresh.append_row(vec![Value::Int(9), Value::from("zed")]).unwrap();
+    db.catalog().register_table("persons", fresh).unwrap();
+
+    // The cached plan is stale; the version bump forces a re-bind against
+    // the new schema instead of executing the old plan.
+    let t = stmt.query(&session, &[]).unwrap();
+    assert_eq!(t.row_count(), 1);
+    assert_eq!(t.row(0)[0], Value::Int(9));
+    assert_eq!(session.cache_stats().invalidations, 1);
+}
+
+/// UNION preserves NOT NULL enforcement even on the columnar fast path.
+#[test]
+fn union_rejects_null_into_not_null_column() {
+    let db = Database::new();
+    db.execute_script("CREATE TABLE t (x INTEGER NOT NULL); INSERT INTO t VALUES (1), (2);")
+        .unwrap();
+    let err = db.query("SELECT x FROM t UNION ALL SELECT CAST(NULL AS INTEGER)").unwrap_err();
+    assert!(err.to_string().contains("NULL"), "{err}");
+    // The all-non-null union still works columnar end to end.
+    let ok = db.query("SELECT x FROM t UNION ALL SELECT x FROM t").unwrap();
+    assert_eq!(ok.row_count(), 4);
+}
+
+/// Execution-time settings (`row_limit`, `plan_cache_size`) do not clear
+/// the plan cache; only the planning-relevant `graph_index` does.
+#[test]
+fn only_planning_settings_clear_the_plan_cache() {
+    let db = social_db();
+    let session = db.session();
+    session.query("SELECT id FROM persons").unwrap();
+    assert_eq!(session.cache_stats().entries, 1);
+    session.execute("SET row_limit = 1000").unwrap();
+    session.execute("SET plan_cache_size = 32").unwrap();
+    assert_eq!(session.cache_stats().entries, 1, "execution knobs keep plans");
+    session.execute("SET graph_index = off").unwrap();
+    assert_eq!(session.cache_stats().entries, 0, "planning knob clears plans");
+
+    // Shrinking the capacity evicts immediately (down to the new size).
+    session.query("SELECT id FROM persons").unwrap();
+    session.query("SELECT name FROM persons").unwrap();
+    assert_eq!(session.cache_stats().entries, 2);
+    session.execute("SET plan_cache_size = 1").unwrap();
+    assert_eq!(session.cache_stats().entries, 1, "shrink evicts LRU entries");
+    session.execute("SET plan_cache_size = 0").unwrap();
+    assert_eq!(session.cache_stats().entries, 0, "size 0 frees everything");
+}
+
+/// A dropped index must not break a session that cached an indexed plan:
+/// the very next execution re-plans (version bump) and still answers.
+#[test]
+fn dropped_index_degrades_gracefully() {
+    let db = social_db();
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)").unwrap();
+    let session = db.session();
+    let sql = "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)";
+    let stmt = session.prepare(sql).unwrap();
+    // 1 -> 4 has a direct edge: one hop, with or without the index.
+    let params = [Value::Int(1), Value::Int(4)];
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(1));
+    db.execute("DROP GRAPH INDEX gi").unwrap();
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(1));
+}
+
+/// Sessions are independent: settings changed in one do not leak into
+/// another over the same database.
+#[test]
+fn sessions_have_independent_settings_and_caches() {
+    let db = social_db();
+    let a = db.session();
+    let b = db.session();
+    a.execute("SET graph_index = off").unwrap();
+    a.execute("SET row_limit = 2").unwrap();
+    assert_eq!(a.setting("graph_index").unwrap(), "off");
+    assert_eq!(b.setting("graph_index").unwrap(), "on");
+    assert!(a.query("SELECT * FROM friends").is_err(), "row limit applies in a");
+    assert_eq!(b.query("SELECT * FROM friends").unwrap().row_count(), 4, "not in b");
+    b.query("SELECT id FROM persons").unwrap();
+    // b cached both of its queries; a cached the plan of its one query
+    // (binding succeeded — only execution tripped the row limit).
+    assert_eq!(b.cache_stats().entries, 2);
+    assert_eq!(a.cache_stats().entries, 1, "caches are per session");
+}
+
+/// Two sessions on one shared database, racing from separate threads:
+/// prepared readers keep answering while a writer mutates the edge table.
+#[test]
+fn concurrent_sessions_share_one_database() {
+    let db = std::sync::Arc::new(social_db());
+    db.execute("CREATE GRAPH INDEX gi ON friends EDGE (src, dst)").unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..2 {
+        let db = std::sync::Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let session = db.session();
+            if t == 0 {
+                session.execute("SET graph_index = off").unwrap();
+            }
+            let stmt = session
+                .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)")
+                .unwrap();
+            for _ in 0..100 {
+                let r = stmt.query(&session, &[Value::Int(1), Value::Int(3)]).unwrap();
+                // The chain 1->2->3 is never touched by the writer.
+                assert_eq!(r.row(0)[0], Value::Int(2), "session {t}");
+            }
+            let stats = session.cache_stats();
+            assert_eq!(stats.hits, 100, "session {t} reused its plan");
+        }));
+    }
+
+    // Writer on the main thread: toggle an unrelated shortcut edge.
+    for _ in 0..100 {
+        match db.execute("INSERT INTO friends VALUES (2, 4, 1)").unwrap() {
+            QueryResult::Affected(1) => {}
+            other => panic!("{other:?}"),
+        }
+        db.execute("DELETE FROM friends WHERE src = 2 AND dst = 4").unwrap();
+    }
+    for h in handles {
+        h.join().expect("session thread panicked");
+    }
+}
+
+/// `SET` / `SHOW` round-trip through plain SQL execution, and unknown
+/// options fail loudly.
+#[test]
+fn set_show_statements() {
+    let db = Database::new();
+    let session = db.session();
+    assert!(matches!(session.execute("SET row_limit = 7").unwrap(), QueryResult::Ok));
+    let t = session.query("SHOW row_limit").unwrap();
+    assert_eq!(t.row(0)[0], Value::from("row_limit"));
+    assert_eq!(t.row(0)[1], Value::from("7"));
+    let all = session.query("SHOW ALL").unwrap();
+    assert!(all.row_count() >= 3);
+    assert!(session.execute("SET no_such_option = 1").is_err());
+    assert!(session.query("SHOW no_such_option").is_err());
+    // Settings live only in their session; a fresh one is pristine.
+    assert_eq!(db.session().setting("row_limit").unwrap(), "0");
+}
+
+/// `Database::prepare` (parse-only) still works and caches lazily on first
+/// session execution.
+#[test]
+fn database_prepare_binds_lazily_per_session() {
+    let db = social_db();
+    let stmt = db
+        .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER friends EDGE (src, dst)")
+        .unwrap();
+    let session = db.session();
+    assert_eq!(session.cache_stats().misses, 0, "nothing planned yet");
+    for _ in 0..3 {
+        stmt.query(&session, &[Value::Int(1), Value::Int(3)]).unwrap();
+    }
+    assert_eq!(session.cache_stats().misses, 1);
+    assert_eq!(session.cache_stats().hits, 2);
+}

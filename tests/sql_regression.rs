@@ -39,7 +39,9 @@ fn rows(t: &Arc<gsql::Table>) -> Vec<Vec<Value>> {
 fn where_and_or_not_precedence() {
     let db = setup();
     let t = db
-        .query("SELECT id FROM emp WHERE dept_id = 1 OR dept_id = 2 AND salary > 61000.0 ORDER BY id")
+        .query(
+            "SELECT id FROM emp WHERE dept_id = 1 OR dept_id = 2 AND salary > 61000.0 ORDER BY id",
+        )
         .unwrap();
     // AND binds tighter: dept 1 any salary, dept 2 only dan.
     assert_eq!(rows(&t), vec![vec![v(1)], vec![v(2)], vec![v(4)]]);
@@ -134,7 +136,9 @@ fn order_by_variants() {
 #[test]
 fn distinct_and_union() {
     let db = setup();
-    let t = db.query("SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL ORDER BY dept_id").unwrap();
+    let t = db
+        .query("SELECT DISTINCT dept_id FROM emp WHERE dept_id IS NOT NULL ORDER BY dept_id")
+        .unwrap();
     assert_eq!(rows(&t), vec![vec![v(1)], vec![v(2)]]);
     let t = db
         .query("SELECT dept_id FROM emp WHERE id = 1 UNION SELECT dept_id FROM emp WHERE id = 2")
@@ -148,9 +152,7 @@ fn union_widens_int_to_double() {
     // INT ∪ DOUBLE must yield DOUBLE on both sides (and stay queryable
     // through a derived table).
     let t = db
-        .query(
-            "SELECT x + 0.25 AS y FROM (SELECT 1 AS x UNION ALL SELECT 2.5) u ORDER BY y",
-        )
+        .query("SELECT x + 0.25 AS y FROM (SELECT 1 AS x UNION ALL SELECT 2.5) u ORDER BY y")
         .unwrap();
     assert_eq!(t.row(0)[0], Value::Double(1.25));
     assert_eq!(t.row(1)[0], Value::Double(2.75));
@@ -179,9 +181,7 @@ fn case_cast_like_between_in() {
     let t = db.query("SELECT name FROM emp WHERE name LIKE '%a%' ORDER BY name").unwrap();
     assert_eq!(rows(&t), vec![vec![s("ada")], vec![s("cat")], vec![s("dan")]]);
 
-    let t = db
-        .query("SELECT COUNT(*) FROM emp WHERE salary BETWEEN 60000.0 AND 70000.0")
-        .unwrap();
+    let t = db.query("SELECT COUNT(*) FROM emp WHERE salary BETWEEN 60000.0 AND 70000.0").unwrap();
     assert_eq!(t.row(0)[0], v(3));
 
     let t = db.query("SELECT COUNT(*) FROM emp WHERE dept_id IN (2, 3)").unwrap();
@@ -191,9 +191,8 @@ fn case_cast_like_between_in() {
 #[test]
 fn date_comparisons_and_literals() {
     let db = setup();
-    let t = db
-        .query("SELECT name FROM emp WHERE hired < DATE '2020-01-01' ORDER BY hired")
-        .unwrap();
+    let t =
+        db.query("SELECT name FROM emp WHERE hired < DATE '2020-01-01' ORDER BY hired").unwrap();
     assert_eq!(rows(&t), vec![vec![s("cat")], vec![s("ada")]]);
     // Bare-string coercion (the paper's A.3 style).
     let t = db.query("SELECT COUNT(*) FROM emp WHERE hired >= '2020-01-01'").unwrap();
@@ -314,9 +313,7 @@ fn limit_offset_pagination() {
 fn count_distinct_and_avg_distinct() {
     let db = setup();
     db.execute("INSERT INTO emp VALUES (6, 'fay', 1, 70000.0, '2022-01-01')").unwrap();
-    let t = db
-        .query("SELECT COUNT(DISTINCT dept_id), COUNT(DISTINCT salary) FROM emp")
-        .unwrap();
+    let t = db.query("SELECT COUNT(DISTINCT dept_id), COUNT(DISTINCT salary) FROM emp").unwrap();
     assert_eq!(t.row(0)[0], v(2));
     assert_eq!(t.row(0)[1], v(4)); // 95k, 70k, 60k, 62k (70k dup, NULL out)
 }
