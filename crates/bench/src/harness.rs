@@ -289,6 +289,92 @@ pub fn print_fig1b(points: &[Fig1bPoint], batch_sizes: &[usize]) {
     print!("{}", render_table(&header_refs, &body));
 }
 
+// ------------------------------------------------------- Parallel scaling
+
+/// One row of the parallel-scaling benchmark.
+#[derive(Debug, Clone)]
+pub struct ParallelScalingRow {
+    /// Scale factor.
+    pub sf: f64,
+    /// Pairs per statement (mostly distinct sources — one traversal each).
+    pub batch: usize,
+    /// Worker threads of the parallel measurement.
+    pub threads: usize,
+    /// Statement latency with `SET threads = 1` (exact sequential path).
+    pub sequential: Duration,
+    /// Statement latency with `SET threads = <threads>`.
+    pub parallel: Duration,
+}
+
+impl ParallelScalingRow {
+    /// Sequential / parallel wall-clock ratio.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.as_secs_f64() / self.parallel.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Average latency of one SQL statement executed `reps` times in a session
+/// with `SET threads = n`.
+fn measure_statement_with_threads(
+    db: &Database,
+    sql: &str,
+    reps: usize,
+    threads: usize,
+) -> Duration {
+    let session = db.session();
+    session.set("threads", &threads.to_string()).expect("valid threads setting");
+    let stmt = session.prepare(sql).expect("benchmark query must parse");
+    // One warm-up outside the measurement.
+    stmt.execute(&session, &[]).expect("benchmark query must execute");
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        stmt.execute(&session, &[]).expect("benchmark query must execute");
+    }
+    t0.elapsed() / reps.max(1) as u32
+}
+
+/// The many-source batched shortest-path benchmark: one statement holding
+/// `batch` random pairs (distinct sources ⇒ independent traversals), run
+/// with `SET threads = 1` versus `SET threads = <threads>`. This is the
+/// workload the source-parallel runtime targets; on a multi-core machine
+/// the speedup approaches the thread count.
+pub fn run_parallel_scaling(
+    cfg: &BenchConfig,
+    batch: usize,
+    threads: usize,
+) -> Vec<ParallelScalingRow> {
+    let mut rows = Vec::new();
+    for &sf in &cfg.sfs {
+        let d = load_dataset(sf, cfg.seed);
+        let pairs = sample_pairs(batch, d.num_persons, cfg.seed ^ 0x9a11);
+        let sql = queries::batched_q13(&pairs);
+        let reps = cfg.reps.clamp(1, 25);
+        let sequential = measure_statement_with_threads(&d.db, &sql, reps, 1);
+        let parallel = measure_statement_with_threads(&d.db, &sql, reps, threads);
+        rows.push(ParallelScalingRow { sf, batch, threads, sequential, parallel });
+    }
+    rows
+}
+
+/// Print the parallel-scaling benchmark.
+pub fn print_parallel_scaling(rows: &[ParallelScalingRow]) {
+    println!("Parallel scaling: many-source batched Q13, SET threads = 1 vs N");
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.sf),
+                format!("{}", r.batch),
+                fmt_duration(r.sequential),
+                format!("{}", r.threads),
+                fmt_duration(r.parallel),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["SF", "batch", "threads=1", "N", "threads=N", "speedup"], &body));
+}
+
 // ---------------------------------------------------------------- Ablations
 
 /// One row of the baseline ablation.
@@ -434,6 +520,30 @@ mod tests {
         assert!(ab[0].seminaive > Duration::ZERO);
         let ai = run_ablation_graph_index(&cfg);
         assert!(ai[0].with_index <= ai[0].without_index * 50);
+        let ps = run_parallel_scaling(&cfg, 8, 4);
+        assert_eq!(ps.len(), 1);
+        assert!(ps[0].sequential > Duration::ZERO && ps[0].parallel > Duration::ZERO);
+        assert!(ps[0].speedup() > 0.0);
+    }
+
+    /// The batched statement must return identical result sets under
+    /// `threads = 1` and `threads = 8` (the engine's determinism contract,
+    /// checked here at the harness level too).
+    #[test]
+    fn batched_results_identical_across_threads() {
+        let d = load_dataset(0.01, 99);
+        let pairs = sample_pairs(16, d.num_persons, 77);
+        let sql = queries::batched_q13(&pairs);
+        let s1 = d.db.session();
+        s1.set("threads", "1").unwrap();
+        let seq = s1.query(&sql).unwrap();
+        let s8 = d.db.session();
+        s8.set("threads", "8").unwrap();
+        let par = s8.query(&sql).unwrap();
+        assert_eq!(seq.row_count(), par.row_count());
+        for i in 0..seq.row_count() {
+            assert_eq!(seq.row(i), par.row(i), "row {i}");
+        }
     }
 
     #[test]

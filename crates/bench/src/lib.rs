@@ -14,7 +14,9 @@
 //! * `ablation_baselines` — native operator vs the §1 "customary" SQL
 //!   strategies;
 //! * `ablation_graph_index` — per-query graph construction vs the §6
-//!   graph index.
+//!   graph index;
+//! * `parallel_scaling` — many-source batched Q13 with `SET threads = 1`
+//!   vs `SET threads = N` (also takes `--batch` and `--threads`).
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

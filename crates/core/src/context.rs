@@ -9,8 +9,8 @@
 use crate::error::{bind_err, Error};
 use crate::graph_index::GraphIndexRegistry;
 use gsql_storage::{Catalog, Value};
-use std::cell::RefCell;
 use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::Duration;
 
 type Result<T> = std::result::Result<T, Error>;
@@ -31,17 +31,29 @@ pub struct SessionSettings {
     /// Capacity of the session's plan cache (`SET plan_cache_size = n`;
     /// `0` disables caching). Default 64.
     pub plan_cache_size: usize,
+    /// Degree of parallelism for execution (`SET threads = n`, n ≥ 1).
+    /// Source-parallel graph traversals, the parallel CSR build and the
+    /// row-parallel operators (filter, hash join, distinct) all use this
+    /// width; `1` takes the exact sequential code path. Default: the
+    /// `GSQL_THREADS` environment variable when set, otherwise the number
+    /// of available hardware threads.
+    pub threads: usize,
 }
 
 impl Default for SessionSettings {
     fn default() -> SessionSettings {
-        SessionSettings { graph_index: true, row_limit: None, plan_cache_size: 64 }
+        SessionSettings {
+            graph_index: true,
+            row_limit: None,
+            plan_cache_size: 64,
+            threads: gsql_parallel::default_threads(),
+        }
     }
 }
 
 impl SessionSettings {
     /// All option names, in `SHOW ALL` order.
-    pub const NAMES: [&'static str; 3] = ["graph_index", "plan_cache_size", "row_limit"];
+    pub const NAMES: [&'static str; 4] = ["graph_index", "plan_cache_size", "row_limit", "threads"];
 
     /// Set an option from its SQL textual value. Errors on unknown options
     /// or unparsable values.
@@ -54,6 +66,22 @@ impl SessionSettings {
                 self.row_limit = if n == 0 { None } else { Some(n) };
             }
             "plan_cache_size" => self.plan_cache_size = parse_u64(name, value)? as usize,
+            "threads" => {
+                let n = parse_u64(name, value)?;
+                if n == 0 {
+                    return Err(bind_err!(
+                        "setting 'threads' expects a positive integer (got 0); \
+                         use 1 for sequential execution"
+                    ));
+                }
+                if n > gsql_parallel::MAX_THREADS as u64 {
+                    return Err(bind_err!(
+                        "setting 'threads' is capped at {} (got {n})",
+                        gsql_parallel::MAX_THREADS
+                    ));
+                }
+                self.threads = n as usize;
+            }
             _ => return Err(bind_err!("unknown setting '{name}'")),
         }
         Ok(())
@@ -66,6 +94,7 @@ impl SessionSettings {
             "graph_index" => Ok(render_bool(self.graph_index)),
             "row_limit" => Ok(self.row_limit.unwrap_or(0).to_string()),
             "plan_cache_size" => Ok(self.plan_cache_size.to_string()),
+            "threads" => Ok(self.threads.to_string()),
             _ => Err(bind_err!("unknown setting '{name}'")),
         }
     }
@@ -111,6 +140,10 @@ pub struct OpStats {
 /// Per-operator statistics of one executed statement, in execution
 /// (pre-)order. Operators that were skipped at runtime — e.g. an edge-table
 /// scan satisfied by a graph index — do not appear.
+///
+/// The collector lives behind a [`Mutex`] in [`ExecContext`], so operator
+/// bodies may run work on a pool of threads while the (single-threaded)
+/// plan walk records begin/finish events.
 #[derive(Debug, Clone, Default)]
 pub struct ExecStats {
     /// One entry per executed operator.
@@ -170,7 +203,7 @@ pub struct ExecContext<'a> {
     params: &'a [Value],
     indexes: Option<&'a GraphIndexRegistry>,
     settings: SessionSettings,
-    stats: Option<RefCell<ExecStats>>,
+    stats: Option<Mutex<ExecStats>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -191,7 +224,7 @@ impl<'a> ExecContext<'a> {
 
     /// Enable per-operator statistics collection (builder style).
     pub fn with_stats(mut self) -> ExecContext<'a> {
-        self.stats = Some(RefCell::new(ExecStats::default()));
+        self.stats = Some(Mutex::new(ExecStats::default()));
         self
     }
 
@@ -220,14 +253,22 @@ impl<'a> ExecContext<'a> {
         &self.settings
     }
 
+    /// The degree of parallelism for this statement's execution.
+    pub fn threads(&self) -> usize {
+        self.settings.threads.max(1)
+    }
+
     /// The statistics collector, when enabled.
-    pub(crate) fn stats_cell(&self) -> Option<&RefCell<ExecStats>> {
+    pub(crate) fn stats_cell(&self) -> Option<&Mutex<ExecStats>> {
         self.stats.as_ref()
     }
 
     /// Extract the collected statistics (empty if collection was off).
     pub fn take_stats(&self) -> ExecStats {
-        self.stats.as_ref().map(|s| s.take()).unwrap_or_default()
+        self.stats
+            .as_ref()
+            .map(|s| std::mem::take(&mut *s.lock().expect("stats lock")))
+            .unwrap_or_default()
     }
 
     /// Enforce the session row limit on one operator's output. The label is
@@ -272,6 +313,20 @@ mod tests {
 
         s.set("plan_cache_size", "8").unwrap();
         assert_eq!(s.plan_cache_size, 8);
+
+        assert!(s.threads >= 1, "default threads must be positive");
+        s.set("threads", "4").unwrap();
+        assert_eq!(s.threads, 4);
+        assert_eq!(s.get("threads").unwrap(), "4");
+        s.set("THREADS", "1").unwrap();
+        assert_eq!(s.threads, 1);
+        let err = s.set("threads", "0").unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        let err = s.set("threads", "many").unwrap_err();
+        assert!(err.to_string().contains("non-negative integer"), "{err}");
+        let err = s.set("threads", "9999999").unwrap_err();
+        assert!(err.to_string().contains("capped"), "{err}");
+        assert_eq!(s.threads, 1, "failed sets leave the value unchanged");
 
         assert!(s.set("nope", "1").is_err());
         assert!(s.get("nope").is_err());

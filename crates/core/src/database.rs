@@ -198,8 +198,9 @@ impl Database {
         table: &str,
         src_col: &str,
         dst_col: &str,
+        threads: usize,
     ) -> Result<QueryResult> {
-        self.indexes.create_index(&self.catalog, name, table, src_col, dst_col)?;
+        self.indexes.create_index(&self.catalog, name, table, src_col, dst_col, threads)?;
         Ok(QueryResult::Ok)
     }
 

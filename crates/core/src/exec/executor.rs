@@ -6,17 +6,26 @@
 //! path row-references zero-copy.
 //!
 //! The executor is driven by an [`ExecContext`]: catalog, `?` parameters,
-//! graph indexes, session settings (row-limit guard, graph-index flag) and
-//! — for `EXPLAIN ANALYZE` — a per-operator statistics collector.
+//! graph indexes, session settings (row-limit guard, graph-index flag,
+//! degree of parallelism) and — for `EXPLAIN ANALYZE` — a thread-safe
+//! per-operator statistics collector.
+//!
+//! The plan walk itself is single-threaded; **inside** the data-parallel
+//! operators (filter, hash join, distinct, graph traversals) work fans out
+//! over a scoped pool of `threads` workers and merges back in input order,
+//! so results are bit-for-bit identical to `threads = 1`.
 
 use crate::context::ExecContext;
 use crate::error::{exec_err, Error};
 use crate::exec::expression::{eval, eval_const, eval_filter_indices, eval_to_column};
 use crate::exec::{aggregate, graph_op, join, unnest};
 use crate::plan::{BoundExpr, LogicalPlan, SortKey};
+use gsql_parallel::Pool;
 use gsql_storage::{Column, Table, Value};
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -51,13 +60,13 @@ impl<'a> Executor<'a> {
             None => self.execute_inner(plan)?,
             Some(cell) => {
                 let depth = self.depth.get();
-                let idx = cell.borrow_mut().begin(plan.node_label(), depth);
+                let idx = cell.lock().expect("stats lock").begin(plan.node_label(), depth);
                 self.depth.set(depth + 1);
                 let t0 = Instant::now();
                 let result = self.execute_inner(plan);
                 self.depth.set(depth);
                 if let Ok(t) = &result {
-                    cell.borrow_mut().finish(idx, t.row_count(), t0.elapsed());
+                    cell.lock().expect("stats lock").finish(idx, t.row_count(), t0.elapsed());
                 }
                 result?
             }
@@ -93,7 +102,7 @@ impl<'a> Executor<'a> {
             }
             LogicalPlan::Filter { input, predicate } => {
                 let t = self.execute(input)?;
-                let keep = eval_filter_indices(predicate, &t, params)?;
+                let keep = eval_filter_indices(predicate, &t, params, self.ctx.threads())?;
                 if keep.len() == t.row_count() {
                     return Ok(t); // nothing filtered: reuse the snapshot
                 }
@@ -111,7 +120,7 @@ impl<'a> Executor<'a> {
             LogicalPlan::Join { left, right, kind, on, schema } => {
                 let l = self.execute(left)?;
                 let r = self.execute(right)?;
-                join::execute_join(&l, &r, *kind, on.as_ref(), schema, params)
+                join::execute_join(&l, &r, *kind, on.as_ref(), schema, params, self.ctx.threads())
             }
             LogicalPlan::GraphSelect { .. } | LogicalPlan::GraphJoin { .. } => {
                 graph_op::execute(self, plan)
@@ -132,12 +141,11 @@ impl<'a> Executor<'a> {
                     Some(l) => (start + l).min(n),
                     None => n,
                 };
-                let indices: Vec<usize> = (start..end).collect();
-                Ok(Arc::new(t.take(&indices)))
+                Ok(Arc::new(t.slice_rows(start..end)))
             }
             LogicalPlan::Distinct { input } => {
                 let t = self.execute(input)?;
-                Ok(Arc::new(distinct_table(&t)?))
+                Ok(Arc::new(distinct_table(&t, self.ctx.threads())?))
             }
             LogicalPlan::Union { left, right, all } => {
                 let l = self.execute(left)?;
@@ -175,16 +183,50 @@ pub fn sort_table(table: &Table, keys: &[SortKey], params: &[Value]) -> Result<T
     Ok(table.take(&order))
 }
 
-/// Remove duplicate rows (first occurrence wins, order preserved).
-pub fn distinct_table(table: &Table) -> Result<Table> {
+/// Hash one row cell-by-cell into a single `u64` — no per-row key vector is
+/// allocated. Uses the deterministic (fixed-key) [`DefaultHasher`] so the
+/// parallel pre-hash pass produces the same digests on every thread.
+fn hash_row(table: &Table, row: usize) -> u64 {
     use gsql_storage::value::HashableValue;
-    let mut seen: HashSet<Vec<HashableValue>> = HashSet::new();
+    let mut h = DefaultHasher::new();
+    for col in table.columns() {
+        HashableValue(col.get(row)).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Cell-wise row equality under SQL grouping semantics (NULL == NULL,
+/// `Int(1)` == `Double(1.0)` — the [`HashableValue`] contract), without
+/// materializing either row.
+fn rows_equal(table: &Table, a: usize, b: usize) -> bool {
+    use gsql_storage::value::HashableValue;
+    table.columns().iter().all(|c| HashableValue(c.get(a)) == HashableValue(c.get(b)))
+}
+
+/// Remove duplicate rows (first occurrence wins, order preserved).
+///
+/// Rows are hashed incrementally into one `u64` digest per row (no
+/// per-row `Vec` of values); with `threads > 1` the digest pass — the bulk
+/// of the work — runs chunk-parallel, and the first-wins merge stays
+/// sequential so the surviving rows are identical to a sequential scan.
+/// Digest collisions are resolved by cell-wise comparison.
+pub fn distinct_table(table: &Table, threads: usize) -> Result<Table> {
+    let n = table.row_count();
+    let hashes: Vec<u64> = Pool::new(threads)
+        .map_chunks(n, |range| range.map(|i| hash_row(table, i)).collect::<Vec<u64>>())
+        .into_iter()
+        .flatten()
+        .collect();
+    // hash -> indices of kept rows with that digest (usually one).
+    let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(n);
     let mut keep = Vec::new();
-    for i in 0..table.row_count() {
-        let key: Vec<HashableValue> = table.row(i).into_iter().map(HashableValue).collect();
-        if seen.insert(key) {
-            keep.push(i);
+    for (i, &digest) in hashes.iter().enumerate() {
+        let candidates = seen.entry(digest).or_default();
+        if candidates.iter().any(|&j| rows_equal(table, i, j)) {
+            continue;
         }
+        candidates.push(i);
+        keep.push(i);
     }
     Ok(table.take(&keep))
 }
@@ -232,4 +274,64 @@ pub fn eval_row_exprs(
     params: &[Value],
 ) -> Result<Vec<Value>> {
     exprs.iter().map(|e| eval(e, table, row, params)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::{ColumnDef, DataType, Schema};
+
+    fn mixed_table(rows: usize) -> Table {
+        let mut t = Table::empty(Schema::new(vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("b", DataType::Varchar),
+        ]));
+        for i in 0..rows {
+            let a = if i % 13 == 0 { Value::Null } else { Value::Int((i % 7) as i64) };
+            t.append_row(vec![a, Value::from(format!("s{}", i % 5))]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn distinct_first_occurrence_wins_in_order() {
+        let t = mixed_table(200);
+        let d = distinct_table(&t, 1).unwrap();
+        // 7 ints + NULL on a, 5 strings on b — at most 40 combinations, and
+        // the kept rows must appear in first-seen order.
+        assert!(d.row_count() <= 40);
+        let mut seen_rows: Vec<Vec<Value>> = Vec::new();
+        for i in 0..d.row_count() {
+            let row = d.row(i);
+            assert!(!seen_rows.contains(&row), "row {i} duplicated");
+            seen_rows.push(row);
+        }
+        // First row of the input survives as the first output row.
+        assert_eq!(d.row(0), t.row(0));
+    }
+
+    #[test]
+    fn distinct_groups_int_and_double_like_hashable_value() {
+        // Int(1) and Double(1.0) compare equal under grouping semantics.
+        let mut t = Table::empty(Schema::new(vec![ColumnDef::new("x", DataType::Double)]));
+        t.append_row(vec![Value::Int(1)]).unwrap();
+        t.append_row(vec![Value::Double(1.0)]).unwrap();
+        t.append_row(vec![Value::Null]).unwrap();
+        t.append_row(vec![Value::Null]).unwrap();
+        let d = distinct_table(&t, 1).unwrap();
+        assert_eq!(d.row_count(), 2);
+    }
+
+    #[test]
+    fn distinct_parallel_matches_sequential() {
+        let t = mixed_table(3000);
+        let seq = distinct_table(&t, 1).unwrap();
+        for threads in [2, 8] {
+            let par = distinct_table(&t, threads).unwrap();
+            assert_eq!(par.row_count(), seq.row_count(), "threads {threads}");
+            for i in 0..seq.row_count() {
+                assert_eq!(par.row(i), seq.row(i), "threads {threads} row {i}");
+            }
+        }
+    }
 }

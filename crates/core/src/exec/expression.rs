@@ -376,21 +376,35 @@ fn vectorized_arith(col: Column, op: BinaryOp, k: Value, col_left: bool) -> Resu
 
 /// Evaluate a predicate over every row, returning the indices where it is
 /// true (NULL and false are dropped — SQL filter semantics).
+///
+/// With `threads > 1` the row-at-a-time fallback evaluates contiguous row
+/// chunks in parallel and concatenates the surviving indices in chunk
+/// order, so the result is identical to the sequential scan (a sequential
+/// scan reports the error of the earliest failing row; the parallel path
+/// surfaces the earliest failing *chunk*'s error, which is the same shape
+/// of error on the same predicate).
 pub fn eval_filter_indices(
     predicate: &BoundExpr,
     table: &Table,
     params: &[Value],
+    threads: usize,
 ) -> Result<Vec<usize>> {
     if let Some(mask) = predicate_mask(predicate, table, params)? {
         return Ok(mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect());
     }
-    let mut keep = Vec::new();
-    for row in 0..table.row_count() {
-        if eval(predicate, table, row, params)? == Value::Bool(true) {
-            keep.push(row);
-        }
-    }
-    Ok(keep)
+    let chunks = gsql_parallel::Pool::new(threads).try_map_chunks(
+        table.row_count(),
+        |range| -> Result<Vec<usize>> {
+            let mut keep = Vec::new();
+            for row in range {
+                if eval(predicate, table, row, params)? == Value::Bool(true) {
+                    keep.push(row);
+                }
+            }
+            Ok(keep)
+        },
+    )?;
+    Ok(chunks.into_iter().flatten().collect())
 }
 
 /// Column-at-a-time filter evaluation for `column ⋈ constant` comparisons
@@ -1010,7 +1024,7 @@ mod tests {
             ),
         ];
         for e in cases {
-            let fast = eval_filter_indices(&e, &t, &[]).unwrap();
+            let fast = eval_filter_indices(&e, &t, &[], 1).unwrap();
             let mut slow = Vec::new();
             for row in 0..t.row_count() {
                 if eval(&e, &t, row, &[]).unwrap() == Value::Bool(true) {
@@ -1025,7 +1039,7 @@ mod tests {
     fn filter_mask_null_constant_matches_scalar() {
         let t = numbers_table();
         let e = binary(col_ref(0, DataType::Int), BinaryOp::Eq, lit(Value::Null));
-        assert!(eval_filter_indices(&e, &t, &[]).unwrap().is_empty());
+        assert!(eval_filter_indices(&e, &t, &[], 1).unwrap().is_empty());
     }
 
     #[test]
@@ -1040,6 +1054,6 @@ mod tests {
             BinaryOp::Lt,
             lit(Value::Date(Date::parse("2011-01-01").unwrap())),
         );
-        assert_eq!(eval_filter_indices(&e, &t, &[]).unwrap(), vec![0, 1]);
+        assert_eq!(eval_filter_indices(&e, &t, &[], 1).unwrap(), vec![0, 1]);
     }
 }

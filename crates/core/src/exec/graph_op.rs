@@ -53,6 +53,10 @@ pub struct MaterializedGraph {
     /// much as the forward CSR, so it is only materialized for graphs that
     /// outlive one query (graph indices).
     reverse: std::sync::OnceLock<Csr>,
+    /// Degree of parallelism the graph was built with; reused for the lazy
+    /// reverse CSR (parallel construction is bit-identical to sequential,
+    /// so this only affects speed).
+    build_threads: usize,
 }
 
 impl MaterializedGraph {
@@ -77,16 +81,30 @@ impl MaterializedGraph {
     /// The reverse CSR, built on first use and cached for the graph's
     /// lifetime.
     pub fn reverse(&self) -> &Csr {
-        self.reverse.get_or_init(|| gsql_graph::reverse_csr(&self.csr))
+        self.reverse
+            .get_or_init(|| gsql_graph::reverse_csr_with_threads(&self.csr, self.build_threads))
     }
+}
+
+/// [`build_graph_with_threads`] with the sequential build.
+pub fn build_graph(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Result<MaterializedGraph> {
+    build_graph_with_threads(edges, src_key, dst_key, 1)
 }
 
 /// Build a [`MaterializedGraph`] from a materialized edge table.
 ///
 /// This is the construction cost that the paper's evaluation shows
 /// dominating single-pair query latency (§4) and that batching (Fig. 1b)
-/// and graph indices (§6) amortize.
-pub fn build_graph(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Result<MaterializedGraph> {
+/// and graph indices (§6) amortize. The CSR's counting sort + prefix sum
+/// run over `threads` workers (bit-identical to sequential); the vertex
+/// dictionary stays sequential (dense ids are assigned in first-seen
+/// order).
+pub fn build_graph_with_threads(
+    edges: Arc<Table>,
+    src_key: usize,
+    dst_key: usize,
+    threads: usize,
+) -> Result<MaterializedGraph> {
     // Exclude edges with NULL endpoints so the snapshot's row ids equal the
     // CSR's edge-row ids.
     let src_col = edges.column(src_key);
@@ -119,7 +137,8 @@ pub fn build_graph(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Result<
         src_ids.push(sid);
         dst_ids.push(did);
     }
-    let csr = Csr::from_edges(dict.len() as u32, &src_ids, &dst_ids).map_err(Error::Graph)?;
+    let csr = Csr::from_edges_with_threads(dict.len() as u32, &src_ids, &dst_ids, threads)
+        .map_err(Error::Graph)?;
     Ok(MaterializedGraph {
         edges,
         csr,
@@ -127,6 +146,7 @@ pub fn build_graph(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Result<
         src_key,
         dst_key,
         reverse: std::sync::OnceLock::new(),
+        build_threads: threads.max(1),
     })
 }
 
@@ -220,14 +240,17 @@ impl SpecResults {
 /// `from_index` marks graphs that outlive the query (graph indices); those
 /// may use the bidirectional-BFS fast path for single-pair unweighted
 /// requests, amortizing the reverse-CSR construction across queries.
+/// `threads` spreads the distinct-source traversals over a worker pool
+/// (results merged in input order — identical to sequential).
 fn run_specs(
     graph: &MaterializedGraph,
     pairs: &[(u32, u32)],
     specs: &[CheapestSpec],
     params: &[Value],
     from_index: bool,
+    threads: usize,
 ) -> Result<(Vec<bool>, Vec<SpecResults>)> {
-    let computer = BatchComputer::new(&graph.csr);
+    let computer = BatchComputer::new(&graph.csr).with_threads(threads);
     let bidir_eligible = from_index && pairs.len() == 1;
     if specs.is_empty() {
         if bidir_eligible {
@@ -314,7 +337,7 @@ fn obtain_graph(
 ) -> Result<(Arc<MaterializedGraph>, bool)> {
     let ctx = ex.ctx();
     if let (LogicalPlan::IndexedGraph { index, .. }, Some(registry)) = (edge, ctx.indexes()) {
-        if let Some(graph) = registry.graph_by_name(ctx.catalog(), index)? {
+        if let Some(graph) = registry.graph_by_name(ctx.catalog(), index, ctx.threads())? {
             return Ok((graph, true));
         }
         // Index dropped since planning: fall through to the scan fallback
@@ -323,14 +346,21 @@ fn obtain_graph(
     if let (LogicalPlan::Scan { table, schema }, Some(registry)) = (edge, ctx.indexes()) {
         let src_name = &schema.column(src_key).name;
         let dst_name = &schema.column(dst_key).name;
-        if let Some(graph) =
-            registry.lookup(ctx.catalog(), table, src_name, dst_name, src_key, dst_key)?
-        {
+        if let Some(graph) = registry.lookup(
+            ctx.catalog(),
+            table,
+            src_name,
+            dst_name,
+            src_key,
+            dst_key,
+            ctx.threads(),
+        )? {
             return Ok((graph, true));
         }
     }
     let edges = ex.execute(edge)?;
-    Ok((Arc::new(build_graph(edges, src_key, dst_key)?), false))
+    let threads = ctx.threads();
+    Ok((Arc::new(build_graph_with_threads(edges, src_key, dst_key, threads)?), false))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -365,7 +395,7 @@ fn execute_graph_select(
     }
 
     let (reachable, spec_results) =
-        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index)?;
+        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?;
 
     let kept: Vec<usize> = (0..pairs.len()).filter(|&i| reachable[i]).collect();
     let kept_input_rows: Vec<usize> = kept.iter().map(|&i| candidates[i]).collect();
@@ -425,7 +455,7 @@ fn execute_graph_join(
         }
     }
     let (reachable, spec_results) =
-        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index)?;
+        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?;
     let pair_index: HashMap<(u32, u32), usize> =
         pairs.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
 

@@ -1,8 +1,15 @@
 //! Join execution: hash join for equi-conditions, nested loop otherwise.
+//!
+//! The hash join parallelizes over row partitions: build-side keys are
+//! evaluated chunk-parallel before the (cheap, sequential) table insert,
+//! and the probe side is partitioned into contiguous left-row chunks whose
+//! match lists concatenate in chunk order — the output pair list is
+//! identical to a sequential probe.
 
 use crate::error::{exec_err, Error};
 use crate::exec::expression::{eval, eval_row, PairRow};
 use crate::plan::{BinaryOp, BoundExpr, JoinKind, PlanSchema};
+use gsql_parallel::Pool;
 use gsql_storage::value::HashableValue;
 use gsql_storage::{Table, Value};
 use std::collections::HashMap;
@@ -10,7 +17,8 @@ use std::sync::Arc;
 
 type Result<T> = std::result::Result<T, Error>;
 
-/// Execute a join between two materialized inputs.
+/// Execute a join between two materialized inputs over `threads` workers
+/// (`1` = sequential).
 pub fn execute_join(
     left: &Table,
     right: &Table,
@@ -18,6 +26,7 @@ pub fn execute_join(
     on: Option<&BoundExpr>,
     schema: &PlanSchema,
     params: &[Value],
+    threads: usize,
 ) -> Result<Arc<Table>> {
     let n_left = left.schema().len();
     let mut pairs: Vec<(usize, Option<usize>)> = Vec::new();
@@ -36,10 +45,21 @@ pub fn execute_join(
         }
         Some(cond) => {
             let (equi, residual) = split_equi_keys(cond, n_left);
+            let pool = Pool::new(threads);
             if equi.is_empty() {
-                nested_loop(left, right, kind, cond, n_left, params, &mut pairs)?;
+                nested_loop(left, right, kind, cond, n_left, params, &pool, &mut pairs)?;
             } else {
-                hash_join(left, right, kind, &equi, residual.as_ref(), n_left, params, &mut pairs)?;
+                hash_join(
+                    left,
+                    right,
+                    kind,
+                    &equi,
+                    residual.as_ref(),
+                    n_left,
+                    params,
+                    &pool,
+                    &mut pairs,
+                )?;
             }
         }
     }
@@ -118,6 +138,26 @@ fn flatten_and(e: &BoundExpr, out: &mut Vec<BoundExpr>) {
     }
 }
 
+/// Evaluate one side's equi-key row: `None` when any key cell is NULL
+/// (NULL keys never match).
+fn key_of(
+    keys: &[(BoundExpr, BoundExpr)],
+    pick_right: bool,
+    table: &Table,
+    row: usize,
+    params: &[Value],
+) -> Result<Option<Vec<HashableValue>>> {
+    let mut key = Vec::with_capacity(keys.len());
+    for (lk, rk) in keys {
+        let v = eval(if pick_right { rk } else { lk }, table, row, params)?;
+        if v.is_null() {
+            return Ok(None);
+        }
+        key.push(HashableValue(v));
+    }
+    Ok(Some(key))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn hash_join(
     left: &Table,
@@ -127,58 +167,69 @@ fn hash_join(
     residual: Option<&BoundExpr>,
     n_left: usize,
     params: &[Value],
+    pool: &Pool,
     pairs: &mut Vec<(usize, Option<usize>)>,
 ) -> Result<()> {
-    // Build on the right input.
-    let mut ht: HashMap<Vec<HashableValue>, Vec<usize>> = HashMap::new();
-    'rows: for j in 0..right.row_count() {
-        let mut key = Vec::with_capacity(equi.len());
-        for (_, rk) in equi {
-            let v = eval(rk, right, j, params)?;
-            if v.is_null() {
-                continue 'rows; // NULL keys never match
-            }
-            key.push(HashableValue(v));
+    // Build phase: key evaluation — the expression-heavy part — runs
+    // chunk-parallel; the table insert stays sequential in row order, so
+    // every candidate list is ordered by right row exactly as a sequential
+    // build would produce.
+    let build_keys: Vec<Option<Vec<HashableValue>>> = pool
+        .try_map_chunks(right.row_count(), |range| -> Result<Vec<Option<Vec<HashableValue>>>> {
+            range.map(|j| key_of(equi, true, right, j, params)).collect()
+        })?
+        .into_iter()
+        .flatten()
+        .collect();
+    let mut ht: HashMap<&[HashableValue], Vec<usize>> = HashMap::new();
+    for (j, key) in build_keys.iter().enumerate() {
+        if let Some(key) = key {
+            ht.entry(key.as_slice()).or_default().push(j);
         }
-        ht.entry(key).or_default().push(j);
     }
-    for i in 0..left.row_count() {
-        let mut key = Vec::with_capacity(equi.len());
-        let mut null_key = false;
-        for (lk, _) in equi {
-            let v = eval(lk, left, i, params)?;
-            if v.is_null() {
-                null_key = true;
-                break;
-            }
-            key.push(HashableValue(v));
-        }
-        let mut matched = false;
-        if !null_key {
-            if let Some(candidates) = ht.get(&key) {
-                for &j in candidates {
-                    let ok = match residual {
-                        None => true,
-                        Some(res) => {
-                            let ctx =
-                                PairRow { left, left_row: i, right, right_row: Some(j), n_left };
-                            eval_row(res, &ctx, params)? == Value::Bool(true)
+
+    // Probe phase: contiguous left-row partitions, each emitting its own
+    // ordered pair list; concatenation in partition order reproduces the
+    // sequential probe output.
+    let partitions =
+        pool.try_map_chunks(left.row_count(), |range| -> Result<Vec<(usize, Option<usize>)>> {
+            let mut local = Vec::new();
+            for i in range {
+                let mut matched = false;
+                if let Some(key) = key_of(equi, false, left, i, params)? {
+                    if let Some(candidates) = ht.get(key.as_slice()) {
+                        for &j in candidates {
+                            let ok = match residual {
+                                None => true,
+                                Some(res) => {
+                                    let ctx = PairRow {
+                                        left,
+                                        left_row: i,
+                                        right,
+                                        right_row: Some(j),
+                                        n_left,
+                                    };
+                                    eval_row(res, &ctx, params)? == Value::Bool(true)
+                                }
+                            };
+                            if ok {
+                                matched = true;
+                                local.push((i, Some(j)));
+                            }
                         }
-                    };
-                    if ok {
-                        matched = true;
-                        pairs.push((i, Some(j)));
                     }
                 }
+                if !matched && kind == JoinKind::LeftOuter {
+                    local.push((i, None));
+                }
             }
-        }
-        if !matched && kind == JoinKind::LeftOuter {
-            pairs.push((i, None));
-        }
-    }
+            Ok(local)
+        })?;
+    pairs.extend(partitions.into_iter().flatten());
     Ok(())
 }
 
+#[allow(clippy::too_many_arguments)]
 fn nested_loop(
     left: &Table,
     right: &Table,
@@ -186,21 +237,30 @@ fn nested_loop(
     cond: &BoundExpr,
     n_left: usize,
     params: &[Value],
+    pool: &Pool,
     pairs: &mut Vec<(usize, Option<usize>)>,
 ) -> Result<()> {
-    for i in 0..left.row_count() {
-        let mut matched = false;
-        for j in 0..right.row_count() {
-            let ctx = PairRow { left, left_row: i, right, right_row: Some(j), n_left };
-            if eval_row(cond, &ctx, params)? == Value::Bool(true) {
-                matched = true;
-                pairs.push((i, Some(j)));
+    // Parallel over left-row partitions; right side scanned per row as in
+    // the sequential loop, output concatenated in partition order.
+    let partitions =
+        pool.try_map_chunks(left.row_count(), |range| -> Result<Vec<(usize, Option<usize>)>> {
+            let mut local = Vec::new();
+            for i in range {
+                let mut matched = false;
+                for j in 0..right.row_count() {
+                    let ctx = PairRow { left, left_row: i, right, right_row: Some(j), n_left };
+                    if eval_row(cond, &ctx, params)? == Value::Bool(true) {
+                        matched = true;
+                        local.push((i, Some(j)));
+                    }
+                }
+                if !matched && kind == JoinKind::LeftOuter {
+                    local.push((i, None));
+                }
             }
-        }
-        if !matched && kind == JoinKind::LeftOuter {
-            pairs.push((i, None));
-        }
-    }
+            Ok(local)
+        })?;
+    pairs.extend(partitions.into_iter().flatten());
     Ok(())
 }
 
@@ -274,7 +334,7 @@ mod tests {
         let r = table("r", &[(2, "x"), (3, "y"), (3, "z"), (4, "w")]);
         let schema = out_schema(&l, &r);
         let out =
-            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 2)), &schema, &[]).unwrap();
+            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 2)), &schema, &[], 1).unwrap();
         assert_eq!(out.row_count(), 3); // 2-x, 3-y, 3-z
     }
 
@@ -291,8 +351,8 @@ mod tests {
             pc.nullable = true;
             schema.push(pc);
         }
-        let out =
-            execute_join(&l, &r, JoinKind::LeftOuter, Some(&eq_cond(0, 2)), &schema, &[]).unwrap();
+        let out = execute_join(&l, &r, JoinKind::LeftOuter, Some(&eq_cond(0, 2)), &schema, &[], 1)
+            .unwrap();
         assert_eq!(out.row_count(), 2);
         // Row for id=1 has NULLs on the right.
         let row = out.row(0);
@@ -306,7 +366,7 @@ mod tests {
         let l = table("l", &[(1, "a"), (2, "b")]);
         let r = table("r", &[(10, "x"), (20, "y"), (30, "z")]);
         let schema = out_schema(&l, &r);
-        let out = execute_join(&l, &r, JoinKind::Cross, None, &schema, &[]).unwrap();
+        let out = execute_join(&l, &r, JoinKind::Cross, None, &schema, &[], 1).unwrap();
         assert_eq!(out.row_count(), 6);
     }
 
@@ -320,7 +380,7 @@ mod tests {
             op: BinaryOp::Lt,
             right: Box::new(BoundExpr::Column { index: 2, ty: DataType::Int }),
         };
-        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[]).unwrap();
+        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[], 1).unwrap();
         assert_eq!(out.row_count(), 2); // 1<2, 1<4
     }
 
@@ -336,8 +396,58 @@ mod tests {
         schema.push(PlanColumn::new("a", DataType::Int));
         schema.push(PlanColumn::new("b", DataType::Int));
         let out =
-            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 1)), &schema, &[]).unwrap();
+            execute_join(&l, &r, JoinKind::Inner, Some(&eq_cond(0, 1)), &schema, &[], 1).unwrap();
         assert_eq!(out.row_count(), 1); // only 1 = 1
+    }
+
+    #[test]
+    fn parallel_join_matches_sequential() {
+        // Enough rows to split into several chunks; duplicate keys to
+        // exercise candidate-list ordering.
+        let lrows: Vec<(i64, String)> = (0..1200).map(|i| (i % 37, format!("l{i}"))).collect();
+        let rrows: Vec<(i64, String)> = (0..900).map(|i| (i % 41, format!("r{i}"))).collect();
+        let lref: Vec<(i64, &str)> = lrows.iter().map(|(i, s)| (*i, s.as_str())).collect();
+        let rref: Vec<(i64, &str)> = rrows.iter().map(|(i, s)| (*i, s.as_str())).collect();
+        let l = table("l", &lref);
+        let r = table("r", &rref);
+        let schema = out_schema(&l, &r);
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter] {
+            let schema = if kind == JoinKind::LeftOuter {
+                let mut s = PlanSchema::default();
+                for c in l.schema().columns() {
+                    s.push(PlanColumn::new(c.name.clone(), c.ty));
+                }
+                for c in r.schema().columns() {
+                    let mut pc = PlanColumn::new(c.name.clone(), c.ty);
+                    pc.nullable = true;
+                    s.push(pc);
+                }
+                s
+            } else {
+                schema.clone()
+            };
+            let seq = execute_join(&l, &r, kind, Some(&eq_cond(0, 2)), &schema, &[], 1).unwrap();
+            for threads in [2, 8] {
+                let par = execute_join(&l, &r, kind, Some(&eq_cond(0, 2)), &schema, &[], threads)
+                    .unwrap();
+                assert_eq!(par.row_count(), seq.row_count(), "{kind:?} threads {threads}");
+                for i in 0..seq.row_count() {
+                    assert_eq!(par.row(i), seq.row(i), "{kind:?} threads {threads} row {i}");
+                }
+            }
+        }
+        // Nested-loop path (inequality condition).
+        let cond = BoundExpr::Binary {
+            left: Box::new(BoundExpr::Column { index: 0, ty: DataType::Int }),
+            op: BinaryOp::Lt,
+            right: Box::new(BoundExpr::Column { index: 2, ty: DataType::Int }),
+        };
+        let seq = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[], 1).unwrap();
+        let par = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[], 4).unwrap();
+        assert_eq!(par.row_count(), seq.row_count());
+        for i in 0..seq.row_count() {
+            assert_eq!(par.row(i), seq.row(i), "nested-loop row {i}");
+        }
     }
 
     #[test]
@@ -355,7 +465,7 @@ mod tests {
                 right: Box::new(BoundExpr::Literal(Value::from("keep"))),
             }),
         };
-        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[]).unwrap();
+        let out = execute_join(&l, &r, JoinKind::Inner, Some(&cond), &schema, &[], 1).unwrap();
         assert_eq!(out.row_count(), 1);
         assert_eq!(out.row(0)[1], Value::from("keep"));
     }

@@ -8,4 +8,4 @@ pub mod join;
 pub mod unnest;
 
 pub use executor::Executor;
-pub use graph_op::{build_graph, MaterializedGraph};
+pub use graph_op::{build_graph, build_graph_with_threads, MaterializedGraph};

@@ -67,7 +67,7 @@ pub mod session;
 pub use context::{ExecContext, ExecStats, OpStats, SessionSettings};
 pub use database::{Database, QueryResult};
 pub use error::Error;
-pub use exec::{build_graph, MaterializedGraph};
+pub use exec::{build_graph, build_graph_with_threads, MaterializedGraph};
 pub use graph_index::GraphIndexRegistry;
 pub use plan::LogicalPlan;
 pub use session::{PlanCacheStats, PreparedStatement, Session};

@@ -12,7 +12,8 @@
 //! * **session settings** (`SET` / `SHOW`) control planning and execution:
 //!   `graph_index` toggles index usage (visible in `EXPLAIN`), `row_limit`
 //!   guards against runaway intermediate results, `plan_cache_size` sizes
-//!   the cache;
+//!   the cache, `threads` sets the degree of parallelism for traversals
+//!   and row-parallel operators (`1` = exact sequential execution);
 //! * `EXPLAIN ANALYZE` executes a query with per-operator statistics
 //!   collection and renders the plan annotated with row counts and wall
 //!   time.
@@ -441,7 +442,8 @@ impl<'db> Session<'db> {
                 self.db.run_update(&ctx, table, assignments, filter.as_ref())
             }
             ast::Statement::CreateGraphIndex { name, table, src_col, dst_col } => {
-                self.db.create_graph_index_stmt(name, table, src_col, dst_col)
+                let threads = self.settings.borrow().threads;
+                self.db.create_graph_index_stmt(name, table, src_col, dst_col, threads)
             }
             ast::Statement::DropGraphIndex { name } => self.db.drop_graph_index_stmt(name),
         }

@@ -12,12 +12,15 @@
 //! This grouping is precisely what lets Figure 1b's batched execution
 //! amortize the graph-construction cost.
 
-use crate::bfs::bfs;
+use crate::bfs::{bfs_into, BfsScratch};
 use crate::csr::Csr;
-use crate::dijkstra::{dijkstra_float, dijkstra_int};
+use crate::dijkstra::{
+    dijkstra_float_into, dijkstra_int_into, DijkstraFloatScratch, DijkstraIntScratch,
+};
 use crate::error::GraphError;
 use crate::path::reconstruct_path;
 use crate::Result;
+use gsql_parallel::Pool;
 
 /// Weight specification for one `CHEAPEST SUM` evaluation.
 ///
@@ -73,15 +76,35 @@ impl PairResult {
 }
 
 /// Runs batched reachability / shortest-path queries over one CSR.
+///
+/// Each distinct source is an independent traversal, so the batch is
+/// **source-parallel**: [`BatchComputer::with_threads`] spreads the
+/// distinct-source groups across a scoped worker pool (dynamic stealing —
+/// traversal costs are irregular), each worker reusing one thread-local
+/// distance/visited scratch arena. Per-pair results are merged back in
+/// input order, so the output is bit-for-bit identical to `threads = 1`.
 #[derive(Debug)]
 pub struct BatchComputer<'g> {
     graph: &'g Csr,
+    threads: usize,
 }
 
 impl<'g> BatchComputer<'g> {
-    /// Create a computer over `graph`.
+    /// Create a computer over `graph` (sequential by default).
     pub fn new(graph: &'g Csr) -> BatchComputer<'g> {
-        BatchComputer { graph }
+        BatchComputer { graph, threads: 1 }
+    }
+
+    /// Set the degree of parallelism for [`BatchComputer::compute`]
+    /// (clamped to at least 1; `1` keeps the sequential path).
+    pub fn with_threads(mut self, threads: usize) -> BatchComputer<'g> {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The configured degree of parallelism.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Compute results for every `(source, dest)` pair.
@@ -95,7 +118,8 @@ impl<'g> BatchComputer<'g> {
     ///   are materialized.
     ///
     /// Pairs are grouped by source; each distinct source costs one traversal
-    /// with early exit once all its destinations are settled.
+    /// with early exit once all its destinations are settled. Groups run on
+    /// the configured worker pool; results are always in input-pair order.
     pub fn compute(
         &self,
         pairs: &[(u32, u32)],
@@ -118,11 +142,11 @@ impl<'g> BatchComputer<'g> {
             WeightSpec::Float(w) => PermutedWeights::Float(self.graph.permute_weights_float(w)?),
         };
 
-        // Group pair indices by source vertex.
+        // Group pair indices by source vertex: `order[range]` holds the
+        // input indices of one distinct-source group.
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         order.sort_unstable_by_key(|&i| pairs[i].0);
-
-        let mut results = vec![PairResult::unreachable(); pairs.len()];
+        let mut groups: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
         let mut g = 0;
         while g < order.len() {
             let source = pairs[order[g]].0;
@@ -130,10 +154,28 @@ impl<'g> BatchComputer<'g> {
             while end < order.len() && pairs[order[end]].0 == source {
                 end += 1;
             }
-            let group = &order[g..end];
-            let targets: Vec<u32> = group.iter().map(|&i| pairs[i].1).collect();
-            self.run_group(source, &targets, group, &permuted, compute_paths, &mut results);
+            groups.push((source, g..end));
             g = end;
+        }
+
+        // One traversal per group, source-parallel with per-worker scratch
+        // arenas. `Pool::map_with` returns group results in group order and
+        // degenerates to an inline loop when `threads == 1`.
+        let pool = Pool::new(self.threads);
+        let per_group = pool.map_with(groups.len(), GroupScratch::default, |scratch, gi| {
+            let (source, ref range) = groups[gi];
+            let group = &order[range.clone()];
+            let targets: Vec<u32> = group.iter().map(|&i| pairs[i].1).collect();
+            self.run_group(source, &targets, group, &permuted, compute_paths, scratch)
+        });
+
+        // Merge in input order: every input index appears in exactly one
+        // group, so the scatter is a permutation.
+        let mut results = vec![PairResult::unreachable(); pairs.len()];
+        for group_results in per_group {
+            for (idx, r) in group_results {
+                results[idx] = r;
+            }
         }
         Ok(results)
     }
@@ -150,62 +192,103 @@ impl<'g> BatchComputer<'g> {
         group: &[usize],
         weights: &PermutedWeights,
         compute_paths: bool,
-        results: &mut [PairResult],
-    ) {
+        scratch: &mut GroupScratch,
+    ) -> Vec<(usize, PairResult)> {
+        let mut out = Vec::with_capacity(group.len());
         match weights {
             PermutedWeights::None => {
-                let r = bfs(self.graph, source, targets);
+                bfs_into(self.graph, source, targets, &mut scratch.bfs);
+                let r = &scratch.bfs;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
                     if d == u32::MAX {
                         continue; // stays unreachable
                     }
-                    results[idx] = PairResult {
-                        reachable: true,
-                        cost: Some(CostValue::Int(d as i64)),
-                        path: compute_paths.then(|| {
-                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
+                    out.push((
+                        idx,
+                        PairResult {
+                            reachable: true,
+                            cost: Some(CostValue::Int(d as i64)),
+                            path: compute_paths.then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
                                 .expect("reachable")
-                        }),
-                    };
+                            }),
+                        },
+                    ));
                 }
             }
             PermutedWeights::Int(w) => {
-                let r = dijkstra_int(self.graph, source, targets, w);
+                dijkstra_int_into(self.graph, source, targets, w, &mut scratch.int);
+                let r = &scratch.int;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
                     if d == u64::MAX {
                         continue;
                     }
-                    results[idx] = PairResult {
-                        reachable: true,
-                        cost: Some(CostValue::Int(d as i64)),
-                        path: compute_paths.then(|| {
-                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
+                    out.push((
+                        idx,
+                        PairResult {
+                            reachable: true,
+                            cost: Some(CostValue::Int(d as i64)),
+                            path: compute_paths.then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
                                 .expect("reachable")
-                        }),
-                    };
+                            }),
+                        },
+                    ));
                 }
             }
             PermutedWeights::Float(w) => {
-                let r = dijkstra_float(self.graph, source, targets, w);
+                dijkstra_float_into(self.graph, source, targets, w, &mut scratch.float);
+                let r = &scratch.float;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
                     if d.is_infinite() {
                         continue;
                     }
-                    results[idx] = PairResult {
-                        reachable: true,
-                        cost: Some(CostValue::Float(d)),
-                        path: compute_paths.then(|| {
-                            reconstruct_path(self.graph, &r.parent, &r.parent_edge, source, dest)
+                    out.push((
+                        idx,
+                        PairResult {
+                            reachable: true,
+                            cost: Some(CostValue::Float(d)),
+                            path: compute_paths.then(|| {
+                                reconstruct_path(
+                                    self.graph,
+                                    &r.parent,
+                                    &r.parent_edge,
+                                    source,
+                                    dest,
+                                )
                                 .expect("reachable")
-                        }),
-                    };
+                            }),
+                        },
+                    ));
                 }
             }
         }
+        out
     }
+}
+
+/// Per-worker traversal scratch: one arena per algorithm family, grown on
+/// first use and reused across every group the worker processes.
+#[derive(Debug, Default)]
+struct GroupScratch {
+    bfs: BfsScratch,
+    int: DijkstraIntScratch,
+    float: DijkstraFloatScratch,
 }
 
 enum PermutedWeights {
@@ -302,6 +385,33 @@ mod tests {
             let single = c.shortest_path(s, d, &WeightSpec::Unweighted).unwrap();
             assert_eq!(batch[i].reachable, single.reachable, "pair {i}");
             assert_eq!(batch[i].cost, single.cost, "pair {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_threads_match_sequential_exactly() {
+        let g = diamond();
+        let pairs: Vec<(u32, u32)> =
+            (0..5u32).flat_map(|s| (0..5u32).map(move |d| (s, d))).collect();
+        let specs = [
+            WeightSpec::Unweighted,
+            WeightSpec::Int(vec![10, 1, 1, 1, 1]),
+            WeightSpec::Float(vec![0.5, 2.5, 0.25, 0.25, 1.0]),
+        ];
+        for spec in &specs {
+            let seq = BatchComputer::new(&g).compute(&pairs, spec, true).unwrap();
+            for threads in [2, 4, 8] {
+                let par = BatchComputer::new(&g)
+                    .with_threads(threads)
+                    .compute(&pairs, spec, true)
+                    .unwrap();
+                assert_eq!(par.len(), seq.len());
+                for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+                    assert_eq!(p.reachable, s.reachable, "threads {threads} pair {i}");
+                    assert_eq!(p.cost, s.cost, "threads {threads} pair {i}");
+                    assert_eq!(p.path, s.path, "threads {threads} pair {i}");
+                }
+            }
         }
     }
 

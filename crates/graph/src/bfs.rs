@@ -16,6 +16,45 @@ pub struct BfsResult {
     pub parent: Vec<u32>,
 }
 
+/// Reusable BFS working memory: the distance / parent arenas plus the
+/// frontier queue and target set.
+///
+/// A batch run performs one traversal per distinct source; reusing one
+/// scratch per worker turns the per-traversal `O(|V|)` allocations into
+/// `O(|V|)` resets of already-owned memory. After [`bfs_into`] the `dist`,
+/// `parent` and `parent_edge` fields hold the traversal result (same
+/// contract as [`BfsResult`]).
+#[derive(Debug, Default)]
+pub struct BfsScratch {
+    /// `dist[v]` = hops from the source, or `u32::MAX` when unreached.
+    pub dist: Vec<u32>,
+    /// `parent_edge[v]` = CSR slot of the discovering edge, or [`NO_EDGE`].
+    pub parent_edge: Vec<u32>,
+    /// `parent[v]` = predecessor vertex, or [`NO_VERTEX`].
+    pub parent: Vec<u32>,
+    queue: std::collections::VecDeque<u32>,
+    is_target: Vec<bool>,
+}
+
+impl BfsScratch {
+    /// Fresh, empty scratch; arenas grow on first use.
+    pub fn new() -> BfsScratch {
+        BfsScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, u32::MAX);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, NO_EDGE);
+        self.parent.clear();
+        self.parent.resize(n, NO_VERTEX);
+        self.is_target.clear();
+        self.is_target.resize(n, false);
+        self.queue.clear();
+    }
+}
+
 /// Run a BFS from `source`.
 ///
 /// When `targets` is non-empty the search stops as soon as every target has
@@ -26,18 +65,24 @@ pub struct BfsResult {
 /// still performs a BFS over the source and destination vertices, discarding
 /// the computed shortest paths", §3.2).
 pub fn bfs(graph: &Csr, source: u32, targets: &[u32]) -> BfsResult {
+    let mut scratch = BfsScratch::new();
+    bfs_into(graph, source, targets, &mut scratch);
+    BfsResult { dist: scratch.dist, parent_edge: scratch.parent_edge, parent: scratch.parent }
+}
+
+/// [`bfs`] into a caller-owned [`BfsScratch`], avoiding per-traversal
+/// allocations. The result lives in the scratch's public arenas.
+pub fn bfs_into(graph: &Csr, source: u32, targets: &[u32], scratch: &mut BfsScratch) {
     let n = graph.num_vertices() as usize;
-    let mut dist = vec![u32::MAX; n];
-    let mut parent_edge = vec![NO_EDGE; n];
-    let mut parent = vec![NO_VERTEX; n];
+    scratch.reset(n);
+    let BfsScratch { dist, parent_edge, parent, queue, is_target } = scratch;
 
     let mut remaining: usize;
-    let mut is_target = vec![false; n];
     if targets.is_empty() {
         remaining = usize::MAX; // never hits zero: full exploration
     } else {
         remaining = 0;
-        for &t in targets {
+        for &t in targets.iter() {
             let slot = &mut is_target[t as usize];
             if !*slot {
                 *slot = true;
@@ -50,11 +95,10 @@ pub fn bfs(graph: &Csr, source: u32, targets: &[u32]) -> BfsResult {
     if is_target[source as usize] {
         remaining -= 1;
         if remaining == 0 {
-            return BfsResult { dist, parent_edge, parent };
+            return;
         }
     }
 
-    let mut queue = std::collections::VecDeque::with_capacity(64);
     queue.push_back(source);
     'outer: while let Some(u) = queue.pop_front() {
         let du = dist[u as usize];
@@ -75,7 +119,6 @@ pub fn bfs(graph: &Csr, source: u32, targets: &[u32]) -> BfsResult {
             queue.push_back(v);
         }
     }
-    BfsResult { dist, parent_edge, parent }
 }
 
 #[cfg(test)]
@@ -157,6 +200,19 @@ mod tests {
         let g = diamond();
         let r = bfs(&g, 0, &[3, 3, 3]);
         assert_eq!(r.dist[3], 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let g = diamond();
+        let mut scratch = BfsScratch::new();
+        for source in 0..g.num_vertices() {
+            bfs_into(&g, source, &[], &mut scratch);
+            let fresh = bfs(&g, source, &[]);
+            assert_eq!(scratch.dist, fresh.dist, "source {source}");
+            assert_eq!(scratch.parent, fresh.parent, "source {source}");
+            assert_eq!(scratch.parent_edge, fresh.parent_edge, "source {source}");
+        }
     }
 
     #[test]

@@ -12,9 +12,10 @@
 
 use crate::error::GraphError;
 use crate::Result;
+use gsql_parallel::{Pool, SharedSlice};
 
 /// A directed graph in CSR form over dense vertex ids `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Csr {
     /// `offsets[v]..offsets[v+1]` indexes the out-edges of `v` in
     /// [`Csr::targets`] / [`Csr::edge_rows`]. Length `n + 1`.
@@ -63,6 +64,106 @@ impl Csr {
             cursor[s as usize] += 1;
             targets[slot] = d;
             edge_rows[slot] = row as u32;
+        }
+        Ok(Csr { offsets, targets, edge_rows })
+    }
+
+    /// [`Csr::from_edges`] with a parallel counting sort over edge chunks.
+    ///
+    /// The classic two-pass scheme: every chunk counts its sources into a
+    /// local histogram; a per-vertex exclusive prefix across the chunk
+    /// histograms gives each chunk its disjoint cursor base; the scatter
+    /// pass then places every chunk's edges without synchronization. Chunks
+    /// are contiguous in row order, so the result — including the stable
+    /// within-source row order — is **bit-for-bit identical** to the
+    /// sequential build. `threads <= 1` takes the sequential path exactly.
+    pub fn from_edges_with_threads(
+        num_vertices: u32,
+        src: &[u32],
+        dst: &[u32],
+        threads: usize,
+    ) -> Result<Csr> {
+        let pool = Pool::new(threads);
+        if pool.is_sequential() || pool.chunks(src.len().min(dst.len())).len() <= 1 {
+            return Csr::from_edges(num_vertices, src, dst);
+        }
+        if src.len() != dst.len() {
+            return Err(GraphError::LengthMismatch(format!(
+                "src has {} entries, dst has {}",
+                src.len(),
+                dst.len()
+            )));
+        }
+        let n = num_vertices as usize;
+        let m = src.len();
+        // Validation in two passes (all of src, then all of dst), so the
+        // reported error matches the sequential scan order.
+        for column in [src, dst] {
+            pool.try_map_chunks(m, |range| {
+                for &v in &column[range] {
+                    if v >= num_vertices {
+                        return Err(GraphError::VertexOutOfRange { id: v, n: num_vertices });
+                    }
+                }
+                Ok(())
+            })?;
+        }
+
+        // One chunk list drives both the histogram and the scatter pass;
+        // the cursor bases below are only valid for exactly these ranges.
+        let chunks = pool.chunks(m);
+        // Pass 1: per-chunk source histograms.
+        let mut histograms: Vec<Vec<usize>> = pool.map(chunks.len(), |ci| {
+            let mut counts = vec![0usize; n];
+            for &s in &src[chunks[ci].clone()] {
+                counts[s as usize] += 1;
+            }
+            counts
+        });
+        // Global offsets (prefix sum over the summed histograms).
+        let mut offsets = vec![0usize; n + 1];
+        for h in &histograms {
+            for (v, &c) in h.iter().enumerate() {
+                offsets[v + 1] += c;
+            }
+        }
+        for v in 0..n {
+            offsets[v + 1] += offsets[v];
+        }
+        // Exclusive prefix across chunks: histogram `c` becomes chunk `c`'s
+        // cursor base (sequential order: all earlier chunks' edges of the
+        // same source come first — exactly the stable sequential placement).
+        let mut running: Vec<usize> = offsets[..n].to_vec();
+        for h in histograms.iter_mut() {
+            for (hv, rv) in h.iter_mut().zip(running.iter_mut()) {
+                let count = *hv;
+                *hv = *rv;
+                *rv += count;
+            }
+        }
+        // Pass 2: scatter. Slot ranges are disjoint across chunks by
+        // construction of the cursor bases.
+        let mut targets = vec![0u32; m];
+        let mut edge_rows = vec![0u32; m];
+        {
+            let targets_out = SharedSlice::new(&mut targets);
+            let rows_out = SharedSlice::new(&mut edge_rows);
+            let bases: Vec<std::sync::Mutex<Vec<usize>>> =
+                histograms.into_iter().map(std::sync::Mutex::new).collect();
+            pool.map(chunks.len(), |ci| {
+                let mut cursor = bases[ci].lock().expect("cursor lock");
+                for row in chunks[ci].clone() {
+                    let s = src[row] as usize;
+                    let slot = cursor[s];
+                    cursor[s] += 1;
+                    // SAFETY: counting-sort slots are disjoint across rows
+                    // and chunks; each slot is written exactly once.
+                    unsafe {
+                        targets_out.write(slot, dst[row]);
+                        rows_out.write(slot, row as u32);
+                    }
+                }
+            });
         }
         Ok(Csr { offsets, targets, edge_rows })
     }

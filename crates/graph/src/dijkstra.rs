@@ -41,6 +41,42 @@ pub struct DijkstraFloatResult {
     pub parent: Vec<u32>,
 }
 
+/// Reusable working memory for [`dijkstra_int_into`]: distance / parent
+/// arenas plus the settled and target sets. After a run the `dist`,
+/// `parent` and `parent_edge` fields hold the result (same contract as
+/// [`DijkstraIntResult`]).
+#[derive(Debug, Default)]
+pub struct DijkstraIntScratch {
+    /// `dist[v]` = cheapest cost, or `u64::MAX` when unreached.
+    pub dist: Vec<u64>,
+    /// `parent_edge[v]` = CSR slot of the final edge, or [`NO_EDGE`].
+    pub parent_edge: Vec<u32>,
+    /// `parent[v]` = predecessor vertex, or [`NO_VERTEX`].
+    pub parent: Vec<u32>,
+    settled: Vec<bool>,
+    is_target: Vec<bool>,
+}
+
+impl DijkstraIntScratch {
+    /// Fresh, empty scratch; arenas grow on first use.
+    pub fn new() -> DijkstraIntScratch {
+        DijkstraIntScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, u64::MAX);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, NO_EDGE);
+        self.parent.clear();
+        self.parent.resize(n, NO_VERTEX);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.is_target.clear();
+        self.is_target.resize(n, false);
+    }
+}
+
 /// Dijkstra with a radix queue over strictly positive integer weights.
 ///
 /// `weights` must be in CSR slot order. When `targets` is non-empty the
@@ -52,14 +88,30 @@ pub fn dijkstra_int(
     targets: &[u32],
     weights: &[i64],
 ) -> DijkstraIntResult {
+    let mut scratch = DijkstraIntScratch::new();
+    dijkstra_int_into(graph, source, targets, weights, &mut scratch);
+    DijkstraIntResult {
+        dist: scratch.dist,
+        parent_edge: scratch.parent_edge,
+        parent: scratch.parent,
+    }
+}
+
+/// [`dijkstra_int`] into a caller-owned scratch, avoiding per-traversal
+/// allocations of the `O(|V|)` arenas. The result lives in the scratch's
+/// public fields.
+pub fn dijkstra_int_into(
+    graph: &Csr,
+    source: u32,
+    targets: &[u32],
+    weights: &[i64],
+    scratch: &mut DijkstraIntScratch,
+) {
     let n = graph.num_vertices() as usize;
     debug_assert_eq!(weights.len(), graph.num_edges());
-    let mut dist = vec![u64::MAX; n];
-    let mut parent_edge = vec![NO_EDGE; n];
-    let mut parent = vec![NO_VERTEX; n];
-    let mut settled = vec![false; n];
-
-    let (mut is_target, mut remaining) = target_set(n, targets);
+    scratch.reset(n);
+    let DijkstraIntScratch { dist, parent_edge, parent, settled, is_target } = scratch;
+    let mut remaining = mark_targets(is_target, targets);
 
     let mut heap: RadixHeap<u32> = RadixHeap::new();
     dist[source as usize] = 0;
@@ -93,7 +145,6 @@ pub fn dijkstra_int(
             }
         }
     }
-    DijkstraIntResult { dist, parent_edge, parent }
 }
 
 /// An `f64` wrapper with a total order, for use inside the binary heap.
@@ -111,6 +162,40 @@ impl Ord for OrdF64 {
     }
 }
 
+/// Reusable working memory for [`dijkstra_float_into`]; the float
+/// counterpart of [`DijkstraIntScratch`].
+#[derive(Debug, Default)]
+pub struct DijkstraFloatScratch {
+    /// `dist[v]` = cheapest cost, or `f64::INFINITY` when unreached.
+    pub dist: Vec<f64>,
+    /// `parent_edge[v]` = CSR slot of the final edge, or [`NO_EDGE`].
+    pub parent_edge: Vec<u32>,
+    /// `parent[v]` = predecessor vertex, or [`NO_VERTEX`].
+    pub parent: Vec<u32>,
+    settled: Vec<bool>,
+    is_target: Vec<bool>,
+}
+
+impl DijkstraFloatScratch {
+    /// Fresh, empty scratch; arenas grow on first use.
+    pub fn new() -> DijkstraFloatScratch {
+        DijkstraFloatScratch::default()
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, f64::INFINITY);
+        self.parent_edge.clear();
+        self.parent_edge.resize(n, NO_EDGE);
+        self.parent.clear();
+        self.parent.resize(n, NO_VERTEX);
+        self.settled.clear();
+        self.settled.resize(n, false);
+        self.is_target.clear();
+        self.is_target.resize(n, false);
+    }
+}
+
 /// Dijkstra with a binary heap over strictly positive float weights.
 ///
 /// Same contract as [`dijkstra_int`]; unreached vertices keep
@@ -121,14 +206,29 @@ pub fn dijkstra_float(
     targets: &[u32],
     weights: &[f64],
 ) -> DijkstraFloatResult {
+    let mut scratch = DijkstraFloatScratch::new();
+    dijkstra_float_into(graph, source, targets, weights, &mut scratch);
+    DijkstraFloatResult {
+        dist: scratch.dist,
+        parent_edge: scratch.parent_edge,
+        parent: scratch.parent,
+    }
+}
+
+/// [`dijkstra_float`] into a caller-owned scratch; the result lives in the
+/// scratch's public fields.
+pub fn dijkstra_float_into(
+    graph: &Csr,
+    source: u32,
+    targets: &[u32],
+    weights: &[f64],
+    scratch: &mut DijkstraFloatScratch,
+) {
     let n = graph.num_vertices() as usize;
     debug_assert_eq!(weights.len(), graph.num_edges());
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent_edge = vec![NO_EDGE; n];
-    let mut parent = vec![NO_VERTEX; n];
-    let mut settled = vec![false; n];
-
-    let (mut is_target, mut remaining) = target_set(n, targets);
+    scratch.reset(n);
+    let DijkstraFloatScratch { dist, parent_edge, parent, settled, is_target } = scratch;
+    let mut remaining = mark_targets(is_target, targets);
 
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
     dist[source as usize] = 0.0;
@@ -161,15 +261,13 @@ pub fn dijkstra_float(
             }
         }
     }
-    DijkstraFloatResult { dist, parent_edge, parent }
 }
 
-/// Build the dedup'd target membership vector. `remaining == usize::MAX`
-/// encodes "no early exit" (full exploration).
-fn target_set(n: usize, targets: &[u32]) -> (Vec<bool>, usize) {
-    let mut is_target = vec![false; n];
+/// Mark the dedup'd targets in the (pre-cleared) membership vector.
+/// `usize::MAX` encodes "no early exit" (full exploration).
+fn mark_targets(is_target: &mut [bool], targets: &[u32]) -> usize {
     if targets.is_empty() {
-        return (is_target, usize::MAX);
+        return usize::MAX;
     }
     let mut remaining = 0;
     for &t in targets {
@@ -179,7 +277,7 @@ fn target_set(n: usize, targets: &[u32]) -> (Vec<bool>, usize) {
             remaining += 1;
         }
     }
-    (is_target, remaining)
+    remaining
 }
 
 #[cfg(test)]
@@ -279,6 +377,24 @@ mod tests {
                 cur = r.parent[cur as usize];
             }
             assert_eq!(acc, r.dist[v as usize], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let (g, wi) = diamond_weights([2, 3, 4, 1, 6]);
+        let wf = g.permute_weights_float(&[2.0, 3.0, 4.0, 1.0, 6.0]).unwrap();
+        let mut si = DijkstraIntScratch::new();
+        let mut sf = DijkstraFloatScratch::new();
+        for source in 0..g.num_vertices() {
+            dijkstra_int_into(&g, source, &[], &wi, &mut si);
+            let fresh = dijkstra_int(&g, source, &[], &wi);
+            assert_eq!(si.dist, fresh.dist, "int source {source}");
+            assert_eq!(si.parent, fresh.parent, "int source {source}");
+            dijkstra_float_into(&g, source, &[], &wf, &mut sf);
+            let freshf = dijkstra_float(&g, source, &[], &wf);
+            assert_eq!(sf.dist, freshf.dist, "float source {source}");
+            assert_eq!(sf.parent, freshf.parent, "float source {source}");
         }
     }
 

@@ -22,6 +22,12 @@
 //! * [`batch`] — the many-to-many driver: pairs are grouped by source and
 //!   one traversal with multi-destination early exit is run per distinct
 //!   source, which is what makes Figure 1b's batching amortization work.
+//!
+//! The runtime is **source-parallel**: distinct-source groups spread across
+//! a scoped worker pool (gsql-parallel) with per-worker scratch arenas, and
+//! CSR construction/reversal use a parallel counting sort. Every parallel
+//! path produces output bit-for-bit identical to its sequential form, and
+//! one thread restores the sequential code exactly.
 
 pub mod batch;
 pub mod bfs;
@@ -33,10 +39,13 @@ pub mod path;
 pub mod radix_heap;
 
 pub use batch::{BatchComputer, PairResult, WeightSpec};
-pub use bfs::{bfs, BfsResult};
-pub use bidir::{bidirectional_bfs, reverse_csr, BidirResult};
+pub use bfs::{bfs, bfs_into, BfsResult, BfsScratch};
+pub use bidir::{bidirectional_bfs, reverse_csr, reverse_csr_with_threads, BidirResult};
 pub use csr::Csr;
-pub use dijkstra::{dijkstra_float, dijkstra_int, DijkstraFloatResult, DijkstraIntResult};
+pub use dijkstra::{
+    dijkstra_float, dijkstra_float_into, dijkstra_int, dijkstra_int_into, DijkstraFloatResult,
+    DijkstraFloatScratch, DijkstraIntResult, DijkstraIntScratch,
+};
 pub use error::GraphError;
 pub use path::reconstruct_path;
 pub use radix_heap::RadixHeap;

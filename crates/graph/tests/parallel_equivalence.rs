@@ -1,0 +1,104 @@
+//! Parallel execution must be indistinguishable from sequential execution:
+//! random graphs and pair batches, compared across `threads ∈ {1, 2, 8}`.
+//!
+//! (The sibling `properties.rs` holds the proptest variants; this file uses
+//! the offline `rand` shim so it runs in the default test suite.)
+
+use gsql_graph::{reverse_csr, reverse_csr_with_threads, BatchComputer, Csr, WeightSpec};
+use rand::prelude::*;
+
+/// A deterministic random graph with `n` vertices and `m` edges.
+fn random_graph(rng: &mut StdRng, n: u32, m: usize) -> (Vec<u32>, Vec<u32>) {
+    let src: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+    let dst: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+    (src, dst)
+}
+
+#[test]
+fn csr_parallel_build_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(42);
+    // Sizes straddling the parallel chunking threshold.
+    for (n, m) in [(5u32, 12usize), (40, 700), (120, 3000), (400, 20_000)] {
+        let (src, dst) = random_graph(&mut rng, n, m);
+        let sequential = Csr::from_edges(n, &src, &dst).unwrap();
+        for threads in [1, 2, 3, 8] {
+            let parallel = Csr::from_edges_with_threads(n, &src, &dst, threads).unwrap();
+            assert_eq!(parallel, sequential, "n={n} m={m} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn csr_parallel_build_reports_same_errors() {
+    let n = 10u32;
+    let m = 5000usize;
+    let mut src: Vec<u32> = (0..m as u32).map(|i| i % n).collect();
+    let dst: Vec<u32> = (0..m as u32).map(|i| (i + 1) % n).collect();
+    src[4000] = 99; // out of range, deep inside a later chunk
+    let seq = Csr::from_edges(n, &src, &dst).unwrap_err();
+    let par = Csr::from_edges_with_threads(n, &src, &dst, 4).unwrap_err();
+    assert_eq!(seq.to_string(), par.to_string());
+}
+
+#[test]
+fn reverse_csr_parallel_is_bit_identical() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for (n, m) in [(6u32, 15usize), (80, 2000), (300, 12_000)] {
+        let (src, dst) = random_graph(&mut rng, n, m);
+        let g = Csr::from_edges(n, &src, &dst).unwrap();
+        let sequential = reverse_csr(&g);
+        for threads in [2, 4, 8] {
+            let parallel = reverse_csr_with_threads(&g, threads);
+            assert_eq!(parallel, sequential, "n={n} m={m} threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn batch_compute_identical_across_thread_counts() {
+    let mut rng = StdRng::seed_from_u64(2017);
+    for _ in 0..25 {
+        let n: u32 = rng.gen_range(2..60);
+        let m: usize = rng.gen_range(1..300);
+        let (src, dst) = random_graph(&mut rng, n, m);
+        let g = Csr::from_edges(n, &src, &dst).unwrap();
+        let pairs: Vec<(u32, u32)> =
+            (0..rng.gen_range(1..80)).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let weights_int: Vec<i64> = (0..m).map(|_| rng.gen_range(1..50)).collect();
+        let weights_float: Vec<f64> = weights_int.iter().map(|&w| w as f64 * 0.5).collect();
+        let specs = [
+            WeightSpec::Unweighted,
+            WeightSpec::Int(weights_int.clone()),
+            WeightSpec::Float(weights_float.clone()),
+        ];
+        for spec in &specs {
+            for compute_paths in [false, true] {
+                let seq = BatchComputer::new(&g).compute(&pairs, spec, compute_paths).unwrap();
+                for threads in [2, 8] {
+                    let par = BatchComputer::new(&g)
+                        .with_threads(threads)
+                        .compute(&pairs, spec, compute_paths)
+                        .unwrap();
+                    assert_eq!(par.len(), seq.len());
+                    for (i, (p, s)) in par.iter().zip(&seq).enumerate() {
+                        assert_eq!(p.reachable, s.reachable, "threads {threads} pair {i}");
+                        assert_eq!(p.cost, s.cost, "threads {threads} pair {i}");
+                        assert_eq!(p.path, s.path, "threads {threads} pair {i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_errors_are_thread_count_independent() {
+    let g = Csr::from_edges(4, &[0, 1, 2], &[1, 2, 3]).unwrap();
+    for threads in [1, 2, 8] {
+        let c = BatchComputer::new(&g).with_threads(threads);
+        let err = c.compute(&[(0, 9)], &WeightSpec::Unweighted, true).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "threads {threads}: {err}");
+        let err = c.compute(&[(0, 1)], &WeightSpec::Int(vec![1, -1, 1]), true).unwrap_err();
+        assert!(err.to_string().contains("greater than 0"), "threads {threads}: {err}");
+    }
+}

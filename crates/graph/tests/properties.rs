@@ -149,6 +149,45 @@ proptest! {
         }
     }
 
+    /// Parallel and sequential batch execution produce identical results
+    /// for random graphs and pair batches across `threads ∈ {1, 2, 8}`.
+    #[test]
+    fn parallel_batch_matches_sequential(
+        (n, edges) in graph_strategy(),
+        pair_seed in prop::collection::vec((0u32..24, 0u32..24), 1..40),
+    ) {
+        let (g, w) = build(n, &edges);
+        let pairs: Vec<(u32, u32)> =
+            pair_seed.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        for spec in [WeightSpec::Unweighted, WeightSpec::Int(w.clone())] {
+            let seq = BatchComputer::new(&g).compute(&pairs, &spec, true).unwrap();
+            for threads in [2usize, 8] {
+                let par = BatchComputer::new(&g)
+                    .with_threads(threads)
+                    .compute(&pairs, &spec, true)
+                    .unwrap();
+                for (p, s) in par.iter().zip(&seq) {
+                    prop_assert_eq!(p.reachable, s.reachable);
+                    prop_assert_eq!(p.cost.map(|c| c.as_f64()), s.cost.map(|c| c.as_f64()));
+                    prop_assert_eq!(&p.path, &s.path);
+                }
+            }
+        }
+    }
+
+    /// The parallel counting-sort CSR build is bit-identical to the
+    /// sequential build.
+    #[test]
+    fn parallel_csr_build_matches_sequential((n, edges) in graph_strategy()) {
+        let src: Vec<u32> = edges.iter().map(|e| e.0).collect();
+        let dst: Vec<u32> = edges.iter().map(|e| e.1).collect();
+        let seq = Csr::from_edges(n, &src, &dst).unwrap();
+        for threads in [2usize, 8] {
+            let par = Csr::from_edges_with_threads(n, &src, &dst, threads).unwrap();
+            prop_assert_eq!(&par, &seq);
+        }
+    }
+
     /// Radix heap pops keys in nondecreasing order for any monotone input.
     #[test]
     fn radix_heap_sorts(mut keys in prop::collection::vec(0u64..1_000_000, 1..200)) {

@@ -1,0 +1,437 @@
+//! # gsql-parallel
+//!
+//! The engine's data-parallel runtime: a small **scoped worker pool** over
+//! `std::thread::scope`, with `parallel_for` / `parallel_map` primitives
+//! over index ranges. No external dependencies (the build environment is
+//! offline, like the `rand-shim` crate).
+//!
+//! Design constraints, driven by the engine:
+//!
+//! * **Determinism** — every primitive returns results in input order, no
+//!   matter how work was scheduled. Operators built on top produce output
+//!   that is bit-for-bit identical to their sequential form.
+//! * **Exact sequential fallback** — a [`Pool`] with one thread never
+//!   spawns and runs the closure inline on the caller, so `threads = 1`
+//!   takes the same code path a sequential loop would.
+//! * **Scoped borrows** — workers borrow the caller's data (`&Csr`,
+//!   `&Table`, …) directly; nothing is `'static` or reference-counted.
+//!
+//! Two scheduling shapes are provided:
+//!
+//! * [`Pool::for_each_chunk`] / [`Pool::map_chunks`] — *static* contiguous
+//!   chunking, for uniform per-item work (filters, column scans, counting
+//!   sorts). Chunk results concatenate in chunk order.
+//! * [`Pool::map`] / [`Pool::map_with`] — *dynamic* index stealing over an
+//!   atomic cursor, for irregular per-item work (one graph traversal per
+//!   distinct source). `map_with` gives every worker a private scratch
+//!   state (e.g. a distance/visited arena) created once per worker.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum items per chunk before [`Pool::chunks`] splits work across
+/// threads: below this, thread startup dominates any win.
+pub const MIN_CHUNK: usize = 256;
+
+/// Hard ceiling on a [`Pool`]'s width. Widths beyond any real machine only
+/// multiply spawn overhead — and unbounded widths would let a runaway
+/// configuration exhaust OS thread limits (spawn failure panics).
+pub const MAX_THREADS: usize = 1024;
+
+/// Number of hardware threads available to this process (at least 1).
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// The process-wide default degree of parallelism: the `GSQL_THREADS`
+/// environment variable when set to a positive integer, otherwise
+/// [`available_threads`]. Cached after the first call.
+pub fn default_threads() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GSQL_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(available_threads)
+    })
+}
+
+/// A scoped worker pool of a fixed width.
+///
+/// The pool owns no threads between calls: each primitive spawns up to
+/// `threads - 1` scoped workers and uses the calling thread as the first
+/// worker, so borrows of caller data are safe and nothing outlives the
+/// call. With `threads == 1` every primitive degenerates to an inline
+/// sequential loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of `threads` workers (clamped to `1..=`[`MAX_THREADS`]).
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// The single-threaded pool: every primitive runs inline.
+    pub fn sequential() -> Pool {
+        Pool::new(1)
+    }
+
+    /// The configured width.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True when this pool never spawns.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Partition `0..len` into contiguous chunks: one per worker, but never
+    /// smaller than [`MIN_CHUNK`] items (tiny inputs stay on one chunk).
+    /// Chunks are in index order and cover the range exactly.
+    pub fn chunks(&self, len: usize) -> Vec<Range<usize>> {
+        let workers = self.threads.min(len.div_ceil(MIN_CHUNK)).max(1);
+        let base = len / workers;
+        let extra = len % workers;
+        let mut out = Vec::with_capacity(workers);
+        let mut start = 0;
+        for w in 0..workers {
+            let size = base + usize::from(w < extra);
+            out.push(start..start + size);
+            start += size;
+        }
+        debug_assert_eq!(start, len);
+        out
+    }
+
+    /// Run `f` over each chunk of `0..len`, in parallel.
+    pub fn for_each_chunk(&self, len: usize, f: impl Fn(Range<usize>) + Sync) {
+        self.map_chunks(len, |r| {
+            f(r);
+        });
+    }
+
+    /// Map each chunk of `0..len` through `f`; results are returned in
+    /// chunk (= index) order, so concatenating them reproduces the
+    /// sequential output exactly.
+    pub fn map_chunks<T: Send>(&self, len: usize, f: impl Fn(Range<usize>) -> T + Sync) -> Vec<T> {
+        let chunks = self.chunks(len);
+        if chunks.len() <= 1 {
+            return chunks.into_iter().map(f).collect();
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let mut rest = chunks.into_iter();
+            let first = rest.next().expect("at least one chunk");
+            let handles: Vec<_> = rest.map(|r| s.spawn(move || f(r))).collect();
+            let mut out = Vec::with_capacity(handles.len() + 1);
+            out.push(f(first));
+            for h in handles {
+                out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+            out
+        })
+    }
+
+    /// Fallible [`Pool::map_chunks`] with fail-fast: once any chunk errors,
+    /// chunks that have not yet started are skipped, and the error of the
+    /// **earliest completed failing chunk** is returned. On a single failing
+    /// chunk this is exactly the error a sequential left-to-right loop would
+    /// surface; when several chunks fail concurrently, the earliest of the
+    /// ones that actually ran wins.
+    pub fn try_map_chunks<T: Send, E: Send>(
+        &self,
+        len: usize,
+        f: impl Fn(Range<usize>) -> Result<T, E> + Sync,
+    ) -> Result<Vec<T>, E> {
+        let poisoned = std::sync::atomic::AtomicBool::new(false);
+        let results: Vec<Option<Result<T, E>>> = self.map_chunks(len, |range| {
+            if poisoned.load(Ordering::Relaxed) {
+                return None; // another chunk already failed: skip the work
+            }
+            let r = f(range);
+            if r.is_err() {
+                poisoned.store(true, Ordering::Relaxed);
+            }
+            Some(r)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for r in results.into_iter().flatten() {
+            out.push(r?);
+        }
+        Ok(out)
+    }
+
+    /// Map every index of `0..len` through `f` with dynamic scheduling:
+    /// workers steal the next index from a shared atomic cursor, so
+    /// irregular per-item costs balance automatically. Results are returned
+    /// in index order regardless of scheduling.
+    pub fn map<T: Send>(&self, len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        self.map_with(len, || (), |(), i| f(i))
+    }
+
+    /// [`Pool::map`] with per-worker scratch state: `init` runs once on
+    /// each worker, and `f` receives that worker's state mutably for every
+    /// index it processes. This is how traversal scratch arenas (distance /
+    /// visited arrays) are reused across work items without sharing.
+    pub fn map_with<S, T: Send>(
+        &self,
+        len: usize,
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, usize) -> T + Sync,
+    ) -> Vec<T> {
+        let workers = self.threads.min(len).max(1);
+        if workers <= 1 {
+            let mut state = init();
+            return (0..len).map(|i| f(&mut state, i)).collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let run_worker = || {
+            let mut state = init();
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                local.push((i, f(&mut state, i)));
+            }
+            local
+        };
+        let locals: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (1..workers).map(|_| s.spawn(run_worker)).collect();
+            let mut all = vec![run_worker()];
+            for h in handles {
+                all.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+            all
+        });
+        // Reassemble in index order.
+        let mut slots: Vec<Option<T>> = (0..len).map(|_| None).collect();
+        for local in locals {
+            for (i, v) in local {
+                debug_assert!(slots[i].is_none(), "index {i} produced twice");
+                slots[i] = Some(v);
+            }
+        }
+        slots.into_iter().map(|v| v.expect("every index produced exactly once")).collect()
+    }
+}
+
+/// Run `f` over each chunk of `0..len` on a fresh [`Pool`] of `threads`.
+pub fn parallel_for(threads: usize, len: usize, f: impl Fn(Range<usize>) + Sync) {
+    Pool::new(threads).for_each_chunk(len, f);
+}
+
+/// Map `0..len` through `f` on a fresh [`Pool`] of `threads`, dynamic
+/// scheduling, results in index order.
+pub fn parallel_map<T: Send>(threads: usize, len: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    Pool::new(threads).map(len, f)
+}
+
+/// A shareable view over a mutable slice for **disjoint** parallel scatter
+/// writes (e.g. the placement pass of a parallel counting sort, where every
+/// output slot is written by exactly one worker).
+///
+/// The borrow checker cannot see slot-level disjointness, so writes go
+/// through a raw pointer; the safety contract is on the caller.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: the only access is `write`, whose contract requires each index to
+// be written by at most one thread with no concurrent access to that index.
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wrap a mutable slice for scattered writes.
+    pub fn new(slice: &'a mut [T]) -> SharedSlice<'a, T> {
+        SharedSlice { ptr: slice.as_mut_ptr(), len: slice.len(), _marker: PhantomData }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Write `value` at `index`, overwriting (not dropping through) the old
+    /// element.
+    ///
+    /// # Safety
+    /// Each index must be written by **at most one** thread for the
+    /// lifetime of this view, with no concurrent reads of that index. `T`
+    /// must be `Copy`-like in the sense that overwriting without dropping
+    /// is acceptable (all engine uses are plain integers).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds.
+    pub unsafe fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "SharedSlice index {index} out of range {}", self.len);
+        // SAFETY: bounds checked above; disjointness is the caller's
+        // contract.
+        unsafe { self.ptr.add(index).write(value) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn chunks_cover_range_in_order() {
+        let pool = Pool::new(4);
+        for len in [0usize, 1, 255, 256, 257, 1024, 1000, 4096, 10_000] {
+            let chunks = pool.chunks(len);
+            let mut next = 0;
+            for c in &chunks {
+                assert_eq!(c.start, next);
+                next = c.end;
+            }
+            assert_eq!(next, len);
+            assert!(chunks.len() <= 4);
+        }
+        // Tiny inputs stay on one chunk.
+        assert_eq!(pool.chunks(10).len(), 1);
+        // Sequential pools never split.
+        assert_eq!(Pool::sequential().chunks(100_000).len(), 1);
+    }
+
+    #[test]
+    fn map_chunks_concatenates_in_order() {
+        let pool = Pool::new(8);
+        let n = 10_000;
+        let parts = pool.map_chunks(n, |r| r.collect::<Vec<usize>>());
+        let flat: Vec<usize> = parts.into_iter().flatten().collect();
+        assert_eq!(flat, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_returns_index_order_under_stealing() {
+        let pool = Pool::new(8);
+        let out = pool.map(1000, |i| i * 3);
+        assert_eq!(out, (0..1000).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_with_reuses_worker_state() {
+        let pool = Pool::new(4);
+        let inits = AtomicU64::new(0);
+        let out = pool.map_with(
+            100,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |calls, i| {
+                *calls += 1;
+                (*calls, i)
+            },
+        );
+        // Per-worker call counters: each worker's sequence is 1, 2, 3, …;
+        // summed over all items the counters cover all 100 calls.
+        assert_eq!(out.iter().map(|&(_, i)| i).collect::<Vec<_>>(), (0..100).collect::<Vec<_>>());
+        let total_inits = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&total_inits), "one init per worker, got {total_inits}");
+    }
+
+    #[test]
+    fn try_map_chunks_reports_single_failing_chunk_error() {
+        let pool = Pool::new(4);
+        // One poisoned chunk: the reported error is deterministic and
+        // matches what a sequential scan would surface.
+        let r: Result<Vec<()>, usize> = pool.try_map_chunks(4096, |range| {
+            if range.contains(&1500) {
+                Err(range.start)
+            } else {
+                Ok(())
+            }
+        });
+        let err = r.unwrap_err();
+        assert!(err <= 1500, "failing chunk must contain item 1500, got start {err}");
+    }
+
+    #[test]
+    fn try_map_chunks_ok_and_error_paths() {
+        let pool = Pool::new(4);
+        let ok: Result<Vec<usize>, ()> = pool.try_map_chunks(4096, |r| Ok(r.len()));
+        assert_eq!(ok.unwrap().iter().sum::<usize>(), 4096);
+        // Sequential pool: plain left-to-right error.
+        let seq: Result<Vec<()>, usize> = Pool::sequential().try_map_chunks(100, |r| Err(r.start));
+        assert_eq!(seq.unwrap_err(), 0);
+    }
+
+    #[test]
+    fn pool_width_is_clamped() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(usize::MAX).threads(), MAX_THREADS);
+    }
+
+    #[test]
+    fn sequential_pool_runs_inline() {
+        let pool = Pool::sequential();
+        assert!(pool.is_sequential());
+        let out = pool.map(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        let sums = pool.map_chunks(10_000, |r| r.sum::<usize>());
+        assert_eq!(sums.len(), 1);
+    }
+
+    #[test]
+    fn shared_slice_disjoint_scatter() {
+        let mut data = vec![0u32; 5000];
+        let shared = SharedSlice::new(&mut data);
+        Pool::new(4).for_each_chunk(5000, |r| {
+            for i in r {
+                // Reversal permutation: disjoint target slots.
+                unsafe { shared.write(4999 - i, i as u32) };
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v as usize, 4999 - i);
+        }
+    }
+
+    #[test]
+    fn parallel_for_and_map_free_functions() {
+        let counter = AtomicU64::new(0);
+        parallel_for(4, 2048, |r| {
+            counter.fetch_add(r.len() as u64, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 2048);
+        assert_eq!(parallel_map(3, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            Pool::new(4).map(2048, |i| {
+                if i == 2000 {
+                    panic!("boom");
+                }
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn available_and_default_threads_are_positive() {
+        assert!(available_threads() >= 1);
+        assert!(default_threads() >= 1);
+    }
+}

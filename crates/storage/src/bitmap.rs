@@ -98,6 +98,44 @@ impl Bitmap {
         }
         out
     }
+
+    /// Copy the contiguous bit range `range` into a new bitmap (the
+    /// positional fast path behind `Table::slice_rows`). Word-aligned
+    /// starts copy whole words; unaligned starts stitch adjacent words.
+    ///
+    /// # Panics
+    /// Panics when the range extends past the bitmap.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bitmap {
+        assert!(range.end <= self.len, "slice {range:?} out of range {}", self.len);
+        let out_len = range.len();
+        if out_len == 0 {
+            return Bitmap::new();
+        }
+        let shift = range.start % 64;
+        let first_word = range.start / 64;
+        let n_words = out_len.div_ceil(64);
+        let mut words = Vec::with_capacity(n_words);
+        if shift == 0 {
+            words.extend_from_slice(&self.words[first_word..first_word + n_words]);
+        } else {
+            for w in 0..n_words {
+                let lo = self.words[first_word + w] >> shift;
+                let hi = match self.words.get(first_word + w + 1) {
+                    Some(&next) => next << (64 - shift),
+                    None => 0,
+                };
+                words.push(lo | hi);
+            }
+        }
+        // Clear the unused high bits of the last word so popcounts stay
+        // exact (the Bitmap invariant).
+        if !out_len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (out_len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len: out_len }
+    }
 }
 
 impl FromIterator<bool> for Bitmap {
@@ -165,5 +203,24 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn get_out_of_range_panics() {
         Bitmap::new().get(0);
+    }
+
+    #[test]
+    fn slice_matches_bitwise_copy() {
+        let bm: Bitmap = (0..300).map(|i| i % 7 == 0 || i % 11 == 0).collect();
+        for (start, end) in [(0, 0), (0, 300), (0, 64), (1, 65), (63, 190), (64, 128), (130, 131)] {
+            let s = bm.slice(start..end);
+            assert_eq!(s.len(), end - start, "{start}..{end}");
+            for i in 0..s.len() {
+                assert_eq!(s.get(i), bm.get(start + i), "{start}..{end} bit {i}");
+            }
+            assert_eq!(s.count_ones(), (start..end).filter(|&i| bm.get(i)).count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        Bitmap::with_value(10, true).slice(5..11);
     }
 }

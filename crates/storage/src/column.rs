@@ -257,6 +257,23 @@ impl Column {
         }
     }
 
+    /// Copy the contiguous row range `range` into a new column. Unlike
+    /// [`Column::take`] this is a straight memcpy of the value slice (plus a
+    /// word-level bitmap copy) — the `LIMIT`/`OFFSET` fast path.
+    ///
+    /// # Panics
+    /// Panics when the range extends past the column.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Column {
+        match self {
+            Column::Int(v, b) => Column::Int(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Double(v, b) => Column::Double(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Str(v, b) => Column::Str(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Bool(v, b) => Column::Bool(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Date(v, b) => Column::Date(v[range.clone()].to_vec(), b.slice(range)),
+            Column::Path(v) => Column::Path(v[range].to_vec()),
+        }
+    }
+
     /// Append all rows of `other` (must have the same type).
     pub fn extend_from(&mut self, other: &Column) -> Result<()> {
         if self.data_type() != other.data_type() {

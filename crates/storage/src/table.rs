@@ -141,6 +141,19 @@ impl Table {
         Table { schema: self.schema.clone(), columns, row_count: indices.len() }
     }
 
+    /// Copy the contiguous row range `range` into a new table — the
+    /// `LIMIT`/`OFFSET` fast path: no index vector is materialized and each
+    /// column is a straight slice copy.
+    ///
+    /// # Panics
+    /// Panics when the range extends past the table.
+    pub fn slice_rows(&self, range: std::ops::Range<usize>) -> Table {
+        assert!(range.end <= self.row_count, "slice {range:?} out of range {}", self.row_count);
+        let columns: Vec<Column> =
+            self.columns.iter().map(|c| c.slice_rows(range.clone())).collect();
+        Table { schema: self.schema.clone(), columns, row_count: range.len() }
+    }
+
     /// Retain only rows whose index satisfies `keep` (used by DELETE).
     pub fn retain_rows(&mut self, keep: impl Fn(usize) -> bool) {
         let indices: Vec<usize> = (0..self.row_count).filter(|&i| keep(i)).collect();
@@ -286,6 +299,30 @@ mod tests {
         assert_eq!(s.row_count(), 2);
         assert_eq!(s.row(0)[0], Value::Int(4));
         assert_eq!(s.row(1)[0], Value::Int(0));
+    }
+
+    #[test]
+    fn slice_rows_matches_take_on_contiguous_ranges() {
+        let mut t = Table::empty(persons_schema());
+        for i in 0..100 {
+            t.append_row(vec![Value::Int(i), Value::from(format!("p{i}"))]).unwrap();
+        }
+        for (start, end) in [(0usize, 0usize), (0, 100), (3, 70), (99, 100), (64, 96)] {
+            let sliced = t.slice_rows(start..end);
+            let taken = t.take(&(start..end).collect::<Vec<_>>());
+            assert_eq!(sliced.row_count(), taken.row_count(), "{start}..{end}");
+            for r in 0..sliced.row_count() {
+                assert_eq!(sliced.row(r), taken.row(r), "{start}..{end} row {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_rows_out_of_range_panics() {
+        let mut t = Table::empty(persons_schema());
+        t.append_row(vec![Value::Int(1), Value::from("a")]).unwrap();
+        t.slice_rows(0..2);
     }
 
     #[test]

@@ -64,6 +64,60 @@ fn readers_see_consistent_snapshots_during_writes() {
 }
 
 #[test]
+fn sessions_with_different_thread_widths_share_one_database() {
+    // Mixed-width sessions — sequential, 2-way, 8-way — race the same
+    // shared Database (with a graph index, so the cached CSR is shared
+    // too) and must all see identical answers: the parallel runtime is
+    // per-statement and must not leak state across sessions.
+    let db = Arc::new(Database::new());
+    let mut edges = String::new();
+    for i in 0..400i64 {
+        if i > 0 {
+            edges.push_str(", ");
+        }
+        // A ring with shortcuts: everything reaches everything.
+        edges.push_str(&format!("({}, {})", i % 100, (i + 1) % 100));
+    }
+    db.execute_script(&format!(
+        "CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL);
+         INSERT INTO e VALUES {edges};"
+    ))
+    .unwrap();
+    db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)").unwrap();
+
+    let mut handles = Vec::new();
+    for (t, width) in ["1", "2", "8", "4"].into_iter().enumerate() {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let session = db.session();
+            session.set("threads", width).unwrap();
+            assert_eq!(session.setting("threads").unwrap(), width, "worker {t}");
+            let stmt = session
+                .prepare("SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)")
+                .unwrap();
+            for rep in 0..40 {
+                let s = (rep * 7) % 100;
+                let d = (rep * 13 + 1) % 100;
+                let expect = (d + 100 - s) % 100; // ring distance s -> d
+                let result = stmt
+                    .execute(&session, &[Value::Int(s as i64), Value::Int(d as i64)])
+                    .unwrap()
+                    .into_table()
+                    .unwrap();
+                assert_eq!(result.row_count(), 1, "worker {t} rep {rep}");
+                let got = result.row(0)[0].as_int().unwrap();
+                assert_eq!(got, expect as i64, "worker {t} rep {rep}: {s} -> {d}");
+            }
+            // The width survives the whole run unchanged.
+            assert_eq!(session.setting("threads").unwrap(), width, "worker {t}");
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+}
+
+#[test]
 fn concurrent_index_creation_and_queries() {
     let db = Arc::new(Database::new());
     db.execute_script(

@@ -1,0 +1,201 @@
+//! End-to-end parallel execution: for every query shape the engine
+//! parallelizes (graph traversals, filters, hash joins, distinct, limit),
+//! sessions running with `threads ∈ {1, 2, 8}` must produce identical
+//! result tables — `threads = 1` is the engine's exact sequential path, so
+//! this pins the parallel runtime to sequential semantics.
+
+use gsql::{Database, Value};
+
+/// A deterministic pseudo-random database: a layered graph with shortcut
+/// edges, weights, and a `people` table for join shapes.
+fn build_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE people (id INTEGER NOT NULL, grp INTEGER NOT NULL)").unwrap();
+    // xorshift-ish deterministic edge set over 120 vertices.
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut edges = String::new();
+    for i in 0..600 {
+        let s = next() % 120;
+        let d = next() % 120;
+        let w = next() % 9 + 1;
+        if i > 0 {
+            edges.push_str(", ");
+        }
+        edges.push_str(&format!("({s}, {d}, {w})"));
+    }
+    db.execute(&format!("INSERT INTO e VALUES {edges}")).unwrap();
+    let mut people = String::new();
+    for id in 0..120 {
+        if id > 0 {
+            people.push_str(", ");
+        }
+        people.push_str(&format!("({id}, {})", id % 7));
+    }
+    db.execute(&format!("INSERT INTO people VALUES {people}")).unwrap();
+    db
+}
+
+/// The query shapes under test: graph select (unweighted + weighted +
+/// path-producing), graph join, hash join, filter fallback, distinct,
+/// limit/offset, union.
+fn queries() -> Vec<String> {
+    let mut pair_rows = String::new();
+    for i in 0..40 {
+        if i > 0 {
+            pair_rows.push_str(", ");
+        }
+        pair_rows.push_str(&format!("({}, {})", (i * 13) % 120, (i * 29 + 7) % 120));
+    }
+    vec![
+        format!(
+            "WITH pairs (s, d) AS (VALUES {pair_rows}) \
+             SELECT pairs.s, pairs.d, CHEAPEST SUM(1) AS distance \
+             FROM pairs WHERE pairs.s REACHES pairs.d OVER e EDGE (s, d)"
+        ),
+        format!(
+            "WITH pairs (s, d) AS (VALUES {pair_rows}) \
+             SELECT pairs.s, pairs.d, CHEAPEST SUM(f: f.w) AS cost \
+             FROM pairs WHERE pairs.s REACHES pairs.d OVER e f EDGE (s, d)"
+        ),
+        "SELECT CHEAPEST SUM(1) AS (cost, path) WHERE 0 REACHES 77 OVER e EDGE (s, d)".to_string(),
+        "SELECT p1.id, p2.id FROM people p1, people p2 \
+         WHERE p1.grp = 0 AND p2.grp = 1 AND p1.id REACHES p2.id OVER e EDGE (s, d)"
+            .to_string(),
+        "SELECT p1.id, p2.id, p1.grp FROM people p1, people p2 WHERE p1.grp = p2.grp \
+         AND p1.id < p2.id ORDER BY p1.id, p2.id"
+            .to_string(),
+        "SELECT people.id + people.grp FROM people WHERE people.id % 3 = people.grp".to_string(),
+        "SELECT DISTINCT e.s % 10, e.w FROM e".to_string(),
+        "SELECT e.s, e.d FROM e ORDER BY e.s, e.d LIMIT 25 OFFSET 100".to_string(),
+        "SELECT e.s FROM e UNION SELECT e.d FROM e".to_string(),
+    ]
+}
+
+#[test]
+fn identical_tables_across_thread_counts() {
+    let db = build_db();
+    for sql in queries() {
+        let s1 = db.session();
+        s1.set("threads", "1").unwrap();
+        let reference = s1.query(&sql).unwrap();
+        for threads in ["2", "8"] {
+            let s = db.session();
+            s.set("threads", threads).unwrap();
+            let t = s.query(&sql).unwrap();
+            assert_eq!(t.row_count(), reference.row_count(), "threads {threads}: {sql}");
+            assert_eq!(
+                t.schema().to_string(),
+                reference.schema().to_string(),
+                "threads {threads}: {sql}"
+            );
+            for r in 0..reference.row_count() {
+                assert_eq!(t.row(r), reference.row(r), "threads {threads} row {r}: {sql}");
+            }
+        }
+    }
+}
+
+#[test]
+fn graph_index_path_identical_across_thread_counts() {
+    let db = build_db();
+    db.execute("CREATE GRAPH INDEX ge ON e EDGE (s, d)").unwrap();
+    for sql in queries() {
+        let s1 = db.session();
+        s1.set("threads", "1").unwrap();
+        let reference = s1.query(&sql).unwrap();
+        let s8 = db.session();
+        s8.set("threads", "8").unwrap();
+        let t = s8.query(&sql).unwrap();
+        assert_eq!(t.row_count(), reference.row_count(), "{sql}");
+        for r in 0..reference.row_count() {
+            assert_eq!(t.row(r), reference.row(r), "row {r}: {sql}");
+        }
+    }
+}
+
+#[test]
+fn set_threads_validation_and_show() {
+    let db = Database::new();
+    let session = db.session();
+
+    let err = session.execute("SET threads = 0").unwrap_err();
+    assert!(err.to_string().contains("positive integer"), "{err}");
+    let err = session.execute("SET threads = lots").unwrap_err();
+    assert!(err.to_string().contains("non-negative integer"), "{err}");
+    // Failed SETs leave the session usable with its previous value.
+    session.execute("SET threads = 3").unwrap();
+    let t = session.query("SHOW threads").unwrap();
+    assert_eq!(t.row(0)[0], Value::from("threads"));
+    assert_eq!(t.row(0)[1], Value::from("3"));
+
+    // threads appears in SHOW ALL alongside the existing settings.
+    let all = session.query("SHOW ALL").unwrap();
+    let names: Vec<String> = (0..all.row_count()).map(|i| all.row(i)[0].to_string()).collect();
+    for expected in ["graph_index", "plan_cache_size", "row_limit", "threads"] {
+        assert!(names.contains(&expected.to_string()), "SHOW ALL missing {expected}");
+    }
+}
+
+#[test]
+fn explain_analyze_reports_correct_rows_under_parallel_execution() {
+    let db = build_db();
+    let session = db.session();
+    session.set("threads", "8").unwrap();
+
+    // 600 edges scanned; the filter keeps w = 1 rows. Row counts in the
+    // EXPLAIN ANALYZE output must match a direct count even though the
+    // filter and scan run under the parallel runtime.
+    let expected = db.query("SELECT * FROM e WHERE e.w = 1").unwrap().row_count();
+    let plan = session.query("EXPLAIN ANALYZE SELECT * FROM e WHERE e.w = 1").unwrap();
+    let text: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    let all = text.join("\n");
+    assert!(all.contains(&format!("rows={expected}")), "filter rows missing:\n{all}");
+    assert!(all.contains("rows=600"), "scan rows missing:\n{all}");
+    assert!(all.contains("Result:"), "total line missing:\n{all}");
+
+    // A graph query under parallel traversal still reports per-operator
+    // rows (the GraphSelect output row count).
+    let reachable = session
+        .query("SELECT CHEAPEST SUM(1) WHERE 0 REACHES 77 OVER e EDGE (s, d)")
+        .unwrap()
+        .row_count();
+    let plan = session
+        .query("EXPLAIN ANALYZE SELECT CHEAPEST SUM(1) WHERE 0 REACHES 77 OVER e EDGE (s, d)")
+        .unwrap();
+    let all: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    let all = all.join("\n");
+    assert!(all.contains(&format!("rows={reachable}")), "graph rows missing:\n{all}");
+}
+
+#[test]
+fn threads_setting_is_session_local() {
+    let db = build_db();
+    let a = db.session();
+    let b = db.session();
+    a.set("threads", "1").unwrap();
+    b.set("threads", "8").unwrap();
+    assert_eq!(a.setting("threads").unwrap(), "1");
+    assert_eq!(b.setting("threads").unwrap(), "8");
+    // Both sessions agree on results regardless of their width.
+    let sql = "SELECT DISTINCT e.w FROM e ORDER BY 1";
+    // ORDER BY ordinal may not be supported; use column reference instead.
+    let sql = if db.session().query(sql).is_ok() {
+        sql.to_string()
+    } else {
+        "SELECT DISTINCT e.w FROM e ORDER BY e.w".to_string()
+    };
+    let ta = a.query(&sql).unwrap();
+    let tb = b.query(&sql).unwrap();
+    assert_eq!(ta.row_count(), tb.row_count());
+    for i in 0..ta.row_count() {
+        assert_eq!(ta.row(i), tb.row(i));
+    }
+}
