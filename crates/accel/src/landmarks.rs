@@ -1,0 +1,271 @@
+//! Landmark selection and distance-vector precomputation.
+//!
+//! A landmark `L` contributes two triangle-inequality lower bounds on
+//! `d(u, v)`:
+//!
+//! * `d(L, v) − d(L, u)` — from `d(L, v) ≤ d(L, u) + d(u, v)`;
+//! * `d(u, L) − d(v, L)` — from `d(u, L) ≤ d(u, v) + d(v, L)`.
+//!
+//! Both are *feasible potentials* (they never overestimate the remaining
+//! distance by more than an edge allows), and the maximum of feasible
+//! potentials is feasible, so the bounds can drive A\* directly.
+//!
+//! Selection uses the classic **farthest-point** heuristic: the first
+//! landmark is the highest-out-degree vertex, each next one the vertex
+//! farthest (in hops) from all landmarks chosen so far, preferring vertices
+//! no chosen landmark can reach at all — this spreads landmarks across the
+//! periphery and across weakly connected components, which is where the
+//! bounds are tightest. Ties break toward the smallest vertex id, so the
+//! selection is fully deterministic.
+
+use crate::INF;
+use gsql_graph::{bfs, dijkstra_int, Csr};
+use gsql_parallel::Pool;
+
+/// A built ALT index: `k` landmarks plus their exact forward and backward
+/// distance vectors over the whole vertex set.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    /// The chosen landmark vertices (dense ids).
+    landmarks: Vec<u32>,
+    /// `fwd[i][v]` = `d(landmarks[i], v)`, [`INF`] when unreachable.
+    fwd: Vec<Vec<u64>>,
+    /// `bwd[i][v]` = `d(v, landmarks[i])`, [`INF`] when unreachable.
+    bwd: Vec<Vec<u64>>,
+}
+
+impl Landmarks {
+    /// Build an index of (up to) `k` landmarks over `forward` and its
+    /// reversal `backward`.
+    ///
+    /// `weights` are the per-CSR-slot weight arrays of the two graphs
+    /// (`None` = unit weights / hop distances), exactly as
+    /// [`Csr::permute_weights_int`] produces them — already validated
+    /// strictly positive. The `2k` exact distance vectors are independent
+    /// traversals and fan out over a pool of `threads` workers; the result
+    /// is identical for every thread count.
+    pub fn build(
+        forward: &Csr,
+        backward: &Csr,
+        weights: Option<(&[i64], &[i64])>,
+        k: usize,
+        threads: usize,
+    ) -> Landmarks {
+        let n = forward.num_vertices();
+        debug_assert_eq!(backward.num_vertices(), n);
+        let landmarks = select_landmarks(forward, k.min(n as usize));
+        // One traversal per (landmark, direction): 2k independent tasks.
+        let pool = Pool::new(threads);
+        let vectors: Vec<Vec<u64>> = pool.map(landmarks.len() * 2, |i| {
+            let lm = landmarks[i / 2];
+            let (graph, w) = if i % 2 == 0 {
+                (forward, weights.map(|(f, _)| f))
+            } else {
+                (backward, weights.map(|(_, b)| b))
+            };
+            distance_vector(graph, lm, w)
+        });
+        let mut fwd = Vec::with_capacity(landmarks.len());
+        let mut bwd = Vec::with_capacity(landmarks.len());
+        for (i, v) in vectors.into_iter().enumerate() {
+            if i % 2 == 0 {
+                fwd.push(v);
+            } else {
+                bwd.push(v);
+            }
+        }
+        Landmarks { landmarks, fwd, bwd }
+    }
+
+    /// The chosen landmark vertices.
+    pub fn landmarks(&self) -> &[u32] {
+        &self.landmarks
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.landmarks.len()
+    }
+
+    /// True when no landmarks were selected (empty graph or `k = 0`); the
+    /// lower bound degenerates to 0 and ALT becomes plain bidirectional
+    /// Dijkstra.
+    pub fn is_empty(&self) -> bool {
+        self.landmarks.is_empty()
+    }
+
+    /// Triangle-inequality lower bound on `d(u, v)`.
+    ///
+    /// Returns [`INF`] when some landmark *proves* `v` unreachable from `u`
+    /// (e.g. `L` reaches `u` but not `v`).
+    pub fn lower_bound(&self, u: u32, v: u32) -> u64 {
+        if u == v {
+            return 0;
+        }
+        let (ui, vi) = (u as usize, v as usize);
+        let mut best = 0u64;
+        for i in 0..self.landmarks.len() {
+            // d(L, v) ≤ d(L, u) + d(u, v): useful only when L reaches u.
+            let lu = self.fwd[i][ui];
+            if lu != INF {
+                let lv = self.fwd[i][vi];
+                if lv == INF {
+                    return INF; // L reaches u but not v ⇒ u cannot reach v
+                }
+                best = best.max(lv.saturating_sub(lu));
+            }
+            // d(u, L) ≤ d(u, v) + d(v, L): useful only when v reaches L.
+            let vl = self.bwd[i][vi];
+            if vl != INF {
+                let ul = self.bwd[i][ui];
+                if ul == INF {
+                    return INF; // u would reach L through v otherwise
+                }
+                best = best.max(ul.saturating_sub(vl));
+            }
+        }
+        best
+    }
+
+    /// Approximate heap size of the index in bytes (vectors only).
+    pub fn memory_bytes(&self) -> usize {
+        (self.fwd.iter().map(Vec::len).sum::<usize>()
+            + self.bwd.iter().map(Vec::len).sum::<usize>())
+            * std::mem::size_of::<u64>()
+    }
+}
+
+/// Exact single-source distances: BFS hops when `weights` is `None`,
+/// Dijkstra otherwise. Unreached vertices map to [`INF`].
+fn distance_vector(graph: &Csr, source: u32, weights: Option<&[i64]>) -> Vec<u64> {
+    match weights {
+        None => bfs(graph, source, &[])
+            .dist
+            .into_iter()
+            .map(|d| if d == u32::MAX { INF } else { d as u64 })
+            .collect(),
+        Some(w) => dijkstra_int(graph, source, &[], w).dist,
+    }
+}
+
+/// Farthest-point landmark selection over forward hop distances.
+///
+/// Selection quality only affects pruning, never correctness, so cheap hop
+/// BFS is used even for weighted indexes. Fully deterministic.
+fn select_landmarks(forward: &Csr, k: usize) -> Vec<u32> {
+    let n = forward.num_vertices();
+    if k == 0 || n == 0 {
+        return Vec::new();
+    }
+    // First landmark: maximum out-degree, smallest id on ties — a busy hub
+    // whose distance vectors carry information about most of the graph.
+    let first = (0..n).max_by_key(|&v| (forward.out_degree(v), std::cmp::Reverse(v))).unwrap_or(0);
+    let mut chosen = vec![first];
+    // mind[v] = hops from the nearest chosen landmark (INF = none reaches v).
+    let mut mind = vec![INF; n as usize];
+    while chosen.len() < k {
+        let last = *chosen.last().expect("non-empty");
+        let reach = bfs(forward, last, &[]);
+        for (v, &d) in reach.dist.iter().enumerate() {
+            if d != u32::MAX {
+                mind[v] = mind[v].min(d as u64);
+            }
+        }
+        for &c in &chosen {
+            mind[c as usize] = 0;
+        }
+        // Farthest vertex; unreached (INF) vertices win, covering weakly
+        // connected pieces no landmark sees yet. Smallest id on ties.
+        let (next, score) = mind
+            .iter()
+            .enumerate()
+            .max_by_key(|&(v, &d)| (d, std::cmp::Reverse(v)))
+            .map(|(v, &d)| (v as u32, d))
+            .expect("n > 0");
+        if score == 0 {
+            break; // every vertex is a landmark already
+        }
+        chosen.push(next);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0->1, 0->2, 1->3, 2->3, 3->4 — the workspace's diamond.
+    fn diamond() -> (Csr, Csr) {
+        let g = Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap();
+        let r = gsql_graph::reverse_csr(&g);
+        (g, r)
+    }
+
+    #[test]
+    fn bounds_are_admissible_on_diamond() {
+        let (g, r) = diamond();
+        let lm = Landmarks::build(&g, &r, None, 3, 1);
+        assert!(!lm.is_empty());
+        // True hop distances from 0: [0, 1, 1, 2, 3].
+        let truth = gsql_graph::bfs(&g, 0, &[]).dist;
+        for v in 0..5u32 {
+            let lb = lm.lower_bound(0, v);
+            let d = truth[v as usize];
+            if d == u32::MAX {
+                // Unreachable pairs may or may not be proven; lb is still
+                // a lower bound on +inf, so anything is admissible.
+                continue;
+            }
+            assert!(lb <= d as u64, "lb({v}) = {lb} exceeds true {d}");
+        }
+        // 4 has no out-edges: everything is unreachable from it, and a
+        // landmark that reaches 0 but not backwards proves it.
+        assert_eq!(lm.lower_bound(4, 0), INF);
+    }
+
+    #[test]
+    fn build_is_thread_independent() {
+        let (g, r) = diamond();
+        let base = Landmarks::build(&g, &r, None, 4, 1);
+        for threads in [2, 4, 8] {
+            let par = Landmarks::build(&g, &r, None, 4, threads);
+            assert_eq!(par.landmarks, base.landmarks, "threads {threads}");
+            assert_eq!(par.fwd, base.fwd, "threads {threads}");
+            assert_eq!(par.bwd, base.bwd, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_capped() {
+        let (g, r) = diamond();
+        let a = Landmarks::build(&g, &r, None, 64, 1);
+        let b = Landmarks::build(&g, &r, None, 64, 4);
+        assert_eq!(a.landmarks, b.landmarks);
+        assert!(a.len() <= 5, "cannot exceed |V|");
+        let empty = Csr::from_edges(0, &[], &[]).unwrap();
+        let rev = gsql_graph::reverse_csr(&empty);
+        assert!(Landmarks::build(&empty, &rev, None, 8, 2).is_empty());
+    }
+
+    #[test]
+    fn weighted_bounds_respect_weights() {
+        // 0 -> 1 -> 2 with weights 10, 20 (and a reverse-direction edge to
+        // make it interesting): lb(0, 2) must be ≤ 30 and ideally tight.
+        let g = Csr::from_edges(3, &[0, 1, 2], &[1, 2, 0]).unwrap();
+        let r = gsql_graph::reverse_csr(&g);
+        let wf = g.permute_weights_int(&[10, 20, 5]).unwrap();
+        let wb = r.permute_weights_int(&[10, 20, 5]).unwrap();
+        let lm = Landmarks::build(&g, &r, Some((&wf, &wb)), 3, 2);
+        let truth = gsql_graph::dijkstra_int(&g, 0, &[], &wf).dist;
+        for v in 0..3u32 {
+            assert!(lm.lower_bound(0, v) <= truth[v as usize]);
+        }
+    }
+
+    #[test]
+    fn memory_accounting_is_plausible() {
+        let (g, r) = diamond();
+        let lm = Landmarks::build(&g, &r, None, 2, 1);
+        assert_eq!(lm.memory_bytes(), lm.len() * 2 * 5 * 8);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gsql-accel
+//!
+//! The path-acceleration subsystem: preprocessing that makes repeated
+//! **point-to-point** shortest-path queries fast.
+//!
+//! The paper's §6 graph index removes the per-query CSR construction cost,
+//! but every point-to-point query still explores the graph *blindly* from
+//! the source: plain Dijkstra settles every vertex cheaper than the
+//! destination. This crate adds the standard goal-directed remedy — **ALT**
+//! (A\*, Landmarks, Triangle inequality; Goldberg & Harrelson, SODA'05):
+//!
+//! * [`Landmarks`] precomputes, for `k` landmark vertices chosen by
+//!   farthest-point selection, the exact forward (`d(L, v)`) and backward
+//!   (`d(v, L)`) distance vectors — one BFS/Dijkstra per vector, fanned out
+//!   over the `gsql-parallel` worker pool;
+//! * the triangle inequality turns those vectors into admissible,
+//!   *consistent* lower bounds `lb(u, v) ≤ d(u, v)`;
+//! * [`alt_bidirectional`] runs a bidirectional A\* whose forward and
+//!   backward searches are guided by those bounds (average-potential
+//!   formulation, so the two searches stay consistent with each other) and
+//!   reports how many vertices each query actually **settled** — the
+//!   pruning the preprocessing buys.
+//!
+//! Distances are computed in exact integer arithmetic (doubled potentials,
+//! never halved until the final division), so the returned cost is
+//! **bit-identical** to what plain Dijkstra over the same weights returns.
+//! Unreachability is also exact: either a landmark bound proves it upfront
+//! or both frontiers exhaust.
+
+pub mod alt;
+pub mod landmarks;
+
+pub use alt::{alt_bidirectional, AltResult};
+pub use landmarks::Landmarks;
+
+/// Sentinel distance meaning "unreachable" (matches the graph runtime's
+/// Dijkstra contract).
+pub const INF: u64 = u64::MAX;

@@ -1,0 +1,184 @@
+//! The ALT point-to-point benchmark: plain Dijkstra versus goal-directed
+//! bidirectional A\* over a landmark index, reported as **settled vertices**
+//! (the work the preprocessing prunes) and wall time — first at the graph
+//! runtime layer, then end-to-end through SQL sessions with
+//! `SET path_index = on` vs `off` (asserting identical results on the way).
+//!
+//! `cargo run -p gsql-bench --release --bin alt_speedup -- \
+//!      --vertices 20000 --degree 4 --pairs 100 --landmarks 16`
+
+use gsql_bench::report::{arg_value, fmt_duration, render_table};
+use gsql_core::Database;
+use gsql_storage::Value;
+use rand::prelude::*;
+use std::time::Instant;
+
+struct Config {
+    vertices: u32,
+    degree: usize,
+    pairs: usize,
+    landmarks: u32,
+    seed: u64,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str, default: u64| {
+            arg_value(&args, flag).and_then(|s| s.parse().ok()).unwrap_or(default)
+        };
+        Config {
+            vertices: get("--vertices", 20_000) as u32,
+            degree: get("--degree", 4) as usize,
+            pairs: get("--pairs", 100) as usize,
+            landmarks: get("--landmarks", 16) as u32,
+            seed: get("--seed", 42),
+        }
+    }
+}
+
+/// A road-ish graph: a ring (so almost everything is connected, paths are
+/// long) plus random shortcut edges, strictly positive integer weights.
+fn generate(cfg: &Config) -> (Vec<u32>, Vec<u32>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.vertices;
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut w = Vec::new();
+    for v in 0..n {
+        src.push(v);
+        dst.push((v + 1) % n);
+        w.push(rng.gen_range(1..10));
+        for _ in 1..cfg.degree {
+            src.push(v);
+            dst.push(rng.gen_range(0..n));
+            w.push(rng.gen_range(1..100));
+        }
+    }
+    (src, dst, w)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!(
+        "ALT speedup: |V| = {}, degree = {}, {} point-to-point pairs, {} landmarks, seed {}\n",
+        cfg.vertices, cfg.degree, cfg.pairs, cfg.landmarks, cfg.seed
+    );
+    let (src, dst, weights) = generate(&cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa17);
+    let pairs: Vec<(u32, u32)> = (0..cfg.pairs)
+        .map(|_| (rng.gen_range(0..cfg.vertices), rng.gen_range(0..cfg.vertices)))
+        .collect();
+
+    // ---------------------------------------------- graph-runtime layer
+    let graph = gsql_graph::Csr::from_edges_with_threads(cfg.vertices, &src, &dst, 4).unwrap();
+    let reverse = gsql_graph::reverse_csr_with_threads(&graph, 4);
+    let wf = graph.permute_weights_int_with_threads(&weights, 4).unwrap();
+    let wb = reverse.permute_weights_int_with_threads(&weights, 4).unwrap();
+
+    let t0 = Instant::now();
+    let lm =
+        gsql_accel::Landmarks::build(&graph, &reverse, Some((&wf, &wb)), cfg.landmarks as usize, 4);
+    let build_time = t0.elapsed();
+    println!(
+        "landmark index: {} landmarks, {:.1} MiB, built in {}\n",
+        lm.len(),
+        lm.memory_bytes() as f64 / (1024.0 * 1024.0),
+        fmt_duration(build_time)
+    );
+
+    let mut scratch = gsql_graph::DijkstraIntScratch::new();
+    let mut plain_settled = 0usize;
+    let mut alt_settled = 0usize;
+    let t_plain = Instant::now();
+    let mut plain_dists = Vec::with_capacity(pairs.len());
+    for &(s, d) in &pairs {
+        gsql_graph::dijkstra_int_into(&graph, s, &[d], &wf, &mut scratch);
+        plain_settled += scratch.settled_count();
+        let dist = scratch.dist[d as usize];
+        plain_dists.push(if dist == u64::MAX { None } else { Some(dist) });
+    }
+    let plain_time = t_plain.elapsed();
+    let t_alt = Instant::now();
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        let r = gsql_accel::alt_bidirectional(&graph, &reverse, Some((&wf, &wb)), &lm, s, d);
+        alt_settled += r.settled;
+        assert_eq!(r.dist, plain_dists[i], "ALT diverged from Dijkstra on pair {i}");
+    }
+    let alt_time = t_alt.elapsed();
+
+    let rows = vec![
+        vec![
+            "plain Dijkstra".to_string(),
+            plain_settled.to_string(),
+            format!("{:.0}", plain_settled as f64 / pairs.len() as f64),
+            fmt_duration(plain_time),
+        ],
+        vec![
+            "ALT bidirectional A*".to_string(),
+            alt_settled.to_string(),
+            format!("{:.0}", alt_settled as f64 / pairs.len() as f64),
+            fmt_duration(alt_time),
+        ],
+    ];
+    println!("{}", render_table(&["search", "settled (total)", "settled/query", "wall"], &rows));
+    println!(
+        "pruning: {:.1}x fewer settled vertices, {:.1}x wall-time speedup (runtime layer)\n",
+        plain_settled as f64 / alt_settled.max(1) as f64,
+        plain_time.as_secs_f64() / alt_time.as_secs_f64().max(1e-9),
+    );
+
+    // --------------------------------------------------- end-to-end SQL
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
+        .unwrap();
+    let mut stmt_rows = String::new();
+    for i in 0..src.len() {
+        if !stmt_rows.is_empty() {
+            stmt_rows.push_str(", ");
+        }
+        stmt_rows.push_str(&format!("({}, {}, {})", src[i], dst[i], weights[i]));
+        if stmt_rows.len() > 200_000 {
+            db.execute(&format!("INSERT INTO e VALUES {stmt_rows}")).unwrap();
+            stmt_rows.clear();
+        }
+    }
+    if !stmt_rows.is_empty() {
+        db.execute(&format!("INSERT INTO e VALUES {stmt_rows}")).unwrap();
+    }
+    db.execute("CREATE GRAPH INDEX ge ON e EDGE (s, d)").unwrap();
+    db.execute(&format!(
+        "CREATE PATH INDEX pe ON e EDGE (s, d) WEIGHT w USING LANDMARKS({})",
+        cfg.landmarks
+    ))
+    .unwrap();
+
+    let sql = "SELECT CHEAPEST SUM(f: f.w) AS cost WHERE ? REACHES ? OVER e f EDGE (s, d)";
+    let mut sql_rows = Vec::new();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for setting in ["off", "on"] {
+        let session = db.session();
+        session.set("path_index", setting).unwrap();
+        let stmt = session.prepare(sql).unwrap();
+        let t0 = Instant::now();
+        let mut results = Vec::with_capacity(pairs.len());
+        for &(s, d) in &pairs {
+            let t = stmt.query(&session, &[Value::Int(s as i64), Value::Int(d as i64)]).unwrap();
+            results.push((0..t.row_count()).map(|r| t.row(r)).next().unwrap_or_default());
+        }
+        let elapsed = t0.elapsed();
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => {
+                assert_eq!(expected, &results, "path_index = on must return byte-identical results")
+            }
+        }
+        sql_rows.push(vec![
+            format!("path_index = {setting}"),
+            fmt_duration(elapsed),
+            format!("{:.1} µs", elapsed.as_secs_f64() * 1e6 / pairs.len() as f64),
+        ]);
+    }
+    println!("{}", render_table(&["SQL session", "wall", "per query"], &sql_rows));
+    println!("results are byte-identical in both configurations.");
+}

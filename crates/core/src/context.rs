@@ -8,6 +8,7 @@
 
 use crate::error::{bind_err, Error};
 use crate::graph_index::GraphIndexRegistry;
+use crate::path_index::PathIndexRegistry;
 use gsql_storage::{Catalog, Value};
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -24,6 +25,12 @@ pub struct SessionSettings {
     /// Use registered graph indexes during planning (`SET graph_index =
     /// on|off`). Default on.
     pub graph_index: bool,
+    /// Use registered ALT path indexes during planning (`SET path_index =
+    /// on|off`): eligible point-to-point shortest-path plans route through
+    /// goal-directed bidirectional A*. Default: the `GSQL_PATH_INDEX`
+    /// environment variable when set (`on`/`off`), otherwise on. Results
+    /// are identical either way; only the work per query changes.
+    pub path_index: bool,
     /// Guard against runaway intermediate results: error as soon as any
     /// operator produces more than this many rows (`SET row_limit = n`;
     /// `0` disables). Default unlimited.
@@ -44,6 +51,7 @@ impl Default for SessionSettings {
     fn default() -> SessionSettings {
         SessionSettings {
             graph_index: true,
+            path_index: default_path_index(),
             row_limit: None,
             plan_cache_size: 64,
             threads: gsql_parallel::default_threads(),
@@ -51,9 +59,25 @@ impl Default for SessionSettings {
     }
 }
 
+/// Process-wide default for the `path_index` setting: `GSQL_PATH_INDEX`
+/// when set to a recognizable boolean, otherwise on. Cached after the first
+/// call (mirrors `gsql_parallel::default_threads`). CI uses the off value
+/// to run the whole suite over the Dijkstra fallback path.
+fn default_path_index() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        // Same case-insensitivity as `SET path_index` (parse_bool).
+        let value = std::env::var("GSQL_PATH_INDEX")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .unwrap_or_default();
+        !matches!(value.as_str(), "off" | "false" | "0")
+    })
+}
+
 impl SessionSettings {
     /// All option names, in `SHOW ALL` order.
-    pub const NAMES: [&'static str; 4] = ["graph_index", "plan_cache_size", "row_limit", "threads"];
+    pub const NAMES: [&'static str; 5] =
+        ["graph_index", "path_index", "plan_cache_size", "row_limit", "threads"];
 
     /// Set an option from its SQL textual value. Errors on unknown options
     /// or unparsable values.
@@ -61,6 +85,7 @@ impl SessionSettings {
         let key = name.to_ascii_lowercase();
         match key.as_str() {
             "graph_index" => self.graph_index = parse_bool(name, value)?,
+            "path_index" => self.path_index = parse_bool(name, value)?,
             "row_limit" => {
                 let n = parse_u64(name, value)?;
                 self.row_limit = if n == 0 { None } else { Some(n) };
@@ -92,6 +117,7 @@ impl SessionSettings {
         let key = name.to_ascii_lowercase();
         match key.as_str() {
             "graph_index" => Ok(render_bool(self.graph_index)),
+            "path_index" => Ok(render_bool(self.path_index)),
             "row_limit" => Ok(self.row_limit.unwrap_or(0).to_string()),
             "plan_cache_size" => Ok(self.plan_cache_size.to_string()),
             "threads" => Ok(self.threads.to_string()),
@@ -135,6 +161,9 @@ pub struct OpStats {
     pub rows: usize,
     /// Inclusive wall time (operator plus its inputs).
     pub elapsed: Duration,
+    /// Operator-specific extra detail, e.g. the settled-vertex count of an
+    /// ALT-accelerated graph operator (`settled=12 (alt)`).
+    pub detail: Option<String>,
 }
 
 /// Per-operator statistics of one executed statement, in execution
@@ -153,15 +182,22 @@ pub struct ExecStats {
 impl ExecStats {
     /// Reserve the slot for an operator about to run; returns its index.
     pub(crate) fn begin(&mut self, label: String, depth: usize) -> usize {
-        self.ops.push(OpStats { label, depth, rows: 0, elapsed: Duration::ZERO });
+        self.ops.push(OpStats { label, depth, rows: 0, elapsed: Duration::ZERO, detail: None });
         self.ops.len() - 1
     }
 
     /// Fill in an operator's results.
-    pub(crate) fn finish(&mut self, idx: usize, rows: usize, elapsed: Duration) {
+    pub(crate) fn finish(
+        &mut self,
+        idx: usize,
+        rows: usize,
+        elapsed: Duration,
+        detail: Option<String>,
+    ) {
         let op = &mut self.ops[idx];
         op.rows = rows;
         op.elapsed = elapsed;
+        op.detail = detail;
     }
 
     /// Render the annotated plan tree (`EXPLAIN ANALYZE` output): one line
@@ -169,9 +205,13 @@ impl ExecStats {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for op in &self.ops {
+            let detail = match &op.detail {
+                Some(d) => format!(", {d}"),
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "{}{} (rows={}, time={})",
+                "{}{} (rows={}, time={}{detail})",
                 "  ".repeat(op.depth),
                 op.label,
                 op.rows,
@@ -202,8 +242,13 @@ pub struct ExecContext<'a> {
     catalog: &'a Catalog,
     params: &'a [Value],
     indexes: Option<&'a GraphIndexRegistry>,
+    path_indexes: Option<&'a PathIndexRegistry>,
     settings: SessionSettings,
     stats: Option<Mutex<ExecStats>>,
+    /// Detail text set by the operator currently executing (e.g. ALT
+    /// settled-vertex counts), claimed by the executor when it records the
+    /// operator's statistics. Only populated when stats are collected.
+    pending_detail: Mutex<Option<String>>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -213,7 +258,21 @@ impl<'a> ExecContext<'a> {
         params: &'a [Value],
         indexes: Option<&'a GraphIndexRegistry>,
     ) -> ExecContext<'a> {
-        ExecContext { catalog, params, indexes, settings: SessionSettings::default(), stats: None }
+        ExecContext {
+            catalog,
+            params,
+            indexes,
+            path_indexes: None,
+            settings: SessionSettings::default(),
+            stats: None,
+            pending_detail: Mutex::new(None),
+        }
+    }
+
+    /// Attach the path-index registry (builder style).
+    pub fn with_path_indexes(mut self, registry: &'a PathIndexRegistry) -> ExecContext<'a> {
+        self.path_indexes = Some(registry);
+        self
     }
 
     /// Replace the settings (builder style).
@@ -246,6 +305,29 @@ impl<'a> ExecContext<'a> {
         } else {
             None
         }
+    }
+
+    /// The path-index registry, unless disabled by
+    /// [`SessionSettings::path_index`].
+    pub fn path_indexes(&self) -> Option<&'a PathIndexRegistry> {
+        if self.settings.path_index {
+            self.path_indexes
+        } else {
+            None
+        }
+    }
+
+    /// Record extra statistics detail for the operator currently executing
+    /// (no-op unless `EXPLAIN ANALYZE` is collecting).
+    pub(crate) fn record_op_detail(&self, detail: String) {
+        if self.stats.is_some() {
+            *self.pending_detail.lock().expect("detail lock") = Some(detail);
+        }
+    }
+
+    /// Claim the pending operator detail (executor side).
+    pub(crate) fn take_op_detail(&self) -> Option<String> {
+        self.pending_detail.lock().expect("detail lock").take()
     }
 
     /// The session settings in effect.
@@ -305,6 +387,13 @@ mod tests {
         s.set("GRAPH_INDEX", "on").unwrap();
         assert!(s.graph_index);
 
+        s.set("path_index", "off").unwrap();
+        assert!(!s.path_index);
+        assert_eq!(s.get("path_index").unwrap(), "off");
+        s.set("PATH_INDEX", "on").unwrap();
+        assert!(s.path_index);
+        assert!(s.set("path_index", "sideways").is_err());
+
         s.set("row_limit", "100").unwrap();
         assert_eq!(s.row_limit, Some(100));
         s.set("row_limit", "0").unwrap();
@@ -350,10 +439,11 @@ mod tests {
         let mut stats = ExecStats::default();
         let a = stats.begin("Filter x".into(), 0);
         let b = stats.begin("Scan t".into(), 1);
-        stats.finish(b, 10, Duration::from_micros(50));
-        stats.finish(a, 3, Duration::from_micros(120));
+        stats.finish(b, 10, Duration::from_micros(50), None);
+        stats.finish(a, 3, Duration::from_micros(120), Some("settled=7 (alt)".into()));
         let text = stats.render();
         assert!(text.contains("Filter x (rows=3"));
+        assert!(text.contains("settled=7 (alt))"));
         assert!(text.contains("  Scan t (rows=10"));
     }
 }

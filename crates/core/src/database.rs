@@ -15,6 +15,7 @@ use crate::exec::executor::Executor;
 use crate::exec::expression::{cast_value, eval};
 use crate::graph_index::GraphIndexRegistry;
 use crate::optimize::optimize_with;
+use crate::path_index::PathIndexRegistry;
 use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
 use crate::session::{PreparedStatement, Session};
 use gsql_parser::ast;
@@ -69,6 +70,7 @@ impl QueryResult {
 pub struct Database {
     catalog: Catalog,
     indexes: GraphIndexRegistry,
+    path_indexes: PathIndexRegistry,
 }
 
 impl Database {
@@ -92,13 +94,18 @@ impl Database {
         &self.indexes
     }
 
-    /// The structural version of the database: changes whenever a table or
-    /// graph index is created or dropped — through SQL statements or the
-    /// [`Catalog`] / [`GraphIndexRegistry`] APIs directly (e.g. bulk
-    /// loaders). Cached plans bind to one version and are invalidated when
-    /// it moves.
+    /// The path-index (ALT) registry.
+    pub fn path_indexes(&self) -> &PathIndexRegistry {
+        &self.path_indexes
+    }
+
+    /// The structural version of the database: changes whenever a table,
+    /// graph index or path index is created or dropped — through SQL
+    /// statements or the [`Catalog`] / [`GraphIndexRegistry`] /
+    /// [`PathIndexRegistry`] APIs directly (e.g. bulk loaders). Cached
+    /// plans bind to one version and are invalidated when it moves.
     pub fn schema_version(&self) -> u64 {
-        self.catalog.ddl_version() + self.indexes.version()
+        self.catalog.ddl_version() + self.indexes.version() + self.path_indexes.version()
     }
 
     /// Execute a single statement without parameters.
@@ -189,6 +196,7 @@ impl Database {
     pub(crate) fn drop_table_stmt(&self, name: &str) -> Result<QueryResult> {
         self.catalog.drop_table(name).map_err(Error::Storage)?;
         self.indexes.drop_indexes_for_table(name);
+        self.path_indexes.drop_indexes_for_table(name);
         Ok(QueryResult::Ok)
     }
 
@@ -206,6 +214,35 @@ impl Database {
 
     pub(crate) fn drop_graph_index_stmt(&self, name: &str) -> Result<QueryResult> {
         self.indexes.drop_index(name)?;
+        Ok(QueryResult::Ok)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn create_path_index_stmt(
+        &self,
+        name: &str,
+        table: &str,
+        src_col: &str,
+        dst_col: &str,
+        weight_col: Option<&str>,
+        landmarks: u32,
+        threads: usize,
+    ) -> Result<QueryResult> {
+        self.path_indexes.create_index(
+            &self.catalog,
+            name,
+            table,
+            src_col,
+            dst_col,
+            weight_col,
+            landmarks,
+            threads,
+        )?;
+        Ok(QueryResult::Ok)
+    }
+
+    pub(crate) fn drop_path_index_stmt(&self, name: &str) -> Result<QueryResult> {
+        self.path_indexes.drop_index(name)?;
         Ok(QueryResult::Ok)
     }
 

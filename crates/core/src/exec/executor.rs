@@ -65,8 +65,16 @@ impl<'a> Executor<'a> {
                 let t0 = Instant::now();
                 let result = self.execute_inner(plan);
                 self.depth.set(depth);
+                // Operator bodies may have left extra detail (e.g. ALT
+                // settled-vertex counts); it belongs to this operator.
+                let detail = self.ctx.take_op_detail();
                 if let Ok(t) = &result {
-                    cell.lock().expect("stats lock").finish(idx, t.row_count(), t0.elapsed());
+                    cell.lock().expect("stats lock").finish(
+                        idx,
+                        t.row_count(),
+                        t0.elapsed(),
+                        detail,
+                    );
                 }
                 result?
             }
@@ -86,7 +94,8 @@ impl<'a> Executor<'a> {
             LogicalPlan::Scan { table, .. } => {
                 self.ctx.catalog().get(table).map_err(Error::Storage)
             }
-            LogicalPlan::IndexedGraph { table, .. } => {
+            LogicalPlan::IndexedGraph { table, .. }
+            | LogicalPlan::PathIndexedGraph { table, .. } => {
                 // Reached only when a graph operator did not consume the
                 // node (or the index was dropped): scan the base table.
                 self.ctx.catalog().get(table).map_err(Error::Storage)
@@ -131,7 +140,7 @@ impl<'a> Executor<'a> {
             }
             LogicalPlan::Sort { input, keys } => {
                 let t = self.execute(input)?;
-                Ok(Arc::new(sort_table(&t, keys, params)?))
+                Ok(Arc::new(sort_table(&t, keys, params, self.ctx.threads())?))
             }
             LogicalPlan::Limit { input, limit, offset } => {
                 let t = self.execute(input)?;
@@ -163,15 +172,26 @@ impl<'a> Executor<'a> {
 
 /// Sort a table by the given keys (stable; NULLs first, as in
 /// [`Value::total_cmp`]).
-pub fn sort_table(table: &Table, keys: &[SortKey], params: &[Value]) -> Result<Table> {
+///
+/// With `threads > 1` and enough rows, the argsort becomes a parallel
+/// merge sort on the pool's chunk primitives: each contiguous chunk is
+/// argsorted independently, then sorted runs merge pairwise (rounds of
+/// parallel merges). Chunks are contiguous in row order and ties always
+/// take the earlier run, so the result is exactly the stable sequential
+/// sort — bit-for-bit, at every thread count.
+pub fn sort_table(
+    table: &Table,
+    keys: &[SortKey],
+    params: &[Value],
+    threads: usize,
+) -> Result<Table> {
     // Evaluate all key columns once (column-at-a-time), then argsort.
     let mut key_cols: Vec<(Column, bool)> = Vec::with_capacity(keys.len());
     for k in keys {
         let ty = k.expr.data_type().unwrap_or(gsql_storage::DataType::Varchar);
         key_cols.push((eval_to_column(&k.expr, table, params, ty)?, k.asc));
     }
-    let mut order: Vec<usize> = (0..table.row_count()).collect();
-    order.sort_by(|&a, &b| {
+    let cmp = |a: usize, b: usize| {
         for (col, asc) in &key_cols {
             let cmp = col.get(a).total_cmp(&col.get(b));
             if cmp != std::cmp::Ordering::Equal {
@@ -179,8 +199,58 @@ pub fn sort_table(table: &Table, keys: &[SortKey], params: &[Value]) -> Result<T
             }
         }
         std::cmp::Ordering::Equal
-    });
+    };
+    let n = table.row_count();
+    let pool = Pool::new(threads);
+    let order: Vec<usize> = if pool.is_sequential() || pool.chunks(n).len() <= 1 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| cmp(a, b));
+        order
+    } else {
+        // Per-chunk stable argsorts, in parallel. Chunk index ranges are
+        // contiguous and ascending, so run `i`'s original indices all
+        // precede run `i + 1`'s — the invariant the stable merge needs.
+        let mut runs: Vec<Vec<usize>> = pool.map_chunks(n, |range| {
+            let mut idx: Vec<usize> = range.collect();
+            idx.sort_by(|&a, &b| cmp(a, b));
+            idx
+        });
+        // Pairwise merge rounds, each round's merges in parallel.
+        while runs.len() > 1 {
+            let mut next: Vec<Vec<usize>> =
+                pool.map(runs.len() / 2, |i| merge_runs(&runs[2 * i], &runs[2 * i + 1], &cmp));
+            if runs.len() % 2 == 1 {
+                next.push(runs.pop().expect("odd run out"));
+            }
+            runs = next;
+        }
+        runs.pop().unwrap_or_default()
+    };
     Ok(table.take(&order))
+}
+
+/// Stable two-run merge: on equal keys the left run wins. Every index in
+/// `left` originates before every index in `right`, so this reproduces the
+/// sequential stable sort exactly.
+fn merge_runs(
+    left: &[usize],
+    right: &[usize],
+    cmp: &(impl Fn(usize, usize) -> std::cmp::Ordering + Sync),
+) -> Vec<usize> {
+    let mut out = Vec::with_capacity(left.len() + right.len());
+    let (mut i, mut j) = (0, 0);
+    while i < left.len() && j < right.len() {
+        if cmp(left[i], right[j]) != std::cmp::Ordering::Greater {
+            out.push(left[i]);
+            i += 1;
+        } else {
+            out.push(right[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&left[i..]);
+    out.extend_from_slice(&right[j..]);
+    out
 }
 
 /// Hash one row cell-by-cell into a single `u64` — no per-row key vector is
@@ -320,6 +390,34 @@ mod tests {
         t.append_row(vec![Value::Null]).unwrap();
         let d = distinct_table(&t, 1).unwrap();
         assert_eq!(d.row_count(), 2);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential_stably() {
+        use crate::plan::BoundExpr;
+        // Heavy duplication in the key column so stability is observable:
+        // rows with equal keys must keep their input order.
+        let t = mixed_table(5000);
+        let keys =
+            vec![SortKey { expr: BoundExpr::Column { index: 0, ty: DataType::Int }, asc: true }];
+        let seq = sort_table(&t, &keys, &[], 1).unwrap();
+        for threads in [2, 3, 8] {
+            let par = sort_table(&t, &keys, &[], threads).unwrap();
+            assert_eq!(par.row_count(), seq.row_count(), "threads {threads}");
+            for i in 0..seq.row_count() {
+                assert_eq!(par.row(i), seq.row(i), "threads {threads} row {i}");
+            }
+        }
+        // Descending + secondary key, same contract.
+        let keys = vec![
+            SortKey { expr: BoundExpr::Column { index: 1, ty: DataType::Varchar }, asc: false },
+            SortKey { expr: BoundExpr::Column { index: 0, ty: DataType::Int }, asc: true },
+        ];
+        let seq = sort_table(&t, &keys, &[], 1).unwrap();
+        let par = sort_table(&t, &keys, &[], 4).unwrap();
+        for i in 0..seq.row_count() {
+            assert_eq!(par.row(i), seq.row(i), "desc row {i}");
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::error::{exec_err, Error};
 use crate::exec::executor::Executor;
 use crate::exec::expression::{eval_const, eval_to_column};
+use crate::path_index::PathIndexData;
 use crate::plan::{BoundExpr, CheapestSpec, LogicalPlan, PlanSchema};
 use gsql_graph::batch::CostValue;
 use gsql_graph::{BatchComputer, Csr, GraphError, PairResult, WeightSpec};
@@ -320,28 +321,37 @@ pub fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
     }
 }
 
-/// Obtain the graph for an edge plan — from a matching, fresh graph index
-/// when one exists, otherwise by building it now.
+/// Obtain the graph for an edge plan — from a matching, fresh path or
+/// graph index when one exists, otherwise by building it now.
 ///
-/// Index usage comes in two flavours: the optimizer-planned
-/// [`LogicalPlan::IndexedGraph`] hint (session-aware planning, visible in
-/// `EXPLAIN`), and a runtime lookup for plain `Scan` edges (plans produced
-/// without a session context). Both honour the context's graph-index flag,
-/// since [`ExecContext::indexes`][crate::ExecContext::indexes] returns
-/// `None` when the setting is off.
+/// Index usage comes in three flavours: the optimizer-planned
+/// [`LogicalPlan::PathIndexedGraph`] hint (ALT acceleration; the returned
+/// [`PathIndexData`] carries the landmark index), the optimizer-planned
+/// [`LogicalPlan::IndexedGraph`] hint, and a runtime lookup for plain
+/// `Scan` edges (plans produced without a session context). All honour the
+/// context's index flags, whose accessors return `None` when the setting
+/// is off.
 fn obtain_graph(
     ex: &Executor<'_>,
     edge: &LogicalPlan,
     src_key: usize,
     dst_key: usize,
-) -> Result<(Arc<MaterializedGraph>, bool)> {
+) -> Result<(Arc<MaterializedGraph>, bool, Option<Arc<PathIndexData>>)> {
     let ctx = ex.ctx();
-    if let (LogicalPlan::IndexedGraph { index, .. }, Some(registry)) = (edge, ctx.indexes()) {
-        if let Some(graph) = registry.graph_by_name(ctx.catalog(), index, ctx.threads())? {
-            return Ok((graph, true));
+    if let (LogicalPlan::PathIndexedGraph { index, .. }, Some(registry)) =
+        (edge, ctx.path_indexes())
+    {
+        if let Some(data) = registry.data_by_name(ctx.catalog(), index, ctx.threads())? {
+            let graph = Arc::clone(&data.graph);
+            return Ok((graph, true, Some(data)));
         }
         // Index dropped since planning: fall through to the scan fallback
-        // built into the IndexedGraph executor arm.
+        // built into the PathIndexedGraph executor arm.
+    }
+    if let (LogicalPlan::IndexedGraph { index, .. }, Some(registry)) = (edge, ctx.indexes()) {
+        if let Some(graph) = registry.graph_by_name(ctx.catalog(), index, ctx.threads())? {
+            return Ok((graph, true, None));
+        }
     }
     if let (LogicalPlan::Scan { table, schema }, Some(registry)) = (edge, ctx.indexes()) {
         let src_name = &schema.column(src_key).name;
@@ -355,12 +365,92 @@ fn obtain_graph(
             dst_key,
             ctx.threads(),
         )? {
-            return Ok((graph, true));
+            return Ok((graph, true, None));
         }
     }
     let edges = ex.execute(edge)?;
     let threads = ctx.threads();
-    Ok((Arc::new(build_graph_with_threads(edges, src_key, dst_key, threads)?), false))
+    Ok((Arc::new(build_graph_with_threads(edges, src_key, dst_key, threads)?), false, None))
+}
+
+/// Run a single-pair batch through the ALT search when the index covers
+/// every spec. Returns `None` when any spec turns out ineligible at
+/// runtime (e.g. the index was recreated with a different weight column
+/// between planning and execution) — the caller falls back to the plain
+/// traversals, which are always correct.
+fn run_specs_alt(
+    ex: &Executor<'_>,
+    data: &PathIndexData,
+    pair: (u32, u32),
+    specs: &[CheapestSpec],
+    params: &[Value],
+) -> Result<Option<(Vec<bool>, Vec<SpecResults>)>> {
+    if !specs.iter().all(|s| crate::optimize::spec_alt_eligible(s, data.weight_key)) {
+        return Ok(None);
+    }
+    let forward = &data.graph.csr;
+    let backward = data.graph.reverse();
+    let (s, d) = pair;
+    let mut settled_total = 0usize;
+    let mut all = Vec::with_capacity(specs.len());
+    let mut reachable = Vec::new();
+    if specs.is_empty() {
+        // Reachability probe: one goal-directed search over the index's
+        // native weights; a finite distance means connected.
+        let r = gsql_accel::alt_bidirectional(
+            forward,
+            backward,
+            data.weight_slices(),
+            &data.landmarks,
+            s,
+            d,
+        );
+        settled_total += r.settled;
+        reachable.push(r.dist.is_some());
+    }
+    for spec in specs {
+        // Mirrors `prepare_spec`: a constant weight scales the hop count
+        // (validated strictly positive with the same error), a matching
+        // weight column uses the index's prevalidated weights.
+        let (weights, scale) = if spec.weight.is_constant() {
+            let v = eval_const(&spec.weight, params)?;
+            let positive = match &v {
+                Value::Int(x) => *x > 0,
+                Value::Double(x) => *x > 0.0 && x.is_finite(),
+                _ => false,
+            };
+            if !positive {
+                return Err(Error::Graph(GraphError::NonPositiveWeight {
+                    edge_row: 0,
+                    weight: v.to_string(),
+                }));
+            }
+            (None, Some(v))
+        } else {
+            (data.weight_slices(), None)
+        };
+        let r = gsql_accel::alt_bidirectional(forward, backward, weights, &data.landmarks, s, d);
+        settled_total += r.settled;
+        let result = PairResult {
+            reachable: r.dist.is_some(),
+            cost: r.dist.map(|c| CostValue::Int(c as i64)),
+            path: None,
+        };
+        if reachable.is_empty() {
+            reachable.push(result.reachable);
+        }
+        all.push(SpecResults {
+            results: vec![result],
+            scale,
+            want_path: false,
+            cost_ty: spec.weight_ty,
+        });
+    }
+    ex.ctx().record_op_detail(format!(
+        "settled={settled_total} (alt, landmarks={})",
+        data.landmarks.len()
+    ));
+    Ok(Some((reachable, all)))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -376,7 +466,7 @@ fn execute_graph_select(
     schema: &PlanSchema,
 ) -> Result<Arc<Table>> {
     let input_table = ex.execute(input)?;
-    let (graph, from_index) = obtain_graph(ex, edge, src_key, dst_key)?;
+    let (graph, from_index, alt_data) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
     // Map X/Y into the dense domain; drop rows whose endpoints are not
@@ -394,8 +484,19 @@ fn execute_graph_select(
         pairs.push((sid, did));
     }
 
-    let (reachable, spec_results) =
-        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?;
+    // Single-pair point-to-point requests route through the ALT search
+    // when a covering path index is attached; everything else (batches,
+    // ineligible specs, dropped index) takes the plain traversals.
+    let accelerated = match (&alt_data, pairs.len()) {
+        (Some(data), 1) => run_specs_alt(ex, data, pairs[0], specs, ex.ctx().params())?,
+        _ => None,
+    };
+    let (reachable, spec_results) = match accelerated {
+        Some(result) => result,
+        None => {
+            run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?
+        }
+    };
 
     let kept: Vec<usize> = (0..pairs.len()).filter(|&i| reachable[i]).collect();
     let kept_input_rows: Vec<usize> = kept.iter().map(|&i| candidates[i]).collect();
@@ -421,7 +522,9 @@ fn execute_graph_join(
 ) -> Result<Arc<Table>> {
     let left_table = ex.execute(left)?;
     let right_table = ex.execute(right)?;
-    let (graph, from_index) = obtain_graph(ex, edge, src_key, dst_key)?;
+    // GraphJoin is the batched many-to-many shape: the optimizer never
+    // attaches a path index here, so any returned ALT data is unused.
+    let (graph, from_index, _alt) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
     let x_col = eval_to_column(source, &left_table, ex.ctx().params(), key_ty)?;

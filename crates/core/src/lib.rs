@@ -61,6 +61,7 @@ pub mod error;
 pub mod exec;
 pub mod graph_index;
 pub mod optimize;
+pub mod path_index;
 pub mod plan;
 pub mod session;
 
@@ -69,6 +70,7 @@ pub use database::{Database, QueryResult};
 pub use error::Error;
 pub use exec::{build_graph, build_graph_with_threads, MaterializedGraph};
 pub use graph_index::GraphIndexRegistry;
+pub use path_index::{PathIndexData, PathIndexMeta, PathIndexRegistry};
 pub use plan::LogicalPlan;
 pub use session::{PlanCacheStats, PreparedStatement, Session};
 

@@ -27,17 +27,84 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
 }
 
 /// Context-aware optimization: the structural rules of [`optimize`], plus
-/// graph-index selection — when the session's `graph_index` setting is on,
-/// a graph operator's edge child that is a plain `Scan` covered by a
-/// registered index is replaced by [`LogicalPlan::IndexedGraph`]. The
-/// decision is visible in `EXPLAIN`, so `SET graph_index = off` changes
-/// the rendered plan.
+/// index selection — when the session's `path_index` setting is on, an
+/// eligible point-to-point graph select whose edge scan is covered by a
+/// registered ALT path index routes through
+/// [`LogicalPlan::PathIndexedGraph`]; when `graph_index` is on, remaining
+/// graph-operator edge scans covered by a graph index become
+/// [`LogicalPlan::IndexedGraph`]. Both decisions are visible in `EXPLAIN`,
+/// so `SET path_index = off` / `SET graph_index = off` change the rendered
+/// plan.
 pub fn optimize_with(plan: LogicalPlan, ctx: &ExecContext<'_>) -> LogicalPlan {
-    let plan = optimize(plan);
+    let mut plan = optimize(plan);
+    // Path indexes first: they subsume the graph index (same cached graph)
+    // and add the goal-directed search, so an eligible plan prefers them.
+    if let Some(registry) = ctx.path_indexes() {
+        plan = annotate_path_indexed_edges(plan, registry);
+    }
     match ctx.indexes() {
         Some(registry) => annotate_indexed_edges(plan, registry),
         None => plan,
     }
+}
+
+/// True when a `CHEAPEST SUM` spec can be answered by an ALT index with
+/// `weight_key`: no path requested (the stitched bidirectional path may
+/// legitimately differ from Dijkstra's on cost ties, and results must stay
+/// byte-identical), and the weight is either constant (hop scaling — only
+/// valid over a hop index) or exactly the index's integer weight column.
+pub(crate) fn spec_alt_eligible(
+    spec: &crate::plan::CheapestSpec,
+    weight_key: Option<usize>,
+) -> bool {
+    if spec.want_path {
+        return false;
+    }
+    if spec.weight.is_constant() {
+        return weight_key.is_none();
+    }
+    matches!(
+        spec.weight,
+        BoundExpr::Column { index, ty: gsql_storage::DataType::Int } if Some(index) == weight_key
+    )
+}
+
+/// Replace the edge scan of eligible point-to-point graph selects with
+/// [`LogicalPlan::PathIndexedGraph`]. Only `GraphSelect` qualifies: the
+/// batched many-to-many `GraphJoin` is what the existing source-parallel
+/// runtime serves best, while ALT targets the single-pair workload.
+fn annotate_path_indexed_edges(
+    plan: LogicalPlan,
+    registry: &crate::path_index::PathIndexRegistry,
+) -> LogicalPlan {
+    let plan = map_children(plan, |p| annotate_path_indexed_edges(p, registry));
+    let LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } =
+        plan
+    else {
+        return plan;
+    };
+    let edge = if let LogicalPlan::Scan { table, schema: edge_schema } = edge.as_ref() {
+        let src_name = &edge_schema.column(src_key).name;
+        let dst_name = &edge_schema.column(dst_key).name;
+        // Several indexes may cover this edge configuration (hop-distance
+        // vs weighted); take the first — name order, so deterministic —
+        // whose weight configuration serves every spec.
+        let eligible = registry
+            .find_indexes(table, src_name, dst_name)
+            .into_iter()
+            .find(|meta| specs.iter().all(|s| spec_alt_eligible(s, meta.weight_key)));
+        match eligible {
+            Some(meta) => Box::new(LogicalPlan::PathIndexedGraph {
+                index: meta.name,
+                table: table.clone(),
+                schema: edge_schema.clone(),
+            }),
+            None => edge,
+        }
+    } else {
+        edge
+    };
+    LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema }
 }
 
 /// Recursively replace indexed edge scans under graph operators.
@@ -109,7 +176,9 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
 fn map_children(plan: LogicalPlan, f: impl Fn(LogicalPlan) -> LogicalPlan + Copy) -> LogicalPlan {
     use LogicalPlan::*;
     match plan {
-        SingleRow | Scan { .. } | IndexedGraph { .. } | Values { .. } => plan,
+        SingleRow | Scan { .. } | IndexedGraph { .. } | PathIndexedGraph { .. } | Values { .. } => {
+            plan
+        }
         Filter { input, predicate } => Filter { input: Box::new(f(*input)), predicate },
         Project { input, exprs, schema } => Project { input: Box::new(f(*input)), exprs, schema },
         Join { left, right, kind, on, schema } => {

@@ -1,0 +1,521 @@
+//! Path indexes — the ALT path-acceleration subsystem's catalog layer.
+//!
+//! A path index, created with
+//! `CREATE PATH INDEX name ON table EDGE (src, dst) [WEIGHT col] USING
+//! LANDMARKS(k)`, precomputes everything a goal-directed point-to-point
+//! shortest-path query needs:
+//!
+//! * the [`MaterializedGraph`] (snapshot + dictionary + CSR) and its
+//!   reverse CSR;
+//! * the per-slot weight arrays of both directions (when a `WEIGHT` column
+//!   is given; validated strictly positive and integral at build time);
+//! * the [`Landmarks`] index: `k` landmarks with exact forward/backward
+//!   distance vectors, built one traversal per vector over the worker pool.
+//!
+//! Invalidation mirrors the graph-index registry: entries cache against the
+//! catalog's per-table **version counter** (any DML bumps it; the next
+//! query rebuilds lazily), and the registry's own **structural version**
+//! participates in [`Database::schema_version`](crate::Database::
+//! schema_version), so cached plans that decided for or against a path
+//! index are invalidated by `CREATE`/`DROP PATH INDEX`.
+
+use crate::error::{bind_err, Error};
+use crate::exec::graph_op::{build_graph_with_threads, MaterializedGraph};
+use gsql_accel::Landmarks;
+use gsql_storage::{Catalog, Column, DataType};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Upper bound on the landmark count: beyond this the `O(k)` per-vertex
+/// bound evaluation starts to cost more than the pruning saves, and the
+/// index memory (`2·k·|V|·8` bytes) grows without benefit.
+pub const MAX_LANDMARKS: u32 = 64;
+
+/// Everything a query needs from one built path index.
+#[derive(Debug)]
+pub struct PathIndexData {
+    /// The materialized graph (snapshot, CSR, dictionary). Its reverse CSR
+    /// is forced at build time, so queries never pay for it.
+    pub graph: Arc<MaterializedGraph>,
+    /// The ALT landmark index.
+    pub landmarks: Landmarks,
+    /// Ordinal of the weight column in the edge table's schema; `None` for
+    /// a hop-distance index.
+    pub weight_key: Option<usize>,
+    /// Weights in forward-CSR slot order (present iff `weight_key`).
+    pub weights_fwd: Option<Vec<i64>>,
+    /// Weights in reverse-CSR slot order (present iff `weight_key`).
+    pub weights_bwd: Option<Vec<i64>>,
+}
+
+impl PathIndexData {
+    /// The per-slot weight pair in the form [`gsql_accel::alt_bidirectional`]
+    /// consumes (`None` = unit weights).
+    pub fn weight_slices(&self) -> Option<(&[i64], &[i64])> {
+        match (&self.weights_fwd, &self.weights_bwd) {
+            (Some(f), Some(b)) => Some((f.as_slice(), b.as_slice())),
+            _ => None,
+        }
+    }
+}
+
+/// Planner-visible description of a registered path index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathIndexMeta {
+    /// Index name (lowercased registry key).
+    pub name: String,
+    /// Ordinal of the weight column in the table schema, `None` for hops.
+    pub weight_key: Option<usize>,
+    /// Landmark count the index was declared with.
+    pub landmarks: u32,
+}
+
+/// One registered path index.
+#[derive(Debug)]
+struct IndexEntry {
+    table: String,
+    src_col: String,
+    dst_col: String,
+    weight_col: Option<String>,
+    weight_key: Option<usize>,
+    landmarks: u32,
+    /// `(table version when built, the data)`.
+    cached: Option<(u64, Arc<PathIndexData>)>,
+}
+
+/// Registry of path indexes, keyed by (lowercased) index name.
+///
+/// Carries a structural version counter bumped on create/drop, consumed by
+/// the session plan cache through `Database::schema_version`.
+#[derive(Debug, Default)]
+pub struct PathIndexRegistry {
+    inner: RwLock<HashMap<String, IndexEntry>>,
+    version: AtomicU64,
+}
+
+impl PathIndexRegistry {
+    /// Empty registry.
+    pub fn new() -> PathIndexRegistry {
+        PathIndexRegistry::default()
+    }
+
+    /// Structural version (bumped on every create/drop).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Every index covering `(table, src_col, dst_col)`, sorted by name so
+    /// planning is deterministic (matching is case-insensitive). Several
+    /// indexes may cover one edge configuration — e.g. a hop index and a
+    /// weighted index — and the optimizer picks the one whose weight
+    /// configuration the query's specs can actually use.
+    pub fn find_indexes(&self, table: &str, src_col: &str, dst_col: &str) -> Vec<PathIndexMeta> {
+        let table_key = table.to_ascii_lowercase();
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut found: Vec<PathIndexMeta> = inner
+            .iter()
+            .filter(|(_, e)| {
+                e.table == table_key
+                    && e.src_col.eq_ignore_ascii_case(src_col)
+                    && e.dst_col.eq_ignore_ascii_case(dst_col)
+            })
+            .map(|(name, e)| PathIndexMeta {
+                name: name.clone(),
+                weight_key: e.weight_key,
+                landmarks: e.landmarks,
+            })
+            .collect();
+        found.sort_by(|a, b| a.name.cmp(&b.name));
+        found
+    }
+
+    /// The first index covering `(table, src_col, dst_col)` in name order,
+    /// if any (convenience over [`PathIndexRegistry::find_indexes`]).
+    pub fn find_index(&self, table: &str, src_col: &str, dst_col: &str) -> Option<PathIndexMeta> {
+        self.find_indexes(table, src_col, dst_col).into_iter().next()
+    }
+
+    /// Fetch the (fresh) data of the index named `name`, rebuilding a stale
+    /// cache entry with `threads` workers. `None` when the index no longer
+    /// exists — callers fall back to the unaccelerated path.
+    pub fn data_by_name(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        threads: usize,
+    ) -> Result<Option<Arc<PathIndexData>>> {
+        let key = name.to_ascii_lowercase();
+        let (table, src_col, dst_col, weight_col, landmarks) = {
+            let inner = self.inner.read().expect("registry lock poisoned");
+            let Some(entry) = inner.get(&key) else {
+                return Ok(None);
+            };
+            let current = catalog.entry(&entry.table).map_err(Error::Storage)?;
+            if let Some((version, data)) = &entry.cached {
+                if *version == current.version {
+                    return Ok(Some(Arc::clone(data)));
+                }
+            }
+            (
+                entry.table.clone(),
+                entry.src_col.clone(),
+                entry.dst_col.clone(),
+                entry.weight_col.clone(),
+                entry.landmarks,
+            )
+        };
+        // Stale: rebuild outside the read lock.
+        let entry = catalog.entry(&table).map_err(Error::Storage)?;
+        let data = Arc::new(build_data(
+            catalog,
+            &table,
+            &src_col,
+            &dst_col,
+            weight_col.as_deref(),
+            landmarks,
+            threads,
+        )?);
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if let Some(e) = inner.get_mut(&key) {
+            // Skip the write-back if the index was concurrently dropped and
+            // recreated over a different configuration (columns, weight or
+            // landmark count).
+            if e.table == table
+                && e.src_col.eq_ignore_ascii_case(&src_col)
+                && e.dst_col.eq_ignore_ascii_case(&dst_col)
+                && e.weight_col == weight_col
+                && e.landmarks == landmarks
+            {
+                e.cached = Some((entry.version, Arc::clone(&data)));
+            }
+        }
+        Ok(Some(data))
+    }
+
+    /// Create an index and build its landmark data eagerly with `threads`
+    /// workers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create_index(
+        &self,
+        catalog: &Catalog,
+        name: &str,
+        table: &str,
+        src_col: &str,
+        dst_col: &str,
+        weight_col: Option<&str>,
+        landmarks: u32,
+        threads: usize,
+    ) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if landmarks == 0 || landmarks > MAX_LANDMARKS {
+            return Err(bind_err!(
+                "LANDMARKS count must be between 1 and {MAX_LANDMARKS}, got {landmarks}"
+            ));
+        }
+        // Reject duplicate names before paying for the build; the write
+        // lock below re-checks to close the create/create race.
+        if self.inner.read().expect("registry lock poisoned").contains_key(&key) {
+            return Err(bind_err!("path index '{name}' already exists"));
+        }
+        let entry = catalog.entry(table).map_err(Error::Storage)?;
+        let schema = entry.table.schema();
+        let src_key = schema
+            .index_of(src_col)
+            .ok_or_else(|| bind_err!("no column '{src_col}' in table '{table}'"))?;
+        let dst_key = schema
+            .index_of(dst_col)
+            .ok_or_else(|| bind_err!("no column '{dst_col}' in table '{table}'"))?;
+        let s_ty = schema.column(src_key).ty;
+        let d_ty = schema.column(dst_key).ty;
+        if s_ty != d_ty {
+            return Err(bind_err!(
+                "EDGE columns must have matching types, found {s_ty} and {d_ty}"
+            ));
+        }
+        if !s_ty.is_vertex_key() {
+            return Err(bind_err!("type {s_ty} cannot be used as a graph vertex key"));
+        }
+        let weight_key = match weight_col {
+            None => None,
+            Some(w) => {
+                let idx = schema
+                    .index_of(w)
+                    .ok_or_else(|| bind_err!("no column '{w}' in table '{table}'"))?;
+                let ty = schema.column(idx).ty;
+                if ty != DataType::Int {
+                    return Err(bind_err!(
+                        "PATH INDEX WEIGHT column must be INTEGER so landmark bounds stay \
+                         exact, found {ty}; CAST the weight into an integer column"
+                    ));
+                }
+                Some(idx)
+            }
+        };
+        let data =
+            Arc::new(build_data(catalog, table, src_col, dst_col, weight_col, landmarks, threads)?);
+
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if inner.contains_key(&key) {
+            return Err(bind_err!("path index '{name}' already exists"));
+        }
+        inner.insert(
+            key,
+            IndexEntry {
+                table: table.to_ascii_lowercase(),
+                src_col: src_col.to_string(),
+                dst_col: dst_col.to_string(),
+                weight_col: weight_col.map(str::to_string),
+                weight_key,
+                landmarks,
+                cached: Some((entry.version, data)),
+            },
+        );
+        drop(inner);
+        self.bump_version();
+        Ok(())
+    }
+
+    /// Drop an index.
+    pub fn drop_index(&self, name: &str) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let removed = inner.remove(&key);
+        drop(inner);
+        if removed.is_some() {
+            self.bump_version();
+            Ok(())
+        } else {
+            Err(bind_err!("path index '{name}' does not exist"))
+        }
+    }
+
+    /// Remove every index defined over `table` (used by `DROP TABLE`).
+    pub fn drop_indexes_for_table(&self, table: &str) {
+        let key = table.to_ascii_lowercase();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        let before = inner.len();
+        inner.retain(|_, e| e.table != key);
+        let removed = before != inner.len();
+        drop(inner);
+        if removed {
+            self.bump_version();
+        }
+    }
+
+    /// Names of all indexes, sorted.
+    pub fn index_names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut names: Vec<String> = inner.keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+/// Build the full per-index data set: graph, reverse CSR, validated slot
+/// weights, landmark vectors.
+fn build_data(
+    catalog: &Catalog,
+    table: &str,
+    src_col: &str,
+    dst_col: &str,
+    weight_col: Option<&str>,
+    landmarks: u32,
+    threads: usize,
+) -> Result<PathIndexData> {
+    let entry = catalog.entry(table).map_err(Error::Storage)?;
+    let schema = entry.table.schema();
+    let src_key = schema
+        .index_of(src_col)
+        .ok_or_else(|| bind_err!("no column '{src_col}' in table '{table}'"))?;
+    let dst_key = schema
+        .index_of(dst_col)
+        .ok_or_else(|| bind_err!("no column '{dst_col}' in table '{table}'"))?;
+    let weight_key = weight_col
+        .map(|w| schema.index_of(w).ok_or_else(|| bind_err!("no column '{w}' in table '{table}'")))
+        .transpose()?;
+
+    let graph =
+        Arc::new(build_graph_with_threads(Arc::clone(&entry.table), src_key, dst_key, threads)?);
+    let reverse = graph.reverse(); // force + cache the reverse CSR now
+
+    let (weights_fwd, weights_bwd) = match weight_key {
+        None => (None, None),
+        Some(wk) => {
+            // Read row-indexed weights off the NULL-filtered snapshot so
+            // they line up with the CSR's edge-row ids.
+            let col = graph.edges.column(wk);
+            let raw: Vec<i64> = match col {
+                Column::Int(vals, validity) => {
+                    if let Some(row) = (0..vals.len()).find(|&i| !validity.get(i)) {
+                        return Err(Error::Graph(gsql_graph::GraphError::NullWeight {
+                            edge_row: row as u32,
+                        }));
+                    }
+                    vals.clone()
+                }
+                other => {
+                    return Err(bind_err!(
+                        "PATH INDEX WEIGHT column must be INTEGER, found {}",
+                        other.data_type()
+                    ))
+                }
+            };
+            let fwd =
+                graph.csr.permute_weights_int_with_threads(&raw, threads).map_err(Error::Graph)?;
+            let bwd =
+                reverse.permute_weights_int_with_threads(&raw, threads).map_err(Error::Graph)?;
+            (Some(fwd), Some(bwd))
+        }
+    };
+
+    let lm = Landmarks::build(
+        &graph.csr,
+        reverse,
+        match (&weights_fwd, &weights_bwd) {
+            (Some(f), Some(b)) => Some((f.as_slice(), b.as_slice())),
+            _ => None,
+        },
+        landmarks as usize,
+        threads,
+    );
+    Ok(PathIndexData { graph, landmarks: lm, weight_key, weights_fwd, weights_bwd })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_storage::{ColumnDef, Schema, Value};
+
+    fn setup() -> (Catalog, PathIndexRegistry) {
+        let catalog = Catalog::new();
+        catalog
+            .create_table(
+                "roads",
+                Schema::new(vec![
+                    ColumnDef::not_null("a", DataType::Int),
+                    ColumnDef::not_null("b", DataType::Int),
+                    ColumnDef::not_null("len", DataType::Int),
+                ]),
+            )
+            .unwrap();
+        catalog
+            .update("roads", |t| {
+                for (a, b, len) in [(1, 2, 5), (2, 3, 5), (1, 3, 20), (3, 4, 1)] {
+                    t.append_row(vec![Value::Int(a), Value::Int(b), Value::Int(len)])?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        (catalog, PathIndexRegistry::new())
+    }
+
+    #[test]
+    fn create_build_and_query_data() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "pi", "roads", "a", "b", Some("len"), 2, 2).unwrap();
+        let meta = reg.find_index("ROADS", "A", "B").unwrap();
+        assert_eq!(meta.name, "pi");
+        assert_eq!(meta.weight_key, Some(2));
+        assert_eq!(meta.landmarks, 2);
+        let data = reg.data_by_name(&catalog, "pi", 2).unwrap().unwrap();
+        assert_eq!(data.graph.num_edges(), 4);
+        assert!(data.weight_slices().is_some());
+        // Exact ALT distance through the cheap 1→2→3 route.
+        let s = data.graph.lookup(&Value::Int(1)).unwrap();
+        let d = data.graph.lookup(&Value::Int(3)).unwrap();
+        let r = gsql_accel::alt_bidirectional(
+            &data.graph.csr,
+            data.graph.reverse(),
+            data.weight_slices(),
+            &data.landmarks,
+            s,
+            d,
+        );
+        assert_eq!(r.dist, Some(10));
+        // Unchanged table: same Arc on the next fetch.
+        let again = reg.data_by_name(&catalog, "pi", 2).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&data, &again));
+    }
+
+    #[test]
+    fn mutation_invalidates_and_rebuilds() {
+        let (catalog, reg) = setup();
+        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 3, 1).unwrap();
+        let d1 = reg.data_by_name(&catalog, "pi", 1).unwrap().unwrap();
+        catalog
+            .update("roads", |t| t.append_row(vec![Value::Int(4), Value::Int(5), Value::Int(2)]))
+            .unwrap();
+        let d2 = reg.data_by_name(&catalog, "pi", 1).unwrap().unwrap();
+        assert!(!Arc::ptr_eq(&d1, &d2));
+        assert_eq!(d2.graph.num_edges(), 5);
+        let d3 = reg.data_by_name(&catalog, "pi", 1).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&d2, &d3));
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (catalog, reg) = setup();
+        assert!(reg.create_index(&catalog, "pi", "nope", "a", "b", None, 2, 1).is_err());
+        assert!(reg.create_index(&catalog, "pi", "roads", "zzz", "b", None, 2, 1).is_err());
+        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", Some("zzz"), 2, 1).is_err());
+        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", None, 0, 1).is_err());
+        assert!(reg
+            .create_index(&catalog, "pi", "roads", "a", "b", None, MAX_LANDMARKS + 1, 1)
+            .is_err());
+        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
+        assert!(reg.create_index(&catalog, "PI", "roads", "a", "b", None, 2, 1).is_err());
+        assert!(reg.drop_index("missing").is_err());
+        reg.drop_index("pi").unwrap();
+        assert!(reg.index_names().is_empty());
+    }
+
+    #[test]
+    fn weight_column_must_be_integer() {
+        let (catalog, reg) = setup();
+        catalog
+            .create_table(
+                "fe",
+                Schema::new(vec![
+                    ColumnDef::not_null("s", DataType::Int),
+                    ColumnDef::not_null("d", DataType::Int),
+                    ColumnDef::not_null("w", DataType::Double),
+                ]),
+            )
+            .unwrap();
+        let err = reg.create_index(&catalog, "pi", "fe", "s", "d", Some("w"), 2, 1).unwrap_err();
+        assert!(err.to_string().contains("INTEGER"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_weights_rejected_at_build() {
+        let (catalog, reg) = setup();
+        catalog
+            .update("roads", |t| t.append_row(vec![Value::Int(9), Value::Int(10), Value::Int(0)]))
+            .unwrap();
+        let err =
+            reg.create_index(&catalog, "pi", "roads", "a", "b", Some("len"), 2, 1).unwrap_err();
+        assert!(err.to_string().contains("strictly greater than 0"), "{err}");
+    }
+
+    #[test]
+    fn version_bumps_on_create_and_drop() {
+        let (catalog, reg) = setup();
+        assert_eq!(reg.version(), 0);
+        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
+        assert_eq!(reg.version(), 1);
+        reg.drop_index("pi").unwrap();
+        assert_eq!(reg.version(), 2);
+        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
+        reg.drop_indexes_for_table("roads");
+        assert_eq!(reg.version(), 4);
+        reg.drop_indexes_for_table("roads");
+        assert_eq!(reg.version(), 4);
+    }
+}

@@ -166,6 +166,20 @@ pub enum LogicalPlan {
         /// Output schema (identical to the underlying scan's).
         schema: PlanSchema,
     },
+    /// An edge table served from a registered **ALT path index**: the
+    /// enclosing graph operator is point-to-point eligible, so the executor
+    /// routes single-pair requests through goal-directed bidirectional A*
+    /// over the precomputed landmark bounds, falling back to Dijkstra when
+    /// the index is gone or the request is not a single pair. Produced by
+    /// the optimizer when the session's `path_index` setting is on.
+    PathIndexedGraph {
+        /// The path-index name.
+        index: String,
+        /// The indexed base table (used as fallback).
+        table: String,
+        /// Output schema (identical to the underlying scan's).
+        schema: PlanSchema,
+    },
     /// Literal rows.
     Values {
         /// Row-major expressions (no column references).
@@ -317,6 +331,7 @@ impl LogicalPlan {
             }
             Scan { schema, .. }
             | IndexedGraph { schema, .. }
+            | PathIndexedGraph { schema, .. }
             | Values { schema, .. }
             | Project { schema, .. }
             | Join { schema, .. }
@@ -351,7 +366,11 @@ impl LogicalPlan {
     pub fn children(&self) -> Vec<&LogicalPlan> {
         use LogicalPlan::*;
         match self {
-            SingleRow | Scan { .. } | IndexedGraph { .. } | Values { .. } => Vec::new(),
+            SingleRow
+            | Scan { .. }
+            | IndexedGraph { .. }
+            | PathIndexedGraph { .. }
+            | Values { .. } => Vec::new(),
             Filter { input, .. }
             | Project { input, .. }
             | Aggregate { input, .. }
@@ -376,6 +395,9 @@ impl LogicalPlan {
             }
             LogicalPlan::IndexedGraph { index, table, .. } => {
                 format!("GraphIndex {index} ON {table}")
+            }
+            LogicalPlan::PathIndexedGraph { index, table, .. } => {
+                format!("PathIndex {index} ON {table} (ALT)")
             }
             LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
             LogicalPlan::Filter { input, predicate } => {

@@ -229,11 +229,11 @@ impl<'db> Session<'db> {
     /// Change a setting programmatically (same as `SET name = value`).
     pub fn set(&self, name: &str, value: &str) -> Result<()> {
         self.settings.borrow_mut().set(name, value)?;
-        // Only graph_index influences plan *shape*; dropping the cache for
-        // execution-time knobs (e.g. row_limit) would throw away good
-        // plans. Lowering plan_cache_size evicts down right away so the
-        // memory the caller asked to reclaim is actually released.
-        if name.eq_ignore_ascii_case("graph_index") {
+        // Only graph_index and path_index influence plan *shape*; dropping
+        // the cache for execution-time knobs (e.g. row_limit) would throw
+        // away good plans. Lowering plan_cache_size evicts down right away
+        // so the memory the caller asked to reclaim is actually released.
+        if name.eq_ignore_ascii_case("graph_index") || name.eq_ignore_ascii_case("path_index") {
             self.cache.borrow_mut().clear();
         } else if name.eq_ignore_ascii_case("plan_cache_size") {
             let capacity = self.settings.borrow().plan_cache_size;
@@ -320,6 +320,7 @@ impl<'db> Session<'db> {
         'db: 'a,
     {
         ExecContext::new(self.db.catalog(), params, Some(self.db.graph_indexes()))
+            .with_path_indexes(self.db.path_indexes())
             .with_settings(self.settings.borrow().clone())
     }
 
@@ -446,6 +447,26 @@ impl<'db> Session<'db> {
                 self.db.create_graph_index_stmt(name, table, src_col, dst_col, threads)
             }
             ast::Statement::DropGraphIndex { name } => self.db.drop_graph_index_stmt(name),
+            ast::Statement::CreatePathIndex {
+                name,
+                table,
+                src_col,
+                dst_col,
+                weight_col,
+                landmarks,
+            } => {
+                let threads = self.settings.borrow().threads;
+                self.db.create_path_index_stmt(
+                    name,
+                    table,
+                    src_col,
+                    dst_col,
+                    weight_col.as_deref(),
+                    *landmarks,
+                    threads,
+                )
+            }
+            ast::Statement::DropPathIndex { name } => self.db.drop_path_index_stmt(name),
         }
     }
 }

@@ -135,11 +135,16 @@ impl<'g> BatchComputer<'g> {
                 return Err(GraphError::VertexOutOfRange { id: d, n });
             }
         }
-        // Permute + validate weights once for the whole batch.
+        // Permute + validate weights once for the whole batch (the gather
+        // parallelizes over the computer's pool; threads = 1 is sequential).
         let permuted: PermutedWeights = match spec {
             WeightSpec::Unweighted => PermutedWeights::None,
-            WeightSpec::Int(w) => PermutedWeights::Int(self.graph.permute_weights_int(w)?),
-            WeightSpec::Float(w) => PermutedWeights::Float(self.graph.permute_weights_float(w)?),
+            WeightSpec::Int(w) => {
+                PermutedWeights::Int(self.graph.permute_weights_int_with_threads(w, self.threads)?)
+            }
+            WeightSpec::Float(w) => PermutedWeights::Float(
+                self.graph.permute_weights_float_with_threads(w, self.threads)?,
+            ),
         };
 
         // Group pair indices by source vertex: `order[range]` holds the

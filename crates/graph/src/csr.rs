@@ -221,41 +221,95 @@ impl Csr {
     /// `weights[row]` is the weight of original edge row `row`; the result
     /// is aligned with [`Csr::targets`].
     pub fn permute_weights_int(&self, weights: &[i64]) -> Result<Vec<i64>> {
-        if weights.len() != self.num_edges() {
-            return Err(GraphError::LengthMismatch(format!(
-                "{} weights for {} edges",
-                weights.len(),
-                self.num_edges()
-            )));
-        }
-        let mut out = Vec::with_capacity(self.num_edges());
-        for &row in &self.edge_rows {
-            let w = weights[row as usize];
-            if w <= 0 {
-                return Err(GraphError::NonPositiveWeight { edge_row: row, weight: w.to_string() });
-            }
-            out.push(w);
-        }
-        Ok(out)
+        self.permute_weights_int_with_threads(weights, 1)
+    }
+
+    /// [`Csr::permute_weights_int`] with the gather chunked over a scoped
+    /// worker pool. Each chunk of CSR slots gathers (and validates) its
+    /// range independently; the reported error is the one the sequential
+    /// slot-order scan would surface (the failing chunks all finish, and
+    /// the earliest chunk's first offending slot wins), so the output —
+    /// values and errors alike — is identical to the sequential gather.
+    pub fn permute_weights_int_with_threads(
+        &self,
+        weights: &[i64],
+        threads: usize,
+    ) -> Result<Vec<i64>> {
+        self.permute_weights_with(weights, threads, |w| *w > 0)
     }
 
     /// Floating-point variant of [`Csr::permute_weights_int`]. NaN weights
     /// are rejected alongside non-positive ones.
     pub fn permute_weights_float(&self, weights: &[f64]) -> Result<Vec<f64>> {
-        if weights.len() != self.num_edges() {
+        self.permute_weights_float_with_threads(weights, 1)
+    }
+
+    /// [`Csr::permute_weights_float`] with the chunked parallel gather of
+    /// [`Csr::permute_weights_int_with_threads`] (same error semantics).
+    pub fn permute_weights_float_with_threads(
+        &self,
+        weights: &[f64],
+        threads: usize,
+    ) -> Result<Vec<f64>> {
+        self.permute_weights_with(weights, threads, |w| *w > 0.0 && !w.is_nan())
+    }
+
+    /// The shared gather: `out[slot] = weights[edge_rows[slot]]`, chunked
+    /// over the pool, rejecting any weight failing `valid`.
+    fn permute_weights_with<T: Copy + Send + Sync + ToString>(
+        &self,
+        weights: &[T],
+        threads: usize,
+        valid: impl Fn(&T) -> bool + Sync,
+    ) -> Result<Vec<T>> {
+        let m = self.num_edges();
+        if weights.len() != m {
             return Err(GraphError::LengthMismatch(format!(
                 "{} weights for {} edges",
                 weights.len(),
-                self.num_edges()
+                m
             )));
         }
-        let mut out = Vec::with_capacity(self.num_edges());
-        for &row in &self.edge_rows {
-            let w = weights[row as usize];
-            if w <= 0.0 || w.is_nan() {
-                return Err(GraphError::NonPositiveWeight { edge_row: row, weight: w.to_string() });
+        let pool = Pool::new(threads);
+        if pool.is_sequential() || pool.chunks(m).len() <= 1 {
+            let mut out = Vec::with_capacity(m);
+            for &row in &self.edge_rows {
+                let w = weights[row as usize];
+                if !valid(&w) {
+                    return Err(GraphError::NonPositiveWeight {
+                        edge_row: row,
+                        weight: w.to_string(),
+                    });
+                }
+                out.push(w);
             }
-            out.push(w);
+            return Ok(out);
+        }
+        let mut out = vec![weights[0]; m];
+        // Every chunk runs to completion (no fail-fast): chunk results are
+        // inspected in slot order below, so the winning error is exactly
+        // the first offending slot a sequential scan would report.
+        let results: Vec<Result<()>> = {
+            let shared = SharedSlice::new(&mut out);
+            pool.map_chunks(m, |range| {
+                for slot in range {
+                    let row = self.edge_rows[slot];
+                    let w = weights[row as usize];
+                    if !valid(&w) {
+                        return Err(GraphError::NonPositiveWeight {
+                            edge_row: row,
+                            weight: w.to_string(),
+                        });
+                    }
+                    // SAFETY: chunks partition the slot range; each slot is
+                    // written by exactly one chunk.
+                    unsafe { shared.write(slot, w) };
+                }
+                Ok(())
+            })
+        };
+        for r in results {
+            r?;
         }
         Ok(out)
     }
@@ -339,6 +393,51 @@ mod tests {
         assert!(matches!(err, GraphError::NonPositiveWeight { edge_row: 3, .. }));
         let err = g.permute_weights_float(&[1.0, 2.0, 3.0, f64::NAN, 5.0]).unwrap_err();
         assert!(matches!(err, GraphError::NonPositiveWeight { edge_row: 3, .. }));
+    }
+
+    #[test]
+    fn parallel_permute_matches_sequential() {
+        // Large enough that a 4-wide pool actually splits into chunks.
+        let m = 4096u32;
+        let n = 64u32;
+        let src: Vec<u32> = (0..m).map(|i| (i * 7 + 3) % n).collect();
+        let dst: Vec<u32> = (0..m).map(|i| (i * 13 + 1) % n).collect();
+        let g = Csr::from_edges(n, &src, &dst).unwrap();
+        let wi: Vec<i64> = (0..m as i64).map(|i| i % 97 + 1).collect();
+        let wf: Vec<f64> = wi.iter().map(|&w| w as f64 * 0.5).collect();
+        let seq_i = g.permute_weights_int(&wi).unwrap();
+        let seq_f = g.permute_weights_float(&wf).unwrap();
+        for threads in [2, 4, 8] {
+            assert_eq!(g.permute_weights_int_with_threads(&wi, threads).unwrap(), seq_i);
+            assert_eq!(g.permute_weights_float_with_threads(&wf, threads).unwrap(), seq_f);
+        }
+    }
+
+    #[test]
+    fn parallel_permute_reports_sequential_error() {
+        // Two offending rows in different chunks: the parallel gather must
+        // report the same (slot-order-first) error as the sequential scan.
+        let m = 4096u32;
+        let n = 64u32;
+        let src: Vec<u32> = (0..m).map(|i| (i * 5 + 2) % n).collect();
+        let dst: Vec<u32> = (0..m).map(|i| (i * 11 + 9) % n).collect();
+        let g = Csr::from_edges(n, &src, &dst).unwrap();
+        let mut wi: Vec<i64> = vec![1; m as usize];
+        wi[100] = 0;
+        wi[4000] = -5;
+        let seq = g.permute_weights_int(&wi).unwrap_err();
+        for threads in [2, 4, 8] {
+            let par = g.permute_weights_int_with_threads(&wi, threads).unwrap_err();
+            assert_eq!(par, seq, "threads {threads}");
+        }
+        let mut wf: Vec<f64> = vec![1.0; m as usize];
+        wf[70] = f64::NAN;
+        wf[3900] = -1.0;
+        let seq = g.permute_weights_float(&wf).unwrap_err();
+        for threads in [2, 4, 8] {
+            let par = g.permute_weights_float_with_threads(&wf, threads).unwrap_err();
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 
     #[test]

@@ -63,6 +63,12 @@ impl DijkstraIntScratch {
         DijkstraIntScratch::default()
     }
 
+    /// Number of vertices settled (popped with their final distance) by the
+    /// last run — the work metric goal-directed search tries to shrink.
+    pub fn settled_count(&self) -> usize {
+        self.settled.iter().filter(|&&s| s).count()
+    }
+
     fn reset(&mut self, n: usize) {
         self.dist.clear();
         self.dist.resize(n, u64::MAX);
@@ -180,6 +186,12 @@ impl DijkstraFloatScratch {
     /// Fresh, empty scratch; arenas grow on first use.
     pub fn new() -> DijkstraFloatScratch {
         DijkstraFloatScratch::default()
+    }
+
+    /// Number of vertices settled by the last run (see
+    /// [`DijkstraIntScratch::settled_count`]).
+    pub fn settled_count(&self) -> usize {
+        self.settled.iter().filter(|&&s| s).count()
     }
 
     fn reset(&mut self, n: usize) {

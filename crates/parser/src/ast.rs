@@ -433,6 +433,29 @@ pub enum Statement {
         /// Index name.
         name: String,
     },
+    /// `CREATE PATH INDEX name ON table EDGE (src, dst) [WEIGHT col]
+    /// USING LANDMARKS(k)` — an ALT path-acceleration index: landmark
+    /// distance vectors precomputed for goal-directed point-to-point
+    /// shortest-path search.
+    CreatePathIndex {
+        /// Index name.
+        name: String,
+        /// Indexed edge table.
+        table: String,
+        /// Source column.
+        src_col: String,
+        /// Destination column.
+        dst_col: String,
+        /// Optional weight column; `None` indexes hop distances.
+        weight_col: Option<String>,
+        /// Number of landmarks `k`.
+        landmarks: u32,
+    },
+    /// `DROP PATH INDEX name`
+    DropPathIndex {
+        /// Index name.
+        name: String,
+    },
     /// A query.
     Query(Query),
     /// `EXPLAIN query` — renders the optimized logical plan.

@@ -349,6 +349,14 @@ impl fmt::Display for Statement {
                 write!(f, "CREATE GRAPH INDEX {name} ON {table} EDGE ({src_col}, {dst_col})")
             }
             Statement::DropGraphIndex { name } => write!(f, "DROP GRAPH INDEX {name}"),
+            Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks } => {
+                write!(f, "CREATE PATH INDEX {name} ON {table} EDGE ({src_col}, {dst_col})")?;
+                if let Some(w) = weight_col {
+                    write!(f, " WEIGHT {w}")?;
+                }
+                write!(f, " USING LANDMARKS({landmarks})")
+            }
+            Statement::DropPathIndex { name } => write!(f, "DROP PATH INDEX {name}"),
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
             Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
@@ -416,6 +424,9 @@ mod tests {
         round_trip("UPDATE t SET a = a + 1 WHERE b = 'x'");
         round_trip("DELETE FROM t WHERE a IS NOT NULL");
         round_trip("CREATE GRAPH INDEX gi ON friends EDGE (p1, p2)");
+        round_trip("CREATE PATH INDEX pi ON roads EDGE (a, b) WEIGHT len USING LANDMARKS(16)");
+        round_trip("CREATE PATH INDEX pi ON friends EDGE (p1, p2) USING LANDMARKS(8)");
+        round_trip("DROP PATH INDEX pi");
         round_trip("SELECT DISTINCT a FROM t");
     }
 

@@ -179,6 +179,23 @@ impl Parser {
         }
     }
 
+    /// True when the current token is the identifier `word`
+    /// (case-insensitive). Soft keywords like PATH, WEIGHT, USING and
+    /// LANDMARKS stay ordinary identifiers everywhere else (`path` and
+    /// `weight` are common column names in the paper's queries).
+    fn check_soft_kw(&self, word: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s.eq_ignore_ascii_case(word))
+    }
+
+    fn expect_soft_kw(&mut self, word: &str) -> Result<()> {
+        if self.check_soft_kw(word) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.unexpected(&format!("'{}'", word.to_ascii_uppercase())))
+        }
+    }
+
     fn parse_create(&mut self) -> Result<Statement> {
         self.expect_kw(Keyword::Create)?;
         if self.eat_kw(Keyword::Graph) {
@@ -194,6 +211,11 @@ impl Parser {
             let dst_col = self.expect_ident()?;
             self.expect_token(&Token::RParen)?;
             return Ok(Statement::CreateGraphIndex { name, table, src_col, dst_col });
+        }
+        // PATH is contextual: only `CREATE PATH INDEX` treats it specially,
+        // so `path` keeps working as a table/column name.
+        if self.check_soft_kw("path") && matches!(self.peek_at(1), Token::Keyword(Keyword::Index)) {
+            return self.parse_create_path_index();
         }
         self.expect_kw(Keyword::Table)?;
         let name = self.expect_ident()?;
@@ -227,11 +249,50 @@ impl Parser {
         Ok(Statement::CreateTable { name, columns })
     }
 
+    /// The tail of `CREATE PATH INDEX name ON table EDGE (src, dst)
+    /// [WEIGHT col] USING LANDMARKS(k)` (PATH already peeked).
+    fn parse_create_path_index(&mut self) -> Result<Statement> {
+        self.advance(); // PATH
+        self.expect_kw(Keyword::Index)?;
+        let name = self.expect_ident()?;
+        self.expect_kw(Keyword::On)?;
+        let table = self.expect_ident()?;
+        self.expect_kw(Keyword::Edge)?;
+        self.expect_token(&Token::LParen)?;
+        let src_col = self.expect_ident()?;
+        self.expect_token(&Token::Comma)?;
+        let dst_col = self.expect_ident()?;
+        self.expect_token(&Token::RParen)?;
+        let weight_col = if self.check_soft_kw("weight") {
+            self.advance(); // WEIGHT
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        self.expect_soft_kw("using")?;
+        self.expect_soft_kw("landmarks")?;
+        self.expect_token(&Token::LParen)?;
+        let landmarks = match self.peek().clone() {
+            Token::Int(v) if v > 0 && v <= u32::MAX as i64 => {
+                self.advance();
+                v as u32
+            }
+            _ => return Err(self.unexpected("a positive landmark count")),
+        };
+        self.expect_token(&Token::RParen)?;
+        Ok(Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks })
+    }
+
     fn parse_drop(&mut self) -> Result<Statement> {
         self.expect_kw(Keyword::Drop)?;
         if self.eat_kw(Keyword::Graph) {
             self.expect_kw(Keyword::Index)?;
             return Ok(Statement::DropGraphIndex { name: self.expect_ident()? });
+        }
+        if self.check_soft_kw("path") && matches!(self.peek_at(1), Token::Keyword(Keyword::Index)) {
+            self.advance(); // PATH
+            self.advance(); // INDEX
+            return Ok(Statement::DropPathIndex { name: self.expect_ident()? });
         }
         self.expect_kw(Keyword::Table)?;
         Ok(Statement::DropTable { name: self.expect_ident()? })
@@ -1166,6 +1227,55 @@ mod tests {
             parse_statement("DROP GRAPH INDEX gi").unwrap(),
             Statement::DropGraphIndex { .. }
         ));
+    }
+
+    #[test]
+    fn parses_path_index_ddl() {
+        match parse_statement(
+            "CREATE PATH INDEX pi ON roads EDGE (a, b) WEIGHT len USING LANDMARKS(16)",
+        )
+        .unwrap()
+        {
+            Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks } => {
+                assert_eq!((name.as_str(), table.as_str()), ("pi", "roads"));
+                assert_eq!((src_col.as_str(), dst_col.as_str()), ("a", "b"));
+                assert_eq!(weight_col.as_deref(), Some("len"));
+                assert_eq!(landmarks, 16);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Unweighted (hop-distance) form.
+        match parse_statement("CREATE PATH INDEX pi ON e EDGE (s, d) USING LANDMARKS(4)").unwrap() {
+            Statement::CreatePathIndex { weight_col: None, landmarks: 4, .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            parse_statement("DROP PATH INDEX pi").unwrap(),
+            Statement::DropPathIndex { name } if name == "pi"
+        ));
+        // Landmark count must be a positive integer; USING is mandatory.
+        assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) USING LANDMARKS(0)").is_err());
+        assert!(
+            parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) USING LANDMARKS(-1)").is_err()
+        );
+        assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d)").is_err());
+        assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) LANDMARKS(2)").is_err());
+    }
+
+    #[test]
+    fn path_stays_usable_as_identifier() {
+        // PATH, WEIGHT, USING and LANDMARKS are contextual: existing
+        // queries and schemas using them as names keep parsing.
+        assert!(parse_statement("SELECT path FROM t").is_ok());
+        assert!(parse_statement("SELECT T.path, weight FROM T").is_ok());
+        assert!(parse_statement("CREATE TABLE path (weight INTEGER, using INTEGER)").is_ok());
+        assert!(parse_statement("SELECT landmarks FROM using").is_ok());
+        assert!(parse_statement("UPDATE path SET weight = 1").is_ok());
+        assert!(parse_statement("DROP TABLE path").is_ok());
+        assert!(parse_statement(
+            "SELECT CHEAPEST SUM(1) AS (cost, path) WHERE 1 REACHES 2 OVER e EDGE (s, d)"
+        )
+        .is_ok());
     }
 
     #[test]

@@ -1,0 +1,238 @@
+//! End-to-end tests of the ALT path-acceleration subsystem: DDL, planning
+//! (`EXPLAIN` visibility, `SET path_index`), byte-identical results against
+//! the Dijkstra fallback at several thread counts, invalidation on edge
+//! mutation, and `EXPLAIN ANALYZE` settled-node reporting.
+
+use gsql::{Database, Value};
+
+/// A deterministic layered digraph with integer weights: dense enough to
+/// give ALT something to prune, sparse enough to stay fast.
+fn build_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
+        .unwrap();
+    let mut x: u64 = 0x243f6a8885a308d3;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut edges = String::new();
+    for i in 0..800 {
+        let s = next() % 150;
+        let d = next() % 150;
+        let w = next() % 20 + 1;
+        if i > 0 {
+            edges.push_str(", ");
+        }
+        edges.push_str(&format!("({s}, {d}, {w})"));
+    }
+    db.execute(&format!("INSERT INTO e VALUES {edges}")).unwrap();
+    db
+}
+
+/// Point-to-point query shapes the path index accelerates (hops, weighted,
+/// scaled-constant, reachability-only), parameterized by endpoints.
+const P2P_QUERIES: [&str; 4] = [
+    "SELECT CHEAPEST SUM(1) AS hops WHERE ? REACHES ? OVER e EDGE (s, d)",
+    "SELECT CHEAPEST SUM(f: f.w) AS cost WHERE ? REACHES ? OVER e f EDGE (s, d)",
+    "SELECT CHEAPEST SUM(3) AS scaled WHERE ? REACHES ? OVER e EDGE (s, d)",
+    "SELECT 1 WHERE ? REACHES ? OVER e EDGE (s, d)",
+];
+
+#[test]
+fn ddl_create_drop_and_errors() {
+    let db = build_db();
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(4)").unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (d, s) USING LANDMARKS(4)").unwrap();
+    // Duplicate name, bad table, bad column, bad landmark count.
+    assert!(db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) USING LANDMARKS(2)").is_err());
+    assert!(db.execute("CREATE PATH INDEX px ON nope EDGE (s, d) USING LANDMARKS(2)").is_err());
+    assert!(db.execute("CREATE PATH INDEX px ON e EDGE (s, zz) USING LANDMARKS(2)").is_err());
+    assert!(db.execute("CREATE PATH INDEX px ON e EDGE (s, d) USING LANDMARKS(999)").is_err());
+    db.execute("DROP PATH INDEX pw").unwrap();
+    assert!(db.execute("DROP PATH INDEX pw").is_err());
+    // DROP TABLE sweeps the remaining index away.
+    db.execute("DROP TABLE e").unwrap();
+    assert!(db.path_indexes().index_names().is_empty());
+}
+
+#[test]
+fn explain_shows_accelerated_plan_and_respects_toggle() {
+    let db = build_db();
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(4)").unwrap();
+    let session = db.session();
+    // The CI fallback run exports GSQL_PATH_INDEX=off; this test is about
+    // the accelerated plan shape, so opt in explicitly.
+    session.execute("SET path_index = on").unwrap();
+    let hops = "SELECT CHEAPEST SUM(1) WHERE 0 REACHES 9 OVER e EDGE (s, d)";
+    let weighted = "SELECT CHEAPEST SUM(f: f.w) WHERE 0 REACHES 9 OVER e f EDGE (s, d)";
+    // The weighted index covers the matching weight column but not hops.
+    assert!(
+        session.plan(weighted).unwrap().explain().contains("PathIndex pw ON e"),
+        "weighted plan not accelerated:\n{}",
+        session.plan(weighted).unwrap().explain()
+    );
+    assert!(!session.plan(hops).unwrap().explain().contains("PathIndex"));
+    // A hop index covers hop (and scaled-constant) queries.
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(4)").unwrap();
+    // Two indexes cover (e, s, d) now; weighted-vs-hop eligibility decides.
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let hop_plan = session.plan(hops).unwrap().explain();
+    assert!(hop_plan.contains("PathIndex"), "hop plan not accelerated:\n{hop_plan}");
+    // Path-producing queries must never be accelerated: the bidirectional
+    // stitch could pick a different equal-cost path than Dijkstra.
+    let with_path = "SELECT CHEAPEST SUM(1) AS (c, p) WHERE 0 REACHES 9 OVER e EDGE (s, d)";
+    assert!(!session.plan(with_path).unwrap().explain().contains("PathIndex"));
+    // The session toggle removes the acceleration, visibly.
+    session.execute("SET path_index = off").unwrap();
+    assert!(!session.plan(weighted).unwrap().explain().contains("PathIndex"));
+    session.execute("SET path_index = on").unwrap();
+    assert!(session.plan(weighted).unwrap().explain().contains("PathIndex"));
+}
+
+#[test]
+fn accelerated_results_byte_identical_to_fallback() {
+    let db = build_db();
+    // A weighted and a hop index over (s, d), so every shape in
+    // P2P_QUERIES — weighted column, plain hops, scaled constant and the
+    // reachability probe — actually takes the accelerated plan.
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(6)").unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(6)").unwrap();
+    // Endpoint sample covering reachable, unreachable and self pairs.
+    let pairs: Vec<(i64, i64)> =
+        (0..25).map(|i| ((i * 17) % 150, (i * 31 + 5) % 150)).chain([(3, 3), (7, 149)]).collect();
+    for sql in P2P_QUERIES {
+        for threads in ["1", "4"] {
+            let on = db.session();
+            on.set("threads", threads).unwrap();
+            on.set("path_index", "on").unwrap();
+            // Every shape must be planned as accelerated in the on session.
+            let explain_sql = sql.replacen('?', "0", 1).replacen('?', "9", 1);
+            assert!(
+                on.plan(&explain_sql).unwrap().explain().contains("PathIndex"),
+                "shape not accelerated: {sql}\n{}",
+                on.plan(&explain_sql).unwrap().explain()
+            );
+            let off = db.session();
+            off.set("threads", threads).unwrap();
+            off.set("path_index", "off").unwrap();
+            // The accelerated plan must actually be in play for this shape.
+            for &(s, d) in &pairs {
+                let params = [Value::Int(s), Value::Int(d)];
+                let a = on.query_with_params(sql, &params).unwrap();
+                let b = off.query_with_params(sql, &params).unwrap();
+                assert_eq!(
+                    a.row_count(),
+                    b.row_count(),
+                    "row count diverged: {sql} ({s}, {d}) threads {threads}"
+                );
+                for r in 0..a.row_count() {
+                    assert_eq!(
+                        a.row(r),
+                        b.row(r),
+                        "row diverged: {sql} ({s}, {d}) threads {threads}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reverse_direction_index_accelerates_reverse_queries() {
+    let db = build_db();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (d, s) USING LANDMARKS(4)").unwrap();
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let reverse = "SELECT CHEAPEST SUM(1) WHERE 0 REACHES 9 OVER e EDGE (d, s)";
+    let forward = "SELECT CHEAPEST SUM(1) WHERE 0 REACHES 9 OVER e EDGE (s, d)";
+    assert!(session.plan(reverse).unwrap().explain().contains("PathIndex ph"));
+    assert!(!session.plan(forward).unwrap().explain().contains("PathIndex"));
+}
+
+#[test]
+fn edge_mutation_invalidates_index_and_cached_plans() {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL)").unwrap();
+    db.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 4), (4, 5)").unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(3)").unwrap();
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let sql = "SELECT CHEAPEST SUM(1) AS hops WHERE ? REACHES ? OVER e EDGE (s, d)";
+    let stmt = session.prepare(sql).unwrap();
+    let params = [Value::Int(1), Value::Int(5)];
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(4));
+    // A shortcut edge must show up in the accelerated answer immediately:
+    // the table version moved, so the landmark data rebuilds lazily.
+    session.execute("INSERT INTO e VALUES (1, 4)").unwrap();
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(2));
+    // Deleting it restores the long route.
+    session.execute("DELETE FROM e WHERE s = 1 AND d = 4").unwrap();
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(4));
+
+    // CREATE/DROP PATH INDEX move the schema version: cached plans from
+    // before are invalidated, so planning decisions never go stale.
+    let before = session.cache_stats().invalidations;
+    session.execute("DROP PATH INDEX ph").unwrap();
+    assert_eq!(stmt.query(&session, &params).unwrap().row(0)[0], Value::Int(4));
+    assert!(
+        session.cache_stats().invalidations > before,
+        "DROP PATH INDEX must invalidate cached plans"
+    );
+}
+
+#[test]
+fn explain_analyze_reports_settled_nodes() {
+    let db = build_db();
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(6)").unwrap();
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let plan = session
+        .query("EXPLAIN ANALYZE SELECT CHEAPEST SUM(f: f.w) WHERE 0 REACHES 9 OVER e f EDGE (s, d)")
+        .unwrap();
+    let text: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    let all = text.join("\n");
+    assert!(all.contains("settled="), "settled count missing:\n{all}");
+    assert!(all.contains("(alt"), "alt marker missing:\n{all}");
+    // The fallback run reports no ALT detail.
+    session.execute("SET path_index = off").unwrap();
+    let plan = session
+        .query("EXPLAIN ANALYZE SELECT CHEAPEST SUM(f: f.w) WHERE 0 REACHES 9 OVER e f EDGE (s, d)")
+        .unwrap();
+    let text: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    assert!(!text.join("\n").contains("settled="));
+}
+
+#[test]
+fn set_path_index_validation_and_show_all() {
+    let db = Database::new();
+    let session = db.session();
+    assert!(session.execute("SET path_index = sideways").is_err());
+    session.execute("SET path_index = off").unwrap();
+    let t = session.query("SHOW path_index").unwrap();
+    assert_eq!(t.row(0)[1], Value::from("off"));
+    let all = session.query("SHOW ALL").unwrap();
+    let names: Vec<String> = (0..all.row_count()).map(|i| all.row(i)[0].to_string()).collect();
+    assert!(names.contains(&"path_index".to_string()), "SHOW ALL missing path_index");
+}
+
+#[test]
+fn batch_queries_keep_using_the_batched_runtime() {
+    // Many-source batches (GraphJoin / multi-row inputs) must not regress:
+    // the path index leaves them on the source-parallel runtime, and the
+    // results stay identical whether or not the index exists.
+    let db = build_db();
+    let batch = "WITH pairs (a, b) AS (VALUES (0, 9), (1, 17), (2, 33), (140, 7)) \
+                 SELECT pairs.a, pairs.b, CHEAPEST SUM(1) AS hops \
+                 FROM pairs WHERE pairs.a REACHES pairs.b OVER e EDGE (s, d)";
+    let before = db.query(batch).unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(4)").unwrap();
+    let after = db.query(batch).unwrap();
+    assert_eq!(before.row_count(), after.row_count());
+    for r in 0..before.row_count() {
+        assert_eq!(before.row(r), after.row(r), "row {r}");
+    }
+}
