@@ -1,0 +1,438 @@
+//! Contraction-hierarchy preprocessing: node ordering and shortcut
+//! insertion (Geisberger et al., WEA'08).
+//!
+//! A contraction hierarchy removes vertices one by one in a heuristic
+//! *importance* order; whenever removing `v` would break a shortest path
+//! `u → v → w`, a **shortcut** edge `u → w` of weight `d(u,v) + d(v,w)` is
+//! inserted — unless a bounded **witness search** proves an equally cheap
+//! detour avoiding `v` already exists. The surviving edges (originals plus
+//! shortcuts), each pointing from a lower-ranked to a higher-ranked
+//! endpoint, form two search graphs:
+//!
+//! * the **upward graph** `G↑` — forward edges into higher ranks, searched
+//!   from the source;
+//! * the **downward graph** `G↓` (stored reversed) — original edges out of
+//!   higher ranks, searched backward from the destination.
+//!
+//! Every shortest path in the original graph is cost-equal to an
+//! *up-then-down* path over the hierarchy, so the bidirectional upward
+//! Dijkstra in [`crate::ch_query`] is exact — shortcut insertion is purely
+//! conservative (a failed witness search adds a shortcut, never drops one),
+//! which is why the witness limits trade preprocessing quality for build
+//! time without ever affecting correctness.
+//!
+//! Ordering uses the classic **edge difference** (shortcuts added minus
+//! edges removed) plus a **deleted neighbours** term that spreads the
+//! contraction evenly, maintained with *lazy* priority updates: a popped
+//! vertex is re-evaluated, and re-queued if it is no longer the minimum.
+//! The initial priority evaluation — one independent simulated contraction
+//! per vertex — fans out over the `gsql-parallel` pool; the contraction
+//! loop itself is inherently sequential, and every parallel piece is
+//! order-independent, so the built hierarchy is identical at every thread
+//! count.
+
+use crate::INF;
+use gsql_graph::Csr;
+use gsql_parallel::Pool;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Settled-vertex budget of one witness search. Larger budgets find more
+/// witnesses (fewer shortcuts, better queries) at higher preprocessing
+/// cost; exceeding the budget merely inserts a redundant shortcut.
+const WITNESS_SETTLED_LIMIT: usize = 64;
+
+/// One upward search graph in CSR form: for every vertex, its edges toward
+/// higher-ranked vertices.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UpGraph {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<u64>,
+}
+
+impl UpGraph {
+    /// Flatten per-vertex adjacency (already sorted by target) into CSR.
+    fn from_adj(adj: &[Vec<(u32, u64)>]) -> UpGraph {
+        let mut offsets = Vec::with_capacity(adj.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for list in adj {
+            total += list.len();
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        for list in adj {
+            for &(t, w) in list {
+                targets.push(t);
+                weights.push(w);
+            }
+        }
+        UpGraph { offsets, targets, weights }
+    }
+
+    /// `(target, weight)` pairs of `v`'s upward edges.
+    #[inline]
+    pub(crate) fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
+        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        self.targets[range.clone()].iter().copied().zip(self.weights[range].iter().copied())
+    }
+
+    fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// A built contraction hierarchy: the contraction order plus the upward and
+/// (reversed) downward search graphs consumed by [`crate::ch_query`].
+#[derive(Debug, Clone)]
+pub struct ContractionHierarchy {
+    /// `rank[v]` = position of `v` in the contraction order (0 = first
+    /// contracted = least important).
+    rank: Vec<u32>,
+    /// Forward edges into higher ranks (the source-side search graph).
+    pub(crate) fwd_up: UpGraph,
+    /// Reverse edges into higher ranks: `bwd_up[v]` holds `(u, w)` for every
+    /// original-direction edge `u → v` with `rank[u] > rank[v]` (the
+    /// destination-side search graph).
+    pub(crate) bwd_up: UpGraph,
+    /// Number of shortcut edges inserted during preprocessing.
+    shortcuts: usize,
+}
+
+impl ContractionHierarchy {
+    /// Build a hierarchy over `forward` with per-CSR-slot `weights`
+    /// (`None` = unit weights), exactly as [`Csr::permute_weights_int`]
+    /// produces them — non-negative; the SQL layer additionally validates
+    /// strict positivity, but zero weights are handled exactly.
+    ///
+    /// `threads` sizes the worker pool for the order-independent pieces
+    /// (initial priorities, final CSR assembly); the result is identical
+    /// for every thread count.
+    pub fn build(forward: &Csr, weights: Option<&[i64]>, threads: usize) -> ContractionHierarchy {
+        let n = forward.num_vertices() as usize;
+        // Overlay adjacency, deduplicating parallel edges to their minimum
+        // weight and dropping self-loops (neither can shorten any path).
+        let mut out_adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        let mut in_adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for u in 0..n as u32 {
+            for (slot, v) in forward.neighbors(u) {
+                if v == u {
+                    continue;
+                }
+                let w = weights.map_or(1, |ws| {
+                    debug_assert!(ws[slot] >= 0, "negative weight reached CH build");
+                    ws[slot] as u64
+                });
+                let e = out_adj[u as usize].entry(v).or_insert(u64::MAX);
+                *e = (*e).min(w);
+                let e = in_adj[v as usize].entry(u).or_insert(u64::MAX);
+                *e = (*e).min(w);
+            }
+        }
+
+        let mut deleted_neighbors: Vec<u32> = vec![0; n];
+        // Initial priorities: one simulated contraction per vertex, an
+        // independent computation fanned out over the pool (per-worker
+        // witness scratch, results in input order).
+        let pool = Pool::new(threads);
+        let prios: Vec<i64> = pool.map_with(
+            n,
+            || WitnessSearch::new(n),
+            |wit, v| priority(v as u32, &out_adj, &in_adj, &deleted_neighbors, wit),
+        );
+        let mut heap: BinaryHeap<Reverse<(i64, u32)>> =
+            (0..n as u32).map(|v| Reverse((prios[v as usize], v))).collect();
+
+        let mut rank: Vec<u32> = vec![u32::MAX; n];
+        let mut fwd_up_adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut bwd_up_adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+        let mut witness = WitnessSearch::new(n);
+        let mut shortcuts = 0usize;
+        let mut next_rank = 0u32;
+        while let Some(Reverse((_, v))) = heap.pop() {
+            if rank[v as usize] != u32::MAX {
+                continue; // duplicate queue entry of a contracted vertex
+            }
+            // Lazy update: the graph changed since this priority was
+            // computed; re-evaluate, and re-queue unless still minimal.
+            let fresh = priority(v, &out_adj, &in_adj, &deleted_neighbors, &mut witness);
+            if let Some(Reverse((top, _))) = heap.peek() {
+                if fresh > *top {
+                    heap.push(Reverse((fresh, v)));
+                    continue;
+                }
+            }
+
+            // Contract: insert needed shortcuts between v's neighbours.
+            let mut added: Vec<(u32, u32, u64)> = Vec::new();
+            shortcuts_of(v, &out_adj, &in_adj, &mut witness, |u, w, wt| added.push((u, w, wt)));
+            for (u, w, wt) in added {
+                let e = out_adj[u as usize].entry(w).or_insert(u64::MAX);
+                if *e == u64::MAX {
+                    shortcuts += 1;
+                }
+                *e = (*e).min(wt);
+                let e = in_adj[w as usize].entry(u).or_insert(u64::MAX);
+                *e = (*e).min(wt);
+            }
+
+            // Detach v. Its remaining neighbours are exactly the
+            // not-yet-contracted ones, so the recorded edges all point
+            // upward in rank.
+            let mut outs: Vec<(u32, u64)> =
+                out_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
+            outs.sort_unstable();
+            let mut ins: Vec<(u32, u64)> =
+                in_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
+            ins.sort_unstable();
+            for &(w, _) in &outs {
+                in_adj[w as usize].remove(&v);
+                deleted_neighbors[w as usize] += 1;
+            }
+            for &(u, _) in &ins {
+                out_adj[u as usize].remove(&v);
+                deleted_neighbors[u as usize] += 1;
+            }
+            fwd_up_adj[v as usize] = outs;
+            bwd_up_adj[v as usize] = ins;
+            rank[v as usize] = next_rank;
+            next_rank += 1;
+        }
+        debug_assert_eq!(next_rank as usize, n);
+
+        // The two search-graph CSRs are independent assemblies.
+        let mut graphs =
+            pool.map(2, |i| UpGraph::from_adj(if i == 0 { &fwd_up_adj } else { &bwd_up_adj }));
+        let bwd_up = graphs.pop().expect("two graphs");
+        let fwd_up = graphs.pop().expect("two graphs");
+        ContractionHierarchy { rank, fwd_up, bwd_up, shortcuts }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        self.rank.len() as u32
+    }
+
+    /// Number of shortcut edges the preprocessing inserted.
+    pub fn shortcuts(&self) -> usize {
+        self.shortcuts
+    }
+
+    /// The contraction order: `rank()[v]` is `v`'s position (0 = contracted
+    /// first). Exposed for the equivalence tests' thread-independence
+    /// checks.
+    pub fn rank(&self) -> &[u32] {
+        &self.rank
+    }
+
+    /// Approximate heap size of the hierarchy in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rank.len() * std::mem::size_of::<u32>()
+            + (self.fwd_up.num_edges() + self.bwd_up.num_edges())
+                * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>())
+            + (self.fwd_up.offsets.len() + self.bwd_up.offsets.len()) * std::mem::size_of::<usize>()
+    }
+}
+
+/// The lazy-update priority of `v`: twice the edge difference (shortcuts a
+/// contraction would insert minus edges it removes) plus the
+/// deleted-neighbours count. Smaller contracts earlier; ties break toward
+/// the smaller vertex id through the heap key.
+fn priority(
+    v: u32,
+    out_adj: &[HashMap<u32, u64>],
+    in_adj: &[HashMap<u32, u64>],
+    deleted_neighbors: &[u32],
+    witness: &mut WitnessSearch,
+) -> i64 {
+    let mut needed = 0i64;
+    shortcuts_of(v, out_adj, in_adj, witness, |_, _, _| needed += 1);
+    let removed = (out_adj[v as usize].len() + in_adj[v as usize].len()) as i64;
+    2 * (needed - removed) + deleted_neighbors[v as usize] as i64
+}
+
+/// Enumerate the shortcuts contracting `v` requires: for every uncontracted
+/// in-neighbour `u` and out-neighbour `w` (`u ≠ w`), emit `(u, w, d(u,v) +
+/// d(v,w))` unless a bounded witness search finds a path `u ⇝ w` avoiding
+/// `v` that is at least as cheap. Deterministic: neighbours are visited in
+/// sorted order and the witness search breaks heap ties by vertex id.
+fn shortcuts_of(
+    v: u32,
+    out_adj: &[HashMap<u32, u64>],
+    in_adj: &[HashMap<u32, u64>],
+    witness: &mut WitnessSearch,
+    mut emit: impl FnMut(u32, u32, u64),
+) {
+    let vi = v as usize;
+    if out_adj[vi].is_empty() || in_adj[vi].is_empty() {
+        return;
+    }
+    let mut outs: Vec<(u32, u64)> = out_adj[vi].iter().map(|(&t, &w)| (t, w)).collect();
+    outs.sort_unstable();
+    let mut ins: Vec<(u32, u64)> = in_adj[vi].iter().map(|(&t, &w)| (t, w)).collect();
+    ins.sort_unstable();
+    let max_out = outs.iter().map(|&(_, w)| w).max().unwrap_or(0);
+    for &(u, w_uv) in &ins {
+        // One witness search per in-neighbour covers all out-neighbours:
+        // labels beyond `w_uv + max_out` can never beat any shortcut.
+        witness.run(out_adj, u, v, w_uv.saturating_add(max_out));
+        for &(w, w_vw) in &outs {
+            if w == u {
+                continue;
+            }
+            let via = w_uv.saturating_add(w_vw);
+            if witness.dist(w) <= via {
+                continue; // a witness path avoids v at no extra cost
+            }
+            emit(u, w, via);
+        }
+    }
+}
+
+/// Reusable bounded Dijkstra for witness searches: epoch-stamped labels (no
+/// per-run clearing) over the overlay adjacency, excluding one vertex,
+/// stopping at [`WITNESS_SETTLED_LIMIT`] settled vertices or once the
+/// frontier passes the weight limit.
+struct WitnessSearch {
+    dist: Vec<u64>,
+    epoch: Vec<u32>,
+    current: u32,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl WitnessSearch {
+    fn new(n: usize) -> WitnessSearch {
+        WitnessSearch { dist: vec![0; n], epoch: vec![0; n], current: 0, heap: BinaryHeap::new() }
+    }
+
+    /// Label of `v` from the last [`WitnessSearch::run`], [`INF`] when `v`
+    /// was not reached within the limits.
+    fn dist(&self, v: u32) -> u64 {
+        if self.epoch[v as usize] == self.current {
+            self.dist[v as usize]
+        } else {
+            INF
+        }
+    }
+
+    fn label(&mut self, v: u32, d: u64) -> bool {
+        let vi = v as usize;
+        if self.epoch[vi] == self.current && self.dist[vi] <= d {
+            return false;
+        }
+        self.epoch[vi] = self.current;
+        self.dist[vi] = d;
+        true
+    }
+
+    fn run(&mut self, out_adj: &[HashMap<u32, u64>], source: u32, excluded: u32, limit: u64) {
+        self.current = self.current.wrapping_add(1);
+        self.heap.clear();
+        self.label(source, 0);
+        self.heap.push(Reverse((0, source)));
+        let mut settled = 0usize;
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            if d > self.dist(u) {
+                continue; // stale entry
+            }
+            if d > limit {
+                break; // no label past here can beat any shortcut
+            }
+            settled += 1;
+            if settled > WITNESS_SETTLED_LIMIT {
+                break;
+            }
+            for (&t, &w) in &out_adj[u as usize] {
+                if t == excluded {
+                    continue;
+                }
+                let nd = d.saturating_add(w);
+                if nd <= limit && self.label(t, nd) {
+                    self.heap.push(Reverse((nd, t)));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ch_query::ch_query;
+    use gsql_graph::{dijkstra_int, reverse_csr};
+
+    /// 0->1, 0->2, 1->3, 2->3, 3->4 — the workspace's diamond.
+    fn diamond() -> Csr {
+        Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap()
+    }
+
+    #[test]
+    fn diamond_distances_match_dijkstra() {
+        let g = diamond();
+        let raw = [10i64, 1, 1, 1, 1];
+        let wf = g.permute_weights_int(&raw).unwrap();
+        let ch = ContractionHierarchy::build(&g, Some(&wf), 1);
+        for s in 0..5u32 {
+            let truth = dijkstra_int(&g, s, &[], &wf).dist;
+            for d in 0..5u32 {
+                let r = ch_query(&ch, s, d);
+                let expected =
+                    if truth[d as usize] == u64::MAX { None } else { Some(truth[d as usize]) };
+                assert_eq!(r.dist, expected, "pair ({s}, {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn unweighted_matches_hops_and_unreachable() {
+        let g = diamond();
+        let ch = ContractionHierarchy::build(&g, None, 2);
+        assert_eq!(ch_query(&ch, 0, 4).dist, Some(3));
+        assert_eq!(ch_query(&ch, 0, 0).dist, Some(0));
+        assert_eq!(ch_query(&ch, 4, 0).dist, None);
+    }
+
+    #[test]
+    fn build_is_thread_independent() {
+        let g = diamond();
+        let base = ContractionHierarchy::build(&g, None, 1);
+        for threads in [2, 4, 8] {
+            let par = ContractionHierarchy::build(&g, None, threads);
+            assert_eq!(par.rank(), base.rank(), "threads {threads}");
+            assert_eq!(par.shortcuts(), base.shortcuts(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops_are_normalized() {
+        // 0->1 twice (weights 7 and 3), a self-loop on 0, 1->2.
+        let g = Csr::from_edges(3, &[0, 0, 0, 1], &[1, 1, 0, 2]).unwrap();
+        let raw = [7i64, 3, 5, 2];
+        let wf = g.permute_weights_int(&raw).unwrap();
+        let ch = ContractionHierarchy::build(&g, Some(&wf), 1);
+        assert_eq!(ch_query(&ch, 0, 2).dist, Some(5)); // 3 + 2, loop ignored
+    }
+
+    #[test]
+    fn zero_weight_edges_are_exact() {
+        // 0 -(0)-> 1 -(0)-> 2 -(4)-> 3, plus 0 -(5)-> 3 direct.
+        let g = Csr::from_edges(4, &[0, 1, 2, 0], &[1, 2, 3, 3]).unwrap();
+        let slot_weights: Vec<i64> =
+            (0..g.num_edges()).map(|slot| [0i64, 0, 4, 5][g.edge_row(slot) as usize]).collect();
+        let ch = ContractionHierarchy::build(&g, Some(&slot_weights), 1);
+        assert_eq!(ch_query(&ch, 0, 3).dist, Some(4));
+        assert_eq!(ch_query(&ch, 0, 2).dist, Some(0));
+        assert_eq!(ch_query(&ch, 3, 0).dist, None);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[], &[]).unwrap();
+        let _r = reverse_csr(&g);
+        let ch = ContractionHierarchy::build(&g, None, 4);
+        assert_eq!(ch.num_vertices(), 0);
+        assert_eq!(ch.shortcuts(), 0);
+    }
+}

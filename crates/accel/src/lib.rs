@@ -26,11 +26,29 @@
 //! **bit-identical** to what plain Dijkstra over the same weights returns.
 //! Unreachability is also exact: either a landmark bound proves it upfront
 //! or both frontiers exhaust.
+//!
+//! On top of landmarks sits the second standard preprocessing tier,
+//! **contraction hierarchies** (Geisberger et al., WEA'08):
+//!
+//! * [`ContractionHierarchy`] contracts vertices in an edge-difference +
+//!   deleted-neighbours order, inserting witness-checked shortcuts, and
+//!   materializes the upward/downward search graphs;
+//! * [`ch_query`] answers point-to-point queries with a bidirectional
+//!   upward Dijkstra plus stall-on-demand, settling a near-constant cone
+//!   on road-like graphs.
+//!
+//! Shortcut weights are exact integer sums, so CH costs are bit-identical
+//! to plain Dijkstra too — the same guarantee ALT gives, which is what
+//! lets the SQL layer swap either in transparently.
 
 pub mod alt;
+pub mod ch;
+pub mod ch_query;
 pub mod landmarks;
 
 pub use alt::{alt_bidirectional, AltResult};
+pub use ch::ContractionHierarchy;
+pub use ch_query::{ch_query, ChResult};
 pub use landmarks::Landmarks;
 
 /// Sentinel distance meaning "unreachable" (matches the graph runtime's

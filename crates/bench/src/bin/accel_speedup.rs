@@ -1,0 +1,261 @@
+//! The three-way point-to-point benchmark: plain Dijkstra versus the two
+//! acceleration tiers — ALT (goal-directed bidirectional A\* over a
+//! landmark index) and CH (bidirectional upward Dijkstra over a
+//! contraction hierarchy) — reported as **settled vertices** (the work the
+//! preprocessing prunes), preprocessing cost (build time, index size,
+//! shortcut count) and query wall time. First at the graph-runtime layer,
+//! then end-to-end through SQL sessions (`path_index = off`, a
+//! `USING LANDMARKS(k)` index, a `USING CONTRACTION` index), asserting
+//! identical results on the way.
+//!
+//! The benchmark graph is road-like — a `side × side` bidirectional grid
+//! with random integer weights — because that is the workload contraction
+//! hierarchies are built for; `--vertices` is rounded down to a square.
+//!
+//! `cargo run -p gsql-bench --release --bin accel_speedup -- \
+//!      --vertices 20000 --pairs 100 --landmarks 16`
+
+use gsql_bench::report::{arg_value, fmt_duration, render_table};
+use gsql_core::Database;
+use gsql_storage::Value;
+use rand::prelude::*;
+use std::time::Instant;
+
+struct Config {
+    side: u32,
+    pairs: usize,
+    landmarks: u32,
+    seed: u64,
+    threads: usize,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let args: Vec<String> = std::env::args().collect();
+        let get = |flag: &str, default: u64| {
+            arg_value(&args, flag).and_then(|s| s.parse().ok()).unwrap_or(default)
+        };
+        let vertices = get("--vertices", 20_000);
+        Config {
+            side: (vertices as f64).sqrt() as u32,
+            pairs: get("--pairs", 100) as usize,
+            landmarks: get("--landmarks", 16) as u32,
+            seed: get("--seed", 42),
+            threads: get("--threads", 4) as usize,
+        }
+    }
+
+    fn vertices(&self) -> u32 {
+        self.side * self.side
+    }
+}
+
+/// A `side × side` grid, each lattice edge present in both directions with
+/// independent strictly positive integer weights.
+fn generate(cfg: &Config) -> (Vec<u32>, Vec<u32>, Vec<i64>) {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let side = cfg.side;
+    let mut src = Vec::new();
+    let mut dst = Vec::new();
+    let mut w = Vec::new();
+    let mut edge = |s: u32, d: u32, rng: &mut StdRng| {
+        src.push(s);
+        dst.push(d);
+        w.push(rng.gen_range(1..10));
+    };
+    for r in 0..side {
+        for c in 0..side {
+            let v = r * side + c;
+            if c + 1 < side {
+                edge(v, v + 1, &mut rng);
+                edge(v + 1, v, &mut rng);
+            }
+            if r + 1 < side {
+                edge(v, v + side, &mut rng);
+                edge(v + side, v, &mut rng);
+            }
+        }
+    }
+    (src, dst, w)
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    println!(
+        "accel speedup: {}x{} grid (|V| = {}), {} point-to-point pairs, {} landmarks, seed {}\n",
+        cfg.side,
+        cfg.side,
+        cfg.vertices(),
+        cfg.pairs,
+        cfg.landmarks,
+        cfg.seed
+    );
+    let (src, dst, weights) = generate(&cfg);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xa17);
+    let pairs: Vec<(u32, u32)> = (0..cfg.pairs)
+        .map(|_| (rng.gen_range(0..cfg.vertices()), rng.gen_range(0..cfg.vertices())))
+        .collect();
+
+    // ---------------------------------------------- graph-runtime layer
+    let t = cfg.threads;
+    let graph = gsql_graph::Csr::from_edges_with_threads(cfg.vertices(), &src, &dst, t).unwrap();
+    let reverse = gsql_graph::reverse_csr_with_threads(&graph, t);
+    let wf = graph.permute_weights_int_with_threads(&weights, t).unwrap();
+    let wb = reverse.permute_weights_int_with_threads(&weights, t).unwrap();
+
+    let t0 = Instant::now();
+    let lm =
+        gsql_accel::Landmarks::build(&graph, &reverse, Some((&wf, &wb)), cfg.landmarks as usize, t);
+    let alt_build = t0.elapsed();
+    let t0 = Instant::now();
+    let ch = gsql_accel::ContractionHierarchy::build(&graph, Some(&wf), t);
+    let ch_build = t0.elapsed();
+    let mib = |bytes: usize| format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0));
+    let build_rows = vec![
+        vec![
+            format!("ALT ({} landmarks)", lm.len()),
+            fmt_duration(alt_build),
+            mib(lm.memory_bytes()),
+            "-".to_string(),
+        ],
+        vec![
+            "CH".to_string(),
+            fmt_duration(ch_build),
+            mib(ch.memory_bytes()),
+            ch.shortcuts().to_string(),
+        ],
+    ];
+    println!("{}", render_table(&["index", "build", "size", "shortcuts"], &build_rows));
+
+    let mut scratch = gsql_graph::DijkstraIntScratch::new();
+    let mut plain_settled = 0usize;
+    let t_plain = Instant::now();
+    let mut plain_dists = Vec::with_capacity(pairs.len());
+    for &(s, d) in &pairs {
+        gsql_graph::dijkstra_int_into(&graph, s, &[d], &wf, &mut scratch);
+        plain_settled += scratch.settled_count();
+        let dist = scratch.dist[d as usize];
+        plain_dists.push(if dist == u64::MAX { None } else { Some(dist) });
+    }
+    let plain_time = t_plain.elapsed();
+
+    let mut alt_settled = 0usize;
+    let t_alt = Instant::now();
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        let r = gsql_accel::alt_bidirectional(&graph, &reverse, Some((&wf, &wb)), &lm, s, d);
+        alt_settled += r.settled;
+        assert_eq!(r.dist, plain_dists[i], "ALT diverged from Dijkstra on pair {i}");
+    }
+    let alt_time = t_alt.elapsed();
+
+    let mut ch_settled = 0usize;
+    let t_ch = Instant::now();
+    for (i, &(s, d)) in pairs.iter().enumerate() {
+        let r = gsql_accel::ch_query(&ch, s, d);
+        ch_settled += r.settled;
+        assert_eq!(r.dist, plain_dists[i], "CH diverged from Dijkstra on pair {i}");
+    }
+    let ch_time = t_ch.elapsed();
+
+    let per_query = |settled: usize| format!("{:.0}", settled as f64 / pairs.len() as f64);
+    let rows = vec![
+        vec![
+            "plain Dijkstra".to_string(),
+            plain_settled.to_string(),
+            per_query(plain_settled),
+            fmt_duration(plain_time),
+        ],
+        vec![
+            "ALT bidirectional A*".to_string(),
+            alt_settled.to_string(),
+            per_query(alt_settled),
+            fmt_duration(alt_time),
+        ],
+        vec![
+            "CH upward Dijkstra".to_string(),
+            ch_settled.to_string(),
+            per_query(ch_settled),
+            fmt_duration(ch_time),
+        ],
+    ];
+    println!("{}", render_table(&["search", "settled (total)", "settled/query", "wall"], &rows));
+    println!(
+        "pruning vs plain: ALT {:.1}x, CH {:.1}x fewer settled vertices; CH settles {:.1}x \
+         fewer than ALT\nwall vs plain: ALT {:.1}x, CH {:.1}x (runtime layer)\n",
+        plain_settled as f64 / alt_settled.max(1) as f64,
+        plain_settled as f64 / ch_settled.max(1) as f64,
+        alt_settled as f64 / ch_settled.max(1) as f64,
+        plain_time.as_secs_f64() / alt_time.as_secs_f64().max(1e-9),
+        plain_time.as_secs_f64() / ch_time.as_secs_f64().max(1e-9),
+    );
+
+    // --------------------------------------------------- end-to-end SQL
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
+        .unwrap();
+    let mut stmt_rows = String::new();
+    for i in 0..src.len() {
+        if !stmt_rows.is_empty() {
+            stmt_rows.push_str(", ");
+        }
+        stmt_rows.push_str(&format!("({}, {}, {})", src[i], dst[i], weights[i]));
+        if stmt_rows.len() > 200_000 {
+            db.execute(&format!("INSERT INTO e VALUES {stmt_rows}")).unwrap();
+            stmt_rows.clear();
+        }
+    }
+    if !stmt_rows.is_empty() {
+        db.execute(&format!("INSERT INTO e VALUES {stmt_rows}")).unwrap();
+    }
+    db.execute("CREATE GRAPH INDEX ge ON e EDGE (s, d)").unwrap();
+
+    // Three configurations: no path index, a landmark index, a contraction
+    // index. Indexes are created between runs; the optimizer prefers CH
+    // over ALT once both exist, so each run exercises the intended tier.
+    let sql = "SELECT CHEAPEST SUM(f: f.w) AS cost WHERE ? REACHES ? OVER e f EDGE (s, d)";
+    let mut sql_rows = Vec::new();
+    let mut reference: Option<Vec<Vec<Value>>> = None;
+    for (label, setting, ddl) in [
+        ("path_index = off", "off", None),
+        (
+            "ALT index",
+            "on",
+            Some(format!(
+                "CREATE PATH INDEX pa ON e EDGE (s, d) WEIGHT w USING LANDMARKS({})",
+                cfg.landmarks
+            )),
+        ),
+        (
+            "CH index",
+            "on",
+            Some("CREATE PATH INDEX pc ON e EDGE (s, d) WEIGHT w USING CONTRACTION".to_string()),
+        ),
+    ] {
+        if let Some(ddl) = ddl {
+            db.execute(&ddl).unwrap();
+        }
+        let session = db.session();
+        session.set("path_index", setting).unwrap();
+        let stmt = session.prepare(sql).unwrap();
+        let t0 = Instant::now();
+        let mut results = Vec::with_capacity(pairs.len());
+        for &(s, d) in &pairs {
+            let t = stmt.query(&session, &[Value::Int(s as i64), Value::Int(d as i64)]).unwrap();
+            results.push((0..t.row_count()).map(|r| t.row(r)).next().unwrap_or_default());
+        }
+        let elapsed = t0.elapsed();
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => {
+                assert_eq!(expected, &results, "{label} must return byte-identical results")
+            }
+        }
+        sql_rows.push(vec![
+            label.to_string(),
+            fmt_duration(elapsed),
+            format!("{:.1} µs", elapsed.as_secs_f64() * 1e6 / pairs.len() as f64),
+        ]);
+    }
+    println!("{}", render_table(&["SQL session", "wall", "per query"], &sql_rows));
+    println!("results are byte-identical in all three configurations.");
+}

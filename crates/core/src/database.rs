@@ -225,7 +225,8 @@ impl Database {
         src_col: &str,
         dst_col: &str,
         weight_col: Option<&str>,
-        landmarks: u32,
+        kind: crate::path_index::PathIndexKind,
+        if_not_exists: bool,
         threads: usize,
     ) -> Result<QueryResult> {
         self.path_indexes.create_index(
@@ -235,14 +236,15 @@ impl Database {
             src_col,
             dst_col,
             weight_col,
-            landmarks,
+            kind,
+            if_not_exists,
             threads,
         )?;
         Ok(QueryResult::Ok)
     }
 
-    pub(crate) fn drop_path_index_stmt(&self, name: &str) -> Result<QueryResult> {
-        self.path_indexes.drop_index(name)?;
+    pub(crate) fn drop_path_index_stmt(&self, name: &str, if_exists: bool) -> Result<QueryResult> {
+        self.path_indexes.drop_index(name, if_exists)?;
         Ok(QueryResult::Ok)
     }
 

@@ -136,7 +136,7 @@ impl<'a> Executor<'a> {
             }
             LogicalPlan::Aggregate { input, group, aggs, schema } => {
                 let t = self.execute(input)?;
-                aggregate::execute_aggregate(&t, group, aggs, schema, params)
+                aggregate::execute_aggregate(&t, group, aggs, schema, params, self.ctx.threads())
             }
             LogicalPlan::Sort { input, keys } => {
                 let t = self.execute(input)?;

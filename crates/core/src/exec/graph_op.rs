@@ -325,12 +325,12 @@ pub fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
 /// graph index when one exists, otherwise by building it now.
 ///
 /// Index usage comes in three flavours: the optimizer-planned
-/// [`LogicalPlan::PathIndexedGraph`] hint (ALT acceleration; the returned
-/// [`PathIndexData`] carries the landmark index), the optimizer-planned
-/// [`LogicalPlan::IndexedGraph`] hint, and a runtime lookup for plain
-/// `Scan` edges (plans produced without a session context). All honour the
-/// context's index flags, whose accessors return `None` when the setting
-/// is off.
+/// [`LogicalPlan::PathIndexedGraph`] hint (the returned [`PathIndexData`]
+/// carries the acceleration index — ALT landmarks or a contraction
+/// hierarchy), the optimizer-planned [`LogicalPlan::IndexedGraph`] hint,
+/// and a runtime lookup for plain `Scan` edges (plans produced without a
+/// session context). All honour the context's index flags, whose accessors
+/// return `None` when the setting is off.
 fn obtain_graph(
     ex: &Executor<'_>,
     edge: &LogicalPlan,
@@ -373,83 +373,78 @@ fn obtain_graph(
     Ok((Arc::new(build_graph_with_threads(edges, src_key, dst_key, threads)?), false, None))
 }
 
-/// Run a single-pair batch through the ALT search when the index covers
-/// every spec. Returns `None` when any spec turns out ineligible at
-/// runtime (e.g. the index was recreated with a different weight column
-/// between planning and execution) — the caller falls back to the plain
-/// traversals, which are always correct.
-fn run_specs_alt(
+/// Run a single-pair batch through the accelerated search (ALT or CH,
+/// whichever the index was built as) when the index covers every spec.
+/// Returns `None` when any spec turns out ineligible at runtime (e.g. the
+/// index was recreated with a different weight column between planning and
+/// execution) — the caller falls back to the plain traversals, which are
+/// always correct.
+fn run_specs_accel(
     ex: &Executor<'_>,
     data: &PathIndexData,
     pair: (u32, u32),
     specs: &[CheapestSpec],
     params: &[Value],
 ) -> Result<Option<(Vec<bool>, Vec<SpecResults>)>> {
-    if !specs.iter().all(|s| crate::optimize::spec_alt_eligible(s, data.weight_key)) {
+    if !specs.iter().all(|s| crate::optimize::spec_accel_eligible(s, data.weight_key)) {
         return Ok(None);
     }
-    let forward = &data.graph.csr;
-    let backward = data.graph.reverse();
     let (s, d) = pair;
     let mut settled_total = 0usize;
     let mut all = Vec::with_capacity(specs.len());
     let mut reachable = Vec::new();
     if specs.is_empty() {
-        // Reachability probe: one goal-directed search over the index's
+        // Reachability probe: one accelerated search over the index's
         // native weights; a finite distance means connected.
-        let r = gsql_accel::alt_bidirectional(
-            forward,
-            backward,
-            data.weight_slices(),
-            &data.landmarks,
-            s,
-            d,
-        );
-        settled_total += r.settled;
-        reachable.push(r.dist.is_some());
+        let (dist, settled) = data.search(s, d);
+        settled_total += settled;
+        reachable.push(dist.is_some());
     }
-    for spec in specs {
+    if !specs.is_empty() {
         // Mirrors `prepare_spec`: a constant weight scales the hop count
         // (validated strictly positive with the same error), a matching
-        // weight column uses the index's prevalidated weights.
-        let (weights, scale) = if spec.weight.is_constant() {
-            let v = eval_const(&spec.weight, params)?;
-            let positive = match &v {
-                Value::Int(x) => *x > 0,
-                Value::Double(x) => *x > 0.0 && x.is_finite(),
-                _ => false,
+        // weight column uses the index's prevalidated weights. Eligibility
+        // pins constant specs to hop indexes, so every spec is served by
+        // the index's native search — hop distances there — and one search
+        // covers them all.
+        let mut scales = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let scale = if spec.weight.is_constant() {
+                let v = eval_const(&spec.weight, params)?;
+                let positive = match &v {
+                    Value::Int(x) => *x > 0,
+                    Value::Double(x) => *x > 0.0 && x.is_finite(),
+                    _ => false,
+                };
+                if !positive {
+                    return Err(Error::Graph(GraphError::NonPositiveWeight {
+                        edge_row: 0,
+                        weight: v.to_string(),
+                    }));
+                }
+                Some(v)
+            } else {
+                None
             };
-            if !positive {
-                return Err(Error::Graph(GraphError::NonPositiveWeight {
-                    edge_row: 0,
-                    weight: v.to_string(),
-                }));
-            }
-            (None, Some(v))
-        } else {
-            (data.weight_slices(), None)
-        };
-        let r = gsql_accel::alt_bidirectional(forward, backward, weights, &data.landmarks, s, d);
-        settled_total += r.settled;
-        let result = PairResult {
-            reachable: r.dist.is_some(),
-            cost: r.dist.map(|c| CostValue::Int(c as i64)),
-            path: None,
-        };
-        if reachable.is_empty() {
-            reachable.push(result.reachable);
+            scales.push(scale);
         }
-        all.push(SpecResults {
-            results: vec![result],
-            scale,
-            want_path: false,
-            cost_ty: spec.weight_ty,
-        });
+        let (dist, settled) = data.search(s, d);
+        settled_total += settled;
+        reachable.push(dist.is_some());
+        for (spec, scale) in specs.iter().zip(scales) {
+            all.push(SpecResults {
+                results: vec![PairResult {
+                    reachable: dist.is_some(),
+                    cost: dist.map(|c| CostValue::Int(c as i64)),
+                    path: None,
+                }],
+                scale,
+                want_path: false,
+                cost_ty: spec.weight_ty,
+            });
+        }
     }
-    ex.ctx().record_op_detail(format!(
-        "settled={settled_total} (alt, landmarks={})",
-        data.landmarks.len()
-    ));
+    ex.ctx().record_op_detail(data.analyze_detail(settled_total));
     Ok(Some((reachable, all)))
 }
 
@@ -466,7 +461,7 @@ fn execute_graph_select(
     schema: &PlanSchema,
 ) -> Result<Arc<Table>> {
     let input_table = ex.execute(input)?;
-    let (graph, from_index, alt_data) = obtain_graph(ex, edge, src_key, dst_key)?;
+    let (graph, from_index, accel_data) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
     // Map X/Y into the dense domain; drop rows whose endpoints are not
@@ -484,11 +479,12 @@ fn execute_graph_select(
         pairs.push((sid, did));
     }
 
-    // Single-pair point-to-point requests route through the ALT search
-    // when a covering path index is attached; everything else (batches,
-    // ineligible specs, dropped index) takes the plain traversals.
-    let accelerated = match (&alt_data, pairs.len()) {
-        (Some(data), 1) => run_specs_alt(ex, data, pairs[0], specs, ex.ctx().params())?,
+    // Single-pair point-to-point requests route through the accelerated
+    // search when a covering path index is attached; everything else
+    // (batches, ineligible specs, dropped index) takes the plain
+    // traversals.
+    let accelerated = match (&accel_data, pairs.len()) {
+        (Some(data), 1) => run_specs_accel(ex, data, pairs[0], specs, ex.ctx().params())?,
         _ => None,
     };
     let (reachable, spec_results) = match accelerated {
@@ -523,8 +519,9 @@ fn execute_graph_join(
     let left_table = ex.execute(left)?;
     let right_table = ex.execute(right)?;
     // GraphJoin is the batched many-to-many shape: the optimizer never
-    // attaches a path index here, so any returned ALT data is unused.
-    let (graph, from_index, _alt) = obtain_graph(ex, edge, src_key, dst_key)?;
+    // attaches a path index here, so any returned acceleration data is
+    // unused.
+    let (graph, from_index, _accel) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
     let x_col = eval_to_column(source, &left_table, ex.ctx().params(), key_ty)?;

@@ -48,12 +48,13 @@ pub fn optimize_with(plan: LogicalPlan, ctx: &ExecContext<'_>) -> LogicalPlan {
     }
 }
 
-/// True when a `CHEAPEST SUM` spec can be answered by an ALT index with
-/// `weight_key`: no path requested (the stitched bidirectional path may
-/// legitimately differ from Dijkstra's on cost ties, and results must stay
-/// byte-identical), and the weight is either constant (hop scaling — only
-/// valid over a hop index) or exactly the index's integer weight column.
-pub(crate) fn spec_alt_eligible(
+/// True when a `CHEAPEST SUM` spec can be answered by an acceleration
+/// index with `weight_key`: no path requested (an accelerated search may
+/// legitimately pick a different equal-cost path than Dijkstra, and
+/// results must stay byte-identical), and the weight is either constant
+/// (hop scaling — only valid over a hop index) or exactly the index's
+/// integer weight column.
+pub(crate) fn spec_accel_eligible(
     spec: &crate::plan::CheapestSpec,
     weight_key: Option<usize>,
 ) -> bool {
@@ -72,11 +73,13 @@ pub(crate) fn spec_alt_eligible(
 /// Replace the edge scan of eligible point-to-point graph selects with
 /// [`LogicalPlan::PathIndexedGraph`]. Only `GraphSelect` qualifies: the
 /// batched many-to-many `GraphJoin` is what the existing source-parallel
-/// runtime serves best, while ALT targets the single-pair workload.
+/// runtime serves best, while the acceleration indexes target the
+/// single-pair workload.
 fn annotate_path_indexed_edges(
     plan: LogicalPlan,
     registry: &crate::path_index::PathIndexRegistry,
 ) -> LogicalPlan {
+    use crate::path_index::PathIndexKind;
     let plan = map_children(plan, |p| annotate_path_indexed_edges(p, registry));
     let LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } =
         plan
@@ -87,16 +90,24 @@ fn annotate_path_indexed_edges(
         let src_name = &edge_schema.column(src_key).name;
         let dst_name = &edge_schema.column(dst_key).name;
         // Several indexes may cover this edge configuration (hop-distance
-        // vs weighted); take the first — name order, so deterministic —
-        // whose weight configuration serves every spec.
-        let eligible = registry
+        // vs weighted, ALT vs CH). Of the ones whose weight configuration
+        // serves every spec, a contraction hierarchy beats a landmark
+        // index (near-constant search cones vs goal-directed pruning);
+        // within a kind, name order keeps the choice deterministic.
+        let eligible: Vec<_> = registry
             .find_indexes(table, src_name, dst_name)
             .into_iter()
-            .find(|meta| specs.iter().all(|s| spec_alt_eligible(s, meta.weight_key)));
-        match eligible {
+            .filter(|meta| specs.iter().all(|s| spec_accel_eligible(s, meta.weight_key)))
+            .collect();
+        let chosen = eligible
+            .iter()
+            .find(|meta| meta.kind == PathIndexKind::Contraction)
+            .or_else(|| eligible.first());
+        match chosen {
             Some(meta) => Box::new(LogicalPlan::PathIndexedGraph {
-                index: meta.name,
+                index: meta.name.clone(),
                 table: table.clone(),
+                kind: meta.kind,
                 schema: edge_schema.clone(),
             }),
             None => edge,

@@ -1,16 +1,22 @@
-//! Path indexes — the ALT path-acceleration subsystem's catalog layer.
+//! Path indexes — the catalog layer of the path-acceleration subsystem.
 //!
-//! A path index, created with
-//! `CREATE PATH INDEX name ON table EDGE (src, dst) [WEIGHT col] USING
-//! LANDMARKS(k)`, precomputes everything a goal-directed point-to-point
-//! shortest-path query needs:
+//! A path index, created with `CREATE PATH INDEX name ON table EDGE (s, d)
+//! [WEIGHT col] USING {LANDMARKS(k) | CONTRACTION}`, precomputes everything
+//! a point-to-point shortest-path query needs:
 //!
 //! * the [`MaterializedGraph`] (snapshot + dictionary + CSR) and its
 //!   reverse CSR;
 //! * the per-slot weight arrays of both directions (when a `WEIGHT` column
 //!   is given; validated strictly positive and integral at build time);
-//! * the [`Landmarks`] index: `k` landmarks with exact forward/backward
-//!   distance vectors, built one traversal per vector over the worker pool.
+//! * one **acceleration index** ([`AccelIndex`]) of the declared kind — an
+//!   ALT [`Landmarks`] set for goal-directed bidirectional A\*, or a
+//!   [`ContractionHierarchy`] for bidirectional upward Dijkstra with
+//!   stall-on-demand.
+//!
+//! Both kinds answer single-pair queries with costs **bit-identical** to
+//! plain Dijkstra; they differ only in preprocessing cost and per-query
+//! pruning, so the optimizer may pick freely ([`PathIndexKind`] carries the
+//! choice through planning, `EXPLAIN` and the executor).
 //!
 //! Invalidation mirrors the graph-index registry: entries cache against the
 //! catalog's per-table **version counter** (any DML bumps it; the next
@@ -21,11 +27,12 @@
 
 use crate::error::{bind_err, Error};
 use crate::exec::graph_op::{build_graph_with_threads, MaterializedGraph};
-use gsql_accel::Landmarks;
+use gsql_accel::{ch_query, ContractionHierarchy, Landmarks};
 use gsql_storage::{Catalog, Column, DataType};
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -34,14 +41,91 @@ type Result<T> = std::result::Result<T, Error>;
 /// index memory (`2·k·|V|·8` bytes) grows without benefit.
 pub const MAX_LANDMARKS: u32 = 64;
 
+/// Landmark count used when `GSQL_PATH_INDEX_KIND=landmarks` overrides a
+/// `USING CONTRACTION` declaration (no `k` was declared to reuse).
+const FORCED_LANDMARKS: u32 = 8;
+
+/// The preprocessing tier of one path index. Carried from DDL through the
+/// registry, the optimizer's choice, `EXPLAIN` labels and the executor's
+/// dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathIndexKind {
+    /// ALT: `k` landmark distance vectors + goal-directed bidirectional A*.
+    Landmarks(u32),
+    /// Contraction hierarchy: shortcut overlay + bidirectional upward
+    /// Dijkstra with stall-on-demand.
+    Contraction,
+}
+
+impl PathIndexKind {
+    /// Short plan-label form (`EXPLAIN` shows `PathIndex pi ON t (CH)`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PathIndexKind::Landmarks(_) => "ALT",
+            PathIndexKind::Contraction => "CH",
+        }
+    }
+}
+
+impl fmt::Display for PathIndexKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathIndexKind::Landmarks(k) => write!(f, "landmarks({k})"),
+            PathIndexKind::Contraction => write!(f, "contraction"),
+        }
+    }
+}
+
+/// CI / experimentation override: `GSQL_PATH_INDEX_KIND=contraction` (or
+/// `ch`) builds every path index as a contraction hierarchy regardless of
+/// its `USING` clause; `landmarks` / `alt` forces ALT. Unset or anything
+/// else honours the DDL. Cached after the first read (mirrors
+/// `GSQL_PATH_INDEX` / `GSQL_THREADS`). Declared-kind *validation* (e.g.
+/// the landmark-count range) still applies before the override.
+fn forced_kind() -> Option<PathIndexKind> {
+    static CACHE: OnceLock<Option<PathIndexKind>> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let value = std::env::var("GSQL_PATH_INDEX_KIND")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .unwrap_or_default();
+        match value.as_str() {
+            "contraction" | "ch" => Some(PathIndexKind::Contraction),
+            "landmarks" | "alt" => Some(PathIndexKind::Landmarks(FORCED_LANDMARKS)),
+            _ => None,
+        }
+    })
+}
+
+/// The kind actually built for a declared kind, after the
+/// `GSQL_PATH_INDEX_KIND` override. A forced-landmarks override keeps a
+/// declared landmark count.
+fn effective_kind(declared: PathIndexKind) -> PathIndexKind {
+    match (forced_kind(), declared) {
+        (Some(PathIndexKind::Landmarks(_)), PathIndexKind::Landmarks(k)) => {
+            PathIndexKind::Landmarks(k)
+        }
+        (Some(forced), _) => forced,
+        (None, declared) => declared,
+    }
+}
+
+/// The built acceleration structure of one path index.
+#[derive(Debug)]
+pub enum AccelIndex {
+    /// An ALT landmark index.
+    Alt(Landmarks),
+    /// A contraction hierarchy.
+    Ch(ContractionHierarchy),
+}
+
 /// Everything a query needs from one built path index.
 #[derive(Debug)]
 pub struct PathIndexData {
     /// The materialized graph (snapshot, CSR, dictionary). Its reverse CSR
     /// is forced at build time, so queries never pay for it.
     pub graph: Arc<MaterializedGraph>,
-    /// The ALT landmark index.
-    pub landmarks: Landmarks,
+    /// The acceleration index (ALT landmarks or contraction hierarchy).
+    pub accel: AccelIndex,
     /// Ordinal of the weight column in the edge table's schema; `None` for
     /// a hop-distance index.
     pub weight_key: Option<usize>,
@@ -60,6 +144,43 @@ impl PathIndexData {
             _ => None,
         }
     }
+
+    /// One accelerated point-to-point search over the index's native
+    /// weights (hop distances for an unweighted index): `(exact cost,
+    /// settled vertices)`. Dispatches on the built [`AccelIndex`]; either
+    /// way the cost is bit-identical to plain Dijkstra.
+    pub fn search(&self, source: u32, dest: u32) -> (Option<u64>, usize) {
+        match &self.accel {
+            AccelIndex::Alt(lm) => {
+                let r = gsql_accel::alt_bidirectional(
+                    &self.graph.csr,
+                    self.graph.reverse(),
+                    self.weight_slices(),
+                    lm,
+                    source,
+                    dest,
+                );
+                (r.dist, r.settled)
+            }
+            AccelIndex::Ch(ch) => {
+                let r = ch_query(ch, source, dest);
+                (r.dist, r.settled)
+            }
+        }
+    }
+
+    /// The `EXPLAIN ANALYZE` detail line for a query that settled
+    /// `settled` vertices through this index.
+    pub fn analyze_detail(&self, settled: usize) -> String {
+        match &self.accel {
+            AccelIndex::Alt(lm) => {
+                format!("settled={settled} (alt, landmarks={})", lm.len())
+            }
+            AccelIndex::Ch(ch) => {
+                format!("settled={settled} (ch, shortcuts={})", ch.shortcuts())
+            }
+        }
+    }
 }
 
 /// Planner-visible description of a registered path index.
@@ -69,8 +190,22 @@ pub struct PathIndexMeta {
     pub name: String,
     /// Ordinal of the weight column in the table schema, `None` for hops.
     pub weight_key: Option<usize>,
-    /// Landmark count the index was declared with.
-    pub landmarks: u32,
+    /// The (effective) kind the index is built as.
+    pub kind: PathIndexKind,
+}
+
+/// One row of `SHOW PATH INDEXES`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathIndexListing {
+    /// Index name.
+    pub name: String,
+    /// Indexed table.
+    pub table: String,
+    /// Kind (`landmarks(k)` / `contraction`).
+    pub kind: String,
+    /// `built` when the cached data matches the table's current version,
+    /// `stale` when the next accelerated query will rebuild it.
+    pub status: &'static str,
 }
 
 /// One registered path index.
@@ -81,7 +216,8 @@ struct IndexEntry {
     dst_col: String,
     weight_col: Option<String>,
     weight_key: Option<usize>,
-    landmarks: u32,
+    /// The effective kind (declared kind after the CI override).
+    kind: PathIndexKind,
     /// `(table version when built, the data)`.
     cached: Option<(u64, Arc<PathIndexData>)>,
 }
@@ -114,8 +250,9 @@ impl PathIndexRegistry {
     /// Every index covering `(table, src_col, dst_col)`, sorted by name so
     /// planning is deterministic (matching is case-insensitive). Several
     /// indexes may cover one edge configuration — e.g. a hop index and a
-    /// weighted index — and the optimizer picks the one whose weight
-    /// configuration the query's specs can actually use.
+    /// weighted index, or an ALT and a CH index — and the optimizer picks
+    /// among the ones whose weight configuration the query's specs can
+    /// actually use.
     pub fn find_indexes(&self, table: &str, src_col: &str, dst_col: &str) -> Vec<PathIndexMeta> {
         let table_key = table.to_ascii_lowercase();
         let inner = self.inner.read().expect("registry lock poisoned");
@@ -129,17 +266,11 @@ impl PathIndexRegistry {
             .map(|(name, e)| PathIndexMeta {
                 name: name.clone(),
                 weight_key: e.weight_key,
-                landmarks: e.landmarks,
+                kind: e.kind,
             })
             .collect();
         found.sort_by(|a, b| a.name.cmp(&b.name));
         found
-    }
-
-    /// The first index covering `(table, src_col, dst_col)` in name order,
-    /// if any (convenience over [`PathIndexRegistry::find_indexes`]).
-    pub fn find_index(&self, table: &str, src_col: &str, dst_col: &str) -> Option<PathIndexMeta> {
-        self.find_indexes(table, src_col, dst_col).into_iter().next()
     }
 
     /// Fetch the (fresh) data of the index named `name`, rebuilding a stale
@@ -152,7 +283,7 @@ impl PathIndexRegistry {
         threads: usize,
     ) -> Result<Option<Arc<PathIndexData>>> {
         let key = name.to_ascii_lowercase();
-        let (table, src_col, dst_col, weight_col, landmarks) = {
+        let (table, src_col, dst_col, weight_col, kind) = {
             let inner = self.inner.read().expect("registry lock poisoned");
             let Some(entry) = inner.get(&key) else {
                 return Ok(None);
@@ -168,7 +299,7 @@ impl PathIndexRegistry {
                 entry.src_col.clone(),
                 entry.dst_col.clone(),
                 entry.weight_col.clone(),
-                entry.landmarks,
+                entry.kind,
             )
         };
         // Stale: rebuild outside the read lock.
@@ -179,19 +310,19 @@ impl PathIndexRegistry {
             &src_col,
             &dst_col,
             weight_col.as_deref(),
-            landmarks,
+            kind,
             threads,
         )?);
         let mut inner = self.inner.write().expect("registry lock poisoned");
         if let Some(e) = inner.get_mut(&key) {
             // Skip the write-back if the index was concurrently dropped and
             // recreated over a different configuration (columns, weight or
-            // landmark count).
+            // index kind).
             if e.table == table
                 && e.src_col.eq_ignore_ascii_case(&src_col)
                 && e.dst_col.eq_ignore_ascii_case(&dst_col)
                 && e.weight_col == weight_col
-                && e.landmarks == landmarks
+                && e.kind == kind
             {
                 e.cached = Some((entry.version, Arc::clone(&data)));
             }
@@ -199,8 +330,9 @@ impl PathIndexRegistry {
         Ok(Some(data))
     }
 
-    /// Create an index and build its landmark data eagerly with `threads`
-    /// workers.
+    /// Create an index and build its acceleration data eagerly with
+    /// `threads` workers. With `if_not_exists`, creating over an existing
+    /// name is a no-op (returns `Ok` without building).
     #[allow(clippy::too_many_arguments)]
     pub fn create_index(
         &self,
@@ -210,18 +342,24 @@ impl PathIndexRegistry {
         src_col: &str,
         dst_col: &str,
         weight_col: Option<&str>,
-        landmarks: u32,
+        kind: PathIndexKind,
+        if_not_exists: bool,
         threads: usize,
     ) -> Result<()> {
         let key = name.to_ascii_lowercase();
-        if landmarks == 0 || landmarks > MAX_LANDMARKS {
-            return Err(bind_err!(
-                "LANDMARKS count must be between 1 and {MAX_LANDMARKS}, got {landmarks}"
-            ));
+        if let PathIndexKind::Landmarks(k) = kind {
+            if k == 0 || k > MAX_LANDMARKS {
+                return Err(bind_err!(
+                    "LANDMARKS count must be between 1 and {MAX_LANDMARKS}, got {k}"
+                ));
+            }
         }
         // Reject duplicate names before paying for the build; the write
         // lock below re-checks to close the create/create race.
         if self.inner.read().expect("registry lock poisoned").contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
             return Err(bind_err!("path index '{name}' already exists"));
         }
         let entry = catalog.entry(table).map_err(Error::Storage)?;
@@ -251,18 +389,22 @@ impl PathIndexRegistry {
                 let ty = schema.column(idx).ty;
                 if ty != DataType::Int {
                     return Err(bind_err!(
-                        "PATH INDEX WEIGHT column must be INTEGER so landmark bounds stay \
+                        "PATH INDEX WEIGHT column must be INTEGER so accelerated costs stay \
                          exact, found {ty}; CAST the weight into an integer column"
                     ));
                 }
                 Some(idx)
             }
         };
+        let kind = effective_kind(kind);
         let data =
-            Arc::new(build_data(catalog, table, src_col, dst_col, weight_col, landmarks, threads)?);
+            Arc::new(build_data(catalog, table, src_col, dst_col, weight_col, kind, threads)?);
 
         let mut inner = self.inner.write().expect("registry lock poisoned");
         if inner.contains_key(&key) {
+            if if_not_exists {
+                return Ok(());
+            }
             return Err(bind_err!("path index '{name}' already exists"));
         }
         inner.insert(
@@ -273,7 +415,7 @@ impl PathIndexRegistry {
                 dst_col: dst_col.to_string(),
                 weight_col: weight_col.map(str::to_string),
                 weight_key,
-                landmarks,
+                kind,
                 cached: Some((entry.version, data)),
             },
         );
@@ -282,14 +424,16 @@ impl PathIndexRegistry {
         Ok(())
     }
 
-    /// Drop an index.
-    pub fn drop_index(&self, name: &str) -> Result<()> {
+    /// Drop an index. With `if_exists`, dropping a missing name is a no-op.
+    pub fn drop_index(&self, name: &str, if_exists: bool) -> Result<()> {
         let key = name.to_ascii_lowercase();
         let mut inner = self.inner.write().expect("registry lock poisoned");
         let removed = inner.remove(&key);
         drop(inner);
         if removed.is_some() {
             self.bump_version();
+            Ok(())
+        } else if if_exists {
             Ok(())
         } else {
             Err(bind_err!("path index '{name}' does not exist"))
@@ -316,17 +460,44 @@ impl PathIndexRegistry {
         names.sort();
         names
     }
+
+    /// All registered indexes with kind and freshness, sorted by name — the
+    /// `SHOW PATH INDEXES` result. `stale` means the next accelerated query
+    /// will rebuild the data lazily (the table mutated since the build).
+    pub fn list(&self, catalog: &Catalog) -> Vec<PathIndexListing> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut rows: Vec<PathIndexListing> = inner
+            .iter()
+            .map(|(name, e)| {
+                let status = match &e.cached {
+                    Some((version, _)) => match catalog.entry(&e.table) {
+                        Ok(current) if current.version == *version => "built",
+                        _ => "stale",
+                    },
+                    None => "stale",
+                };
+                PathIndexListing {
+                    name: name.clone(),
+                    table: e.table.clone(),
+                    kind: e.kind.to_string(),
+                    status,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
 }
 
 /// Build the full per-index data set: graph, reverse CSR, validated slot
-/// weights, landmark vectors.
+/// weights, and the acceleration structure of the requested kind.
 fn build_data(
     catalog: &Catalog,
     table: &str,
     src_col: &str,
     dst_col: &str,
     weight_col: Option<&str>,
-    landmarks: u32,
+    kind: PathIndexKind,
     threads: usize,
 ) -> Result<PathIndexData> {
     let entry = catalog.entry(table).map_err(Error::Storage)?;
@@ -375,17 +546,22 @@ fn build_data(
         }
     };
 
-    let lm = Landmarks::build(
-        &graph.csr,
-        reverse,
-        match (&weights_fwd, &weights_bwd) {
-            (Some(f), Some(b)) => Some((f.as_slice(), b.as_slice())),
-            _ => None,
-        },
-        landmarks as usize,
-        threads,
-    );
-    Ok(PathIndexData { graph, landmarks: lm, weight_key, weights_fwd, weights_bwd })
+    let accel = match kind {
+        PathIndexKind::Landmarks(k) => AccelIndex::Alt(Landmarks::build(
+            &graph.csr,
+            reverse,
+            match (&weights_fwd, &weights_bwd) {
+                (Some(f), Some(b)) => Some((f.as_slice(), b.as_slice())),
+                _ => None,
+            },
+            k as usize,
+            threads,
+        )),
+        PathIndexKind::Contraction => {
+            AccelIndex::Ch(ContractionHierarchy::build(&graph.csr, weights_fwd.as_deref(), threads))
+        }
+    };
+    Ok(PathIndexData { graph, accel, weight_key, weights_fwd, weights_bwd })
 }
 
 #[cfg(test)]
@@ -416,38 +592,44 @@ mod tests {
         (catalog, PathIndexRegistry::new())
     }
 
+    fn create(
+        reg: &PathIndexRegistry,
+        catalog: &Catalog,
+        name: &str,
+        weight: Option<&str>,
+        kind: PathIndexKind,
+    ) -> Result<()> {
+        reg.create_index(catalog, name, "roads", "a", "b", weight, kind, false, 2)
+    }
+
     #[test]
     fn create_build_and_query_data() {
         let (catalog, reg) = setup();
-        reg.create_index(&catalog, "pi", "roads", "a", "b", Some("len"), 2, 2).unwrap();
-        let meta = reg.find_index("ROADS", "A", "B").unwrap();
-        assert_eq!(meta.name, "pi");
-        assert_eq!(meta.weight_key, Some(2));
-        assert_eq!(meta.landmarks, 2);
-        let data = reg.data_by_name(&catalog, "pi", 2).unwrap().unwrap();
-        assert_eq!(data.graph.num_edges(), 4);
-        assert!(data.weight_slices().is_some());
-        // Exact ALT distance through the cheap 1→2→3 route.
-        let s = data.graph.lookup(&Value::Int(1)).unwrap();
-        let d = data.graph.lookup(&Value::Int(3)).unwrap();
-        let r = gsql_accel::alt_bidirectional(
-            &data.graph.csr,
-            data.graph.reverse(),
-            data.weight_slices(),
-            &data.landmarks,
-            s,
-            d,
-        );
-        assert_eq!(r.dist, Some(10));
-        // Unchanged table: same Arc on the next fetch.
-        let again = reg.data_by_name(&catalog, "pi", 2).unwrap().unwrap();
-        assert!(Arc::ptr_eq(&data, &again));
+        for (name, kind) in
+            [("pa", PathIndexKind::Landmarks(2)), ("pc", PathIndexKind::Contraction)]
+        {
+            create(&reg, &catalog, name, Some("len"), kind).unwrap();
+            let meta =
+                reg.find_indexes("ROADS", "A", "B").into_iter().find(|m| m.name == name).unwrap();
+            assert_eq!(meta.weight_key, Some(2));
+            let data = reg.data_by_name(&catalog, name, 2).unwrap().unwrap();
+            assert_eq!(data.graph.num_edges(), 4);
+            assert!(data.weight_slices().is_some());
+            // Exact accelerated distance through the cheap 1→2→3 route.
+            let s = data.graph.lookup(&Value::Int(1)).unwrap();
+            let d = data.graph.lookup(&Value::Int(3)).unwrap();
+            let (dist, _) = data.search(s, d);
+            assert_eq!(dist, Some(10), "{name}");
+            // Unchanged table: same Arc on the next fetch.
+            let again = reg.data_by_name(&catalog, name, 2).unwrap().unwrap();
+            assert!(Arc::ptr_eq(&data, &again));
+        }
     }
 
     #[test]
     fn mutation_invalidates_and_rebuilds() {
         let (catalog, reg) = setup();
-        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 3, 1).unwrap();
+        create(&reg, &catalog, "pi", None, PathIndexKind::Landmarks(3)).unwrap();
         let d1 = reg.data_by_name(&catalog, "pi", 1).unwrap().unwrap();
         catalog
             .update("roads", |t| t.append_row(vec![Value::Int(4), Value::Int(5), Value::Int(2)]))
@@ -462,18 +644,79 @@ mod tests {
     #[test]
     fn validation_errors() {
         let (catalog, reg) = setup();
-        assert!(reg.create_index(&catalog, "pi", "nope", "a", "b", None, 2, 1).is_err());
-        assert!(reg.create_index(&catalog, "pi", "roads", "zzz", "b", None, 2, 1).is_err());
-        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", Some("zzz"), 2, 1).is_err());
-        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", None, 0, 1).is_err());
+        let lm = PathIndexKind::Landmarks(2);
+        assert!(reg.create_index(&catalog, "pi", "nope", "a", "b", None, lm, false, 1).is_err());
+        assert!(reg.create_index(&catalog, "pi", "roads", "zzz", "b", None, lm, false, 1).is_err());
         assert!(reg
-            .create_index(&catalog, "pi", "roads", "a", "b", None, MAX_LANDMARKS + 1, 1)
+            .create_index(&catalog, "pi", "roads", "a", "b", Some("zzz"), lm, false, 1)
             .is_err());
-        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
-        assert!(reg.create_index(&catalog, "PI", "roads", "a", "b", None, 2, 1).is_err());
-        assert!(reg.drop_index("missing").is_err());
-        reg.drop_index("pi").unwrap();
+        let zero = PathIndexKind::Landmarks(0);
+        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", None, zero, false, 1).is_err());
+        let over = PathIndexKind::Landmarks(MAX_LANDMARKS + 1);
+        assert!(reg.create_index(&catalog, "pi", "roads", "a", "b", None, over, false, 1).is_err());
+        create(&reg, &catalog, "pi", None, lm).unwrap();
+        assert!(create(&reg, &catalog, "PI", None, lm).is_err());
+        assert!(reg.drop_index("missing", false).is_err());
+        reg.drop_index("pi", false).unwrap();
         assert!(reg.index_names().is_empty());
+    }
+
+    #[test]
+    fn if_not_exists_and_if_exists_are_noops() {
+        let (catalog, reg) = setup();
+        create(&reg, &catalog, "pi", None, PathIndexKind::Contraction).unwrap();
+        let v = reg.version();
+        // Same name again: hard create errors, IF NOT EXISTS is a no-op
+        // that leaves the registry version untouched (no plan invalidation).
+        assert!(create(&reg, &catalog, "pi", None, PathIndexKind::Contraction).is_err());
+        reg.create_index(
+            &catalog,
+            "PI",
+            "roads",
+            "a",
+            "b",
+            None,
+            PathIndexKind::Landmarks(2),
+            true,
+            1,
+        )
+        .unwrap();
+        assert_eq!(reg.version(), v);
+        assert_eq!(reg.index_names(), vec!["pi".to_string()]);
+        // IF EXISTS drop of a missing index succeeds without a bump.
+        reg.drop_index("ghost", true).unwrap();
+        assert_eq!(reg.version(), v);
+        reg.drop_index("pi", true).unwrap();
+        assert_eq!(reg.version(), v + 1);
+    }
+
+    #[test]
+    fn listing_reports_kind_and_freshness() {
+        let (catalog, reg) = setup();
+        create(&reg, &catalog, "pa", Some("len"), PathIndexKind::Landmarks(2)).unwrap();
+        create(&reg, &catalog, "pc", None, PathIndexKind::Contraction).unwrap();
+        let rows = reg.list(&catalog);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "pa");
+        assert_eq!(rows[0].table, "roads");
+        assert_eq!(rows[0].status, "built");
+        assert_eq!(rows[1].name, "pc");
+        // Under GSQL_PATH_INDEX_KIND both entries may report the forced
+        // kind; without it they report their declared kinds.
+        if forced_kind().is_none() {
+            assert_eq!(rows[0].kind, "landmarks(2)");
+            assert_eq!(rows[1].kind, "contraction");
+        }
+        // Mutating the table flips both to stale; fetching rebuilds one.
+        catalog
+            .update("roads", |t| t.append_row(vec![Value::Int(8), Value::Int(9), Value::Int(1)]))
+            .unwrap();
+        let rows = reg.list(&catalog);
+        assert!(rows.iter().all(|r| r.status == "stale"), "{rows:?}");
+        reg.data_by_name(&catalog, "pa", 1).unwrap().unwrap();
+        let rows = reg.list(&catalog);
+        assert_eq!(rows[0].status, "built");
+        assert_eq!(rows[1].status, "stale");
     }
 
     #[test]
@@ -489,7 +732,19 @@ mod tests {
                 ]),
             )
             .unwrap();
-        let err = reg.create_index(&catalog, "pi", "fe", "s", "d", Some("w"), 2, 1).unwrap_err();
+        let err = reg
+            .create_index(
+                &catalog,
+                "pi",
+                "fe",
+                "s",
+                "d",
+                Some("w"),
+                PathIndexKind::Landmarks(2),
+                false,
+                1,
+            )
+            .unwrap_err();
         assert!(err.to_string().contains("INTEGER"), "{err}");
     }
 
@@ -499,20 +754,21 @@ mod tests {
         catalog
             .update("roads", |t| t.append_row(vec![Value::Int(9), Value::Int(10), Value::Int(0)]))
             .unwrap();
-        let err =
-            reg.create_index(&catalog, "pi", "roads", "a", "b", Some("len"), 2, 1).unwrap_err();
-        assert!(err.to_string().contains("strictly greater than 0"), "{err}");
+        for kind in [PathIndexKind::Landmarks(2), PathIndexKind::Contraction] {
+            let err = create(&reg, &catalog, "pi", Some("len"), kind).unwrap_err();
+            assert!(err.to_string().contains("strictly greater than 0"), "{err}");
+        }
     }
 
     #[test]
     fn version_bumps_on_create_and_drop() {
         let (catalog, reg) = setup();
         assert_eq!(reg.version(), 0);
-        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
+        create(&reg, &catalog, "pi", None, PathIndexKind::Landmarks(2)).unwrap();
         assert_eq!(reg.version(), 1);
-        reg.drop_index("pi").unwrap();
+        reg.drop_index("pi", false).unwrap();
         assert_eq!(reg.version(), 2);
-        reg.create_index(&catalog, "pi", "roads", "a", "b", None, 2, 1).unwrap();
+        create(&reg, &catalog, "pi", None, PathIndexKind::Contraction).unwrap();
         reg.drop_indexes_for_table("roads");
         assert_eq!(reg.version(), 4);
         reg.drop_indexes_for_table("roads");

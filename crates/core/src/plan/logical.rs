@@ -166,17 +166,23 @@ pub enum LogicalPlan {
         /// Output schema (identical to the underlying scan's).
         schema: PlanSchema,
     },
-    /// An edge table served from a registered **ALT path index**: the
-    /// enclosing graph operator is point-to-point eligible, so the executor
-    /// routes single-pair requests through goal-directed bidirectional A*
-    /// over the precomputed landmark bounds, falling back to Dijkstra when
-    /// the index is gone or the request is not a single pair. Produced by
-    /// the optimizer when the session's `path_index` setting is on.
+    /// An edge table served from a registered **path index**: the enclosing
+    /// graph operator is point-to-point eligible, so the executor routes
+    /// single-pair requests through the index's accelerated search —
+    /// goal-directed bidirectional A* for an ALT index, bidirectional
+    /// upward Dijkstra with stall-on-demand for a contraction hierarchy —
+    /// falling back to Dijkstra when the index is gone or the request is
+    /// not a single pair. Produced by the optimizer when the session's
+    /// `path_index` setting is on; when several kinds cover a query the
+    /// contraction hierarchy wins (stronger pruning), visible in the
+    /// `EXPLAIN` label's kind suffix.
     PathIndexedGraph {
         /// The path-index name.
         index: String,
         /// The indexed base table (used as fallback).
         table: String,
+        /// The index kind the optimizer chose (shown in `EXPLAIN`).
+        kind: crate::path_index::PathIndexKind,
         /// Output schema (identical to the underlying scan's).
         schema: PlanSchema,
     },
@@ -396,8 +402,8 @@ impl LogicalPlan {
             LogicalPlan::IndexedGraph { index, table, .. } => {
                 format!("GraphIndex {index} ON {table}")
             }
-            LogicalPlan::PathIndexedGraph { index, table, .. } => {
-                format!("PathIndex {index} ON {table} (ALT)")
+            LogicalPlan::PathIndexedGraph { index, table, kind, .. } => {
+                format!("PathIndex {index} ON {table} ({})", kind.label())
             }
             LogicalPlan::Values { rows, .. } => format!("Values ({} rows)", rows.len()),
             LogicalPlan::Filter { input, predicate } => {

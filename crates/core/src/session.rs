@@ -453,20 +453,50 @@ impl<'db> Session<'db> {
                 src_col,
                 dst_col,
                 weight_col,
-                landmarks,
+                method,
+                if_not_exists,
             } => {
                 let threads = self.settings.borrow().threads;
+                let kind = match method {
+                    ast::PathIndexMethod::Landmarks(k) => {
+                        crate::path_index::PathIndexKind::Landmarks(*k)
+                    }
+                    ast::PathIndexMethod::Contraction => {
+                        crate::path_index::PathIndexKind::Contraction
+                    }
+                };
                 self.db.create_path_index_stmt(
                     name,
                     table,
                     src_col,
                     dst_col,
                     weight_col.as_deref(),
-                    *landmarks,
+                    kind,
+                    *if_not_exists,
                     threads,
                 )
             }
-            ast::Statement::DropPathIndex { name } => self.db.drop_path_index_stmt(name),
+            ast::Statement::DropPathIndex { name, if_exists } => {
+                self.db.drop_path_index_stmt(name, *if_exists)
+            }
+            ast::Statement::ShowPathIndexes => {
+                let mut t = Table::empty(Schema::new(vec![
+                    ColumnDef::not_null("name", DataType::Varchar),
+                    ColumnDef::not_null("table", DataType::Varchar),
+                    ColumnDef::not_null("kind", DataType::Varchar),
+                    ColumnDef::not_null("status", DataType::Varchar),
+                ]));
+                for row in self.db.path_indexes().list(self.db.catalog()) {
+                    t.append_row(vec![
+                        Value::from(row.name),
+                        Value::from(row.table),
+                        Value::from(row.kind),
+                        Value::from(row.status),
+                    ])
+                    .map_err(Error::Storage)?;
+                }
+                Ok(QueryResult::Table(Arc::new(t)))
+            }
         }
     }
 }

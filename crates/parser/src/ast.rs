@@ -376,6 +376,17 @@ pub enum SetValue {
     Ident(String),
 }
 
+/// The preprocessing tier of a `CREATE PATH INDEX … USING …` statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathIndexMethod {
+    /// `USING LANDMARKS(k)` — an ALT index with `k` landmark distance
+    /// vectors for goal-directed bidirectional A*.
+    Landmarks(u32),
+    /// `USING CONTRACTION` — a contraction hierarchy for bidirectional
+    /// upward Dijkstra with stall-on-demand.
+    Contraction,
+}
+
 /// A top-level SQL statement.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
@@ -433,10 +444,11 @@ pub enum Statement {
         /// Index name.
         name: String,
     },
-    /// `CREATE PATH INDEX name ON table EDGE (src, dst) [WEIGHT col]
-    /// USING LANDMARKS(k)` — an ALT path-acceleration index: landmark
-    /// distance vectors precomputed for goal-directed point-to-point
-    /// shortest-path search.
+    /// `CREATE PATH INDEX [IF NOT EXISTS] name ON table EDGE (src, dst)
+    /// [WEIGHT col] USING {LANDMARKS(k) | CONTRACTION}` — a
+    /// path-acceleration index precomputed for point-to-point
+    /// shortest-path search; the `USING` clause picks the preprocessing
+    /// tier.
     CreatePathIndex {
         /// Index name.
         name: String,
@@ -448,14 +460,22 @@ pub enum Statement {
         dst_col: String,
         /// Optional weight column; `None` indexes hop distances.
         weight_col: Option<String>,
-        /// Number of landmarks `k`.
-        landmarks: u32,
+        /// The declared preprocessing method.
+        method: PathIndexMethod,
+        /// `IF NOT EXISTS` was given: creating over an existing name is a
+        /// no-op instead of an error.
+        if_not_exists: bool,
     },
-    /// `DROP PATH INDEX name`
+    /// `DROP PATH INDEX [IF EXISTS] name`
     DropPathIndex {
         /// Index name.
         name: String,
+        /// `IF EXISTS` was given: dropping a missing index is a no-op.
+        if_exists: bool,
     },
+    /// `SHOW PATH INDEXES` — list every registered path index with its
+    /// table, kind and built/stale status.
+    ShowPathIndexes,
     /// A query.
     Query(Query),
     /// `EXPLAIN query` — renders the optimized logical plan.

@@ -349,14 +349,36 @@ impl fmt::Display for Statement {
                 write!(f, "CREATE GRAPH INDEX {name} ON {table} EDGE ({src_col}, {dst_col})")
             }
             Statement::DropGraphIndex { name } => write!(f, "DROP GRAPH INDEX {name}"),
-            Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks } => {
-                write!(f, "CREATE PATH INDEX {name} ON {table} EDGE ({src_col}, {dst_col})")?;
+            Statement::CreatePathIndex {
+                name,
+                table,
+                src_col,
+                dst_col,
+                weight_col,
+                method,
+                if_not_exists,
+            } => {
+                write!(f, "CREATE PATH INDEX ")?;
+                if *if_not_exists {
+                    write!(f, "IF NOT EXISTS ")?;
+                }
+                write!(f, "{name} ON {table} EDGE ({src_col}, {dst_col})")?;
                 if let Some(w) = weight_col {
                     write!(f, " WEIGHT {w}")?;
                 }
-                write!(f, " USING LANDMARKS({landmarks})")
+                match method {
+                    PathIndexMethod::Landmarks(k) => write!(f, " USING LANDMARKS({k})"),
+                    PathIndexMethod::Contraction => write!(f, " USING CONTRACTION"),
+                }
             }
-            Statement::DropPathIndex { name } => write!(f, "DROP PATH INDEX {name}"),
+            Statement::DropPathIndex { name, if_exists } => {
+                write!(f, "DROP PATH INDEX ")?;
+                if *if_exists {
+                    write!(f, "IF EXISTS ")?;
+                }
+                write!(f, "{name}")
+            }
+            Statement::ShowPathIndexes => write!(f, "SHOW PATH INDEXES"),
             Statement::Query(q) => write!(f, "{q}"),
             Statement::Explain(q) => write!(f, "EXPLAIN {q}"),
             Statement::ExplainAnalyze(q) => write!(f, "EXPLAIN ANALYZE {q}"),
@@ -426,7 +448,11 @@ mod tests {
         round_trip("CREATE GRAPH INDEX gi ON friends EDGE (p1, p2)");
         round_trip("CREATE PATH INDEX pi ON roads EDGE (a, b) WEIGHT len USING LANDMARKS(16)");
         round_trip("CREATE PATH INDEX pi ON friends EDGE (p1, p2) USING LANDMARKS(8)");
+        round_trip("CREATE PATH INDEX ci ON roads EDGE (a, b) WEIGHT len USING CONTRACTION");
+        round_trip("CREATE PATH INDEX IF NOT EXISTS ci ON roads EDGE (a, b) USING CONTRACTION");
         round_trip("DROP PATH INDEX pi");
+        round_trip("DROP PATH INDEX IF EXISTS pi");
+        round_trip("SHOW PATH INDEXES");
         round_trip("SELECT DISTINCT a FROM t");
     }
 

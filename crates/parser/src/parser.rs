@@ -249,11 +249,24 @@ impl Parser {
         Ok(Statement::CreateTable { name, columns })
     }
 
-    /// The tail of `CREATE PATH INDEX name ON table EDGE (src, dst)
-    /// [WEIGHT col] USING LANDMARKS(k)` (PATH already peeked).
+    /// The tail of `CREATE PATH INDEX [IF NOT EXISTS] name ON table EDGE
+    /// (src, dst) [WEIGHT col] USING {LANDMARKS(k) | CONTRACTION}` (PATH
+    /// already peeked).
     fn parse_create_path_index(&mut self) -> Result<Statement> {
         self.advance(); // PATH
         self.expect_kw(Keyword::Index)?;
+        // IF is contextual: `IF NOT` cannot start anything else here, so an
+        // index actually named `if` keeps parsing (it is followed by ON).
+        let if_not_exists = if self.check_soft_kw("if")
+            && matches!(self.peek_at(1), Token::Keyword(Keyword::Not))
+        {
+            self.advance(); // IF
+            self.expect_kw(Keyword::Not)?;
+            self.expect_kw(Keyword::Exists)?;
+            true
+        } else {
+            false
+        };
         let name = self.expect_ident()?;
         self.expect_kw(Keyword::On)?;
         let table = self.expect_ident()?;
@@ -270,17 +283,33 @@ impl Parser {
             None
         };
         self.expect_soft_kw("using")?;
-        self.expect_soft_kw("landmarks")?;
-        self.expect_token(&Token::LParen)?;
-        let landmarks = match self.peek().clone() {
-            Token::Int(v) if v > 0 && v <= u32::MAX as i64 => {
-                self.advance();
-                v as u32
-            }
-            _ => return Err(self.unexpected("a positive landmark count")),
+        let method = if self.check_soft_kw("landmarks") {
+            self.advance(); // LANDMARKS
+            self.expect_token(&Token::LParen)?;
+            let landmarks = match self.peek().clone() {
+                Token::Int(v) if v > 0 && v <= u32::MAX as i64 => {
+                    self.advance();
+                    v as u32
+                }
+                _ => return Err(self.unexpected("a positive landmark count")),
+            };
+            self.expect_token(&Token::RParen)?;
+            PathIndexMethod::Landmarks(landmarks)
+        } else if self.check_soft_kw("contraction") {
+            self.advance(); // CONTRACTION
+            PathIndexMethod::Contraction
+        } else {
+            return Err(self.unexpected("'LANDMARKS(k)' or 'CONTRACTION'"));
         };
-        self.expect_token(&Token::RParen)?;
-        Ok(Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks })
+        Ok(Statement::CreatePathIndex {
+            name,
+            table,
+            src_col,
+            dst_col,
+            weight_col,
+            method,
+            if_not_exists,
+        })
     }
 
     fn parse_drop(&mut self) -> Result<Statement> {
@@ -292,7 +321,16 @@ impl Parser {
         if self.check_soft_kw("path") && matches!(self.peek_at(1), Token::Keyword(Keyword::Index)) {
             self.advance(); // PATH
             self.advance(); // INDEX
-            return Ok(Statement::DropPathIndex { name: self.expect_ident()? });
+            let if_exists = if self.check_soft_kw("if")
+                && matches!(self.peek_at(1), Token::Keyword(Keyword::Exists))
+            {
+                self.advance(); // IF
+                self.advance(); // EXISTS
+                true
+            } else {
+                false
+            };
+            return Ok(Statement::DropPathIndex { name: self.expect_ident()?, if_exists });
         }
         self.expect_kw(Keyword::Table)?;
         Ok(Statement::DropTable { name: self.expect_ident()? })
@@ -394,6 +432,15 @@ impl Parser {
         self.advance(); // the SHOW identifier
         if self.eat_kw(Keyword::All) {
             return Ok(Statement::Show { name: None });
+        }
+        // SHOW PATH INDEXES lists the path-index registry; a plain
+        // `SHOW path` (no such setting exists) still parses as Show.
+        if self.check_soft_kw("path")
+            && matches!(self.peek_at(1), Token::Ident(s) if s.eq_ignore_ascii_case("indexes"))
+        {
+            self.advance(); // PATH
+            self.advance(); // INDEXES
+            return Ok(Statement::ShowPathIndexes);
         }
         Ok(Statement::Show { name: Some(self.expect_ident()?) })
     }
@@ -1236,22 +1283,35 @@ mod tests {
         )
         .unwrap()
         {
-            Statement::CreatePathIndex { name, table, src_col, dst_col, weight_col, landmarks } => {
+            Statement::CreatePathIndex {
+                name,
+                table,
+                src_col,
+                dst_col,
+                weight_col,
+                method,
+                if_not_exists,
+            } => {
                 assert_eq!((name.as_str(), table.as_str()), ("pi", "roads"));
                 assert_eq!((src_col.as_str(), dst_col.as_str()), ("a", "b"));
                 assert_eq!(weight_col.as_deref(), Some("len"));
-                assert_eq!(landmarks, 16);
+                assert_eq!(method, PathIndexMethod::Landmarks(16));
+                assert!(!if_not_exists);
             }
             other => panic!("{other:?}"),
         }
         // Unweighted (hop-distance) form.
         match parse_statement("CREATE PATH INDEX pi ON e EDGE (s, d) USING LANDMARKS(4)").unwrap() {
-            Statement::CreatePathIndex { weight_col: None, landmarks: 4, .. } => {}
+            Statement::CreatePathIndex {
+                weight_col: None,
+                method: PathIndexMethod::Landmarks(4),
+                ..
+            } => {}
             other => panic!("{other:?}"),
         }
         assert!(matches!(
             parse_statement("DROP PATH INDEX pi").unwrap(),
-            Statement::DropPathIndex { name } if name == "pi"
+            Statement::DropPathIndex { name, if_exists: false } if name == "pi"
         ));
         // Landmark count must be a positive integer; USING is mandatory.
         assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) USING LANDMARKS(0)").is_err());
@@ -1260,6 +1320,59 @@ mod tests {
         );
         assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d)").is_err());
         assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) LANDMARKS(2)").is_err());
+        assert!(parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) USING nonsense").is_err());
+    }
+
+    #[test]
+    fn parses_contraction_and_if_exists_forms() {
+        match parse_statement(
+            "CREATE PATH INDEX IF NOT EXISTS ci ON e EDGE (s, d) WEIGHT w USING CONTRACTION",
+        )
+        .unwrap()
+        {
+            Statement::CreatePathIndex { name, method, if_not_exists, weight_col, .. } => {
+                assert_eq!(name, "ci");
+                assert_eq!(method, PathIndexMethod::Contraction);
+                assert!(if_not_exists);
+                assert_eq!(weight_col.as_deref(), Some("w"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // CONTRACTION takes no parameter list.
+        assert!(
+            parse_statement("CREATE PATH INDEX p ON e EDGE (s, d) USING CONTRACTION(2)").is_err()
+        );
+        assert!(matches!(
+            parse_statement("DROP PATH INDEX IF EXISTS ci").unwrap(),
+            Statement::DropPathIndex { name, if_exists: true } if name == "ci"
+        ));
+        // An index actually named `if` still parses (IF only triggers with
+        // a following NOT/EXISTS keyword).
+        assert!(matches!(
+            parse_statement("CREATE PATH INDEX if ON e EDGE (s, d) USING CONTRACTION").unwrap(),
+            Statement::CreatePathIndex { name, if_not_exists: false, .. } if name == "if"
+        ));
+        assert!(matches!(
+            parse_statement("DROP PATH INDEX if").unwrap(),
+            Statement::DropPathIndex { name, if_exists: false } if name == "if"
+        ));
+    }
+
+    #[test]
+    fn parses_show_path_indexes() {
+        assert!(matches!(
+            parse_statement("SHOW PATH INDEXES").unwrap(),
+            Statement::ShowPathIndexes
+        ));
+        assert!(matches!(
+            parse_statement("show path indexes").unwrap(),
+            Statement::ShowPathIndexes
+        ));
+        // A bare SHOW of some other name keeps the settings form.
+        assert!(matches!(
+            parse_statement("SHOW threads").unwrap(),
+            Statement::Show { name: Some(n) } if n == "threads"
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! End-to-end parallel execution: for every query shape the engine
-//! parallelizes (graph traversals, filters, hash joins, distinct, limit),
+//! parallelizes (graph traversals, filters, hash joins, grouped
+//! aggregation, distinct, limit),
 //! sessions running with `threads ∈ {1, 2, 8}` must produce identical
 //! result tables — `threads = 1` is the engine's exact sequential path, so
 //! this pins the parallel runtime to sequential semantics.
@@ -44,8 +45,9 @@ fn build_db() -> Database {
 }
 
 /// The query shapes under test: graph select (unweighted + weighted +
-/// path-producing), graph join, hash join, filter fallback, distinct,
-/// limit/offset, union.
+/// path-producing), graph join, hash join, filter fallback, grouped
+/// aggregation (hash-partitioned when parallel), distinct, limit/offset,
+/// union.
 fn queries() -> Vec<String> {
     let mut pair_rows = String::new();
     for i in 0..40 {
@@ -73,6 +75,9 @@ fn queries() -> Vec<String> {
          AND p1.id < p2.id ORDER BY p1.id, p2.id"
             .to_string(),
         "SELECT people.id + people.grp FROM people WHERE people.id % 3 = people.grp".to_string(),
+        "SELECT e.s % 13 AS g, COUNT(*) AS n, SUM(e.w) AS s, AVG(e.w) AS a \
+         FROM e GROUP BY e.s % 13 ORDER BY g"
+            .to_string(),
         "SELECT DISTINCT e.s % 10, e.w FROM e".to_string(),
         "SELECT e.s, e.d FROM e ORDER BY e.s, e.d LIMIT 25 OFFSET 100".to_string(),
         "SELECT e.s FROM e UNION SELECT e.d FROM e".to_string(),
