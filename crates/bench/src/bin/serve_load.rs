@@ -1,0 +1,194 @@
+//! Load benchmark for the HTTP serving tier: M client threads fire a
+//! mixed point-to-point / batched shortest-path workload at a
+//! `gsql-server` instance and report throughput and tail latency, then
+//! shut the server down gracefully and verify nothing in flight was
+//! dropped.
+//!
+//! `cargo run -p gsql-bench --release --bin serve_load -- --sf 0.3 --clients 8 --requests 200`
+//!
+//! `--smoke` shrinks everything for CI: a tiny dataset, few clients, few
+//! requests — it exercises the full client → HTTP → worker → shared plan
+//! cache → response path and the drain-at-shutdown invariant in seconds.
+
+use gsql_bench::report::{arg_value, fmt_duration};
+use gsql_bench::{load_dataset, queries, sample_pairs};
+use gsql_server::json::{self, Json};
+use gsql_server::{client, serve, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct LoadConfig {
+    sf: f64,
+    seed: u64,
+    clients: usize,
+    requests_per_client: usize,
+    workers: usize,
+}
+
+impl LoadConfig {
+    fn from_args() -> LoadConfig {
+        let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        let mut cfg = if smoke {
+            LoadConfig { sf: 0.05, seed: 2017, clients: 4, requests_per_client: 10, workers: 2 }
+        } else {
+            LoadConfig { sf: 0.3, seed: 2017, clients: 8, requests_per_client: 100, workers: 4 }
+        };
+        let parse = |flag: &str| arg_value(&args, flag);
+        if let Some(v) = parse("--sf").and_then(|v| v.parse().ok()) {
+            cfg.sf = v;
+        }
+        if let Some(v) = parse("--seed").and_then(|v| v.parse().ok()) {
+            cfg.seed = v;
+        }
+        if let Some(v) = parse("--clients").and_then(|v| v.parse().ok()) {
+            cfg.clients = v;
+        }
+        if let Some(v) = parse("--requests").and_then(|v| v.parse().ok()) {
+            cfg.requests_per_client = v;
+        }
+        if let Some(v) = parse("--workers").and_then(|v| v.parse().ok()) {
+            cfg.workers = v;
+        }
+        cfg
+    }
+}
+
+fn query_request(sql: &str, params: &[(i64, i64)]) -> String {
+    let flat: Vec<Json> = params.iter().flat_map(|&(s, d)| [Json::Int(s), Json::Int(d)]).collect();
+    Json::Object(vec![
+        ("sql".to_string(), Json::from(sql)),
+        ("params".to_string(), Json::Array(flat)),
+    ])
+    .encode()
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let cfg = LoadConfig::from_args();
+    println!(
+        "serve_load: sf {}, {} clients x {} requests, {} server workers (seed {})",
+        cfg.sf, cfg.clients, cfg.requests_per_client, cfg.workers, cfg.seed
+    );
+
+    let dataset = load_dataset(cfg.sf, cfg.seed);
+    println!(
+        "dataset: {} persons, {} edges, loaded in {}",
+        dataset.num_persons,
+        dataset.num_edges,
+        fmt_duration(dataset.load_time)
+    );
+    let num_persons = dataset.num_persons;
+    let db = Arc::new(dataset.db);
+
+    let server = serve(
+        Arc::clone(&db),
+        ServerConfig { workers: cfg.workers, queue_depth: 256, ..ServerConfig::default() },
+    )
+    .expect("server failed to start");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let threads: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let pairs = sample_pairs(
+                cfg.requests_per_client + 8,
+                num_persons,
+                cfg.seed.wrapping_add(c as u64),
+            );
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+                let mut errors = 0u64;
+                let mut refused = 0u64;
+                for i in 0..cfg.requests_per_client {
+                    // Mixed workload: every 4th request is an 8-pair batch
+                    // (the Figure-1b shape); the rest are point-to-point.
+                    let body = if i % 4 == 3 {
+                        let batch = &pairs[i % 8..i % 8 + 8];
+                        query_request(&queries::batched_q13(batch), &[])
+                    } else {
+                        query_request(queries::Q13, &pairs[i..i + 1])
+                    };
+                    let started = Instant::now();
+                    match client::post(addr, "/query", &body) {
+                        Ok(resp) if resp.status == 200 => latencies.push(started.elapsed()),
+                        Ok(resp) if resp.status == 503 => {
+                            refused += 1;
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                        Ok(resp) => {
+                            errors += 1;
+                            eprintln!("request failed: {} {}", resp.status, resp.body);
+                        }
+                        Err(e) => {
+                            errors += 1;
+                            eprintln!("request failed: {e}");
+                        }
+                    }
+                }
+                (latencies, errors, refused)
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    let mut refused = 0u64;
+    for thread in threads {
+        let (l, e, r) = thread.join().expect("client thread panicked");
+        latencies.extend(l);
+        errors += e;
+        refused += r;
+    }
+    let wall = t0.elapsed();
+
+    let stats_doc = client::get(addr, "/stats").ok().and_then(|r| json::parse(&r.body).ok());
+    let report = server.shutdown();
+
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let throughput = ok as f64 / wall.as_secs_f64();
+    println!("\n{ok} ok, {errors} errors, {refused} refused (503) in {}", fmt_duration(wall));
+    println!("throughput: {throughput:.0} req/s across {} clients", cfg.clients);
+    println!(
+        "latency: p50 {} / p95 {} / p99 {} / max {}",
+        fmt_duration(percentile(&latencies, 0.50)),
+        fmt_duration(percentile(&latencies, 0.95)),
+        fmt_duration(percentile(&latencies, 0.99)),
+        fmt_duration(latencies.last().copied().unwrap_or(Duration::ZERO)),
+    );
+    if let Some(doc) = stats_doc {
+        if let Some(cache) = doc.get("plan_cache") {
+            println!(
+                "shared plan cache: {} hits / {} misses / {} entries",
+                cache.get("hits").and_then(Json::as_i64).unwrap_or(0),
+                cache.get("misses").and_then(Json::as_i64).unwrap_or(0),
+                cache.get("entries").and_then(Json::as_i64).unwrap_or(0),
+            );
+        }
+    }
+    println!(
+        "shutdown: {} admitted, {} responded, {} refused, {} dropped",
+        report.admitted,
+        report.responded,
+        report.refused,
+        report.dropped()
+    );
+
+    if report.dropped() > 0 {
+        eprintln!("FAIL: graceful shutdown dropped {} in-flight queries", report.dropped());
+        std::process::exit(1);
+    }
+    if errors > 0 {
+        eprintln!("FAIL: {errors} requests errored");
+        std::process::exit(1);
+    }
+    println!("PASS: zero dropped in-flight queries, zero errors");
+}

@@ -12,7 +12,7 @@ use crate::path_index::PathIndexRegistry;
 use gsql_storage::{Catalog, Value};
 use std::fmt::Write as _;
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -45,6 +45,13 @@ pub struct SessionSettings {
     /// `GSQL_THREADS` environment variable when set, otherwise the number
     /// of available hardware threads.
     pub threads: usize,
+    /// Per-statement wall-clock budget in milliseconds (`SET timeout_ms =
+    /// n`; `0` disables). The deadline starts when statement execution
+    /// begins and is checked before every operator and between per-source
+    /// traversal groups, so a timed-out statement is interrupted mid-flight
+    /// with [`crate::Error::Timeout`] instead of running to completion.
+    /// Default unlimited.
+    pub timeout_ms: Option<u64>,
 }
 
 impl Default for SessionSettings {
@@ -55,6 +62,7 @@ impl Default for SessionSettings {
             row_limit: None,
             plan_cache_size: 64,
             threads: gsql_parallel::default_threads(),
+            timeout_ms: None,
         }
     }
 }
@@ -75,9 +83,12 @@ fn default_path_index() -> bool {
 }
 
 impl SessionSettings {
-    /// All option names, in `SHOW ALL` order.
-    pub const NAMES: [&'static str; 5] =
-        ["graph_index", "path_index", "plan_cache_size", "row_limit", "threads"];
+    /// All option names, in `SHOW ALL` order — kept **sorted** so the
+    /// listing is deterministic. A regression test destructures the struct
+    /// exhaustively against this list: adding a setting without listing it
+    /// here fails the build.
+    pub const NAMES: [&'static str; 6] =
+        ["graph_index", "path_index", "plan_cache_size", "row_limit", "threads", "timeout_ms"];
 
     /// Set an option from its SQL textual value. Errors on unknown options
     /// or unparsable values.
@@ -107,6 +118,10 @@ impl SessionSettings {
                 }
                 self.threads = n as usize;
             }
+            "timeout_ms" => {
+                let n = parse_u64(name, value)?;
+                self.timeout_ms = if n == 0 { None } else { Some(n) };
+            }
             _ => return Err(bind_err!("unknown setting '{name}'")),
         }
         Ok(())
@@ -121,6 +136,7 @@ impl SessionSettings {
             "row_limit" => Ok(self.row_limit.unwrap_or(0).to_string()),
             "plan_cache_size" => Ok(self.plan_cache_size.to_string()),
             "threads" => Ok(self.threads.to_string()),
+            "timeout_ms" => Ok(self.timeout_ms.unwrap_or(0).to_string()),
             _ => Err(bind_err!("unknown setting '{name}'")),
         }
     }
@@ -147,6 +163,29 @@ fn parse_u64(name: &str, value: &str) -> Result<u64> {
 
 fn render_bool(v: bool) -> String {
     if v { "on" } else { "off" }.to_string()
+}
+
+/// The wall-clock budget of one statement execution: the instant after
+/// which the executor aborts with [`Error::Timeout`], plus the configured
+/// limit for the error message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// The instant execution must not run past.
+    pub at: Instant,
+    /// The configured budget in milliseconds (for error reporting).
+    pub limit_ms: u64,
+}
+
+impl Deadline {
+    /// A deadline `limit_ms` milliseconds from now.
+    pub fn starting_now(limit_ms: u64) -> Deadline {
+        Deadline { at: Instant::now() + Duration::from_millis(limit_ms), limit_ms }
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
 }
 
 /// Execution statistics of one operator instance, recorded by the executor
@@ -244,6 +283,7 @@ pub struct ExecContext<'a> {
     indexes: Option<&'a GraphIndexRegistry>,
     path_indexes: Option<&'a PathIndexRegistry>,
     settings: SessionSettings,
+    deadline: Option<Deadline>,
     stats: Option<Mutex<ExecStats>>,
     /// Detail text set by the operator currently executing (e.g. ALT
     /// settled-vertex counts), claimed by the executor when it records the
@@ -264,6 +304,7 @@ impl<'a> ExecContext<'a> {
             indexes,
             path_indexes: None,
             settings: SessionSettings::default(),
+            deadline: None,
             stats: None,
             pending_detail: Mutex::new(None),
         }
@@ -284,6 +325,13 @@ impl<'a> ExecContext<'a> {
     /// Enable per-operator statistics collection (builder style).
     pub fn with_stats(mut self) -> ExecContext<'a> {
         self.stats = Some(Mutex::new(ExecStats::default()));
+        self
+    }
+
+    /// Attach a wall-clock deadline (builder style). `None` leaves the
+    /// statement unbounded.
+    pub fn with_deadline(mut self, deadline: Option<Deadline>) -> ExecContext<'a> {
+        self.deadline = deadline;
         self
     }
 
@@ -333,6 +381,32 @@ impl<'a> ExecContext<'a> {
     /// The session settings in effect.
     pub fn settings(&self) -> &SessionSettings {
         &self.settings
+    }
+
+    /// The statement deadline, when one is set.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
+    }
+
+    /// The raw deadline instant (what long-running runtimes poll).
+    pub fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline.map(|d| d.at)
+    }
+
+    /// Abort with [`Error::Timeout`] once the statement deadline passed.
+    /// The executor calls this before every operator; operator bodies with
+    /// long internal loops (graph traversal batches) poll the instant
+    /// themselves at finer grain.
+    pub fn check_deadline(&self) -> Result<()> {
+        match self.deadline {
+            Some(d) if d.expired() => Err(self.timeout_error()),
+            _ => Ok(()),
+        }
+    }
+
+    /// The timeout error for this statement's configured budget.
+    pub(crate) fn timeout_error(&self) -> Error {
+        Error::Timeout { limit_ms: self.deadline.map(|d| d.limit_ms).unwrap_or(0) }
     }
 
     /// The degree of parallelism for this statement's execution.
@@ -417,11 +491,69 @@ mod tests {
         assert!(err.to_string().contains("capped"), "{err}");
         assert_eq!(s.threads, 1, "failed sets leave the value unchanged");
 
+        s.set("timeout_ms", "250").unwrap();
+        assert_eq!(s.timeout_ms, Some(250));
+        assert_eq!(s.get("timeout_ms").unwrap(), "250");
+        s.set("TIMEOUT_MS", "0").unwrap();
+        assert_eq!(s.timeout_ms, None);
+        assert_eq!(s.get("timeout_ms").unwrap(), "0");
+
         assert!(s.set("nope", "1").is_err());
         assert!(s.get("nope").is_err());
         assert!(s.set("graph_index", "maybe").is_err());
         assert!(s.set("row_limit", "-3").is_err());
         assert_eq!(s.entries().len(), SessionSettings::NAMES.len());
+    }
+
+    /// Regression guard for `SHOW ALL`: every settings field must appear in
+    /// [`SessionSettings::NAMES`], and the listing must be sorted.
+    ///
+    /// The destructuring below is **exhaustive on purpose** — adding a new
+    /// setting field without updating it (and `FIELDS`, and `NAMES`) is a
+    /// compile error, so a setting can never silently go missing from
+    /// `SHOW ALL`.
+    #[test]
+    fn show_all_lists_every_setting_in_sorted_order() {
+        let s = SessionSettings::default();
+        let SessionSettings {
+            graph_index: _,
+            path_index: _,
+            row_limit: _,
+            plan_cache_size: _,
+            threads: _,
+            timeout_ms: _,
+        } = s;
+        const FIELDS: usize = 6;
+        assert_eq!(
+            SessionSettings::NAMES.len(),
+            FIELDS,
+            "a settings field is missing from SessionSettings::NAMES / SHOW ALL"
+        );
+        let mut sorted = SessionSettings::NAMES;
+        sorted.sort_unstable();
+        assert_eq!(sorted, SessionSettings::NAMES, "NAMES must stay sorted for SHOW ALL");
+        // Every listed name is both readable and settable back to itself.
+        let mut s = SessionSettings::default();
+        for name in SessionSettings::NAMES {
+            let value = s.get(name).unwrap_or_else(|_| panic!("SHOW {name} must work"));
+            s.set(name, &value).unwrap_or_else(|_| panic!("SET {name} = {value} must round-trip"));
+        }
+    }
+
+    #[test]
+    fn deadline_expiry_and_check() {
+        let d = Deadline::starting_now(3_600_000);
+        assert!(!d.expired());
+        let past = Deadline { at: Instant::now() - Duration::from_millis(1), limit_ms: 5 };
+        assert!(past.expired());
+
+        let catalog = Catalog::new();
+        let ctx = ExecContext::new(&catalog, &[], None).with_deadline(Some(past));
+        let err = ctx.check_deadline().unwrap_err();
+        assert!(matches!(err, Error::Timeout { limit_ms: 5 }), "{err}");
+        assert!(err.to_string().contains("5ms"), "{err}");
+        let ctx = ExecContext::new(&catalog, &[], None);
+        ctx.check_deadline().unwrap();
     }
 
     #[test]

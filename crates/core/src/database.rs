@@ -17,7 +17,7 @@ use crate::graph_index::GraphIndexRegistry;
 use crate::optimize::optimize_with;
 use crate::path_index::PathIndexRegistry;
 use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
-use crate::session::{PreparedStatement, Session};
+use crate::session::{PreparedStatement, Session, SharedPlanCache};
 use gsql_parser::ast;
 use gsql_storage::{Catalog, ColumnDef, DataType, Schema, Table, Value};
 use std::sync::Arc;
@@ -71,6 +71,7 @@ pub struct Database {
     catalog: Catalog,
     indexes: GraphIndexRegistry,
     path_indexes: PathIndexRegistry,
+    shared_plan_cache: Arc<SharedPlanCache>,
 }
 
 impl Database {
@@ -82,6 +83,19 @@ impl Database {
     /// Open a session (connection state: settings + plan cache).
     pub fn session(&self) -> Session<'_> {
         Session::new(self)
+    }
+
+    /// Open a session that uses the database-wide [`SharedPlanCache`]
+    /// instead of a private one: any participating session's bound plans
+    /// serve all of them. This is what server worker threads use.
+    pub fn shared_session(&self) -> Session<'_> {
+        Session::with_shared_cache(self, Arc::clone(&self.shared_plan_cache))
+    }
+
+    /// The database-wide plan cache used by [`Database::shared_session`]
+    /// sessions (global hit/miss counters, manual clearing).
+    pub fn shared_plan_cache(&self) -> &Arc<SharedPlanCache> {
+        &self.shared_plan_cache
     }
 
     /// The table catalog.

@@ -19,6 +19,14 @@ pub enum Error {
     Bind(String),
     /// Runtime execution failed.
     Exec(String),
+    /// The statement exceeded its wall-clock budget (the `timeout_ms`
+    /// session setting or [`crate::Session::execute_with_timeout`]). The
+    /// deadline is checked before every operator and between per-source
+    /// traversal groups, so long statements are interrupted mid-flight.
+    Timeout {
+        /// The configured budget in milliseconds.
+        limit_ms: u64,
+    },
     /// The statement is syntactically valid but uses an unsupported feature.
     Unsupported(String),
 }
@@ -31,6 +39,12 @@ impl fmt::Display for Error {
             Error::Graph(e) => write!(f, "{e}"),
             Error::Bind(msg) => write!(f, "bind error: {msg}"),
             Error::Exec(msg) => write!(f, "execution error: {msg}"),
+            Error::Timeout { limit_ms } => {
+                write!(
+                    f,
+                    "query timeout: execution exceeded {limit_ms}ms (SET timeout_ms = 0 disables)"
+                )
+            }
             Error::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }

@@ -56,6 +56,11 @@ impl<'a> Executor<'a> {
     /// session row limit is set, any operator output exceeding it aborts
     /// the query.
     pub fn execute(&self, plan: &LogicalPlan) -> Result<Arc<Table>> {
+        // The statement deadline is checked once per operator here — the
+        // executor's operator loop — and at finer grain inside the graph
+        // traversal batches (see `graph_op`), so timeouts interrupt long
+        // statements mid-flight.
+        self.ctx.check_deadline()?;
         let out = match self.ctx.stats_cell() {
             None => self.execute_inner(plan)?,
             Some(cell) => {

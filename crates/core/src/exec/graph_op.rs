@@ -16,6 +16,7 @@
 //!    column per `CHEAPEST SUM`, and path columns holding row references
 //!    into the edge snapshot (§3.3).
 
+use crate::context::ExecContext;
 use crate::error::{exec_err, Error};
 use crate::exec::executor::Executor;
 use crate::exec::expression::{eval_const, eval_to_column};
@@ -241,17 +242,21 @@ impl SpecResults {
 /// `from_index` marks graphs that outlive the query (graph indices); those
 /// may use the bidirectional-BFS fast path for single-pair unweighted
 /// requests, amortizing the reverse-CSR construction across queries.
-/// `threads` spreads the distinct-source traversals over a worker pool
-/// (results merged in input order — identical to sequential).
+/// The context supplies the `?` parameters, the worker-pool width for the
+/// distinct-source traversals (results merged in input order — identical
+/// to sequential) and the statement deadline, polled between traversal
+/// groups so a timeout interrupts a long batch mid-flight.
 fn run_specs(
     graph: &MaterializedGraph,
     pairs: &[(u32, u32)],
     specs: &[CheapestSpec],
-    params: &[Value],
+    ctx: &ExecContext<'_>,
     from_index: bool,
-    threads: usize,
 ) -> Result<(Vec<bool>, Vec<SpecResults>)> {
-    let computer = BatchComputer::new(&graph.csr).with_threads(threads);
+    let params = ctx.params();
+    let computer = BatchComputer::new(&graph.csr)
+        .with_threads(ctx.threads())
+        .with_deadline(ctx.deadline_instant());
     let bidir_eligible = from_index && pairs.len() == 1;
     if specs.is_empty() {
         if bidir_eligible {
@@ -260,8 +265,9 @@ fn run_specs(
             return Ok((vec![hit.is_some()], Vec::new()));
         }
         // Reachability only: BFS, paths discarded (paper §3.2).
-        let results =
-            computer.compute(pairs, &WeightSpec::Unweighted, false).map_err(Error::Graph)?;
+        let results = computer
+            .compute(pairs, &WeightSpec::Unweighted, false)
+            .map_err(|e| graph_err(ctx, e))?;
         let reachable = results.iter().map(|r| r.reachable).collect();
         return Ok((reachable, Vec::new()));
     }
@@ -283,7 +289,7 @@ fn run_specs(
                 None => PairResult { reachable: false, cost: None, path: None },
             }]
         } else {
-            computer.compute(pairs, &weight_spec, spec.want_path).map_err(Error::Graph)?
+            computer.compute(pairs, &weight_spec, spec.want_path).map_err(|e| graph_err(ctx, e))?
         };
         all.push(SpecResults {
             results,
@@ -296,6 +302,15 @@ fn run_specs(
     // so the first spec's flags select the surviving rows.
     let reachable = all[0].results.iter().map(|r| r.reachable).collect();
     Ok((reachable, all))
+}
+
+/// Lift a graph-runtime error: an abandoned-deadline batch becomes the
+/// statement's [`Error::Timeout`]; everything else stays a graph error.
+fn graph_err(ctx: &ExecContext<'_>, e: GraphError) -> Error {
+    match e {
+        GraphError::DeadlineExceeded => ctx.timeout_error(),
+        other => Error::Graph(other),
+    }
 }
 
 /// Execute a `GraphSelect` or `GraphJoin` node.
@@ -489,9 +504,7 @@ fn execute_graph_select(
     };
     let (reachable, spec_results) = match accelerated {
         Some(result) => result,
-        None => {
-            run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?
-        }
+        None => run_specs(&graph, &pairs, specs, ex.ctx(), from_index)?,
     };
 
     let kept: Vec<usize> = (0..pairs.len()).filter(|&i| reachable[i]).collect();
@@ -554,8 +567,7 @@ fn execute_graph_join(
             pairs.push((s, d));
         }
     }
-    let (reachable, spec_results) =
-        run_specs(&graph, &pairs, specs, ex.ctx().params(), from_index, ex.ctx().threads())?;
+    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.ctx(), from_index)?;
     let pair_index: HashMap<(u32, u32), usize> =
         pairs.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
 

@@ -65,14 +65,14 @@ pub mod path_index;
 pub mod plan;
 pub mod session;
 
-pub use context::{ExecContext, ExecStats, OpStats, SessionSettings};
+pub use context::{Deadline, ExecContext, ExecStats, OpStats, SessionSettings};
 pub use database::{Database, QueryResult};
 pub use error::Error;
 pub use exec::{build_graph, build_graph_with_threads, MaterializedGraph};
 pub use graph_index::GraphIndexRegistry;
 pub use path_index::{PathIndexData, PathIndexMeta, PathIndexRegistry};
 pub use plan::LogicalPlan;
-pub use session::{PlanCacheStats, PreparedStatement, Session};
+pub use session::{PlanCacheStats, PreparedStatement, Session, SharedPlanCache};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, Error>;

@@ -42,7 +42,7 @@
 //! ```
 
 use crate::bind::binder::Binder;
-use crate::context::{ExecContext, SessionSettings};
+use crate::context::{Deadline, ExecContext, SessionSettings};
 use crate::database::{Database, QueryResult};
 use crate::error::{bind_err, Error};
 use crate::exec::executor::Executor;
@@ -52,7 +52,8 @@ use gsql_parser::{ast, parse_sql, parse_statement};
 use gsql_storage::{ColumnDef, DataType, Schema, Table, Value};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -162,6 +163,128 @@ impl PlanCache {
     }
 }
 
+/// A thread-safe plan cache shared by any number of sessions over one
+/// [`Database`] — the serving tier's cache: N server worker sessions bind
+/// and optimize a given query text once, and every later request (from any
+/// session) executes the cached plan.
+///
+/// Unlike the session-local cache, entries are keyed by the SQL text
+/// **plus the plan-shaping settings** (`graph_index`, `path_index`), so
+/// sessions running with different planning flags never share a plan that
+/// was optimized under the other configuration. Invalidation is the same
+/// schema-version check as the local cache.
+///
+/// Obtain the database-wide instance with [`Database::shared_plan_cache`];
+/// open sessions that use it with [`Database::shared_session`].
+#[derive(Debug, Default)]
+pub struct SharedPlanCache {
+    inner: Mutex<PlanCache>,
+}
+
+impl SharedPlanCache {
+    /// An empty shared cache.
+    pub fn new() -> SharedPlanCache {
+        SharedPlanCache::default()
+    }
+
+    /// Global counters across every session using this cache.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.lock().stats()
+    }
+
+    /// Drop every cached plan.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Compose the cache key: plan-shaping flags + SQL text.
+    fn key(sql: &str, settings: &SessionSettings) -> String {
+        format!("g{}p{}|{sql}", settings.graph_index as u8, settings.path_index as u8)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PlanCache> {
+        self.inner.lock().expect("shared plan cache poisoned")
+    }
+
+    fn get(&self, sql: &str, settings: &SessionSettings, version: u64) -> Option<Arc<LogicalPlan>> {
+        self.lock().get(&Self::key(sql, settings), version)
+    }
+
+    fn insert(
+        &self,
+        sql: &str,
+        settings: &SessionSettings,
+        plan: Arc<LogicalPlan>,
+        version: u64,
+        capacity: usize,
+    ) {
+        self.lock().insert(Self::key(sql, settings), plan, version, capacity);
+    }
+}
+
+/// The plan cache a session consults: its own, or the database-wide shared
+/// one (server worker sessions).
+#[derive(Debug)]
+enum CacheSlot {
+    Local(RefCell<PlanCache>),
+    Shared(Arc<SharedPlanCache>),
+}
+
+impl CacheSlot {
+    fn get(&self, sql: &str, settings: &SessionSettings, version: u64) -> Option<Arc<LogicalPlan>> {
+        match self {
+            CacheSlot::Local(c) => c.borrow_mut().get(sql, version),
+            CacheSlot::Shared(c) => c.get(sql, settings, version),
+        }
+    }
+
+    fn insert(
+        &self,
+        sql: &str,
+        settings: &SessionSettings,
+        plan: Arc<LogicalPlan>,
+        version: u64,
+        capacity: usize,
+    ) {
+        match self {
+            CacheSlot::Local(c) => c.borrow_mut().insert(sql.to_string(), plan, version, capacity),
+            CacheSlot::Shared(c) => c.insert(sql, settings, plan, version, capacity),
+        }
+    }
+
+    /// Count a plan that was built but not keyed (no SQL text).
+    fn count_miss(&self) {
+        match self {
+            CacheSlot::Local(c) => c.borrow_mut().misses += 1,
+            CacheSlot::Shared(c) => c.lock().misses += 1,
+        }
+    }
+
+    /// A plan-shaping setting changed. The local cache is keyed by SQL text
+    /// alone, so its plans are stale — drop them. Shared-cache keys carry
+    /// the plan-shaping flags, so other sessions' entries stay valid and
+    /// nothing needs clearing.
+    fn planning_setting_changed(&self) {
+        if let CacheSlot::Local(c) = self {
+            c.borrow_mut().clear();
+        }
+    }
+
+    fn shrink_to(&self, capacity: usize) {
+        match self {
+            CacheSlot::Local(c) => c.borrow_mut().shrink_to(capacity),
+            CacheSlot::Shared(c) => c.lock().shrink_to(capacity),
+        }
+    }
+
+    fn stats(&self) -> PlanCacheStats {
+        match self {
+            CacheSlot::Local(c) => c.borrow().stats(),
+            CacheSlot::Shared(c) => c.stats(),
+        }
+    }
+}
+
 /// A parsed statement bound to no particular session, executable many times
 /// with different `?` parameter values.
 ///
@@ -203,16 +326,29 @@ impl PreparedStatement {
 pub struct Session<'db> {
     db: &'db Database,
     settings: RefCell<SessionSettings>,
-    cache: RefCell<PlanCache>,
+    cache: CacheSlot,
 }
 
 impl<'db> Session<'db> {
-    /// Open a session. Equivalent to [`Database::session`].
+    /// Open a session with its own plan cache. Equivalent to
+    /// [`Database::session`].
     pub fn new(db: &'db Database) -> Session<'db> {
         Session {
             db,
             settings: RefCell::new(SessionSettings::default()),
-            cache: RefCell::new(PlanCache::default()),
+            cache: CacheSlot::Local(RefCell::new(PlanCache::default())),
+        }
+    }
+
+    /// Open a session that consults `cache` instead of a private one, so
+    /// plans bound by any participating session serve all of them.
+    /// Equivalent to [`Database::shared_session`] for the database-wide
+    /// cache.
+    pub fn with_shared_cache(db: &'db Database, cache: Arc<SharedPlanCache>) -> Session<'db> {
+        Session {
+            db,
+            settings: RefCell::new(SessionSettings::default()),
+            cache: CacheSlot::Shared(cache),
         }
     }
 
@@ -234,10 +370,10 @@ impl<'db> Session<'db> {
         // away good plans. Lowering plan_cache_size evicts down right away
         // so the memory the caller asked to reclaim is actually released.
         if name.eq_ignore_ascii_case("graph_index") || name.eq_ignore_ascii_case("path_index") {
-            self.cache.borrow_mut().clear();
+            self.cache.planning_setting_changed();
         } else if name.eq_ignore_ascii_case("plan_cache_size") {
             let capacity = self.settings.borrow().plan_cache_size;
-            self.cache.borrow_mut().shrink_to(capacity);
+            self.cache.shrink_to(capacity);
         }
         Ok(())
     }
@@ -247,9 +383,10 @@ impl<'db> Session<'db> {
         self.settings.borrow().get(name)
     }
 
-    /// Plan-cache counters.
+    /// Plan-cache counters — of this session's private cache, or the
+    /// global counters when the session uses a shared cache.
     pub fn cache_stats(&self) -> PlanCacheStats {
-        self.cache.borrow().stats()
+        self.cache.stats()
     }
 
     /// Execute a single statement without parameters.
@@ -263,6 +400,28 @@ impl<'db> Session<'db> {
     pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
         let statement = parse_statement(sql)?;
         self.run_statement(Some(sql), &statement, params)
+    }
+
+    /// Execute a single statement under an explicit wall-clock budget,
+    /// overriding the `timeout_ms` setting when the explicit budget is
+    /// tighter. The deadline is enforced inside execution — checked before
+    /// every operator and between traversal groups — so a long statement
+    /// is interrupted with [`Error::Timeout`] rather than merely reported
+    /// late after it finishes.
+    pub fn execute_with_timeout(
+        &self,
+        sql: &str,
+        params: &[Value],
+        timeout: Duration,
+    ) -> Result<QueryResult> {
+        let statement = parse_statement(sql)?;
+        let limit_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
+        let explicit = Deadline::starting_now(limit_ms);
+        let deadline = match self.settings.borrow().timeout_ms.map(Deadline::starting_now) {
+            Some(configured) if configured.at < explicit.at => configured,
+            _ => explicit,
+        };
+        self.run_statement_at(Some(sql), &statement, params, Some(deadline))
     }
 
     /// Execute a semicolon-separated script, returning one result per
@@ -306,7 +465,7 @@ impl<'db> Session<'db> {
             ast::Statement::Query(q)
             | ast::Statement::Explain(q)
             | ast::Statement::ExplainAnalyze(q) => {
-                let ctx = self.ctx(&[]);
+                let ctx = self.ctx(&[], None);
                 let plan = Binder::new(&ctx).bind_query(&q)?;
                 Ok(optimize_with(plan, &ctx))
             }
@@ -315,13 +474,14 @@ impl<'db> Session<'db> {
     }
 
     /// Build the per-statement execution context.
-    fn ctx<'a>(&self, params: &'a [Value]) -> ExecContext<'a>
+    fn ctx<'a>(&self, params: &'a [Value], deadline: Option<Deadline>) -> ExecContext<'a>
     where
         'db: 'a,
     {
         ExecContext::new(self.db.catalog(), params, Some(self.db.graph_indexes()))
             .with_path_indexes(self.db.path_indexes())
             .with_settings(self.settings.borrow().clone())
+            .with_deadline(deadline)
     }
 
     /// The bound+optimized plan for a query — from the session cache when
@@ -333,50 +493,62 @@ impl<'db> Session<'db> {
         q: &ast::Query,
         params: &[Value],
     ) -> Result<Arc<LogicalPlan>> {
-        let capacity = self.settings.borrow().plan_cache_size;
+        let settings = self.settings.borrow().clone();
+        let capacity = settings.plan_cache_size;
         let schema_version = self.db.schema_version();
         if let (Some(sql), true) = (sql_key, capacity > 0) {
-            if let Some(plan) = self.cache.borrow_mut().get(sql, schema_version) {
+            if let Some(plan) = self.cache.get(sql, &settings, schema_version) {
                 return Ok(plan);
             }
         }
-        let ctx = self.ctx(params);
+        let ctx = self.ctx(params, None);
         let plan = Binder::new(&ctx).bind_query(q)?;
         let plan = Arc::new(optimize_with(plan, &ctx));
         match sql_key {
-            Some(sql) => self.cache.borrow_mut().insert(
-                sql.to_string(),
-                Arc::clone(&plan),
-                schema_version,
-                capacity,
-            ),
-            None => self.cache.borrow_mut().misses += 1,
+            Some(sql) => {
+                self.cache.insert(sql, &settings, Arc::clone(&plan), schema_version, capacity)
+            }
+            None => self.cache.count_miss(),
         }
         Ok(plan)
     }
 
-    /// Execute one statement (the session-side statement dispatcher).
+    /// Execute one statement, deriving the deadline (if any) from the
+    /// session's `timeout_ms` setting.
     pub(crate) fn run_statement(
         &self,
         sql_key: Option<&str>,
         statement: &ast::Statement,
         params: &[Value],
     ) -> Result<QueryResult> {
+        let deadline = self.settings.borrow().timeout_ms.map(Deadline::starting_now);
+        self.run_statement_at(sql_key, statement, params, deadline)
+    }
+
+    /// Execute one statement under an already-started deadline (the
+    /// session-side statement dispatcher).
+    fn run_statement_at(
+        &self,
+        sql_key: Option<&str>,
+        statement: &ast::Statement,
+        params: &[Value],
+        deadline: Option<Deadline>,
+    ) -> Result<QueryResult> {
         match statement {
             ast::Statement::Query(q) => {
                 let plan = self.cached_plan(sql_key, q, params)?;
-                let ctx = self.ctx(params);
+                let ctx = self.ctx(params, deadline);
                 let table = Executor::new(&ctx).execute(&plan)?;
                 Ok(QueryResult::Table(table))
             }
             ast::Statement::Explain(q) => {
-                let ctx = self.ctx(params);
+                let ctx = self.ctx(params, deadline);
                 let plan = Binder::new(&ctx).bind_query(q)?;
                 let plan = optimize_with(plan, &ctx);
                 text_table("plan", plan.explain().lines())
             }
             ast::Statement::ExplainAnalyze(q) => {
-                let ctx = self.ctx(params).with_stats();
+                let ctx = self.ctx(params, deadline).with_stats();
                 let plan = Binder::new(&ctx).bind_query(q)?;
                 let plan = optimize_with(plan, &ctx);
                 let t0 = std::time::Instant::now();
@@ -431,15 +603,15 @@ impl<'db> Session<'db> {
             }
             ast::Statement::DropTable { name } => self.db.drop_table_stmt(name),
             ast::Statement::Insert { table, columns, source } => {
-                let ctx = self.ctx(params);
+                let ctx = self.ctx(params, deadline);
                 self.db.run_insert(&ctx, table, columns.as_deref(), source)
             }
             ast::Statement::Delete { table, filter } => {
-                let ctx = self.ctx(params);
+                let ctx = self.ctx(params, deadline);
                 self.db.run_delete(&ctx, table, filter.as_ref())
             }
             ast::Statement::Update { table, assignments, filter } => {
-                let ctx = self.ctx(params);
+                let ctx = self.ctx(params, deadline);
                 self.db.run_update(&ctx, table, assignments, filter.as_ref())
             }
             ast::Statement::CreateGraphIndex { name, table, src_col, dst_col } => {

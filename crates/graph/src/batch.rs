@@ -87,18 +87,29 @@ impl PairResult {
 pub struct BatchComputer<'g> {
     graph: &'g Csr,
     threads: usize,
+    deadline: Option<std::time::Instant>,
 }
 
 impl<'g> BatchComputer<'g> {
     /// Create a computer over `graph` (sequential by default).
     pub fn new(graph: &'g Csr) -> BatchComputer<'g> {
-        BatchComputer { graph, threads: 1 }
+        BatchComputer { graph, threads: 1, deadline: None }
     }
 
     /// Set the degree of parallelism for [`BatchComputer::compute`]
     /// (clamped to at least 1; `1` keeps the sequential path).
     pub fn with_threads(mut self, threads: usize) -> BatchComputer<'g> {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Abandon the batch once `deadline` passes. The check runs before
+    /// every per-source traversal, so a long batch is interrupted between
+    /// groups instead of only failing after the whole batch finishes;
+    /// [`BatchComputer::compute`] then returns
+    /// [`GraphError::DeadlineExceeded`] rather than partial results.
+    pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> BatchComputer<'g> {
+        self.deadline = deadline;
         self
     }
 
@@ -165,14 +176,28 @@ impl<'g> BatchComputer<'g> {
 
         // One traversal per group, source-parallel with per-worker scratch
         // arenas. `Pool::map_with` returns group results in group order and
-        // degenerates to an inline loop when `threads == 1`.
+        // degenerates to an inline loop when `threads == 1`. Each group
+        // checks the deadline before traversing; an expired deadline makes
+        // the remaining groups no-ops and fails the whole batch below.
+        let expired = std::sync::atomic::AtomicBool::new(false);
         let pool = Pool::new(self.threads);
         let per_group = pool.map_with(groups.len(), GroupScratch::default, |scratch, gi| {
+            if let Some(deadline) = self.deadline {
+                if expired.load(std::sync::atomic::Ordering::Relaxed)
+                    || std::time::Instant::now() >= deadline
+                {
+                    expired.store(true, std::sync::atomic::Ordering::Relaxed);
+                    return Vec::new();
+                }
+            }
             let (source, ref range) = groups[gi];
             let group = &order[range.clone()];
             let targets: Vec<u32> = group.iter().map(|&i| pairs[i].1).collect();
             self.run_group(source, &targets, group, &permuted, compute_paths, scratch)
         });
+        if expired.load(std::sync::atomic::Ordering::Relaxed) {
+            return Err(GraphError::DeadlineExceeded);
+        }
 
         // Merge in input order: every input index appears in exactly one
         // group, so the scatter is a permutation.
@@ -417,6 +442,32 @@ mod tests {
                     assert_eq!(p.path, s.path, "threads {threads} pair {i}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn expired_deadline_abandons_the_batch() {
+        let g = diamond();
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let pairs: Vec<(u32, u32)> =
+            (0..5u32).flat_map(|s| (0..5u32).map(move |d| (s, d))).collect();
+        for threads in [1, 4] {
+            let err = BatchComputer::new(&g)
+                .with_threads(threads)
+                .with_deadline(Some(past))
+                .compute(&pairs, &WeightSpec::Unweighted, true)
+                .unwrap_err();
+            assert!(matches!(err, GraphError::DeadlineExceeded), "threads {threads}: {err}");
+        }
+        // A generous deadline changes nothing.
+        let future = std::time::Instant::now() + std::time::Duration::from_secs(3600);
+        let plain = BatchComputer::new(&g).compute(&pairs, &WeightSpec::Unweighted, true).unwrap();
+        let timed = BatchComputer::new(&g)
+            .with_deadline(Some(future))
+            .compute(&pairs, &WeightSpec::Unweighted, true)
+            .unwrap();
+        for (p, t) in plain.iter().zip(&timed) {
+            assert_eq!(p.cost, t.cost);
         }
     }
 

@@ -29,6 +29,10 @@ pub enum GraphError {
     },
     /// Mismatched array lengths in the runtime invocation.
     LengthMismatch(String),
+    /// A batch traversal was abandoned because its deadline passed (the
+    /// engine's statement timeout). Raised between per-source traversals,
+    /// so already-computed groups are discarded, never returned partially.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for GraphError {
@@ -46,6 +50,9 @@ impl fmt::Display for GraphError {
                 write!(f, "vertex id {id} out of range (|V| = {n})")
             }
             GraphError::LengthMismatch(msg) => write!(f, "length mismatch: {msg}"),
+            GraphError::DeadlineExceeded => {
+                write!(f, "graph traversal abandoned: statement deadline exceeded")
+            }
         }
     }
 }

@@ -1,0 +1,156 @@
+//! A minimal HTTP/1.1 request parser and response writer over raw
+//! `TcpStream`s.
+//!
+//! The offline build cannot use `hyper`; this implements exactly what the
+//! serving tier needs: parse one request (request line + headers +
+//! `Content-Length` body), write one response, close the connection.
+//! Connections are not kept alive — keep-alive/pipelining is an explicit
+//! roadmap follow-on.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path only (any `?query` suffix is split off and discarded).
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed; rendered as a 400 (or 413) response.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket failed or closed mid-request.
+    Io(io::Error),
+    /// The bytes were not valid HTTP.
+    Malformed(String),
+    /// The head or body exceeded its size limit.
+    TooLarge(String),
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> RequestError {
+        RequestError::Io(e)
+    }
+}
+
+/// Read and parse one request from `conn`.
+pub fn read_request(conn: &mut BufReader<TcpStream>) -> Result<Request, RequestError> {
+    let request_line = read_line(conn)?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line missing target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(RequestError::Malformed(format!("unsupported version '{version}'")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length: usize = 0;
+    let mut head_bytes = request_line.len();
+    loop {
+        let line = read_line(conn)?;
+        if line.is_empty() {
+            break;
+        }
+        head_bytes += line.len();
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(RequestError::TooLarge("request head too large".into()));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(RequestError::Malformed(format!("malformed header line '{line}'")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| RequestError::Malformed("bad Content-Length".into()))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    conn.read_exact(&mut body)?;
+    Ok(Request { method, path, body })
+}
+
+/// Read one CRLF- (or LF-) terminated line, without the terminator.
+fn read_line(conn: &mut BufReader<TcpStream>) -> Result<String, RequestError> {
+    let mut line = Vec::new();
+    let taken = conn
+        .by_ref()
+        .take(MAX_HEAD_BYTES as u64 + 1)
+        .read_until(b'\n', &mut line)
+        .map_err(RequestError::Io)?;
+    if taken == 0 {
+        return Err(RequestError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a full request",
+        )));
+    }
+    if line.last() != Some(&b'\n') {
+        return Err(RequestError::TooLarge("header line too long".into()));
+    }
+    while matches!(line.last(), Some(b'\n' | b'\r')) {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| RequestError::Malformed("non-UTF-8 header".into()))
+}
+
+/// Reason phrases for the statuses the server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response (and flush). `extra_headers` are appended
+/// verbatim (e.g. `("Retry-After", "1")`).
+pub fn write_response(
+    conn: &mut TcpStream,
+    status: u16,
+    body: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len(),
+    );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    conn.write_all(head.as_bytes())?;
+    conn.write_all(body.as_bytes())?;
+    conn.flush()
+}

@@ -1,0 +1,587 @@
+//! # gsql-server
+//!
+//! The query-serving tier: an HTTP front-end over a shared
+//! [`Database`], turning the embedded engine into something N clients can
+//! talk to concurrently. Hand-rolled over `std::net` — the build
+//! environment is offline, so there is no hyper/tokio/serde; the HTTP and
+//! JSON layers live in [`http`] and [`json`].
+//!
+//! Architecture:
+//!
+//! * an **acceptor** thread owns the listener and pushes accepted
+//!   connections into a **bounded queue** — when the queue is full the
+//!   acceptor answers `503` with `Retry-After` immediately instead of
+//!   letting latency collapse (admission control);
+//! * a fixed pool of **worker** threads each owns one
+//!   [`Database::shared_session`]; workers pull connections, parse one
+//!   request, execute, respond, close. Because the sessions share the
+//!   database-wide [plan cache](gsql_core::SharedPlanCache), a query text
+//!   is bound and optimized once no matter which worker sees it;
+//! * every `/query` runs under a **deadline** ([`ServerConfig`]'s cap
+//!   and/or the request's `timeout_ms` setting), enforced inside the
+//!   executor so runaway traversals are interrupted, not just reported;
+//! * [`ServerHandle::shutdown`] drains: stop accepting, let workers finish
+//!   every admitted connection, then join. The [`ShutdownReport`] proves
+//!   no admitted query was dropped.
+//!
+//! Endpoints:
+//!
+//! * `POST /query` — body `{"sql": "...", "params": [...], "settings":
+//!   {...}}`; answers `{"columns": [...], "rows": [[...]]}` for result
+//!   sets, `{"affected": n}` for DML, `{"ok": true}` otherwise.
+//! * `GET /health` — liveness probe.
+//! * `GET /stats` — plan-cache hit rates, in-flight gauge, per-endpoint
+//!   latency counters.
+//!
+//! ```
+//! use gsql_core::Database;
+//! use gsql_server::{client, serve, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let db = Arc::new(Database::new());
+//! db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL)").unwrap();
+//! db.execute("INSERT INTO e VALUES (1, 2), (2, 3)").unwrap();
+//! let server = serve(db, ServerConfig::default()).unwrap();
+//! let resp = client::post(
+//!     server.addr(),
+//!     "/query",
+//!     r#"{"sql": "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)",
+//!         "params": [1, 3]}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(resp.status, 200);
+//! assert!(resp.body.contains("\"rows\":[[2]]"), "{}", resp.body);
+//! let report = server.shutdown();
+//! assert_eq!(report.dropped(), 0);
+//! ```
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod stats;
+
+use gsql_core::{Database, Error, QueryResult, Session};
+use gsql_storage::Value;
+use json::Json;
+use stats::{InFlight, ServerStats};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How the server is sized and bounded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads — each owns one shared-cache session.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before new ones get 503.
+    pub queue_depth: usize,
+    /// Wall-clock cap applied to every `/query`; a request's own
+    /// `timeout_ms` setting can only tighten it. `None` = no server cap.
+    pub default_timeout_ms: Option<u64>,
+    /// `SET name = value` pairs applied to every worker session at startup
+    /// (e.g. `("threads", "4")`).
+    pub settings: Vec<(String, String)>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_timeout_ms: None,
+            settings: Vec::new(),
+        }
+    }
+}
+
+/// What the drain at shutdown observed. `admitted == responded` is the
+/// no-dropped-queries invariant; [`ShutdownReport::dropped`] is 0 iff it
+/// held.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownReport {
+    /// Connections accepted and handed to the worker pool.
+    pub admitted: u64,
+    /// Connections a worker settled (response written, or the client had
+    /// already gone away).
+    pub responded: u64,
+    /// Connections turned away with 503 (full queue) — never admitted, so
+    /// never counted as dropped.
+    pub refused: u64,
+}
+
+impl ShutdownReport {
+    /// Admitted connections that never got a response. Graceful shutdown
+    /// drains the queue, so this is 0 unless a worker thread died.
+    pub fn dropped(&self) -> u64 {
+        self.admitted.saturating_sub(self.responded)
+    }
+}
+
+/// A running server; dropping it without calling
+/// [`shutdown`](ServerHandle::shutdown) detaches the threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<ServerStats>,
+    shutting_down: Arc<AtomicBool>,
+    queue: Arc<ConnQueue>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live server counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Graceful shutdown: stop accepting, drain every admitted connection,
+    /// join all threads, report what happened.
+    pub fn shutdown(mut self) -> ShutdownReport {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        // The acceptor is blocked in accept(); poke it awake. If the
+        // connect fails the listener is already gone and join returns.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // No more pushes can happen; closing lets workers run the queue
+        // dry and exit instead of blocking for more work.
+        self.queue.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        ShutdownReport {
+            admitted: self.stats.load(&self.stats.admitted),
+            responded: self.stats.load(&self.stats.responded),
+            refused: self.stats.load(&self.stats.refused),
+        }
+    }
+}
+
+/// Start serving `db` on `config.addr`. Fails fast on a bad bind address
+/// or invalid `config.settings` (they are dry-run against a throwaway
+/// session before any thread spawns).
+pub fn serve(db: Arc<Database>, config: ServerConfig) -> io::Result<ServerHandle> {
+    if config.workers == 0 || config.queue_depth == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "workers and queue_depth must be at least 1",
+        ));
+    }
+    {
+        let probe = db.session();
+        for (name, value) in &config.settings {
+            probe.set(name, value).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidInput, format!("bad setting: {e}"))
+            })?;
+        }
+    }
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let stats = Arc::new(ServerStats::default());
+    let shutting_down = Arc::new(AtomicBool::new(false));
+    let queue = Arc::new(ConnQueue::new(config.queue_depth));
+    let config = Arc::new(config);
+
+    let acceptor = {
+        let (queue, stats, shutting_down) =
+            (Arc::clone(&queue), Arc::clone(&stats), Arc::clone(&shutting_down));
+        std::thread::Builder::new()
+            .name("gsql-acceptor".into())
+            .spawn(move || accept_loop(listener, &queue, &stats, &shutting_down))?
+    };
+
+    let mut workers = Vec::with_capacity(config.workers);
+    for i in 0..config.workers {
+        let (db, queue, stats, config) =
+            (Arc::clone(&db), Arc::clone(&queue), Arc::clone(&stats), Arc::clone(&config));
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("gsql-worker-{i}"))
+                .spawn(move || worker_loop(&db, &queue, &stats, &config))?,
+        );
+    }
+
+    Ok(ServerHandle { addr, stats, shutting_down, queue, acceptor: Some(acceptor), workers })
+}
+
+/// The bounded handoff between the acceptor and the workers.
+struct ConnQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            capacity,
+            state: Mutex::new(QueueState { conns: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Non-blocking admit; hands the connection back when the queue is
+    /// full (or closed) so the caller can refuse it.
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.closed || state.conns.len() >= self.capacity {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking take; `None` once the queue is closed *and* empty, so a
+    /// close still drains everything already admitted.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    queue: &ConnQueue,
+    stats: &ServerStats,
+    shutting_down: &AtomicBool,
+) {
+    loop {
+        let Ok((conn, _)) = listener.accept() else { continue };
+        if shutting_down.load(Ordering::SeqCst) {
+            // The shutdown wake-up poke (or a client racing it); either
+            // way no new work is admitted.
+            break;
+        }
+        match queue.push(conn) {
+            Ok(()) => {
+                stats.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(mut conn) => {
+                stats.refused.fetch_add(1, Ordering::Relaxed);
+                let body = error_body("server saturated, retry shortly");
+                let _ = http::write_response(&mut conn, 503, &body, &[("Retry-After", "1")]);
+                // Lingering close: the client may still be writing its
+                // request; closing with unread data in the buffer would
+                // RST and can destroy the 503 before the client reads it.
+                // Drain (briefly) until the client finishes, then close.
+                let _ = conn.shutdown(std::net::Shutdown::Write);
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(250)));
+                let mut sink = [0u8; 4096];
+                while matches!(io::Read::read(&mut conn, &mut sink), Ok(n) if n > 0) {}
+            }
+        }
+    }
+}
+
+fn worker_loop(db: &Arc<Database>, queue: &ConnQueue, stats: &ServerStats, config: &ServerConfig) {
+    let session = db.shared_session();
+    for (name, value) in &config.settings {
+        // Validated in serve(); a failure here would mean the database
+        // changed meaning under us, so just skip rather than die.
+        let _ = session.set(name, value);
+    }
+    while let Some(conn) = queue.pop() {
+        handle_connection(db, &session, conn, stats, config);
+        // Settled — response written or client gone. This balances
+        // `admitted`: the no-dropped-queries invariant at shutdown.
+        stats.responded.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Parse one request, route it, write the response, close.
+fn handle_connection(
+    db: &Database,
+    session: &Session<'_>,
+    conn: TcpStream,
+    stats: &ServerStats,
+    config: &ServerConfig,
+) {
+    let started = Instant::now();
+    let Ok(read_half) = conn.try_clone() else { return };
+    let mut conn = conn;
+    let request = http::read_request(&mut BufReader::new(read_half));
+    let (status, body, endpoint) = match request {
+        Err(http::RequestError::Io(_)) => return, // client went away mid-request
+        Err(http::RequestError::Malformed(msg)) => (400, error_body(&msg), None),
+        Err(http::RequestError::TooLarge(msg)) => (413, error_body(&msg), None),
+        Ok(req) => match (req.method.as_str(), req.path.as_str()) {
+            ("POST", "/query") => {
+                let (status, body) = handle_query(session, &req.body, stats, config);
+                (status, body, Some(&stats.query))
+            }
+            ("GET", "/health") => (200, r#"{"status":"ok"}"#.to_string(), Some(&stats.health)),
+            ("GET", "/stats") => (200, stats_body(db, stats), Some(&stats.stats_endpoint)),
+            (_, "/query" | "/health" | "/stats") => {
+                (405, error_body("method not allowed on this endpoint"), None)
+            }
+            _ => (404, error_body("no such endpoint"), None),
+        },
+    };
+    // Record before writing, so a client that saw the response (and may
+    // immediately GET /stats from another worker) finds it counted.
+    if let Some(endpoint) = endpoint {
+        endpoint.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    let _ = http::write_response(&mut conn, status, &body, &[]);
+}
+
+/// Execute one `/query` request body against the worker's session.
+fn handle_query(
+    session: &Session<'_>,
+    body: &[u8],
+    stats: &ServerStats,
+    config: &ServerConfig,
+) -> (u16, String) {
+    let Ok(text) = std::str::from_utf8(body) else {
+        return (400, error_body("body is not UTF-8"));
+    };
+    let doc = match json::parse(text) {
+        Ok(doc) => doc,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    let Some(sql) = doc.get("sql").and_then(Json::as_str) else {
+        return (400, error_body("missing string field 'sql'"));
+    };
+    let params = match doc.get("params") {
+        None => Vec::new(),
+        Some(p) => match convert_params(p) {
+            Ok(params) => params,
+            Err(msg) => return (400, error_body(&msg)),
+        },
+    };
+
+    // Per-request setting overrides are applied to the worker session for
+    // the duration of this statement and restored afterwards, success or
+    // not — the next request must not inherit them.
+    let mut saved: Vec<(String, String)> = Vec::new();
+    if let Some(overrides) = doc.get("settings") {
+        if let Err(msg) = apply_overrides(session, overrides, &mut saved) {
+            restore_settings(session, &saved);
+            return (400, error_body(&msg));
+        }
+    }
+
+    let in_flight = InFlight::enter(stats);
+    let result = match config.default_timeout_ms {
+        // execute_with_timeout takes the tighter of the server cap and the
+        // session's (possibly request-overridden) timeout_ms setting.
+        Some(cap) => session.execute_with_timeout(sql, &params, Duration::from_millis(cap)),
+        None => session.execute_with_params(sql, &params),
+    };
+    drop(in_flight);
+    restore_settings(session, &saved);
+
+    match result {
+        Ok(result) => (200, result_body(&result)),
+        Err(e) => {
+            stats.query_errors.fetch_add(1, Ordering::Relaxed);
+            if matches!(e, Error::Timeout { .. }) {
+                stats.query_timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            (error_status(&e), error_body(&e.to_string()))
+        }
+    }
+}
+
+/// Map engine errors onto HTTP statuses: the request was wrong (400), the
+/// request ran too long (408), or the statement failed at runtime (422).
+fn error_status(e: &Error) -> u16 {
+    match e {
+        Error::Parse(_) | Error::Bind(_) | Error::Unsupported(_) | Error::Storage(_) => 400,
+        Error::Timeout { .. } => 408,
+        Error::Exec(_) | Error::Graph(_) => 422,
+    }
+}
+
+fn convert_params(params: &Json) -> Result<Vec<Value>, String> {
+    let Some(items) = params.as_array() else {
+        return Err("'params' must be an array".to_string());
+    };
+    items
+        .iter()
+        .map(|p| match p {
+            Json::Null => Ok(Value::Null),
+            Json::Bool(v) => Ok(Value::Bool(*v)),
+            Json::Int(v) => Ok(Value::Int(*v)),
+            Json::Float(v) => Ok(Value::Double(*v)),
+            Json::Str(s) => Ok(Value::Str(s.clone())),
+            Json::Array(_) | Json::Object(_) => {
+                Err("parameters must be scalars (null/bool/number/string)".to_string())
+            }
+        })
+        .collect()
+}
+
+fn apply_overrides(
+    session: &Session<'_>,
+    overrides: &Json,
+    saved: &mut Vec<(String, String)>,
+) -> Result<(), String> {
+    let Json::Object(members) = overrides else {
+        return Err("'settings' must be an object".to_string());
+    };
+    for (name, value) in members {
+        let rendered = match value {
+            Json::Str(s) => s.clone(),
+            Json::Int(v) => v.to_string(),
+            Json::Float(v) => v.to_string(),
+            Json::Bool(v) => if *v { "on" } else { "off" }.to_string(),
+            _ => return Err(format!("setting '{name}' must be a scalar")),
+        };
+        let old = session.setting(name).map_err(|e| e.to_string())?;
+        session.set(name, &rendered).map_err(|e| e.to_string())?;
+        saved.push((name.clone(), old));
+    }
+    Ok(())
+}
+
+fn restore_settings(session: &Session<'_>, saved: &[(String, String)]) {
+    for (name, old) in saved {
+        let _ = session.set(name, old);
+    }
+}
+
+/// `{"error": "..."}`
+fn error_body(message: &str) -> String {
+    Json::Object(vec![("error".to_string(), Json::from(message))]).encode()
+}
+
+fn result_body(result: &QueryResult) -> String {
+    match result {
+        QueryResult::Table(t) => {
+            let columns: Vec<Json> =
+                t.schema().columns().iter().map(|c| Json::from(c.name.as_str())).collect();
+            let rows: Vec<Json> = (0..t.row_count())
+                .map(|i| Json::Array(t.row(i).iter().map(value_to_json).collect()))
+                .collect();
+            Json::Object(vec![
+                ("columns".to_string(), Json::Array(columns)),
+                ("rows".to_string(), Json::Array(rows)),
+                ("row_count".to_string(), Json::from(t.row_count())),
+            ])
+            .encode()
+        }
+        QueryResult::Affected(n) => {
+            Json::Object(vec![("affected".to_string(), Json::from(*n))]).encode()
+        }
+        QueryResult::Ok => Json::Object(vec![("ok".to_string(), Json::Bool(true))]).encode(),
+    }
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(v) => Json::Int(*v),
+        Value::Double(v) => Json::Float(*v),
+        Value::Str(s) => Json::from(s.as_str()),
+        Value::Bool(v) => Json::Bool(*v),
+        // Dates and nested-table paths serialize as their SQL text.
+        other => Json::from(other.to_string()),
+    }
+}
+
+fn stats_body(db: &Database, stats: &ServerStats) -> String {
+    let cache = db.shared_plan_cache().stats();
+    let endpoint = |e: &stats::EndpointStats| {
+        let requests = e.requests.load(Ordering::Relaxed);
+        let total = e.total_micros.load(Ordering::Relaxed);
+        Json::Object(vec![
+            ("requests".to_string(), Json::from(requests)),
+            ("avg_micros".to_string(), Json::from(total.checked_div(requests).unwrap_or(0))),
+            ("max_micros".to_string(), Json::from(e.max_micros.load(Ordering::Relaxed))),
+        ])
+    };
+    Json::Object(vec![
+        (
+            "plan_cache".to_string(),
+            Json::Object(vec![
+                ("hits".to_string(), Json::from(cache.hits)),
+                ("misses".to_string(), Json::from(cache.misses)),
+                ("invalidations".to_string(), Json::from(cache.invalidations)),
+                ("entries".to_string(), Json::from(cache.entries)),
+            ]),
+        ),
+        ("admitted".to_string(), Json::from(stats.load(&stats.admitted))),
+        ("responded".to_string(), Json::from(stats.load(&stats.responded))),
+        ("refused".to_string(), Json::from(stats.load(&stats.refused))),
+        ("in_flight".to_string(), Json::from(stats.load(&stats.in_flight))),
+        ("query_errors".to_string(), Json::from(stats.load(&stats.query_errors))),
+        ("query_timeouts".to_string(), Json::from(stats.load(&stats.query_timeouts))),
+        (
+            "endpoints".to_string(),
+            Json::Object(vec![
+                ("query".to_string(), endpoint(&stats.query)),
+                ("health".to_string(), endpoint(&stats.health)),
+                ("stats".to_string(), endpoint(&stats.stats_endpoint)),
+            ]),
+        ),
+    ])
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_hands_back_when_full_and_drains_after_close() {
+        let queue = ConnQueue::new(1);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c1).is_ok());
+        assert!(queue.push(c2).is_err(), "second push must bounce off capacity 1");
+        queue.close();
+        assert!(queue.pop().is_some(), "close still drains admitted connections");
+        assert!(queue.pop().is_none());
+        let c3 = TcpStream::connect(addr).unwrap();
+        assert!(queue.push(c3).is_err(), "closed queue admits nothing");
+    }
+
+    #[test]
+    fn config_validation_fails_fast() {
+        let db = Arc::new(Database::new());
+        let bad = ServerConfig { workers: 0, ..ServerConfig::default() };
+        assert!(serve(Arc::clone(&db), bad).is_err());
+        let bad = ServerConfig {
+            settings: vec![("bogus".to_string(), "1".to_string())],
+            ..ServerConfig::default()
+        };
+        assert!(serve(db, bad).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Server-level counters, all lock-free atomics.
+//!
+//! Two of these counters carry the graceful-shutdown invariant: every
+//! *admitted* connection (accepted and enqueued) must end up *responded*
+//! (a response fully written, however the query went). Shutdown drains the
+//! queue before workers exit, so `admitted == responded` afterwards —
+//! [`crate::ServerHandle::shutdown`] asserts exactly that.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Latency/throughput counters for one endpoint.
+#[derive(Debug, Default)]
+pub struct EndpointStats {
+    /// Requests handled (response written).
+    pub requests: AtomicU64,
+    /// Total handling wall time, microseconds.
+    pub total_micros: AtomicU64,
+    /// Slowest single request, microseconds.
+    pub max_micros: AtomicU64,
+}
+
+impl EndpointStats {
+    pub fn record(&self, micros: u64) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+}
+
+/// Counters shared by the acceptor and every worker.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted and enqueued for a worker.
+    pub admitted: AtomicU64,
+    /// Connections for which a worker finished writing a response.
+    pub responded: AtomicU64,
+    /// Connections turned away with 503 (queue full) or during shutdown.
+    pub refused: AtomicU64,
+    /// Requests a worker is executing right now.
+    pub in_flight: AtomicU64,
+    /// Query statements that failed (any error class).
+    pub query_errors: AtomicU64,
+    /// Query statements aborted by their deadline (subset of errors).
+    pub query_timeouts: AtomicU64,
+    pub query: EndpointStats,
+    pub health: EndpointStats,
+    pub stats_endpoint: EndpointStats,
+}
+
+impl ServerStats {
+    pub fn load(&self, counter: &AtomicU64) -> u64 {
+        counter.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII in-flight marker: increments on creation, decrements on drop (so
+/// panics and early returns cannot leak the gauge).
+pub struct InFlight<'a>(&'a ServerStats);
+
+impl<'a> InFlight<'a> {
+    pub fn enter(stats: &'a ServerStats) -> InFlight<'a> {
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlight(stats)
+    }
+}
+
+impl Drop for InFlight<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}

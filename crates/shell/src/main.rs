@@ -9,10 +9,19 @@
 //!
 //! Meta commands: `\help`, `\tables`, `\load-snb <sf>`, `\quit`.
 //! Statements may span lines; they run once a line ends with `;`.
+//!
+//! `--serve [addr]` starts the HTTP serving tier instead of the REPL:
+//!
+//! ```text
+//! cargo run -p gsql-shell --release -- --serve 127.0.0.1:7432 --load-snb 0.3
+//! curl -d '{"sql": "SELECT 1"}' http://127.0.0.1:7432/query
+//! ```
 
 use gsql_core::{Database, QueryResult, Session};
 use gsql_datagen::{SnbDataset, SnbParams};
+use gsql_server::{serve, ServerConfig};
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 
 const HELP: &str = "\
 Commands:
@@ -35,6 +44,11 @@ Session statements (state persists for the whole shell session):
 ";
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--serve") {
+        run_server(&args);
+        return;
+    }
     let db = Database::new();
     // One session for the whole interactive run: SET/SHOW state and the
     // plan cache survive across statements.
@@ -74,6 +88,60 @@ fn main() {
         }
         let sql = std::mem::take(&mut buffer);
         run_sql(&session, &sql);
+    }
+}
+
+/// `--serve [addr]` mode: load an (optional) dataset, start the HTTP
+/// tier, block until ctrl-c / SIGTERM kills the process. Flags:
+/// `--workers N`, `--queue-depth N`, `--timeout-ms N`, `--load-snb SF`.
+fn run_server(args: &[String]) {
+    let flag = |name: &str| -> Option<&str> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+            .filter(|v| !v.starts_with("--"))
+    };
+    let db = Database::new();
+    if let Some(sf) = flag("--load-snb").and_then(|v| v.parse::<f64>().ok()) {
+        let t0 = std::time::Instant::now();
+        let data = SnbDataset::generate(SnbParams::new(sf));
+        data.load_into(&db).expect("dataset load failed");
+        println!(
+            "loaded persons ({}) and friends ({}) in {:?}",
+            data.num_persons,
+            data.num_edges,
+            t0.elapsed()
+        );
+    }
+    let mut config = ServerConfig::default();
+    if let Some(addr) = flag("--serve") {
+        config.addr = addr.to_string();
+    }
+    if let Some(v) = flag("--workers").and_then(|v| v.parse().ok()) {
+        config.workers = v;
+    }
+    if let Some(v) = flag("--queue-depth").and_then(|v| v.parse().ok()) {
+        config.queue_depth = v;
+    }
+    if let Some(v) = flag("--timeout-ms").and_then(|v| v.parse().ok()) {
+        config.default_timeout_ms = Some(v);
+    }
+    let workers = config.workers;
+    match serve(Arc::new(db), config) {
+        Ok(server) => {
+            println!("serving on http://{} ({} workers)", server.addr(), workers);
+            println!("endpoints: POST /query, GET /health, GET /stats");
+            // No signal handling without external crates: park forever and
+            // let process termination tear the threads down.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to start server: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -44,8 +44,9 @@
 //! ```
 
 pub use gsql_core::{
-    Database, Error, ExecContext, ExecStats, GraphIndexRegistry, LogicalPlan, PlanCacheStats,
-    PreparedStatement, QueryResult, Result, Session, SessionSettings,
+    Database, Deadline, Error, ExecContext, ExecStats, GraphIndexRegistry, LogicalPlan,
+    PlanCacheStats, PreparedStatement, QueryResult, Result, Session, SessionSettings,
+    SharedPlanCache,
 };
 pub use gsql_storage::{Column, DataType, Date, PathValue, Schema, Table, Value};
 
