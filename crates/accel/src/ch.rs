@@ -23,13 +23,21 @@
 //!
 //! Ordering uses the classic **edge difference** (shortcuts added minus
 //! edges removed) plus a **deleted neighbours** term that spreads the
-//! contraction evenly, maintained with *lazy* priority updates: a popped
-//! vertex is re-evaluated, and re-queued if it is no longer the minimum.
-//! The initial priority evaluation — one independent simulated contraction
-//! per vertex — fans out over the `gsql-parallel` pool; the contraction
-//! loop itself is inherently sequential, and every parallel piece is
-//! order-independent, so the built hierarchy is identical at every thread
-//! count.
+//! contraction evenly. The contraction itself proceeds in **independent-set
+//! rounds** (the standard parallel-CH scheme): every round selects the
+//! vertices that are strict local minima of a deterministic key —
+//! `(priority, hash(v), v)`, the hash term breaking uniform-priority
+//! plateaus so rounds stay wide — over their uncontracted overlay
+//! neighbours. No two selected vertices share an edge, so their witness
+//! searches and shortcut sets are computed concurrently against the
+//! round-start overlay and stay valid when applied: a witness path through
+//! a co-selected vertex survives its contraction via that vertex's own
+//! shortcuts. Selection, shortcut enumeration, and the post-round priority
+//! refresh of touched neighbours all fan out over the `gsql-parallel`
+//! pool, while shortcut application, rank assignment (ascending vertex id
+//! within a round) and detachment run sequentially — every parallel piece
+//! returns results in input order, so the built hierarchy is identical at
+//! every thread count.
 
 use crate::INF;
 use gsql_graph::Csr;
@@ -137,68 +145,130 @@ impl ContractionHierarchy {
         // independent computation fanned out over the pool (per-worker
         // witness scratch, results in input order).
         let pool = Pool::new(threads);
-        let prios: Vec<i64> = pool.map_with(
+        let mut prios: Vec<i64> = pool.map_with(
             n,
             || WitnessSearch::new(n),
             |wit, v| priority(v as u32, &out_adj, &in_adj, &deleted_neighbors, wit),
         );
-        let mut heap: BinaryHeap<Reverse<(i64, u32)>> =
-            (0..n as u32).map(|v| Reverse((prios[v as usize], v))).collect();
 
         let mut rank: Vec<u32> = vec![u32::MAX; n];
         let mut fwd_up_adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
         let mut bwd_up_adj: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
-        let mut witness = WitnessSearch::new(n);
         let mut shortcuts = 0usize;
         let mut next_rank = 0u32;
-        while let Some(Reverse((_, v))) = heap.pop() {
-            if rank[v as usize] != u32::MAX {
-                continue; // duplicate queue entry of a contracted vertex
+        let mut remaining: Vec<u32> = (0..n as u32).collect();
+        let mut in_round: Vec<bool> = vec![false; n];
+        while !remaining.is_empty() {
+            // Round key: priority first, then a hash so uniform-priority
+            // regions (chains, grids) still select wide independent sets,
+            // then the id to make every key distinct (which also makes the
+            // key-minimal vertex a guaranteed pick — termination).
+            let key = |v: u32| (prios[v as usize], splitmix64(v as u64), v);
+            // A vertex joins the round iff it beats every uncontracted
+            // overlay neighbour; adjacent vertices can never both win, so
+            // the selected set is independent.
+            let picked: Vec<bool> = pool.map(remaining.len(), |i| {
+                let v = remaining[i];
+                let kv = key(v);
+                out_adj[v as usize].keys().chain(in_adj[v as usize].keys()).all(|&u| key(u) > kv)
+            });
+            let selected: Vec<u32> = remaining
+                .iter()
+                .zip(&picked)
+                .filter_map(|(&v, &p)| if p { Some(v) } else { None })
+                .collect();
+            debug_assert!(!selected.is_empty());
+
+            // Witness searches + shortcut sets against the round-start
+            // overlay, one independent task per selected vertex. Witness
+            // paths must avoid the *entire* selected set, not just the
+            // vertex being contracted: two co-selected vertices could
+            // otherwise each skip a shortcut on the strength of a witness
+            // running through the other (which this round also removes).
+            // Avoiding the whole set means a found witness survives the
+            // round verbatim — its vertices stay, and edges between
+            // surviving vertices are never removed — so skipping stays
+            // safe; extra shortcuts always are.
+            for &v in &selected {
+                in_round[v as usize] = true;
             }
-            // Lazy update: the graph changed since this priority was
-            // computed; re-evaluate, and re-queue unless still minimal.
-            let fresh = priority(v, &out_adj, &in_adj, &deleted_neighbors, &mut witness);
-            if let Some(Reverse((top, _))) = heap.peek() {
-                if fresh > *top {
-                    heap.push(Reverse((fresh, v)));
-                    continue;
-                }
+            let added_per: Vec<Vec<(u32, u32, u64)>> = pool.map_with(
+                selected.len(),
+                || WitnessSearch::new(n),
+                |wit, i| {
+                    let mut added = Vec::new();
+                    shortcuts_of(
+                        selected[i],
+                        &out_adj,
+                        &in_adj,
+                        wit,
+                        Some(&in_round),
+                        |u, w, wt| {
+                            added.push((u, w, wt));
+                        },
+                    );
+                    added
+                },
+            );
+            for &v in &selected {
+                in_round[v as usize] = false;
             }
 
-            // Contract: insert needed shortcuts between v's neighbours.
-            let mut added: Vec<(u32, u32, u64)> = Vec::new();
-            shortcuts_of(v, &out_adj, &in_adj, &mut witness, |u, w, wt| added.push((u, w, wt)));
-            for (u, w, wt) in added {
-                let e = out_adj[u as usize].entry(w).or_insert(u64::MAX);
-                if *e == u64::MAX {
-                    shortcuts += 1;
+            // Apply sequentially in ascending vertex id (the order
+            // `selected` is already in): shortcut bookkeeping and rank
+            // assignment are deterministic regardless of thread count.
+            let mut touched: Vec<u32> = Vec::new();
+            for (added, &v) in added_per.iter().zip(&selected) {
+                for &(u, w, wt) in added {
+                    let e = out_adj[u as usize].entry(w).or_insert(u64::MAX);
+                    if *e == u64::MAX {
+                        shortcuts += 1;
+                    }
+                    *e = (*e).min(wt);
+                    let e = in_adj[w as usize].entry(u).or_insert(u64::MAX);
+                    *e = (*e).min(wt);
                 }
-                *e = (*e).min(wt);
-                let e = in_adj[w as usize].entry(u).or_insert(u64::MAX);
-                *e = (*e).min(wt);
+
+                // Detach v. Its remaining neighbours are exactly the
+                // not-yet-contracted ones, so the recorded edges all point
+                // upward in rank.
+                let mut outs: Vec<(u32, u64)> =
+                    out_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
+                outs.sort_unstable();
+                let mut ins: Vec<(u32, u64)> =
+                    in_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
+                ins.sort_unstable();
+                for &(w, _) in &outs {
+                    in_adj[w as usize].remove(&v);
+                    deleted_neighbors[w as usize] += 1;
+                    touched.push(w);
+                }
+                for &(u, _) in &ins {
+                    out_adj[u as usize].remove(&v);
+                    deleted_neighbors[u as usize] += 1;
+                    touched.push(u);
+                }
+                fwd_up_adj[v as usize] = outs;
+                bwd_up_adj[v as usize] = ins;
+                rank[v as usize] = next_rank;
+                next_rank += 1;
             }
 
-            // Detach v. Its remaining neighbours are exactly the
-            // not-yet-contracted ones, so the recorded edges all point
-            // upward in rank.
-            let mut outs: Vec<(u32, u64)> =
-                out_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
-            outs.sort_unstable();
-            let mut ins: Vec<(u32, u64)> =
-                in_adj[v as usize].iter().map(|(&t, &w)| (t, w)).collect();
-            ins.sort_unstable();
-            for &(w, _) in &outs {
-                in_adj[w as usize].remove(&v);
-                deleted_neighbors[w as usize] += 1;
+            // Refresh the priorities the round invalidated — the former
+            // neighbours of contracted vertices — in parallel (sorted +
+            // dedup'd, so the refresh set and result order are
+            // deterministic).
+            touched.sort_unstable();
+            touched.dedup();
+            let fresh: Vec<i64> = pool.map_with(
+                touched.len(),
+                || WitnessSearch::new(n),
+                |wit, i| priority(touched[i], &out_adj, &in_adj, &deleted_neighbors, wit),
+            );
+            for (&v, f) in touched.iter().zip(fresh) {
+                prios[v as usize] = f;
             }
-            for &(u, _) in &ins {
-                out_adj[u as usize].remove(&v);
-                deleted_neighbors[u as usize] += 1;
-            }
-            fwd_up_adj[v as usize] = outs;
-            bwd_up_adj[v as usize] = ins;
-            rank[v as usize] = next_rank;
-            next_rank += 1;
+            remaining.retain(|&v| rank[v as usize] == u32::MAX);
         }
         debug_assert_eq!(next_rank as usize, n);
 
@@ -236,10 +306,19 @@ impl ContractionHierarchy {
     }
 }
 
-/// The lazy-update priority of `v`: twice the edge difference (shortcuts a
-/// contraction would insert minus edges it removes) plus the
-/// deleted-neighbours count. Smaller contracts earlier; ties break toward
-/// the smaller vertex id through the heap key.
+/// SplitMix64 finalizer: the deterministic per-vertex hash that spreads
+/// the independent-set round key across uniform-priority regions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The priority of `v`: twice the edge difference (shortcuts a contraction
+/// would insert minus edges it removes) plus the deleted-neighbours count.
+/// Smaller contracts earlier; ties break by hash then vertex id through
+/// the round key.
 fn priority(
     v: u32,
     out_adj: &[HashMap<u32, u64>],
@@ -248,7 +327,7 @@ fn priority(
     witness: &mut WitnessSearch,
 ) -> i64 {
     let mut needed = 0i64;
-    shortcuts_of(v, out_adj, in_adj, witness, |_, _, _| needed += 1);
+    shortcuts_of(v, out_adj, in_adj, witness, None, |_, _, _| needed += 1);
     let removed = (out_adj[v as usize].len() + in_adj[v as usize].len()) as i64;
     2 * (needed - removed) + deleted_neighbors[v as usize] as i64
 }
@@ -263,6 +342,7 @@ fn shortcuts_of(
     out_adj: &[HashMap<u32, u64>],
     in_adj: &[HashMap<u32, u64>],
     witness: &mut WitnessSearch,
+    banned: Option<&[bool]>,
     mut emit: impl FnMut(u32, u32, u64),
 ) {
     let vi = v as usize;
@@ -277,7 +357,7 @@ fn shortcuts_of(
     for &(u, w_uv) in &ins {
         // One witness search per in-neighbour covers all out-neighbours:
         // labels beyond `w_uv + max_out` can never beat any shortcut.
-        witness.run(out_adj, u, v, w_uv.saturating_add(max_out));
+        witness.run(out_adj, u, v, banned, w_uv.saturating_add(max_out));
         for &(w, w_vw) in &outs {
             if w == u {
                 continue;
@@ -327,7 +407,18 @@ impl WitnessSearch {
         true
     }
 
-    fn run(&mut self, out_adj: &[HashMap<u32, u64>], source: u32, excluded: u32, limit: u64) {
+    /// Bounded Dijkstra from `source` avoiding `excluded` and, when
+    /// `banned` is given, every flagged vertex — the whole independent set
+    /// of the current round, so witness paths only use vertices (and
+    /// therefore edges) that survive the round intact.
+    fn run(
+        &mut self,
+        out_adj: &[HashMap<u32, u64>],
+        source: u32,
+        excluded: u32,
+        banned: Option<&[bool]>,
+        limit: u64,
+    ) {
         self.current = self.current.wrapping_add(1);
         self.heap.clear();
         self.label(source, 0);
@@ -345,7 +436,7 @@ impl WitnessSearch {
                 break;
             }
             for (&t, &w) in &out_adj[u as usize] {
-                if t == excluded {
+                if t == excluded || banned.is_some_and(|b| b[t as usize]) {
                     continue;
                 }
                 let nd = d.saturating_add(w);

@@ -127,6 +127,12 @@ impl Landmarks {
         best
     }
 
+    /// The raw per-landmark distance vectors (`fwd[i][v] = d(Lᵢ, v)`,
+    /// `bwd[i][v] = d(v, Lᵢ)`), for bound aggregation over target sets.
+    pub(crate) fn vectors(&self) -> (&[Vec<u64>], &[Vec<u64>]) {
+        (&self.fwd, &self.bwd)
+    }
+
     /// Approximate heap size of the index in bytes (vectors only).
     pub fn memory_bytes(&self) -> usize {
         (self.fwd.iter().map(Vec::len).sum::<usize>()

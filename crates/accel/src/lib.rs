@@ -40,16 +40,25 @@
 //! Shortcut weights are exact integer sums, so CH costs are bit-identical
 //! to plain Dijkstra too — the same guarantee ALT gives, which is what
 //! lets the SQL layer swap either in transparently.
+//!
+//! Batched (many-to-many) workloads get their own drivers in [`m2m`]:
+//! [`ch_many_to_many`] shares the target side of the matrix through
+//! per-vertex buckets (`S + T` upward searches instead of `S` full
+//! Dijkstras) and [`alt_many_to_many`] answers each source's whole target
+//! set with a single multi-target goal-directed search — both exact and
+//! bit-identical at every thread count.
 
 pub mod alt;
 pub mod ch;
 pub mod ch_query;
 pub mod landmarks;
+pub mod m2m;
 
 pub use alt::{alt_bidirectional, AltResult};
 pub use ch::ContractionHierarchy;
 pub use ch_query::{ch_query, ChResult};
 pub use landmarks::Landmarks;
+pub use m2m::{alt_many_to_many, alt_multi_target, ch_many_to_many, AltMultiResult, M2mResult};
 
 /// Sentinel distance meaning "unreachable" (matches the graph runtime's
 /// Dijkstra contract).

@@ -1,0 +1,561 @@
+//! Batched many-to-many acceleration: bucket-based CH (Knopp et al.,
+//! ALENEX'07) and multi-target ALT.
+//!
+//! # Bucket-based many-to-many CH
+//!
+//! A point-to-point CH query runs one upward search from each endpoint and
+//! takes the best meeting vertex. For an `S × T` matrix the backward halves
+//! only depend on the target, so they can be shared across every source:
+//!
+//! 1. **Bucket phase** — one backward upward search per distinct target
+//!    `t`, depositing `(t, d_b(v, t))` into a per-vertex *bucket* at every
+//!    (unstalled) settled vertex `v`;
+//! 2. **Scan phase** — one forward upward search per distinct source `s`;
+//!    at every settled vertex `v` the bucket entries are scanned and
+//!    `best[t] = min(best[t], d_f(s, v) + d_b(v, t))` updated.
+//!
+//! Every shortest path is cost-equal to an up-then-down path over the
+//! hierarchy, so the minimum over meeting vertices is **exact** — the whole
+//! matrix costs `S + T` upward searches instead of `S` full Dijkstras, and
+//! each entry is bit-identical to plain Dijkstra over the same weights.
+//! Stall-on-demand applies unchanged: a label that a higher-ranked
+//! neighbour strictly beats lies on no shortest up-down path, so stalled
+//! vertices neither deposit nor scan buckets.
+//!
+//! # Multi-target ALT
+//!
+//! The fallback tier for landmark indexes runs **one** goal-directed
+//! forward search per source. The potential is the per-target minimum of
+//! the landmark lower bounds, aggregated per landmark over the target set
+//! (`min_t lb(v, t) ≥ max_i max(min_t d(Lᵢ,t) − d(Lᵢ,v), d(v,Lᵢ) −
+//! max_t d(t,Lᵢ))`), which is consistent — the minimum (and maximum) of
+//! consistent potentials is consistent — so every settled vertex carries
+//! its exact Dijkstra distance and each target is exact the moment it
+//! settles. A vertex whose aggregated bound is [`INF`] provably reaches no
+//! target at all and is pruned. Unlike the bidirectional point-to-point
+//! formulation no doubling is needed: a unidirectional consistent A\*
+//! reads distances straight off the labels.
+//!
+//! Both drivers fan out over the `gsql-parallel` pool — bucket
+//! construction over targets, forward scans and multi-target searches over
+//! sources — with per-worker scratch and results merged in input order, so
+//! the matrix is bit-identical at every thread count. The optional
+//! `deadline` is polled between per-vertex searches (the "bucket phases"),
+//! mirroring `BatchComputer`; an expired deadline returns `None`.
+
+use crate::ch::{ContractionHierarchy, UpGraph};
+use crate::landmarks::Landmarks;
+use crate::INF;
+use gsql_graph::Csr;
+use gsql_parallel::Pool;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+/// One many-to-many distance matrix.
+#[derive(Debug, Clone)]
+pub struct M2mResult {
+    /// Row-major `|sources| × |targets|` exact distances; [`INF`] when the
+    /// pair is disconnected.
+    pub dist: Vec<u64>,
+    /// Vertices settled across every search of both phases.
+    pub settled: usize,
+    /// Total `(target, dist)` bucket entries deposited (CH only; 0 for
+    /// ALT) — the sharing metric surfaced by `EXPLAIN ANALYZE`.
+    pub bucket_entries: usize,
+}
+
+impl M2mResult {
+    /// The matrix entry for `(source index, target index)`.
+    #[inline]
+    pub fn dist(&self, si: usize, ti: usize, num_targets: usize) -> u64 {
+        self.dist[si * num_targets + ti]
+    }
+}
+
+/// Reusable scratch for one upward search: touched-list clearing keeps a
+/// run `O(cone size)` instead of `O(n)`.
+struct UpwardScratch {
+    dist: Vec<u64>,
+    done: Vec<bool>,
+    touched: Vec<u32>,
+    heap: BinaryHeap<Reverse<(u64, u32)>>,
+}
+
+impl UpwardScratch {
+    fn new(n: usize) -> UpwardScratch {
+        UpwardScratch {
+            dist: vec![u64::MAX; n],
+            done: vec![false; n],
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Exhaustive upward Dijkstra from `root` over `graph`, with
+    /// stall-on-demand against `stall_graph` (the opposite direction's
+    /// upward edges). Calls `emit(v, d)` for every settled, unstalled
+    /// vertex — exactly the set whose labels can be the apex of a shortest
+    /// up-down path. Returns the number of settled vertices.
+    fn run(
+        &mut self,
+        graph: &UpGraph,
+        stall_graph: &UpGraph,
+        root: u32,
+        mut emit: impl FnMut(u32, u64),
+    ) -> usize {
+        for &v in &self.touched {
+            self.dist[v as usize] = u64::MAX;
+            self.done[v as usize] = false;
+        }
+        self.touched.clear();
+        self.heap.clear();
+        self.dist[root as usize] = 0;
+        self.touched.push(root);
+        self.heap.push(Reverse((0, root)));
+        let mut settled = 0usize;
+        while let Some(Reverse((du, u))) = self.heap.pop() {
+            let ui = u as usize;
+            if self.done[ui] {
+                continue; // stale entry
+            }
+            self.done[ui] = true;
+            settled += 1;
+            // Stall-on-demand: a strictly better label through a
+            // higher-ranked neighbour proves this one useless as an apex.
+            let stalled = stall_graph.neighbors(u).any(|(w, wt)| {
+                let dw = self.dist[w as usize];
+                dw != u64::MAX && dw.saturating_add(wt) < du
+            });
+            if stalled {
+                continue;
+            }
+            emit(u, du);
+            for (v, wt) in graph.neighbors(u) {
+                let vi = v as usize;
+                let nd = du.saturating_add(wt);
+                if nd < self.dist[vi] {
+                    if self.dist[vi] == u64::MAX {
+                        self.touched.push(v);
+                    }
+                    self.dist[vi] = nd;
+                    self.heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        settled
+    }
+}
+
+/// The full `sources × targets` distance matrix over a contraction
+/// hierarchy, via target buckets: `|targets|` backward and `|sources|`
+/// forward upward searches, both phases fanned out over a pool of
+/// `threads` workers. Returns `None` when `deadline` expires between
+/// per-vertex searches; the result is bit-identical at every thread count.
+pub fn ch_many_to_many(
+    ch: &ContractionHierarchy,
+    sources: &[u32],
+    targets: &[u32],
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Option<M2mResult> {
+    let n = ch.num_vertices() as usize;
+    if sources.is_empty() || targets.is_empty() {
+        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0 });
+    }
+    debug_assert!(sources.iter().chain(targets).all(|&v| (v as usize) < n));
+    let pool = Pool::new(threads);
+    let expired = AtomicBool::new(false);
+
+    // Bucket phase: each backward search collects its deposits locally;
+    // the merge runs sequentially in target order, so bucket contents are
+    // independent of the thread count (and the min-fold below is
+    // order-independent anyway).
+    let per_target: Vec<(Vec<(u32, u64)>, usize)> = pool.map_with(
+        targets.len(),
+        || UpwardScratch::new(n),
+        |scratch, ti| {
+            if deadline_expired(&expired, deadline) {
+                return (Vec::new(), 0);
+            }
+            let mut deposits = Vec::new();
+            let settled = scratch.run(&ch.bwd_up, &ch.fwd_up, targets[ti], |v, d| {
+                deposits.push((v, d));
+            });
+            (deposits, settled)
+        },
+    );
+    if expired.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut settled: usize = per_target.iter().map(|(_, s)| s).sum();
+    let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
+    let mut bucket_entries = 0usize;
+    for (ti, (deposits, _)) in per_target.iter().enumerate() {
+        bucket_entries += deposits.len();
+        for &(v, d) in deposits {
+            buckets[v as usize].push((ti as u32, d));
+        }
+    }
+
+    // Scan phase: one forward upward search per source, reading the
+    // (now immutable) buckets at every unstalled settled vertex.
+    let num_targets = targets.len();
+    let rows: Vec<(Vec<u64>, usize)> = pool.map_with(
+        sources.len(),
+        || UpwardScratch::new(n),
+        |scratch, si| {
+            if deadline_expired(&expired, deadline) {
+                return (Vec::new(), 0);
+            }
+            let mut row = vec![INF; num_targets];
+            let settled = scratch.run(&ch.fwd_up, &ch.bwd_up, sources[si], |v, d| {
+                for &(ti, bd) in &buckets[v as usize] {
+                    let total = d.saturating_add(bd);
+                    let best = &mut row[ti as usize];
+                    if total < *best {
+                        *best = total;
+                    }
+                }
+            });
+            (row, settled)
+        },
+    );
+    if expired.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut dist = Vec::with_capacity(sources.len() * num_targets);
+    for (row, s) in rows {
+        settled += s;
+        dist.extend_from_slice(&row);
+    }
+    Some(M2mResult { dist, settled, bucket_entries })
+}
+
+/// Per-landmark aggregates of the lower bounds over one target set; `O(k)`
+/// per [`MultiTargetBounds::potential`] call, independent of `|targets|`.
+pub struct MultiTargetBounds {
+    /// `min_t d(Lᵢ, t)` — [`INF`] when landmark `i` reaches no target.
+    tmin_fwd: Vec<u64>,
+    /// `max_t d(t, Lᵢ)`, meaningful only when `bwd_all_finite[i]`.
+    tmax_bwd: Vec<u64>,
+    /// True when every target reaches landmark `i` — then a vertex that
+    /// does not is provably disconnected from all of them.
+    bwd_all_finite: Vec<bool>,
+}
+
+impl MultiTargetBounds {
+    /// Aggregate `landmarks` over `targets`.
+    pub fn new(landmarks: &Landmarks, targets: &[u32]) -> MultiTargetBounds {
+        let k = landmarks.len();
+        let mut tmin_fwd = vec![INF; k];
+        let mut tmax_bwd = vec![0u64; k];
+        let mut bwd_all_finite = vec![true; k];
+        let (fwd, bwd) = landmarks.vectors();
+        for i in 0..k {
+            for &t in targets {
+                let ti = t as usize;
+                tmin_fwd[i] = tmin_fwd[i].min(fwd[i][ti]);
+                if bwd[i][ti] == INF {
+                    bwd_all_finite[i] = false;
+                } else {
+                    tmax_bwd[i] = tmax_bwd[i].max(bwd[i][ti]);
+                }
+            }
+        }
+        MultiTargetBounds { tmin_fwd, tmax_bwd, bwd_all_finite }
+    }
+
+    /// A consistent lower bound on the distance from `v` to its *nearest*
+    /// target; [`INF`] when some landmark proves `v` reaches no target.
+    pub fn potential(&self, landmarks: &Landmarks, v: u32) -> u64 {
+        let (fwd, bwd) = landmarks.vectors();
+        let vi = v as usize;
+        let mut best = 0u64;
+        for i in 0..self.tmin_fwd.len() {
+            // min_t (d(L, t) − d(L, v)): useful only when L reaches v; if L
+            // reaches v but no target, no target is reachable from v.
+            let lv = fwd[i][vi];
+            if lv != INF {
+                if self.tmin_fwd[i] == INF {
+                    return INF;
+                }
+                best = best.max(self.tmin_fwd[i].saturating_sub(lv));
+            }
+            // min_t (d(v, L) − d(t, L)): needs every target to reach L; a
+            // vertex that cannot reach L then cannot reach any target.
+            if self.bwd_all_finite[i] {
+                let vl = bwd[i][vi];
+                if vl == INF {
+                    return INF;
+                }
+                best = best.max(vl.saturating_sub(self.tmax_bwd[i]));
+            }
+        }
+        best
+    }
+}
+
+/// The outcome of one multi-target ALT search.
+#[derive(Debug, Clone)]
+pub struct AltMultiResult {
+    /// Exact distance per target (input order, duplicates answered
+    /// individually); [`INF`] when unreachable.
+    pub dist: Vec<u64>,
+    /// Vertices settled by the single forward search.
+    pub settled: usize,
+}
+
+/// One goal-directed forward search from `source` answering every target at
+/// once. `weights` are `forward`'s per-slot weights (`None` = unit); the
+/// potential is consistent, so every answered distance is bit-identical to
+/// plain Dijkstra. The search stops as soon as all distinct targets are
+/// settled (or proven unreachable by heap exhaustion / an [`INF`] bound).
+pub fn alt_multi_target(
+    forward: &Csr,
+    weights: Option<&[i64]>,
+    landmarks: &Landmarks,
+    source: u32,
+    targets: &[u32],
+) -> AltMultiResult {
+    let n = forward.num_vertices() as usize;
+    let bounds = MultiTargetBounds::new(landmarks, targets);
+    if bounds.potential(landmarks, source) == INF {
+        // A landmark proves the source disconnected from every target.
+        return AltMultiResult { dist: vec![INF; targets.len()], settled: 0 };
+    }
+    // Memoized potential: 0 = unknown is safe to collide with a real 0.
+    let mut pi = vec![u64::MAX; n];
+    let mut pi_known = vec![false; n];
+    let mut potential = |v: u32| -> u64 {
+        let vi = v as usize;
+        if !pi_known[vi] {
+            pi[vi] = bounds.potential(landmarks, v);
+            pi_known[vi] = true;
+        }
+        pi[vi]
+    };
+
+    let mut is_target = vec![false; n];
+    let mut remaining = 0usize;
+    for &t in targets {
+        if !is_target[t as usize] {
+            is_target[t as usize] = true;
+            remaining += 1;
+        }
+    }
+
+    let mut dist = vec![u64::MAX; n];
+    let mut done = vec![false; n];
+    dist[source as usize] = 0;
+    // Keys are d(v) + π(v); π never exceeds any real target distance, so
+    // saturating adds cannot disturb finite answers.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((potential(source), source)));
+    let mut settled = 0usize;
+    while let Some(Reverse((_, u))) = heap.pop() {
+        let ui = u as usize;
+        if done[ui] {
+            continue; // stale entry
+        }
+        done[ui] = true;
+        settled += 1;
+        if is_target[ui] {
+            remaining -= 1;
+            if remaining == 0 {
+                break; // every distinct target has its exact distance
+            }
+        }
+        let du = dist[ui];
+        for (slot, v) in forward.neighbors(u) {
+            let vi = v as usize;
+            if done[vi] {
+                continue;
+            }
+            let w = weights.map_or(1, |ws| ws[slot] as u64);
+            let nd = du.saturating_add(w);
+            if nd >= dist[vi] {
+                continue;
+            }
+            let p = potential(v);
+            if p == INF {
+                continue; // provably reaches no target: on no useful path
+            }
+            dist[vi] = nd;
+            heap.push(Reverse((nd.saturating_add(p), v)));
+        }
+    }
+    let dist = targets
+        .iter()
+        .map(|&t| if done[t as usize] { dist[t as usize] } else { u64::MAX })
+        .collect();
+    AltMultiResult { dist, settled }
+}
+
+/// The full `sources × targets` matrix over a landmark index: one
+/// multi-target search per source, fanned out over a pool of `threads`
+/// workers (results in input order — bit-identical at every thread count).
+/// Returns `None` when `deadline` expires between per-source searches.
+pub fn alt_many_to_many(
+    forward: &Csr,
+    weights: Option<&[i64]>,
+    landmarks: &Landmarks,
+    sources: &[u32],
+    targets: &[u32],
+    threads: usize,
+    deadline: Option<Instant>,
+) -> Option<M2mResult> {
+    if sources.is_empty() || targets.is_empty() {
+        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0 });
+    }
+    let pool = Pool::new(threads);
+    let expired = AtomicBool::new(false);
+    let rows: Vec<AltMultiResult> = pool.map(sources.len(), |si| {
+        if deadline_expired(&expired, deadline) {
+            return AltMultiResult { dist: Vec::new(), settled: 0 };
+        }
+        alt_multi_target(forward, weights, landmarks, sources[si], targets)
+    });
+    if expired.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut dist = Vec::with_capacity(sources.len() * targets.len());
+    let mut settled = 0usize;
+    for row in rows {
+        settled += row.settled;
+        dist.extend_from_slice(&row.dist);
+    }
+    Some(M2mResult { dist, settled, bucket_entries: 0 })
+}
+
+/// Sticky deadline poll shared by every fan-out loop: once one task sees
+/// the deadline pass, the remaining tasks become no-ops.
+fn deadline_expired(expired: &AtomicBool, deadline: Option<Instant>) -> bool {
+    let Some(deadline) = deadline else {
+        return false;
+    };
+    if expired.load(Ordering::Relaxed) || Instant::now() >= deadline {
+        expired.store(true, Ordering::Relaxed);
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_graph::{dijkstra_int, reverse_csr};
+
+    /// 0->1, 0->2, 1->3, 2->3, 3->4 — the workspace's diamond.
+    fn diamond() -> Csr {
+        Csr::from_edges(5, &[0, 0, 1, 2, 3], &[1, 2, 3, 3, 4]).unwrap()
+    }
+
+    fn truth_matrix(
+        g: &Csr,
+        weights: Option<&[i64]>,
+        sources: &[u32],
+        targets: &[u32],
+    ) -> Vec<u64> {
+        let unit;
+        let w = match weights {
+            Some(w) => w,
+            None => {
+                unit = vec![1i64; g.num_edges()];
+                &unit
+            }
+        };
+        let mut out = Vec::new();
+        for &s in sources {
+            let d = dijkstra_int(g, s, &[], w).dist;
+            for &t in targets {
+                out.push(d[t as usize]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ch_matrix_matches_dijkstra_on_diamond() {
+        let g = diamond();
+        let raw = [10i64, 1, 1, 1, 1];
+        let wf = g.permute_weights_int(&raw).unwrap();
+        let ch = ContractionHierarchy::build(&g, Some(&wf), 1);
+        let sources = [0u32, 1, 4, 0];
+        let targets = [3u32, 4, 0, 3];
+        let truth = truth_matrix(&g, Some(&wf), &sources, &targets);
+        for threads in [1, 4] {
+            let m = ch_many_to_many(&ch, &sources, &targets, threads, None).unwrap();
+            assert_eq!(m.dist, truth, "threads {threads}");
+            assert!(m.bucket_entries > 0);
+        }
+    }
+
+    #[test]
+    fn alt_matrix_matches_dijkstra_on_diamond() {
+        let g = diamond();
+        let r = reverse_csr(&g);
+        let raw = [10i64, 1, 1, 1, 1];
+        let wf = g.permute_weights_int(&raw).unwrap();
+        let wb = r.permute_weights_int(&raw).unwrap();
+        let lm = Landmarks::build(&g, &r, Some((&wf, &wb)), 3, 1);
+        let sources = [0u32, 1, 4, 0];
+        let targets = [3u32, 4, 0, 3];
+        let truth = truth_matrix(&g, Some(&wf), &sources, &targets);
+        for threads in [1, 4] {
+            let m =
+                alt_many_to_many(&g, Some(&wf), &lm, &sources, &targets, threads, None).unwrap();
+            assert_eq!(m.dist, truth, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn self_pairs_and_unreachable_pairs() {
+        let g = diamond();
+        let r = reverse_csr(&g);
+        let ch = ContractionHierarchy::build(&g, None, 1);
+        let lm = Landmarks::build(&g, &r, None, 2, 1);
+        let sources = [4u32, 0];
+        let targets = [4u32, 0];
+        // 4 reaches only itself; 0 reaches everything but nothing reaches 0.
+        let expected = vec![0, INF, 3, 0];
+        let m = ch_many_to_many(&ch, &sources, &targets, 1, None).unwrap();
+        assert_eq!(m.dist, expected);
+        let m = alt_many_to_many(&g, None, &lm, &sources, &targets, 1, None).unwrap();
+        assert_eq!(m.dist, expected);
+    }
+
+    #[test]
+    fn multi_target_search_answers_duplicate_targets() {
+        let g = diamond();
+        let r = reverse_csr(&g);
+        let lm = Landmarks::build(&g, &r, None, 2, 1);
+        let res = alt_multi_target(&g, None, &lm, 0, &[4, 3, 4, 0]);
+        assert_eq!(res.dist, vec![3, 2, 3, 0]);
+    }
+
+    #[test]
+    fn empty_sides_yield_empty_matrices() {
+        let g = diamond();
+        let r = reverse_csr(&g);
+        let ch = ContractionHierarchy::build(&g, None, 1);
+        let lm = Landmarks::build(&g, &r, None, 2, 1);
+        assert!(ch_many_to_many(&ch, &[], &[0], 2, None).unwrap().dist.is_empty());
+        assert!(ch_many_to_many(&ch, &[0], &[], 2, None).unwrap().dist.is_empty());
+        assert!(alt_many_to_many(&g, None, &lm, &[], &[0], 2, None).unwrap().dist.is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_abandons_the_matrix() {
+        let g = diamond();
+        let r = reverse_csr(&g);
+        let ch = ContractionHierarchy::build(&g, None, 1);
+        let lm = Landmarks::build(&g, &r, None, 2, 1);
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        assert!(ch_many_to_many(&ch, &[0], &[4], 1, Some(past)).is_none());
+        assert!(alt_many_to_many(&g, None, &lm, &[0], &[4], 1, Some(past)).is_none());
+        let future = Instant::now() + std::time::Duration::from_secs(3600);
+        assert!(ch_many_to_many(&ch, &[0], &[4], 1, Some(future)).is_some());
+    }
+}

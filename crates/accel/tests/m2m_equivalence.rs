@@ -1,0 +1,180 @@
+//! Property-style equivalence for the batched many-to-many tier: the
+//! bucket-based CH matrix and the multi-target ALT matrix must both equal
+//! per-source Dijkstra on random weighted digraphs — disconnected pairs,
+//! zero-weight edges, duplicate and asymmetric source/target sets included
+//! — and must be bit-identical at `threads = 1` and `threads = 4`. Uses
+//! the workspace's offline `rand` shim, so it runs by default in every CI
+//! configuration.
+
+use gsql_accel::{alt_many_to_many, ch_many_to_many, ContractionHierarchy, Landmarks, INF};
+use gsql_graph::{bfs, dijkstra_int, reverse_csr, Csr};
+use rand::prelude::*;
+
+struct Case {
+    graph: Csr,
+    raw: Vec<i64>,
+}
+
+fn random_case(rng: &mut StdRng, max_n: u32, max_m: usize, min_weight: i64) -> Case {
+    let n = rng.gen_range(2..max_n);
+    let m = rng.gen_range(1..max_m);
+    let src: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+    let dst: Vec<u32> = (0..m).map(|_| rng.gen_range(0..n)).collect();
+    let raw: Vec<i64> = (0..m).map(|_| rng.gen_range(min_weight..100)).collect();
+    let graph = Csr::from_edges(n, &src, &dst).unwrap();
+    Case { graph, raw }
+}
+
+/// Slot-order weights without the strict-positivity validation of
+/// `permute_weights_int` (zero weights are legal at this layer).
+fn slot_weights(graph: &Csr, raw: &[i64]) -> Vec<i64> {
+    (0..graph.num_edges()).map(|slot| raw[graph.edge_row(slot) as usize]).collect()
+}
+
+/// Random vertex multiset: duplicates are deliberately likely, so the
+/// drivers' dedup/index-mapping paths get exercised.
+fn random_side(rng: &mut StdRng, n: u32, len: usize) -> Vec<u32> {
+    (0..len).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Row-major truth matrix via one full Dijkstra (or BFS) per source.
+fn truth_matrix(g: &Csr, weights: Option<&[i64]>, sources: &[u32], targets: &[u32]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(sources.len() * targets.len());
+    for &s in sources {
+        match weights {
+            Some(w) => {
+                let d = dijkstra_int(g, s, &[], w).dist;
+                out.extend(targets.iter().map(|&t| d[t as usize]));
+            }
+            None => {
+                let d = bfs(g, s, &[]).dist;
+                out.extend(targets.iter().map(|&t| {
+                    if d[t as usize] == u32::MAX {
+                        INF
+                    } else {
+                        d[t as usize] as u64
+                    }
+                }));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn weighted_matrices_equal_dijkstra_at_threads_1_and_4() {
+    let mut rng = StdRng::seed_from_u64(0x3232);
+    for case_no in 0..20 {
+        let case = random_case(&mut rng, 50, 250, 1);
+        let n = case.graph.num_vertices();
+        let wf = case.graph.permute_weights_int(&case.raw).unwrap();
+        let rev = reverse_csr(&case.graph);
+        let wb = rev.permute_weights_int(&case.raw).unwrap();
+        let ch = ContractionHierarchy::build(&case.graph, Some(&wf), 1);
+        let lm = Landmarks::build(&case.graph, &rev, Some((&wf, &wb)), 4, 1);
+        // Asymmetric sides, duplicates likely.
+        let s_len = rng.gen_range(1..8);
+        let t_len = rng.gen_range(1..12);
+        let sources = random_side(&mut rng, n, s_len);
+        let targets = random_side(&mut rng, n, t_len);
+        let truth = truth_matrix(&case.graph, Some(&wf), &sources, &targets);
+        for threads in [1, 4] {
+            let m = ch_many_to_many(&ch, &sources, &targets, threads, None).unwrap();
+            assert_eq!(m.dist, truth, "case {case_no} ch threads {threads}");
+            let a =
+                alt_many_to_many(&case.graph, Some(&wf), &lm, &sources, &targets, threads, None)
+                    .unwrap();
+            assert_eq!(a.dist, truth, "case {case_no} alt threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn zero_weight_matrices_stay_exact() {
+    let mut rng = StdRng::seed_from_u64(0x0e00);
+    for case_no in 0..15 {
+        let case = random_case(&mut rng, 40, 200, 0);
+        let n = case.graph.num_vertices();
+        let wf = slot_weights(&case.graph, &case.raw);
+        let rev = reverse_csr(&case.graph);
+        let wb = slot_weights(&rev, &case.raw);
+        let ch = ContractionHierarchy::build(&case.graph, Some(&wf), 1);
+        let lm = Landmarks::build(&case.graph, &rev, Some((&wf, &wb)), 3, 1);
+        let sources = random_side(&mut rng, n, 5);
+        let targets = random_side(&mut rng, n, 7);
+        let truth = truth_matrix(&case.graph, Some(&wf), &sources, &targets);
+        for threads in [1, 4] {
+            let m = ch_many_to_many(&ch, &sources, &targets, threads, None).unwrap();
+            assert_eq!(m.dist, truth, "case {case_no} ch threads {threads}");
+            let a =
+                alt_many_to_many(&case.graph, Some(&wf), &lm, &sources, &targets, threads, None)
+                    .unwrap();
+            assert_eq!(a.dist, truth, "case {case_no} alt threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn unweighted_matrices_equal_bfs_hops() {
+    let mut rng = StdRng::seed_from_u64(0xbeef);
+    for case_no in 0..20 {
+        let case = random_case(&mut rng, 60, 200, 1);
+        let n = case.graph.num_vertices();
+        let rev = reverse_csr(&case.graph);
+        let ch = ContractionHierarchy::build(&case.graph, None, 1);
+        let lm = Landmarks::build(&case.graph, &rev, None, 4, 1);
+        let sources = random_side(&mut rng, n, 6);
+        let targets = random_side(&mut rng, n, 6);
+        let truth = truth_matrix(&case.graph, None, &sources, &targets);
+        for threads in [1, 4] {
+            let m = ch_many_to_many(&ch, &sources, &targets, threads, None).unwrap();
+            assert_eq!(m.dist, truth, "case {case_no} ch threads {threads}");
+            let a = alt_many_to_many(&case.graph, None, &lm, &sources, &targets, threads, None)
+                .unwrap();
+            assert_eq!(a.dist, truth, "case {case_no} alt threads {threads}");
+        }
+    }
+}
+
+#[test]
+fn disconnected_components_and_duplicate_sides() {
+    // Two disjoint chains: 0->1->2 and 3->4->5. Sides repeat vertices and
+    // straddle the components, so most of the matrix is unreachable.
+    let g = Csr::from_edges(6, &[0, 1, 3, 4], &[1, 2, 4, 5]).unwrap();
+    let rev = reverse_csr(&g);
+    let ch = ContractionHierarchy::build(&g, None, 2);
+    let lm = Landmarks::build(&g, &rev, None, 3, 1);
+    let sources = [0u32, 3, 0, 5];
+    let targets = [2u32, 5, 2, 0];
+    let truth = truth_matrix(&g, None, &sources, &targets);
+    assert!(truth.contains(&INF) && truth.contains(&2));
+    for threads in [1, 4] {
+        let m = ch_many_to_many(&ch, &sources, &targets, threads, None).unwrap();
+        assert_eq!(m.dist, truth, "ch threads {threads}");
+        let a = alt_many_to_many(&g, None, &lm, &sources, &targets, threads, None).unwrap();
+        assert_eq!(a.dist, truth, "alt threads {threads}");
+    }
+}
+
+#[test]
+fn settled_counts_are_thread_independent() {
+    // The settled totals feed EXPLAIN ANALYZE; they must not depend on the
+    // worker count any more than the distances do.
+    let mut rng = StdRng::seed_from_u64(0x5e771e);
+    let case = random_case(&mut rng, 80, 400, 1);
+    let n = case.graph.num_vertices();
+    let wf = case.graph.permute_weights_int(&case.raw).unwrap();
+    let rev = reverse_csr(&case.graph);
+    let wb = rev.permute_weights_int(&case.raw).unwrap();
+    let ch = ContractionHierarchy::build(&case.graph, Some(&wf), 1);
+    let lm = Landmarks::build(&case.graph, &rev, Some((&wf, &wb)), 4, 1);
+    let sources = random_side(&mut rng, n, 10);
+    let targets = random_side(&mut rng, n, 10);
+    let m1 = ch_many_to_many(&ch, &sources, &targets, 1, None).unwrap();
+    let m4 = ch_many_to_many(&ch, &sources, &targets, 4, None).unwrap();
+    assert_eq!(m1.settled, m4.settled);
+    assert_eq!(m1.bucket_entries, m4.bucket_entries);
+    let a1 = alt_many_to_many(&case.graph, Some(&wf), &lm, &sources, &targets, 1, None).unwrap();
+    let a4 = alt_many_to_many(&case.graph, Some(&wf), &lm, &sources, &targets, 4, None).unwrap();
+    assert_eq!(a1.settled, a4.settled);
+}

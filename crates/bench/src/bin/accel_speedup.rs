@@ -8,18 +8,27 @@
 //! `USING LANDMARKS(k)` index, a `USING CONTRACTION` index), asserting
 //! identical results on the way.
 //!
+//! A third scenario benchmarks the batched many-to-many tier: an `S × T`
+//! distance matrix computed by plain per-source Dijkstra, by multi-target
+//! ALT (one goal-directed search per source) and by bucket-based CH
+//! (`S + T` upward searches), asserting all three matrices are identical.
+//!
 //! The benchmark graph is road-like — a `side × side` bidirectional grid
 //! with random integer weights — because that is the workload contraction
 //! hierarchies are built for; `--vertices` is rounded down to a square.
 //!
 //! `cargo run -p gsql-bench --release --bin accel_speedup -- \
 //!      --vertices 20000 --pairs 100 --landmarks 16`
+//!
+//! `--smoke` shrinks every knob for CI; `--json` appends one line of
+//! machine-readable results after the tables.
 
 use gsql_bench::report::{arg_value, fmt_duration, render_table};
 use gsql_core::Database;
+use gsql_server::json::Json;
 use gsql_storage::Value;
 use rand::prelude::*;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Config {
     side: u32,
@@ -27,21 +36,28 @@ struct Config {
     landmarks: u32,
     seed: u64,
     threads: usize,
+    mat_sources: usize,
+    mat_targets: usize,
+    json: bool,
 }
 
 impl Config {
     fn from_args() -> Config {
         let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
         let get = |flag: &str, default: u64| {
             arg_value(&args, flag).and_then(|s| s.parse().ok()).unwrap_or(default)
         };
-        let vertices = get("--vertices", 20_000);
+        let vertices = get("--vertices", if smoke { 2_500 } else { 20_000 });
         Config {
             side: (vertices as f64).sqrt() as u32,
-            pairs: get("--pairs", 100) as usize,
-            landmarks: get("--landmarks", 16) as u32,
+            pairs: get("--pairs", if smoke { 20 } else { 100 }) as usize,
+            landmarks: get("--landmarks", if smoke { 8 } else { 16 }) as u32,
             seed: get("--seed", 42),
             threads: get("--threads", 4) as usize,
+            mat_sources: get("--matrix-sources", if smoke { 12 } else { 40 }) as usize,
+            mat_targets: get("--matrix-targets", if smoke { 12 } else { 40 }) as usize,
+            json: args.iter().any(|a| a == "--json"),
         }
     }
 
@@ -189,6 +205,92 @@ fn main() {
         plain_time.as_secs_f64() / ch_time.as_secs_f64().max(1e-9),
     );
 
+    // ------------------------------------------ many-to-many matrix layer
+    // Distinct random sides: the plain baseline runs one full Dijkstra per
+    // source (exactly what the batched runtime did before the m2m tier).
+    let mut m_sources: Vec<u32> =
+        (0..cfg.mat_sources).map(|_| rng.gen_range(0..cfg.vertices())).collect();
+    m_sources.sort_unstable();
+    m_sources.dedup();
+    let mut m_targets: Vec<u32> =
+        (0..cfg.mat_targets).map(|_| rng.gen_range(0..cfg.vertices())).collect();
+    m_targets.sort_unstable();
+    m_targets.dedup();
+    println!(
+        "many-to-many matrix: {} sources x {} targets = {} pairs",
+        m_sources.len(),
+        m_targets.len(),
+        m_sources.len() * m_targets.len()
+    );
+
+    let mut plain_m_settled = 0usize;
+    let t0 = Instant::now();
+    let mut truth = Vec::with_capacity(m_sources.len() * m_targets.len());
+    for &s in &m_sources {
+        gsql_graph::dijkstra_int_into(&graph, s, &[], &wf, &mut scratch);
+        plain_m_settled += scratch.settled_count();
+        truth.extend(m_targets.iter().map(|&t| scratch.dist[t as usize]));
+    }
+    let plain_m_time = t0.elapsed();
+
+    let t0 = Instant::now();
+    let am = gsql_accel::alt_many_to_many(&graph, Some(&wf), &lm, &m_sources, &m_targets, t, None)
+        .unwrap();
+    let alt_m_time = t0.elapsed();
+    assert_eq!(am.dist, truth, "ALT-multi matrix diverged from per-source Dijkstra");
+
+    let t0 = Instant::now();
+    let cm = gsql_accel::ch_many_to_many(&ch, &m_sources, &m_targets, t, None).unwrap();
+    let ch_m_time = t0.elapsed();
+    assert_eq!(cm.dist, truth, "CH-m2m matrix diverged from per-source Dijkstra");
+
+    let per_source = |settled: usize| format!("{:.0}", settled as f64 / m_sources.len() as f64);
+    let m_rows = vec![
+        vec![
+            "plain per-source Dijkstra".to_string(),
+            plain_m_settled.to_string(),
+            per_source(plain_m_settled),
+            "-".to_string(),
+            fmt_duration(plain_m_time),
+        ],
+        vec![
+            "ALT multi-target".to_string(),
+            am.settled.to_string(),
+            per_source(am.settled),
+            "-".to_string(),
+            fmt_duration(alt_m_time),
+        ],
+        vec![
+            "CH buckets (m2m)".to_string(),
+            cm.settled.to_string(),
+            per_source(cm.settled),
+            cm.bucket_entries.to_string(),
+            fmt_duration(ch_m_time),
+        ],
+    ];
+    println!(
+        "{}",
+        render_table(
+            &["matrix", "settled (total)", "settled/source", "bucket entries", "wall"],
+            &m_rows
+        )
+    );
+    let alt_m_factor = plain_m_settled as f64 / am.settled.max(1) as f64;
+    let ch_m_factor = plain_m_settled as f64 / cm.settled.max(1) as f64;
+    println!(
+        "matrix pruning vs plain: ALT-multi {alt_m_factor:.1}x, CH-m2m {ch_m_factor:.1}x fewer \
+         settled vertices\nmatrix wall vs plain: ALT-multi {:.1}x, CH-m2m {:.1}x (runtime layer)\n",
+        plain_m_time.as_secs_f64() / alt_m_time.as_secs_f64().max(1e-9),
+        plain_m_time.as_secs_f64() / ch_m_time.as_secs_f64().max(1e-9),
+    );
+    // The m2m tier only earns its keep if it prunes hard; a regression
+    // below 3x on the road-like grid should fail loudly, including in the
+    // CI smoke run.
+    assert!(
+        ch_m_factor >= 3.0,
+        "CH-m2m settled only {ch_m_factor:.1}x fewer vertices than plain (expected >= 3x)"
+    );
+
     // --------------------------------------------------- end-to-end SQL
     let db = Database::new();
     db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
@@ -258,4 +360,84 @@ fn main() {
     }
     println!("{}", render_table(&["SQL session", "wall", "per query"], &sql_rows));
     println!("results are byte-identical in all three configurations.");
+
+    if cfg.json {
+        // One line of machine-readable results, last on stdout, so CI and
+        // tracking scripts can diff runs without scraping the tables.
+        let us = |d: Duration| Json::Int((d.as_secs_f64() * 1e6) as i64);
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let report = obj(vec![
+            ("vertices", Json::Int(cfg.vertices() as i64)),
+            ("threads", Json::Int(cfg.threads as i64)),
+            ("seed", Json::Int(cfg.seed as i64)),
+            (
+                "build",
+                obj(vec![
+                    ("alt_us", us(alt_build)),
+                    ("ch_us", us(ch_build)),
+                    ("landmarks", Json::Int(lm.len() as i64)),
+                    ("shortcuts", Json::Int(ch.shortcuts() as i64)),
+                ]),
+            ),
+            (
+                "p2p",
+                obj(vec![
+                    ("pairs", Json::Int(pairs.len() as i64)),
+                    (
+                        "plain",
+                        obj(vec![
+                            ("settled", Json::Int(plain_settled as i64)),
+                            ("wall_us", us(plain_time)),
+                        ]),
+                    ),
+                    (
+                        "alt",
+                        obj(vec![
+                            ("settled", Json::Int(alt_settled as i64)),
+                            ("wall_us", us(alt_time)),
+                        ]),
+                    ),
+                    (
+                        "ch",
+                        obj(vec![
+                            ("settled", Json::Int(ch_settled as i64)),
+                            ("wall_us", us(ch_time)),
+                        ]),
+                    ),
+                ]),
+            ),
+            (
+                "matrix",
+                obj(vec![
+                    ("sources", Json::Int(m_sources.len() as i64)),
+                    ("targets", Json::Int(m_targets.len() as i64)),
+                    (
+                        "plain",
+                        obj(vec![
+                            ("settled", Json::Int(plain_m_settled as i64)),
+                            ("wall_us", us(plain_m_time)),
+                        ]),
+                    ),
+                    (
+                        "alt_multi",
+                        obj(vec![
+                            ("settled", Json::Int(am.settled as i64)),
+                            ("wall_us", us(alt_m_time)),
+                        ]),
+                    ),
+                    (
+                        "ch_m2m",
+                        obj(vec![
+                            ("settled", Json::Int(cm.settled as i64)),
+                            ("bucket_entries", Json::Int(cm.bucket_entries as i64)),
+                            ("wall_us", us(ch_m_time)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]);
+        println!("{}", report.encode());
+    }
 }

@@ -463,6 +463,72 @@ fn run_specs_accel(
     Ok(Some((reachable, all)))
 }
 
+/// Run a multi-pair batch through the index's many-to-many tier: bucket
+/// CH (`S + T` upward searches for the whole matrix) or multi-target ALT
+/// (one goal-directed search per distinct source). Same eligibility and
+/// fallback contract as [`run_specs_accel`]; costs are bit-identical to
+/// the per-source Dijkstra fallback at every thread count. An expired
+/// statement deadline surfaces as the statement's timeout error, matching
+/// `BatchComputer`.
+fn run_specs_accel_batch(
+    ex: &Executor<'_>,
+    data: &PathIndexData,
+    pairs: &[(u32, u32)],
+    specs: &[CheapestSpec],
+    params: &[Value],
+) -> Result<Option<(Vec<bool>, Vec<SpecResults>)>> {
+    if !specs.iter().all(|s| crate::optimize::spec_accel_eligible(s, data.weight_key)) {
+        return Ok(None);
+    }
+    // Validate constant scales up front (mirrors `prepare_spec`, same
+    // error), before any traversal work runs.
+    let mut scales = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let scale = if spec.weight.is_constant() {
+            let v = eval_const(&spec.weight, params)?;
+            let positive = match &v {
+                Value::Int(x) => *x > 0,
+                Value::Double(x) => *x > 0.0 && x.is_finite(),
+                _ => false,
+            };
+            if !positive {
+                return Err(Error::Graph(GraphError::NonPositiveWeight {
+                    edge_row: 0,
+                    weight: v.to_string(),
+                }));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        scales.push(scale);
+    }
+    let ctx = ex.ctx();
+    let batch = data
+        .search_batch(pairs, ctx.threads(), ctx.deadline_instant())
+        .ok_or_else(|| ctx.timeout_error())?;
+    let reachable: Vec<bool> = batch.dist.iter().map(|d| d.is_some()).collect();
+    let mut all = Vec::with_capacity(specs.len());
+    for (spec, scale) in specs.iter().zip(scales) {
+        all.push(SpecResults {
+            results: batch
+                .dist
+                .iter()
+                .map(|d| PairResult {
+                    reachable: d.is_some(),
+                    cost: d.map(|c| CostValue::Int(c as i64)),
+                    path: None,
+                })
+                .collect(),
+            scale,
+            want_path: false,
+            cost_ty: spec.weight_ty,
+        });
+    }
+    ctx.record_op_detail(batch.detail);
+    Ok(Some((reachable, all)))
+}
+
 #[allow(clippy::too_many_arguments)]
 fn execute_graph_select(
     ex: &Executor<'_>,
@@ -494,12 +560,15 @@ fn execute_graph_select(
         pairs.push((sid, did));
     }
 
-    // Single-pair point-to-point requests route through the accelerated
-    // search when a covering path index is attached; everything else
-    // (batches, ineligible specs, dropped index) takes the plain
-    // traversals.
+    // Requests route through the accelerated search when a covering path
+    // index is attached — single pairs through the point-to-point tier,
+    // multi-pair batches through the many-to-many tier; everything else
+    // (ineligible specs, dropped index) takes the plain traversals.
     let accelerated = match (&accel_data, pairs.len()) {
         (Some(data), 1) => run_specs_accel(ex, data, pairs[0], specs, ex.ctx().params())?,
+        (Some(data), n) if n > 1 => {
+            run_specs_accel_batch(ex, data, &pairs, specs, ex.ctx().params())?
+        }
         _ => None,
     };
     let (reachable, spec_results) = match accelerated {
@@ -531,10 +600,10 @@ fn execute_graph_join(
 ) -> Result<Arc<Table>> {
     let left_table = ex.execute(left)?;
     let right_table = ex.execute(right)?;
-    // GraphJoin is the batched many-to-many shape: the optimizer never
-    // attaches a path index here, so any returned acceleration data is
-    // unused.
-    let (graph, from_index, _accel) = obtain_graph(ex, edge, src_key, dst_key)?;
+    // GraphJoin is the batched many-to-many shape; a covering path index
+    // serves the whole distinct-source × distinct-dest matrix through the
+    // bucket-CH / multi-target-ALT tier below.
+    let (graph, from_index, accel_data) = obtain_graph(ex, edge, src_key, dst_key)?;
     let key_ty = graph.edges.schema().column(src_key).ty;
 
     let x_col = eval_to_column(source, &left_table, ex.ctx().params(), key_ty)?;
@@ -567,7 +636,16 @@ fn execute_graph_join(
             pairs.push((s, d));
         }
     }
-    let (reachable, spec_results) = run_specs(&graph, &pairs, specs, ex.ctx(), from_index)?;
+    let accelerated = match &accel_data {
+        Some(data) if !pairs.is_empty() => {
+            run_specs_accel_batch(ex, data, &pairs, specs, ex.ctx().params())?
+        }
+        _ => None,
+    };
+    let (reachable, spec_results) = match accelerated {
+        Some(result) => result,
+        None => run_specs(&graph, &pairs, specs, ex.ctx(), from_index)?,
+    };
     let pair_index: HashMap<(u32, u32), usize> =
         pairs.iter().copied().enumerate().map(|(i, p)| (p, i)).collect();
 

@@ -28,8 +28,8 @@ pub fn optimize(plan: LogicalPlan) -> LogicalPlan {
 
 /// Context-aware optimization: the structural rules of [`optimize`], plus
 /// index selection — when the session's `path_index` setting is on, an
-/// eligible point-to-point graph select whose edge scan is covered by a
-/// registered ALT path index routes through
+/// eligible graph select or graph join whose edge scan is covered by a
+/// registered path index routes through
 /// [`LogicalPlan::PathIndexedGraph`]; when `graph_index` is on, remaining
 /// graph-operator edge scans covered by a graph index become
 /// [`LogicalPlan::IndexedGraph`]. Both decisions are visible in `EXPLAIN`,
@@ -70,52 +70,78 @@ pub(crate) fn spec_accel_eligible(
     )
 }
 
-/// Replace the edge scan of eligible point-to-point graph selects with
-/// [`LogicalPlan::PathIndexedGraph`]. Only `GraphSelect` qualifies: the
-/// batched many-to-many `GraphJoin` is what the existing source-parallel
-/// runtime serves best, while the acceleration indexes target the
-/// single-pair workload.
+/// Replace the edge scan of eligible graph operators with
+/// [`LogicalPlan::PathIndexedGraph`]. Both shapes qualify: point-to-point
+/// `GraphSelect` routes through the single-pair accelerated search, and
+/// the batched many-to-many `GraphJoin` (and multi-pair selects) through
+/// the bucket-based CH / multi-target ALT batch tier.
 fn annotate_path_indexed_edges(
     plan: LogicalPlan,
     registry: &crate::path_index::PathIndexRegistry,
 ) -> LogicalPlan {
     use crate::path_index::PathIndexKind;
     let plan = map_children(plan, |p| annotate_path_indexed_edges(p, registry));
-    let LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } =
-        plan
-    else {
-        return plan;
-    };
-    let edge = if let LogicalPlan::Scan { table, schema: edge_schema } = edge.as_ref() {
-        let src_name = &edge_schema.column(src_key).name;
-        let dst_name = &edge_schema.column(dst_key).name;
-        // Several indexes may cover this edge configuration (hop-distance
-        // vs weighted, ALT vs CH). Of the ones whose weight configuration
-        // serves every spec, a contraction hierarchy beats a landmark
-        // index (near-constant search cones vs goal-directed pruning);
-        // within a kind, name order keeps the choice deterministic.
-        let eligible: Vec<_> = registry
-            .find_indexes(table, src_name, dst_name)
-            .into_iter()
-            .filter(|meta| specs.iter().all(|s| spec_accel_eligible(s, meta.weight_key)))
-            .collect();
-        let chosen = eligible
-            .iter()
-            .find(|meta| meta.kind == PathIndexKind::Contraction)
-            .or_else(|| eligible.first());
-        match chosen {
-            Some(meta) => Box::new(LogicalPlan::PathIndexedGraph {
-                index: meta.name.clone(),
-                table: table.clone(),
-                kind: meta.kind,
-                schema: edge_schema.clone(),
-            }),
-            None => edge,
+    let edge_to_index = |edge: Box<LogicalPlan>, src_key: usize, dst_key: usize, specs: &[_]| {
+        if let LogicalPlan::Scan { table, schema: edge_schema } = edge.as_ref() {
+            let src_name = &edge_schema.column(src_key).name;
+            let dst_name = &edge_schema.column(dst_key).name;
+            // Several indexes may cover this edge configuration
+            // (hop-distance vs weighted, ALT vs CH). Of the ones whose
+            // weight configuration serves every spec, a contraction
+            // hierarchy beats a landmark index (near-constant search cones
+            // vs goal-directed pruning); within a kind, name order keeps
+            // the choice deterministic.
+            let eligible: Vec<_> = registry
+                .find_indexes(table, src_name, dst_name)
+                .into_iter()
+                .filter(|meta| specs.iter().all(|s| spec_accel_eligible(s, meta.weight_key)))
+                .collect();
+            let chosen = eligible
+                .iter()
+                .find(|meta| meta.kind == PathIndexKind::Contraction)
+                .or_else(|| eligible.first());
+            if let Some(meta) = chosen {
+                return Box::new(LogicalPlan::PathIndexedGraph {
+                    index: meta.name.clone(),
+                    table: table.clone(),
+                    kind: meta.kind,
+                    schema: edge_schema.clone(),
+                });
+            }
         }
-    } else {
         edge
     };
-    LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema }
+    match plan {
+        LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema } => {
+            let edge = edge_to_index(edge, src_key, dst_key, &specs);
+            LogicalPlan::GraphSelect { input, edge, src_key, dst_key, source, dest, specs, schema }
+        }
+        LogicalPlan::GraphJoin {
+            left,
+            right,
+            edge,
+            src_key,
+            dst_key,
+            source,
+            dest,
+            specs,
+            schema,
+        } => {
+            let edge = edge_to_index(edge, src_key, dst_key, &specs);
+            LogicalPlan::GraphJoin {
+                left,
+                right,
+                edge,
+                src_key,
+                dst_key,
+                source,
+                dest,
+                specs,
+                schema,
+            }
+        }
+        other => other,
+    }
 }
 
 /// Recursively replace indexed edge scans under graph operators.

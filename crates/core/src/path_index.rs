@@ -27,12 +27,16 @@
 
 use crate::error::{bind_err, Error};
 use crate::exec::graph_op::{build_graph_with_threads, MaterializedGraph};
-use gsql_accel::{ch_query, ContractionHierarchy, Landmarks};
+use gsql_accel::{
+    alt_multi_target, ch_many_to_many, ch_query, AltMultiResult, ContractionHierarchy, Landmarks,
+};
+use gsql_parallel::Pool;
 use gsql_storage::{Catalog, Column, DataType};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -169,6 +173,102 @@ impl PathIndexData {
         }
     }
 
+    /// One accelerated **batch** search: every `(source, dest)` pair
+    /// answered over the index's native weights, bit-identical to per-pair
+    /// Dijkstra at every thread count. Returns `None` when `deadline`
+    /// expires between per-vertex search phases (the caller maps that to
+    /// the statement timeout).
+    ///
+    /// A CH index answers the whole batch with the bucket-based
+    /// many-to-many algorithm — one backward upward search per distinct
+    /// target filling per-vertex buckets, one forward upward search per
+    /// distinct source scanning them — so an `S × T` matrix costs `S + T`
+    /// upward searches. An ALT index runs one multi-target goal-directed
+    /// search per distinct source (the landmark bound aggregated over that
+    /// source's target set). Both fan out over a pool of `threads`
+    /// workers.
+    pub fn search_batch(
+        &self,
+        pairs: &[(u32, u32)],
+        threads: usize,
+        deadline: Option<Instant>,
+    ) -> Option<BatchSearch> {
+        match &self.accel {
+            AccelIndex::Ch(ch) => {
+                let mut sources: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
+                sources.sort_unstable();
+                sources.dedup();
+                let mut targets: Vec<u32> = pairs.iter().map(|&(_, d)| d).collect();
+                targets.sort_unstable();
+                targets.dedup();
+                let m = ch_many_to_many(ch, &sources, &targets, threads, deadline)?;
+                let dist = pairs
+                    .iter()
+                    .map(|&(s, d)| {
+                        let si = sources.binary_search(&s).expect("source in distinct set");
+                        let ti = targets.binary_search(&d).expect("target in distinct set");
+                        let v = m.dist(si, ti, targets.len());
+                        (v != gsql_accel::INF).then_some(v)
+                    })
+                    .collect();
+                Some(BatchSearch {
+                    dist,
+                    settled: m.settled,
+                    detail: format!("settled={} (ch-m2m, buckets={})", m.settled, m.bucket_entries),
+                })
+            }
+            AccelIndex::Alt(lm) => {
+                // Group pairs by source (input indices, like BatchComputer)
+                // so each distinct source runs one multi-target search over
+                // exactly its own target set.
+                let mut order: Vec<usize> = (0..pairs.len()).collect();
+                order.sort_unstable_by_key(|&i| pairs[i].0);
+                let mut groups: Vec<(u32, std::ops::Range<usize>)> = Vec::new();
+                let mut g = 0;
+                while g < order.len() {
+                    let source = pairs[order[g]].0;
+                    let mut end = g;
+                    while end < order.len() && pairs[order[end]].0 == source {
+                        end += 1;
+                    }
+                    groups.push((source, g..end));
+                    g = end;
+                }
+                let pool = Pool::new(threads);
+                let expired = AtomicBool::new(false);
+                let weights = self.weights_fwd.as_deref();
+                let per_group: Vec<AltMultiResult> = pool.map(groups.len(), |gi| {
+                    if let Some(deadline) = deadline {
+                        if expired.load(Ordering::Relaxed) || Instant::now() >= deadline {
+                            expired.store(true, Ordering::Relaxed);
+                            return AltMultiResult { dist: Vec::new(), settled: 0 };
+                        }
+                    }
+                    let (source, ref range) = groups[gi];
+                    let targets: Vec<u32> =
+                        order[range.clone()].iter().map(|&i| pairs[i].1).collect();
+                    alt_multi_target(&self.graph.csr, weights, lm, source, &targets)
+                });
+                if expired.load(Ordering::Relaxed) {
+                    return None;
+                }
+                let mut dist = vec![None; pairs.len()];
+                let mut settled = 0usize;
+                for ((_, range), r) in groups.iter().zip(per_group) {
+                    settled += r.settled;
+                    for (&i, &d) in order[range.clone()].iter().zip(&r.dist) {
+                        dist[i] = (d != gsql_accel::INF).then_some(d);
+                    }
+                }
+                Some(BatchSearch {
+                    dist,
+                    settled,
+                    detail: format!("settled={settled} (alt-multi, landmarks={})", lm.len()),
+                })
+            }
+        }
+    }
+
     /// The `EXPLAIN ANALYZE` detail line for a query that settled
     /// `settled` vertices through this index.
     pub fn analyze_detail(&self, settled: usize) -> String {
@@ -181,6 +281,19 @@ impl PathIndexData {
             }
         }
     }
+}
+
+/// The result of one [`PathIndexData::search_batch`] call.
+#[derive(Debug)]
+pub struct BatchSearch {
+    /// Exact per-pair cost in input order; `None` when unreachable.
+    pub dist: Vec<Option<u64>>,
+    /// Vertices settled across every search of the batch.
+    pub settled: usize,
+    /// The `EXPLAIN ANALYZE` detail line, tier included —
+    /// `settled=N (ch-m2m, buckets=B)` or
+    /// `settled=N (alt-multi, landmarks=k)`.
+    pub detail: String,
 }
 
 /// Planner-visible description of a registered path index.

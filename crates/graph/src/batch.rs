@@ -21,6 +21,7 @@ use crate::error::GraphError;
 use crate::path::reconstruct_path;
 use crate::Result;
 use gsql_parallel::Pool;
+use std::collections::HashMap;
 
 /// Weight specification for one `CHEAPEST SUM` evaluation.
 ///
@@ -129,9 +130,39 @@ impl<'g> BatchComputer<'g> {
     ///   are materialized.
     ///
     /// Pairs are grouped by source; each distinct source costs one traversal
-    /// with early exit once all its destinations are settled. Groups run on
-    /// the configured worker pool; results are always in input-pair order.
+    /// with early exit once all its destinations are settled. Duplicate
+    /// `(source, dest)` pairs are answered from one computation — the batch
+    /// is deduplicated up front and the shared result cloned back into every
+    /// input position. Groups run on the configured worker pool; results are
+    /// always in input-pair order.
     pub fn compute(
+        &self,
+        pairs: &[(u32, u32)],
+        spec: &WeightSpec,
+        compute_paths: bool,
+    ) -> Result<Vec<PairResult>> {
+        let mut first_of: HashMap<(u32, u32), usize> = HashMap::with_capacity(pairs.len());
+        let mut uniq: Vec<(u32, u32)> = Vec::with_capacity(pairs.len());
+        let mut slot: Vec<usize> = Vec::with_capacity(pairs.len());
+        for &p in pairs {
+            let next = uniq.len();
+            let s = *first_of.entry(p).or_insert(next);
+            if s == next {
+                uniq.push(p);
+            }
+            slot.push(s);
+        }
+        if uniq.len() == pairs.len() {
+            return self.compute_all(pairs, spec, compute_paths);
+        }
+        let uniq_results = self.compute_all(&uniq, spec, compute_paths)?;
+        Ok(slot.into_iter().map(|s| uniq_results[s].clone()).collect())
+    }
+
+    /// [`BatchComputer::compute`] without the duplicate fast path: every
+    /// pair is traversed as given (pairs within one source group still
+    /// share that group's single traversal).
+    fn compute_all(
         &self,
         pairs: &[(u32, u32)],
         spec: &WeightSpec,
@@ -478,5 +509,35 @@ mod tests {
         let r = c.compute(&[(0, 3), (0, 3)], &WeightSpec::Unweighted, true).unwrap();
         assert_eq!(r[0].cost, r[1].cost);
         assert_eq!(r[0].path, r[1].path);
+    }
+
+    #[test]
+    fn interleaved_duplicates_preserve_input_order() {
+        // Duplicates scattered through the batch are answered from one
+        // computation each but land back in their input positions.
+        let g = diamond();
+        let pairs = [(0u32, 3u32), (2, 4), (0, 3), (4, 0), (2, 4), (0, 3), (0, 4)];
+        let uniq = [(0u32, 3u32), (2, 4), (4, 0), (0, 4)];
+        for threads in [1, 4] {
+            let c = BatchComputer::new(&g).with_threads(threads);
+            let r = c.compute(&pairs, &WeightSpec::Unweighted, true).unwrap();
+            let u = c.compute(&uniq, &WeightSpec::Unweighted, true).unwrap();
+            let expect = [&u[0], &u[1], &u[0], &u[2], &u[1], &u[0], &u[3]];
+            for (i, (got, want)) in r.iter().zip(expect).enumerate() {
+                assert_eq!(got.reachable, want.reachable, "threads {threads} pair {i}");
+                assert_eq!(got.cost, want.cost, "threads {threads} pair {i}");
+                assert_eq!(got.path, want.path, "threads {threads} pair {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_out_of_range_pairs_still_rejected() {
+        let g = diamond();
+        let c = BatchComputer::new(&g);
+        assert!(matches!(
+            c.compute(&[(0, 99), (0, 99)], &WeightSpec::Unweighted, true),
+            Err(GraphError::VertexOutOfRange { id: 99, .. })
+        ));
     }
 }

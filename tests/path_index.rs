@@ -1,7 +1,8 @@
 //! End-to-end tests of the path-acceleration subsystem (ALT landmarks and
 //! contraction hierarchies): DDL, planning (`EXPLAIN` visibility and kind
 //! selection, `SET path_index`), byte-identical results against the
-//! Dijkstra fallback at several thread counts, invalidation on edge
+//! Dijkstra fallback at several thread counts — for point-to-point and
+//! batched (multi-pair / GraphJoin) shapes — invalidation on edge
 //! mutation, and `EXPLAIN ANALYZE` settled-node reporting.
 
 use gsql::{Database, Value};
@@ -13,11 +14,13 @@ fn kind_forced() -> bool {
 }
 
 /// A deterministic layered digraph with integer weights: dense enough to
-/// give ALT something to prune, sparse enough to stay fast.
+/// give ALT something to prune, sparse enough to stay fast. A `people`
+/// table rides along for the GraphJoin batch shapes.
 fn build_db() -> Database {
     let db = Database::new();
     db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
         .unwrap();
+    db.execute("CREATE TABLE people (id INTEGER NOT NULL, grp INTEGER NOT NULL)").unwrap();
     let mut x: u64 = 0x243f6a8885a308d3;
     let mut next = move || {
         x ^= x << 13;
@@ -36,6 +39,14 @@ fn build_db() -> Database {
         edges.push_str(&format!("({s}, {d}, {w})"));
     }
     db.execute(&format!("INSERT INTO e VALUES {edges}")).unwrap();
+    let mut people = String::new();
+    for id in 0..150 {
+        if id > 0 {
+            people.push_str(", ");
+        }
+        people.push_str(&format!("({id}, {})", id % 10));
+    }
+    db.execute(&format!("INSERT INTO people VALUES {people}")).unwrap();
     db
 }
 
@@ -47,6 +58,66 @@ const P2P_QUERIES: [&str; 4] = [
     "SELECT CHEAPEST SUM(3) AS scaled WHERE ? REACHES ? OVER e EDGE (s, d)",
     "SELECT 1 WHERE ? REACHES ? OVER e EDGE (s, d)",
 ];
+
+/// Batched query shapes the many-to-many tier accelerates: multi-pair
+/// graph selects (hop and weighted) and two-table graph joins. Pair lists
+/// deliberately repeat endpoints and include self and unreachable pairs so
+/// the dedup and scatter paths are exercised end to end.
+fn batch_queries() -> Vec<String> {
+    let mut pair_rows = String::new();
+    for i in 0..30 {
+        if i > 0 {
+            pair_rows.push_str(", ");
+        }
+        pair_rows.push_str(&format!("({}, {})", (i * 17) % 150, (i * 31 + 5) % 150));
+    }
+    pair_rows.push_str(", (0, 9), (0, 9), (3, 3), (7, 149)");
+    vec![
+        format!(
+            "WITH pairs (a, b) AS (VALUES {pair_rows}) \
+             SELECT pairs.a, pairs.b, CHEAPEST SUM(1) AS hops \
+             FROM pairs WHERE pairs.a REACHES pairs.b OVER e EDGE (s, d)"
+        ),
+        format!(
+            "WITH pairs (a, b) AS (VALUES {pair_rows}) \
+             SELECT pairs.a, pairs.b, CHEAPEST SUM(f: f.w) AS cost \
+             FROM pairs WHERE pairs.a REACHES pairs.b OVER e f EDGE (s, d)"
+        ),
+        "SELECT p1.id, p2.id FROM people p1, people p2 \
+         WHERE p1.grp = 0 AND p2.grp = 1 AND p1.id REACHES p2.id OVER e EDGE (s, d)"
+            .to_string(),
+        "SELECT p1.id, p2.id, CHEAPEST SUM(f: f.w) AS cost FROM people p1, people p2 \
+         WHERE p1.grp = 2 AND p2.grp = 3 AND p1.id REACHES p2.id OVER e f EDGE (s, d)"
+            .to_string(),
+    ]
+}
+
+/// Every batched shape must take the accelerated plan in the `on` session
+/// and produce exactly the rows of the `off` (per-pair Dijkstra) session,
+/// at `threads = 1` and `threads = 4`.
+fn assert_batches_match_fallback(db: &Database) {
+    for sql in batch_queries() {
+        for threads in ["1", "4"] {
+            let on = db.session();
+            on.set("threads", threads).unwrap();
+            on.set("path_index", "on").unwrap();
+            assert!(
+                on.plan(&sql).unwrap().explain().contains("PathIndex"),
+                "batch shape not accelerated: {sql}\n{}",
+                on.plan(&sql).unwrap().explain()
+            );
+            let off = db.session();
+            off.set("threads", threads).unwrap();
+            off.set("path_index", "off").unwrap();
+            let a = on.query(&sql).unwrap();
+            let b = off.query(&sql).unwrap();
+            assert_eq!(a.row_count(), b.row_count(), "row count diverged: {sql} threads {threads}");
+            for r in 0..a.row_count() {
+                assert_eq!(a.row(r), b.row(r), "row {r} diverged: {sql} threads {threads}");
+            }
+        }
+    }
+}
 
 #[test]
 fn ddl_create_drop_and_errors() {
@@ -384,10 +455,10 @@ fn explain_analyze_reports_ch_settled_and_shortcuts() {
 }
 
 #[test]
-fn batch_queries_keep_using_the_batched_runtime() {
-    // Many-source batches (GraphJoin / multi-row inputs) must not regress:
-    // the path index leaves them on the source-parallel runtime, and the
-    // results stay identical whether or not the index exists.
+fn batch_results_unchanged_by_index_creation() {
+    // Creating a covering index moves a multi-pair batch from the
+    // source-parallel Dijkstra runtime onto the many-to-many tier; the
+    // visible rows must not change in the process.
     let db = build_db();
     let batch = "WITH pairs (a, b) AS (VALUES (0, 9), (1, 17), (2, 33), (140, 7)) \
                  SELECT pairs.a, pairs.b, CHEAPEST SUM(1) AS hops \
@@ -399,4 +470,89 @@ fn batch_queries_keep_using_the_batched_runtime() {
     for r in 0..before.row_count() {
         assert_eq!(before.row(r), after.row(r), "row {r}");
     }
+}
+
+#[test]
+fn batch_results_byte_identical_to_fallback() {
+    let db = build_db();
+    // A weighted and a hop index, so every batched shape — hop and
+    // weighted, multi-pair select and graph join — takes the multi-target
+    // ALT tier.
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(6)").unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(6)").unwrap();
+    assert_batches_match_fallback(&db);
+}
+
+#[test]
+fn contraction_batch_results_byte_identical_to_fallback() {
+    let db = build_db();
+    // Same shapes through the bucket-based CH many-to-many tier.
+    db.execute("CREATE PATH INDEX cw ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+    db.execute("CREATE PATH INDEX chop ON e EDGE (s, d) USING CONTRACTION").unwrap();
+    assert_batches_match_fallback(&db);
+}
+
+#[test]
+fn explain_analyze_reports_batch_detail() {
+    let db = build_db();
+    db.execute("CREATE PATH INDEX pw ON e EDGE (s, d) WEIGHT w USING LANDMARKS(6)").unwrap();
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let sql = "EXPLAIN ANALYZE \
+               WITH pairs (a, b) AS (VALUES (0, 9), (1, 17), (2, 33), (140, 7)) \
+               SELECT pairs.a, pairs.b, CHEAPEST SUM(f: f.w) AS cost \
+               FROM pairs WHERE pairs.a REACHES pairs.b OVER e f EDGE (s, d)";
+    let collect = |session: &gsql::Session| {
+        let plan = session.query(sql).unwrap();
+        (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect::<Vec<_>>().join("\n")
+    };
+    let all = collect(&session);
+    assert!(all.contains("settled="), "settled count missing:\n{all}");
+    if kind_forced() {
+        // A forced kind may turn the landmark DDL into a CH build.
+        assert!(
+            all.contains("(alt-multi, landmarks=") || all.contains("(ch-m2m, buckets="),
+            "batch marker missing:\n{all}"
+        );
+    } else {
+        assert!(all.contains("(alt-multi, landmarks="), "alt-multi detail missing:\n{all}");
+    }
+    // A CH index covering the same query wins, and the detail line flips
+    // to the bucket tier.
+    db.execute("CREATE PATH INDEX cw ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+    let all = collect(&session);
+    assert!(
+        all.contains("(ch-m2m, buckets=") || (kind_forced() && all.contains("(alt-multi")),
+        "ch-m2m detail missing:\n{all}"
+    );
+    // The fallback run reports no batch detail.
+    session.execute("SET path_index = off").unwrap();
+    let all = collect(&session);
+    assert!(!all.contains("settled="), "fallback must not report settled:\n{all}");
+}
+
+#[test]
+fn batch_mutation_invalidates_index() {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL)").unwrap();
+    db.execute("INSERT INTO e VALUES (1, 2), (2, 3), (3, 4), (4, 5)").unwrap();
+    db.execute("CREATE PATH INDEX ph ON e EDGE (s, d) USING LANDMARKS(3)").unwrap();
+    let session = db.session();
+    session.execute("SET path_index = on").unwrap();
+    let sql = "WITH pairs (a, b) AS (VALUES (1, 5), (2, 5)) \
+               SELECT pairs.a, pairs.b, CHEAPEST SUM(1) AS hops \
+               FROM pairs WHERE pairs.a REACHES pairs.b OVER e EDGE (s, d)";
+    let t = session.query(sql).unwrap();
+    assert_eq!(t.row(0)[2], Value::Int(4));
+    assert_eq!(t.row(1)[2], Value::Int(3));
+    // A shortcut edge must show up in the batched answer immediately: the
+    // table version moved, so the index data rebuilds lazily.
+    session.execute("INSERT INTO e VALUES (1, 4)").unwrap();
+    let t = session.query(sql).unwrap();
+    assert_eq!(t.row(0)[2], Value::Int(2));
+    assert_eq!(t.row(1)[2], Value::Int(3));
+    // Deleting it restores the long route.
+    session.execute("DELETE FROM e WHERE s = 1 AND d = 4").unwrap();
+    let t = session.query(sql).unwrap();
+    assert_eq!(t.row(0)[2], Value::Int(4));
 }
