@@ -52,6 +52,20 @@ pub struct SessionSettings {
     /// with [`crate::Error::Timeout`] instead of running to completion.
     /// Default unlimited.
     pub timeout_ms: Option<u64>,
+    /// Execute plans through the push-based morsel-driven pipeline engine
+    /// (`SET pipeline = on|off`). Off falls back to the barrier-per-operator
+    /// model (one fan-out + materialized table per operator). Results are
+    /// bit-identical either way; only scheduling changes. Default: the
+    /// `GSQL_PIPELINE` environment variable when set (`on`/`off`),
+    /// otherwise on.
+    pub pipeline: bool,
+    /// Rows per morsel for pipelined execution (`SET morsel_rows = n`,
+    /// n ≥ 1). Morsel boundaries depend only on this value and the input
+    /// size — never the worker count — so per-morsel partials merged in
+    /// morsel-index order are bit-identical at every thread count. Default:
+    /// the `GSQL_MORSEL_ROWS` environment variable when set, otherwise
+    /// 65536.
+    pub morsel_rows: usize,
 }
 
 impl Default for SessionSettings {
@@ -63,8 +77,24 @@ impl Default for SessionSettings {
             plan_cache_size: 64,
             threads: gsql_parallel::default_threads(),
             timeout_ms: None,
+            pipeline: default_pipeline(),
+            morsel_rows: gsql_parallel::default_morsel_rows(),
         }
     }
+}
+
+/// Process-wide default for the `pipeline` setting: `GSQL_PIPELINE` when
+/// set to a recognizable boolean, otherwise on. Cached after the first call
+/// (mirrors [`default_path_index`]). CI can pin the suite to the barrier
+/// model so the fallback path cannot rot.
+fn default_pipeline() -> bool {
+    static CACHE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        let value = std::env::var("GSQL_PIPELINE")
+            .map(|v| v.trim().to_ascii_lowercase())
+            .unwrap_or_default();
+        !matches!(value.as_str(), "off" | "false" | "0")
+    })
 }
 
 /// Process-wide default for the `path_index` setting: `GSQL_PATH_INDEX`
@@ -87,8 +117,16 @@ impl SessionSettings {
     /// listing is deterministic. A regression test destructures the struct
     /// exhaustively against this list: adding a setting without listing it
     /// here fails the build.
-    pub const NAMES: [&'static str; 6] =
-        ["graph_index", "path_index", "plan_cache_size", "row_limit", "threads", "timeout_ms"];
+    pub const NAMES: [&'static str; 8] = [
+        "graph_index",
+        "morsel_rows",
+        "path_index",
+        "pipeline",
+        "plan_cache_size",
+        "row_limit",
+        "threads",
+        "timeout_ms",
+    ];
 
     /// Set an option from its SQL textual value. Errors on unknown options
     /// or unparsable values.
@@ -122,6 +160,16 @@ impl SessionSettings {
                 let n = parse_u64(name, value)?;
                 self.timeout_ms = if n == 0 { None } else { Some(n) };
             }
+            "pipeline" => self.pipeline = parse_bool(name, value)?,
+            "morsel_rows" => {
+                let n = parse_u64(name, value)?;
+                if n == 0 {
+                    return Err(bind_err!(
+                        "setting 'morsel_rows' expects a positive integer (got 0)"
+                    ));
+                }
+                self.morsel_rows = n as usize;
+            }
             _ => return Err(bind_err!("unknown setting '{name}'")),
         }
         Ok(())
@@ -137,6 +185,8 @@ impl SessionSettings {
             "plan_cache_size" => Ok(self.plan_cache_size.to_string()),
             "threads" => Ok(self.threads.to_string()),
             "timeout_ms" => Ok(self.timeout_ms.unwrap_or(0).to_string()),
+            "pipeline" => Ok(render_bool(self.pipeline)),
+            "morsel_rows" => Ok(self.morsel_rows.to_string()),
             _ => Err(bind_err!("unknown setting '{name}'")),
         }
     }
@@ -205,6 +255,25 @@ pub struct OpStats {
     pub detail: Option<String>,
 }
 
+/// Execution statistics of one morsel-driven pipeline, recorded by the
+/// pipeline engine when statistics collection is enabled.
+#[derive(Debug, Clone)]
+pub struct PipelineStat {
+    /// The fused chain's human label, e.g. `scan people -> filter -> probe`.
+    pub label: String,
+    /// Total morsels processed by this pipeline.
+    pub morsels: usize,
+    /// Fewest morsels any participating worker processed.
+    pub min_per_worker: usize,
+    /// Most morsels any participating worker processed.
+    pub max_per_worker: usize,
+    /// Workers that participated (grabbed at least zero morsels — the
+    /// broadcast width).
+    pub workers: usize,
+    /// Wall time from first morsel grab to sink merge completion.
+    pub elapsed: Duration,
+}
+
 /// Per-operator statistics of one executed statement, in execution
 /// (pre-)order. Operators that were skipped at runtime — e.g. an edge-table
 /// scan satisfied by a graph index — do not appear.
@@ -216,6 +285,9 @@ pub struct OpStats {
 pub struct ExecStats {
     /// One entry per executed operator.
     pub ops: Vec<OpStats>,
+    /// One entry per executed pipeline (morsel-driven execution only), in
+    /// completion order.
+    pub pipelines: Vec<PipelineStat>,
 }
 
 impl ExecStats {
@@ -239,8 +311,15 @@ impl ExecStats {
         op.detail = detail;
     }
 
+    /// Record one completed pipeline's morsel statistics.
+    pub(crate) fn record_pipeline(&mut self, stat: PipelineStat) {
+        self.pipelines.push(stat);
+    }
+
     /// Render the annotated plan tree (`EXPLAIN ANALYZE` output): one line
-    /// per executed operator with output rows and inclusive wall time.
+    /// per executed operator with output rows and inclusive wall time,
+    /// followed by one line per executed pipeline with morsel counts and
+    /// per-worker distribution.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for op in &self.ops {
@@ -255,6 +334,19 @@ impl ExecStats {
                 op.label,
                 op.rows,
                 fmt_duration(op.elapsed),
+            );
+        }
+        for (i, p) in self.pipelines.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "Pipeline {i}: {} (morsels={}, per-worker min={} max={} of {} worker(s), \
+                 time={})",
+                p.label,
+                p.morsels,
+                p.min_per_worker,
+                p.max_per_worker,
+                p.workers,
+                fmt_duration(p.elapsed),
             );
         }
         out
@@ -414,6 +506,24 @@ impl<'a> ExecContext<'a> {
         self.settings.threads.max(1)
     }
 
+    /// True when plans execute through the morsel-driven pipeline engine.
+    pub fn pipeline_enabled(&self) -> bool {
+        self.settings.pipeline
+    }
+
+    /// Rows per morsel for pipelined execution (at least 1).
+    pub fn morsel_rows(&self) -> usize {
+        self.settings.morsel_rows.max(1)
+    }
+
+    /// Record one completed pipeline's morsel statistics (no-op unless
+    /// `EXPLAIN ANALYZE` is collecting).
+    pub(crate) fn record_pipeline_stat(&self, stat: PipelineStat) {
+        if let Some(cell) = &self.stats {
+            cell.lock().expect("stats lock").record_pipeline(stat);
+        }
+    }
+
     /// The statistics collector, when enabled.
     pub(crate) fn stats_cell(&self) -> Option<&Mutex<ExecStats>> {
         self.stats.as_ref()
@@ -498,6 +608,23 @@ mod tests {
         assert_eq!(s.timeout_ms, None);
         assert_eq!(s.get("timeout_ms").unwrap(), "0");
 
+        // (The default itself comes from GSQL_PIPELINE, so only the
+        // round-trips are asserted here.)
+        s.set("pipeline", "off").unwrap();
+        assert!(!s.pipeline);
+        assert_eq!(s.get("pipeline").unwrap(), "off");
+        s.set("PIPELINE", "on").unwrap();
+        assert!(s.pipeline);
+        assert!(s.set("pipeline", "diagonal").is_err());
+
+        assert!(s.morsel_rows >= 1, "default morsel_rows must be positive");
+        s.set("morsel_rows", "7").unwrap();
+        assert_eq!(s.morsel_rows, 7);
+        assert_eq!(s.get("morsel_rows").unwrap(), "7");
+        let err = s.set("morsel_rows", "0").unwrap_err();
+        assert!(err.to_string().contains("positive integer"), "{err}");
+        assert_eq!(s.morsel_rows, 7, "failed sets leave the value unchanged");
+
         assert!(s.set("nope", "1").is_err());
         assert!(s.get("nope").is_err());
         assert!(s.set("graph_index", "maybe").is_err());
@@ -522,8 +649,10 @@ mod tests {
             plan_cache_size: _,
             threads: _,
             timeout_ms: _,
+            pipeline: _,
+            morsel_rows: _,
         } = s;
-        const FIELDS: usize = 6;
+        const FIELDS: usize = 8;
         assert_eq!(
             SessionSettings::NAMES.len(),
             FIELDS,
@@ -573,9 +702,19 @@ mod tests {
         let b = stats.begin("Scan t".into(), 1);
         stats.finish(b, 10, Duration::from_micros(50), None);
         stats.finish(a, 3, Duration::from_micros(120), Some("settled=7 (alt)".into()));
+        stats.record_pipeline(PipelineStat {
+            label: "scan t -> filter".into(),
+            morsels: 9,
+            min_per_worker: 1,
+            max_per_worker: 5,
+            workers: 3,
+            elapsed: Duration::from_micros(80),
+        });
         let text = stats.render();
         assert!(text.contains("Filter x (rows=3"));
         assert!(text.contains("settled=7 (alt))"));
         assert!(text.contains("  Scan t (rows=10"));
+        assert!(text.contains("Pipeline 0: scan t -> filter (morsels=9"), "{text}");
+        assert!(text.contains("per-worker min=1 max=5 of 3 worker(s)"), "{text}");
     }
 }

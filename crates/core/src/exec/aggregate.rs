@@ -137,6 +137,54 @@ impl AggState {
             }
         }
     }
+
+    /// Fold another partial of the **same aggregate** into this one. The
+    /// pipeline merge calls this in morsel-index order, so float results
+    /// depend only on the morsel boundaries (fixed by input size and
+    /// `morsel_rows`), never on the thread count.
+    fn merge(&mut self, other: AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::SumInt(a), AggState::SumInt(b)) => {
+                if let Some(y) = b {
+                    *a = Some(
+                        a.unwrap_or(0)
+                            .checked_add(y)
+                            .ok_or_else(|| exec_err!("integer overflow in SUM"))?,
+                    );
+                }
+            }
+            (AggState::SumDouble(a), AggState::SumDouble(b)) => {
+                if let Some(y) = b {
+                    *a = Some(a.unwrap_or(0.0) + y);
+                }
+            }
+            (AggState::MinMax { current, is_min }, AggState::MinMax { current: other, .. }) => {
+                if let Some(v) = other {
+                    let replace = match current {
+                        None => true,
+                        Some(cur) => {
+                            let cmp = v.total_cmp(cur);
+                            if *is_min {
+                                cmp == std::cmp::Ordering::Less
+                            } else {
+                                cmp == std::cmp::Ordering::Greater
+                            }
+                        }
+                    };
+                    if replace {
+                        *current = Some(v);
+                    }
+                }
+            }
+            (AggState::Avg { sum, count }, AggState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            _ => return Err(exec_err!("mismatched aggregate states in merge")),
+        }
+        Ok(())
+    }
 }
 
 /// One group's accumulators plus DISTINCT bookkeeping.
@@ -194,6 +242,155 @@ fn aggregate_rows(
         }
     }
     Ok(groups)
+}
+
+/// One group's **morsel-local** partial: accumulators fed only this
+/// morsel's rows (ascending row order), plus — for DISTINCT aggregates —
+/// the insertion-ordered distinct values seen in this morsel. DISTINCT
+/// state updates are deferred entirely to the merge, which dedups across
+/// morsels; merging two partials that each saw the same value must not
+/// count it twice.
+struct PartialGroup {
+    keys: Vec<Value>,
+    states: Vec<AggState>,
+    distinct_vals: Vec<Option<Vec<Value>>>,
+}
+
+/// The aggregate partial of one morsel: its groups in first-seen order.
+pub(crate) struct AggPartial {
+    groups: Vec<PartialGroup>,
+}
+
+/// Aggregate one morsel's rows (ascending) into a mergeable partial.
+pub(crate) fn aggregate_morsel(
+    input: &Table,
+    rows: impl Iterator<Item = usize>,
+    group: &[BoundExpr],
+    aggs: &[AggCall],
+    params: &[Value],
+) -> Result<AggPartial> {
+    let mut index: HashMap<Vec<HashableValue>, usize> = HashMap::new();
+    let mut groups: Vec<PartialGroup> = Vec::new();
+    // Morsel-local dedup for DISTINCT aggregates (merge dedups across
+    // morsels; this just keeps the per-morsel value lists small).
+    let mut local_seen: Vec<Vec<Option<HashSet<HashableValue>>>> = Vec::new();
+    for row in rows {
+        let mut key_vals = Vec::with_capacity(group.len());
+        for g in group {
+            key_vals.push(eval(g, input, row, params)?);
+        }
+        let key: Vec<HashableValue> = key_vals.iter().cloned().map(HashableValue).collect();
+        let slot = *index.entry(key).or_insert_with(|| {
+            groups.push(PartialGroup {
+                keys: key_vals,
+                states: aggs.iter().map(AggState::new).collect(),
+                distinct_vals: aggs
+                    .iter()
+                    .map(|a| if a.distinct { Some(Vec::new()) } else { None })
+                    .collect(),
+            });
+            local_seen.push(
+                aggs.iter().map(|a| if a.distinct { Some(HashSet::new()) } else { None }).collect(),
+            );
+            groups.len() - 1
+        });
+        let entry = &mut groups[slot];
+        for (i, call) in aggs.iter().enumerate() {
+            let arg = match &call.arg {
+                Some(e) => Some(eval(e, input, row, params)?),
+                None => None,
+            };
+            if let (Some(vals), Some(v)) = (&mut entry.distinct_vals[i], &arg) {
+                let seen = local_seen[slot][i].as_mut().expect("distinct set");
+                if !v.is_null() && seen.insert(HashableValue(v.clone())) {
+                    vals.push(v.clone());
+                }
+                continue; // state update deferred to the merge
+            }
+            entry.states[i].update(arg.as_ref())?;
+        }
+    }
+    Ok(AggPartial { groups })
+}
+
+/// Sequential merger of morsel [`AggPartial`]s, consumed strictly in
+/// morsel-index order. Group output order is global first-seen order —
+/// identical to a sequential scan, because morsels are in row order and
+/// each partial's groups are in first-seen order within its morsel.
+pub(crate) struct AggMerger<'a> {
+    aggs: &'a [AggCall],
+    index: HashMap<Vec<HashableValue>, usize>,
+    groups: Vec<GroupState>,
+}
+
+impl<'a> AggMerger<'a> {
+    pub fn new(aggs: &'a [AggCall]) -> AggMerger<'a> {
+        AggMerger { aggs, index: HashMap::new(), groups: Vec::new() }
+    }
+
+    /// Fold the next morsel's partial into the global state.
+    pub fn push(&mut self, partial: AggPartial) -> Result<()> {
+        for pg in partial.groups {
+            let key: Vec<HashableValue> = pg.keys.iter().cloned().map(HashableValue).collect();
+            let PartialGroup { keys, states, distinct_vals } = pg;
+            let slot = match self.index.get(&key) {
+                Some(&slot) => slot,
+                None => {
+                    self.groups.push(GroupState {
+                        first_row: self.groups.len(),
+                        keys,
+                        states: self.aggs.iter().map(AggState::new).collect(),
+                        distinct_seen: self
+                            .aggs
+                            .iter()
+                            .map(|a| if a.distinct { Some(HashSet::new()) } else { None })
+                            .collect(),
+                    });
+                    self.index.insert(key, self.groups.len() - 1);
+                    self.groups.len() - 1
+                }
+            };
+            let entry = &mut self.groups[slot];
+            for (i, state) in states.into_iter().enumerate() {
+                if entry.distinct_seen[i].is_none() {
+                    entry.states[i].merge(state)?;
+                }
+            }
+            for (i, vals) in distinct_vals.into_iter().enumerate() {
+                let Some(vals) = vals else { continue };
+                let seen = entry.distinct_seen[i].as_mut().expect("distinct set");
+                for v in vals {
+                    if seen.insert(HashableValue(v.clone())) {
+                        entry.states[i].update(Some(&v))?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish into the output table (same tail as [`execute_aggregate`],
+    /// including the one-row result of a global aggregate over no input).
+    pub fn finish(self, group_empty: bool, schema: &PlanSchema) -> Result<Arc<Table>> {
+        let mut groups = self.groups;
+        if group_empty && groups.is_empty() {
+            groups.push(GroupState {
+                first_row: 0,
+                keys: Vec::new(),
+                states: self.aggs.iter().map(AggState::new).collect(),
+                distinct_seen: vec![None; self.aggs.len()],
+            });
+        }
+        let mut out = Table::empty(schema.to_storage_schema());
+        for state in groups {
+            let mut row = state.keys;
+            for s in state.states {
+                row.push(s.finish());
+            }
+            out.append_row(row).map_err(Error::Storage)?;
+        }
+        Ok(Arc::new(out))
+    }
 }
 
 /// Deterministic digest of one row's group key (fixed-key [`DefaultHasher`]

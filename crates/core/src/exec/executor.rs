@@ -18,7 +18,7 @@
 use crate::context::ExecContext;
 use crate::error::{exec_err, Error};
 use crate::exec::expression::{eval, eval_const, eval_filter_indices, eval_to_column};
-use crate::exec::{aggregate, graph_op, join, unnest};
+use crate::exec::{aggregate, graph_op, join, pipeline, unnest};
 use crate::plan::{BoundExpr, LogicalPlan, SortKey};
 use gsql_parallel::Pool;
 use gsql_storage::{Column, Table, Value};
@@ -88,7 +88,37 @@ impl<'a> Executor<'a> {
         Ok(out)
     }
 
+    /// The stats depth assigned to children of the operator currently being
+    /// executed (the pipeline module synthesizes fused-operator slots at
+    /// explicit depths).
+    pub(crate) fn depth_for_stats(&self) -> usize {
+        self.depth.get()
+    }
+
+    /// Execute a sub-plan with its root recorded at an explicit stats
+    /// depth. Used by the pipeline engine, whose fused chains flatten the
+    /// recursion the depth counter normally tracks.
+    pub(crate) fn execute_at_depth(&self, plan: &LogicalPlan, depth: usize) -> Result<Arc<Table>> {
+        let prev = self.depth.get();
+        self.depth.set(depth);
+        let result = self.execute(plan);
+        self.depth.set(prev);
+        result
+    }
+
     fn execute_inner(&self, plan: &LogicalPlan) -> Result<Arc<Table>> {
+        // Streaming operator shapes go through the morsel-driven pipeline
+        // engine first. Timeouts abort outright; any other pipeline error
+        // falls through to the barrier operators below, which re-run the
+        // node sequentially-deterministically so surfaced error messages
+        // are identical to `pipeline = off`.
+        if self.ctx.pipeline_enabled() && pipeline::fusable_root(plan) {
+            match pipeline::execute(self, plan) {
+                Ok(t) => return Ok(t),
+                Err(e @ Error::Timeout { .. }) => return Err(e),
+                Err(_) => {}
+            }
+        }
         let params = self.ctx.params();
         match plan {
             LogicalPlan::SingleRow => {

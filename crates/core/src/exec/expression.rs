@@ -389,7 +389,7 @@ pub fn eval_filter_indices(
     params: &[Value],
     threads: usize,
 ) -> Result<Vec<usize>> {
-    if let Some(mask) = predicate_mask(predicate, table, params)? {
+    if let Some(mask) = predicate_mask(predicate, table, 0..table.row_count(), params)? {
         return Ok(mask.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect());
     }
     let chunks = gsql_parallel::Pool::new(threads).try_map_chunks(
@@ -407,20 +407,46 @@ pub fn eval_filter_indices(
     Ok(chunks.into_iter().flatten().collect())
 }
 
+/// Range-restricted [`eval_filter_indices`]: the kept **global** row
+/// indices within `range` of `table`, in ascending order. Runs on the
+/// calling thread — pipeline workers call this once per morsel, so the
+/// parallelism lives in the morsel scheduling, not here. The columnar
+/// `column ⋈ constant` mask fast path applies to the range alone.
+pub fn eval_filter_range(
+    predicate: &BoundExpr,
+    table: &Table,
+    range: std::ops::Range<usize>,
+    params: &[Value],
+) -> Result<Vec<usize>> {
+    if let Some(mask) = predicate_mask(predicate, table, range.clone(), params)? {
+        return Ok(range.zip(mask).filter_map(|(i, b)| b.then_some(i)).collect());
+    }
+    let mut keep = Vec::new();
+    for row in range {
+        if eval(predicate, table, row, params)? == Value::Bool(true) {
+            keep.push(row);
+        }
+    }
+    Ok(keep)
+}
+
 /// Column-at-a-time filter evaluation for `column ⋈ constant` comparisons
-/// and conjunctions thereof. `mask[i]` is true when the predicate is
-/// definitely true (NULLs map to false, matching filter semantics).
-/// Returns `None` when the predicate shape is not covered.
+/// and conjunctions thereof, restricted to `range`: `mask[i]` is true when
+/// the predicate is definitely true for row `range.start + i` (NULLs map
+/// to false, matching filter semantics). Returns `None` when the predicate
+/// shape is not covered.
 fn predicate_mask(
     predicate: &BoundExpr,
     table: &Table,
+    range: std::ops::Range<usize>,
     params: &[Value],
 ) -> Result<Option<Vec<bool>>> {
     match predicate {
         BoundExpr::Binary { left, op: BinaryOp::And, right } => {
-            let (Some(l), Some(r)) =
-                (predicate_mask(left, table, params)?, predicate_mask(right, table, params)?)
-            else {
+            let (Some(l), Some(r)) = (
+                predicate_mask(left, table, range.clone(), params)?,
+                predicate_mask(right, table, range, params)?,
+            ) else {
                 return Ok(None);
             };
             Ok(Some(l.iter().zip(&r).map(|(&a, &b)| a && b).collect()))
@@ -446,10 +472,10 @@ fn predicate_mask(
             let k = eval_const(const_expr, params)?;
             if k.is_null() {
                 // NULL comparison: uniformly unknown -> all false.
-                return Ok(Some(vec![false; table.row_count()]));
+                return Ok(Some(vec![false; range.len()]));
             }
             let op = if flipped { flip_cmp(*op) } else { *op };
-            Ok(compare_column_const(table.column(*index), op, &k))
+            Ok(compare_column_const(table.column(*index), op, &k, range))
         }
         _ => Ok(None),
     }
@@ -477,40 +503,45 @@ fn cmp_matches(op: BinaryOp, ord: Ordering) -> bool {
     }
 }
 
-/// Typed slice comparison against a constant; `None` when the column type
-/// and constant type do not pair up for a fast path.
-fn compare_column_const(col: &Column, op: BinaryOp, k: &Value) -> Option<Vec<bool>> {
-    let mut mask = Vec::with_capacity(col.len());
+/// Typed slice comparison against a constant over `range`; `None` when the
+/// column type and constant type do not pair up for a fast path.
+fn compare_column_const(
+    col: &Column,
+    op: BinaryOp,
+    k: &Value,
+    range: std::ops::Range<usize>,
+) -> Option<Vec<bool>> {
+    let mut mask = Vec::with_capacity(range.len());
     match (col, k) {
         (Column::Int(vals, validity), Value::Int(kv)) => {
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, v.cmp(kv)));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, vals[i].cmp(kv)));
             }
         }
         (Column::Int(vals, validity), Value::Double(kv)) => {
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, (*v as f64).total_cmp(kv)));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, (vals[i] as f64).total_cmp(kv)));
             }
         }
         (Column::Double(vals, validity), _) => {
             let kv = k.as_double()?;
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, v.total_cmp(&kv)));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, vals[i].total_cmp(&kv)));
             }
         }
         (Column::Date(vals, validity), Value::Date(kd)) => {
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, v.cmp(&kd.0)));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, vals[i].cmp(&kd.0)));
             }
         }
         (Column::Str(vals, validity), Value::Str(ks)) => {
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, v.as_str().cmp(ks.as_str())));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, vals[i].as_str().cmp(ks.as_str())));
             }
         }
         (Column::Bool(vals, validity), Value::Bool(kb)) => {
-            for (i, v) in vals.iter().enumerate() {
-                mask.push(validity.get(i) && cmp_matches(op, v.cmp(kb)));
+            for i in range {
+                mask.push(validity.get(i) && cmp_matches(op, vals[i].cmp(kb)));
             }
         }
         _ => return None,

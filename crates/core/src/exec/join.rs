@@ -64,7 +64,119 @@ pub fn execute_join(
         }
     }
 
-    materialize_pairs(left, right, &pairs, schema)
+    materialize_pairs(left, right, &pairs, schema).map(Arc::new)
+}
+
+/// The probe-side half of an equi join, prepared once and probed many times
+/// — the pipeline engine builds this as a **breaker** (the build side is
+/// fully executed and hashed before the probe pipeline starts) and then
+/// probes it morsel by morsel with per-worker pair lists.
+pub(crate) struct JoinProbe {
+    /// The materialized build (right) side.
+    pub right: Arc<Table>,
+    kind: JoinKind,
+    /// Equi-key expression pairs; empty means nested-loop probing on
+    /// `residual` alone.
+    equi: Vec<(BoundExpr, BoundExpr)>,
+    /// Residual predicate over the joined pair row (the full condition for
+    /// nested-loop probes).
+    residual: Option<BoundExpr>,
+    /// Hash table from equi key to build-side rows, in ascending row order.
+    ht: HashMap<Vec<HashableValue>, Vec<usize>>,
+}
+
+impl JoinProbe {
+    /// Build the hash table over `right` (key evaluation chunk-parallel,
+    /// insertion sequential in row order — identical candidate ordering to
+    /// a sequential build).
+    pub fn build(
+        right: Arc<Table>,
+        kind: JoinKind,
+        on: &BoundExpr,
+        n_left: usize,
+        params: &[Value],
+        pool: &Pool,
+    ) -> Result<JoinProbe> {
+        let (equi, residual) = split_equi_keys(on, n_left);
+        let mut ht: HashMap<Vec<HashableValue>, Vec<usize>> = HashMap::new();
+        if !equi.is_empty() {
+            let build_keys: Vec<Option<Vec<HashableValue>>> = pool
+                .try_map_chunks(
+                    right.row_count(),
+                    |range| -> Result<Vec<Option<Vec<HashableValue>>>> {
+                        range.map(|j| key_of(&equi, true, &right, j, params)).collect()
+                    },
+                )?
+                .into_iter()
+                .flatten()
+                .collect();
+            for (j, key) in build_keys.into_iter().enumerate() {
+                if let Some(key) = key {
+                    ht.entry(key).or_default().push(j);
+                }
+            }
+        }
+        Ok(JoinProbe { right, kind, equi, residual, ht })
+    }
+
+    /// Probe one batch of left rows (ascending), appending `(left_row,
+    /// right_row)` pairs in exactly the order a sequential probe of those
+    /// rows would emit them.
+    pub fn probe_rows(
+        &self,
+        left: &Table,
+        rows: impl Iterator<Item = usize>,
+        n_left: usize,
+        params: &[Value],
+        pairs: &mut Vec<(usize, Option<usize>)>,
+    ) -> Result<()> {
+        for i in rows {
+            let mut matched = false;
+            if self.equi.is_empty() {
+                // Nested-loop probe on the full condition.
+                let cond = self.residual.as_ref().expect("nested-loop probe has a condition");
+                for j in 0..self.right.row_count() {
+                    let ctx = PairRow {
+                        left,
+                        left_row: i,
+                        right: &self.right,
+                        right_row: Some(j),
+                        n_left,
+                    };
+                    if eval_row(cond, &ctx, params)? == Value::Bool(true) {
+                        matched = true;
+                        pairs.push((i, Some(j)));
+                    }
+                }
+            } else if let Some(key) = key_of(&self.equi, false, left, i, params)? {
+                if let Some(candidates) = self.ht.get(key.as_slice()) {
+                    for &j in candidates {
+                        let ok = match &self.residual {
+                            None => true,
+                            Some(res) => {
+                                let ctx = PairRow {
+                                    left,
+                                    left_row: i,
+                                    right: &self.right,
+                                    right_row: Some(j),
+                                    n_left,
+                                };
+                                eval_row(res, &ctx, params)? == Value::Bool(true)
+                            }
+                        };
+                        if ok {
+                            matched = true;
+                            pairs.push((i, Some(j)));
+                        }
+                    }
+                }
+            }
+            if !matched && self.kind == JoinKind::LeftOuter {
+                pairs.push((i, None));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Decompose `cond` into equi-key pairs `(left_expr, right_expr)` — where
@@ -265,12 +377,12 @@ fn nested_loop(
 }
 
 /// Materialize the joined pairs into an output table.
-fn materialize_pairs(
+pub(crate) fn materialize_pairs(
     left: &Table,
     right: &Table,
     pairs: &[(usize, Option<usize>)],
     schema: &PlanSchema,
-) -> Result<Arc<Table>> {
+) -> Result<Table> {
     let left_idx: Vec<usize> = pairs.iter().map(|&(i, _)| i).collect();
     let mut columns = Vec::with_capacity(schema.len());
     for c in left.columns() {
@@ -292,7 +404,7 @@ fn materialize_pairs(
     }
     // The plan schema may declare left columns nullable (outer-join shapes);
     // the storage schema of the output follows the plan.
-    Table::from_columns(storage, columns).map(Arc::new).map_err(Error::Storage)
+    Table::from_columns(storage, columns).map_err(Error::Storage)
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@ pub mod executor;
 pub mod expression;
 pub mod graph_op;
 pub mod join;
+pub mod pipeline;
 pub mod unnest;
 
 pub use executor::Executor;

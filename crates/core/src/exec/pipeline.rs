@@ -1,0 +1,796 @@
+//! Push-based, morsel-driven pipeline execution.
+//!
+//! The barrier model (`executor.rs`) runs every operator as its own
+//! fan-out with a full materialized table between stages. This module
+//! replaces that for the streaming operator shapes: a plan rooted at a
+//! filter, project, join, aggregate or limit is decomposed into a
+//! **pipeline** — a fused chain of streaming operators over one source —
+//! terminated by a **sink**. Workers pull fixed-size morsels (contiguous
+//! row ranges of the source) from a shared [`MorselQueue`] and run each
+//! morsel through the whole fused chain to completion in worker-local
+//! state; the sink's per-morsel partials merge sequentially **in
+//! morsel-index order**.
+//!
+//! Pipelines break at the classic breakers: a hash-join **build** side is
+//! fully executed and hashed before its probe pipeline starts; aggregates
+//! and limits are sinks; sort, DISTINCT, UNION, UNNEST and the graph
+//! operators stay materializing barrier nodes (their *inputs* still
+//! execute as pipelines).
+//!
+//! Determinism contract: morsel boundaries depend only on the input size
+//! and `morsel_rows` — never the worker count — and the merge consumes
+//! partials in morsel-index order, so every result (including float
+//! aggregates) is bit-identical at every thread count. Error messages are
+//! kept sequential-identical the same way the parallel aggregate does it:
+//! on any non-timeout pipeline error the executor re-runs the node through
+//! the barrier path and surfaces *that* error.
+
+use crate::context::PipelineStat;
+use crate::error::Error;
+use crate::exec::expression::{eval, eval_filter_indices, eval_filter_range, eval_to_column};
+use crate::exec::join::{materialize_pairs, JoinProbe};
+use crate::exec::{aggregate, Executor};
+use crate::plan::{AggCall, BoundExpr, LogicalPlan, PlanSchema};
+use gsql_parallel::{MorselQueue, Pool};
+use gsql_storage::{Column, DataType, Table, Value};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// True when `plan` is a shape this module executes as a pipeline root.
+/// (Joins need a condition: a bare cross product stays on the barrier
+/// path.)
+pub(crate) fn fusable_root(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Filter { .. } | LogicalPlan::Project { .. } => true,
+        LogicalPlan::Join { on, .. } => on.is_some(),
+        LogicalPlan::Aggregate { .. } | LogicalPlan::Limit { .. } => true,
+        _ => false,
+    }
+}
+
+/// True when `plan` can be a fused (streaming) member of a chain.
+fn fusable_op(plan: &LogicalPlan) -> bool {
+    matches!(
+        plan,
+        LogicalPlan::Filter { .. }
+            | LogicalPlan::Project { .. }
+            | LogicalPlan::Join { on: Some(_), .. }
+    )
+}
+
+/// What the pipeline's root does with the stream of morsel outputs.
+enum SinkSpec<'p> {
+    /// Concatenate morsel outputs into the root's output table.
+    Table,
+    /// Concatenate until `offset + limit` rows are produced, then stop
+    /// upstream morsel production and slice.
+    Limit { limit: Option<usize>, offset: usize },
+    /// Fold each morsel into an aggregate partial; merge partials in
+    /// morsel-index order.
+    Agg { group: &'p [BoundExpr], aggs: &'p [AggCall], schema: &'p PlanSchema },
+}
+
+/// One fused streaming operator, top-down position `chain[i]`.
+struct FusedOp<'p> {
+    node: &'p LogicalPlan,
+    kind: OpKind<'p>,
+    /// Cumulative output rows across all morsels (row-limit guard + stats).
+    rows: AtomicUsize,
+}
+
+enum OpKind<'p> {
+    Filter(&'p BoundExpr),
+    Project {
+        exprs: &'p [BoundExpr],
+        schema: &'p PlanSchema,
+    },
+    /// Probe against a built hash table; the build (right) side plan is
+    /// executed as a breaker before the pipeline starts.
+    Probe {
+        probe: JoinProbe,
+        n_left: usize,
+        schema: &'p PlanSchema,
+    },
+}
+
+/// The static decomposition of a plan into sink + fused chain + source.
+struct Decomposed<'p> {
+    sink: SinkSpec<'p>,
+    /// Chain nodes top-down (outermost first). For a Table sink the root
+    /// itself is `chain[0]`; for Aggregate/Limit sinks the chain holds only
+    /// nodes strictly below the root.
+    chain: Vec<&'p LogicalPlan>,
+    source: &'p LogicalPlan,
+}
+
+/// Split `plan` into sink, fused chain and source. Returns `None` when the
+/// decomposition would be a no-op (a Table-sink root with nothing fusable
+/// never reaches here because `fusable_root` gates it).
+fn decompose(plan: &LogicalPlan) -> Decomposed<'_> {
+    let (sink, mut node) = match plan {
+        LogicalPlan::Aggregate { input, group, aggs, schema } => {
+            (SinkSpec::Agg { group, aggs, schema }, &**input)
+        }
+        LogicalPlan::Limit { input, limit, offset } => {
+            (SinkSpec::Limit { limit: *limit, offset: *offset }, &**input)
+        }
+        _ => (SinkSpec::Table, plan),
+    };
+    let mut chain = Vec::new();
+    while fusable_op(node) {
+        chain.push(node);
+        node = match node {
+            LogicalPlan::Filter { input, .. } | LogicalPlan::Project { input, .. } => input,
+            LogicalPlan::Join { left, .. } => left,
+            _ => unreachable!("fusable_op covers these shapes"),
+        };
+    }
+    Decomposed { sink, chain, source: node }
+}
+
+/// A morsel's data as it flows through the fused chain: row subsets of the
+/// pipeline source stay index-based (zero-copy until the sink), while
+/// project/probe outputs are materialized morsel-local tables.
+enum Batch {
+    /// A contiguous source-row range (the morsel as grabbed).
+    Range(Range<usize>),
+    /// Ascending source-row indices (post-filter).
+    Rows(Vec<usize>),
+    /// A materialized morsel output (post-project/probe).
+    Table(Table),
+}
+
+impl Batch {
+    fn len(&self) -> usize {
+        match self {
+            Batch::Range(r) => r.len(),
+            Batch::Rows(rows) => rows.len(),
+            Batch::Table(t) => t.row_count(),
+        }
+    }
+}
+
+/// A sink-side partial for one morsel.
+enum MorselOut {
+    Batch(Batch),
+    Agg(aggregate::AggPartial),
+}
+
+/// Run one morsel through the fused chain (innermost op first).
+fn run_chain(
+    source: &Table,
+    morsel: Range<usize>,
+    ops: &[FusedOp<'_>],
+    params: &[Value],
+    row_limit: Option<u64>,
+) -> Result<Batch> {
+    let mut batch = Batch::Range(morsel);
+    for op in ops.iter().rev() {
+        batch = match (&op.kind, batch) {
+            (OpKind::Filter(pred), Batch::Range(r)) => {
+                Batch::Rows(eval_filter_range(pred, source, r, params)?)
+            }
+            (OpKind::Filter(pred), Batch::Rows(rows)) => {
+                let mut keep = Vec::new();
+                for row in rows {
+                    if eval(pred, source, row, params)? == Value::Bool(true) {
+                        keep.push(row);
+                    }
+                }
+                Batch::Rows(keep)
+            }
+            (OpKind::Filter(pred), Batch::Table(t)) => {
+                let keep = eval_filter_indices(pred, &t, params, 1)?;
+                if keep.len() == t.row_count() {
+                    Batch::Table(t)
+                } else {
+                    Batch::Table(t.take(&keep))
+                }
+            }
+            (OpKind::Project { exprs, schema }, batch) => {
+                let local = match batch {
+                    Batch::Range(r) => source.slice_rows(r),
+                    Batch::Rows(rows) => source.take(&rows),
+                    Batch::Table(t) => t,
+                };
+                let storage = schema.to_storage_schema();
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (e, def) in exprs.iter().zip(storage.columns()) {
+                    columns.push(eval_to_column(e, &local, params, def.ty)?);
+                }
+                Batch::Table(Table::from_columns(storage, columns).map_err(Error::Storage)?)
+            }
+            (OpKind::Probe { probe, n_left, schema }, batch) => {
+                let mut pairs = Vec::new();
+                let joined = match &batch {
+                    Batch::Range(r) => {
+                        probe.probe_rows(source, r.clone(), *n_left, params, &mut pairs)?;
+                        materialize_pairs(source, &probe.right, &pairs, schema)?
+                    }
+                    Batch::Rows(rows) => {
+                        probe.probe_rows(
+                            source,
+                            rows.iter().copied(),
+                            *n_left,
+                            params,
+                            &mut pairs,
+                        )?;
+                        materialize_pairs(source, &probe.right, &pairs, schema)?
+                    }
+                    Batch::Table(t) => {
+                        probe.probe_rows(t, 0..t.row_count(), *n_left, params, &mut pairs)?;
+                        materialize_pairs(t, &probe.right, &pairs, schema)?
+                    }
+                };
+                Batch::Table(joined)
+            }
+        };
+        let produced = op.rows.fetch_add(batch.len(), Ordering::Relaxed) + batch.len();
+        if let Some(limit) = row_limit {
+            if produced as u64 > limit {
+                return Err(Error::Exec(format!(
+                    "row limit exceeded: operator {} produced {produced} rows \
+                     (SET row_limit = {limit}; 0 disables)",
+                    op.node.node_label()
+                )));
+            }
+        }
+    }
+    Ok(batch)
+}
+
+/// Execute a fusable plan through the morsel pipeline. The caller
+/// (`Executor::execute_inner`) falls back to the barrier path on any
+/// non-timeout error so surfaced errors stay sequential-identical.
+pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table>> {
+    let ctx = ex.ctx();
+    let dec = decompose(plan);
+    let stats_on = ctx.stats_cell().is_some();
+    let t0 = Instant::now();
+
+    // Reserve stats slots for the fused chain top-down, so the rendered
+    // tree keeps the barrier model's pre-order. The root's own slot was
+    // already begun by `Executor::execute`; `Executor`'s depth points one
+    // below the root here.
+    let base_depth = ex.depth_for_stats();
+    let chain_slots: Vec<Option<usize>> = dec
+        .chain
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            if !stats_on || std::ptr::eq(*node, plan) {
+                return None;
+            }
+            let cell = ctx.stats_cell().expect("stats on");
+            // Chain position i sits i nodes below the root; position 0 is
+            // the root itself for Table sinks (already recorded).
+            let depth = base_depth + i - usize::from(matches!(dec.sink, SinkSpec::Table));
+            Some(cell.lock().expect("stats lock").begin(node.node_label(), depth))
+        })
+        .collect();
+
+    // Execute the source (breaker boundary) with the right stats depth.
+    let source_depth = base_depth + dec.chain.len()
+        - usize::from(matches!(dec.sink, SinkSpec::Table) && !dec.chain.is_empty());
+    let source = ex.execute_at_depth(dec.source, source_depth)?;
+
+    // Build the probe hash tables bottom-up (pre-order places the deepest
+    // join's build side first).
+    let pool = Pool::new(ctx.threads());
+    let ops = build_fused_ops(ex, &dec, &pool, base_depth)?;
+
+    // The morsel loop.
+    let queue = MorselQueue::new(source.row_count(), ctx.morsel_rows());
+    let workers = pool.threads().min(queue.morsel_count()).max(1);
+    let params = ctx.params();
+    let row_limit = ctx.settings().row_limit;
+    let deadline = ctx.deadline();
+    let produced = AtomicUsize::new(0);
+    let limit_target = match &dec.sink {
+        SinkSpec::Limit { limit: Some(l), offset } => Some(offset + l),
+        _ => None,
+    };
+    let poisoned = AtomicBool::new(false);
+    let sink = &dec.sink;
+    let source_ref: &Table = &source;
+    let ops_ref: &[FusedOp<'_>] = &ops;
+
+    let worker_results: Vec<std::result::Result<Vec<(usize, MorselOut)>, Error>> =
+        pool.broadcast(workers, |_w| {
+            let mut local: Vec<(usize, MorselOut)> = Vec::new();
+            while let Some(m) = queue.next() {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        poisoned.store(true, Ordering::Relaxed);
+                        return Err(Error::Timeout { limit_ms: d.limit_ms });
+                    }
+                }
+                let out = (|| -> Result<MorselOut> {
+                    let batch = run_chain(source_ref, m.rows.clone(), ops_ref, params, row_limit)?;
+                    match sink {
+                        SinkSpec::Table | SinkSpec::Limit { .. } => {
+                            if let Some(target) = limit_target {
+                                let total = produced.fetch_add(batch.len(), Ordering::Relaxed)
+                                    + batch.len();
+                                if total >= target {
+                                    // Enough rows: stop handing out morsels.
+                                    queue.stop();
+                                }
+                            }
+                            Ok(MorselOut::Batch(batch))
+                        }
+                        SinkSpec::Agg { group, aggs, .. } => {
+                            let partial = match &batch {
+                                Batch::Range(r) => aggregate::aggregate_morsel(
+                                    source_ref,
+                                    r.clone(),
+                                    group,
+                                    aggs,
+                                    params,
+                                )?,
+                                Batch::Rows(rows) => aggregate::aggregate_morsel(
+                                    source_ref,
+                                    rows.iter().copied(),
+                                    group,
+                                    aggs,
+                                    params,
+                                )?,
+                                Batch::Table(t) => aggregate::aggregate_morsel(
+                                    t,
+                                    0..t.row_count(),
+                                    group,
+                                    aggs,
+                                    params,
+                                )?,
+                            };
+                            Ok(MorselOut::Agg(partial))
+                        }
+                    }
+                })();
+                match out {
+                    Ok(o) => local.push((m.index, o)),
+                    Err(e) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(local)
+        });
+
+    // Per-worker morsel counts for the pipeline stat, then the partials.
+    let mut per_worker: Vec<usize> = Vec::with_capacity(worker_results.len());
+    let mut items: Vec<(usize, MorselOut)> = Vec::new();
+    let mut first_err: Option<Error> = None;
+    for r in worker_results {
+        match r {
+            Ok(local) => {
+                per_worker.push(local.len());
+                items.extend(local);
+            }
+            Err(e @ Error::Timeout { .. }) => return Err(e),
+            Err(e) => {
+                per_worker.push(0);
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    items.sort_unstable_by_key(|(idx, _)| *idx);
+
+    // Merge in morsel-index order.
+    let out = merge(&dec, plan, &source, items, ctx.params())?;
+
+    if stats_on {
+        let elapsed = t0.elapsed();
+        if let Some(cell) = ctx.stats_cell() {
+            let mut stats = cell.lock().expect("stats lock");
+            for (slot, op) in chain_slots.iter().zip(&ops) {
+                if let Some(slot) = slot {
+                    stats.finish(*slot, op.rows.load(Ordering::Relaxed), elapsed, None);
+                }
+            }
+        }
+        ctx.record_pipeline_stat(PipelineStat {
+            label: pipeline_label(&dec),
+            morsels: per_worker.iter().sum(),
+            min_per_worker: per_worker.iter().copied().min().unwrap_or(0),
+            max_per_worker: per_worker.iter().copied().max().unwrap_or(0),
+            workers: per_worker.len(),
+            elapsed: t0.elapsed(),
+        });
+    }
+    Ok(out)
+}
+
+/// Dummy predicate used as a placeholder while probe builds run.
+static FALSE_PREDICATE: BoundExpr = BoundExpr::Literal(Value::Bool(false));
+
+/// Instantiate the fused operators for a decomposed chain, executing each
+/// join's build (right) side as a breaker. Build sides run deepest-join
+/// first so the stats tree keeps execution pre-order.
+fn build_fused_ops<'p>(
+    ex: &Executor<'_>,
+    dec: &Decomposed<'p>,
+    pool: &Pool,
+    base_depth: usize,
+) -> Result<Vec<FusedOp<'p>>> {
+    let ctx = ex.ctx();
+    let mut ops: Vec<FusedOp<'p>> = Vec::with_capacity(dec.chain.len());
+    for node in &dec.chain {
+        let kind = match node {
+            LogicalPlan::Filter { predicate, .. } => OpKind::Filter(predicate),
+            LogicalPlan::Project { exprs, schema, .. } => OpKind::Project { exprs, schema },
+            LogicalPlan::Join { .. } => {
+                OpKind::Filter(&FALSE_PREDICATE) // replaced by the build pass below
+            }
+            _ => unreachable!("chain holds fusable ops only"),
+        };
+        ops.push(FusedOp { node, kind, rows: AtomicUsize::new(0) });
+    }
+    for i in (0..dec.chain.len()).rev() {
+        if let LogicalPlan::Join { left, right, kind, on, schema } = dec.chain[i] {
+            let depth = base_depth + i + 1 - usize::from(matches!(dec.sink, SinkSpec::Table));
+            let built = ex.execute_at_depth(right, depth)?;
+            let probe = JoinProbe::build(
+                built,
+                *kind,
+                on.as_ref().expect("fused joins carry a condition"),
+                left.schema().len(),
+                ctx.params(),
+                pool,
+            )?;
+            ops[i].kind = OpKind::Probe { probe, n_left: left.schema().len(), schema };
+        }
+    }
+    Ok(ops)
+}
+
+/// True when [`execute_with_extra_columns`] would take the fused path for
+/// `plan`. The graph operators check this before reordering graph
+/// acquisition ahead of their input's execution (they need the vertex key
+/// type to type the extra columns).
+pub(crate) fn fusion_eligible(ctx: &crate::context::ExecContext<'_>, plan: &LogicalPlan) -> bool {
+    if !ctx.pipeline_enabled() || ctx.stats_cell().is_some() || !fusable_root(plan) {
+        return false;
+    }
+    let dec = decompose(plan);
+    matches!(dec.sink, SinkSpec::Table) && chain_materializes(&dec.chain)
+}
+
+/// Pipeline `plan` and evaluate `extras` (expression over the plan's
+/// output, result type) against each morsel's output **in the same fused
+/// pass**, while the morsel is hot in cache. The graph operators use this
+/// to derive their source/dest vertex columns without a second full-table
+/// expression sweep over an intermediate materialized input.
+///
+/// Returns `None` when the plan does not take the fused path — the caller
+/// falls back to execute-then-evaluate. Non-timeout pipeline errors also
+/// return `None`, so the barrier re-run surfaces its deterministic error
+/// message. Disabled while `EXPLAIN ANALYZE` collects statistics (the
+/// barrier path keeps per-operator stats exact).
+pub(crate) fn execute_with_extra_columns(
+    ex: &Executor<'_>,
+    plan: &LogicalPlan,
+    extras: &[(&BoundExpr, DataType)],
+) -> Result<Option<(Arc<Table>, Vec<Column>)>> {
+    if !fusion_eligible(ex.ctx(), plan) {
+        return Ok(None);
+    }
+    match fused_with_extras(ex, plan, extras) {
+        Ok(v) => Ok(Some(v)),
+        Err(e @ Error::Timeout { .. }) => Err(e),
+        Err(_) => Ok(None),
+    }
+}
+
+fn fused_with_extras(
+    ex: &Executor<'_>,
+    plan: &LogicalPlan,
+    extras: &[(&BoundExpr, DataType)],
+) -> Result<(Arc<Table>, Vec<Column>)> {
+    let ctx = ex.ctx();
+    let dec = decompose(plan);
+    let source = ex.execute(dec.source)?;
+    let pool = Pool::new(ctx.threads());
+    let ops = build_fused_ops(ex, &dec, &pool, ex.depth_for_stats())?;
+
+    let queue = MorselQueue::new(source.row_count(), ctx.morsel_rows());
+    let workers = pool.threads().min(queue.morsel_count()).max(1);
+    let params = ctx.params();
+    let row_limit = ctx.settings().row_limit;
+    let deadline = ctx.deadline();
+    let poisoned = AtomicBool::new(false);
+    let source_ref: &Table = &source;
+    let ops_ref: &[FusedOp<'_>] = &ops;
+
+    type ExtraItem = (usize, Table, Vec<Column>);
+    let worker_results: Vec<std::result::Result<Vec<ExtraItem>, Error>> =
+        pool.broadcast(workers, |_w| {
+            let mut local: Vec<ExtraItem> = Vec::new();
+            while let Some(m) = queue.next() {
+                if poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(d) = deadline {
+                    if d.expired() {
+                        poisoned.store(true, Ordering::Relaxed);
+                        return Err(Error::Timeout { limit_ms: d.limit_ms });
+                    }
+                }
+                let out = (|| -> Result<(Table, Vec<Column>)> {
+                    let batch = run_chain(source_ref, m.rows.clone(), ops_ref, params, row_limit)?;
+                    let Batch::Table(t) = batch else {
+                        unreachable!("a materializing chain yields table batches")
+                    };
+                    let mut cols = Vec::with_capacity(extras.len());
+                    for (e, ty) in extras {
+                        cols.push(eval_to_column(e, &t, params, *ty)?);
+                    }
+                    Ok((t, cols))
+                })();
+                match out {
+                    Ok((t, cols)) => local.push((m.index, t, cols)),
+                    Err(e) => {
+                        poisoned.store(true, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+            Ok(local)
+        });
+
+    let mut items: Vec<ExtraItem> = Vec::new();
+    let mut first_err: Option<Error> = None;
+    for r in worker_results {
+        match r {
+            Ok(local) => items.extend(local),
+            Err(e @ Error::Timeout { .. }) => return Err(e),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    items.sort_unstable_by_key(|(idx, _, _)| *idx);
+
+    // Concatenate morsel tables and their extra columns in morsel order.
+    let storage = plan.schema().to_storage_schema();
+    let mut columns: Vec<Column> = storage.columns().iter().map(|d| Column::empty(d.ty)).collect();
+    let mut extra_cols: Vec<Column> = extras.iter().map(|(_, ty)| Column::empty(*ty)).collect();
+    for (_, t, cols) in &items {
+        for (c, src) in columns.iter_mut().zip(t.columns()) {
+            c.extend_from(src).map_err(Error::Storage)?;
+        }
+        for (c, src) in extra_cols.iter_mut().zip(cols) {
+            c.extend_from(src).map_err(Error::Storage)?;
+        }
+    }
+    let table = Table::from_columns(storage, columns).map(Arc::new).map_err(Error::Storage)?;
+    // The fused path bypasses `Executor::execute`'s root bookkeeping, so
+    // enforce the row limit on the concatenated output here.
+    ctx.check_row_limit(table.row_count(), || plan.node_label())?;
+    Ok((table, extra_cols))
+}
+
+/// Merge the morsel partials (already sorted by morsel index) into the
+/// root's output.
+fn merge(
+    dec: &Decomposed<'_>,
+    plan: &LogicalPlan,
+    source: &Arc<Table>,
+    items: Vec<(usize, MorselOut)>,
+    params: &[Value],
+) -> Result<Arc<Table>> {
+    match &dec.sink {
+        SinkSpec::Agg { group, aggs, schema } => {
+            let mut merger = aggregate::AggMerger::new(aggs);
+            for (_, out) in items {
+                let MorselOut::Agg(partial) = out else {
+                    unreachable!("agg sink receives agg partials")
+                };
+                merger.push(partial)?;
+            }
+            let _ = params;
+            merger.finish(group.is_empty(), schema)
+        }
+        SinkSpec::Table => {
+            let materializing = chain_materializes(&dec.chain);
+            concat_batches(plan, source, items.into_iter().map(|(_, o)| o), None, materializing)
+        }
+        SinkSpec::Limit { limit, offset } => {
+            let materializing = chain_materializes(&dec.chain);
+            let take_until = limit.map(|l| offset + l);
+            let full = concat_batches(
+                plan,
+                source,
+                items.into_iter().map(|(_, o)| o),
+                take_until,
+                materializing,
+            )?;
+            let n = full.row_count();
+            let start = (*offset).min(n);
+            let end = match limit {
+                Some(l) => (start + l).min(n),
+                None => n,
+            };
+            if start == 0 && end == n {
+                Ok(full)
+            } else {
+                Ok(Arc::new(full.slice_rows(start..end)))
+            }
+        }
+    }
+}
+
+/// True when the fused chain changes the row shape (project or probe),
+/// i.e. its morsel outputs are materialized tables rather than source-row
+/// index sets.
+fn chain_materializes(chain: &[&LogicalPlan]) -> bool {
+    chain.iter().any(|n| matches!(n, LogicalPlan::Project { .. } | LogicalPlan::Join { .. }))
+}
+
+/// Concatenate batch partials in morsel order. Index batches merge into one
+/// gather (with the keep-all fast path returning the source snapshot);
+/// table batches splice column-at-a-time. `take_until` caps the
+/// concatenation for limit sinks (later rows can never be needed).
+fn concat_batches(
+    plan: &LogicalPlan,
+    source: &Arc<Table>,
+    batches: impl Iterator<Item = MorselOut>,
+    take_until: Option<usize>,
+    materializing: bool,
+) -> Result<Arc<Table>> {
+    let mut indices: Vec<usize> = Vec::new();
+    let mut tables: Vec<Table> = Vec::new();
+    let mut total = 0usize;
+    for out in batches {
+        let MorselOut::Batch(batch) = out else { unreachable!("table sink receives batches") };
+        if let Some(cap) = take_until {
+            if total >= cap {
+                break;
+            }
+        }
+        match batch {
+            Batch::Range(r) => {
+                total += r.len();
+                indices.extend(r);
+            }
+            Batch::Rows(rows) => {
+                total += rows.len();
+                indices.extend(rows);
+            }
+            Batch::Table(t) => {
+                total += t.row_count();
+                tables.push(t);
+            }
+        }
+    }
+    if materializing {
+        debug_assert!(indices.is_empty(), "a materializing chain produces table batches");
+        // `Limit::schema()` delegates to its input, so `plan.schema()` is
+        // the outermost fused op's output shape for every sink kind.
+        let storage = plan.schema().to_storage_schema();
+        let mut columns: Vec<Column> =
+            storage.columns().iter().map(|d| Column::empty(d.ty)).collect();
+        for t in &tables {
+            for (c, src) in columns.iter_mut().zip(t.columns()) {
+                c.extend_from(src).map_err(Error::Storage)?;
+            }
+        }
+        return Table::from_columns(storage, columns).map(Arc::new).map_err(Error::Storage);
+    }
+    // Index batches: all rows reference the pipeline source.
+    if indices.len() == source.row_count() {
+        // Nothing filtered: reuse the source snapshot (same fast path the
+        // barrier filter has).
+        return Ok(Arc::clone(source));
+    }
+    Ok(Arc::new(source.take(&indices)))
+}
+
+/// A short human label for the pipeline (`EXPLAIN ANALYZE` detail).
+fn pipeline_label(dec: &Decomposed<'_>) -> String {
+    let mut parts: Vec<String> = vec![short_label(dec.source)];
+    for node in dec.chain.iter().rev() {
+        parts.push(short_label(node));
+    }
+    match dec.sink {
+        SinkSpec::Table => {}
+        SinkSpec::Limit { .. } => parts.push("limit".to_string()),
+        SinkSpec::Agg { .. } => parts.push("aggregate".to_string()),
+    }
+    parts.join(" -> ")
+}
+
+fn short_label(node: &LogicalPlan) -> String {
+    match node {
+        LogicalPlan::Scan { table, .. } => format!("scan {table}"),
+        LogicalPlan::Filter { .. } => "filter".to_string(),
+        LogicalPlan::Project { .. } => "project".to_string(),
+        LogicalPlan::Join { .. } => "probe".to_string(),
+        LogicalPlan::Aggregate { .. } => "aggregate".to_string(),
+        other => other.node_label().split_whitespace().next().unwrap_or("op").to_lowercase(),
+    }
+}
+
+/// `EXPLAIN` rendering with pipeline annotations: members of each pipeline
+/// (sink, fused ops, leaf source) carry ` [pipeline N]`; materializing
+/// internal nodes carry ` [breaker]`. With the pipeline engine off the
+/// plain plan text is returned unchanged.
+pub fn explain_with_pipelines(plan: &LogicalPlan, pipeline_on: bool) -> String {
+    if !pipeline_on {
+        return plan.explain();
+    }
+    let mut out = String::new();
+    let mut next_id = 0usize;
+    annotate(plan, &mut out, 0, &mut next_id);
+    out
+}
+
+fn annotate(plan: &LogicalPlan, out: &mut String, depth: usize, next_id: &mut usize) {
+    use std::fmt::Write as _;
+    if fusable_root(plan) {
+        let pid = *next_id;
+        *next_id += 1;
+        let dec = decompose(plan);
+        // Root line (sink or outermost fused op).
+        let _ = writeln!(out, "{}{} [pipeline {pid}]", "  ".repeat(depth), plan.node_label());
+        let extra = usize::from(!matches!(dec.sink, SinkSpec::Table));
+        for (i, node) in dec.chain.iter().enumerate() {
+            if std::ptr::eq(*node, plan) {
+                continue; // already rendered as the root line
+            }
+            let d = depth + i + extra;
+            let _ = writeln!(out, "{}{} [pipeline {pid}]", "  ".repeat(d), node.node_label());
+        }
+        let source_depth = depth + dec.chain.len() + extra;
+        if dec.source.children().is_empty() {
+            let _ = writeln!(
+                out,
+                "{}{} [pipeline {pid}]",
+                "  ".repeat(source_depth),
+                dec.source.node_label()
+            );
+        } else {
+            annotate(dec.source, out, source_depth, next_id);
+        }
+        // Build sides, deepest join first (execution pre-order).
+        for (i, node) in dec.chain.iter().enumerate().rev() {
+            if let LogicalPlan::Join { right, .. } = node {
+                let d = depth + i + extra + 1;
+                annotate(right, out, d, next_id);
+            }
+        }
+    } else {
+        let breaker = matches!(
+            plan,
+            LogicalPlan::Sort { .. }
+                | LogicalPlan::Distinct { .. }
+                | LogicalPlan::Union { .. }
+                | LogicalPlan::Unnest { .. }
+                | LogicalPlan::GraphSelect { .. }
+                | LogicalPlan::GraphJoin { .. }
+        );
+        let suffix = if breaker { " [breaker]" } else { "" };
+        let _ = writeln!(out, "{}{}{suffix}", "  ".repeat(depth), plan.node_label());
+        for child in plan.children() {
+            annotate(child, out, depth + 1, next_id);
+        }
+    }
+}

@@ -545,7 +545,9 @@ impl<'db> Session<'db> {
                 let ctx = self.ctx(params, deadline);
                 let plan = Binder::new(&ctx).bind_query(q)?;
                 let plan = optimize_with(plan, &ctx);
-                text_table("plan", plan.explain().lines())
+                let text =
+                    crate::exec::pipeline::explain_with_pipelines(&plan, ctx.pipeline_enabled());
+                text_table("plan", text.lines())
             }
             ast::Statement::ExplainAnalyze(q) => {
                 let ctx = self.ctx(params, deadline).with_stats();

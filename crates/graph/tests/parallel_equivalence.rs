@@ -91,6 +91,42 @@ fn batch_compute_identical_across_thread_counts() {
     }
 }
 
+/// Morsel-fed batching: splitting a pair batch into fixed-size chunks (the
+/// shape the engine's pipelined operators produce when traversal batches
+/// are fed from morsel output) and concatenating the per-chunk results is
+/// bit-identical to one whole-batch compute, at every thread count.
+#[test]
+fn chunked_batches_concatenate_to_whole_batch() {
+    let mut rng = StdRng::seed_from_u64(90210);
+    for _ in 0..10 {
+        let n: u32 = rng.gen_range(2..60);
+        let m: usize = rng.gen_range(1..300);
+        let (src, dst) = random_graph(&mut rng, n, m);
+        let g = Csr::from_edges(n, &src, &dst).unwrap();
+        let pairs: Vec<(u32, u32)> =
+            (0..rng.gen_range(1..80)).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let weights: Vec<i64> = (0..m).map(|_| rng.gen_range(1..50)).collect();
+        for spec in [WeightSpec::Unweighted, WeightSpec::Int(weights.clone())] {
+            let whole = BatchComputer::new(&g).compute(&pairs, &spec, true).unwrap();
+            for chunk in [1usize, 3, 7, 64] {
+                for threads in [1, 2, 4, 8] {
+                    let computer = BatchComputer::new(&g).with_threads(threads);
+                    let mut chunked = Vec::with_capacity(pairs.len());
+                    for piece in pairs.chunks(chunk) {
+                        chunked.extend(computer.compute(piece, &spec, true).unwrap());
+                    }
+                    assert_eq!(chunked.len(), whole.len(), "chunk {chunk} threads {threads}");
+                    for (i, (c, s)) in chunked.iter().zip(&whole).enumerate() {
+                        assert_eq!(c.reachable, s.reachable, "chunk {chunk} pair {i}");
+                        assert_eq!(c.cost, s.cost, "chunk {chunk} pair {i}");
+                        assert_eq!(c.path, s.path, "chunk {chunk} pair {i}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn batch_errors_are_thread_count_independent() {
     let g = Csr::from_edges(4, &[0, 1, 2], &[1, 2, 3]).unwrap();

@@ -175,6 +175,38 @@ proptest! {
         }
     }
 
+    /// Morsel-fed batching: splitting a pair batch into arbitrary chunks
+    /// (as the engine's pipelined operators do when they feed traversal
+    /// batches from morsel output) and concatenating the per-chunk results
+    /// is bit-identical to computing the whole batch at once — at every
+    /// thread count, for both unweighted and weighted traversals.
+    #[test]
+    fn chunked_batches_concatenate_to_whole_batch(
+        (n, edges) in graph_strategy(),
+        pair_seed in prop::collection::vec((0u32..24, 0u32..24), 1..40),
+        chunk in 1usize..9,
+    ) {
+        let (g, w) = build(n, &edges);
+        let pairs: Vec<(u32, u32)> =
+            pair_seed.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        for spec in [WeightSpec::Unweighted, WeightSpec::Int(w.clone())] {
+            let whole = BatchComputer::new(&g).compute(&pairs, &spec, true).unwrap();
+            for threads in [1usize, 2, 4, 8] {
+                let computer = BatchComputer::new(&g).with_threads(threads);
+                let mut chunked = Vec::with_capacity(pairs.len());
+                for piece in pairs.chunks(chunk) {
+                    chunked.extend(computer.compute(piece, &spec, true).unwrap());
+                }
+                prop_assert_eq!(chunked.len(), whole.len());
+                for (c, s) in chunked.iter().zip(&whole) {
+                    prop_assert_eq!(c.reachable, s.reachable);
+                    prop_assert_eq!(c.cost.map(|v| v.as_f64()), s.cost.map(|v| v.as_f64()));
+                    prop_assert_eq!(&c.path, &s.path);
+                }
+            }
+        }
+    }
+
     /// The parallel counting-sort CSR build is bit-identical to the
     /// sequential build.
     #[test]

@@ -28,12 +28,17 @@
 
 use std::marker::PhantomData;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Minimum items per chunk before [`Pool::chunks`] splits work across
 /// threads: below this, thread startup dominates any win.
 pub const MIN_CHUNK: usize = 256;
+
+/// Default rows per morsel for pipelined execution: large enough that
+/// per-morsel dispatch overhead vanishes, small enough that a morsel's
+/// working set stays cache-resident and workers rebalance often.
+pub const DEFAULT_MORSEL_ROWS: usize = 65_536;
 
 /// Hard ceiling on a [`Pool`]'s width. Widths beyond any real machine only
 /// multiply spawn overhead — and unbounded widths would let a runaway
@@ -57,6 +62,107 @@ pub fn default_threads() -> usize {
             .filter(|&n| n >= 1)
             .unwrap_or_else(available_threads)
     })
+}
+
+/// The process-wide default morsel size in rows: the `GSQL_MORSEL_ROWS`
+/// environment variable when set to a positive integer, otherwise
+/// [`DEFAULT_MORSEL_ROWS`]. Cached after the first call.
+pub fn default_morsel_rows() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GSQL_MORSEL_ROWS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_MORSEL_ROWS)
+    })
+}
+
+/// A shared work queue handing out fixed-size **morsels** (contiguous row
+/// ranges) of `0..rows` to pipeline workers.
+///
+/// Workers grab the next morsel with [`MorselQueue::next`]; the atomic
+/// cursor guarantees every morsel is handed out exactly once and that the
+/// *set* of handed-out morsels is always a prefix `0..k` of the morsel
+/// sequence. That prefix property is what makes [`MorselQueue::stop`] safe
+/// for LIMIT short-circuits: when a sink stops the queue after `k` grabbed
+/// morsels, the rows produced so far are exactly the rows of morsels
+/// `0..k`, i.e. a contiguous prefix of the input — identical to what a
+/// sequential scan would have produced first.
+///
+/// Morsel *boundaries* depend only on `(rows, morsel_rows)`, never on the
+/// worker count, so per-morsel partial results merged in morsel-index
+/// order are bit-identical at every thread count.
+pub struct MorselQueue {
+    rows: usize,
+    morsel_rows: usize,
+    cursor: AtomicUsize,
+    stop: AtomicBool,
+}
+
+/// One unit of pipeline work: morsel `index` covering input rows `rows`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Morsel {
+    /// Position in the morsel sequence (0-based); partial results merge in
+    /// this order.
+    pub index: usize,
+    /// The contiguous input-row range this morsel covers.
+    pub rows: Range<usize>,
+}
+
+impl MorselQueue {
+    /// A queue over `rows` input rows cut into morsels of `morsel_rows`
+    /// (clamped to at least 1). The final morsel may be short.
+    pub fn new(rows: usize, morsel_rows: usize) -> MorselQueue {
+        MorselQueue {
+            rows,
+            morsel_rows: morsel_rows.max(1),
+            cursor: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    /// Total number of morsels this queue will hand out when run to
+    /// completion.
+    pub fn morsel_count(&self) -> usize {
+        self.rows.div_ceil(self.morsel_rows)
+    }
+
+    /// Rows per morsel (the last morsel may be shorter).
+    pub fn morsel_rows(&self) -> usize {
+        self.morsel_rows
+    }
+
+    /// Total input rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Grab the next morsel, or `None` when the queue is exhausted or
+    /// stopped.
+    pub fn next(&self) -> Option<Morsel> {
+        if self.stop.load(Ordering::Acquire) {
+            return None;
+        }
+        let index = self.cursor.fetch_add(1, Ordering::Relaxed);
+        let start = index.checked_mul(self.morsel_rows)?;
+        if start >= self.rows {
+            return None;
+        }
+        let end = (start + self.morsel_rows).min(self.rows);
+        Some(Morsel { index, rows: start..end })
+    }
+
+    /// Stop handing out morsels (already-grabbed morsels finish normally).
+    /// Used by LIMIT sinks to short-circuit upstream production.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// True once [`MorselQueue::stop`] has been called.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
 }
 
 /// A scoped worker pool of a fixed width.
@@ -221,6 +327,29 @@ impl Pool {
             }
         }
         slots.into_iter().map(|v| v.expect("every index produced exactly once")).collect()
+    }
+
+    /// Run `f(worker_index)` once on each of up to `workers` workers
+    /// (clamped to the pool width, at least 1) and return the per-worker
+    /// results in worker-index order. This is the pipeline-driver shape:
+    /// each worker loops on a shared [`MorselQueue`] until it drains,
+    /// accumulating morsel-indexed partials that the caller merges
+    /// deterministically.
+    pub fn broadcast<T: Send>(&self, workers: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+        let workers = workers.clamp(1, self.threads);
+        if workers == 1 {
+            return vec![f(0)];
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..workers).map(|w| s.spawn(move || f(w))).collect();
+            let mut out = Vec::with_capacity(workers);
+            out.push(f(0));
+            for h in handles {
+                out.push(h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)));
+            }
+            out
+        })
     }
 }
 
@@ -433,5 +562,73 @@ mod tests {
     fn available_and_default_threads_are_positive() {
         assert!(available_threads() >= 1);
         assert!(default_threads() >= 1);
+        assert!(default_morsel_rows() >= 1);
+    }
+
+    #[test]
+    fn morsel_queue_covers_rows_exactly_once() {
+        for (rows, morsel_rows) in [(0usize, 7usize), (1, 7), (6, 7), (7, 7), (8, 7), (100, 7)] {
+            let q = MorselQueue::new(rows, morsel_rows);
+            assert_eq!(q.morsel_count(), rows.div_ceil(morsel_rows));
+            let mut covered = 0;
+            let mut expect_index = 0;
+            while let Some(m) = q.next() {
+                assert_eq!(m.index, expect_index);
+                assert_eq!(m.rows.start, covered);
+                assert!(m.rows.len() <= morsel_rows && !m.rows.is_empty());
+                covered = m.rows.end;
+                expect_index += 1;
+            }
+            assert_eq!(covered, rows, "rows={rows} morsel_rows={morsel_rows}");
+            assert_eq!(expect_index, q.morsel_count());
+            assert!(q.next().is_none(), "exhausted queue stays exhausted");
+        }
+    }
+
+    #[test]
+    fn morsel_queue_parallel_grab_is_disjoint_and_complete() {
+        let q = MorselQueue::new(10_000, 64);
+        let grabbed: Vec<Vec<Morsel>> = Pool::new(8).broadcast(8, |_| {
+            let mut local = Vec::new();
+            while let Some(m) = q.next() {
+                local.push(m);
+            }
+            local
+        });
+        let mut all: Vec<Morsel> = grabbed.into_iter().flatten().collect();
+        all.sort_by_key(|m| m.index);
+        let mut covered = 0;
+        for (i, m) in all.iter().enumerate() {
+            assert_eq!(m.index, i);
+            assert_eq!(m.rows.start, covered);
+            covered = m.rows.end;
+        }
+        assert_eq!(covered, 10_000);
+    }
+
+    #[test]
+    fn morsel_queue_stop_halts_production() {
+        let q = MorselQueue::new(1000, 10);
+        assert!(q.next().is_some());
+        assert!(!q.is_stopped());
+        q.stop();
+        assert!(q.is_stopped());
+        assert!(q.next().is_none());
+    }
+
+    #[test]
+    fn morsel_queue_clamps_zero_morsel_rows() {
+        let q = MorselQueue::new(5, 0);
+        assert_eq!(q.morsel_rows(), 1);
+        assert_eq!(q.morsel_count(), 5);
+    }
+
+    #[test]
+    fn broadcast_runs_each_worker_once_in_order() {
+        let out = Pool::new(4).broadcast(4, |w| w * 10);
+        assert_eq!(out, vec![0, 10, 20, 30]);
+        // Clamped to pool width and to at least one worker.
+        assert_eq!(Pool::new(2).broadcast(8, |w| w), vec![0, 1]);
+        assert_eq!(Pool::sequential().broadcast(0, |w| w), vec![0]);
     }
 }

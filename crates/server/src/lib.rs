@@ -31,7 +31,8 @@
 //!   sets, `{"affected": n}` for DML, `{"ok": true}` otherwise.
 //! * `GET /health` — liveness probe.
 //! * `GET /stats` — plan-cache hit rates, in-flight gauge, per-endpoint
-//!   latency counters.
+//!   latency counters, and the worker sessions' execution granularity
+//!   (`pipeline`, `morsel_rows`, `threads`).
 //!
 //! ```
 //! use gsql_core::Database;
@@ -344,7 +345,7 @@ fn handle_connection(
                 (status, body, Some(&stats.query))
             }
             ("GET", "/health") => (200, r#"{"status":"ok"}"#.to_string(), Some(&stats.health)),
-            ("GET", "/stats") => (200, stats_body(db, stats), Some(&stats.stats_endpoint)),
+            ("GET", "/stats") => (200, stats_body(db, session, stats), Some(&stats.stats_endpoint)),
             (_, "/query" | "/health" | "/stats") => {
                 (405, error_body("method not allowed on this endpoint"), None)
             }
@@ -514,7 +515,7 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn stats_body(db: &Database, stats: &ServerStats) -> String {
+fn stats_body(db: &Database, session: &Session<'_>, stats: &ServerStats) -> String {
     let cache = db.shared_plan_cache().stats();
     let endpoint = |e: &stats::EndpointStats| {
         let requests = e.requests.load(Ordering::Relaxed);
@@ -548,6 +549,22 @@ fn stats_body(db: &Database, stats: &ServerStats) -> String {
                 ("health".to_string(), endpoint(&stats.health)),
                 ("stats".to_string(), endpoint(&stats.stats_endpoint)),
             ]),
+        ),
+        // How this worker's session executes queries: with the pipelined
+        // executor, sessions interleave at morsel granularity rather than
+        // whole-operator granularity, so these knobs bound how long one
+        // query can hold the pool before another gets worker time.
+        (
+            "execution".to_string(),
+            Json::Object(
+                ["pipeline", "morsel_rows", "threads"]
+                    .iter()
+                    .map(|&name| {
+                        let value = session.setting(name).unwrap_or_default();
+                        (name.to_string(), Json::from(value.as_str()))
+                    })
+                    .collect(),
+            ),
         ),
     ])
     .encode()

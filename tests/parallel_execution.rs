@@ -41,6 +41,18 @@ fn build_db() -> Database {
         people.push_str(&format!("({id}, {})", id % 7));
     }
     db.execute(&format!("INSERT INTO people VALUES {people}")).unwrap();
+    // Float measurements for aggregate-determinism shapes: values with
+    // non-trivial binary fractions so any reordering of a float SUM/AVG
+    // would change the bits.
+    db.execute("CREATE TABLE m (k INTEGER NOT NULL, v DOUBLE NOT NULL)").unwrap();
+    let mut rows = String::new();
+    for i in 0..500 {
+        if i > 0 {
+            rows.push_str(", ");
+        }
+        rows.push_str(&format!("({}, {})", i % 11, (i as f64) * 0.1 + 0.003));
+    }
+    db.execute(&format!("INSERT INTO m VALUES {rows}")).unwrap();
     db
 }
 
@@ -178,6 +190,194 @@ fn explain_analyze_reports_correct_rows_under_parallel_execution() {
     let all: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
     let all = all.join("\n");
     assert!(all.contains(&format!("rows={reachable}")), "graph rows missing:\n{all}");
+}
+
+/// Query shapes that exercise the morsel-driven pipeline engine
+/// specifically: fused scan→filter→project chains, hash-join probes,
+/// float aggregates, LIMIT short-circuits, and graph-fed relational plans.
+fn pipeline_queries() -> Vec<String> {
+    vec![
+        // Fused filter→project chain.
+        "SELECT people.id * 2 + people.grp FROM people WHERE people.id % 3 <> 1".to_string(),
+        // Hash-join probe inside a pipeline, aggregated. (The explicit
+        // JOIN ... ON form is the one that plans as an equi join; comma
+        // joins stay cross-product + filter.)
+        "SELECT p1.grp, COUNT(*) AS n FROM people p1 JOIN people p2 ON p1.grp = p2.grp \
+         GROUP BY p1.grp ORDER BY p1.grp"
+            .to_string(),
+        // Probe feeding a fused filter and projection, fully materialized.
+        "SELECT p1.id, p2.id + 1 FROM people p1 JOIN people p2 ON p1.grp = p2.grp \
+         WHERE p1.id % 4 <> 2"
+            .to_string(),
+        // Float SUM/AVG with non-trivial binary fractions: any reordering
+        // of the accumulation changes the bits.
+        "SELECT m.k, SUM(m.v) AS s, AVG(m.v) AS a FROM m GROUP BY m.k ORDER BY m.k".to_string(),
+        "SELECT SUM(m.v), AVG(m.v), COUNT(*) FROM m".to_string(),
+        // DISTINCT aggregate across morsels (dedup happens at merge).
+        "SELECT COUNT(DISTINCT e.w), SUM(DISTINCT e.w) FROM e".to_string(),
+        // LIMIT short-circuit: producers stop once enough rows exist, and
+        // the kept prefix must equal the sequential prefix.
+        "SELECT e.s, e.d, e.w FROM e WHERE e.w > 2 LIMIT 17 OFFSET 5".to_string(),
+        "SELECT people.id FROM people LIMIT 3".to_string(),
+        // Mixed graph + relational: traversal output feeds a pipelined
+        // filter/aggregate.
+        "SELECT COUNT(*) AS n, SUM(c.cost) AS total FROM (\
+            SELECT p1.id AS a, p2.id AS b, CHEAPEST SUM(1) AS cost \
+            FROM people p1, people p2 \
+            WHERE p1.grp = 0 AND p2.grp = 1 \
+              AND p1.id REACHES p2.id OVER e EDGE (s, d)) c \
+         WHERE c.cost < 5"
+            .to_string(),
+    ]
+}
+
+/// The determinism contract of the pipeline engine: morsel boundaries
+/// depend only on the input size and `morsel_rows`, and partials merge in
+/// morsel-index order — so every query (including float SUM/AVG, whose
+/// accumulation order is observable in the result bits) is byte-identical
+/// at threads 1, 2, 4 and 8. `morsel_rows = 7` forces dozens of morsels so
+/// the merge path is actually exercised.
+#[test]
+fn pipelined_plans_identical_across_thread_counts() {
+    let db = build_db();
+    for sql in pipeline_queries() {
+        let reference = {
+            let s = db.session();
+            s.set("threads", "1").unwrap();
+            s.set("pipeline", "on").unwrap();
+            s.set("morsel_rows", "7").unwrap();
+            s.query(&sql).unwrap()
+        };
+        for threads in ["2", "4", "8"] {
+            let s = db.session();
+            s.set("threads", threads).unwrap();
+            s.set("pipeline", "on").unwrap();
+            s.set("morsel_rows", "7").unwrap();
+            let t = s.query(&sql).unwrap();
+            assert_eq!(t.row_count(), reference.row_count(), "threads {threads}: {sql}");
+            for r in 0..reference.row_count() {
+                assert_eq!(t.row(r), reference.row(r), "threads {threads} row {r}: {sql}");
+            }
+        }
+    }
+}
+
+/// Pipelined execution must agree with the barrier engine. `morsel_rows`
+/// is pinned high enough that every input here fits one morsel (the
+/// environment may shrink the default — CI runs with GSQL_MORSEL_ROWS=7),
+/// so even float accumulation order matches the sequential fold exactly.
+#[test]
+fn pipeline_matches_barrier_engine() {
+    let db = build_db();
+    for sql in queries().into_iter().chain(pipeline_queries()) {
+        let barrier = {
+            let s = db.session();
+            s.set("pipeline", "off").unwrap();
+            s.set("threads", "4").unwrap();
+            s.query(&sql).unwrap()
+        };
+        let pipelined = {
+            let s = db.session();
+            s.set("pipeline", "on").unwrap();
+            s.set("threads", "4").unwrap();
+            s.set("morsel_rows", "1000000").unwrap();
+            s.query(&sql).unwrap()
+        };
+        assert_eq!(pipelined.row_count(), barrier.row_count(), "{sql}");
+        for r in 0..barrier.row_count() {
+            assert_eq!(pipelined.row(r), barrier.row(r), "row {r}: {sql}");
+        }
+    }
+}
+
+/// Integer-valued results are also invariant to the morsel size itself
+/// (float accumulation order legitimately varies with boundaries, integer
+/// sums never do).
+#[test]
+fn integer_results_invariant_to_morsel_size() {
+    let db = build_db();
+    let sqls = [
+        "SELECT e.s % 13 AS g, COUNT(*) AS n, SUM(e.w) AS s FROM e GROUP BY e.s % 13 ORDER BY g",
+        "SELECT e.s, e.d, e.w FROM e WHERE e.w > 2 LIMIT 17 OFFSET 5",
+        "SELECT COUNT(DISTINCT e.w), SUM(DISTINCT e.w) FROM e",
+        "SELECT p1.grp, COUNT(*) AS n FROM people p1, people p2 \
+         WHERE p1.grp = p2.grp GROUP BY p1.grp ORDER BY p1.grp",
+    ];
+    for sql in sqls {
+        let reference = {
+            let s = db.session();
+            s.set("pipeline", "on").unwrap();
+            s.set("morsel_rows", "7").unwrap();
+            s.set("threads", "8").unwrap();
+            s.query(sql).unwrap()
+        };
+        for morsel_rows in ["1", "64", "100000"] {
+            let s = db.session();
+            s.set("pipeline", "on").unwrap();
+            s.set("morsel_rows", morsel_rows).unwrap();
+            s.set("threads", "8").unwrap();
+            let t = s.query(sql).unwrap();
+            assert_eq!(t.row_count(), reference.row_count(), "morsel_rows {morsel_rows}: {sql}");
+            for r in 0..reference.row_count() {
+                assert_eq!(t.row(r), reference.row(r), "morsel_rows {morsel_rows} row {r}: {sql}");
+            }
+        }
+    }
+}
+
+/// LIMIT under concurrency: the morsel queue hands out a contiguous prefix
+/// of morsels, so stopping production early can never skip a row that the
+/// sequential prefix would contain.
+#[test]
+fn limit_short_circuit_is_exact_under_concurrency() {
+    let db = build_db();
+    let all = {
+        let s = db.session();
+        s.set("pipeline", "off").unwrap();
+        s.query("SELECT e.s, e.d, e.w FROM e WHERE e.w >= 2").unwrap()
+    };
+    for (limit, offset) in [(1usize, 0usize), (10, 0), (25, 100), (1000, 0), (50, 380)] {
+        let s = db.session();
+        s.set("pipeline", "on").unwrap();
+        s.set("morsel_rows", "7").unwrap();
+        s.set("threads", "8").unwrap();
+        let t = s
+            .query(&format!(
+                "SELECT e.s, e.d, e.w FROM e WHERE e.w >= 2 LIMIT {limit} OFFSET {offset}"
+            ))
+            .unwrap();
+        let expected = all.row_count().saturating_sub(offset).min(limit);
+        assert_eq!(t.row_count(), expected, "LIMIT {limit} OFFSET {offset}");
+        for r in 0..t.row_count() {
+            assert_eq!(t.row(r), all.row(offset + r), "LIMIT {limit} OFFSET {offset} row {r}");
+        }
+    }
+}
+
+/// `EXPLAIN` annotates pipeline membership; breakers (sort, distinct,
+/// graph ops) stay barrier nodes and are labelled as such.
+#[test]
+fn explain_annotates_pipelines_and_breakers() {
+    let db = build_db();
+    let session = db.session();
+    session.set("pipeline", "on").unwrap();
+    let plan = session
+        .query("EXPLAIN SELECT e.s % 13 AS g, COUNT(*) AS n FROM e GROUP BY e.s % 13 ORDER BY g")
+        .unwrap();
+    let text: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    let all = text.join("\n");
+    assert!(all.contains("[pipeline 0]"), "no pipeline annotation:\n{all}");
+    assert!(all.contains("Sort"), "{all}");
+    assert!(all.contains("[breaker]"), "no breaker annotation:\n{all}");
+
+    // With the engine off the plain plan comes back.
+    session.set("pipeline", "off").unwrap();
+    let plan = session
+        .query("EXPLAIN SELECT e.s % 13 AS g, COUNT(*) AS n FROM e GROUP BY e.s % 13 ORDER BY g")
+        .unwrap();
+    let text: Vec<String> = (0..plan.row_count()).map(|i| plan.row(i)[0].to_string()).collect();
+    let all = text.join("\n");
+    assert!(!all.contains("[pipeline"), "pipeline annotation with engine off:\n{all}");
 }
 
 #[test]

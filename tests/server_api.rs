@@ -168,6 +168,59 @@ fn health_stats_and_routing() {
     server.shutdown();
 }
 
+/// `/stats` reports the execution granularity of the worker sessions —
+/// with `ServerConfig::settings` applied, so operators can see the morsel
+/// size at which concurrent sessions interleave on the pool.
+#[test]
+fn stats_reports_worker_execution_granularity() {
+    let db = social_db();
+    let settings = vec![
+        ("pipeline".to_string(), "on".to_string()),
+        ("morsel_rows".to_string(), "1024".to_string()),
+    ];
+    let server = start(&db, ServerConfig { settings, ..ServerConfig::default() });
+    let resp = client::get(server.addr(), "/stats").unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = json::parse(&resp.body).unwrap();
+    let exec = doc.get("execution").expect("stats has execution");
+    assert_eq!(exec.get("pipeline").and_then(Json::as_str), Some("on"));
+    assert_eq!(exec.get("morsel_rows").and_then(Json::as_str), Some("1024"));
+    assert!(exec.get("threads").and_then(Json::as_str).is_some());
+    server.shutdown();
+}
+
+/// Per-request `pipeline` / `morsel_rows` overrides select the executor
+/// for one statement only, and every configuration returns identical
+/// rows (the engine's determinism contract, observed through HTTP).
+#[test]
+fn pipeline_overrides_are_per_request_and_results_identical() {
+    let db = social_db();
+    let server = start(&db, ServerConfig { workers: 1, ..ServerConfig::default() });
+    let sql = "SELECT f.dst, COUNT(*) AS n FROM friends f WHERE f.weight > 0 \
+               GROUP BY f.dst ORDER BY f.dst";
+    let mut bodies = Vec::new();
+    for settings in [
+        Json::Object(vec![("pipeline".to_string(), Json::from("off"))]),
+        Json::Object(vec![
+            ("pipeline".to_string(), Json::from("on")),
+            ("morsel_rows".to_string(), Json::Int(1)),
+        ]),
+        Json::Object(vec![("pipeline".to_string(), Json::from("on"))]),
+    ] {
+        let body = Json::Object(vec![
+            ("sql".to_string(), Json::from(sql)),
+            ("settings".to_string(), settings),
+        ])
+        .encode();
+        let resp = client::post(server.addr(), "/query", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        bodies.push(rows_of(&resp.body));
+    }
+    assert_eq!(bodies[0], bodies[1]);
+    assert_eq!(bodies[0], bodies[2]);
+    server.shutdown();
+}
+
 /// Eight clients hammer the same query concurrently; every response must
 /// be 200 with identical rows.
 #[test]

@@ -88,6 +88,9 @@ fn set_graph_index_off_changes_explain_plan() {
 fn explain_analyze_reports_rows_and_time_for_graph_join() {
     let db = social_db();
     let session = db.session();
+    // Pin the pipelined executor on: the per-pipeline morsel summary
+    // asserted below must not depend on the GSQL_PIPELINE env default.
+    session.set("pipeline", "on").unwrap();
     let t = session
         .query_with_params(
             "EXPLAIN ANALYZE \
@@ -111,12 +114,24 @@ fn explain_analyze_reports_rows_and_time_for_graph_join() {
     assert!(graph_join.contains("time="), "line was: {graph_join}");
 
     // Every operator line is annotated, children indented under parents.
-    let op_lines: Vec<&String> = text.iter().filter(|l| !l.starts_with("Result:")).collect();
+    // (`Pipeline N:` lines are per-pipeline morsel summaries, not operators.)
+    let op_lines: Vec<&String> =
+        text.iter().filter(|l| !l.starts_with("Result:") && !l.starts_with("Pipeline ")).collect();
     assert!(op_lines.len() >= 4, "expected a tree of operators, got:\n{full}");
     for l in &op_lines {
         assert!(l.contains("rows=") && l.contains("time="), "unannotated line: {l}");
     }
     assert!(text.iter().any(|l| l.starts_with("Result: 1 row(s)")), "{full}");
+
+    // Pipelined fragments report their morsel distribution.
+    let pipeline_line = text
+        .iter()
+        .find(|l| l.starts_with("Pipeline "))
+        .unwrap_or_else(|| panic!("no pipeline summary in:\n{full}"));
+    assert!(pipeline_line.contains("morsels="), "line was: {pipeline_line}");
+    assert!(pipeline_line.contains("per-worker min="), "line was: {pipeline_line}");
+    assert!(pipeline_line.contains("worker(s)"), "line was: {pipeline_line}");
+    assert!(pipeline_line.contains("time="), "line was: {pipeline_line}");
 
     // The scans feeding the join report their true cardinalities.
     assert!(full.contains("Scan persons"), "{full}");
