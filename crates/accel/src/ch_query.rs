@@ -31,16 +31,19 @@ pub struct ChResult {
     /// Vertices settled across both directions — the effort metric
     /// surfaced by `EXPLAIN ANALYZE` and the `accel_speedup` bench.
     pub settled: usize,
+    /// Settled vertices pruned by stall-on-demand (counted inside
+    /// `settled`) — how much work the prune saved, surfaced in traces.
+    pub stalled: usize,
 }
 
 /// Exact shortest-path cost from `source` to `dest` over the hierarchy.
 pub fn ch_query(ch: &ContractionHierarchy, source: u32, dest: u32) -> ChResult {
     let n = ch.num_vertices() as usize;
     if source as usize >= n || dest as usize >= n {
-        return ChResult { dist: None, settled: 0 };
+        return ChResult { dist: None, settled: 0, stalled: 0 };
     }
     if source == dest {
-        return ChResult { dist: Some(0), settled: 0 };
+        return ChResult { dist: Some(0), settled: 0, stalled: 0 };
     }
     let mut dist_f = vec![u64::MAX; n];
     let mut dist_b = vec![u64::MAX; n];
@@ -55,6 +58,7 @@ pub fn ch_query(ch: &ContractionHierarchy, source: u32, dest: u32) -> ChResult {
 
     let mut mu = u64::MAX;
     let mut settled = 0usize;
+    let mut stalled = 0usize;
     loop {
         // A direction is live while it still holds keys below μ.
         let live = |heap: &BinaryHeap<Reverse<(u64, u32)>>| {
@@ -95,6 +99,7 @@ pub fn ch_query(ch: &ContractionHierarchy, source: u32, dest: u32) -> ChResult {
             let dw = my_dist[w as usize];
             dw != u64::MAX && dw.saturating_add(wt) < du
         }) {
+            stalled += 1;
             continue;
         }
         for (v, wt) in graph.neighbors(u) {
@@ -108,7 +113,7 @@ pub fn ch_query(ch: &ContractionHierarchy, source: u32, dest: u32) -> ChResult {
     }
 
     let dist = if mu == u64::MAX { None } else { Some(mu) };
-    ChResult { dist, settled }
+    ChResult { dist, settled, stalled }
 }
 
 #[cfg(test)]

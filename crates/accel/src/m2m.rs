@@ -64,6 +64,9 @@ pub struct M2mResult {
     /// Total `(target, dist)` bucket entries deposited (CH only; 0 for
     /// ALT) — the sharing metric surfaced by `EXPLAIN ANALYZE`.
     pub bucket_entries: usize,
+    /// Settled vertices pruned by stall-on-demand across both phases
+    /// (counted inside `settled`; 0 for ALT) — surfaced in traces.
+    pub stalled: usize,
 }
 
 impl M2mResult {
@@ -97,14 +100,14 @@ impl UpwardScratch {
     /// stall-on-demand against `stall_graph` (the opposite direction's
     /// upward edges). Calls `emit(v, d)` for every settled, unstalled
     /// vertex — exactly the set whose labels can be the apex of a shortest
-    /// up-down path. Returns the number of settled vertices.
+    /// up-down path. Returns `(settled, stalled)` vertex counts.
     fn run(
         &mut self,
         graph: &UpGraph,
         stall_graph: &UpGraph,
         root: u32,
         mut emit: impl FnMut(u32, u64),
-    ) -> usize {
+    ) -> (usize, usize) {
         for &v in &self.touched {
             self.dist[v as usize] = u64::MAX;
             self.done[v as usize] = false;
@@ -115,6 +118,7 @@ impl UpwardScratch {
         self.touched.push(root);
         self.heap.push(Reverse((0, root)));
         let mut settled = 0usize;
+        let mut stall_count = 0usize;
         while let Some(Reverse((du, u))) = self.heap.pop() {
             let ui = u as usize;
             if self.done[ui] {
@@ -129,6 +133,7 @@ impl UpwardScratch {
                 dw != u64::MAX && dw.saturating_add(wt) < du
             });
             if stalled {
+                stall_count += 1;
                 continue;
             }
             emit(u, du);
@@ -144,7 +149,7 @@ impl UpwardScratch {
                 }
             }
         }
-        settled
+        (settled, stall_count)
     }
 }
 
@@ -162,7 +167,7 @@ pub fn ch_many_to_many(
 ) -> Option<M2mResult> {
     let n = ch.num_vertices() as usize;
     if sources.is_empty() || targets.is_empty() {
-        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0 });
+        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0, stalled: 0 });
     }
     debug_assert!(sources.iter().chain(targets).all(|&v| (v as usize) < n));
     let pool = Pool::new(threads);
@@ -172,27 +177,30 @@ pub fn ch_many_to_many(
     // the merge runs sequentially in target order, so bucket contents are
     // independent of the thread count (and the min-fold below is
     // order-independent anyway).
-    let per_target: Vec<(Vec<(u32, u64)>, usize)> = pool.map_with(
+    // Per-target backward-search output: (bucket deposits, settled, stalled).
+    type TargetDeposits = (Vec<(u32, u64)>, usize, usize);
+    let per_target: Vec<TargetDeposits> = pool.map_with(
         targets.len(),
         || UpwardScratch::new(n),
         |scratch, ti| {
             if deadline_expired(&expired, deadline) {
-                return (Vec::new(), 0);
+                return (Vec::new(), 0, 0);
             }
             let mut deposits = Vec::new();
-            let settled = scratch.run(&ch.bwd_up, &ch.fwd_up, targets[ti], |v, d| {
+            let (settled, stalled) = scratch.run(&ch.bwd_up, &ch.fwd_up, targets[ti], |v, d| {
                 deposits.push((v, d));
             });
-            (deposits, settled)
+            (deposits, settled, stalled)
         },
     );
     if expired.load(Ordering::Relaxed) {
         return None;
     }
-    let mut settled: usize = per_target.iter().map(|(_, s)| s).sum();
+    let mut settled: usize = per_target.iter().map(|(_, s, _)| s).sum();
+    let mut stalled: usize = per_target.iter().map(|(_, _, st)| st).sum();
     let mut buckets: Vec<Vec<(u32, u64)>> = vec![Vec::new(); n];
     let mut bucket_entries = 0usize;
-    for (ti, (deposits, _)) in per_target.iter().enumerate() {
+    for (ti, (deposits, _, _)) in per_target.iter().enumerate() {
         bucket_entries += deposits.len();
         for &(v, d) in deposits {
             buckets[v as usize].push((ti as u32, d));
@@ -202,15 +210,15 @@ pub fn ch_many_to_many(
     // Scan phase: one forward upward search per source, reading the
     // (now immutable) buckets at every unstalled settled vertex.
     let num_targets = targets.len();
-    let rows: Vec<(Vec<u64>, usize)> = pool.map_with(
+    let rows: Vec<(Vec<u64>, usize, usize)> = pool.map_with(
         sources.len(),
         || UpwardScratch::new(n),
         |scratch, si| {
             if deadline_expired(&expired, deadline) {
-                return (Vec::new(), 0);
+                return (Vec::new(), 0, 0);
             }
             let mut row = vec![INF; num_targets];
-            let settled = scratch.run(&ch.fwd_up, &ch.bwd_up, sources[si], |v, d| {
+            let (settled, stalled) = scratch.run(&ch.fwd_up, &ch.bwd_up, sources[si], |v, d| {
                 for &(ti, bd) in &buckets[v as usize] {
                     let total = d.saturating_add(bd);
                     let best = &mut row[ti as usize];
@@ -219,18 +227,19 @@ pub fn ch_many_to_many(
                     }
                 }
             });
-            (row, settled)
+            (row, settled, stalled)
         },
     );
     if expired.load(Ordering::Relaxed) {
         return None;
     }
     let mut dist = Vec::with_capacity(sources.len() * num_targets);
-    for (row, s) in rows {
+    for (row, s, st) in rows {
         settled += s;
+        stalled += st;
         dist.extend_from_slice(&row);
     }
-    Some(M2mResult { dist, settled, bucket_entries })
+    Some(M2mResult { dist, settled, bucket_entries, stalled })
 }
 
 /// Per-landmark aggregates of the lower bounds over one target set; `O(k)`
@@ -407,7 +416,7 @@ pub fn alt_many_to_many(
     deadline: Option<Instant>,
 ) -> Option<M2mResult> {
     if sources.is_empty() || targets.is_empty() {
-        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0 });
+        return Some(M2mResult { dist: Vec::new(), settled: 0, bucket_entries: 0, stalled: 0 });
     }
     let pool = Pool::new(threads);
     let expired = AtomicBool::new(false);
@@ -426,7 +435,7 @@ pub fn alt_many_to_many(
         settled += row.settled;
         dist.extend_from_slice(&row.dist);
     }
-    Some(M2mResult { dist, settled, bucket_entries: 0 })
+    Some(M2mResult { dist, settled, bucket_entries: 0, stalled: 0 })
 }
 
 /// Sticky deadline poll shared by every fan-out loop: once one task sees

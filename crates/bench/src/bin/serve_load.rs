@@ -9,9 +9,18 @@
 //! `--smoke` shrinks everything for CI: a tiny dataset, few clients, few
 //! requests — it exercises the full client → HTTP → worker → shared plan
 //! cache → response path and the drain-at-shutdown invariant in seconds.
+//! `--json` appends one machine-readable line (throughput and latency
+//! percentiles) for `BENCH_serve.json`.
+//!
+//! Besides the drain invariant, the run cross-checks the server's own
+//! `/metrics` surface: the exposition text must parse, and the total count
+//! of the per-endpoint request-latency histogram must equal the settled
+//! (`responded`) connections it could have seen — the
+//! one-observation-per-response contract.
 
 use gsql_bench::report::{arg_value, fmt_duration};
 use gsql_bench::{load_dataset, queries, sample_pairs};
+use gsql_obs::{latency_buckets_us, Histogram, HistogramSnapshot};
 use gsql_server::json::{self, Json};
 use gsql_server::{client, serve, ServerConfig};
 use std::sync::Arc;
@@ -63,15 +72,30 @@ fn query_request(sql: &str, params: &[(i64, i64)]) -> String {
     .encode()
 }
 
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+fn fmt_us(us: u64) -> String {
+    fmt_duration(Duration::from_micros(us))
+}
+
+/// Sum every `<name>_count{...}` sample of one histogram family in a
+/// Prometheus text exposition body. `None` when the family is absent.
+fn exposition_histogram_count(body: &str, name: &str) -> Option<u64> {
+    let prefix = format!("{name}_count");
+    let mut total = 0u64;
+    let mut seen = false;
+    for line in body.lines() {
+        let Some(rest) = line.strip_prefix(&prefix) else { continue };
+        // The rest is either `{labels} value` or ` value`.
+        let Some(value) = rest.rsplit(' ').next().and_then(|v| v.parse::<u64>().ok()) else {
+            continue;
+        };
+        total += value;
+        seen = true;
     }
-    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
-    sorted[idx]
+    seen.then_some(total)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let cfg = LoadConfig::from_args();
     println!(
         "serve_load: sf {}, {} clients x {} requests, {} server workers (seed {})",
@@ -95,6 +119,9 @@ fn main() {
     .expect("server failed to start");
     let addr = server.addr();
 
+    // Client-side latencies go through the same sharded histogram the
+    // engine uses — percentiles come off the snapshot, no sorting pass.
+    let latencies = Arc::new(Histogram::new(&latency_buckets_us()));
     let t0 = Instant::now();
     let threads: Vec<_> = (0..cfg.clients)
         .map(|c| {
@@ -103,8 +130,9 @@ fn main() {
                 num_persons,
                 cfg.seed.wrapping_add(c as u64),
             );
+            let latencies = Arc::clone(&latencies);
             std::thread::spawn(move || {
-                let mut latencies = Vec::with_capacity(cfg.requests_per_client);
+                let mut ok = 0u64;
                 let mut errors = 0u64;
                 let mut refused = 0u64;
                 for i in 0..cfg.requests_per_client {
@@ -118,7 +146,10 @@ fn main() {
                     };
                     let started = Instant::now();
                     match client::post(addr, "/query", &body) {
-                        Ok(resp) if resp.status == 200 => latencies.push(started.elapsed()),
+                        Ok(resp) if resp.status == 200 => {
+                            ok += 1;
+                            latencies.observe_duration(started.elapsed());
+                        }
                         Ok(resp) if resp.status == 503 => {
                             refused += 1;
                             std::thread::sleep(Duration::from_millis(10));
@@ -133,38 +164,38 @@ fn main() {
                         }
                     }
                 }
-                (latencies, errors, refused)
+                (ok, errors, refused)
             })
         })
         .collect();
 
-    let mut latencies = Vec::new();
+    let mut ok = 0u64;
     let mut errors = 0u64;
     let mut refused = 0u64;
     for thread in threads {
-        let (l, e, r) = thread.join().expect("client thread panicked");
-        latencies.extend(l);
+        let (o, e, r) = thread.join().expect("client thread panicked");
+        ok += o;
         errors += e;
         refused += r;
     }
     let wall = t0.elapsed();
 
     let stats_doc = client::get(addr, "/stats").ok().and_then(|r| json::parse(&r.body).ok());
+    let metrics_body = client::get(addr, "/metrics").ok().map(|r| r.body);
     let report = server.shutdown();
 
-    latencies.sort_unstable();
-    let ok = latencies.len();
+    let snap: HistogramSnapshot = latencies.snapshot();
     let throughput = ok as f64 / wall.as_secs_f64();
     println!("\n{ok} ok, {errors} errors, {refused} refused (503) in {}", fmt_duration(wall));
     println!("throughput: {throughput:.0} req/s across {} clients", cfg.clients);
     println!(
         "latency: p50 {} / p95 {} / p99 {} / max {}",
-        fmt_duration(percentile(&latencies, 0.50)),
-        fmt_duration(percentile(&latencies, 0.95)),
-        fmt_duration(percentile(&latencies, 0.99)),
-        fmt_duration(latencies.last().copied().unwrap_or(Duration::ZERO)),
+        fmt_us(snap.percentile(0.50)),
+        fmt_us(snap.percentile(0.95)),
+        fmt_us(snap.percentile(0.99)),
+        fmt_us(snap.max),
     );
-    if let Some(doc) = stats_doc {
+    if let Some(doc) = &stats_doc {
         if let Some(cache) = doc.get("plan_cache") {
             println!(
                 "shared plan cache: {} hits / {} misses / {} entries",
@@ -182,6 +213,38 @@ fn main() {
         report.dropped()
     );
 
+    // Cross-check the /metrics surface. The histogram is rendered before
+    // the /metrics request itself settles, so it covers every response up
+    // to and including the preceding /stats probe: responded minus one.
+    let mut metrics_failures = 0u64;
+    match metrics_body
+        .as_deref()
+        .and_then(|b| exposition_histogram_count(b, "gsql_http_request_duration_microseconds"))
+    {
+        Some(histogram_total) => {
+            let expected = report.responded.saturating_sub(1);
+            if histogram_total == expected {
+                println!(
+                    "metrics: request-latency histogram count {histogram_total} matches \
+                     responded (one observation per settled response)"
+                );
+            } else {
+                eprintln!(
+                    "FAIL: /metrics request-latency histogram count {histogram_total} != \
+                     {expected} (responded at render time)"
+                );
+                metrics_failures += 1;
+            }
+        }
+        None => {
+            eprintln!(
+                "FAIL: /metrics missing or unparseable \
+                 (no gsql_http_request_duration_microseconds_count samples)"
+            );
+            metrics_failures += 1;
+        }
+    }
+
     if report.dropped() > 0 {
         eprintln!("FAIL: graceful shutdown dropped {} in-flight queries", report.dropped());
         std::process::exit(1);
@@ -190,5 +253,43 @@ fn main() {
         eprintln!("FAIL: {errors} requests errored");
         std::process::exit(1);
     }
-    println!("PASS: zero dropped in-flight queries, zero errors");
+    if metrics_failures > 0 {
+        eprintln!("FAIL: /metrics cross-check failed");
+        std::process::exit(1);
+    }
+    println!("PASS: zero dropped in-flight queries, zero errors, /metrics consistent");
+
+    if args.iter().any(|a| a == "--json") {
+        // One line of machine-readable results, last on stdout, so CI and
+        // tracking scripts can diff runs without scraping the tables
+        // (`tail -n 1 > BENCH_serve.json`).
+        let obj = |fields: Vec<(&str, Json)>| {
+            Json::Object(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        };
+        let line = obj(vec![
+            ("clients", Json::Int(cfg.clients as i64)),
+            ("requests_per_client", Json::Int(cfg.requests_per_client as i64)),
+            ("workers", Json::Int(cfg.workers as i64)),
+            ("seed", Json::Int(cfg.seed as i64)),
+            ("ok", Json::Int(ok as i64)),
+            ("errors", Json::Int(errors as i64)),
+            ("refused", Json::Int(refused as i64)),
+            ("wall_us", Json::Int(wall.as_micros() as i64)),
+            ("throughput_rps", Json::Float(throughput)),
+            (
+                "latency_us",
+                obj(vec![
+                    ("p50", Json::from(snap.percentile(0.50))),
+                    ("p95", Json::from(snap.percentile(0.95))),
+                    ("p99", Json::from(snap.percentile(0.99))),
+                    ("max", Json::from(snap.max)),
+                    ("mean", Json::from(snap.mean())),
+                ]),
+            ),
+            ("admitted", Json::from(report.admitted)),
+            ("responded", Json::from(report.responded)),
+            ("dropped", Json::from(report.dropped())),
+        ]);
+        println!("{}", line.encode());
+    }
 }

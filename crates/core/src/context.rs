@@ -9,9 +9,11 @@
 use crate::error::{bind_err, Error};
 use crate::graph_index::GraphIndexRegistry;
 use crate::path_index::PathIndexRegistry;
+use gsql_obs::{EngineMetrics, SpanId, TraceCollector, TraceLevel, NO_SPAN};
 use gsql_storage::{Catalog, Value};
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 type Result<T> = std::result::Result<T, Error>;
@@ -66,6 +68,18 @@ pub struct SessionSettings {
     /// the `GSQL_MORSEL_ROWS` environment variable when set, otherwise
     /// 65536.
     pub morsel_rows: usize,
+    /// Structured query tracing (`SET trace = off|on|verbose`). `on`
+    /// records one span per statement phase (parse → bind → optimize →
+    /// execute), per pipeline and per traversal batch; `verbose` adds one
+    /// span per operator. Tracing never changes plan shape or results —
+    /// only observation. Default: the `GSQL_TRACE` environment variable
+    /// when set, otherwise off.
+    pub trace: TraceLevel,
+    /// Slow-query threshold in milliseconds (`SET slow_query_ms = n`; `0`
+    /// disables). A statement whose wall time meets the threshold emits one
+    /// structured record into the database's slow-query ring (`/slowlog`).
+    /// Default off.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for SessionSettings {
@@ -79,8 +93,24 @@ impl Default for SessionSettings {
             timeout_ms: None,
             pipeline: default_pipeline(),
             morsel_rows: gsql_parallel::default_morsel_rows(),
+            trace: default_trace(),
+            slow_query_ms: None,
         }
     }
+}
+
+/// Process-wide default for the `trace` setting: `GSQL_TRACE` when set to a
+/// recognizable level, otherwise off. Cached after the first call (mirrors
+/// [`default_pipeline`]). CI runs a suite leg under `GSQL_TRACE=verbose` to
+/// prove tracing never perturbs results.
+fn default_trace() -> TraceLevel {
+    static CACHE: std::sync::OnceLock<TraceLevel> = std::sync::OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::env::var("GSQL_TRACE")
+            .ok()
+            .and_then(|v| TraceLevel::parse(v.trim()))
+            .unwrap_or_default()
+    })
 }
 
 /// Process-wide default for the `pipeline` setting: `GSQL_PIPELINE` when
@@ -117,15 +147,17 @@ impl SessionSettings {
     /// listing is deterministic. A regression test destructures the struct
     /// exhaustively against this list: adding a setting without listing it
     /// here fails the build.
-    pub const NAMES: [&'static str; 8] = [
+    pub const NAMES: [&'static str; 10] = [
         "graph_index",
         "morsel_rows",
         "path_index",
         "pipeline",
         "plan_cache_size",
         "row_limit",
+        "slow_query_ms",
         "threads",
         "timeout_ms",
+        "trace",
     ];
 
     /// Set an option from its SQL textual value. Errors on unknown options
@@ -161,6 +193,15 @@ impl SessionSettings {
                 self.timeout_ms = if n == 0 { None } else { Some(n) };
             }
             "pipeline" => self.pipeline = parse_bool(name, value)?,
+            "trace" => {
+                self.trace = TraceLevel::parse(value).ok_or_else(|| {
+                    bind_err!("setting 'trace' expects off/on/verbose, got '{value}'")
+                })?;
+            }
+            "slow_query_ms" => {
+                let n = parse_u64(name, value)?;
+                self.slow_query_ms = if n == 0 { None } else { Some(n) };
+            }
             "morsel_rows" => {
                 let n = parse_u64(name, value)?;
                 if n == 0 {
@@ -186,6 +227,8 @@ impl SessionSettings {
             "threads" => Ok(self.threads.to_string()),
             "timeout_ms" => Ok(self.timeout_ms.unwrap_or(0).to_string()),
             "pipeline" => Ok(render_bool(self.pipeline)),
+            "trace" => Ok(self.trace.as_str().to_string()),
+            "slow_query_ms" => Ok(self.slow_query_ms.unwrap_or(0).to_string()),
             "morsel_rows" => Ok(self.morsel_rows.to_string()),
             _ => Err(bind_err!("unknown setting '{name}'")),
         }
@@ -272,6 +315,11 @@ pub struct PipelineStat {
     pub workers: usize,
     /// Wall time from first morsel grab to sink merge completion.
     pub elapsed: Duration,
+    /// Summed time morsels sat in the queue before a worker pulled them
+    /// (queue creation to grab). Divide by `morsels` for the average.
+    pub queue_wait: Duration,
+    /// The single longest queue wait of any morsel.
+    pub queue_wait_max: Duration,
 }
 
 /// Per-operator statistics of one executed statement, in execution
@@ -337,15 +385,19 @@ impl ExecStats {
             );
         }
         for (i, p) in self.pipelines.iter().enumerate() {
+            let avg_wait =
+                if p.morsels > 0 { p.queue_wait / p.morsels as u32 } else { Duration::ZERO };
             let _ = writeln!(
                 out,
                 "Pipeline {i}: {} (morsels={}, per-worker min={} max={} of {} worker(s), \
-                 time={})",
+                 queue-wait avg={} max={}, time={})",
                 p.label,
                 p.morsels,
                 p.min_per_worker,
                 p.max_per_worker,
                 p.workers,
+                fmt_duration(avg_wait),
+                fmt_duration(p.queue_wait_max),
                 fmt_duration(p.elapsed),
             );
         }
@@ -381,6 +433,16 @@ pub struct ExecContext<'a> {
     /// settled-vertex counts), claimed by the executor when it records the
     /// operator's statistics. Only populated when stats are collected.
     pending_detail: Mutex<Option<String>>,
+    /// The engine-wide metrics registry, when attached by a session. All
+    /// hot-path instruments are relaxed atomics, so recording never
+    /// perturbs results or thread-equivalence.
+    metrics: Option<Arc<EngineMetrics>>,
+    /// The per-statement trace collector, when `SET trace` is on.
+    trace: Option<Arc<TraceCollector>>,
+    /// The span new child spans attach under ([`NO_SPAN`] = root). An
+    /// atomic so the single-threaded plan walk can save/swap/restore it
+    /// through a `&self` borrow.
+    trace_parent: AtomicU32,
 }
 
 impl<'a> ExecContext<'a> {
@@ -399,6 +461,9 @@ impl<'a> ExecContext<'a> {
             deadline: None,
             stats: None,
             pending_detail: Mutex::new(None),
+            metrics: None,
+            trace: None,
+            trace_parent: AtomicU32::new(NO_SPAN),
         }
     }
 
@@ -424,6 +489,24 @@ impl<'a> ExecContext<'a> {
     /// statement unbounded.
     pub fn with_deadline(mut self, deadline: Option<Deadline>) -> ExecContext<'a> {
         self.deadline = deadline;
+        self
+    }
+
+    /// Attach the engine metrics registry (builder style).
+    pub fn with_metrics(mut self, metrics: Option<Arc<EngineMetrics>>) -> ExecContext<'a> {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Attach a per-statement trace collector rooted at `parent` (builder
+    /// style).
+    pub fn with_trace(
+        mut self,
+        trace: Option<Arc<TraceCollector>>,
+        parent: SpanId,
+    ) -> ExecContext<'a> {
+        self.trace = trace;
+        self.trace_parent = AtomicU32::new(parent);
         self
     }
 
@@ -529,6 +612,38 @@ impl<'a> ExecContext<'a> {
         self.stats.as_ref()
     }
 
+    /// The engine metrics registry, when a session attached one.
+    pub(crate) fn metrics(&self) -> Option<&Arc<EngineMetrics>> {
+        self.metrics.as_ref()
+    }
+
+    /// The per-statement trace collector, when tracing is on.
+    pub(crate) fn trace(&self) -> Option<&Arc<TraceCollector>> {
+        self.trace.as_ref()
+    }
+
+    /// True when the statement traces at [`TraceLevel::Verbose`].
+    pub(crate) fn trace_verbose(&self) -> bool {
+        self.trace.is_some() && self.settings.trace == TraceLevel::Verbose
+    }
+
+    /// The span id new child spans attach under ([`NO_SPAN`] = root).
+    pub(crate) fn trace_parent(&self) -> SpanId {
+        self.trace_parent.load(Ordering::Relaxed)
+    }
+
+    /// Re-point the trace parent, returning the previous value so callers
+    /// can restore it (the plan walk is single-threaded).
+    pub(crate) fn swap_trace_parent(&self, parent: SpanId) -> SpanId {
+        self.trace_parent.swap(parent, Ordering::Relaxed)
+    }
+
+    /// Open a child span under the current trace parent. Returns `None`
+    /// (and does nothing) when tracing is off.
+    pub(crate) fn trace_begin(&self, name: &str) -> Option<SpanId> {
+        self.trace.as_ref().map(|t| t.begin(self.trace_parent(), name))
+    }
+
     /// Extract the collected statistics (empty if collection was off).
     pub fn take_stats(&self) -> ExecStats {
         self.stats
@@ -625,6 +740,25 @@ mod tests {
         assert!(err.to_string().contains("positive integer"), "{err}");
         assert_eq!(s.morsel_rows, 7, "failed sets leave the value unchanged");
 
+        // (The default itself comes from GSQL_TRACE, so only the
+        // round-trips are asserted here.)
+        s.set("trace", "on").unwrap();
+        assert_eq!(s.trace, TraceLevel::On);
+        assert_eq!(s.get("trace").unwrap(), "on");
+        s.set("TRACE", "verbose").unwrap();
+        assert_eq!(s.trace, TraceLevel::Verbose);
+        s.set("trace", "off").unwrap();
+        assert_eq!(s.trace, TraceLevel::Off);
+        let err = s.set("trace", "loud").unwrap_err();
+        assert!(err.to_string().contains("off/on/verbose"), "{err}");
+
+        s.set("slow_query_ms", "25").unwrap();
+        assert_eq!(s.slow_query_ms, Some(25));
+        assert_eq!(s.get("slow_query_ms").unwrap(), "25");
+        s.set("SLOW_QUERY_MS", "0").unwrap();
+        assert_eq!(s.slow_query_ms, None);
+        assert_eq!(s.get("slow_query_ms").unwrap(), "0");
+
         assert!(s.set("nope", "1").is_err());
         assert!(s.get("nope").is_err());
         assert!(s.set("graph_index", "maybe").is_err());
@@ -651,8 +785,10 @@ mod tests {
             timeout_ms: _,
             pipeline: _,
             morsel_rows: _,
+            trace: _,
+            slow_query_ms: _,
         } = s;
-        const FIELDS: usize = 8;
+        const FIELDS: usize = 10;
         assert_eq!(
             SessionSettings::NAMES.len(),
             FIELDS,
@@ -709,6 +845,8 @@ mod tests {
             max_per_worker: 5,
             workers: 3,
             elapsed: Duration::from_micros(80),
+            queue_wait: Duration::from_micros(45),
+            queue_wait_max: Duration::from_micros(20),
         });
         let text = stats.render();
         assert!(text.contains("Filter x (rows=3"));
@@ -716,5 +854,6 @@ mod tests {
         assert!(text.contains("  Scan t (rows=10"));
         assert!(text.contains("Pipeline 0: scan t -> filter (morsels=9"), "{text}");
         assert!(text.contains("per-worker min=1 max=5 of 3 worker(s)"), "{text}");
+        assert!(text.contains("queue-wait avg=5us max=20us"), "{text}");
     }
 }

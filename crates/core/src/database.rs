@@ -18,6 +18,7 @@ use crate::optimize::optimize_with;
 use crate::path_index::PathIndexRegistry;
 use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
 use crate::session::{PreparedStatement, Session, SharedPlanCache};
+use gsql_obs::{EngineMetrics, SlowLog};
 use gsql_parser::ast;
 use gsql_storage::{Catalog, ColumnDef, DataType, Schema, Table, Value};
 use std::sync::Arc;
@@ -72,6 +73,8 @@ pub struct Database {
     indexes: GraphIndexRegistry,
     path_indexes: PathIndexRegistry,
     shared_plan_cache: Arc<SharedPlanCache>,
+    metrics: Arc<EngineMetrics>,
+    slow_log: Arc<SlowLog>,
 }
 
 impl Database {
@@ -96,6 +99,18 @@ impl Database {
     /// sessions (global hit/miss counters, manual clearing).
     pub fn shared_plan_cache(&self) -> &Arc<SharedPlanCache> {
         &self.shared_plan_cache
+    }
+
+    /// The engine-wide metrics registry: every session and server layer
+    /// records into this one set of instruments, and `/metrics` renders it.
+    pub fn metrics(&self) -> &Arc<EngineMetrics> {
+        &self.metrics
+    }
+
+    /// The bounded slow-query ring (`SET slow_query_ms` arms it per
+    /// session; `/slowlog` reads it).
+    pub fn slow_log(&self) -> &Arc<SlowLog> {
+        &self.slow_log
     }
 
     /// The table catalog.

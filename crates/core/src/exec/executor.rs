@@ -20,6 +20,7 @@ use crate::error::{exec_err, Error};
 use crate::exec::expression::{eval, eval_const, eval_filter_indices, eval_to_column};
 use crate::exec::{aggregate, graph_op, join, pipeline, unnest};
 use crate::plan::{BoundExpr, LogicalPlan, SortKey};
+use gsql_obs::TraceValue;
 use gsql_parallel::Pool;
 use gsql_storage::{Column, Table, Value};
 use std::cell::Cell;
@@ -61,8 +62,17 @@ impl<'a> Executor<'a> {
         // traversal batches (see `graph_op`), so timeouts interrupt long
         // statements mid-flight.
         self.ctx.check_deadline()?;
-        let out = match self.ctx.stats_cell() {
-            None => self.execute_inner(plan)?,
+        // Verbose tracing opens one span per operator. The plan walk is
+        // single-threaded, so save/restore of the parent pointer nests
+        // children correctly; the span is closed on both success and error
+        // paths so the tree stays balanced.
+        let op_span = if self.ctx.trace_verbose() {
+            self.ctx.trace_begin(&plan.node_label()).map(|id| (id, self.ctx.swap_trace_parent(id)))
+        } else {
+            None
+        };
+        let result = match self.ctx.stats_cell() {
+            None => self.execute_inner(plan),
             Some(cell) => {
                 let depth = self.depth.get();
                 let idx = cell.lock().expect("stats lock").begin(plan.node_label(), depth);
@@ -81,9 +91,22 @@ impl<'a> Executor<'a> {
                         detail,
                     );
                 }
-                result?
+                result
             }
         };
+        if let Some((id, prev)) = op_span {
+            self.ctx.swap_trace_parent(prev);
+            if let Some(t) = self.ctx.trace() {
+                match &result {
+                    Ok(table) => t.end_with(
+                        id,
+                        vec![("rows".to_string(), TraceValue::from(table.row_count() as i64))],
+                    ),
+                    Err(_) => t.end(id),
+                }
+            }
+        }
+        let out = result?;
         self.ctx.check_row_limit(out.row_count(), || plan.node_label())?;
         Ok(out)
     }

@@ -24,10 +24,14 @@ use crate::exec::pipeline;
 use crate::path_index::PathIndexData;
 use crate::plan::{BoundExpr, CheapestSpec, LogicalPlan, PlanSchema};
 use gsql_graph::batch::CostValue;
-use gsql_graph::{BatchComputer, Csr, GraphError, PairResult, WeightSpec};
+use gsql_graph::{
+    BatchComputer, Csr, GraphError, PairResult, TraversalKind, TraversalObserver, WeightSpec,
+};
+use gsql_obs::{EngineMetrics, TraceValue};
 use gsql_storage::value::HashableValue;
 use gsql_storage::{Column, ColumnBuilder, DataType, PathValue, Table, Value};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 type Result<T> = std::result::Result<T, Error>;
@@ -200,6 +204,36 @@ fn prepare_spec(spec: &CheapestSpec, edges: &Table, params: &[Value]) -> Result<
     }
 }
 
+/// Bridges the graph library's per-traversal callbacks onto the engine
+/// metrics registry, while accumulating totals for the enclosing trace
+/// span. Called from the traversal worker pool, so both sinks are relaxed
+/// atomics — nothing here influences results.
+struct MetricsObserver<'m> {
+    metrics: Option<&'m EngineMetrics>,
+    traversals: AtomicU64,
+    settled: AtomicU64,
+}
+
+impl<'m> MetricsObserver<'m> {
+    fn new(metrics: Option<&'m EngineMetrics>) -> MetricsObserver<'m> {
+        MetricsObserver { metrics, traversals: AtomicU64::new(0), settled: AtomicU64::new(0) }
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        (self.traversals.load(Ordering::Relaxed), self.settled.load(Ordering::Relaxed))
+    }
+}
+
+impl TraversalObserver for MetricsObserver<'_> {
+    fn traversal(&self, kind: TraversalKind, settled: usize) {
+        if let Some(m) = self.metrics {
+            m.record_traversal(kind.as_str(), settled as u64);
+        }
+        self.traversals.fetch_add(1, Ordering::Relaxed);
+        self.settled.fetch_add(settled as u64, Ordering::Relaxed);
+    }
+}
+
 /// Per-spec results for a batch of pairs.
 struct SpecResults {
     results: Vec<PairResult>,
@@ -254,15 +288,44 @@ fn run_specs(
     ctx: &ExecContext<'_>,
     from_index: bool,
 ) -> Result<(Vec<bool>, Vec<SpecResults>)> {
+    let observer = MetricsObserver::new(ctx.metrics().map(Arc::as_ref));
+    let span = ctx.trace().map(|t| t.begin(ctx.trace_parent(), "traversal"));
+    let result = run_specs_observed(graph, pairs, specs, ctx, from_index, &observer);
+    if let (Some(t), Some(id)) = (ctx.trace(), span) {
+        let (traversals, settled) = observer.totals();
+        t.end_with(
+            id,
+            vec![
+                ("pairs".to_string(), TraceValue::from(pairs.len() as i64)),
+                ("traversals".to_string(), TraceValue::from(traversals as i64)),
+                ("settled".to_string(), TraceValue::from(settled as i64)),
+            ],
+        );
+    }
+    result
+}
+
+/// [`run_specs`] body, with every traversal reported to `observer`.
+fn run_specs_observed(
+    graph: &MaterializedGraph,
+    pairs: &[(u32, u32)],
+    specs: &[CheapestSpec],
+    ctx: &ExecContext<'_>,
+    from_index: bool,
+    observer: &MetricsObserver<'_>,
+) -> Result<(Vec<bool>, Vec<SpecResults>)> {
     let params = ctx.params();
     let computer = BatchComputer::new(&graph.csr)
         .with_threads(ctx.threads())
-        .with_deadline(ctx.deadline_instant());
+        .with_deadline(ctx.deadline_instant())
+        .with_observer(Some(observer));
     let bidir_eligible = from_index && pairs.len() == 1;
     if specs.is_empty() {
         if bidir_eligible {
             let (s, d) = pairs[0];
             let hit = gsql_graph::bidirectional_bfs(&graph.csr, graph.reverse(), s, d);
+            observer
+                .traversal(TraversalKind::BidirBfs, hit.as_ref().map_or(0, |h| h.settled as usize));
             return Ok((vec![hit.is_some()], Vec::new()));
         }
         // Reachability only: BFS, paths discarded (paper §3.2).
@@ -281,7 +344,10 @@ fn run_specs(
         };
         let results = if bidir_eligible && matches!(weight_spec, WeightSpec::Unweighted) {
             let (s, d) = pairs[0];
-            vec![match gsql_graph::bidirectional_bfs(&graph.csr, graph.reverse(), s, d) {
+            let hit = gsql_graph::bidirectional_bfs(&graph.csr, graph.reverse(), s, d);
+            observer
+                .traversal(TraversalKind::BidirBfs, hit.as_ref().map_or(0, |h| h.settled as usize));
+            vec![match hit {
                 Some(hit) => PairResult {
                     reachable: true,
                     cost: Some(CostValue::Int(hit.dist as i64)),
@@ -405,6 +471,8 @@ fn run_specs_accel(
     if !specs.iter().all(|s| crate::optimize::spec_accel_eligible(s, data.weight_key)) {
         return Ok(None);
     }
+    let ctx = ex.ctx();
+    let span = ctx.trace().map(|t| t.begin(ctx.trace_parent(), "traversal"));
     let (s, d) = pair;
     let mut settled_total = 0usize;
     let mut all = Vec::with_capacity(specs.len());
@@ -460,7 +528,20 @@ fn run_specs_accel(
             });
         }
     }
-    ex.ctx().record_op_detail(data.analyze_detail(settled_total));
+    if let Some(m) = ctx.metrics() {
+        m.record_traversal(data.kind_name(), settled_total as u64);
+    }
+    if let (Some(t), Some(id)) = (ctx.trace(), span) {
+        t.end_with(
+            id,
+            vec![
+                ("kind".to_string(), TraceValue::from(data.kind_name())),
+                ("pairs".to_string(), TraceValue::from(1i64)),
+                ("settled".to_string(), TraceValue::from(settled_total as i64)),
+            ],
+        );
+    }
+    ctx.record_op_detail(data.analyze_detail(settled_total));
     Ok(Some((reachable, all)))
 }
 
@@ -505,9 +586,23 @@ fn run_specs_accel_batch(
         scales.push(scale);
     }
     let ctx = ex.ctx();
+    let span = ctx.trace().map(|t| t.begin(ctx.trace_parent(), "traversal"));
     let batch = data
         .search_batch(pairs, ctx.threads(), ctx.deadline_instant())
         .ok_or_else(|| ctx.timeout_error())?;
+    if let Some(m) = ctx.metrics() {
+        m.record_traversal(batch.kind, batch.settled as u64);
+    }
+    if let (Some(t), Some(id)) = (ctx.trace(), span) {
+        t.end_with(
+            id,
+            vec![
+                ("kind".to_string(), TraceValue::from(batch.kind)),
+                ("pairs".to_string(), TraceValue::from(pairs.len() as i64)),
+                ("settled".to_string(), TraceValue::from(batch.settled as i64)),
+            ],
+        );
+    }
     let reachable: Vec<bool> = batch.dist.iter().map(|d| d.is_some()).collect();
     let mut all = Vec::with_capacity(specs.len());
     for (spec, scale) in specs.iter().zip(scales) {

@@ -31,12 +31,13 @@ use crate::exec::expression::{eval, eval_filter_indices, eval_filter_range, eval
 use crate::exec::join::{materialize_pairs, JoinProbe};
 use crate::exec::{aggregate, Executor};
 use crate::plan::{AggCall, BoundExpr, LogicalPlan, PlanSchema};
+use gsql_obs::TraceValue;
 use gsql_parallel::{MorselQueue, Pool};
 use gsql_storage::{Column, DataType, Table, Value};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -285,6 +286,10 @@ pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table
 
     // The morsel loop.
     let queue = MorselQueue::new(source.row_count(), ctx.morsel_rows());
+    // All morsels exist the moment the queue does (it partitions a row
+    // range), so a morsel's queue wait is grab time minus this instant.
+    let queue_born = Instant::now();
+    let metrics = ctx.metrics().map(Arc::as_ref);
     let workers = pool.threads().min(queue.morsel_count()).max(1);
     let params = ctx.params();
     let row_limit = ctx.settings().row_limit;
@@ -298,11 +303,21 @@ pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table
     let sink = &dec.sink;
     let source_ref: &Table = &source;
     let ops_ref: &[FusedOp<'_>] = &ops;
+    let pipe_span = ctx.trace().map(|t| t.begin(ctx.trace_parent(), "pipeline"));
 
-    let worker_results: Vec<std::result::Result<Vec<(usize, MorselOut)>, Error>> =
+    type PipelineWorkerOut = (Vec<(usize, MorselOut)>, Duration, Duration);
+    let worker_results: Vec<std::result::Result<PipelineWorkerOut, Error>> =
         pool.broadcast(workers, |_w| {
             let mut local: Vec<(usize, MorselOut)> = Vec::new();
+            let mut wait_total = Duration::ZERO;
+            let mut wait_max = Duration::ZERO;
             while let Some(m) = queue.next() {
+                let wait = queue_born.elapsed();
+                wait_total += wait;
+                wait_max = wait_max.max(wait);
+                if let Some(reg) = metrics {
+                    reg.observe_queue_wait_us(wait.as_micros() as u64);
+                }
                 if poisoned.load(Ordering::Relaxed) {
                     break;
                 }
@@ -362,18 +377,22 @@ pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table
                     }
                 }
             }
-            Ok(local)
+            Ok((local, wait_total, wait_max))
         });
 
     // Per-worker morsel counts for the pipeline stat, then the partials.
     let mut per_worker: Vec<usize> = Vec::with_capacity(worker_results.len());
     let mut items: Vec<(usize, MorselOut)> = Vec::new();
+    let mut queue_wait = Duration::ZERO;
+    let mut queue_wait_max = Duration::ZERO;
     let mut first_err: Option<Error> = None;
     for r in worker_results {
         match r {
-            Ok(local) => {
+            Ok((local, wait_total, wait_max)) => {
                 per_worker.push(local.len());
                 items.extend(local);
+                queue_wait += wait_total;
+                queue_wait_max = queue_wait_max.max(wait_max);
             }
             Err(e @ Error::Timeout { .. }) => return Err(e),
             Err(e) => {
@@ -392,6 +411,29 @@ pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table
     // Merge in morsel-index order.
     let out = merge(&dec, plan, &source, items, ctx.params())?;
 
+    let morsels: usize = per_worker.iter().sum();
+    if let Some(reg) = metrics {
+        reg.record_pipeline(morsels as u64);
+    }
+    if let (Some(t), Some(id)) = (ctx.trace(), pipe_span) {
+        t.end_with(
+            id,
+            vec![
+                ("label".to_string(), TraceValue::from(pipeline_label(&dec))),
+                ("morsels".to_string(), TraceValue::from(morsels)),
+                ("workers".to_string(), TraceValue::from(per_worker.len())),
+                (
+                    "min_per_worker".to_string(),
+                    TraceValue::from(per_worker.iter().copied().min().unwrap_or(0)),
+                ),
+                (
+                    "max_per_worker".to_string(),
+                    TraceValue::from(per_worker.iter().copied().max().unwrap_or(0)),
+                ),
+                ("queue_wait_us".to_string(), TraceValue::Int(queue_wait.as_micros() as i64)),
+            ],
+        );
+    }
     if stats_on {
         let elapsed = t0.elapsed();
         if let Some(cell) = ctx.stats_cell() {
@@ -404,11 +446,13 @@ pub(crate) fn execute(ex: &Executor<'_>, plan: &LogicalPlan) -> Result<Arc<Table
         }
         ctx.record_pipeline_stat(PipelineStat {
             label: pipeline_label(&dec),
-            morsels: per_worker.iter().sum(),
+            morsels,
             min_per_worker: per_worker.iter().copied().min().unwrap_or(0),
             max_per_worker: per_worker.iter().copied().max().unwrap_or(0),
             workers: per_worker.len(),
             elapsed: t0.elapsed(),
+            queue_wait,
+            queue_wait_max,
         });
     }
     Ok(out)
@@ -507,6 +551,8 @@ fn fused_with_extras(
     let ops = build_fused_ops(ex, &dec, &pool, ex.depth_for_stats())?;
 
     let queue = MorselQueue::new(source.row_count(), ctx.morsel_rows());
+    let queue_born = Instant::now();
+    let metrics = ctx.metrics().map(Arc::as_ref);
     let workers = pool.threads().min(queue.morsel_count()).max(1);
     let params = ctx.params();
     let row_limit = ctx.settings().row_limit;
@@ -514,12 +560,16 @@ fn fused_with_extras(
     let poisoned = AtomicBool::new(false);
     let source_ref: &Table = &source;
     let ops_ref: &[FusedOp<'_>] = &ops;
+    let pipe_span = ctx.trace().map(|t| t.begin(ctx.trace_parent(), "pipeline"));
 
     type ExtraItem = (usize, Table, Vec<Column>);
     let worker_results: Vec<std::result::Result<Vec<ExtraItem>, Error>> =
         pool.broadcast(workers, |_w| {
             let mut local: Vec<ExtraItem> = Vec::new();
             while let Some(m) = queue.next() {
+                if let Some(reg) = metrics {
+                    reg.observe_queue_wait_us(queue_born.elapsed().as_micros() as u64);
+                }
                 if poisoned.load(Ordering::Relaxed) {
                     break;
                 }
@@ -568,6 +618,19 @@ fn fused_with_extras(
         return Err(e);
     }
     items.sort_unstable_by_key(|(idx, _, _)| *idx);
+    if let Some(reg) = metrics {
+        reg.record_pipeline(items.len() as u64);
+    }
+    if let (Some(t), Some(id)) = (ctx.trace(), pipe_span) {
+        t.end_with(
+            id,
+            vec![
+                ("label".to_string(), TraceValue::from(pipeline_label(&dec))),
+                ("morsels".to_string(), TraceValue::from(items.len())),
+                ("workers".to_string(), TraceValue::from(workers)),
+            ],
+        );
+    }
 
     // Concatenate morsel tables and their extra columns in morsel order.
     let storage = plan.schema().to_storage_schema();

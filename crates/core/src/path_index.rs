@@ -214,6 +214,7 @@ impl PathIndexData {
                 Some(BatchSearch {
                     dist,
                     settled: m.settled,
+                    kind: "ch-m2m",
                     detail: format!("settled={} (ch-m2m, buckets={})", m.settled, m.bucket_entries),
                 })
             }
@@ -263,9 +264,19 @@ impl PathIndexData {
                 Some(BatchSearch {
                     dist,
                     settled,
+                    kind: "alt-multi",
                     detail: format!("settled={settled} (alt-multi, landmarks={})", lm.len()),
                 })
             }
+        }
+    }
+
+    /// The metrics label of the point-to-point tier this index serves
+    /// queries with — one of [`gsql_obs::ACCEL_KINDS`].
+    pub fn kind_name(&self) -> &'static str {
+        match &self.accel {
+            AccelIndex::Alt(_) => "alt",
+            AccelIndex::Ch(_) => "ch",
         }
     }
 
@@ -290,6 +301,9 @@ pub struct BatchSearch {
     pub dist: Vec<Option<u64>>,
     /// Vertices settled across every search of the batch.
     pub settled: usize,
+    /// The metrics label of the many-to-many tier that ran — `"ch-m2m"`
+    /// or `"alt-multi"` (one of [`gsql_obs::ACCEL_KINDS`]).
+    pub kind: &'static str,
     /// The `EXPLAIN ANALYZE` detail line, tier included —
     /// `settled=N (ch-m2m, buckets=B)` or
     /// `settled=N (alt-multi, landmarks=k)`.

@@ -48,12 +48,17 @@ use crate::error::{bind_err, Error};
 use crate::exec::executor::Executor;
 use crate::optimize::optimize_with;
 use crate::plan::LogicalPlan;
+use gsql_obs::{
+    EngineMetrics, QueryOutcome, QueryVerb, SlowQueryRecord, SpanId, TraceCollector, TraceValue,
+    NO_SPAN,
+};
 use gsql_parser::{ast, parse_sql, parse_statement};
 use gsql_storage::{ColumnDef, DataType, Schema, Table, Value};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -88,6 +93,9 @@ struct PlanCache {
     hits: u64,
     misses: u64,
     invalidations: u64,
+    /// Counter values already pushed to the engine metrics registry (see
+    /// [`PlanCache::drain_unsynced`]).
+    synced: (u64, u64, u64),
 }
 
 impl PlanCache {
@@ -160,6 +168,22 @@ impl PlanCache {
             invalidations: self.invalidations,
             entries: self.map.len(),
         }
+    }
+
+    /// Counter movement since the last drain, plus the current entry
+    /// count. Sessions push these deltas into the engine metrics registry
+    /// after each plan lookup; draining under the cache's own lock (shared
+    /// caches) makes the sync exact even with concurrent sessions.
+    fn drain_unsynced(&mut self) -> (u64, u64, u64, usize) {
+        let (h, m, i) = self.synced;
+        let delta = (
+            self.hits.saturating_sub(h),
+            self.misses.saturating_sub(m),
+            self.invalidations.saturating_sub(i),
+            self.map.len(),
+        );
+        self.synced = (self.hits, self.misses, self.invalidations);
+        delta
     }
 }
 
@@ -283,6 +307,23 @@ impl CacheSlot {
             CacheSlot::Shared(c) => c.stats(),
         }
     }
+
+    /// Push counter movement since the last sync into the engine metrics.
+    /// The entries gauge tracks the shared (database-wide) cache only —
+    /// per-session local caches are additive on the counters but have no
+    /// single meaningful entry count.
+    fn sync_metrics(&self, metrics: &EngineMetrics) {
+        let (hits, misses, invalidations, entries) = match self {
+            CacheSlot::Local(c) => c.borrow_mut().drain_unsynced(),
+            CacheSlot::Shared(c) => c.lock().drain_unsynced(),
+        };
+        metrics.plan_cache_hits.add(hits);
+        metrics.plan_cache_misses.add(misses);
+        metrics.plan_cache_invalidations.add(invalidations);
+        if matches!(self, CacheSlot::Shared(_)) {
+            metrics.plan_cache_entries.set(entries as i64);
+        }
+    }
 }
 
 /// A parsed statement bound to no particular session, executable many times
@@ -322,11 +363,23 @@ impl PreparedStatement {
 
 /// A session over a shared [`Database`]: settings, plan cache, statement
 /// execution. See the [module docs](self) for the full picture.
+/// How many finished trace JSON documents a session retains.
+const TRACE_RING: usize = 16;
+
 #[derive(Debug)]
 pub struct Session<'db> {
     db: &'db Database,
     settings: RefCell<SessionSettings>,
     cache: CacheSlot,
+    /// Finished trace documents (JSON), newest last, bounded at
+    /// [`TRACE_RING`]. Populated only while `SET trace` is on.
+    traces: RefCell<VecDeque<String>>,
+    /// Parse wall time of the statement about to run (set by the entry
+    /// points that parse), surfaced as the `parse_us` trace attribute.
+    pending_parse_us: Cell<Option<u64>>,
+    /// Plan fingerprint of the statement in flight, captured for the
+    /// slow-query log (only computed while `slow_query_ms` is armed).
+    pending_fingerprint: Cell<Option<u64>>,
 }
 
 impl<'db> Session<'db> {
@@ -337,6 +390,9 @@ impl<'db> Session<'db> {
             db,
             settings: RefCell::new(SessionSettings::default()),
             cache: CacheSlot::Local(RefCell::new(PlanCache::default())),
+            traces: RefCell::new(VecDeque::new()),
+            pending_parse_us: Cell::new(None),
+            pending_fingerprint: Cell::new(None),
         }
     }
 
@@ -349,6 +405,9 @@ impl<'db> Session<'db> {
             db,
             settings: RefCell::new(SessionSettings::default()),
             cache: CacheSlot::Shared(cache),
+            traces: RefCell::new(VecDeque::new()),
+            pending_parse_us: Cell::new(None),
+            pending_fingerprint: Cell::new(None),
         }
     }
 
@@ -389,6 +448,18 @@ impl<'db> Session<'db> {
         self.cache.stats()
     }
 
+    /// The trace JSON of the most recently traced statement, when `SET
+    /// trace = on|verbose` was in effect for it. The session retains the
+    /// last [`TRACE_RING`] documents.
+    pub fn last_trace_json(&self) -> Option<String> {
+        self.traces.borrow().back().cloned()
+    }
+
+    /// Every retained trace document, oldest first.
+    pub fn trace_history(&self) -> Vec<String> {
+        self.traces.borrow().iter().cloned().collect()
+    }
+
     /// Execute a single statement without parameters.
     pub fn execute(&self, sql: &str) -> Result<QueryResult> {
         self.execute_with_params(sql, &[])
@@ -398,7 +469,9 @@ impl<'db> Session<'db> {
     /// doubles as the plan-cache key, so repeating the same query text
     /// skips parse/bind/optimize.
     pub fn execute_with_params(&self, sql: &str, params: &[Value]) -> Result<QueryResult> {
+        let t0 = Instant::now();
         let statement = parse_statement(sql)?;
+        self.pending_parse_us.set(Some(t0.elapsed().as_micros() as u64));
         self.run_statement(Some(sql), &statement, params)
     }
 
@@ -414,7 +487,9 @@ impl<'db> Session<'db> {
         params: &[Value],
         timeout: Duration,
     ) -> Result<QueryResult> {
+        let t0 = Instant::now();
         let statement = parse_statement(sql)?;
+        self.pending_parse_us.set(Some(t0.elapsed().as_micros() as u64));
         let limit_ms = u64::try_from(timeout.as_millis()).unwrap_or(u64::MAX);
         let explicit = Deadline::starting_now(limit_ms);
         let deadline = match self.settings.borrow().timeout_ms.map(Deadline::starting_now) {
@@ -453,7 +528,7 @@ impl<'db> Session<'db> {
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement> {
         let prepared = PreparedStatement::parse(sql)?;
         if let ast::Statement::Query(q) = prepared.statement.as_ref() {
-            self.cached_plan(Some(sql), q, &[])?;
+            self.cached_plan(Some(sql), q, &[], None)?;
         }
         Ok(prepared)
     }
@@ -482,34 +557,50 @@ impl<'db> Session<'db> {
             .with_path_indexes(self.db.path_indexes())
             .with_settings(self.settings.borrow().clone())
             .with_deadline(deadline)
+            .with_metrics(Some(Arc::clone(self.db.metrics())))
     }
 
     /// The bound+optimized plan for a query — from the session cache when
     /// `sql_key` is given and the entry is fresh, otherwise built (and
-    /// cached) now.
+    /// cached) now. `trace` is the collector plus the statement span to
+    /// attach bind/optimize spans under, when tracing.
     fn cached_plan(
         &self,
         sql_key: Option<&str>,
         q: &ast::Query,
         params: &[Value],
+        trace: Option<(&TraceCollector, SpanId)>,
     ) -> Result<Arc<LogicalPlan>> {
         let settings = self.settings.borrow().clone();
         let capacity = settings.plan_cache_size;
         let schema_version = self.db.schema_version();
         if let (Some(sql), true) = (sql_key, capacity > 0) {
             if let Some(plan) = self.cache.get(sql, &settings, schema_version) {
+                self.cache.sync_metrics(self.db.metrics());
+                if let Some((t, root)) = trace {
+                    t.attr(root, "plan_cache", TraceValue::from("hit"));
+                }
                 return Ok(plan);
             }
         }
         let ctx = self.ctx(params, None);
+        let span = trace.map(|(t, root)| (t, t.begin(root, "bind")));
         let plan = Binder::new(&ctx).bind_query(q)?;
+        if let Some((t, id)) = span {
+            t.end(id);
+        }
+        let span = trace.map(|(t, root)| (t, t.begin(root, "optimize")));
         let plan = Arc::new(optimize_with(plan, &ctx));
+        if let Some((t, id)) = span {
+            t.end(id);
+        }
         match sql_key {
             Some(sql) => {
                 self.cache.insert(sql, &settings, Arc::clone(&plan), schema_version, capacity)
             }
             None => self.cache.count_miss(),
         }
+        self.cache.sync_metrics(self.db.metrics());
         Ok(plan)
     }
 
@@ -525,8 +616,10 @@ impl<'db> Session<'db> {
         self.run_statement_at(sql_key, statement, params, deadline)
     }
 
-    /// Execute one statement under an already-started deadline (the
-    /// session-side statement dispatcher).
+    /// Execute one statement under an already-started deadline: the
+    /// observability wrapper around the dispatcher. Times the statement,
+    /// opens the statement trace span when tracing is on, records the
+    /// verb/outcome/latency metrics, and arms the slow-query log.
     fn run_statement_at(
         &self,
         sql_key: Option<&str>,
@@ -534,12 +627,99 @@ impl<'db> Session<'db> {
         params: &[Value],
         deadline: Option<Deadline>,
     ) -> Result<QueryResult> {
+        let t0 = Instant::now();
+        let parse_us = self.pending_parse_us.take();
+        self.pending_fingerprint.set(None);
+        let verb = statement_verb(statement);
+        let level = self.settings.borrow().trace;
+        let collector = level.enabled().then(|| Arc::new(TraceCollector::new(level)));
+        let root = match &collector {
+            Some(t) => {
+                let id = t.begin(NO_SPAN, "statement");
+                t.attr(id, "verb", TraceValue::from(verb.as_str()));
+                if let Some(us) = parse_us {
+                    t.attr(id, "parse_us", TraceValue::Int(us as i64));
+                }
+                id
+            }
+            None => NO_SPAN,
+        };
+        let result =
+            self.dispatch_statement(sql_key, statement, params, deadline, collector.as_ref(), root);
+        let elapsed = t0.elapsed();
+        let outcome = match &result {
+            Ok(_) => QueryOutcome::Ok,
+            Err(Error::Timeout { .. }) => QueryOutcome::Timeout,
+            Err(_) => QueryOutcome::Error,
+        };
+        self.db.metrics().record_query(verb, outcome, elapsed.as_micros() as u64);
+        if let Some(t) = &collector {
+            t.end_with(root, vec![("outcome".to_string(), TraceValue::from(outcome.as_str()))]);
+            let mut ring = self.traces.borrow_mut();
+            if ring.len() >= TRACE_RING {
+                ring.pop_front();
+            }
+            ring.push_back(t.to_json());
+        }
+        let armed = self.settings.borrow().slow_query_ms;
+        if let Some(threshold_ms) = armed {
+            if elapsed >= Duration::from_millis(threshold_ms) {
+                self.db.slow_log().push(SlowQueryRecord {
+                    unix_us: std::time::SystemTime::now()
+                        .duration_since(std::time::UNIX_EPOCH)
+                        .map(|d| d.as_micros() as u64)
+                        .unwrap_or(0),
+                    sql_hash: hex_hash(sql_key.unwrap_or("")),
+                    plan_fingerprint: self
+                        .pending_fingerprint
+                        .take()
+                        .map(|h| format!("{h:016x}"))
+                        .unwrap_or_default(),
+                    verb: verb.as_str().to_string(),
+                    outcome: outcome.as_str().to_string(),
+                    elapsed_us: elapsed.as_micros() as u64,
+                    settings: self
+                        .settings
+                        .borrow()
+                        .entries()
+                        .into_iter()
+                        .map(|(n, v)| (n.to_string(), v))
+                        .collect(),
+                    spans: collector.as_ref().map(|t| t.root_summary()).unwrap_or_default(),
+                });
+            }
+        }
+        result
+    }
+
+    /// The statement dispatcher proper. `collector`/`root` carry the trace
+    /// context when `SET trace` is on (`root` is the statement span).
+    fn dispatch_statement(
+        &self,
+        sql_key: Option<&str>,
+        statement: &ast::Statement,
+        params: &[Value],
+        deadline: Option<Deadline>,
+        collector: Option<&Arc<TraceCollector>>,
+        root: SpanId,
+    ) -> Result<QueryResult> {
+        let trace = collector.map(|t| (t.as_ref(), root));
         match statement {
             ast::Statement::Query(q) => {
-                let plan = self.cached_plan(sql_key, q, params)?;
-                let ctx = self.ctx(params, deadline);
-                let table = Executor::new(&ctx).execute(&plan)?;
-                Ok(QueryResult::Table(table))
+                let plan = self.cached_plan(sql_key, q, params, trace)?;
+                if self.settings.borrow().slow_query_ms.is_some() {
+                    self.pending_fingerprint.set(Some(plan_fingerprint(&plan)));
+                }
+                let exec_span = collector.map(|t| (t, t.begin(root, "execute")));
+                let mut ctx = self.ctx(params, deadline);
+                if let Some((t, id)) = &exec_span {
+                    ctx = ctx.with_trace(Some(Arc::clone(t)), *id);
+                }
+                let table = Executor::new(&ctx).execute(&plan);
+                if let Some((t, id)) = exec_span {
+                    t.end(id);
+                }
+                Ok(QueryResult::Table(table?))
             }
             ast::Statement::Explain(q) => {
                 let ctx = self.ctx(params, deadline);
@@ -673,6 +853,45 @@ impl<'db> Session<'db> {
             }
         }
     }
+}
+
+/// The metrics verb a statement is recorded under.
+fn statement_verb(statement: &ast::Statement) -> QueryVerb {
+    match statement {
+        ast::Statement::Query(_) => QueryVerb::Select,
+        ast::Statement::Insert { .. } => QueryVerb::Insert,
+        ast::Statement::Update { .. } => QueryVerb::Update,
+        ast::Statement::Delete { .. } => QueryVerb::Delete,
+        ast::Statement::CreateTable { .. }
+        | ast::Statement::DropTable { .. }
+        | ast::Statement::CreateGraphIndex { .. }
+        | ast::Statement::DropGraphIndex { .. }
+        | ast::Statement::CreatePathIndex { .. }
+        | ast::Statement::DropPathIndex { .. } => QueryVerb::Ddl,
+        ast::Statement::Explain(_)
+        | ast::Statement::ExplainAnalyze(_)
+        | ast::Statement::Set { .. }
+        | ast::Statement::Show { .. }
+        | ast::Statement::Describe { .. }
+        | ast::Statement::ShowPathIndexes => QueryVerb::Utility,
+    }
+}
+
+/// Hex hash of arbitrary text (the slow-log `sql_hash`: correlates repeat
+/// offenders without logging raw query text).
+fn hex_hash(text: &str) -> String {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    text.hash(&mut h);
+    format!("{:016x}", h.finish())
+}
+
+/// Structural fingerprint of a bound plan (hash of its debug rendering) —
+/// two slow-log records with equal fingerprints executed the same plan
+/// shape. Only computed when the slow-query log is armed.
+fn plan_fingerprint(plan: &LogicalPlan) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    format!("{plan:?}").hash(&mut h);
+    h.finish()
 }
 
 /// Render a `SET` value as the settings-layer text.

@@ -19,7 +19,7 @@ use crate::dijkstra::{
 };
 use crate::error::GraphError;
 use crate::path::reconstruct_path;
-use crate::Result;
+use crate::{Result, TraversalKind, TraversalObserver};
 use gsql_parallel::Pool;
 use std::collections::HashMap;
 
@@ -84,17 +84,17 @@ impl PairResult {
 /// traversal costs are irregular), each worker reusing one thread-local
 /// distance/visited scratch arena. Per-pair results are merged back in
 /// input order, so the output is bit-for-bit identical to `threads = 1`.
-#[derive(Debug)]
 pub struct BatchComputer<'g> {
     graph: &'g Csr,
     threads: usize,
     deadline: Option<std::time::Instant>,
+    observer: Option<&'g dyn TraversalObserver>,
 }
 
 impl<'g> BatchComputer<'g> {
     /// Create a computer over `graph` (sequential by default).
     pub fn new(graph: &'g Csr) -> BatchComputer<'g> {
-        BatchComputer { graph, threads: 1, deadline: None }
+        BatchComputer { graph, threads: 1, deadline: None, observer: None }
     }
 
     /// Set the degree of parallelism for [`BatchComputer::compute`]
@@ -111,6 +111,17 @@ impl<'g> BatchComputer<'g> {
     /// [`GraphError::DeadlineExceeded`] rather than partial results.
     pub fn with_deadline(mut self, deadline: Option<std::time::Instant>) -> BatchComputer<'g> {
         self.deadline = deadline;
+        self
+    }
+
+    /// Report every per-source traversal (kind + settled-vertex count) to
+    /// `observer`. The callback runs on the worker that performed the
+    /// traversal, once per distinct source, and never influences results.
+    pub fn with_observer(
+        mut self,
+        observer: Option<&'g dyn TraversalObserver>,
+    ) -> BatchComputer<'g> {
+        self.observer = observer;
         self
     }
 
@@ -259,6 +270,9 @@ impl<'g> BatchComputer<'g> {
         match weights {
             PermutedWeights::None => {
                 bfs_into(self.graph, source, targets, &mut scratch.bfs);
+                if let Some(obs) = self.observer {
+                    obs.traversal(TraversalKind::Bfs, scratch.bfs.settled_count());
+                }
                 let r = &scratch.bfs;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
@@ -286,6 +300,9 @@ impl<'g> BatchComputer<'g> {
             }
             PermutedWeights::Int(w) => {
                 dijkstra_int_into(self.graph, source, targets, w, &mut scratch.int);
+                if let Some(obs) = self.observer {
+                    obs.traversal(TraversalKind::Dijkstra, scratch.int.settled_count());
+                }
                 let r = &scratch.int;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
@@ -313,6 +330,9 @@ impl<'g> BatchComputer<'g> {
             }
             PermutedWeights::Float(w) => {
                 dijkstra_float_into(self.graph, source, targets, w, &mut scratch.float);
+                if let Some(obs) = self.observer {
+                    obs.traversal(TraversalKind::Dijkstra, scratch.float.settled_count());
+                }
                 let r = &scratch.float;
                 for (&idx, &dest) in group.iter().zip(targets) {
                     let d = r.dist[dest as usize];
@@ -528,6 +548,37 @@ mod tests {
                 assert_eq!(got.cost, want.cost, "threads {threads} pair {i}");
                 assert_eq!(got.path, want.path, "threads {threads} pair {i}");
             }
+        }
+    }
+
+    #[test]
+    fn observer_sees_one_traversal_per_distinct_source() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct CountingObserver {
+            n: AtomicUsize,
+            settled: AtomicUsize,
+        }
+        impl TraversalObserver for CountingObserver {
+            fn traversal(&self, kind: TraversalKind, settled: usize) {
+                assert_eq!(kind, TraversalKind::Bfs);
+                self.n.fetch_add(1, Ordering::Relaxed);
+                self.settled.fetch_add(settled, Ordering::Relaxed);
+            }
+        }
+        let g = diamond();
+        let obs = CountingObserver { n: AtomicUsize::new(0), settled: AtomicUsize::new(0) };
+        let pairs = [(0u32, 4u32), (0, 3), (2, 3)];
+        for threads in [1, 4] {
+            obs.n.store(0, Ordering::Relaxed);
+            obs.settled.store(0, Ordering::Relaxed);
+            BatchComputer::new(&g)
+                .with_threads(threads)
+                .with_observer(Some(&obs))
+                .compute(&pairs, &WeightSpec::Unweighted, false)
+                .unwrap();
+            // Sources {0, 2}: one traversal each regardless of width.
+            assert_eq!(obs.n.load(Ordering::Relaxed), 2, "threads {threads}");
+            assert!(obs.settled.load(Ordering::Relaxed) >= 2, "threads {threads}");
         }
     }
 

@@ -34,6 +34,7 @@ pub struct BfsScratch {
     pub parent: Vec<u32>,
     queue: std::collections::VecDeque<u32>,
     is_target: Vec<bool>,
+    settled_n: usize,
 }
 
 impl BfsScratch {
@@ -42,7 +43,15 @@ impl BfsScratch {
         BfsScratch::default()
     }
 
+    /// Number of vertices labelled (discovered) by the last run — BFS's
+    /// analogue of Dijkstra's settled count. Maintained incrementally, so
+    /// reading it is O(1).
+    pub fn settled_count(&self) -> usize {
+        self.settled_n
+    }
+
     fn reset(&mut self, n: usize) {
+        self.settled_n = 0;
         self.dist.clear();
         self.dist.resize(n, u32::MAX);
         self.parent_edge.clear();
@@ -75,7 +84,7 @@ pub fn bfs(graph: &Csr, source: u32, targets: &[u32]) -> BfsResult {
 pub fn bfs_into(graph: &Csr, source: u32, targets: &[u32], scratch: &mut BfsScratch) {
     let n = graph.num_vertices() as usize;
     scratch.reset(n);
-    let BfsScratch { dist, parent_edge, parent, queue, is_target } = scratch;
+    let BfsScratch { dist, parent_edge, parent, queue, is_target, settled_n } = scratch;
 
     let mut remaining: usize;
     if targets.is_empty() {
@@ -92,6 +101,7 @@ pub fn bfs_into(graph: &Csr, source: u32, targets: &[u32], scratch: &mut BfsScra
     }
 
     dist[source as usize] = 0;
+    *settled_n = 1;
     if is_target[source as usize] {
         remaining -= 1;
         if remaining == 0 {
@@ -108,6 +118,7 @@ pub fn bfs_into(graph: &Csr, source: u32, targets: &[u32], scratch: &mut BfsScra
                 continue;
             }
             dist[vi] = du + 1;
+            *settled_n += 1;
             parent_edge[vi] = slot as u32;
             parent[vi] = u;
             if is_target[vi] {
@@ -213,6 +224,18 @@ mod tests {
             assert_eq!(scratch.parent, fresh.parent, "source {source}");
             assert_eq!(scratch.parent_edge, fresh.parent_edge, "source {source}");
         }
+    }
+
+    #[test]
+    fn settled_count_tracks_labelled_vertices() {
+        let g = diamond();
+        let mut s = BfsScratch::new();
+        bfs_into(&g, 0, &[], &mut s);
+        assert_eq!(s.settled_count(), s.dist.iter().filter(|&&d| d != u32::MAX).count());
+        assert_eq!(s.settled_count(), 5);
+        bfs_into(&g, 0, &[1], &mut s);
+        assert_eq!(s.settled_count(), s.dist.iter().filter(|&&d| d != u32::MAX).count());
+        assert!(s.settled_count() < 5);
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct BidirResult {
     pub dist: u32,
     /// Original edge-row ids along one shortest path, source → dest order.
     pub path: Vec<u32>,
+    /// Vertices labelled across both directions — the work metric reported
+    /// to the observability layer.
+    pub settled: u32,
 }
 
 /// Bidirectional BFS from `source` to `dest` over `forward` and its
@@ -94,7 +97,7 @@ pub fn bidirectional_bfs(
     let n = forward.num_vertices() as usize;
     debug_assert_eq!(backward.num_vertices(), forward.num_vertices());
     if source == dest {
-        return Some(BidirResult { dist: 0, path: Vec::new() });
+        return Some(BidirResult { dist: 0, path: Vec::new(), settled: 1 });
     }
     // dist/parent per direction; parent_edge stores ORIGINAL edge rows.
     let mut dist_f = vec![u32::MAX; n];
@@ -107,6 +110,7 @@ pub fn bidirectional_bfs(
     dist_b[dest as usize] = 0;
     let mut frontier_f = vec![source];
     let mut frontier_b = vec![dest];
+    let mut settled: u32 = 2;
 
     // Best meeting so far: (total distance, meeting vertex).
     let mut best: Option<(u32, u32)> = None;
@@ -137,6 +141,7 @@ pub fn bidirectional_bfs(
                     continue;
                 }
                 dist_mine[vi] = du + 1;
+                settled += 1;
                 par[vi] = u;
                 edge[vi] = graph.edge_row(slot);
                 if dist_other[vi] != u32::MAX {
@@ -167,7 +172,7 @@ pub fn bidirectional_bfs(
         path.push(edge_b[v as usize]);
         v = par_b[v as usize];
     }
-    Some(BidirResult { dist, path })
+    Some(BidirResult { dist, path, settled })
 }
 
 #[cfg(test)]

@@ -55,6 +55,7 @@ pub struct DijkstraIntScratch {
     pub parent: Vec<u32>,
     settled: Vec<bool>,
     is_target: Vec<bool>,
+    settled_n: usize,
 }
 
 impl DijkstraIntScratch {
@@ -65,11 +66,14 @@ impl DijkstraIntScratch {
 
     /// Number of vertices settled (popped with their final distance) by the
     /// last run — the work metric goal-directed search tries to shrink.
+    /// Maintained incrementally, so reading it is O(1) (it is recorded per
+    /// traversal by the always-on metrics layer).
     pub fn settled_count(&self) -> usize {
-        self.settled.iter().filter(|&&s| s).count()
+        self.settled_n
     }
 
     fn reset(&mut self, n: usize) {
+        self.settled_n = 0;
         self.dist.clear();
         self.dist.resize(n, u64::MAX);
         self.parent_edge.clear();
@@ -116,7 +120,7 @@ pub fn dijkstra_int_into(
     let n = graph.num_vertices() as usize;
     debug_assert_eq!(weights.len(), graph.num_edges());
     scratch.reset(n);
-    let DijkstraIntScratch { dist, parent_edge, parent, settled, is_target } = scratch;
+    let DijkstraIntScratch { dist, parent_edge, parent, settled, is_target, settled_n } = scratch;
     let mut remaining = mark_targets(is_target, targets);
 
     let mut heap: RadixHeap<u32> = RadixHeap::new();
@@ -129,6 +133,7 @@ pub fn dijkstra_int_into(
             continue; // stale entry
         }
         settled[ui] = true;
+        *settled_n += 1;
         if is_target[ui] {
             is_target[ui] = false;
             remaining -= 1;
@@ -180,6 +185,7 @@ pub struct DijkstraFloatScratch {
     pub parent: Vec<u32>,
     settled: Vec<bool>,
     is_target: Vec<bool>,
+    settled_n: usize,
 }
 
 impl DijkstraFloatScratch {
@@ -189,12 +195,13 @@ impl DijkstraFloatScratch {
     }
 
     /// Number of vertices settled by the last run (see
-    /// [`DijkstraIntScratch::settled_count`]).
+    /// [`DijkstraIntScratch::settled_count`]); O(1).
     pub fn settled_count(&self) -> usize {
-        self.settled.iter().filter(|&&s| s).count()
+        self.settled_n
     }
 
     fn reset(&mut self, n: usize) {
+        self.settled_n = 0;
         self.dist.clear();
         self.dist.resize(n, f64::INFINITY);
         self.parent_edge.clear();
@@ -239,7 +246,7 @@ pub fn dijkstra_float_into(
     let n = graph.num_vertices() as usize;
     debug_assert_eq!(weights.len(), graph.num_edges());
     scratch.reset(n);
-    let DijkstraFloatScratch { dist, parent_edge, parent, settled, is_target } = scratch;
+    let DijkstraFloatScratch { dist, parent_edge, parent, settled, is_target, settled_n } = scratch;
     let mut remaining = mark_targets(is_target, targets);
 
     let mut heap: BinaryHeap<Reverse<(OrdF64, u32)>> = BinaryHeap::new();
@@ -252,6 +259,7 @@ pub fn dijkstra_float_into(
             continue;
         }
         settled[ui] = true;
+        *settled_n += 1;
         if is_target[ui] {
             is_target[ui] = false;
             remaining -= 1;
@@ -408,6 +416,23 @@ mod tests {
             assert_eq!(sf.dist, freshf.dist, "float source {source}");
             assert_eq!(sf.parent, freshf.parent, "float source {source}");
         }
+    }
+
+    #[test]
+    fn settled_count_matches_marked_vertices() {
+        let (g, w) = diamond_weights([1, 1, 1, 1, 1]);
+        let mut s = DijkstraIntScratch::new();
+        dijkstra_int_into(&g, 0, &[], &w, &mut s);
+        assert_eq!(s.settled_count(), s.settled.iter().filter(|&&x| x).count());
+        assert_eq!(s.settled_count(), 5);
+        // Early exit settles fewer vertices, and the counter tracks it.
+        dijkstra_int_into(&g, 0, &[1], &w, &mut s);
+        assert_eq!(s.settled_count(), s.settled.iter().filter(|&&x| x).count());
+        assert!(s.settled_count() < 5);
+        let wf = g.permute_weights_float(&[1.0; 5]).unwrap();
+        let mut sf = DijkstraFloatScratch::new();
+        dijkstra_float_into(&g, 0, &[], &wf, &mut sf);
+        assert_eq!(sf.settled_count(), 5);
     }
 
     #[test]

@@ -50,6 +50,41 @@ pub use error::GraphError;
 pub use path::reconstruct_path;
 pub use radix_heap::RadixHeap;
 
+/// The traversal algorithm a [`TraversalObserver`] is being told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalKind {
+    /// Unweighted BFS (one per distinct source in a batch).
+    Bfs,
+    /// Weighted Dijkstra (radix or binary heap).
+    Dijkstra,
+    /// Single-pair bidirectional BFS.
+    BidirBfs,
+}
+
+impl TraversalKind {
+    /// The metric label for this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraversalKind::Bfs => "bfs",
+            TraversalKind::Dijkstra => "dijkstra",
+            TraversalKind::BidirBfs => "bidir-bfs",
+        }
+    }
+}
+
+/// Callback for traversal accounting (settled-vertex counts), implemented
+/// by the engine's metrics layer. The trait lives here so this crate — and
+/// `gsql-accel` above it — stay free of any observability dependency: the
+/// engine hands a trait object down via [`BatchComputer::with_observer`].
+///
+/// Implementations must be cheap and side-effect-free with respect to
+/// query results; they are invoked from parallel workers (hence `Sync`).
+pub trait TraversalObserver: Sync {
+    /// One traversal of `kind` finished having settled/labelled `settled`
+    /// vertices.
+    fn traversal(&self, kind: TraversalKind, settled: usize);
+}
+
 /// Sentinel vertex id meaning "no vertex" / "unreachable".
 pub const NO_VERTEX: u32 = u32::MAX;
 

@@ -78,6 +78,20 @@ pub fn default_morsel_rows() -> usize {
     })
 }
 
+/// A small per-thread slot number, assigned on first use from a global
+/// counter and fixed for the thread's lifetime. Sharded instruments
+/// (`gsql-obs` counters/histograms) key their shard choice on
+/// `thread_slot() % SHARDS`, so concurrent workers land on different cache
+/// lines without any registration handshake. Slots are never reused; the
+/// modulo makes that harmless.
+pub fn thread_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    SLOT.with(|s| *s)
+}
+
 /// A shared work queue handing out fixed-size **morsels** (contiguous row
 /// ranges) of `0..rows` to pipeline workers.
 ///
@@ -563,6 +577,21 @@ mod tests {
         assert!(available_threads() >= 1);
         assert!(default_threads() >= 1);
         assert!(default_morsel_rows() >= 1);
+    }
+
+    #[test]
+    fn thread_slot_is_stable_per_thread_and_distinct_across_threads() {
+        let here = thread_slot();
+        assert_eq!(here, thread_slot(), "slot must be stable within a thread");
+        let slots = Pool::new(4).broadcast(4, |_| thread_slot());
+        // The calling thread participates as worker 0; spawned workers get
+        // fresh (distinct) slots.
+        assert_eq!(slots[0], here);
+        for (i, a) in slots.iter().enumerate() {
+            for b in &slots[i + 1..] {
+                assert_ne!(a, b, "two live threads share a slot");
+            }
+        }
     }
 
     #[test]

@@ -138,8 +138,20 @@ pub fn write_response(
     body: &str,
     extra_headers: &[(&str, &str)],
 ) -> io::Result<()> {
+    write_response_typed(conn, status, body, "application/json", extra_headers)
+}
+
+/// [`write_response`] with an explicit `Content-Type` (`/metrics` serves
+/// the Prometheus text exposition format, not JSON).
+pub fn write_response_typed(
+    conn: &mut TcpStream,
+    status: u16,
+    body: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+) -> io::Result<()> {
     let mut head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
         reason(status),
         body.len(),
     );

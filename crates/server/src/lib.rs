@@ -28,11 +28,18 @@
 //!
 //! * `POST /query` — body `{"sql": "...", "params": [...], "settings":
 //!   {...}}`; answers `{"columns": [...], "rows": [[...]]}` for result
-//!   sets, `{"affected": n}` for DML, `{"ok": true}` otherwise.
+//!   sets, `{"affected": n}` for DML, `{"ok": true}` otherwise. Add
+//!   `"trace": true` to get the statement's span tree inline under
+//!   `"trace"` (see `SET trace` in gsql-core).
 //! * `GET /health` — liveness probe.
 //! * `GET /stats` — plan-cache hit rates, in-flight gauge, per-endpoint
 //!   latency counters, and the worker sessions' execution granularity
-//!   (`pipeline`, `morsel_rows`, `threads`).
+//!   (`pipeline`, `morsel_rows`, `threads`). A thin JSON view over the
+//!   same [`gsql_obs::Registry`] instruments `/metrics` exposes.
+//! * `GET /metrics` — every engine and server instrument in Prometheus
+//!   text exposition format.
+//! * `GET /slowlog` — the bounded ring of slow-query records (`SET
+//!   slow_query_ms`), newest last.
 //!
 //! ```
 //! use gsql_core::Database;
@@ -164,10 +171,14 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Read responded before admitted: were anything still settling,
+        // the invariant `responded <= admitted` could only be understated,
+        // never violated.
+        let responded = self.stats.responded.get();
         ShutdownReport {
-            admitted: self.stats.load(&self.stats.admitted),
-            responded: self.stats.load(&self.stats.responded),
-            refused: self.stats.load(&self.stats.refused),
+            admitted: self.stats.admitted.get(),
+            responded,
+            refused: self.stats.refused.get(),
         }
     }
 }
@@ -192,7 +203,7 @@ pub fn serve(db: Arc<Database>, config: ServerConfig) -> io::Result<ServerHandle
     }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
-    let stats = Arc::new(ServerStats::default());
+    let stats = Arc::new(ServerStats::new(db.metrics()));
     let shutting_down = Arc::new(AtomicBool::new(false));
     let queue = Arc::new(ConnQueue::new(config.queue_depth));
     let config = Arc::new(config);
@@ -227,7 +238,9 @@ struct ConnQueue {
 }
 
 struct QueueState {
-    conns: VecDeque<TcpStream>,
+    /// Each admitted connection with its enqueue instant, so the worker
+    /// that picks it up can observe the admission-queue wait.
+    conns: VecDeque<(TcpStream, Instant)>,
     closed: bool,
 }
 
@@ -247,19 +260,20 @@ impl ConnQueue {
         if state.closed || state.conns.len() >= self.capacity {
             return Err(conn);
         }
-        state.conns.push_back(conn);
+        state.conns.push_back((conn, Instant::now()));
         drop(state);
         self.ready.notify_one();
         Ok(())
     }
 
     /// Blocking take; `None` once the queue is closed *and* empty, so a
-    /// close still drains everything already admitted.
-    fn pop(&self) -> Option<TcpStream> {
+    /// close still drains everything already admitted. The second element
+    /// is how long the connection waited for this worker.
+    fn pop(&self) -> Option<(TcpStream, Duration)> {
         let mut state = self.state.lock().expect("queue poisoned");
         loop {
-            if let Some(conn) = state.conns.pop_front() {
-                return Some(conn);
+            if let Some((conn, enqueued)) = state.conns.pop_front() {
+                return Some((conn, enqueued.elapsed()));
             }
             if state.closed {
                 return None;
@@ -289,10 +303,11 @@ fn accept_loop(
         }
         match queue.push(conn) {
             Ok(()) => {
-                stats.admitted.fetch_add(1, Ordering::Relaxed);
+                stats.admitted.inc();
+                stats.queue_depth.add(1);
             }
             Err(mut conn) => {
-                stats.refused.fetch_add(1, Ordering::Relaxed);
+                stats.refused.inc();
                 let body = error_body("server saturated, retry shortly");
                 let _ = http::write_response(&mut conn, 503, &body, &[("Retry-After", "1")]);
                 // Lingering close: the client may still be writing its
@@ -315,15 +330,25 @@ fn worker_loop(db: &Arc<Database>, queue: &ConnQueue, stats: &ServerStats, confi
         // changed meaning under us, so just skip rather than die.
         let _ = session.set(name, value);
     }
-    while let Some(conn) = queue.pop() {
+    while let Some((conn, waited)) = queue.pop() {
+        stats.queue_depth.sub(1);
+        stats.queue_wait.observe(u64::try_from(waited.as_micros()).unwrap_or(u64::MAX));
+        // handle_connection settles the connection — one `responded` tick
+        // paired with one latency observation, on every path. That
+        // balances `admitted`: the no-dropped-queries invariant at
+        // shutdown.
         handle_connection(db, &session, conn, stats, config);
-        // Settled — response written or client gone. This balances
-        // `admitted`: the no-dropped-queries invariant at shutdown.
-        stats.responded.fetch_add(1, Ordering::Relaxed);
     }
 }
 
 /// Parse one request, route it, write the response, close.
+///
+/// Every path through here settles the connection **exactly once**: one
+/// latency observation on an endpoint histogram paired with one
+/// `responded` tick. Requests that never reach a real endpoint (vanished
+/// clients, unparseable requests, unknown paths, wrong methods) settle on
+/// the `other` histogram — so the request-duration histogram's total count
+/// equals `responded` at every instant.
 fn handle_connection(
     db: &Database,
     session: &Session<'_>,
@@ -331,33 +356,51 @@ fn handle_connection(
     stats: &ServerStats,
     config: &ServerConfig,
 ) {
+    const JSON: &str = "application/json";
+    const PROM: &str = "text/plain; version=0.0.4";
     let started = Instant::now();
-    let Ok(read_half) = conn.try_clone() else { return };
+    let settle = |endpoint: &stats::EndpointStats| {
+        endpoint.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        stats.responded.inc();
+    };
+    let Ok(read_half) = conn.try_clone() else {
+        settle(&stats.other);
+        return;
+    };
     let mut conn = conn;
     let request = http::read_request(&mut BufReader::new(read_half));
-    let (status, body, endpoint) = match request {
-        Err(http::RequestError::Io(_)) => return, // client went away mid-request
-        Err(http::RequestError::Malformed(msg)) => (400, error_body(&msg), None),
-        Err(http::RequestError::TooLarge(msg)) => (413, error_body(&msg), None),
+    let (status, body, endpoint, content_type) = match request {
+        Err(http::RequestError::Io(_)) => {
+            // Client went away mid-request; nothing to write back.
+            settle(&stats.other);
+            return;
+        }
+        Err(http::RequestError::Malformed(msg)) => (400, error_body(&msg), &stats.other, JSON),
+        Err(http::RequestError::TooLarge(msg)) => (413, error_body(&msg), &stats.other, JSON),
         Ok(req) => match (req.method.as_str(), req.path.as_str()) {
             ("POST", "/query") => {
                 let (status, body) = handle_query(session, &req.body, stats, config);
-                (status, body, Some(&stats.query))
+                (status, body, &stats.query, JSON)
             }
-            ("GET", "/health") => (200, r#"{"status":"ok"}"#.to_string(), Some(&stats.health)),
-            ("GET", "/stats") => (200, stats_body(db, session, stats), Some(&stats.stats_endpoint)),
-            (_, "/query" | "/health" | "/stats") => {
-                (405, error_body("method not allowed on this endpoint"), None)
+            ("GET", "/health") => (200, r#"{"status":"ok"}"#.to_string(), &stats.health, JSON),
+            ("GET", "/stats") => (200, stats_body(db, session, stats), &stats.stats_endpoint, JSON),
+            ("GET", "/metrics") => {
+                (200, db.metrics().registry().render(), &stats.metrics_endpoint, PROM)
             }
-            _ => (404, error_body("no such endpoint"), None),
+            ("GET", "/slowlog") => {
+                (200, db.slow_log().render_json(), &stats.slowlog_endpoint, JSON)
+            }
+            (_, "/query" | "/health" | "/stats" | "/metrics" | "/slowlog") => {
+                (405, error_body("method not allowed on this endpoint"), &stats.other, JSON)
+            }
+            _ => (404, error_body("no such endpoint"), &stats.other, JSON),
         },
     };
     // Record before writing, so a client that saw the response (and may
-    // immediately GET /stats from another worker) finds it counted.
-    if let Some(endpoint) = endpoint {
-        endpoint.record(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
-    }
-    let _ = http::write_response(&mut conn, status, &body, &[]);
+    // immediately GET /stats or /metrics from another worker) finds it
+    // counted.
+    settle(endpoint);
+    let _ = http::write_response_typed(&mut conn, status, &body, content_type, &[]);
 }
 
 /// Execute one `/query` request body against the worker's session.
@@ -395,6 +438,17 @@ fn handle_query(
             return (400, error_body(&msg));
         }
     }
+    // `"trace": true` turns span collection on for just this statement
+    // (without downgrading an explicit `settings.trace = verbose`); the
+    // collected tree rides back inline under `"trace"`.
+    let want_trace = matches!(doc.get("trace"), Some(Json::Bool(true)));
+    if want_trace {
+        if let Ok(old) = session.setting("trace") {
+            if old == "off" && session.set("trace", "on").is_ok() {
+                saved.push(("trace".to_string(), old));
+            }
+        }
+    }
 
     let in_flight = InFlight::enter(stats);
     let result = match config.default_timeout_ms {
@@ -407,11 +461,19 @@ fn handle_query(
     restore_settings(session, &saved);
 
     match result {
-        Ok(result) => (200, result_body(&result)),
+        Ok(result) => {
+            let mut members = result_members(&result);
+            if want_trace {
+                if let Some(spans) = session.last_trace_json().and_then(|t| json::parse(&t).ok()) {
+                    members.push(("trace".to_string(), spans));
+                }
+            }
+            (200, Json::Object(members).encode())
+        }
         Err(e) => {
-            stats.query_errors.fetch_add(1, Ordering::Relaxed);
+            stats.query_errors.inc();
             if matches!(e, Error::Timeout { .. }) {
-                stats.query_timeouts.fetch_add(1, Ordering::Relaxed);
+                stats.query_timeouts.inc();
             }
             (error_status(&e), error_body(&e.to_string()))
         }
@@ -481,7 +543,7 @@ fn error_body(message: &str) -> String {
     Json::Object(vec![("error".to_string(), Json::from(message))]).encode()
 }
 
-fn result_body(result: &QueryResult) -> String {
+fn result_members(result: &QueryResult) -> Vec<(String, Json)> {
     match result {
         QueryResult::Table(t) => {
             let columns: Vec<Json> =
@@ -489,17 +551,14 @@ fn result_body(result: &QueryResult) -> String {
             let rows: Vec<Json> = (0..t.row_count())
                 .map(|i| Json::Array(t.row(i).iter().map(value_to_json).collect()))
                 .collect();
-            Json::Object(vec![
+            vec![
                 ("columns".to_string(), Json::Array(columns)),
                 ("rows".to_string(), Json::Array(rows)),
                 ("row_count".to_string(), Json::from(t.row_count())),
-            ])
-            .encode()
+            ]
         }
-        QueryResult::Affected(n) => {
-            Json::Object(vec![("affected".to_string(), Json::from(*n))]).encode()
-        }
-        QueryResult::Ok => Json::Object(vec![("ok".to_string(), Json::Bool(true))]).encode(),
+        QueryResult::Affected(n) => vec![("affected".to_string(), Json::from(*n))],
+        QueryResult::Ok => vec![("ok".to_string(), Json::Bool(true))],
     }
 }
 
@@ -515,33 +574,39 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
+/// The `/stats` JSON body — a thin view over the same registry
+/// instruments `/metrics` renders, so the two surfaces can never drift
+/// apart (the old implementation kept a second set of atomics here).
 fn stats_body(db: &Database, session: &Session<'_>, stats: &ServerStats) -> String {
     let cache = db.shared_plan_cache().stats();
+    let metrics = db.metrics();
     let endpoint = |e: &stats::EndpointStats| {
-        let requests = e.requests.load(Ordering::Relaxed);
-        let total = e.total_micros.load(Ordering::Relaxed);
+        let snap = e.snapshot();
         Json::Object(vec![
-            ("requests".to_string(), Json::from(requests)),
-            ("avg_micros".to_string(), Json::from(total.checked_div(requests).unwrap_or(0))),
-            ("max_micros".to_string(), Json::from(e.max_micros.load(Ordering::Relaxed))),
+            ("requests".to_string(), Json::from(snap.count)),
+            ("avg_micros".to_string(), Json::from(snap.sum.checked_div(snap.count).unwrap_or(0))),
+            ("max_micros".to_string(), Json::from(snap.max)),
         ])
     };
+    // Read responded before admitted so the pair can only understate
+    // responded, never show responded > admitted.
+    let responded = stats.responded.get();
     Json::Object(vec![
         (
             "plan_cache".to_string(),
             Json::Object(vec![
-                ("hits".to_string(), Json::from(cache.hits)),
-                ("misses".to_string(), Json::from(cache.misses)),
-                ("invalidations".to_string(), Json::from(cache.invalidations)),
+                ("hits".to_string(), Json::from(metrics.plan_cache_hits.get())),
+                ("misses".to_string(), Json::from(metrics.plan_cache_misses.get())),
+                ("invalidations".to_string(), Json::from(metrics.plan_cache_invalidations.get())),
                 ("entries".to_string(), Json::from(cache.entries)),
             ]),
         ),
-        ("admitted".to_string(), Json::from(stats.load(&stats.admitted))),
-        ("responded".to_string(), Json::from(stats.load(&stats.responded))),
-        ("refused".to_string(), Json::from(stats.load(&stats.refused))),
-        ("in_flight".to_string(), Json::from(stats.load(&stats.in_flight))),
-        ("query_errors".to_string(), Json::from(stats.load(&stats.query_errors))),
-        ("query_timeouts".to_string(), Json::from(stats.load(&stats.query_timeouts))),
+        ("admitted".to_string(), Json::from(stats.admitted.get())),
+        ("responded".to_string(), Json::from(responded)),
+        ("refused".to_string(), Json::from(stats.refused.get())),
+        ("in_flight".to_string(), Json::from(stats.in_flight.get())),
+        ("query_errors".to_string(), Json::from(stats.query_errors.get())),
+        ("query_timeouts".to_string(), Json::from(stats.query_timeouts.get())),
         (
             "endpoints".to_string(),
             Json::Object(vec![

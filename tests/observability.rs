@@ -1,0 +1,499 @@
+//! Engine-wide observability, end to end: the metrics registry counts
+//! queries/pipelines/traversals monotonically at several thread counts,
+//! `SET trace` yields a well-formed span tree (through the session API and
+//! over HTTP), the slow-query log triggers and evicts, `/metrics` renders
+//! valid Prometheus exposition text, and tracing never perturbs results
+//! (thread-equivalence with the collector on).
+//!
+//! Assertions are tolerant of the CI environment matrix: `GSQL_PATH_INDEX`
+//! / `GSQL_PATH_INDEX_KIND` change which traversal kinds fire (so kind
+//! labels are asserted only when present), and `GSQL_TRACE=verbose` adds
+//! per-operator spans (so span counts are lower bounds, never exact).
+
+use gsql::{Database, Value};
+use gsql_obs::{QueryOutcome, QueryVerb, SlowLog, SlowQueryRecord, ACCEL_KINDS};
+use gsql_server::json::{self, Json};
+use gsql_server::{client, serve, ServerConfig};
+
+/// A deterministic digraph plus a `people` table for graph-join shapes
+/// (same generator family as the path-index suite, smaller).
+fn graph_db() -> Database {
+    let db = Database::new();
+    db.execute("CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)")
+        .unwrap();
+    db.execute("CREATE TABLE people (id INTEGER NOT NULL, grp INTEGER NOT NULL)").unwrap();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    let mut edges = String::new();
+    for i in 0..400 {
+        let s = next() % 80;
+        let d = next() % 80;
+        let w = next() % 16 + 1;
+        if i > 0 {
+            edges.push_str(", ");
+        }
+        edges.push_str(&format!("({s}, {d}, {w})"));
+    }
+    db.execute(&format!("INSERT INTO e VALUES {edges}")).unwrap();
+    let mut people = String::new();
+    for id in 0..80 {
+        if id > 0 {
+            people.push_str(", ");
+        }
+        people.push_str(&format!("({id}, {})", id % 8));
+    }
+    db.execute(&format!("INSERT INTO people VALUES {people}")).unwrap();
+    db
+}
+
+/// Sum of traversal counters across every accelerator kind.
+fn traversals_all_kinds(m: &gsql_obs::EngineMetrics) -> u64 {
+    ACCEL_KINDS.iter().map(|k| m.traversals_total(k)).sum()
+}
+
+// ---------------------------------------------------------------------------
+// 1. Metrics monotonicity
+// ---------------------------------------------------------------------------
+
+/// Every statement increments exactly one `(verb, outcome)` counter, the
+/// pipeline/morsel/traversal counters grow with matching work, and the
+/// plan cache counters follow hits — at one worker and at four.
+#[test]
+fn metrics_count_queries_pipelines_and_traversals() {
+    for threads in ["1", "4"] {
+        let db = graph_db();
+        let m = db.metrics();
+        let session = db.session();
+        session.set("threads", threads).unwrap();
+        session.set("pipeline", "on").unwrap();
+
+        let base_ok = m.queries_total(QueryVerb::Select, QueryOutcome::Ok);
+        let base_err = m.queries_total(QueryVerb::Select, QueryOutcome::Error);
+        let base_pipelines = m.pipelines_total();
+        let base_morsels = m.morsels_total();
+        let base_latency = m.query_latency().snapshot().count;
+
+        for _ in 0..5 {
+            session.query("SELECT id FROM people WHERE grp = 3").unwrap();
+        }
+        assert_eq!(
+            m.queries_total(QueryVerb::Select, QueryOutcome::Ok),
+            base_ok + 5,
+            "threads {threads}: one ok-select per statement"
+        );
+        assert!(
+            m.pipelines_total() >= base_pipelines + 5,
+            "threads {threads}: each pipelined query records >= 1 pipeline \
+             ({} -> {})",
+            base_pipelines,
+            m.pipelines_total()
+        );
+        assert!(m.morsels_total() > base_morsels, "threads {threads}: morsel throughput must grow");
+        assert!(
+            m.query_latency().snapshot().count >= base_latency + 5,
+            "threads {threads}: every statement observes end-to-end latency"
+        );
+
+        // A bind error is an error-outcome select, not an ok one.
+        assert!(session.query("SELECT no_such_column FROM people").is_err());
+        assert_eq!(m.queries_total(QueryVerb::Select, QueryOutcome::Error), base_err + 1);
+        assert_eq!(m.queries_total(QueryVerb::Select, QueryOutcome::Ok), base_ok + 5);
+
+        // DML counts under its own verb.
+        let base_ins = m.queries_total(QueryVerb::Insert, QueryOutcome::Ok);
+        session.execute("INSERT INTO people VALUES (900, 0)").unwrap();
+        assert_eq!(m.queries_total(QueryVerb::Insert, QueryOutcome::Ok), base_ins + 1);
+
+        // Re-running an identical statement is a plan-cache hit, synced to
+        // the registry counters.
+        let base_hits = m.plan_cache_hits.get();
+        session.query("SELECT count(*) FROM people").unwrap();
+        session.query("SELECT count(*) FROM people").unwrap();
+        assert!(
+            m.plan_cache_hits.get() > base_hits,
+            "threads {threads}: repeated SQL must hit the plan cache"
+        );
+
+        // A shortest-path query records at least one traversal under some
+        // accelerator kind (which kind depends on the index environment).
+        let base_trav = traversals_all_kinds(m);
+        session
+            .query_with_params(
+                "SELECT CHEAPEST SUM(1) WHERE ? REACHES ? OVER e EDGE (s, d)",
+                &[Value::Int(1), Value::Int(40)],
+            )
+            .unwrap();
+        assert!(
+            traversals_all_kinds(m) > base_trav,
+            "threads {threads}: traversal counters must grow"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Trace span tree
+// ---------------------------------------------------------------------------
+
+/// Find the first span named `name` anywhere in a trace forest.
+fn find_span<'j>(spans: &'j [Json], name: &str) -> Option<&'j Json> {
+    for span in spans {
+        if span.get("name").and_then(Json::as_str) == Some(name) {
+            return Some(span);
+        }
+        if let Some(children) = span.get("children").and_then(Json::as_array) {
+            if let Some(hit) = find_span(children, name) {
+                return Some(hit);
+            }
+        }
+    }
+    None
+}
+
+fn attr<'j>(span: &'j Json, key: &str) -> Option<&'j Json> {
+    span.get("attrs").and_then(|a| a.get(key))
+}
+
+/// `SET trace = on` records a statement -> bind/optimize/execute ->
+/// pipeline span tree for a fused pipeline, and a traversal span with
+/// pair/settled counts for a batched graph join.
+#[test]
+fn trace_records_span_tree_for_pipeline_and_graph_join() {
+    let db = graph_db();
+    db.execute("CREATE PATH INDEX pc ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+    let session = db.session();
+    session.set("trace", "on").unwrap();
+    session.set("pipeline", "on").unwrap();
+
+    // Fused pipeline shape.
+    session.query("SELECT id FROM people WHERE grp = 2").unwrap();
+    let doc = json::parse(&session.last_trace_json().expect("trace ring populated")).unwrap();
+    let roots = doc.as_array().expect("trace JSON is a span array");
+    let statement = find_span(roots, "statement").expect("statement root span");
+    assert_eq!(attr(statement, "verb").and_then(Json::as_str), Some("select"));
+    assert_eq!(attr(statement, "outcome").and_then(Json::as_str), Some("ok"));
+    assert!(
+        attr(statement, "parse_us").and_then(Json::as_i64).is_some(),
+        "statement span carries parse time: {doc:?}"
+    );
+    assert!(find_span(roots, "execute").is_some(), "execute child span: {doc:?}");
+    let pipeline = find_span(roots, "pipeline").expect("pipeline span under execute");
+    assert!(
+        attr(pipeline, "morsels").and_then(Json::as_i64).unwrap_or(0) >= 1,
+        "pipeline span counts morsels: {pipeline:?}"
+    );
+    assert!(
+        attr(pipeline, "queue_wait_us").and_then(Json::as_i64).is_some(),
+        "pipeline span carries queue wait: {pipeline:?}"
+    );
+
+    // A fresh statement replaces the ring head; bind/optimize only appear
+    // on a cache miss, so check them on the first execution of a new SQL.
+    let batch = "SELECT p1.id, p2.id, CHEAPEST SUM(f: f.w) AS cost \
+                 FROM people p1, people p2 \
+                 WHERE p1.grp = 1 AND p2.grp = 4 AND p1.id REACHES p2.id OVER e f EDGE (s, d)";
+    session.query(batch).unwrap();
+    let doc = json::parse(&session.last_trace_json().unwrap()).unwrap();
+    let roots = doc.as_array().unwrap();
+    assert!(find_span(roots, "bind").is_some(), "bind span on first plan: {doc:?}");
+    assert!(find_span(roots, "optimize").is_some(), "optimize span on first plan: {doc:?}");
+    let traversal = find_span(roots, "traversal").expect("traversal span for the graph join");
+    assert!(
+        attr(traversal, "pairs").and_then(Json::as_i64).unwrap_or(0) >= 1,
+        "traversal span counts pairs: {traversal:?}"
+    );
+    assert!(
+        attr(traversal, "settled").and_then(Json::as_i64).is_some(),
+        "traversal span counts settled vertices: {traversal:?}"
+    );
+    // The kind label is present exactly when an accelerator ran (absent
+    // under GSQL_PATH_INDEX=off); when present it must be a known kind.
+    if let Some(kind) = attr(traversal, "kind").and_then(Json::as_str) {
+        assert!(ACCEL_KINDS.contains(&kind), "unknown traversal kind {kind:?}");
+    }
+
+    // The repeated statement is served from the plan cache and says so.
+    session.query(batch).unwrap();
+    let doc = json::parse(&session.last_trace_json().unwrap()).unwrap();
+    let statement = find_span(doc.as_array().unwrap(), "statement").unwrap();
+    assert_eq!(attr(statement, "plan_cache").and_then(Json::as_str), Some("hit"));
+
+    // The ring retains history, newest last.
+    let history = session.trace_history();
+    assert!(history.len() >= 3, "ring keeps the battery: {}", history.len());
+    assert_eq!(history.last(), session.last_trace_json().as_ref());
+
+    // Satellite: EXPLAIN ANALYZE pipeline summaries report queue wait.
+    let t = session.query("EXPLAIN ANALYZE SELECT id FROM people WHERE grp = 5").unwrap();
+    let text: Vec<String> = t.rows().map(|r| r[0].as_str().unwrap().to_string()).collect();
+    let full = text.join("\n");
+    let pipeline_line = text
+        .iter()
+        .find(|l| l.starts_with("Pipeline "))
+        .unwrap_or_else(|| panic!("no pipeline summary in:\n{full}"));
+    assert!(pipeline_line.contains("queue-wait avg="), "line was: {pipeline_line}");
+    assert!(pipeline_line.contains("max="), "line was: {pipeline_line}");
+}
+
+// ---------------------------------------------------------------------------
+// 3. Slow-query log
+// ---------------------------------------------------------------------------
+
+/// Statements over the `slow_query_ms` threshold land in the ring with
+/// hash, verb, and span summary; fast statements do not.
+#[test]
+fn slow_query_log_triggers_on_threshold() {
+    let db = Database::new();
+    db.execute("CREATE TABLE t (x INTEGER NOT NULL)").unwrap();
+    let rows: Vec<String> = (0..300).map(|i| format!("({i})")).collect();
+    db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", "))).unwrap();
+
+    let session = db.session();
+    session.set("trace", "on").unwrap();
+
+    // Fast statement under a generous threshold: nothing logged.
+    session.set("slow_query_ms", "10000").unwrap();
+    session.query("SELECT count(*) FROM t").unwrap();
+    assert_eq!(db.slow_log().len(), 0, "fast statements stay out of the log");
+
+    // A 90k-row cross-join aggregate comfortably exceeds 1 ms.
+    session.set("slow_query_ms", "1").unwrap();
+    let slow_sql = "SELECT count(*) FROM t a, t b WHERE a.x <= b.x";
+    session.query(slow_sql).unwrap();
+    assert!(!db.slow_log().is_empty(), "slow statement must be logged");
+
+    let entry = db.slow_log().entries().pop().unwrap();
+    assert_eq!(entry.verb, "select");
+    assert_eq!(entry.outcome, "ok");
+    assert!(entry.elapsed_us >= 1000, "elapsed {}us under the 1ms threshold", entry.elapsed_us);
+    assert!(!entry.sql_hash.is_empty(), "sql hash recorded");
+    assert!(!entry.plan_fingerprint.is_empty(), "plan fingerprint recorded");
+    assert!(
+        entry.settings.iter().any(|(n, v)| n == "slow_query_ms" && v == "1"),
+        "settings snapshot: {:?}",
+        entry.settings
+    );
+    assert!(
+        entry.spans.iter().any(|(n, dur)| n == "statement" && *dur > 0),
+        "span summary from the trace: {:?}",
+        entry.spans
+    );
+
+    // The surface renders as one JSON document.
+    let doc = json::parse(&db.slow_log().render_json()).unwrap();
+    assert!(doc.get("count").and_then(Json::as_i64).unwrap_or(0) >= 1);
+    let first = doc.get("entries").and_then(Json::as_array).unwrap().first().unwrap();
+    assert!(first.get("sql_hash").and_then(Json::as_str).is_some());
+    assert!(first.get("elapsed_us").and_then(Json::as_i64).is_some());
+}
+
+/// The ring is bounded: pushing past capacity evicts oldest-first.
+#[test]
+fn slow_query_ring_evicts_oldest() {
+    let log = SlowLog::with_stderr(2, false);
+    for n in 1..=3u64 {
+        log.push(SlowQueryRecord {
+            unix_us: n,
+            sql_hash: format!("{n:x}"),
+            plan_fingerprint: String::new(),
+            verb: "select".to_string(),
+            outcome: "ok".to_string(),
+            elapsed_us: n * 500,
+            settings: Vec::new(),
+            spans: Vec::new(),
+        });
+    }
+    assert_eq!(log.len(), 2);
+    let kept: Vec<u64> = log.entries().iter().map(|r| r.unix_us).collect();
+    assert_eq!(kept, vec![2, 3], "oldest record evicted first");
+}
+
+// ---------------------------------------------------------------------------
+// 4. /metrics exposition over HTTP
+// ---------------------------------------------------------------------------
+
+/// One exposition sample: `name 3` or `name{labels} 3`.
+fn parse_sample(line: &str) -> Option<(String, f64)> {
+    let (name_part, value) = line.rsplit_once(' ')?;
+    let value: f64 = value.parse().ok()?;
+    let name = match name_part.split_once('{') {
+        Some((n, labels)) => {
+            if !labels.ends_with('}') {
+                return None;
+            }
+            n
+        }
+        None => name_part,
+    };
+    let well_formed = !name.is_empty()
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':');
+    well_formed.then(|| (name.to_string(), value))
+}
+
+/// Serve a database, drive a known request mix, and check the exposition:
+/// every line parses, the engine/admission/plan-cache families are
+/// present, and the per-endpoint latency histogram counts exactly the
+/// requests each endpoint answered.
+#[test]
+fn metrics_endpoint_renders_valid_exposition() {
+    let db = std::sync::Arc::new(graph_db());
+    let server = serve(
+        std::sync::Arc::clone(&db),
+        ServerConfig { workers: 2, queue_depth: 32, ..ServerConfig::default() },
+    )
+    .expect("server failed to start");
+    let addr = server.addr();
+
+    let body = Json::Object(vec![(
+        "sql".to_string(),
+        Json::from("SELECT count(*) AS n FROM people WHERE grp = 1"),
+    )])
+    .encode();
+    for _ in 0..2 {
+        let resp = client::post(addr, "/query", &body).unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body);
+    }
+    assert_eq!(client::get(addr, "/health").unwrap().status, 200);
+    assert_eq!(client::get(addr, "/stats").unwrap().status, 200);
+
+    let resp = client::get(addr, "/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let exposition = resp.body;
+    server.shutdown();
+
+    // Every non-comment line is a well-formed sample.
+    let mut samples: Vec<(String, f64)> = Vec::new();
+    for line in exposition.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample =
+            parse_sample(line).unwrap_or_else(|| panic!("malformed exposition line: {line}"));
+        samples.push(sample);
+    }
+    assert!(samples.len() > 20, "expected a populated exposition, got {}", samples.len());
+
+    // Engine families: queries, plan cache, pipelines, traversals.
+    for family in [
+        "# TYPE gsql_queries_total counter",
+        "# TYPE gsql_query_duration_microseconds histogram",
+        "# TYPE gsql_plan_cache_hits_total counter",
+        "# TYPE gsql_plan_cache_misses_total counter",
+        "# TYPE gsql_plan_cache_entries gauge",
+        "# TYPE gsql_pipelines_total counter",
+        "# TYPE gsql_pipeline_morsels_total counter",
+        "# TYPE gsql_traversals_total counter",
+        "# TYPE gsql_traversal_settled_vertices histogram",
+        // Serving tier: admission control and per-endpoint latency.
+        "# TYPE gsql_http_admitted_total counter",
+        "# TYPE gsql_http_responded_total counter",
+        "# TYPE gsql_http_refused_total counter",
+        "# TYPE gsql_http_queue_depth gauge",
+        "# TYPE gsql_http_queue_wait_microseconds histogram",
+        "# TYPE gsql_http_request_duration_microseconds histogram",
+    ] {
+        assert!(exposition.contains(family), "missing exposition family: {family}");
+    }
+
+    // The two /query statements are ok-selects.
+    let ok_selects = exposition
+        .lines()
+        .find(|l| l.starts_with("gsql_queries_total{verb=\"select\",outcome=\"ok\"}"))
+        .and_then(parse_sample)
+        .map(|(_, v)| v)
+        .unwrap_or(0.0);
+    assert!(ok_selects >= 2.0, "ok-select counter saw the /query statements: {ok_selects}");
+
+    // Per-endpoint latency counts match the request mix exactly: the
+    // /metrics response renders before settling itself, so its own
+    // endpoint reads zero.
+    for (endpoint, want) in [("query", 2.0), ("health", 1.0), ("stats", 1.0), ("metrics", 0.0)] {
+        let line_start =
+            format!("gsql_http_request_duration_microseconds_count{{endpoint=\"{endpoint}\"}}");
+        let got = exposition
+            .lines()
+            .find(|l| l.starts_with(&line_start))
+            .and_then(parse_sample)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("no latency count for endpoint {endpoint}"));
+        assert_eq!(got, want, "endpoint {endpoint} latency count");
+    }
+}
+
+/// `"trace": true` on a /query request returns the span tree inline.
+#[test]
+fn http_query_returns_inline_trace_on_request() {
+    let db = std::sync::Arc::new(graph_db());
+    let server =
+        serve(std::sync::Arc::clone(&db), ServerConfig::default()).expect("server failed to start");
+    let addr = server.addr();
+
+    let body = Json::Object(vec![
+        ("sql".to_string(), Json::from("SELECT count(*) FROM people")),
+        ("trace".to_string(), Json::Bool(true)),
+    ])
+    .encode();
+    let resp = client::post(addr, "/query", &body).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body);
+    let doc = json::parse(&resp.body).unwrap();
+    let trace = doc.get("trace").and_then(Json::as_array).expect("inline trace span array");
+    let statement = find_span(trace, "statement").expect("statement span over HTTP");
+    assert_eq!(attr(statement, "outcome").and_then(Json::as_str), Some("ok"));
+    assert!(find_span(trace, "execute").is_some());
+
+    // Without the flag the response has no trace member.
+    let plain =
+        Json::Object(vec![("sql".to_string(), Json::from("SELECT count(*) FROM people"))]).encode();
+    let resp = client::post(addr, "/query", &plain).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(json::parse(&resp.body).unwrap().get("trace").is_none());
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// 5. Thread-equivalence with tracing on
+// ---------------------------------------------------------------------------
+
+/// Render a result table to a canonical string.
+fn render(t: &gsql::Table) -> String {
+    t.rows().map(|r| format!("{r:?}")).collect::<Vec<_>>().join("\n")
+}
+
+/// Tracing must be observation-only: with the collector on, results are
+/// byte-identical across worker counts and identical to the untraced run.
+#[test]
+fn tracing_preserves_thread_equivalence() {
+    let db = graph_db();
+    db.execute("CREATE PATH INDEX pc ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+    let battery = [
+        "SELECT id, grp FROM people WHERE grp < 3 ORDER BY id".to_string(),
+        "SELECT grp, count(*) AS n FROM people GROUP BY grp ORDER BY grp".to_string(),
+        "SELECT CHEAPEST SUM(f: f.w) AS cost WHERE 1 REACHES 40 OVER e f EDGE (s, d)".to_string(),
+        "SELECT p1.id, p2.id, CHEAPEST SUM(1) AS hops FROM people p1, people p2 \
+         WHERE p1.grp = 0 AND p2.grp = 5 AND p1.id REACHES p2.id OVER e EDGE (s, d)"
+            .to_string(),
+    ];
+
+    let run = |threads: &str, trace: &str| -> Vec<String> {
+        let session = db.session();
+        session.set("threads", threads).unwrap();
+        session.set("pipeline", "on").unwrap();
+        session.set("trace", trace).unwrap();
+        battery.iter().map(|sql| render(&session.query(sql).unwrap())).collect()
+    };
+
+    let traced_1 = run("1", "on");
+    let traced_4 = run("4", "on");
+    let verbose_4 = run("4", "verbose");
+    let untraced_4 = run("4", "off");
+    for (i, sql) in battery.iter().enumerate() {
+        assert_eq!(traced_1[i], traced_4[i], "threads diverged under trace: {sql}");
+        assert_eq!(traced_4[i], untraced_4[i], "tracing changed results: {sql}");
+        assert_eq!(traced_4[i], verbose_4[i], "verbose tracing changed results: {sql}");
+    }
+}

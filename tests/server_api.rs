@@ -332,14 +332,14 @@ fn saturated_queue_returns_503_with_retry_after() {
 
     // Pin the worker: it pops this connection and blocks on the body.
     let pinned = HalfSentRequest::begin(addr, query_body(Q13, &[1, 3]));
-    wait_for("admitted", 1, || server.stats().load(&server.stats().admitted));
+    wait_for("admitted", 1, || server.stats().admitted.get());
     // The worker must have *popped* it before the next one lands in the
     // queue slot; admission counts at push, so give the pop a moment.
     std::thread::sleep(Duration::from_millis(50));
 
     // Fills the single queue slot.
     let queued = HalfSentRequest::begin(addr, query_body(Q13, &[1, 3]));
-    wait_for("admitted", 2, || server.stats().load(&server.stats().admitted));
+    wait_for("admitted", 2, || server.stats().admitted.get());
 
     // Queue full, worker busy: refused at the door.
     let resp = client::post(addr, "/query", &query_body(Q13, &[1, 3])).unwrap();
@@ -366,7 +366,7 @@ fn graceful_shutdown_drains_admitted_queries() {
     let stats = Arc::clone(server.stats());
 
     let pinned = HalfSentRequest::begin(addr, query_body(Q13, &[1, 3]));
-    wait_for("admitted", 1, || stats.load(&stats.admitted));
+    wait_for("admitted", 1, || stats.admitted.get());
     std::thread::sleep(Duration::from_millis(50)); // let the worker pop it
 
     // Three more pile up in the queue behind the pinned request.
@@ -377,7 +377,7 @@ fn graceful_shutdown_drains_admitted_queries() {
             })
         })
         .collect();
-    wait_for("admitted", 4, || stats.load(&stats.admitted));
+    wait_for("admitted", 4, || stats.admitted.get());
 
     // Shutdown starts draining while the worker is still mid-request.
     let shutdown = std::thread::spawn(move || server.shutdown());
