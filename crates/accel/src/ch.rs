@@ -304,6 +304,90 @@ impl ContractionHierarchy {
                 * (std::mem::size_of::<u32>() + std::mem::size_of::<u64>())
             + (self.fwd_up.offsets.len() + self.bwd_up.offsets.len()) * std::mem::size_of::<usize>()
     }
+
+    /// Clone the hierarchy into its raw parts for serialization.
+    pub fn to_parts(&self) -> ChParts {
+        let up = |g: &UpGraph| UpGraphParts {
+            offsets: g.offsets.clone(),
+            targets: g.targets.clone(),
+            weights: g.weights.clone(),
+        };
+        ChParts {
+            rank: self.rank.clone(),
+            fwd: up(&self.fwd_up),
+            bwd: up(&self.bwd_up),
+            shortcuts: self.shortcuts as u64,
+        }
+    }
+
+    /// Reassemble a hierarchy from serialized parts, validating the CSR
+    /// invariants ([`ContractionHierarchy::to_parts`] round-trips exactly).
+    /// The error string names the violated invariant.
+    pub fn from_parts(parts: ChParts) -> Result<ContractionHierarchy, String> {
+        let n = parts.rank.len();
+        let check = |side: &str, p: &UpGraphParts| -> Result<(), String> {
+            if p.offsets.len() != n + 1 {
+                return Err(format!(
+                    "{side} upward graph has {} offsets for {n} vertices",
+                    p.offsets.len()
+                ));
+            }
+            if p.offsets.first() != Some(&0) || p.offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("{side} upward graph offsets are not monotone from 0"));
+            }
+            let m = *p.offsets.last().unwrap_or(&0);
+            if p.targets.len() != m || p.weights.len() != m {
+                return Err(format!(
+                    "{side} upward graph declares {m} edges but has {} targets / {} weights",
+                    p.targets.len(),
+                    p.weights.len()
+                ));
+            }
+            if p.targets.iter().any(|&t| t as usize >= n) {
+                return Err(format!("{side} upward graph target out of range"));
+            }
+            Ok(())
+        };
+        check("forward", &parts.fwd)?;
+        check("backward", &parts.bwd)?;
+        let up = |p: UpGraphParts| UpGraph {
+            offsets: p.offsets,
+            targets: p.targets,
+            weights: p.weights,
+        };
+        Ok(ContractionHierarchy {
+            rank: parts.rank,
+            fwd_up: up(parts.fwd),
+            bwd_up: up(parts.bwd),
+            shortcuts: parts.shortcuts as usize,
+        })
+    }
+}
+
+/// Raw contents of one upward search graph (see [`ChParts`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpGraphParts {
+    /// CSR offsets, length `n + 1`.
+    pub offsets: Vec<usize>,
+    /// Higher-ranked neighbor of each slot.
+    pub targets: Vec<u32>,
+    /// Edge weight of each slot.
+    pub weights: Vec<u64>,
+}
+
+/// The raw parts of a [`ContractionHierarchy`], used by the persistence
+/// layer to serialize a built hierarchy and reassemble it on warm start
+/// without re-running preprocessing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChParts {
+    /// Contraction order (`rank[v]` = position of `v`).
+    pub rank: Vec<u32>,
+    /// The source-side (forward upward) search graph.
+    pub fwd: UpGraphParts,
+    /// The destination-side (backward upward) search graph.
+    pub bwd: UpGraphParts,
+    /// Number of shortcuts inserted at build time (reporting only).
+    pub shortcuts: u64,
 }
 
 /// SplitMix64 finalizer: the deterministic per-vertex hash that spreads

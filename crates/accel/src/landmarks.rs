@@ -82,6 +82,39 @@ impl Landmarks {
         &self.landmarks
     }
 
+    /// Clone the index into its raw parts `(landmarks, fwd, bwd)` for
+    /// serialization.
+    pub fn to_parts(&self) -> (Vec<u32>, Vec<Vec<u64>>, Vec<Vec<u64>>) {
+        (self.landmarks.clone(), self.fwd.clone(), self.bwd.clone())
+    }
+
+    /// Reassemble an index from serialized parts, validating that every
+    /// landmark has one forward and one backward vector and that all
+    /// vectors cover the same vertex count. The error string names the
+    /// violated invariant.
+    pub fn from_parts(
+        landmarks: Vec<u32>,
+        fwd: Vec<Vec<u64>>,
+        bwd: Vec<Vec<u64>>,
+    ) -> Result<Landmarks, String> {
+        if fwd.len() != landmarks.len() || bwd.len() != landmarks.len() {
+            return Err(format!(
+                "{} landmarks with {} forward / {} backward vectors",
+                landmarks.len(),
+                fwd.len(),
+                bwd.len()
+            ));
+        }
+        let n = fwd.first().map(Vec::len).unwrap_or(0);
+        if fwd.iter().chain(bwd.iter()).any(|v| v.len() != n) {
+            return Err("landmark distance vectors have inconsistent lengths".into());
+        }
+        if landmarks.iter().any(|&lm| lm as usize >= n.max(1)) && n > 0 {
+            return Err("landmark vertex id out of range".into());
+        }
+        Ok(Landmarks { landmarks, fwd, bwd })
+    }
+
     /// Number of landmarks.
     pub fn len(&self) -> usize {
         self.landmarks.len()

@@ -55,7 +55,7 @@ pub mod landmarks;
 pub mod m2m;
 
 pub use alt::{alt_bidirectional, AltResult};
-pub use ch::ContractionHierarchy;
+pub use ch::{ChParts, ContractionHierarchy, UpGraphParts};
 pub use ch_query::{ch_query, ChResult};
 pub use landmarks::Landmarks;
 pub use m2m::{alt_many_to_many, alt_multi_target, ch_many_to_many, AltMultiResult, M2mResult};

@@ -20,8 +20,11 @@ use crate::plan::{LogicalPlan, PlanColumn, PlanSchema};
 use crate::session::{PreparedStatement, Session, SharedPlanCache};
 use gsql_obs::{EngineMetrics, SlowLog};
 use gsql_parser::ast;
-use gsql_storage::{Catalog, ColumnDef, DataType, Schema, Table, Value};
+use gsql_storage::{Catalog, ColumnDef, DataType, DurableStore, Schema, Table, Value};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 type Result<T> = std::result::Result<T, Error>;
 
@@ -75,12 +78,125 @@ pub struct Database {
     shared_plan_cache: Arc<SharedPlanCache>,
     metrics: Arc<EngineMetrics>,
     slow_log: Arc<SlowLog>,
+    /// The durability layer, present only for databases opened with
+    /// [`Database::open`] (or `GSQL_DATA_DIR`). `None` = pure in-memory:
+    /// no WAL, no checkpoints, zero overhead on any existing path.
+    storage: Option<Arc<DurableStore>>,
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database. In-memory, unless the `GSQL_DATA_DIR`
+    /// environment variable names a directory — then every database this
+    /// process creates is durable under a unique subdirectory of it (the
+    /// CI durable matrix leg runs the whole suite this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `GSQL_DATA_DIR` is set but the durable open fails —
+    /// a silently in-memory "durable" run would defeat the point.
     pub fn new() -> Database {
-        Database::default()
+        match std::env::var_os("GSQL_DATA_DIR") {
+            Some(dir) if !dir.is_empty() => {
+                static SEQ: AtomicU64 = AtomicU64::new(0);
+                let sub = std::path::PathBuf::from(dir).join(format!(
+                    "db-{}-{}",
+                    std::process::id(),
+                    SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                Database::open(&sub)
+                    .unwrap_or_else(|e| panic!("GSQL_DATA_DIR open failed at {sub:?}: {e}"))
+            }
+            _ => Database::default(),
+        }
+    }
+
+    /// Open (or create) a **durable** database rooted at `dir`.
+    ///
+    /// Recovery runs here: the latest valid snapshot is loaded (tables,
+    /// version counters, graph-index definitions, and built path-index
+    /// acceleration structures for warm-start), the WAL suffix is replayed
+    /// statement by statement, and a torn tail — a partial record from a
+    /// crash mid-append — is truncated. The resulting engine state,
+    /// including [`Database::schema_version`] and every plan-cache
+    /// invariant, is identical to a process that never restarted.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        let (store, recovery) = DurableStore::open(dir.as_ref()).map_err(Error::Storage)?;
+        let mut db = Database::default();
+        if let Some(snapshot) = recovery.snapshot {
+            crate::persist::restore_snapshot(&db, snapshot)?;
+        }
+        let replayed = recovery.wal_records.len() as u64;
+        {
+            // Replay through a plain session: `db.storage` is still `None`,
+            // so nothing is re-logged and no commit lock is taken.
+            let session = db.session();
+            for record in &recovery.wal_records {
+                crate::persist::replay_record(&session, record)?;
+            }
+        }
+        db.metrics.recovery_replayed.set(replayed as i64);
+        db.storage = Some(Arc::new(store));
+        Ok(db)
+    }
+
+    /// Whether this database persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The data directory of a durable database.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.storage.as_deref().map(DurableStore::dir)
+    }
+
+    /// Force a snapshot checkpoint (the `CHECKPOINT` statement): the whole
+    /// engine state is serialized atomically to a new snapshot epoch and
+    /// the WAL is rotated. Returns the new epoch, or `None` for an
+    /// in-memory database (a no-op, not an error, so scripts and tests run
+    /// unchanged in both modes).
+    pub fn checkpoint(&self) -> Result<Option<u64>> {
+        let Some(store) = &self.storage else {
+            return Ok(None);
+        };
+        let t0 = Instant::now();
+        let epoch =
+            store.checkpoint(|| crate::persist::capture_snapshot(self)).map_err(Error::Storage)?;
+        self.metrics.checkpoint_duration.observe(t0.elapsed().as_micros() as u64);
+        Ok(Some(epoch))
+    }
+
+    /// The shared commit lock of a durable database. Mutating statements
+    /// hold it (shared) across apply + WAL append so a checkpoint — which
+    /// takes it exclusively — can never capture a mutation whose WAL record
+    /// lands in the post-rotation log (double replay) or miss one that
+    /// landed pre-rotation.
+    pub(crate) fn commit_guard(&self) -> Option<std::sync::RwLockReadGuard<'_, ()>> {
+        self.storage.as_deref().map(DurableStore::commit_shared)
+    }
+
+    /// Append a successfully executed mutating statement to the WAL.
+    /// No-op for in-memory databases.
+    pub(crate) fn log_statement(&self, sql: &str, params: &[Value]) -> Result<()> {
+        let Some(store) = &self.storage else {
+            return Ok(());
+        };
+        let payload = crate::persist::encode_statement_record(sql, params)?;
+        let framed = store.append(&payload).map_err(Error::Storage)?;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(framed);
+        Ok(())
+    }
+
+    /// Append an `import_csv` bulk row load to the WAL. No-op in memory.
+    fn log_rows(&self, table: &str, rows: &Table) -> Result<()> {
+        let Some(store) = &self.storage else {
+            return Ok(());
+        };
+        let payload = crate::persist::encode_rows_record(table, rows)?;
+        let framed = store.append(&payload).map_err(Error::Storage)?;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(framed);
+        Ok(())
     }
 
     /// Open a session (connection state: settings + plan cache).
@@ -177,6 +293,10 @@ impl Database {
         let schema = self.catalog.get(table).map_err(Error::Storage)?.schema().clone();
         let loaded = gsql_storage::csv::read_csv(schema, input).map_err(Error::Storage)?;
         let n = loaded.row_count();
+        // Durable databases bracket the apply + WAL append in the shared
+        // commit lock, like any mutating statement; the rows are logged as
+        // one bulk record rather than re-rendered SQL.
+        let guard = self.commit_guard();
         self.catalog
             .update(table, |t| {
                 for row in loaded.rows() {
@@ -185,6 +305,8 @@ impl Database {
                 Ok(())
             })
             .map_err(Error::Storage)?;
+        self.log_rows(table, &loaded)?;
+        drop(guard);
         Ok(n)
     }
 

@@ -91,6 +91,36 @@ impl MaterializedGraph {
         self.reverse
             .get_or_init(|| gsql_graph::reverse_csr_with_threads(&self.csr, self.build_threads))
     }
+
+    /// Reassemble a graph from persisted parts (warm restart). The reverse
+    /// CSR is installed eagerly — a restored path index must answer its
+    /// first query without any build work.
+    pub(crate) fn from_saved(
+        edges: Arc<Table>,
+        csr: Csr,
+        reverse: Csr,
+        dict: HashMap<HashableValue, u32>,
+        src_key: usize,
+        dst_key: usize,
+    ) -> MaterializedGraph {
+        let slot = std::sync::OnceLock::new();
+        slot.set(reverse).expect("fresh OnceLock");
+        MaterializedGraph { edges, csr, dict, src_key, dst_key, reverse: slot, build_threads: 1 }
+    }
+}
+
+/// The NULL-endpoint filter every materialized graph applies to its edge
+/// snapshot, factored out so warm-start restoration recomputes **exactly**
+/// the snapshot the index was built over.
+pub(crate) fn null_filtered_edges(edges: Arc<Table>, src_key: usize, dst_key: usize) -> Arc<Table> {
+    let src_col = edges.column(src_key);
+    let dst_col = edges.column(dst_key);
+    if src_col.null_count() == 0 && dst_col.null_count() == 0 {
+        return edges;
+    }
+    let keep: Vec<usize> =
+        (0..edges.row_count()).filter(|&i| !src_col.is_null(i) && !dst_col.is_null(i)).collect();
+    Arc::new(edges.take(&keep))
 }
 
 /// [`build_graph_with_threads`] with the sequential build.
@@ -114,17 +144,7 @@ pub fn build_graph_with_threads(
 ) -> Result<MaterializedGraph> {
     // Exclude edges with NULL endpoints so the snapshot's row ids equal the
     // CSR's edge-row ids.
-    let src_col = edges.column(src_key);
-    let dst_col = edges.column(dst_key);
-    let has_nulls = src_col.null_count() > 0 || dst_col.null_count() > 0;
-    let edges = if has_nulls {
-        let keep: Vec<usize> = (0..edges.row_count())
-            .filter(|&i| !src_col.is_null(i) && !dst_col.is_null(i))
-            .collect();
-        Arc::new(edges.take(&keep))
-    } else {
-        edges
-    };
+    let edges = null_filtered_edges(edges, src_key, dst_key);
 
     let src_col = edges.column(src_key);
     let dst_col = edges.column(dst_key);

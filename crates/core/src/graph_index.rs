@@ -22,6 +22,19 @@ use std::sync::{Arc, RwLock};
 
 type Result<T> = std::result::Result<T, Error>;
 
+/// The persisted definition of one graph index (no cached graph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct GraphIndexSnapshot {
+    /// Lowercased registry key.
+    pub name: String,
+    /// Lowercased indexed table.
+    pub table: String,
+    /// Source key column, as declared.
+    pub src_col: String,
+    /// Destination key column, as declared.
+    pub dst_col: String,
+}
+
 /// One registered graph index.
 #[derive(Debug)]
 struct IndexEntry {
@@ -209,6 +222,48 @@ impl GraphIndexRegistry {
         if removed {
             self.bump_version();
         }
+    }
+
+    /// Every registered index definition, sorted by name — what a snapshot
+    /// checkpoint persists. Cached graphs are deliberately excluded: they
+    /// are cheap to rebuild lazily relative to acceleration indexes.
+    pub(crate) fn snapshot_entries(&self) -> Vec<GraphIndexSnapshot> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut entries: Vec<GraphIndexSnapshot> = inner
+            .iter()
+            .map(|(name, e)| GraphIndexSnapshot {
+                name: name.clone(),
+                table: e.table.clone(),
+                src_col: e.src_col.clone(),
+                dst_col: e.dst_col.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Re-register an index definition from a snapshot without building its
+    /// graph or bumping the structural version (the version counter is
+    /// restored wholesale by [`GraphIndexRegistry::set_version`]). The first
+    /// query rebuilds the graph lazily.
+    pub(crate) fn restore_entry(&self, snap: GraphIndexSnapshot) {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        inner.insert(
+            snap.name,
+            IndexEntry {
+                table: snap.table,
+                src_col: snap.src_col,
+                dst_col: snap.dst_col,
+                cached: None,
+            },
+        );
+    }
+
+    /// Restore the structural version counter recorded in a snapshot, so a
+    /// reopened database reports the same `schema_version` it had when the
+    /// snapshot was taken.
+    pub(crate) fn set_version(&self, version: u64) {
+        self.version.store(version, Ordering::Release);
     }
 
     /// Names of all indices, sorted.

@@ -62,6 +62,7 @@ pub mod exec;
 pub mod graph_index;
 pub mod optimize;
 pub mod path_index;
+pub(crate) mod persist;
 pub mod plan;
 pub mod session;
 

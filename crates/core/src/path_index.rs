@@ -335,6 +335,29 @@ pub struct PathIndexListing {
     pub status: &'static str,
 }
 
+/// The persisted form of one path-index registry entry: the definition
+/// plus, when the index was built, the data and the table version the
+/// build observed.
+#[derive(Debug)]
+pub(crate) struct PathIndexSnapshotEntry {
+    /// Lowercased registry key.
+    pub name: String,
+    /// Lowercased indexed table.
+    pub table: String,
+    /// Source key column, as declared.
+    pub src_col: String,
+    /// Destination key column, as declared.
+    pub dst_col: String,
+    /// Weight column, as declared (`None` = hop distances).
+    pub weight_col: Option<String>,
+    /// Ordinal of the weight column in the table schema.
+    pub weight_key: Option<usize>,
+    /// The effective kind the index is built as.
+    pub kind: PathIndexKind,
+    /// `(table version when built, the data)` — `None` when stale.
+    pub built: Option<(u64, Arc<PathIndexData>)>,
+}
+
 /// One registered path index.
 #[derive(Debug)]
 struct IndexEntry {
@@ -357,6 +380,10 @@ struct IndexEntry {
 pub struct PathIndexRegistry {
     inner: RwLock<HashMap<String, IndexEntry>>,
     version: AtomicU64,
+    /// Full index builds performed by this process (eager creates plus lazy
+    /// rebuilds). A warm restart from a matching snapshot leaves this at
+    /// zero — the restart benchmark and tests assert on it.
+    builds: AtomicU64,
 }
 
 impl PathIndexRegistry {
@@ -368,6 +395,13 @@ impl PathIndexRegistry {
     /// Structural version (bumped on every create/drop).
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::Acquire)
+    }
+
+    /// How many full acceleration-index builds this process has run
+    /// (creates and lazy rebuilds). Restoring built indexes from a
+    /// snapshot does not count: that is the warm-start guarantee.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Acquire)
     }
 
     fn bump_version(&self) {
@@ -440,6 +474,7 @@ impl PathIndexRegistry {
             kind,
             threads,
         )?);
+        self.builds.fetch_add(1, Ordering::AcqRel);
         let mut inner = self.inner.write().expect("registry lock poisoned");
         if let Some(e) = inner.get_mut(&key) {
             // Skip the write-back if the index was concurrently dropped and
@@ -526,6 +561,7 @@ impl PathIndexRegistry {
         let kind = effective_kind(kind);
         let data =
             Arc::new(build_data(catalog, table, src_col, dst_col, weight_col, kind, threads)?);
+        self.builds.fetch_add(1, Ordering::AcqRel);
 
         let mut inner = self.inner.write().expect("registry lock poisoned");
         if inner.contains_key(&key) {
@@ -578,6 +614,55 @@ impl PathIndexRegistry {
         if removed {
             self.bump_version();
         }
+    }
+
+    /// Every registered index — definition plus, when built, the cached
+    /// data and the table version it was built against — sorted by name.
+    /// This is what a snapshot checkpoint serializes: unlike graph indexes,
+    /// the built acceleration structures are persisted so a warm restart
+    /// answers accelerated queries with zero rebuild work.
+    pub(crate) fn snapshot_entries(&self) -> Vec<PathIndexSnapshotEntry> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        let mut entries: Vec<PathIndexSnapshotEntry> = inner
+            .iter()
+            .map(|(name, e)| PathIndexSnapshotEntry {
+                name: name.clone(),
+                table: e.table.clone(),
+                src_col: e.src_col.clone(),
+                dst_col: e.dst_col.clone(),
+                weight_col: e.weight_col.clone(),
+                weight_key: e.weight_key,
+                kind: e.kind,
+                built: e.cached.as_ref().map(|(v, d)| (*v, Arc::clone(d))),
+            })
+            .collect();
+        entries.sort_by(|a, b| a.name.cmp(&b.name));
+        entries
+    }
+
+    /// Re-register an index from a snapshot without building or bumping the
+    /// structural version. `built` carries restored data stamped with the
+    /// table version it matches; `None` (or a version that went stale)
+    /// leaves the entry for the usual lazy rebuild.
+    pub(crate) fn restore_entry(&self, snap: PathIndexSnapshotEntry) {
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        inner.insert(
+            snap.name,
+            IndexEntry {
+                table: snap.table,
+                src_col: snap.src_col,
+                dst_col: snap.dst_col,
+                weight_col: snap.weight_col,
+                weight_key: snap.weight_key,
+                kind: snap.kind,
+                cached: snap.built,
+            },
+        );
+    }
+
+    /// Restore the structural version counter recorded in a snapshot.
+    pub(crate) fn set_version(&self, version: u64) {
+        self.version.store(version, Ordering::Release);
     }
 
     /// Names of all indexes, sorted.

@@ -1,0 +1,607 @@
+//! Engine-side persistence: the statement-level WAL record codec and the
+//! registry/index sections of a snapshot checkpoint.
+//!
+//! The storage crate's durability layer ([`gsql_storage::DurableStore`])
+//! deliberately knows nothing about engine semantics — it persists the
+//! catalog's tables plus opaque named byte sections, and replays opaque
+//! WAL records. This module is the other half of that contract:
+//!
+//! * **WAL records** are logical: a mutating statement is logged as its
+//!   canonical SQL rendering plus its `?` parameter values (replay
+//!   re-executes it through a session), and `import_csv` bulk appends are
+//!   logged as raw rows. Statements are logged *after* they succeed, so
+//!   replay is deterministic — a failed statement never reaches the log.
+//! * **Snapshot sections** serialize the graph-index and path-index
+//!   registries. Graph-index entries persist their definitions only (the
+//!   CSR is cheap to rebuild lazily); path-index entries persist the full
+//!   built acceleration structures — landmark distance vectors or CH
+//!   shortcut CSRs — stamped with the owning table's version, so a warm
+//!   restart answers accelerated queries with **zero** rebuild work. A
+//!   version mismatch (the snapshot predates later WAL mutations) simply
+//!   restores the definition and leaves the usual lazy rebuild to run.
+//!
+//! Every decode path is bounds-checked and cross-validated (vector
+//! lengths, CSR invariants, kind tags); corrupt bytes surface as
+//! [`StorageError::Corrupt`], never as a panic.
+
+use crate::database::Database;
+use crate::error::Error;
+use crate::exec::graph_op::{null_filtered_edges, MaterializedGraph};
+use crate::graph_index::{GraphIndexRegistry, GraphIndexSnapshot};
+use crate::path_index::{
+    AccelIndex, PathIndexData, PathIndexKind, PathIndexRegistry, PathIndexSnapshotEntry,
+};
+use crate::session::Session;
+use gsql_accel::{ChParts, ContractionHierarchy, Landmarks, UpGraphParts};
+use gsql_graph::Csr;
+use gsql_storage::persist::{ByteReader, ByteWriter};
+use gsql_storage::value::HashableValue;
+use gsql_storage::{SnapshotData, SnapshotTable, StorageError, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Result<T> = std::result::Result<T, Error>;
+
+/// Snapshot section holding the graph-index registry.
+pub(crate) const GRAPH_SECTION: &str = "graph_indexes";
+/// Snapshot section holding the path-index registry.
+pub(crate) const PATH_SECTION: &str = "path_indexes";
+
+/// WAL record tag: a mutating statement (SQL text + parameters).
+const REC_STATEMENT: u8 = 1;
+/// WAL record tag: bulk row appends (`import_csv`).
+const REC_ROWS: u8 = 2;
+
+fn corrupt(msg: impl Into<String>) -> Error {
+    Error::Storage(StorageError::Corrupt(msg.into()))
+}
+
+// ----------------------------------------------------------- value codec
+
+fn put_value(w: &mut ByteWriter, v: &Value) -> Result<()> {
+    match v {
+        Value::Null => w.put_u8(0),
+        Value::Int(i) => {
+            w.put_u8(1);
+            w.put_i64(*i);
+        }
+        Value::Double(f) => {
+            w.put_u8(2);
+            w.put_f64(*f);
+        }
+        Value::Str(s) => {
+            w.put_u8(3);
+            w.put_str(s);
+        }
+        Value::Bool(b) => {
+            w.put_u8(4);
+            w.put_u8(*b as u8);
+        }
+        Value::Date(d) => {
+            w.put_u8(5);
+            w.put_i32(d.0);
+        }
+        Value::Path(_) => {
+            return Err(Error::Storage(StorageError::Internal(
+                "path values cannot be persisted".into(),
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn get_value(r: &mut ByteReader<'_>) -> Result<Value> {
+    Ok(match r.get_u8().map_err(Error::Storage)? {
+        0 => Value::Null,
+        1 => Value::Int(r.get_i64().map_err(Error::Storage)?),
+        2 => Value::Double(r.get_f64().map_err(Error::Storage)?),
+        3 => Value::Str(r.get_str().map_err(Error::Storage)?),
+        4 => Value::Bool(r.get_u8().map_err(Error::Storage)? != 0),
+        5 => Value::Date(gsql_storage::Date(r.get_i32().map_err(Error::Storage)?)),
+        other => return Err(corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+// ------------------------------------------------------- WAL record codec
+
+/// True when a statement's parameter values can be replayed from the WAL.
+/// Path values are query results, not storable inputs — a mutating
+/// statement carrying one is rejected before it applies.
+pub(crate) fn params_are_loggable(params: &[Value]) -> bool {
+    !params.iter().any(|p| matches!(p, Value::Path(_)))
+}
+
+/// Encode a successfully executed mutating statement for the WAL.
+pub(crate) fn encode_statement_record(sql: &str, params: &[Value]) -> Result<Vec<u8>> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_STATEMENT);
+    w.put_str(sql);
+    w.put_usize(params.len());
+    for p in params {
+        put_value(&mut w, p)?;
+    }
+    Ok(w.into_bytes())
+}
+
+/// Encode an `import_csv` bulk append for the WAL (raw rows, not SQL).
+pub(crate) fn encode_rows_record(table: &str, rows: &Table) -> Result<Vec<u8>> {
+    let mut w = ByteWriter::new();
+    w.put_u8(REC_ROWS);
+    w.put_str(table);
+    let ncols = rows.schema().len();
+    w.put_usize(rows.row_count());
+    w.put_usize(ncols);
+    for r in 0..rows.row_count() {
+        for c in 0..ncols {
+            put_value(&mut w, &rows.column(c).get(r))?;
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Re-apply one WAL record through `session` (recovery). The session's
+/// database has no durable store attached yet, so nothing is re-logged.
+pub(crate) fn replay_record(session: &Session<'_>, bytes: &[u8]) -> Result<()> {
+    let mut r = ByteReader::new(bytes);
+    match r.get_u8().map_err(Error::Storage)? {
+        REC_STATEMENT => {
+            let sql = r.get_str().map_err(Error::Storage)?;
+            let n = r.get_usize().map_err(Error::Storage)?;
+            let mut params = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                params.push(get_value(&mut r)?);
+            }
+            if !r.is_exhausted() {
+                return Err(corrupt("trailing bytes after statement record"));
+            }
+            session.execute_with_params(&sql, &params).map_err(|e| {
+                corrupt(format!("WAL statement failed to replay: {e} (statement: {sql})"))
+            })?;
+        }
+        REC_ROWS => {
+            let table = r.get_str().map_err(Error::Storage)?;
+            let nrows = r.get_usize().map_err(Error::Storage)?;
+            let ncols = r.get_usize().map_err(Error::Storage)?;
+            let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+            for _ in 0..nrows {
+                let mut row = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    row.push(get_value(&mut r)?);
+                }
+                rows.push(row);
+            }
+            if !r.is_exhausted() {
+                return Err(corrupt("trailing bytes after rows record"));
+            }
+            session
+                .database()
+                .catalog()
+                .update(&table, |t| {
+                    for row in rows.drain(..) {
+                        t.append_row(row)?;
+                    }
+                    Ok(())
+                })
+                .map_err(Error::Storage)?;
+        }
+        other => return Err(corrupt(format!("unknown WAL record tag {other}"))),
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------ snapshot capture
+
+/// Capture the full engine state for a snapshot checkpoint. Runs under the
+/// store's exclusive commit lock, so the catalog and registries are
+/// mutually consistent.
+pub(crate) fn capture_snapshot(db: &Database) -> std::result::Result<SnapshotData, StorageError> {
+    let tables = db
+        .catalog()
+        .entries()
+        .into_iter()
+        .map(|(name, e)| SnapshotTable { name, version: e.version, table: e.table })
+        .collect();
+    let sections = vec![
+        (GRAPH_SECTION.to_string(), encode_graph_section(db.graph_indexes())),
+        (PATH_SECTION.to_string(), encode_path_section(db.path_indexes())?),
+    ];
+    Ok(SnapshotData { ddl_version: db.catalog().ddl_version(), tables, sections })
+}
+
+fn encode_graph_section(reg: &GraphIndexRegistry) -> Vec<u8> {
+    let entries = reg.snapshot_entries();
+    let mut w = ByteWriter::new();
+    w.put_u64(reg.version());
+    w.put_usize(entries.len());
+    for e in entries {
+        w.put_str(&e.name);
+        w.put_str(&e.table);
+        w.put_str(&e.src_col);
+        w.put_str(&e.dst_col);
+    }
+    w.into_bytes()
+}
+
+fn encode_path_section(reg: &PathIndexRegistry) -> std::result::Result<Vec<u8>, StorageError> {
+    let entries = reg.snapshot_entries();
+    let mut w = ByteWriter::new();
+    w.put_u64(reg.version());
+    w.put_usize(entries.len());
+    for e in entries {
+        w.put_str(&e.name);
+        w.put_str(&e.table);
+        w.put_str(&e.src_col);
+        w.put_str(&e.dst_col);
+        put_opt_str(&mut w, e.weight_col.as_deref());
+        match e.weight_key {
+            None => w.put_u8(0),
+            Some(k) => {
+                w.put_u8(1);
+                w.put_usize(k);
+            }
+        }
+        match e.kind {
+            PathIndexKind::Landmarks(k) => {
+                w.put_u8(0);
+                w.put_u32(k);
+            }
+            PathIndexKind::Contraction => w.put_u8(1),
+        }
+        match &e.built {
+            None => w.put_u8(0),
+            Some((table_version, data)) => {
+                w.put_u8(1);
+                w.put_u64(*table_version);
+                encode_built_data(&mut w, data)
+                    .map_err(|e| StorageError::Internal(e.to_string()))?;
+            }
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+fn encode_built_data(w: &mut ByteWriter, data: &PathIndexData) -> Result<()> {
+    let graph = &data.graph;
+    w.put_usize(graph.src_key);
+    w.put_usize(graph.dst_key);
+    // Dictionary values in dense-id order (ids are 0..n contiguous).
+    let mut vals = vec![Value::Null; graph.dict.len()];
+    for (hv, &id) in &graph.dict {
+        vals[id as usize] = hv.0.clone();
+    }
+    w.put_usize(vals.len());
+    for v in &vals {
+        put_value(w, v)?;
+    }
+    encode_csr(w, &graph.csr);
+    encode_csr(w, graph.reverse());
+    put_opt_i64s(w, data.weights_fwd.as_deref());
+    put_opt_i64s(w, data.weights_bwd.as_deref());
+    match &data.accel {
+        AccelIndex::Alt(lm) => {
+            w.put_u8(0);
+            let (landmarks, fwd, bwd) = lm.to_parts();
+            put_u32s(w, &landmarks);
+            w.put_usize(fwd.len());
+            for v in &fwd {
+                put_u64s(w, v);
+            }
+            w.put_usize(bwd.len());
+            for v in &bwd {
+                put_u64s(w, v);
+            }
+        }
+        AccelIndex::Ch(ch) => {
+            w.put_u8(1);
+            let parts = ch.to_parts();
+            put_u32s(w, &parts.rank);
+            encode_up_graph(w, &parts.fwd);
+            encode_up_graph(w, &parts.bwd);
+            w.put_u64(parts.shortcuts);
+        }
+    }
+    Ok(())
+}
+
+fn encode_csr(w: &mut ByteWriter, csr: &Csr) {
+    let (offsets, targets, edge_rows) = csr.raw_parts();
+    w.put_usize(offsets.len());
+    for &o in offsets {
+        w.put_usize(o);
+    }
+    put_u32s(w, targets);
+    put_u32s(w, edge_rows);
+}
+
+fn encode_up_graph(w: &mut ByteWriter, g: &UpGraphParts) {
+    w.put_usize(g.offsets.len());
+    for &o in &g.offsets {
+        w.put_usize(o);
+    }
+    put_u32s(w, &g.targets);
+    put_u64s(w, &g.weights);
+}
+
+fn put_u32s(w: &mut ByteWriter, vals: &[u32]) {
+    w.put_usize(vals.len());
+    for &v in vals {
+        w.put_u32(v);
+    }
+}
+
+fn put_u64s(w: &mut ByteWriter, vals: &[u64]) {
+    w.put_usize(vals.len());
+    for &v in vals {
+        w.put_u64(v);
+    }
+}
+
+fn put_opt_str(w: &mut ByteWriter, s: Option<&str>) {
+    match s {
+        None => w.put_u8(0),
+        Some(s) => {
+            w.put_u8(1);
+            w.put_str(s);
+        }
+    }
+}
+
+fn put_opt_i64s(w: &mut ByteWriter, vals: Option<&[i64]>) {
+    match vals {
+        None => w.put_u8(0),
+        Some(vals) => {
+            w.put_u8(1);
+            w.put_usize(vals.len());
+            for &v in vals {
+                w.put_i64(v);
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------ snapshot restore
+
+/// Restore engine state from a decoded snapshot into a freshly constructed
+/// (empty, in-memory) database: tables and version counters exactly as
+/// captured, graph-index definitions, and path indexes with their built
+/// acceleration structures when the owning table's version still matches.
+pub(crate) fn restore_snapshot(db: &Database, snap: SnapshotData) -> Result<()> {
+    db.catalog().set_ddl_version(snap.ddl_version);
+    for t in snap.tables {
+        db.catalog().restore_table(&t.name, t.table, t.version).map_err(Error::Storage)?;
+    }
+    for (name, bytes) in &snap.sections {
+        match name.as_str() {
+            GRAPH_SECTION => restore_graph_section(db, bytes)?,
+            PATH_SECTION => restore_path_section(db, bytes)?,
+            other => return Err(corrupt(format!("unknown snapshot section '{other}'"))),
+        }
+    }
+    Ok(())
+}
+
+fn restore_graph_section(db: &Database, bytes: &[u8]) -> Result<()> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.get_u64().map_err(Error::Storage)?;
+    let count = r.get_usize().map_err(Error::Storage)?;
+    for _ in 0..count {
+        db.graph_indexes().restore_entry(GraphIndexSnapshot {
+            name: r.get_str().map_err(Error::Storage)?,
+            table: r.get_str().map_err(Error::Storage)?,
+            src_col: r.get_str().map_err(Error::Storage)?,
+            dst_col: r.get_str().map_err(Error::Storage)?,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in graph-index section"));
+    }
+    db.graph_indexes().set_version(version);
+    Ok(())
+}
+
+fn restore_path_section(db: &Database, bytes: &[u8]) -> Result<()> {
+    let mut r = ByteReader::new(bytes);
+    let version = r.get_u64().map_err(Error::Storage)?;
+    let count = r.get_usize().map_err(Error::Storage)?;
+    for _ in 0..count {
+        let name = r.get_str().map_err(Error::Storage)?;
+        let table = r.get_str().map_err(Error::Storage)?;
+        let src_col = r.get_str().map_err(Error::Storage)?;
+        let dst_col = r.get_str().map_err(Error::Storage)?;
+        let weight_col = match r.get_u8().map_err(Error::Storage)? {
+            0 => None,
+            _ => Some(r.get_str().map_err(Error::Storage)?),
+        };
+        let weight_key = match r.get_u8().map_err(Error::Storage)? {
+            0 => None,
+            _ => Some(r.get_usize().map_err(Error::Storage)?),
+        };
+        let kind = match r.get_u8().map_err(Error::Storage)? {
+            0 => PathIndexKind::Landmarks(r.get_u32().map_err(Error::Storage)?),
+            1 => PathIndexKind::Contraction,
+            other => return Err(corrupt(format!("unknown path-index kind tag {other}"))),
+        };
+        let built = match r.get_u8().map_err(Error::Storage)? {
+            0 => None,
+            _ => {
+                let table_version = r.get_u64().map_err(Error::Storage)?;
+                decode_built_data(db, &table, kind, weight_key, table_version, &mut r)?
+            }
+        };
+        db.path_indexes().restore_entry(PathIndexSnapshotEntry {
+            name,
+            table,
+            src_col,
+            dst_col,
+            weight_col,
+            weight_key,
+            kind,
+            built,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(corrupt("trailing bytes in path-index section"));
+    }
+    db.path_indexes().set_version(version);
+    Ok(())
+}
+
+/// Decode one persisted built index. The payload is always consumed (so the
+/// reader stays aligned for the next entry); the result is `None` — restore
+/// the definition, rebuild lazily — when the owning table's version moved
+/// past the one the index was built against.
+fn decode_built_data(
+    db: &Database,
+    table: &str,
+    kind: PathIndexKind,
+    weight_key: Option<usize>,
+    table_version: u64,
+    r: &mut ByteReader<'_>,
+) -> Result<Option<(u64, Arc<PathIndexData>)>> {
+    let src_key = r.get_usize().map_err(Error::Storage)?;
+    let dst_key = r.get_usize().map_err(Error::Storage)?;
+    let n = r.get_usize().map_err(Error::Storage)?;
+    let mut vals = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vals.push(get_value(r)?);
+    }
+    let csr = decode_csr(r)?;
+    let reverse = decode_csr(r)?;
+    let weights_fwd = get_opt_i64s(r)?;
+    let weights_bwd = get_opt_i64s(r)?;
+    let accel = match r.get_u8().map_err(Error::Storage)? {
+        0 => {
+            let landmarks = get_u32s(r)?;
+            let k = r.get_usize().map_err(Error::Storage)?;
+            let mut fwd = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                fwd.push(get_u64s(r)?);
+            }
+            let k = r.get_usize().map_err(Error::Storage)?;
+            let mut bwd = Vec::with_capacity(k.min(1024));
+            for _ in 0..k {
+                bwd.push(get_u64s(r)?);
+            }
+            AccelIndex::Alt(Landmarks::from_parts(landmarks, fwd, bwd).map_err(corrupt)?)
+        }
+        1 => {
+            let rank = get_u32s(r)?;
+            let fwd = decode_up_graph(r)?;
+            let bwd = decode_up_graph(r)?;
+            let shortcuts = r.get_u64().map_err(Error::Storage)?;
+            AccelIndex::Ch(
+                ContractionHierarchy::from_parts(ChParts { rank, fwd, bwd, shortcuts })
+                    .map_err(corrupt)?,
+            )
+        }
+        other => return Err(corrupt(format!("unknown accel tag {other}"))),
+    };
+
+    // Kind/data agreement: a corrupt file must not smuggle a CH payload
+    // into an entry the planner believes is ALT (or vice versa).
+    let tag_matches = matches!(
+        (&accel, kind),
+        (AccelIndex::Alt(_), PathIndexKind::Landmarks(_))
+            | (AccelIndex::Ch(_), PathIndexKind::Contraction)
+    );
+    if !tag_matches {
+        return Err(corrupt("path-index accel payload does not match declared kind"));
+    }
+
+    // Stale built data (WAL mutations past the snapshot): fall back to the
+    // lazy rebuild. The bytes were consumed above, so decoding continues.
+    let Ok(current) = db.catalog().entry(table) else {
+        return Err(corrupt(format!("path index references missing table '{table}'")));
+    };
+    if current.version != table_version {
+        return Ok(None);
+    }
+
+    // Recompute the NULL-filtered edge snapshot off the restored base table
+    // — deterministic for a matching version, and not index-build work.
+    let edges = null_filtered_edges(Arc::clone(&current.table), src_key, dst_key);
+    if csr.num_edges() != edges.row_count() {
+        return Err(corrupt(format!(
+            "persisted CSR has {} edges but table '{table}' yields {}",
+            csr.num_edges(),
+            edges.row_count()
+        )));
+    }
+    if csr.num_vertices() as usize != vals.len() {
+        return Err(corrupt("persisted dictionary size disagrees with CSR vertex count"));
+    }
+    if reverse.num_vertices() != csr.num_vertices() || reverse.num_edges() != csr.num_edges() {
+        return Err(corrupt("persisted reverse CSR disagrees with forward CSR"));
+    }
+    if let Some((f, b)) = weights_fwd.as_ref().zip(weights_bwd.as_ref()) {
+        if f.len() != csr.num_edges() || b.len() != csr.num_edges() {
+            return Err(corrupt("persisted weight arrays disagree with CSR edge count"));
+        }
+    }
+    if weight_key.is_some() != weights_fwd.is_some() {
+        return Err(corrupt("persisted weights disagree with the declared weight column"));
+    }
+    let dict: HashMap<HashableValue, u32> =
+        vals.into_iter().enumerate().map(|(i, v)| (HashableValue(v), i as u32)).collect();
+    if dict.len() != csr.num_vertices() as usize {
+        return Err(corrupt("persisted dictionary contains duplicate vertex values"));
+    }
+    let graph =
+        Arc::new(MaterializedGraph::from_saved(edges, csr, reverse, dict, src_key, dst_key));
+    let data = PathIndexData { graph, accel, weight_key, weights_fwd, weights_bwd };
+    Ok(Some((table_version, Arc::new(data))))
+}
+
+fn decode_csr(r: &mut ByteReader<'_>) -> Result<Csr> {
+    let n = r.get_usize().map_err(Error::Storage)?;
+    let mut offsets = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        offsets.push(r.get_usize().map_err(Error::Storage)?);
+    }
+    let targets = get_u32s(r)?;
+    let edge_rows = get_u32s(r)?;
+    Csr::from_raw_parts(offsets, targets, edge_rows).map_err(|e| corrupt(e.to_string()))
+}
+
+fn decode_up_graph(r: &mut ByteReader<'_>) -> Result<UpGraphParts> {
+    let n = r.get_usize().map_err(Error::Storage)?;
+    let mut offsets = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        offsets.push(r.get_usize().map_err(Error::Storage)?);
+    }
+    let targets = get_u32s(r)?;
+    let weights = get_u64s(r)?;
+    Ok(UpGraphParts { offsets, targets, weights })
+}
+
+fn get_u32s(r: &mut ByteReader<'_>) -> Result<Vec<u32>> {
+    let n = r.get_usize().map_err(Error::Storage)?;
+    let mut vals = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vals.push(r.get_u32().map_err(Error::Storage)?);
+    }
+    Ok(vals)
+}
+
+fn get_u64s(r: &mut ByteReader<'_>) -> Result<Vec<u64>> {
+    let n = r.get_usize().map_err(Error::Storage)?;
+    let mut vals = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vals.push(r.get_u64().map_err(Error::Storage)?);
+    }
+    Ok(vals)
+}
+
+fn get_opt_i64s(r: &mut ByteReader<'_>) -> Result<Option<Vec<i64>>> {
+    match r.get_u8().map_err(Error::Storage)? {
+        0 => Ok(None),
+        _ => {
+            let n = r.get_usize().map_err(Error::Storage)?;
+            let mut vals = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                vals.push(r.get_i64().map_err(Error::Storage)?);
+            }
+            Ok(Some(vals))
+        }
+    }
+}

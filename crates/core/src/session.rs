@@ -692,9 +692,43 @@ impl<'db> Session<'db> {
         result
     }
 
+    /// Dispatch one statement, bracketing mutating statements on a durable
+    /// database in the shared commit lock: apply, then append the WAL
+    /// record — so a statement is logged only after it succeeded, and a
+    /// concurrent `CHECKPOINT` (which takes the lock exclusively) can never
+    /// split a mutation across the snapshot/WAL rotation boundary.
+    fn dispatch_statement(
+        &self,
+        sql_key: Option<&str>,
+        statement: &ast::Statement,
+        params: &[Value],
+        deadline: Option<Deadline>,
+        collector: Option<&Arc<TraceCollector>>,
+        root: SpanId,
+    ) -> Result<QueryResult> {
+        if statement_is_mutating(statement) {
+            if let Some(guard) = self.db.commit_guard() {
+                // Reject parameters the WAL cannot encode *before* the
+                // statement applies, so the log never diverges from state.
+                if !crate::persist::params_are_loggable(params) {
+                    return Err(bind_err!(
+                        "path-valued parameters cannot be passed to a mutating statement \
+                         on a durable database"
+                    ));
+                }
+                let result =
+                    self.dispatch_inner(sql_key, statement, params, deadline, collector, root)?;
+                self.db.log_statement(&statement.to_string(), params)?;
+                drop(guard);
+                return Ok(result);
+            }
+        }
+        self.dispatch_inner(sql_key, statement, params, deadline, collector, root)
+    }
+
     /// The statement dispatcher proper. `collector`/`root` carry the trace
     /// context when `SET trace` is on (`root` is the statement span).
-    fn dispatch_statement(
+    fn dispatch_inner(
         &self,
         sql_key: Option<&str>,
         statement: &ast::Statement,
@@ -833,6 +867,17 @@ impl<'db> Session<'db> {
             ast::Statement::DropPathIndex { name, if_exists } => {
                 self.db.drop_path_index_stmt(name, *if_exists)
             }
+            ast::Statement::Checkpoint => {
+                // Not dispatched under the shared commit lock (see
+                // `dispatch_statement`): `Database::checkpoint` takes the
+                // commit lock exclusively, and holding the shared side here
+                // would self-deadlock.
+                let line = match self.db.checkpoint()? {
+                    Some(epoch) => format!("checkpoint written (epoch {epoch})"),
+                    None => "checkpoint skipped (in-memory database)".to_string(),
+                };
+                text_table("checkpoint", std::iter::once(line.as_str()))
+            }
             ast::Statement::ShowPathIndexes => {
                 let mut t = Table::empty(Schema::new(vec![
                     ColumnDef::not_null("name", DataType::Varchar),
@@ -873,8 +918,25 @@ fn statement_verb(statement: &ast::Statement) -> QueryVerb {
         | ast::Statement::Set { .. }
         | ast::Statement::Show { .. }
         | ast::Statement::Describe { .. }
-        | ast::Statement::ShowPathIndexes => QueryVerb::Utility,
+        | ast::Statement::ShowPathIndexes
+        | ast::Statement::Checkpoint => QueryVerb::Utility,
     }
+}
+
+/// Statements whose success must reach the WAL on a durable database.
+fn statement_is_mutating(statement: &ast::Statement) -> bool {
+    matches!(
+        statement,
+        ast::Statement::Insert { .. }
+            | ast::Statement::Update { .. }
+            | ast::Statement::Delete { .. }
+            | ast::Statement::CreateTable { .. }
+            | ast::Statement::DropTable { .. }
+            | ast::Statement::CreateGraphIndex { .. }
+            | ast::Statement::DropGraphIndex { .. }
+            | ast::Statement::CreatePathIndex { .. }
+            | ast::Statement::DropPathIndex { .. }
+    )
 }
 
 /// Hex hash of arbitrary text (the slow-log `sql_hash`: correlates repeat

@@ -168,6 +168,40 @@ impl Csr {
         Ok(Csr { offsets, targets, edge_rows })
     }
 
+    /// Borrow the raw CSR arrays `(offsets, targets, edge_rows)` for
+    /// serialization.
+    pub fn raw_parts(&self) -> (&[usize], &[u32], &[u32]) {
+        (&self.offsets, &self.targets, &self.edge_rows)
+    }
+
+    /// Reassemble a CSR from raw arrays (the inverse of
+    /// [`Csr::raw_parts`]), validating the structural invariants so corrupt
+    /// serialized data cannot produce a panicking graph.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        targets: Vec<u32>,
+        edge_rows: Vec<u32>,
+    ) -> Result<Csr> {
+        if offsets.first() != Some(&0) || offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(GraphError::LengthMismatch(
+                "CSR offsets must start at 0 and be non-decreasing".into(),
+            ));
+        }
+        let m = *offsets.last().unwrap_or(&0);
+        if targets.len() != m || edge_rows.len() != m {
+            return Err(GraphError::LengthMismatch(format!(
+                "CSR declares {m} edges but has {} targets and {} edge rows",
+                targets.len(),
+                edge_rows.len()
+            )));
+        }
+        let n = (offsets.len() - 1) as u32;
+        if let Some(&bad) = targets.iter().find(|&&t| t >= n) {
+            return Err(GraphError::VertexOutOfRange { id: bad, n });
+        }
+        Ok(Csr { offsets, targets, edge_rows })
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> u32 {
         (self.offsets.len() - 1) as u32

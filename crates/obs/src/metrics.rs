@@ -270,8 +270,14 @@ impl Registry {
 
     /// Register an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register a gauge with constant labels. Same-name registrations
+    /// share one `HELP`/`TYPE` block in the rendered output.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
         let handle = Arc::new(Gauge::new());
-        self.push(name, help, &[], InstrumentKind::Gauge(Arc::clone(&handle)));
+        self.push(name, help, labels, InstrumentKind::Gauge(Arc::clone(&handle)));
         handle
     }
 
@@ -484,6 +490,14 @@ pub struct EngineMetrics {
     queue_wait: Arc<Histogram>,
     traversals: [Arc<Counter>; 7],
     settled: [Arc<Histogram>; 7],
+    /// WAL records appended by the durability layer.
+    pub wal_appends: Arc<Counter>,
+    /// Framed bytes written to the WAL (headers included).
+    pub wal_bytes: Arc<Counter>,
+    /// Snapshot checkpoint wall time in microseconds.
+    pub checkpoint_duration: Arc<Histogram>,
+    /// WAL records replayed by the most recent `Database::open`.
+    pub recovery_replayed: Arc<Gauge>,
 }
 
 impl Default for EngineMetrics {
@@ -544,6 +558,27 @@ impl EngineMetrics {
                 &settled_buckets(),
             )
         });
+        let wal_appends =
+            registry.counter("gsql_wal_appends_total", "WAL records appended by the engine.");
+        let wal_bytes = registry
+            .counter("gsql_wal_bytes_total", "Framed bytes written to the WAL, headers included.");
+        let checkpoint_duration = registry.histogram(
+            "gsql_checkpoint_duration_microseconds",
+            "Snapshot checkpoint wall time in microseconds.",
+            &latency_buckets_us(),
+        );
+        let recovery_replayed = registry.gauge(
+            "gsql_recovery_replayed_records",
+            "WAL records replayed by the most recent database open.",
+        );
+        // The registry keeps the handle alive; the value never changes.
+        registry
+            .gauge_with(
+                "gsql_build_info",
+                "Build metadata; constant 1 with version labels.",
+                &[("version", env!("CARGO_PKG_VERSION"))],
+            )
+            .set(1);
         EngineMetrics {
             registry,
             queries,
@@ -557,6 +592,10 @@ impl EngineMetrics {
             queue_wait,
             traversals,
             settled,
+            wal_appends,
+            wal_bytes,
+            checkpoint_duration,
+            recovery_replayed,
         }
     }
 

@@ -500,6 +500,9 @@ pub enum Statement {
         /// Option name; `None` for `SHOW ALL`.
         name: Option<String>,
     },
+    /// `CHECKPOINT` — force a durable snapshot of the whole database.
+    /// A no-op (reported as `skipped`) when the database is in-memory.
+    Checkpoint,
 }
 
 impl Expr {

@@ -386,6 +386,7 @@ impl fmt::Display for Statement {
             Statement::Set { name, value } => write!(f, "SET {name} = {value}"),
             Statement::Show { name: Some(n) } => write!(f, "SHOW {n}"),
             Statement::Show { name: None } => write!(f, "SHOW ALL"),
+            Statement::Checkpoint => write!(f, "CHECKPOINT"),
         }
     }
 }

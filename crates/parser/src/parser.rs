@@ -171,6 +171,12 @@ impl Parser {
             // SHOW is contextual: a bare identifier can only start a
             // statement here, so this never shadows other uses of `show`.
             Token::Ident(s) if s.eq_ignore_ascii_case("show") => self.parse_show(),
+            // CHECKPOINT is contextual for the same reason — `checkpoint`
+            // stays usable as a column or table name.
+            Token::Ident(s) if s.eq_ignore_ascii_case("checkpoint") => {
+                self.advance();
+                Ok(Statement::Checkpoint)
+            }
             Token::Keyword(Keyword::Select)
             | Token::Keyword(Keyword::With)
             | Token::Keyword(Keyword::Values)
@@ -1573,6 +1579,18 @@ mod tests {
         assert!(parse_statement("CREATE TABLE t (show INTEGER, analyze INTEGER)").is_ok());
         assert!(parse_statement("SELECT show FROM analyze").is_ok());
         assert!(parse_statement("UPDATE show SET analyze = 1").is_ok());
+    }
+
+    #[test]
+    fn checkpoint_statement_and_identifier_use() {
+        assert!(matches!(parse_statement("CHECKPOINT").unwrap(), Statement::Checkpoint));
+        assert!(matches!(parse_statement("checkpoint").unwrap(), Statement::Checkpoint));
+        assert_eq!(parse_statement("CHECKPOINT").unwrap().to_string(), "CHECKPOINT");
+        // Like SHOW, CHECKPOINT is contextual — it stays usable as a name.
+        assert!(parse_statement("SELECT checkpoint FROM t").is_ok());
+        assert!(parse_statement("CREATE TABLE checkpoint (checkpoint INTEGER)").is_ok());
+        // Trailing tokens after the bare statement are rejected.
+        assert!(parse_statement("CHECKPOINT now").is_err());
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //! Meta commands: `\help`, `\tables`, `\load-snb <sf>`, `\quit`.
 //! Statements may span lines; they run once a line ends with `;`.
 //!
+//! `--data-dir <path>` makes the database durable: statements are WAL-
+//! logged, `CHECKPOINT` writes a snapshot, and restarting the shell over
+//! the same directory recovers everything — including built path indexes,
+//! which answer accelerated queries immediately (warm start).
+//!
 //! `--serve [addr]` starts the HTTP serving tier instead of the REPL:
 //!
 //! ```text
@@ -41,6 +46,7 @@ Session statements (state persists for the whole shell session):
   SHOW <option> | SHOW ALL
   EXPLAIN <query>          optimized logical plan
   EXPLAIN ANALYZE <query>  executed plan with per-operator rows and timing
+  CHECKPOINT               force a durable snapshot (shell started with --data-dir)
 ";
 
 fn main() {
@@ -49,7 +55,7 @@ fn main() {
         run_server(&args);
         return;
     }
-    let db = Database::new();
+    let db = open_database(&args);
     // One session for the whole interactive run: SET/SHOW state and the
     // plan cache survive across statements.
     let session = db.session();
@@ -91,18 +97,41 @@ fn main() {
     }
 }
 
+/// The value following `--flag`, when present and not another flag.
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .filter(|v| !v.starts_with("--"))
+}
+
+/// Open the database the REPL or server runs over: durable at
+/// `--data-dir <path>` (recovering any existing WAL/snapshot state), else
+/// in-memory.
+fn open_database(args: &[String]) -> Database {
+    match flag_value(args, "--data-dir") {
+        Some(dir) => match Database::open(dir) {
+            Ok(db) => {
+                println!("durable database at {dir} ({} tables)", db.catalog().table_names().len());
+                db
+            }
+            Err(e) => {
+                eprintln!("failed to open data dir {dir}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Database::new(),
+    }
+}
+
 /// `--serve [addr]` mode: load an (optional) dataset, start the HTTP
 /// tier, block until ctrl-c / SIGTERM kills the process. Flags:
-/// `--workers N`, `--queue-depth N`, `--timeout-ms N`, `--load-snb SF`.
+/// `--workers N`, `--queue-depth N`, `--timeout-ms N`, `--load-snb SF`,
+/// `--data-dir PATH` (durable WAL + checkpoints).
 fn run_server(args: &[String]) {
-    let flag = |name: &str| -> Option<&str> {
-        args.iter()
-            .position(|a| a == name)
-            .and_then(|i| args.get(i + 1))
-            .map(String::as_str)
-            .filter(|v| !v.starts_with("--"))
-    };
-    let db = Database::new();
+    let flag = |name: &str| flag_value(args, name);
+    let db = open_database(args);
     if let Some(sf) = flag("--load-snb").and_then(|v| v.parse::<f64>().ok()) {
         let t0 = std::time::Instant::now();
         let data = SnbDataset::generate(SnbParams::new(sf));
@@ -127,6 +156,7 @@ fn run_server(args: &[String]) {
     if let Some(v) = flag("--timeout-ms").and_then(|v| v.parse().ok()) {
         config.default_timeout_ms = Some(v);
     }
+    config.data_dir = flag("--data-dir").map(std::path::PathBuf::from);
     let workers = config.workers;
     match serve(Arc::new(db), config) {
         Ok(server) => {

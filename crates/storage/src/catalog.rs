@@ -133,6 +133,37 @@ impl Catalog {
         Ok(())
     }
 
+    /// Every entry as `(name, entry)` pairs, sorted by name. Snapshot
+    /// capture uses this; the `Arc` clones are cheap.
+    pub fn entries(&self) -> Vec<(String, TableEntry)> {
+        let tables = self.tables.read().expect("catalog lock poisoned");
+        let mut out: Vec<(String, TableEntry)> =
+            tables.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Recovery-only: install a table snapshot under an explicit data
+    /// version **without** bumping the DDL version. Restoring a snapshot
+    /// must leave every version counter exactly where the checkpointed
+    /// process had it; [`Catalog::set_ddl_version`] restores the structural
+    /// counter separately.
+    pub fn restore_table(&self, name: &str, table: Arc<Table>, version: u64) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        let mut tables = self.tables.write().expect("catalog lock poisoned");
+        if tables.contains_key(&key) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        tables.insert(key, TableEntry { table, version });
+        Ok(())
+    }
+
+    /// Recovery-only: force the structural (DDL) version to the value a
+    /// snapshot recorded.
+    pub fn set_ddl_version(&self, version: u64) {
+        self.ddl_version.store(version, Ordering::Release);
+    }
+
     /// Mutate a table through a closure, bumping its version.
     ///
     /// The closure gets a mutable `Table` (copy-on-write: running queries

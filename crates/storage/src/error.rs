@@ -29,6 +29,14 @@ pub enum StorageError {
     },
     /// A date literal could not be parsed.
     InvalidDate(String),
+    /// An I/O failure in the durability layer (message carries the path and
+    /// the OS error; `std::io::Error` itself is not `Clone`).
+    Io(String),
+    /// On-disk bytes failed validation (bad magic, checksum mismatch,
+    /// truncated structure). Torn WAL tails are *not* errors — they are
+    /// truncated silently — so this only surfaces for snapshot files or
+    /// structurally impossible record contents.
+    Corrupt(String),
     /// Catch-all for internal invariant violations.
     Internal(String),
 }
@@ -49,6 +57,8 @@ impl fmt::Display for StorageError {
                 write!(f, "row has {found} values but schema has {expected} columns")
             }
             StorageError::InvalidDate(s) => write!(f, "invalid date literal '{s}'"),
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt storage file: {msg}"),
             StorageError::Internal(msg) => write!(f, "internal storage error: {msg}"),
         }
     }

@@ -25,6 +25,7 @@ pub mod column;
 pub mod csv;
 pub mod date;
 pub mod error;
+pub mod persist;
 pub mod schema;
 pub mod table;
 pub mod types;
@@ -35,6 +36,7 @@ pub use catalog::Catalog;
 pub use column::{Column, ColumnBuilder};
 pub use date::Date;
 pub use error::StorageError;
+pub use persist::{DurableStore, Recovery, SnapshotData, SnapshotTable};
 pub use schema::{ColumnDef, Schema};
 pub use table::Table;
 pub use types::DataType;

@@ -1,0 +1,268 @@
+//! Durability end-to-end: WAL replay, snapshot checkpoints, torn-tail
+//! recovery, and the warm-start contract — a reopened database with a
+//! built path index answers accelerated queries with **zero** rebuild
+//! work and results byte-identical to the pre-restart process.
+
+use gsql_core::Database;
+use gsql_storage::Value;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique, empty temp directory, removed on drop (best effort).
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "gsql-persist-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn rows(db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let t = db.query(sql).unwrap();
+    (0..t.row_count()).map(|i| t.row(i)).collect()
+}
+
+const ROADS: &str = "CREATE TABLE e (s INTEGER NOT NULL, d INTEGER NOT NULL, w INTEGER NOT NULL)";
+const ROAD_ROWS: &str = "INSERT INTO e VALUES (1,2,5), (2,3,5), (1,3,20), (3,4,1)";
+const CHEAPEST: &str = "SELECT CHEAPEST SUM(f: f.w) AS cost WHERE 1 REACHES 4 OVER e f EDGE (s, d)";
+
+#[test]
+fn wal_only_restart_roundtrip() {
+    let dir = TempDir::new("wal");
+    let (before, version) = {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute(ROADS).unwrap();
+        db.execute(ROAD_ROWS).unwrap();
+        db.execute("CREATE GRAPH INDEX gi ON e EDGE (s, d)").unwrap();
+        (rows(&db, "SELECT * FROM e"), db.schema_version())
+    };
+    // No checkpoint was taken: recovery is pure WAL replay.
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(rows(&db, "SELECT * FROM e"), before);
+    assert_eq!(db.schema_version(), version);
+    assert_eq!(db.graph_indexes().index_names(), vec!["gi".to_string()]);
+    assert_eq!(rows(&db, CHEAPEST), vec![vec![Value::Int(11)]]);
+}
+
+#[test]
+fn checkpoint_restart_answers_accelerated_queries_without_rebuild() {
+    let dir = TempDir::new("warm");
+    let (before, version, expected) = {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute(ROADS).unwrap();
+        db.execute(ROAD_ROWS).unwrap();
+        db.execute("CREATE PATH INDEX pc ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+        db.execute("CREATE PATH INDEX pa ON e EDGE (s, d) WEIGHT w USING LANDMARKS(4)").unwrap();
+        assert!(db.path_indexes().builds() >= 2);
+        let expected = rows(&db, CHEAPEST);
+        let t = db.query("CHECKPOINT").unwrap();
+        assert_eq!(t.row(0)[0], Value::from("checkpoint written (epoch 1)"));
+        (rows(&db, "SELECT * FROM e"), db.schema_version(), expected)
+    };
+
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(rows(&db, "SELECT * FROM e"), before, "snapshot restores tables byte-identically");
+    assert_eq!(db.schema_version(), version);
+    // The plan still picks the index...
+    let plan = rows(&db, &format!("EXPLAIN {CHEAPEST}"));
+    assert!(
+        plan.iter().any(|r| matches!(&r[0], Value::Str(s) if s.contains("PathIndex"))),
+        "expected an accelerated plan, got {plan:?}"
+    );
+    // ...and both indexes report built without any rebuild having run.
+    let listing = db.path_indexes().list(db.catalog());
+    assert!(listing.iter().all(|l| l.status == "built"), "{listing:?}");
+    assert_eq!(rows(&db, CHEAPEST), expected);
+    assert_eq!(db.path_indexes().builds(), 0, "warm start must not rebuild");
+}
+
+#[test]
+fn torn_wal_tail_is_truncated() {
+    let dir = TempDir::new("torn");
+    {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+    }
+    // Simulate a crash mid-append: a frame header promising more payload
+    // than was ever written.
+    let wal = dir.path().join("wal-0.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let valid_len = bytes.len();
+    bytes.extend_from_slice(&[0xFF, 0x00, 0x00, 0x00, 0xAB, 0xCD]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(
+        rows(&db, "SELECT x FROM t ORDER BY x"),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]],
+        "recovery keeps the valid prefix"
+    );
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), valid_len as u64, "torn tail truncated");
+    // The log accepts appends again and they survive another restart.
+    db.execute("INSERT INTO t VALUES (3)").unwrap();
+    drop(db);
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(rows(&db, "SELECT COUNT(*) FROM t"), vec![vec![Value::Int(3)]]);
+}
+
+#[test]
+fn stale_persisted_index_falls_back_to_rebuild() {
+    let dir = TempDir::new("stale");
+    {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute(ROADS).unwrap();
+        db.execute(ROAD_ROWS).unwrap();
+        db.execute("CREATE PATH INDEX pc ON e EDGE (s, d) WEIGHT w USING CONTRACTION").unwrap();
+        db.execute("CHECKPOINT").unwrap();
+        // This mutation lands in the post-rotation WAL: on recovery it
+        // replays after the snapshot and invalidates the persisted index.
+        db.execute("INSERT INTO e VALUES (1, 4, 2)").unwrap();
+    }
+    let db = Database::open(dir.path()).unwrap();
+    let listing = db.path_indexes().list(db.catalog());
+    assert_eq!(listing[0].status, "stale", "{listing:?}");
+    assert_eq!(db.path_indexes().builds(), 0);
+    // The query sees the new edge — the stale persisted structure must not
+    // serve it — and triggers exactly one lazy rebuild.
+    assert_eq!(rows(&db, CHEAPEST), vec![vec![Value::Int(2)]]);
+    assert_eq!(db.path_indexes().builds(), 1);
+}
+
+#[test]
+fn checkpoint_then_replay_matches_unrestarted_engine_at_thread_counts() {
+    let statements = [
+        ROADS,
+        ROAD_ROWS,
+        "CREATE GRAPH INDEX gi ON e EDGE (s, d)",
+        "CREATE PATH INDEX pa ON e EDGE (s, d) WEIGHT w USING LANDMARKS(3)",
+        "INSERT INTO e VALUES (4, 5, 7), (5, 1, 7)",
+        "UPDATE e SET w = 6 WHERE s = 1 AND d = 2",
+        "DELETE FROM e WHERE w = 20",
+    ];
+    let queries = [
+        "SELECT * FROM e",
+        CHEAPEST,
+        "SELECT CHEAPEST SUM(1) AS hops WHERE 4 REACHES 3 OVER e EDGE (s, d)",
+    ];
+    for threads in [1usize, 4] {
+        let dir = TempDir::new("equiv");
+        let reference = Database::new();
+        {
+            let db = Database::open(dir.path()).unwrap();
+            let durable = db.session();
+            let fresh = reference.session();
+            durable.set("threads", &threads.to_string()).unwrap();
+            fresh.set("threads", &threads.to_string()).unwrap();
+            for (i, s) in statements.iter().enumerate() {
+                durable.execute(s).unwrap();
+                fresh.execute(s).unwrap();
+                if i == 3 {
+                    durable.execute("CHECKPOINT").unwrap();
+                }
+            }
+        }
+        let reopened = Database::open(dir.path()).unwrap();
+        assert_eq!(reopened.schema_version(), reference.schema_version(), "threads={threads}");
+        let a = reopened.session();
+        let b = reference.session();
+        a.set("threads", &threads.to_string()).unwrap();
+        b.set("threads", &threads.to_string()).unwrap();
+        for q in queries {
+            let ta = a.query(q).unwrap();
+            let tb = b.query(q).unwrap();
+            let ra: Vec<Vec<Value>> = (0..ta.row_count()).map(|i| ta.row(i)).collect();
+            let rb: Vec<Vec<Value>> = (0..tb.row_count()).map(|i| tb.row(i)).collect();
+            assert_eq!(ra, rb, "threads={threads}, query={q}");
+        }
+    }
+}
+
+#[test]
+fn checkpoint_is_a_noop_in_memory() {
+    // `Database::default()` is always in-memory, even under the CI leg's
+    // GSQL_DATA_DIR (which makes `Database::new()` durable).
+    let db = Database::default();
+    let t = db.query("CHECKPOINT").unwrap();
+    assert_eq!(t.row(0)[0], Value::from("checkpoint skipped (in-memory database)"));
+    assert!(db.checkpoint().unwrap().is_none());
+    assert!(!db.is_durable());
+    assert!(db.data_dir().is_none());
+}
+
+#[test]
+fn storage_metrics_are_exported() {
+    let dir = TempDir::new("metrics");
+    {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute("CREATE TABLE t (x INTEGER)").unwrap();
+        db.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.execute("CHECKPOINT").unwrap();
+        db.execute("INSERT INTO t VALUES (2)").unwrap();
+        db.execute("INSERT INTO t VALUES (3)").unwrap();
+        let text = db.metrics().registry().render();
+        assert!(text.contains("gsql_wal_appends_total 4"), "{text}");
+        assert!(text.contains("gsql_wal_bytes_total"), "{text}");
+        assert!(text.contains("gsql_checkpoint_duration_microseconds_count 1"), "{text}");
+        assert!(text.contains("gsql_build_info{version=\""), "{text}");
+        assert!(text.contains("gsql_recovery_replayed_records 0"), "{text}");
+    }
+    // Two statements landed after the checkpoint: recovery replays them.
+    let db = Database::open(dir.path()).unwrap();
+    let text = db.metrics().registry().render();
+    assert!(text.contains("gsql_recovery_replayed_records 2"), "{text}");
+}
+
+#[test]
+fn path_parameters_are_rejected_on_durable_mutations() {
+    let dir = TempDir::new("pathparam");
+    let db = Database::open(dir.path()).unwrap();
+    db.execute(ROADS).unwrap();
+    db.execute(ROAD_ROWS).unwrap();
+    let t = db
+        .query("SELECT CHEAPEST SUM(f: f.w) AS (c, p) WHERE 1 REACHES 4 OVER e f EDGE (s, d)")
+        .unwrap();
+    let path = t.row(0)[1].clone();
+    assert!(matches!(path, Value::Path(_)));
+    db.execute("CREATE TABLE sink (x INTEGER)").unwrap();
+    let err = db
+        .execute_with_params("INSERT INTO sink VALUES (?)", std::slice::from_ref(&path))
+        .unwrap_err();
+    assert!(err.to_string().contains("path-valued parameters"), "{err}");
+    // Reads with path parameters are unaffected (nothing to log).
+    assert!(db.execute_with_params("SELECT 1 FROM sink WHERE 1 = 0", &[]).is_ok());
+}
+
+#[test]
+fn import_csv_survives_restart() {
+    let dir = TempDir::new("csv");
+    {
+        let db = Database::open(dir.path()).unwrap();
+        db.execute("CREATE TABLE people (id INTEGER, name VARCHAR)").unwrap();
+        let csv = "id,name\n1,ada\n2,grace\n";
+        assert_eq!(db.import_csv("people", csv.as_bytes()).unwrap(), 2);
+    }
+    let db = Database::open(dir.path()).unwrap();
+    assert_eq!(
+        rows(&db, "SELECT id, name FROM people ORDER BY id"),
+        vec![vec![Value::Int(1), Value::from("ada")], vec![Value::Int(2), Value::from("grace")],]
+    );
+}
